@@ -1,0 +1,109 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "engine/column_scanner.h"
+#include "engine/pax_scanner.h"
+#include "engine/row_scanner.h"
+
+namespace rodb::bench {
+
+Env Env::FromEnv() {
+  Env env;
+  const char* dir = std::getenv("RODB_BENCH_DIR");
+  env.data_dir = dir != nullptr && *dir != '\0'
+                     ? dir
+                     : (std::filesystem::current_path() / "rodb_benchdata")
+                           .string();
+  std::error_code ec;
+  std::filesystem::create_directories(env.data_dir, ec);
+  const char* tuples = std::getenv("RODB_BENCH_TUPLES");
+  if (tuples != nullptr) {
+    const long long n = std::atoll(tuples);
+    if (n > 0) env.tuples = static_cast<uint64_t>(n);
+  }
+  return env;
+}
+
+tpch::LoadSpec Env::Spec(Layout layout, bool compressed,
+                         bool orders_plain_for) const {
+  tpch::LoadSpec spec;
+  spec.dir = data_dir;
+  spec.num_tuples = tuples;
+  spec.layout = layout;
+  spec.compressed = compressed;
+  spec.orders_plain_for = orders_plain_for;
+  return spec;
+}
+
+Result<ScanRun> RunScan(const std::string& dir, const std::string& name,
+                        const ScanSpec& spec, double paper_scale,
+                        IoBackend* backend) {
+  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+  ExecStats stats;
+  Result<OperatorPtr> scan = Status::Internal("unreachable");
+  switch (table.meta().layout) {
+    case Layout::kRow:
+      scan = RowScanner::Make(&table, spec, backend, &stats);
+      break;
+    case Layout::kColumn:
+      scan = ColumnScanner::Make(&table, spec, backend, &stats);
+      break;
+    case Layout::kPax:
+      scan = PaxScanner::Make(&table, spec, backend, &stats);
+      break;
+  }
+  RODB_RETURN_IF_ERROR(scan.status());
+  ScanRun run;
+  RODB_ASSIGN_OR_RETURN(run.exec, Execute(scan->get(), &stats));
+  run.rows = run.exec.rows;
+  run.counters = stats.counters();
+  run.paper_counters = ScaleCounters(run.counters, paper_scale);
+  run.paper_streams = ScanStreams(table, spec);
+  for (StreamSpec& s : run.paper_streams) {
+    s.bytes = static_cast<uint64_t>(static_cast<double>(s.bytes) *
+                                    paper_scale);
+  }
+  return run;
+}
+
+int SelectedBytes(const Schema& schema, int k) {
+  int bytes = 0;
+  for (int i = 0; i < k; ++i) {
+    bytes += schema.attribute(static_cast<size_t>(i)).width;
+  }
+  return bytes;
+}
+
+std::vector<int> FirstAttrs(int k) {
+  std::vector<int> attrs;
+  attrs.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) attrs.push_back(i);
+  return attrs;
+}
+
+void PrintHeader(const std::string& title, const Env& env,
+                 const std::string& workload) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("workload : %s\n", workload.c_str());
+  std::printf("engine   : %llu tuples locally, projected to the paper's "
+              "60M (scale x%.0f)\n",
+              static_cast<unsigned long long>(env.tuples), env.PaperScale());
+  std::printf("hardware : %s\n\n",
+              HardwareConfig::Paper2006().ToString().c_str());
+}
+
+void PrintBreakdownHeader() {
+  std::printf("  %-22s %8s %8s %8s %8s %8s %9s\n", "series", "sys",
+              "usr-uop", "usr-L2", "usr-L1", "usr-rest", "cpu-total");
+}
+
+void PrintBreakdownRow(const std::string& label, const TimeBreakdown& t) {
+  std::printf("  %-22s %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f\n", label.c_str(),
+              t.sys, t.usr_uop, t.usr_l2, t.usr_l1, t.usr_rest, t.Total());
+}
+
+}  // namespace rodb::bench

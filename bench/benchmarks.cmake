@@ -1,0 +1,37 @@
+# Benchmark harness: one binary per table/figure of the paper's evaluation
+# plus google-benchmark micro benchmarks. All binaries land in
+# ${CMAKE_BINARY_DIR}/bench so `for b in build/bench/*; do $b; done`
+# regenerates every result.
+
+add_library(rodb_bench_support STATIC bench/bench_util.cc)
+target_include_directories(rodb_bench_support PUBLIC
+  ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(rodb_bench_support PUBLIC rodb)
+
+function(rodb_bench NAME)
+  add_executable(${NAME} bench/${NAME}.cc)
+  target_link_libraries(${NAME} PRIVATE rodb_bench_support)
+  set_target_properties(${NAME} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(rodb_microbench NAME)
+  rodb_bench(${NAME})
+  target_link_libraries(${NAME} PRIVATE benchmark::benchmark)
+endfunction()
+
+rodb_bench(fig02_speedup_contour)
+rodb_bench(fig06_baseline_lineitem)
+rodb_bench(fig07_selectivity)
+rodb_bench(fig08_narrow_orders)
+rodb_bench(fig09_compression)
+rodb_bench(fig10_prefetch)
+rodb_bench(fig11_competition)
+rodb_bench(table1_trends)
+rodb_bench(sec5_model_checks)
+rodb_microbench(micro_codec_bench)
+rodb_microbench(micro_scan_bench)
+rodb_bench(ablation_scanners)
+rodb_bench(capacity_planning)
+rodb_bench(memory_resident)
+rodb_bench(ablation_compressed_eval)

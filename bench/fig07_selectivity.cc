@@ -1,0 +1,75 @@
+// Figure 7: the baseline query at 0.1% selectivity.
+//   select L1, L2, ... from LINEITEM where pred(L1) yields 0.1%
+// I/O is unchanged (every column still streams off disk); the interesting
+// output is the CPU breakdown: the column store's inner scan nodes now
+// process ~1 of every 1000 values, so additional attributes add almost no
+// CPU work and the large-string memory stalls disappear.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace rodb;         // NOLINT
+  using namespace rodb::bench;  // NOLINT
+  using namespace rodb::tpch;   // NOLINT
+
+  Env env = Env::FromEnv();
+  PrintHeader("Figure 7: LINEITEM scan at 0.1% selectivity", env,
+              "select L1..Lk from LINEITEM where L_PARTKEY < 0.1% cutoff");
+
+  for (Layout layout : {Layout::kRow, Layout::kColumn}) {
+    auto meta = EnsureLineitem(env.Spec(layout, false));
+    if (!meta.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   meta.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const HardwareConfig hw = HardwareConfig::Paper2006();
+  FileBackend backend;
+  const double scale = env.PaperScale();
+  const int32_t cutoff = SelectivityCutoff(kPartkeyDomain, 0.001);
+
+  std::printf("CPU time breakdowns (seconds at paper scale):\n");
+  PrintBreakdownHeader();
+  TimeBreakdown col_1, col_16;
+  for (int k : {1, 16}) {
+    ScanSpec spec;
+    spec.projection = FirstAttrs(k);
+    spec.predicates = {Predicate::Int32(kLPartkey, CompareOp::kLt, cutoff)};
+    auto row = RunScan(env.data_dir, "lineitem_row", spec, scale, &backend);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+      return 1;
+    }
+    PrintBreakdownRow("row store, " + std::to_string(k) + " attrs",
+                      CpuModel(hw).Breakdown(row->paper_counters));
+  }
+  for (int k = 1; k <= 16; ++k) {
+    ScanSpec spec;
+    spec.projection = FirstAttrs(k);
+    spec.predicates = {Predicate::Int32(kLPartkey, CompareOp::kLt, cutoff)};
+    auto col = RunScan(env.data_dir, "lineitem_col", spec, scale, &backend);
+    if (!col.ok()) {
+      std::fprintf(stderr, "%s\n", col.status().ToString().c_str());
+      return 1;
+    }
+    const TimeBreakdown bd = CpuModel(hw).Breakdown(col->paper_counters);
+    PrintBreakdownRow("column, " + std::to_string(k) + " attrs", bd);
+    if (k == 1) col_1 = bd;
+    if (k == 16) col_16 = bd;
+  }
+
+  std::printf("\nchecks vs the paper:\n");
+  const double user_growth = col_16.User() - col_1.User();
+  std::printf("  selecting 15 extra attributes adds %.2fs of user CPU "
+              "(paper: negligible -- scan nodes see 1/1000 of the values)"
+              "  %s\n",
+              user_growth, user_growth < 0.2 * col_16.Total() * 16 ? "OK"
+                                                                   : "LOOK");
+  std::printf("  system time still grows with bytes read: col-16 sys %.2fs "
+              "> col-1 sys %.2fs  %s\n",
+              col_16.sys, col_1.sys, col_16.sys > col_1.sys ? "OK" : "LOOK");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Micro benchmarks: encode/decode throughput of each light-weight
+// compression scheme (values/sec on the host machine). These are the raw
+// ingredients behind the CPU curves of Figure 9.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "compression/codec.h"
+#include "compression/dictionary.h"
+
+namespace rodb {
+namespace {
+
+constexpr int kValues = 4096;
+
+std::vector<int32_t> SortedValues() {
+  std::vector<int32_t> v;
+  Random rng(1);
+  int32_t x = 1000;
+  for (int i = 0; i < kValues; ++i) {
+    x += static_cast<int32_t>(rng.Uniform(3));
+    v.push_back(x);
+  }
+  return v;
+}
+
+std::vector<int32_t> SmallValues() {
+  std::vector<int32_t> v;
+  Random rng(2);
+  for (int i = 0; i < kValues; ++i) {
+    v.push_back(static_cast<int32_t>(rng.Uniform(1000)));
+  }
+  return v;
+}
+
+std::unique_ptr<AttributeCodec> Make(CodecSpec spec, Dictionary* dict) {
+  auto codec = MakeCodec(spec, 4, dict);
+  if (!codec.ok()) std::abort();
+  return std::move(codec).value();
+}
+
+void EncodeDecodeLoop(benchmark::State& state, CodecSpec spec,
+                      const std::vector<int32_t>& values) {
+  Dictionary dict(4);
+  auto codec = Make(spec, &dict);
+  std::vector<uint8_t> buffer(kValues * 8, 0);
+  std::vector<uint8_t> raw(kValues * 4);
+  for (int i = 0; i < kValues; ++i) {
+    StoreLE32s(raw.data() + 4 * i, values[static_cast<size_t>(i)]);
+  }
+  for (auto _ : state) {
+    BitWriter writer(buffer.data(), buffer.size());
+    codec->BeginPage();
+    for (int i = 0; i < kValues; ++i) {
+      if (!codec->EncodeValue(raw.data() + 4 * i, &writer)) std::abort();
+    }
+    CodecPageMeta meta;
+    codec->FinishPage(&meta);
+    BitReader reader(buffer.data(), buffer.size());
+    codec->BeginDecode(meta);
+    uint8_t out[4];
+    int32_t sum = 0;
+    for (int i = 0; i < kValues; ++i) {
+      codec->DecodeValue(&reader, out);
+      sum += LoadLE32s(out);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kValues);
+}
+
+void BM_None(benchmark::State& state) {
+  EncodeDecodeLoop(state, CodecSpec::None(), SmallValues());
+}
+void BM_BitPack10(benchmark::State& state) {
+  EncodeDecodeLoop(state, CodecSpec::BitPack(10), SmallValues());
+}
+void BM_Dict10(benchmark::State& state) {
+  EncodeDecodeLoop(state, CodecSpec::Dict(10), SmallValues());
+}
+void BM_For16(benchmark::State& state) {
+  EncodeDecodeLoop(state, CodecSpec::For(16), SortedValues());
+}
+void BM_ForDelta8(benchmark::State& state) {
+  EncodeDecodeLoop(state, CodecSpec::ForDelta(8), SortedValues());
+}
+
+BENCHMARK(BM_None);
+BENCHMARK(BM_BitPack10);
+BENCHMARK(BM_Dict10);
+BENCHMARK(BM_For16);
+BENCHMARK(BM_ForDelta8);
+
+void BM_SkipFixedWidth(benchmark::State& state) {
+  // O(1) skip of bit-packed values vs FOR-delta's forced decode.
+  auto codec = Make(CodecSpec::BitPack(10), nullptr);
+  std::vector<uint8_t> buffer(kValues * 2, 0);
+  for (auto _ : state) {
+    BitReader reader(buffer.data(), buffer.size());
+    reader.Skip(kValues * 10);
+    benchmark::DoNotOptimize(reader.bit_pos());
+  }
+  state.SetItemsProcessed(state.iterations() * kValues);
+}
+BENCHMARK(BM_SkipFixedWidth);
+
+}  // namespace
+}  // namespace rodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Micro benchmarks: raw scanner throughput (tuples/sec on the host) over
+// memory-resident tables -- the pure-CPU side of the row/column tradeoff,
+// without any disk in the way.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "engine/column_scanner.h"
+#include "engine/row_scanner.h"
+#include "io/mem_backend.h"
+
+namespace rodb {
+namespace {
+
+using rodb::bench::Env;
+using rodb::bench::FirstAttrs;
+
+struct MemFixture {
+  Env env = Env::FromEnv();
+  MemBackend backend;
+  bool loaded = false;
+
+  /// Loads the scaled ORDERS tables (both layouts) and mirrors their
+  /// files into the in-memory backend.
+  void EnsureLoaded() {
+    if (loaded) return;
+    for (Layout layout : {Layout::kRow, Layout::kColumn}) {
+      auto meta = tpch::EnsureOrders(env.Spec(layout, false));
+      if (!meta.ok()) std::abort();
+      auto table = OpenTable::Open(env.data_dir, meta->name);
+      if (!table.ok()) std::abort();
+      const size_t files = layout == Layout::kRow
+                               ? 1
+                               : table->schema().num_attributes();
+      for (size_t f = 0; f < files; ++f) {
+        auto blob = ReadFileToString(table->FilePath(f));
+        if (!blob.ok()) std::abort();
+        backend.PutFile(table->FilePath(f),
+                        std::vector<uint8_t>(blob->begin(), blob->end()));
+      }
+    }
+    loaded = true;
+  }
+};
+
+MemFixture& Fixture() {
+  static MemFixture* fixture = new MemFixture();
+  return fixture->EnsureLoaded(), *fixture;
+}
+
+void RunScanBench(benchmark::State& state, const std::string& name,
+                  int attrs, double selectivity) {
+  MemFixture& fx = Fixture();
+  auto table = OpenTable::Open(fx.env.data_dir, name);
+  if (!table.ok()) std::abort();
+  ScanSpec spec;
+  spec.projection = FirstAttrs(attrs);
+  spec.predicates = {Predicate::Int32(
+      tpch::kOOrderdate, CompareOp::kLt,
+      tpch::SelectivityCutoff(tpch::kOrderdateDomain, selectivity))};
+  for (auto _ : state) {
+    ExecStats stats;
+    Result<OperatorPtr> scan =
+        table->meta().layout == Layout::kRow
+            ? RowScanner::Make(&*table, spec, &fx.backend, &stats)
+            : ColumnScanner::Make(&*table, spec, &fx.backend, &stats);
+    if (!scan.ok()) std::abort();
+    auto result = Execute(scan->get(), &stats);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->output_checksum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.env.tuples));
+}
+
+void BM_RowScan_1Attr(benchmark::State& state) {
+  RunScanBench(state, "orders_row", 1, 0.1);
+}
+void BM_RowScan_7Attrs(benchmark::State& state) {
+  RunScanBench(state, "orders_row", 7, 0.1);
+}
+void BM_ColScan_1Attr(benchmark::State& state) {
+  RunScanBench(state, "orders_col", 1, 0.1);
+}
+void BM_ColScan_7Attrs(benchmark::State& state) {
+  RunScanBench(state, "orders_col", 7, 0.1);
+}
+void BM_ColScan_7Attrs_LowSel(benchmark::State& state) {
+  RunScanBench(state, "orders_col", 7, 0.001);
+}
+
+BENCHMARK(BM_RowScan_1Attr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RowScan_7Attrs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColScan_1Attr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColScan_7Attrs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColScan_7Attrs_LowSel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Section 5 (and Section 2.1.1) side calculations: the named cpdb
+// ratings, the parallel-resistor composition example, the index-vs-scan
+// break-even selectivity, and the projection limit behaviors of the
+// speedup formula.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/contour.h"
+
+int main() {
+  using namespace rodb;  // NOLINT
+
+  std::printf("\n=== Section 5 model checks ===\n\n");
+
+  std::printf("cpdb ratings (cycles per sequentially-delivered disk "
+              "byte):\n");
+  std::printf("  paper testbed, 3 disks : %6.1f   (paper: 18)\n",
+              HardwareConfig::Paper2006().Cpdb());
+  std::printf("  same machine, 1 disk   : %6.1f   (paper: 54)\n",
+              HardwareConfig::Paper2006OneDisk().Cpdb());
+  std::printf("  2006 desktop, 2 CPUs   : %6.1f   (paper: ~108)\n\n",
+              HardwareConfig::Desktop2006().Cpdb());
+
+  std::printf("operator composition (equation 5/6): 4 t/s || 6 t/s = "
+              "%.1f t/s   (paper: 2.4)\n\n",
+              AnalyticalModel::Compose({4.0, 6.0}));
+
+  const double breakeven = IndexScanBreakEvenSelectivity(0.005, 300e6, 128);
+  std::printf("index-vs-scan break-even (Section 2.1.1): an unclustered "
+              "index pays off below %.4f%% selectivity\n"
+              "  (5ms seek, 300MB/s, 128-byte tuples; paper: 0.008%%)\n\n",
+              breakeven * 100);
+
+  // Projection limits of the speedup formula in a disk-bound setting.
+  const HardwareConfig iobound = HardwareConfig::WithCpdb(400);
+  AnalyticalModel model(iobound);
+  const CostModel costs;
+  for (double frac : {1.0, 0.5, 0.25, 0.125}) {
+    const SystemInputs rows = RowScanInputs(32, 0.1, frac, iobound, costs);
+    const SystemInputs cols =
+        ColumnScanInputs(32, 0.1, frac, iobound, costs, 1.8);
+    std::printf("speedup at %5.1f%% projection (32B tuple, cpdb 400): "
+                "%5.2f   (disk-bound limit: %.0f)\n",
+                frac * 100, model.Speedup(cols, rows), 1.0 / frac);
+  }
+  std::printf("  -> converges to 1 selecting the whole tuple, rises to N "
+              "selecting 1/Nth (Section 1.3)\n\n");
+
+  // Where does the paper machine sit for the two tables?
+  const HardwareConfig paper = HardwareConfig::Paper2006();
+  AnalyticalModel paper_model(paper);
+  for (double width : {152.0, 32.0, 12.0}) {
+    const SystemInputs rows = RowScanInputs(width, 0.1, 0.5, paper, costs);
+    const SystemInputs cols =
+        ColumnScanInputs(width, 0.1, 0.5, paper, costs, 1.8);
+    std::printf("width %5.0fB on the paper machine: rows %s, columns %s, "
+                "speedup %.2f\n",
+                width, paper_model.IsIoBound(rows) ? "I/O-bound" : "CPU-bound",
+                paper_model.IsIoBound(cols) ? "I/O-bound" : "CPU-bound",
+                paper_model.Speedup(cols, rows));
+  }
+  std::printf("  (Figure 9's observation: the compressed 12-byte scan "
+              "turns the column system CPU-bound)\n");
+  return 0;
+}

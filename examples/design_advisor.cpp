@@ -1,0 +1,117 @@
+// Physical-design advisor walkthrough: the two advisor components of
+// Figure 1 applied to the ORDERS table.
+//
+//  1. The compression advisor samples generated tuples and picks a
+//     light-weight scheme per attribute -- compare its choices against
+//     Figure 5's hand-tuned ORDERS-Z specs.
+//  2. The layout (MV) advisor uses the Section 5 analytical model to
+//     recommend row vs column storage for a query mix across machines
+//     with different cpdb ratings.
+//
+//   build/examples/design_advisor
+
+#include <cstdio>
+#include <vector>
+
+#include "common/macros.h"
+#include "advisor/compression_advisor.h"
+#include "advisor/layout_advisor.h"
+#include "tpch/generator.h"
+#include "tpch/tpch_schema.h"
+
+using namespace rodb;        // NOLINT
+using namespace rodb::tpch;  // NOLINT
+
+namespace {
+
+Status Run() {
+  // --- compression advisor ---
+  RODB_ASSIGN_OR_RETURN(Schema plain, OrdersSchema());
+  RODB_ASSIGN_OR_RETURN(Schema paper_z, OrdersZSchema());
+  OrdersGenerator gen(42);
+  std::vector<std::vector<uint8_t>> sample;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> tuple(32);
+    gen.NextTuple(tuple.data());
+    sample.push_back(std::move(tuple));
+  }
+  CompressionAdvisor advisor;
+  RODB_ASSIGN_OR_RETURN(Schema advised, advisor.AdviseSchema(plain, sample));
+
+  std::printf("compression advisor vs Figure 5's hand-tuned ORDERS-Z:\n");
+  std::printf("  %-16s %-14s %-14s\n", "attribute", "advisor", "paper");
+  double advised_bits = 0, paper_bits = 0;
+  for (size_t a = 0; a < plain.num_attributes(); ++a) {
+    const CodecSpec mine = advised.attribute(a).codec;
+    const CodecSpec paper_spec = paper_z.attribute(a).codec;
+    char mine_s[32], paper_s[32];
+    std::snprintf(mine_s, sizeof(mine_s), "%s:%d",
+                  std::string(CompressionKindName(mine.kind)).c_str(),
+                  mine.kind == CompressionKind::kNone
+                      ? advised.attribute(a).width * 8
+                      : mine.bits);
+    std::snprintf(paper_s, sizeof(paper_s), "%s:%d",
+                  std::string(CompressionKindName(paper_spec.kind)).c_str(),
+                  paper_spec.kind == CompressionKind::kNone
+                      ? paper_z.attribute(a).width * 8
+                      : paper_spec.bits);
+    std::printf("  %-16s %-14s %-14s\n", plain.attribute(a).name.c_str(),
+                mine_s, paper_s);
+    const auto bits = [](const CodecSpec& s, int width) {
+      if (s.kind == CompressionKind::kNone) return width * 8.0;
+      if (s.kind == CompressionKind::kCharPack) {
+        return static_cast<double>(s.bits) * s.char_count;
+      }
+      return static_cast<double>(s.bits);
+    };
+    advised_bits += bits(mine, plain.attribute(a).width);
+    paper_bits += bits(paper_spec, plain.attribute(a).width);
+  }
+  std::printf("  total: advisor %.0f bits/tuple vs paper %.0f bits/tuple\n\n",
+              advised_bits, paper_bits);
+
+  // --- layout advisor ---
+  const std::vector<WorkloadQuery> workload = {
+      {"daily_report (narrow projection)", 0.25, 0.10, 10.0},
+      {"dashboard (selective)", 0.50, 0.001, 5.0},
+      {"export (full tuples)", 1.00, 1.00, 1.0},
+  };
+  std::printf("layout advisor for LINEITEM-width tuples (150B):\n");
+  for (const auto& [label, hw] :
+       std::vector<std::pair<const char*, HardwareConfig>>{
+           {"paper testbed (cpdb 18)", HardwareConfig::Paper2006()},
+           {"CPU-starved box (cpdb 9)", HardwareConfig::WithCpdb(9)},
+           {"2006 desktop (cpdb 107)", HardwareConfig::Desktop2006()}}) {
+    LayoutAdvisor layout_advisor(hw);
+    const LayoutAdvice advice = layout_advisor.Advise(150.0, workload);
+    std::printf("  %-26s -> %-6s (workload speedup x%.2f)\n", label,
+                std::string(LayoutName(advice.layout)).c_str(),
+                advice.workload_speedup);
+    for (const QueryAssessment& q : advice.per_query) {
+      std::printf("      %-34s x%.2f %s\n", q.name.c_str(),
+                  q.speedup_columns_over_rows,
+                  q.column_io_bound ? "(I/O-bound)" : "(CPU-bound)");
+    }
+  }
+  std::printf("\nand for a lean 8-byte table on the CPU-starved box:\n");
+  LayoutAdvisor lean_advisor(HardwareConfig::WithCpdb(9));
+  const LayoutAdvice lean = lean_advisor.Advise(
+      8.0, {{"lean scan", 0.5, 0.1, 1.0}});
+  std::printf("  -> %s (speedup x%.2f): the Figure 2 corner where rows "
+              "still win\n",
+              std::string(LayoutName(lean.layout)).c_str(),
+              lean.workload_speedup);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "design_advisor failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: define a schema, bulk-load a table in both physical
+// layouts, and run the same scan query against each.
+//
+//   build/examples/quickstart [directory]
+//
+// Covers the core public API: Schema / TableWriter / OpenTable /
+// RowScanner / ColumnScanner / Execute.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "common/bytes.h"
+#include "engine/column_scanner.h"
+#include "engine/executor.h"
+#include "engine/row_scanner.h"
+#include "io/file_backend.h"
+#include "storage/table_files.h"
+
+using namespace rodb;  // NOLINT
+
+namespace {
+
+Status Run(const std::string& dir) {
+  // 1. A schema: fixed-width attributes, optionally with light-weight
+  //    compression per attribute.
+  RODB_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({
+          AttributeDesc::Int32("sale_id", CodecSpec::ForDelta(8)),
+          AttributeDesc::Int32("amount"),
+          AttributeDesc::Text("region", 8, CodecSpec::Dict(3)),
+      }));
+  std::printf("schema: %d attributes, %d bytes per raw tuple\n",
+              static_cast<int>(schema.num_attributes()),
+              schema.raw_tuple_width());
+
+  // 2. Bulk-load the same data as a row table and as a column table.
+  const char* regions[] = {"north   ", "south   ", "east    ", "west    "};
+  for (Layout layout : {Layout::kRow, Layout::kColumn}) {
+    const std::string name =
+        layout == Layout::kRow ? "sales_row" : "sales_col";
+    RODB_ASSIGN_OR_RETURN(auto writer,
+                          TableWriter::Create(dir, name, schema, layout));
+    uint8_t tuple[16];
+    for (int i = 0; i < 100000; ++i) {
+      StoreLE32s(tuple, 1000 + i);               // sorted: FOR-delta friendly
+      StoreLE32s(tuple + 4, (i * 7919) % 500);   // pseudo-random amount
+      std::memcpy(tuple + 8, regions[i % 4], 8);
+      RODB_RETURN_IF_ERROR(writer->Append(tuple));
+    }
+    RODB_RETURN_IF_ERROR(writer->Finish());
+    RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+    std::printf("loaded %-9s: %llu tuples, %llu bytes on disk\n",
+                name.c_str(),
+                static_cast<unsigned long long>(table.meta().num_tuples),
+                static_cast<unsigned long long>(table.meta().TotalBytes()));
+  }
+
+  // 3. The same query against both layouts:
+  //      select sale_id, amount from sales where amount < 50
+  ScanSpec spec;
+  spec.projection = {0, 1};
+  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 50)};
+  FileBackend backend;
+  for (const char* name : {"sales_row", "sales_col"}) {
+    RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+    ExecStats stats;
+    Result<OperatorPtr> scan =
+        table.meta().layout == Layout::kRow
+            ? RowScanner::Make(&table, spec, &backend, &stats)
+            : ColumnScanner::Make(&table, spec, &backend, &stats);
+    RODB_RETURN_IF_ERROR(scan.status());
+    RODB_ASSIGN_OR_RETURN(ExecutionResult result,
+                          Execute(scan->get(), &stats));
+    std::printf("%-9s: %llu qualifying tuples, %.1f MB read, %.0f ms wall, "
+                "checksum %016llx\n",
+                name, static_cast<unsigned long long>(result.rows),
+                static_cast<double>(stats.counters().io_bytes_read) / 1e6,
+                result.measured.wall_seconds * 1e3,
+                static_cast<unsigned long long>(result.output_checksum));
+  }
+  std::printf("\nnote the column scan read only the two selected columns; "
+              "identical checksums mean identical results.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "quickstart_data";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const Status status = Run(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "quickstart failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

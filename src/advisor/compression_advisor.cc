@@ -1,0 +1,192 @@
+#include "advisor/compression_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/bitio.h"
+#include "common/bytes.h"
+#include "common/macros.h"
+#include "compression/codecs_internal.h"
+
+namespace rodb {
+
+namespace {
+
+struct Candidate {
+  CodecSpec spec;
+  double bits = 0.0;
+  /// Relative decode cost used to break near-ties (lower is cheaper);
+  /// ordered per the CostModel decode constants.
+  double decode_cost = 0.0;
+};
+
+void ConsiderIntCandidates(const std::vector<int32_t>& values,
+                           std::vector<Candidate>* out) {
+  int32_t min_v = values[0], max_v = values[0];
+  int64_t max_abs_delta = 0;
+  std::set<int32_t> distinct;
+  for (size_t i = 0; i < values.size(); ++i) {
+    min_v = std::min(min_v, values[i]);
+    max_v = std::max(max_v, values[i]);
+    if (i > 0) {
+      max_abs_delta = std::max<int64_t>(
+          max_abs_delta, std::llabs(static_cast<int64_t>(values[i]) -
+                                    values[i - 1]));
+    }
+    if (distinct.size() <= 4096) distinct.insert(values[i]);
+  }
+  if (min_v >= 0) {
+    const int bits = BitsForMaxValue(static_cast<uint64_t>(max_v));
+    if (bits < 32) {
+      out->push_back({CodecSpec::BitPack(bits),
+                      static_cast<double>(bits), 1.0});
+    }
+  }
+  // FOR: non-negative differences from a per-page base. Conservatively
+  // size for the full sampled range (pages only shrink it).
+  {
+    const uint64_t range =
+        static_cast<uint64_t>(static_cast<int64_t>(max_v) - min_v);
+    const int bits = BitsForMaxValue(range);
+    if (bits < 32) {
+      out->push_back({CodecSpec::For(bits), static_cast<double>(bits), 1.2});
+    }
+  }
+  // FOR-delta: zig-zag of consecutive differences.
+  {
+    const int bits =
+        BitsForMaxValue(ZigZagEncode(max_abs_delta));
+    if (bits < 32) {
+      out->push_back(
+          {CodecSpec::ForDelta(bits), static_cast<double>(bits), 2.5});
+    }
+  }
+  // Dictionary is only trustworthy when the distinct count has clearly
+  // plateaued inside the sample; otherwise unseen values would overflow
+  // the code space at load time.
+  const size_t plateau =
+      std::max<size_t>(16, values.size() / 4);
+  if (distinct.size() <= 4096 && distinct.size() <= plateau) {
+    const int bits =
+        BitsForMaxValue(distinct.empty() ? 0 : distinct.size() - 1);
+    if (bits < 32) {
+      out->push_back({CodecSpec::Dict(bits), static_cast<double>(bits), 1.5});
+    }
+  }
+}
+
+void ConsiderTextCandidates(const std::vector<std::vector<uint8_t>>& sample,
+                            int width, std::vector<Candidate>* out) {
+  std::set<std::string> distinct;
+  bool dict_viable = true;
+  for (const auto& v : sample) {
+    distinct.insert(std::string(v.begin(), v.end()));
+    if (distinct.size() > 4096) {
+      dict_viable = false;
+      break;
+    }
+  }
+  // Same plateau rule as for integers: the sampled alphabet must have
+  // saturated or the dictionary will overflow on unseen strings.
+  const size_t plateau = std::max<size_t>(16, sample.size() / 4);
+  if (dict_viable && distinct.size() <= plateau) {
+    const int bits =
+        BitsForMaxValue(distinct.empty() ? 0 : distinct.size() - 1);
+    out->push_back({CodecSpec::Dict(bits), static_cast<double>(bits), 1.5});
+  }
+  // Char-pack: content must come from the 16-symbol alphabet with only
+  // trailing padding; find the longest real prefix.
+  const std::string& alphabet = internal::CharPackCodec::Alphabet();
+  int max_content = 0;
+  bool packable = true;
+  for (const auto& v : sample) {
+    int content = width;
+    while (content > 0 &&
+           static_cast<char>(v[static_cast<size_t>(content - 1)]) ==
+               internal::CharPackCodec::kPadChar) {
+      --content;
+    }
+    max_content = std::max(max_content, content);
+    for (int i = 0; i < content; ++i) {
+      if (alphabet.find(static_cast<char>(v[static_cast<size_t>(i)])) ==
+          std::string::npos) {
+        packable = false;
+        break;
+      }
+    }
+    if (!packable) break;
+  }
+  if (packable && max_content > 0) {
+    out->push_back({CodecSpec::CharPack(4, max_content),
+                    4.0 * max_content, 2.0});
+  }
+}
+
+}  // namespace
+
+CodecAdvice CompressionAdvisor::Advise(
+    const AttributeDesc& attr,
+    const std::vector<std::vector<uint8_t>>& sample) const {
+  CodecAdvice advice;
+  advice.spec = CodecSpec::None();
+  advice.bits_per_value = attr.width * 8.0;
+  if (sample.empty()) {
+    advice.rationale = "empty sample: keeping raw encoding";
+    return advice;
+  }
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {CodecSpec::None(), static_cast<double>(attr.width) * 8.0, 0.5});
+  if (attr.type == AttrType::kInt32) {
+    std::vector<int32_t> values;
+    values.reserve(sample.size());
+    for (const auto& v : sample) values.push_back(LoadLE32s(v.data()));
+    ConsiderIntCandidates(values, &candidates);
+  } else {
+    ConsiderTextCandidates(sample, attr.width, &candidates);
+  }
+  // Pick the fewest bits; within 10% prefer the cheaper decode ("light-
+  // weight": bandwidth savings must not be eaten by decompression).
+  const Candidate* best = &candidates[0];
+  for (const Candidate& c : candidates) {
+    const bool much_smaller = c.bits < best->bits * 0.9;
+    const bool similar_but_cheaper =
+        c.bits <= best->bits * 1.1 && c.decode_cost < best->decode_cost &&
+        c.bits <= best->bits;
+    if (much_smaller || similar_but_cheaper) best = &c;
+  }
+  advice.spec = best->spec;
+  advice.bits_per_value = best->bits;
+  advice.rationale =
+      "chose " + std::string(CompressionKindName(best->spec.kind)) + " at " +
+      std::to_string(best->bits) + " bits/value over " +
+      std::to_string(candidates.size() - 1) + " alternatives";
+  return advice;
+}
+
+Result<Schema> CompressionAdvisor::AdviseSchema(
+    const Schema& schema,
+    const std::vector<std::vector<uint8_t>>& sample_tuples) const {
+  std::vector<AttributeDesc> attrs;
+  attrs.reserve(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const AttributeDesc& attr = schema.attribute(a);
+    std::vector<std::vector<uint8_t>> sample;
+    sample.reserve(sample_tuples.size());
+    for (const auto& tuple : sample_tuples) {
+      if (tuple.size() != static_cast<size_t>(schema.raw_tuple_width())) {
+        return Status::InvalidArgument("sample tuple width mismatch");
+      }
+      const uint8_t* field = tuple.data() + schema.attr_offset(a);
+      sample.emplace_back(field, field + attr.width);
+    }
+    AttributeDesc advised = attr;
+    advised.codec = Advise(attr, sample).spec;
+    attrs.push_back(std::move(advised));
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+}  // namespace rodb

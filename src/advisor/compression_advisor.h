@@ -1,0 +1,38 @@
+#ifndef RODB_ADVISOR_COMPRESSION_ADVISOR_H_
+#define RODB_ADVISOR_COMPRESSION_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// The compression advisor of Figure 1: inspects a sample of a column's
+/// values and picks the light-weight scheme (Section 2.2.1) with the
+/// smallest fixed per-value bit width, breaking ties toward cheaper
+/// decode. Schemes considered: none, bit packing, dictionary(+pack),
+/// FOR, FOR-delta for integers; none, dictionary, char-pack for text.
+struct CodecAdvice {
+  CodecSpec spec;
+  double bits_per_value = 0.0;
+  /// Why the codecs that lost were rejected, for explain-style output.
+  std::string rationale;
+};
+
+class CompressionAdvisor {
+ public:
+  /// `sample` holds consecutive raw values (attr.width bytes each), in
+  /// table order -- order matters for FOR-delta.
+  CodecAdvice Advise(const AttributeDesc& attr,
+                     const std::vector<std::vector<uint8_t>>& sample) const;
+
+  /// Applies Advise() to every attribute using a sample of whole tuples.
+  Result<Schema> AdviseSchema(
+      const Schema& schema,
+      const std::vector<std::vector<uint8_t>>& sample_tuples) const;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ADVISOR_COMPRESSION_ADVISOR_H_

@@ -1,0 +1,41 @@
+#include "advisor/layout_advisor.h"
+
+#include <cmath>
+
+#include "model/analytical_model.h"
+
+namespace rodb {
+
+LayoutAdvice LayoutAdvisor::Advise(
+    double tuple_width_bytes,
+    const std::vector<WorkloadQuery>& workload) const {
+  LayoutAdvice advice;
+  AnalyticalModel model(hw_);
+  double log_speedup = 0.0;
+  double total_weight = 0.0;
+  for (const WorkloadQuery& q : workload) {
+    const SystemInputs rows = RowScanInputs(
+        tuple_width_bytes, q.selectivity, q.projection_fraction, hw_, costs_);
+    const SystemInputs cols =
+        ColumnScanInputs(tuple_width_bytes, q.selectivity,
+                         q.projection_fraction, hw_, costs_,
+                         /*column_node_factor=*/1.8);
+    QueryAssessment a;
+    a.name = q.name;
+    a.speedup_columns_over_rows = model.Speedup(cols, rows);
+    a.row_io_bound = model.IsIoBound(rows);
+    a.column_io_bound = model.IsIoBound(cols);
+    advice.per_query.push_back(a);
+    if (q.weight > 0.0 && a.speedup_columns_over_rows > 0.0) {
+      log_speedup += q.weight * std::log(a.speedup_columns_over_rows);
+      total_weight += q.weight;
+    }
+  }
+  advice.workload_speedup =
+      total_weight > 0.0 ? std::exp(log_speedup / total_weight) : 1.0;
+  advice.layout =
+      advice.workload_speedup >= 1.0 ? Layout::kColumn : Layout::kRow;
+  return advice;
+}
+
+}  // namespace rodb

@@ -1,0 +1,57 @@
+#ifndef RODB_ADVISOR_LAYOUT_ADVISOR_H_
+#define RODB_ADVISOR_LAYOUT_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "model/contour.h"
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// One query class of a workload, in the paper's parameterization: how
+/// much of the tuple it projects, what fraction of tuples qualify, and
+/// how often it runs.
+struct WorkloadQuery {
+  std::string name;
+  double projection_fraction = 0.5;
+  double selectivity = 0.1;
+  double weight = 1.0;  ///< relative frequency
+};
+
+struct QueryAssessment {
+  std::string name;
+  double speedup_columns_over_rows = 0.0;
+  bool row_io_bound = false;
+  bool column_io_bound = false;
+};
+
+struct LayoutAdvice {
+  Layout layout = Layout::kColumn;
+  /// Weighted geometric-mean speedup of columns over rows across the
+  /// workload; > 1 favors the column layout.
+  double workload_speedup = 1.0;
+  std::vector<QueryAssessment> per_query;
+};
+
+/// The materialized-view / layout advisor of Figure 1, driven by the
+/// Section 5 analytical model: given the table's tuple width, the
+/// hardware's cpdb rating and a query mix, predicts which physical layout
+/// wins.
+class LayoutAdvisor {
+ public:
+  explicit LayoutAdvisor(const HardwareConfig& hw,
+                         const CostModel& costs = CostModel::Default())
+      : hw_(hw), costs_(costs) {}
+
+  LayoutAdvice Advise(double tuple_width_bytes,
+                      const std::vector<WorkloadQuery>& workload) const;
+
+ private:
+  HardwareConfig hw_;
+  CostModel costs_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ADVISOR_LAYOUT_ADVISOR_H_

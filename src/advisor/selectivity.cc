@@ -1,0 +1,48 @@
+#include "advisor/selectivity.h"
+
+#include <algorithm>
+
+namespace rodb {
+
+double EstimateSelectivity(const Predicate& pred, const ColumnStats& stats) {
+  if (pred.is_text() || !stats.valid) return 1.0;
+  const double lo = stats.min;
+  const double hi = stats.max;
+  const double width = hi - lo + 1.0;
+  const double v = pred.int_operand();
+  const double eq = stats.ndv > 0 ? 1.0 / static_cast<double>(stats.ndv)
+                                  : 1.0 / width;
+  auto clamp = [](double x) { return std::min(1.0, std::max(0.0, x)); };
+  switch (pred.op()) {
+    case CompareOp::kEq:
+      if (v < lo || v > hi) return 0.0;
+      return clamp(eq);
+    case CompareOp::kNe:
+      if (v < lo || v > hi) return 1.0;
+      return clamp(1.0 - eq);
+    case CompareOp::kLt:
+      return clamp((v - lo) / width);
+    case CompareOp::kLe:
+      return clamp((v - lo + 1.0) / width);
+    case CompareOp::kGt:
+      return clamp((hi - v) / width);
+    case CompareOp::kGe:
+      return clamp((hi - v + 1.0) / width);
+  }
+  return 1.0;
+}
+
+double EstimateSelectivity(const std::vector<Predicate>& preds,
+                           const TableMeta& meta) {
+  double selectivity = 1.0;
+  for (const Predicate& pred : preds) {
+    const size_t attr = static_cast<size_t>(pred.attr_index());
+    const ColumnStats stats = attr < meta.column_stats.size()
+                                  ? meta.column_stats[attr]
+                                  : ColumnStats{};
+    selectivity *= EstimateSelectivity(pred, stats);
+  }
+  return selectivity;
+}
+
+}  // namespace rodb

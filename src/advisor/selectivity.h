@@ -1,0 +1,26 @@
+#ifndef RODB_ADVISOR_SELECTIVITY_H_
+#define RODB_ADVISOR_SELECTIVITY_H_
+
+#include "engine/predicate.h"
+#include "storage/catalog.h"
+
+namespace rodb {
+
+/// Estimates the fraction of tuples satisfying `pred` from the column's
+/// load-time statistics, under the uniform-distribution assumption the
+/// paper's workload satisfies by construction. Returns 1.0 (the safe
+/// upper bound) when the statistics cannot answer (text predicates,
+/// missing stats).
+///
+/// This is the missing input when using the Section 5 model for physical
+/// design: predicted rates need the scan's selectivity, and the catalog
+/// can now provide it without sampling the data again.
+double EstimateSelectivity(const Predicate& pred, const ColumnStats& stats);
+
+/// Conjunction of predicates against one table (independence assumed).
+double EstimateSelectivity(const std::vector<Predicate>& preds,
+                           const TableMeta& meta);
+
+}  // namespace rodb
+
+#endif  // RODB_ADVISOR_SELECTIVITY_H_

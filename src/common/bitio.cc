@@ -1,0 +1,136 @@
+#include "common/bitio.h"
+
+namespace rodb {
+
+bool BitWriter::Put(uint64_t value, int bits) {
+  if (bits < 0 || bits > 64) return false;
+  if (bit_pos_ + static_cast<size_t>(bits) > capacity_bits_) return false;
+  if (bits == 0) return true;
+  if (bits < 64) value &= (uint64_t{1} << bits) - 1;
+
+  size_t byte = bit_pos_ >> 3;
+  int shift = static_cast<int>(bit_pos_ & 7);
+  // Up to 9 bytes can be touched (64 bits at a 7-bit offset).
+  int remaining = bits;
+  if (shift != 0) {
+    // Merge into the partially-filled first byte.
+    buffer_[byte] |= static_cast<uint8_t>(value << shift);
+    int consumed = 8 - shift;
+    if (consumed >= remaining) {
+      bit_pos_ += bits;
+      return true;
+    }
+    value >>= consumed;
+    remaining -= consumed;
+    ++byte;
+  }
+  while (remaining >= 8) {
+    buffer_[byte++] = static_cast<uint8_t>(value);
+    value >>= 8;
+    remaining -= 8;
+  }
+  if (remaining > 0) {
+    buffer_[byte] = static_cast<uint8_t>(value);
+  }
+  bit_pos_ += bits;
+  return true;
+}
+
+bool BitWriter::PutBytes(const uint8_t* data, size_t size) {
+  if ((bit_pos_ & 7) != 0) return false;
+  if (bit_pos_ + size * 8 > capacity_bits_) return false;
+  std::memcpy(buffer_ + (bit_pos_ >> 3), data, size);
+  bit_pos_ += size * 8;
+  return true;
+}
+
+void BitWriter::AlignToByte() {
+  size_t aligned = (bit_pos_ + 7) / 8 * 8;
+  if (aligned <= capacity_bits_) {
+    // The pad bits are already zero: page buffers are zero-initialized and
+    // Put() never writes beyond bit_pos_.
+    bit_pos_ = aligned;
+  }
+}
+
+void BitWriter::TruncateTo(size_t bit_pos) {
+  if (bit_pos >= bit_pos_) return;
+  const size_t old_end = (bit_pos_ + 7) / 8;
+  const size_t byte = bit_pos >> 3;
+  const int shift = static_cast<int>(bit_pos & 7);
+  if (shift != 0) {
+    buffer_[byte] &= static_cast<uint8_t>((1u << shift) - 1);
+    if (byte + 1 < old_end) {
+      std::memset(buffer_ + byte + 1, 0, old_end - byte - 1);
+    }
+  } else if (byte < old_end) {
+    std::memset(buffer_ + byte, 0, old_end - byte);
+  }
+  bit_pos_ = bit_pos;
+}
+
+uint64_t BitReader::Get(int bits) {
+  if (bits <= 0 || bits > 64) return 0;
+  if (bit_pos_ + static_cast<size_t>(bits) > size_bits_) {
+    overrun_ = true;
+    bit_pos_ = size_bits_;
+    return 0;
+  }
+  size_t byte = bit_pos_ >> 3;
+  int shift = static_cast<int>(bit_pos_ & 7);
+  uint64_t result = 0;
+  int produced = 0;
+  if (shift != 0) {
+    result = buffer_[byte] >> shift;
+    produced = 8 - shift;
+    ++byte;
+  }
+  while (produced < bits) {
+    result |= static_cast<uint64_t>(buffer_[byte]) << produced;
+    produced += 8;
+    ++byte;
+  }
+  if (bits < 64) result &= (uint64_t{1} << bits) - 1;
+  bit_pos_ += bits;
+  return result;
+}
+
+bool BitReader::GetBytes(uint8_t* out, size_t size) {
+  if ((bit_pos_ & 7) != 0) return false;
+  if (bit_pos_ + size * 8 > size_bits_) {
+    overrun_ = true;
+    return false;
+  }
+  std::memcpy(out, buffer_ + (bit_pos_ >> 3), size);
+  bit_pos_ += size * 8;
+  return true;
+}
+
+void BitReader::Skip(size_t bits) {
+  if (bit_pos_ + bits > size_bits_) {
+    overrun_ = true;
+    bit_pos_ = size_bits_;
+    return;
+  }
+  bit_pos_ += bits;
+}
+
+void BitReader::SeekToBit(size_t bit_pos) {
+  if (bit_pos > size_bits_) {
+    overrun_ = true;
+    bit_pos_ = size_bits_;
+    return;
+  }
+  bit_pos_ = bit_pos;
+}
+
+int BitsForMaxValue(uint64_t max_value) {
+  int bits = 1;
+  while (max_value > 1) {
+    max_value >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace rodb

@@ -1,0 +1,94 @@
+#ifndef RODB_COMMON_BITIO_H_
+#define RODB_COMMON_BITIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rodb {
+
+/// Writes variable-bit-width unsigned values into a caller-owned byte
+/// buffer, LSB-first (the first value occupies the lowest-order bits of
+/// byte 0). This is the primitive behind all fixed-width light-weight
+/// compression schemes (bit packing, dictionary codes, FOR deltas).
+///
+/// The writer never allocates; Put() reports overflow so page builders can
+/// detect a full page and start a new one.
+class BitWriter {
+ public:
+  BitWriter(uint8_t* buffer, size_t capacity_bytes)
+      : buffer_(buffer), capacity_bits_(capacity_bytes * 8), bit_pos_(0) {}
+
+  /// Appends the low `bits` bits of `value`. Returns false (and writes
+  /// nothing) if the buffer would overflow. `bits` must be in [0, 64].
+  bool Put(uint64_t value, int bits);
+
+  /// Appends `size` raw bytes. Requires the writer to be byte-aligned.
+  bool PutBytes(const uint8_t* data, size_t size);
+
+  /// Pads with zero bits up to the next byte boundary.
+  void AlignToByte();
+
+  /// Rolls the writer back to an earlier bit position, zeroing everything
+  /// written after it so the region can be re-written cleanly. Used to
+  /// undo a partially-appended tuple when a page fills up mid-encode.
+  void TruncateTo(size_t bit_pos);
+
+  size_t bit_pos() const { return bit_pos_; }
+  /// Number of bytes touched so far (rounding the bit position up).
+  size_t bytes_used() const { return (bit_pos_ + 7) / 8; }
+  size_t capacity_bits() const { return capacity_bits_; }
+
+ private:
+  uint8_t* buffer_;
+  size_t capacity_bits_;
+  size_t bit_pos_;
+};
+
+/// Reads values written by BitWriter. Bounds-checked: reading past the end
+/// returns zeros and sets overrun().
+class BitReader {
+ public:
+  BitReader(const uint8_t* buffer, size_t size_bytes)
+      : buffer_(buffer), size_bits_(size_bytes * 8), bit_pos_(0),
+        overrun_(false) {}
+
+  /// Reads the next `bits` bits as an unsigned value. `bits` in [0, 64].
+  uint64_t Get(int bits);
+
+  /// Reads `size` raw bytes into `out`. Requires byte alignment.
+  bool GetBytes(uint8_t* out, size_t size);
+
+  /// Skips forward `bits` bits.
+  void Skip(size_t bits);
+
+  /// Repositions to an absolute bit offset.
+  void SeekToBit(size_t bit_pos);
+
+  void AlignToByte() { bit_pos_ = (bit_pos_ + 7) / 8 * 8; }
+
+  size_t bit_pos() const { return bit_pos_; }
+  bool overrun() const { return overrun_; }
+
+ private:
+  const uint8_t* buffer_;
+  size_t size_bits_;
+  size_t bit_pos_;
+  bool overrun_;
+};
+
+/// Number of bits needed to represent `max_value` (0 -> 1 bit).
+int BitsForMaxValue(uint64_t max_value);
+
+/// Zig-zag encoding maps signed deltas to unsigned values so small
+/// negative deltas stay small: 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_BITIO_H_

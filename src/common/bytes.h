@@ -1,0 +1,43 @@
+#ifndef RODB_COMMON_BYTES_H_
+#define RODB_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace rodb {
+
+/// Unaligned little-endian loads/stores. All on-disk integers in rodb are
+/// little-endian; these helpers keep page code free of casts and UB.
+
+inline uint32_t LoadLE32(const void* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreLE32(void* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline int32_t LoadLE32s(const void* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreLE32s(void* p, int32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline uint64_t LoadLE64(const void* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreLE64(void* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Rounds `n` up to the nearest multiple of `align` (align must be > 0).
+constexpr uint64_t RoundUp(uint64_t n, uint64_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_BYTES_H_

@@ -1,0 +1,17 @@
+#ifndef RODB_COMMON_CRC32_H_
+#define RODB_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rodb {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the page checksum:
+/// bulk-loaded read-only pages are written once and scanned many times,
+/// so cheap end-to-end corruption detection at load/verify time is worth
+/// four trailer bytes.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_CRC32_H_

@@ -1,0 +1,42 @@
+#ifndef RODB_COMMON_FILE_UTIL_H_
+#define RODB_COMMON_FILE_UTIL_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rodb {
+
+/// Writes `data` to `path`, replacing any existing file.
+inline Status WriteStringToFile(const std::string& path,
+                                const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+/// Reads the whole file at `path`.
+inline Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buf.str();
+}
+
+/// True if a file exists and is readable.
+inline bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_FILE_UTIL_H_

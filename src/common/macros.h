@@ -1,0 +1,41 @@
+#ifndef RODB_COMMON_MACROS_H_
+#define RODB_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define RODB_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::rodb::Status _rodb_status = (expr);         \
+    if (!_rodb_status.ok()) return _rodb_status;  \
+  } while (0)
+
+#define RODB_CONCAT_INNER_(a, b) a##b
+#define RODB_CONCAT_(a, b) RODB_CONCAT_INNER_(a, b)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value
+/// to `lhs`, on failure returns the error status.
+#define RODB_ASSIGN_OR_RETURN(lhs, expr)                            \
+  RODB_ASSIGN_OR_RETURN_IMPL_(RODB_CONCAT_(_rodb_result_, __LINE__), lhs, expr)
+
+#define RODB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+/// Invariant check that survives in release builds: aborts with a message.
+/// Used for programming errors that must never be silently ignored
+/// (corrupt page trailer past validation, broken internal invariants).
+#define RODB_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RODB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // RODB_COMMON_MACROS_H_

@@ -1,0 +1,56 @@
+#ifndef RODB_COMMON_RANDOM_H_
+#define RODB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rodb {
+
+/// Deterministic, seedable PRNG (xorshift64*). Used by the workload
+/// generator and the property-based tests; determinism keeps generated
+/// tables and test failures reproducible across runs and platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL
+                                                    : seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Random string of exactly `len` characters drawn from `alphabet`.
+  std::string String(size_t len, const std::string& alphabet) {
+    std::string s(len, ' ');
+    for (size_t i = 0; i < len; ++i) {
+      s[i] = alphabet[Uniform(alphabet.size())];
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_RANDOM_H_

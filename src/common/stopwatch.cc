@@ -1,0 +1,20 @@
+#include "common/stopwatch.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+namespace rodb {
+
+namespace {
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) + 1e-6 * static_cast<double>(tv.tv_usec);
+}
+}  // namespace
+
+CpuUsage CurrentCpuUsage() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return {TimevalSeconds(usage.ru_utime), TimevalSeconds(usage.ru_stime)};
+}
+
+}  // namespace rodb

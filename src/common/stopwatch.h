@@ -1,0 +1,67 @@
+#ifndef RODB_COMMON_STOPWATCH_H_
+#define RODB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rodb {
+
+/// Process CPU usage split into user and system components, in seconds.
+/// This mirrors the papiex user/system split the paper uses to separate
+/// "our code" from "Linux executing I/O requests".
+struct CpuUsage {
+  double user_seconds = 0.0;
+  double system_seconds = 0.0;
+
+  double total() const { return user_seconds + system_seconds; }
+
+  CpuUsage operator-(const CpuUsage& other) const {
+    return {user_seconds - other.user_seconds,
+            system_seconds - other.system_seconds};
+  }
+};
+
+/// Snapshot of the current process's cumulative CPU usage (getrusage).
+CpuUsage CurrentCpuUsage();
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Measures wall + CPU over a scope: construct, run work, call Lap().
+struct MeasuredInterval {
+  double wall_seconds = 0.0;
+  CpuUsage cpu;
+};
+
+class IntervalTimer {
+ public:
+  IntervalTimer() : cpu_start_(CurrentCpuUsage()) {}
+
+  MeasuredInterval Lap() const {
+    MeasuredInterval m;
+    m.wall_seconds = wall_.ElapsedSeconds();
+    m.cpu = CurrentCpuUsage() - cpu_start_;
+    return m;
+  }
+
+ private:
+  Stopwatch wall_;
+  CpuUsage cpu_start_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_STOPWATCH_H_

@@ -1,0 +1,87 @@
+#include "compression/codec.h"
+
+#include "compression/codecs_internal.h"
+#include "compression/dictionary.h"
+
+namespace rodb {
+
+std::string_view CompressionKindName(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kBitPack:
+      return "pack";
+    case CompressionKind::kDict:
+      return "dict";
+    case CompressionKind::kFor:
+      return "for";
+    case CompressionKind::kForDelta:
+      return "delta";
+    case CompressionKind::kCharPack:
+      return "charpack";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<AttributeCodec>> MakeCodec(const CodecSpec& spec,
+                                                  int raw_width,
+                                                  Dictionary* dict) {
+  using namespace rodb::internal;  // NOLINT(build/namespaces)
+  if (raw_width <= 0) {
+    return Status::InvalidArgument("codec raw_width must be positive");
+  }
+  switch (spec.kind) {
+    case CompressionKind::kNone:
+      return std::unique_ptr<AttributeCodec>(new NoneCodec(raw_width));
+    case CompressionKind::kBitPack:
+      if (raw_width != 4) {
+        return Status::InvalidArgument("bit packing applies to int32 only");
+      }
+      if (spec.bits < 1 || spec.bits > 32) {
+        return Status::InvalidArgument("bit pack width must be in [1,32]");
+      }
+      return std::unique_ptr<AttributeCodec>(new BitPackCodec(spec.bits));
+    case CompressionKind::kDict:
+      if (dict == nullptr) {
+        return Status::InvalidArgument("dictionary codec requires a dict");
+      }
+      if (dict->value_width() != raw_width) {
+        return Status::InvalidArgument("dictionary width mismatch");
+      }
+      if (spec.bits < 1 || spec.bits > 32) {
+        return Status::InvalidArgument("dict code width must be in [1,32]");
+      }
+      return std::unique_ptr<AttributeCodec>(
+          new DictCodec(spec.bits, raw_width, dict));
+    case CompressionKind::kFor:
+      if (raw_width != 4) {
+        return Status::InvalidArgument("FOR applies to int32 only");
+      }
+      if (spec.bits < 1 || spec.bits > 32) {
+        return Status::InvalidArgument("FOR width must be in [1,32]");
+      }
+      return std::unique_ptr<AttributeCodec>(new ForCodec(spec.bits));
+    case CompressionKind::kForDelta:
+      if (raw_width != 4) {
+        return Status::InvalidArgument("FOR-delta applies to int32 only");
+      }
+      if (spec.bits < 1 || spec.bits > 32) {
+        return Status::InvalidArgument("FOR-delta width must be in [1,32]");
+      }
+      return std::unique_ptr<AttributeCodec>(new ForDeltaCodec(spec.bits));
+    case CompressionKind::kCharPack: {
+      if (spec.bits < 1 || spec.bits > 8) {
+        return Status::InvalidArgument("charpack bits must be in [1,8]");
+      }
+      if (spec.char_count < 1 || spec.char_count > raw_width) {
+        return Status::InvalidArgument(
+            "charpack char_count must be in [1, raw_width]");
+      }
+      return std::unique_ptr<AttributeCodec>(
+          new CharPackCodec(spec.bits, spec.char_count, raw_width));
+    }
+  }
+  return Status::InvalidArgument("unknown compression kind");
+}
+
+}  // namespace rodb

@@ -1,0 +1,124 @@
+#ifndef RODB_COMPRESSION_CODEC_H_
+#define RODB_COMPRESSION_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/bitio.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rodb {
+
+class Dictionary;
+
+/// The light-weight compression schemes of Section 2.2.1. All produce
+/// fixed-length compressed values and the same compression ratio for row
+/// and column data (the paper deliberately avoids column-only schemes such
+/// as RLE to keep the study unbiased).
+enum class CompressionKind : uint8_t {
+  kNone = 0,      ///< raw fixed-width value
+  kBitPack = 1,   ///< null suppression: ceil(log2(max)) bits per value
+  kDict = 2,      ///< dictionary code, bit-packed on top
+  kFor = 3,       ///< frame-of-reference: difference from a per-page base
+  kForDelta = 4,  ///< difference from the previous value (zig-zag encoded)
+  kCharPack = 5,  ///< text from a small alphabet packed at k bits/char
+};
+
+std::string_view CompressionKindName(CompressionKind kind);
+
+/// True for schemes that store a per-page base value in the page trailer.
+inline bool CodecNeedsPageMeta(CompressionKind kind) {
+  return kind == CompressionKind::kFor || kind == CompressionKind::kForDelta;
+}
+
+/// Per-page codec state persisted in the page trailer (the "compression-
+/// specific data" of Figure 3): the FOR / FOR-delta base value.
+struct CodecPageMeta {
+  int64_t base = 0;
+};
+
+/// How an attribute is compressed: the scheme plus its fixed bit width.
+/// `bits` is the encoded width of one value (e.g. "dict, 3 bits",
+/// "pack, 14 bits"); for kCharPack it is bits-per-character and
+/// `char_count` characters are stored.
+struct CodecSpec {
+  CompressionKind kind = CompressionKind::kNone;
+  int bits = 0;
+  int char_count = 0;  ///< kCharPack only: characters stored per value
+
+  static CodecSpec None() { return {}; }
+  static CodecSpec BitPack(int bits) {
+    return {CompressionKind::kBitPack, bits, 0};
+  }
+  static CodecSpec Dict(int bits) { return {CompressionKind::kDict, bits, 0}; }
+  static CodecSpec For(int bits) { return {CompressionKind::kFor, bits, 0}; }
+  static CodecSpec ForDelta(int bits) {
+    return {CompressionKind::kForDelta, bits, 0};
+  }
+  static CodecSpec CharPack(int bits_per_char, int char_count) {
+    return {CompressionKind::kCharPack, bits_per_char, char_count};
+  }
+};
+
+/// Encoder/decoder for one attribute. Stateful per page (FOR bases,
+/// FOR-delta running value); the engine is single-threaded per scan node,
+/// exactly as in the paper's implementation.
+///
+/// Raw values are fixed-width byte strings (`raw_width` bytes): int32
+/// attributes are 4 little-endian bytes, text attributes are space-padded.
+class AttributeCodec {
+ public:
+  virtual ~AttributeCodec() = default;
+
+  virtual CompressionKind kind() const = 0;
+  /// Fixed number of encoded bits per value.
+  virtual int encoded_bits() const = 0;
+  /// Width of one decoded (raw) value in bytes.
+  virtual int raw_width() const = 0;
+
+  /// Resets per-page encoder state. Must be called before the first
+  /// EncodeValue of each page.
+  virtual void BeginPage() {}
+  /// Appends one encoded value. Returns false if the value cannot be
+  /// represented in this page (FOR overflow, dictionary overflow, value
+  /// out of bit range) -- the caller finishes the page or fails the load.
+  virtual bool EncodeValue(const uint8_t* raw, BitWriter* writer) = 0;
+  /// Captures per-page state into the trailer meta.
+  virtual void FinishPage(CodecPageMeta* meta) { (void)meta; }
+
+  /// Resets per-page decoder state from the trailer meta.
+  virtual void BeginDecode(const CodecPageMeta& meta) { (void)meta; }
+  /// Decodes the next value into `out` (raw_width() bytes).
+  virtual void DecodeValue(BitReader* reader, uint8_t* out) = 0;
+  /// Decodes and discards the next value. FOR-delta still has to do the
+  /// arithmetic (Section 4.4: "FOR-delta requires reading all values in
+  /// the page to perform decompression"); others can skip bits.
+  virtual void SkipValue(BitReader* reader) {
+    reader->Skip(static_cast<size_t>(encoded_bits()));
+  }
+
+  /// Dictionary-style codecs expose their integer codes so equality
+  /// predicates can run directly on compressed data -- the optimization
+  /// the paper's conclusion attributes to column stores "operating
+  /// directly on compressed data" (Abadi et al.). Returns false when the
+  /// codec has no code representation.
+  virtual bool SupportsCodeDecoding() const { return false; }
+  /// Reads the next value's code without materializing it. Only valid
+  /// when SupportsCodeDecoding().
+  virtual uint32_t DecodeCode(BitReader* reader) {
+    reader->Skip(static_cast<size_t>(encoded_bits()));
+    return 0;
+  }
+};
+
+/// Creates the codec for an attribute. `raw_width` is the decoded value
+/// width in bytes. kDict requires a Dictionary (not owned).
+Result<std::unique_ptr<AttributeCodec>> MakeCodec(const CodecSpec& spec,
+                                                  int raw_width,
+                                                  Dictionary* dict);
+
+}  // namespace rodb
+
+#endif  // RODB_COMPRESSION_CODEC_H_

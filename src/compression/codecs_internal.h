@@ -1,0 +1,134 @@
+#ifndef RODB_COMPRESSION_CODECS_INTERNAL_H_
+#define RODB_COMPRESSION_CODECS_INTERNAL_H_
+
+// Concrete codec implementations. Internal to the compression library;
+// clients construct codecs through MakeCodec() in codec.h.
+
+#include <string>
+
+#include "compression/codec.h"
+#include "compression/dictionary.h"
+
+namespace rodb::internal {
+
+/// Identity codec: raw fixed-width bytes.
+class NoneCodec final : public AttributeCodec {
+ public:
+  explicit NoneCodec(int raw_width) : raw_width_(raw_width) {}
+  CompressionKind kind() const override { return CompressionKind::kNone; }
+  int encoded_bits() const override { return raw_width_ * 8; }
+  int raw_width() const override { return raw_width_; }
+  bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
+  void DecodeValue(BitReader* reader, uint8_t* out) override;
+
+ private:
+  int raw_width_;
+};
+
+/// Null suppression: stores each int32 in `bits` bits (values must fit).
+class BitPackCodec final : public AttributeCodec {
+ public:
+  explicit BitPackCodec(int bits) : bits_(bits) {}
+  CompressionKind kind() const override { return CompressionKind::kBitPack; }
+  int encoded_bits() const override { return bits_; }
+  int raw_width() const override { return 4; }
+  bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
+  void DecodeValue(BitReader* reader, uint8_t* out) override;
+
+ private:
+  int bits_;
+};
+
+/// Dictionary codes bit-packed on top (the paper applies Bit packing on
+/// top of Dictionary). Encoding inserts unseen values while loading.
+class DictCodec final : public AttributeCodec {
+ public:
+  DictCodec(int bits, int raw_width, Dictionary* dict)
+      : bits_(bits), raw_width_(raw_width), dict_(dict) {}
+  CompressionKind kind() const override { return CompressionKind::kDict; }
+  int encoded_bits() const override { return bits_; }
+  int raw_width() const override { return raw_width_; }
+  bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
+  void DecodeValue(BitReader* reader, uint8_t* out) override;
+  bool SupportsCodeDecoding() const override { return true; }
+  uint32_t DecodeCode(BitReader* reader) override {
+    return static_cast<uint32_t>(reader->Get(bits_));
+  }
+
+ private:
+  int bits_;
+  int raw_width_;
+  Dictionary* dict_;
+};
+
+/// Frame-of-reference: per-page base (the first value of the page),
+/// non-negative differences from the base in `bits` bits.
+class ForCodec final : public AttributeCodec {
+ public:
+  explicit ForCodec(int bits) : bits_(bits) {}
+  CompressionKind kind() const override { return CompressionKind::kFor; }
+  int encoded_bits() const override { return bits_; }
+  int raw_width() const override { return 4; }
+  void BeginPage() override;
+  bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
+  void FinishPage(CodecPageMeta* meta) override;
+  void BeginDecode(const CodecPageMeta& meta) override;
+  void DecodeValue(BitReader* reader, uint8_t* out) override;
+
+ private:
+  int bits_;
+  bool have_base_ = false;
+  int64_t base_ = 0;
+};
+
+/// FOR-delta: per-page base, zig-zag difference from the *previous* value.
+/// Random access requires decoding the page prefix, which is why SkipValue
+/// still performs the arithmetic.
+class ForDeltaCodec final : public AttributeCodec {
+ public:
+  explicit ForDeltaCodec(int bits) : bits_(bits) {}
+  CompressionKind kind() const override { return CompressionKind::kForDelta; }
+  int encoded_bits() const override { return bits_; }
+  int raw_width() const override { return 4; }
+  void BeginPage() override;
+  bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
+  void FinishPage(CodecPageMeta* meta) override;
+  void BeginDecode(const CodecPageMeta& meta) override;
+  void DecodeValue(BitReader* reader, uint8_t* out) override;
+  void SkipValue(BitReader* reader) override;
+
+ private:
+  int bits_;
+  bool have_base_ = false;
+  int64_t base_ = 0;
+  int64_t prev_encode_ = 0;
+  int64_t prev_decode_ = 0;
+};
+
+/// Packs text drawn from a small alphabet at `bits`-per-character,
+/// `char_count` characters per value (LINEITEM's "L_COMMENT pack, 28
+/// bytes": 56 characters x 4 bits). Characters beyond char_count must be
+/// padding (kPadChar) and are restored on decode.
+class CharPackCodec final : public AttributeCodec {
+ public:
+  static constexpr char kPadChar = ' ';
+  /// 16-symbol alphabet; index 0 is the pad character.
+  static const std::string& Alphabet();
+
+  CharPackCodec(int bits_per_char, int char_count, int raw_width)
+      : bits_(bits_per_char), char_count_(char_count), raw_width_(raw_width) {}
+  CompressionKind kind() const override { return CompressionKind::kCharPack; }
+  int encoded_bits() const override { return bits_ * char_count_; }
+  int raw_width() const override { return raw_width_; }
+  bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
+  void DecodeValue(BitReader* reader, uint8_t* out) override;
+
+ private:
+  int bits_;
+  int char_count_;
+  int raw_width_;
+};
+
+}  // namespace rodb::internal
+
+#endif  // RODB_COMPRESSION_CODECS_INTERNAL_H_

@@ -1,0 +1,69 @@
+#include "compression/dictionary.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace rodb {
+
+Result<uint32_t> Dictionary::EncodeOrInsert(const uint8_t* value,
+                                            int max_bits) {
+  std::string key(reinterpret_cast<const char*>(value),
+                  static_cast<size_t>(value_width_));
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const uint64_t capacity = max_bits >= 32 ? UINT32_MAX
+                                           : (uint64_t{1} << max_bits);
+  if (size() >= capacity) {
+    return Status::ResourceExhausted(
+        "dictionary overflow: more distinct values than fit in " +
+        std::to_string(max_bits) + " bits");
+  }
+  uint32_t code = size();
+  entries_.insert(entries_.end(), value, value + value_width_);
+  index_.emplace(std::move(key), code);
+  return code;
+}
+
+Result<uint32_t> Dictionary::Encode(const uint8_t* value) const {
+  std::string key(reinterpret_cast<const char*>(value),
+                  static_cast<size_t>(value_width_));
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("value not in dictionary");
+  return it->second;
+}
+
+void Dictionary::AppendTo(std::string* out) const {
+  char header[8];
+  StoreLE32(header, static_cast<uint32_t>(value_width_));
+  StoreLE32(header + 4, size());
+  out->append(header, sizeof(header));
+  out->append(reinterpret_cast<const char*>(entries_.data()), entries_.size());
+}
+
+Result<Dictionary> Dictionary::ParseFrom(std::string_view data,
+                                         size_t* offset) {
+  if (*offset + 8 > data.size()) {
+    return Status::Corruption("dictionary header truncated");
+  }
+  const uint32_t width = LoadLE32(data.data() + *offset);
+  const uint32_t count = LoadLE32(data.data() + *offset + 4);
+  *offset += 8;
+  if (width == 0 || width > 1 << 20) {
+    return Status::Corruption("bad dictionary value width");
+  }
+  const size_t bytes = static_cast<size_t>(width) * count;
+  if (*offset + bytes > data.size()) {
+    return Status::Corruption("dictionary entries truncated");
+  }
+  Dictionary dict(static_cast<int>(width));
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data()) + *offset;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto code = dict.EncodeOrInsert(p + static_cast<size_t>(i) * width, 32);
+    if (!code.ok()) return code.status();
+  }
+  *offset += bytes;
+  return dict;
+}
+
+}  // namespace rodb

@@ -1,0 +1,57 @@
+#ifndef RODB_COMPRESSION_DICTIONARY_H_
+#define RODB_COMPRESSION_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rodb {
+
+/// Per-column dictionary for the Dictionary compression scheme: an array
+/// of the column's distinct fixed-width values; each stored attribute is
+/// the bit-packed index into this array (Section 2.2.1).
+///
+/// Built while loading data ("when loading data we first create an array
+/// with all the distinct values"); at read time decoding is a bounds-
+/// checked array lookup.
+class Dictionary {
+ public:
+  explicit Dictionary(int value_width) : value_width_(value_width) {}
+
+  /// Returns the code for `value` (value_width bytes), inserting it if new.
+  /// Fails with ResourceExhausted once codes no longer fit `max_bits`.
+  Result<uint32_t> EncodeOrInsert(const uint8_t* value, int max_bits);
+
+  /// Returns the code for an existing value, or NotFound.
+  Result<uint32_t> Encode(const uint8_t* value) const;
+
+  /// Pointer to the value_width-byte entry for `code` (nullptr if out of
+  /// range).
+  const uint8_t* Decode(uint32_t code) const {
+    if (code >= size()) return nullptr;
+    return entries_.data() + static_cast<size_t>(code) * value_width_;
+  }
+
+  uint32_t size() const {
+    return static_cast<uint32_t>(entries_.size() /
+                                 static_cast<size_t>(value_width_));
+  }
+  int value_width() const { return value_width_; }
+
+  /// Serialization for the table's dictionary sidecar file.
+  void AppendTo(std::string* out) const;
+  static Result<Dictionary> ParseFrom(std::string_view data, size_t* offset);
+
+ private:
+  int value_width_;
+  std::vector<uint8_t> entries_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_COMPRESSION_DICTIONARY_H_

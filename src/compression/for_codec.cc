@@ -1,0 +1,79 @@
+#include "common/bytes.h"
+#include "compression/codecs_internal.h"
+
+namespace rodb::internal {
+
+// --- ForCodec ---
+
+void ForCodec::BeginPage() {
+  have_base_ = false;
+  base_ = 0;
+}
+
+bool ForCodec::EncodeValue(const uint8_t* raw, BitWriter* writer) {
+  const int64_t v = LoadLE32s(raw);
+  if (!have_base_) {
+    // The first value of the page becomes the base; it is stored as a
+    // zero difference plus the trailer meta.
+    base_ = v;
+    have_base_ = true;
+  }
+  const int64_t diff = v - base_;
+  if (diff < 0) return false;
+  if (bits_ < 63 && diff >= (int64_t{1} << bits_)) return false;
+  return writer->Put(static_cast<uint64_t>(diff), bits_);
+}
+
+void ForCodec::FinishPage(CodecPageMeta* meta) { meta->base = base_; }
+
+void ForCodec::BeginDecode(const CodecPageMeta& meta) { base_ = meta.base; }
+
+void ForCodec::DecodeValue(BitReader* reader, uint8_t* out) {
+  const int64_t diff = static_cast<int64_t>(reader->Get(bits_));
+  StoreLE32s(out, static_cast<int32_t>(base_ + diff));
+}
+
+// --- ForDeltaCodec ---
+
+void ForDeltaCodec::BeginPage() {
+  have_base_ = false;
+  base_ = 0;
+  prev_encode_ = 0;
+}
+
+bool ForDeltaCodec::EncodeValue(const uint8_t* raw, BitWriter* writer) {
+  const int64_t v = LoadLE32s(raw);
+  if (!have_base_) {
+    base_ = v;
+    have_base_ = true;
+    prev_encode_ = v;
+    // First value is the base itself: stored as zig-zag(0) = 0.
+    return writer->Put(0, bits_);
+  }
+  const uint64_t zz = ZigZagEncode(v - prev_encode_);
+  if (bits_ < 64 && zz >= (uint64_t{1} << bits_)) return false;
+  if (!writer->Put(zz, bits_)) return false;
+  prev_encode_ = v;
+  return true;
+}
+
+void ForDeltaCodec::FinishPage(CodecPageMeta* meta) { meta->base = base_; }
+
+void ForDeltaCodec::BeginDecode(const CodecPageMeta& meta) {
+  base_ = meta.base;
+  prev_decode_ = meta.base;
+}
+
+void ForDeltaCodec::DecodeValue(BitReader* reader, uint8_t* out) {
+  const int64_t delta = ZigZagDecode(reader->Get(bits_));
+  prev_decode_ += delta;
+  StoreLE32s(out, static_cast<int32_t>(prev_decode_));
+}
+
+void ForDeltaCodec::SkipValue(BitReader* reader) {
+  // Cannot skip: the running value must be maintained (Section 4.4).
+  const int64_t delta = ZigZagDecode(reader->Get(bits_));
+  prev_decode_ += delta;
+}
+
+}  // namespace rodb::internal

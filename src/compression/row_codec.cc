@@ -1,0 +1,78 @@
+#include "compression/row_codec.h"
+
+#include "common/bytes.h"
+#include "common/macros.h"
+
+namespace rodb {
+
+RowCodec::RowCodec(std::vector<AttributeCodec*> codecs)
+    : codecs_(std::move(codecs)) {
+  tuple_bits_ = 0;
+  raw_tuple_bytes_ = 0;
+  page_meta_count_ = 0;
+  raw_offsets_.reserve(codecs_.size());
+  for (AttributeCodec* codec : codecs_) {
+    RODB_CHECK(codec != nullptr);
+    raw_offsets_.push_back(raw_tuple_bytes_);
+    tuple_bits_ += codec->encoded_bits();
+    raw_tuple_bytes_ += codec->raw_width();
+    if (CodecNeedsPageMeta(codec->kind())) ++page_meta_count_;
+  }
+  // Whole bytes, then 2-byte alignment (see class comment).
+  encoded_tuple_bytes_ =
+      static_cast<int>(RoundUp(RoundUp(tuple_bits_, 8) / 8, 2));
+}
+
+void RowCodec::BeginPage() {
+  for (AttributeCodec* codec : codecs_) codec->BeginPage();
+}
+
+bool RowCodec::EncodeTuple(const uint8_t* raw_tuple, BitWriter* writer) {
+  const size_t start = writer->bit_pos();
+  const size_t end = start + static_cast<size_t>(encoded_tuple_bytes_) * 8;
+  if (end > writer->capacity_bits()) return false;
+  for (size_t i = 0; i < codecs_.size(); ++i) {
+    if (!codecs_[i]->EncodeValue(raw_tuple + raw_offsets_[i], writer)) {
+      return false;
+    }
+  }
+  // Pad to the fixed per-tuple byte width.
+  while (writer->bit_pos() < end) {
+    const size_t gap = end - writer->bit_pos();
+    if (!writer->Put(0, static_cast<int>(gap > 64 ? 64 : gap))) return false;
+  }
+  return true;
+}
+
+void RowCodec::FinishPage(std::vector<CodecPageMeta>* metas) {
+  metas->clear();
+  for (AttributeCodec* codec : codecs_) {
+    if (CodecNeedsPageMeta(codec->kind())) {
+      CodecPageMeta meta;
+      codec->FinishPage(&meta);
+      metas->push_back(meta);
+    }
+  }
+}
+
+void RowCodec::BeginDecode(const std::vector<CodecPageMeta>& metas) {
+  RODB_CHECK(metas.size() == static_cast<size_t>(page_meta_count_));
+  size_t mi = 0;
+  for (AttributeCodec* codec : codecs_) {
+    if (CodecNeedsPageMeta(codec->kind())) {
+      codec->BeginDecode(metas[mi++]);
+    } else {
+      codec->BeginDecode(CodecPageMeta{});
+    }
+  }
+}
+
+void RowCodec::DecodeTuple(BitReader* reader, uint8_t* out) {
+  const size_t start = reader->bit_pos();
+  for (size_t i = 0; i < codecs_.size(); ++i) {
+    codecs_[i]->DecodeValue(reader, out + raw_offsets_[i]);
+  }
+  reader->SeekToBit(start + static_cast<size_t>(encoded_tuple_bytes_) * 8);
+}
+
+}  // namespace rodb

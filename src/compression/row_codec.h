@@ -1,0 +1,70 @@
+#ifndef RODB_COMPRESSION_ROW_CODEC_H_
+#define RODB_COMPRESSION_ROW_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitio.h"
+#include "compression/codec.h"
+
+namespace rodb {
+
+/// Encodes/decodes whole row tuples as the bit-concatenation of their
+/// attributes' compressed fields (Section 2.2.1: "we use bit-shifting
+/// instructions to pack compressed values inside a page").
+///
+/// Every tuple occupies a fixed number of bytes: the summed bit widths
+/// rounded up to a whole byte, then padded to 2-byte alignment. This is
+/// how the paper arrives at LINEITEM-Z = 52 bytes (408 bits -> 51 -> 52)
+/// and ORDERS-Z = 12 bytes (92 bits -> 12).
+class RowCodec {
+ public:
+  /// `codecs` are per-attribute codecs in schema order; not owned and must
+  /// outlive the RowCodec.
+  explicit RowCodec(std::vector<AttributeCodec*> codecs);
+
+  /// Sum of attribute bit widths (before per-tuple alignment).
+  int tuple_bits() const { return tuple_bits_; }
+  /// Fixed on-page bytes per encoded tuple.
+  int encoded_tuple_bytes() const { return encoded_tuple_bytes_; }
+  /// Bytes per decoded (raw, unpadded) tuple.
+  int raw_tuple_bytes() const { return raw_tuple_bytes_; }
+  size_t num_attributes() const { return codecs_.size(); }
+  /// Number of per-page base values this schema stores in page trailers.
+  int page_meta_count() const { return page_meta_count_; }
+
+  /// Resets all per-page codec state. Call before the first tuple of each
+  /// page (both when encoding and when decoding).
+  void BeginPage();
+
+  /// Appends one tuple (raw attribute bytes laid out back to back at their
+  /// raw widths). Returns false on overflow or unencodable value; the
+  /// writer position is unspecified afterwards, so callers must retry on a
+  /// fresh page or fail the load.
+  bool EncodeTuple(const uint8_t* raw_tuple, BitWriter* writer);
+
+  /// Collects per-page codec state (FOR / FOR-delta bases), in attribute
+  /// order, one entry per meta-carrying attribute.
+  void FinishPage(std::vector<CodecPageMeta>* metas);
+
+  /// Primes decoders with the page's metas (same order as FinishPage).
+  void BeginDecode(const std::vector<CodecPageMeta>& metas);
+
+  /// Decodes the next tuple into `out` (raw_tuple_bytes() bytes).
+  void DecodeTuple(BitReader* reader, uint8_t* out);
+
+  /// Byte offset of attribute `i` within a decoded raw tuple.
+  int raw_offset(size_t i) const { return raw_offsets_[i]; }
+
+ private:
+  std::vector<AttributeCodec*> codecs_;
+  std::vector<int> raw_offsets_;
+  int tuple_bits_;
+  int encoded_tuple_bytes_;
+  int raw_tuple_bytes_;
+  int page_meta_count_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_COMPRESSION_ROW_CODEC_H_

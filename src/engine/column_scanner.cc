@@ -1,0 +1,446 @@
+#include "engine/column_scanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+
+namespace rodb {
+
+ColumnScanner::ColumnScanner(const OpenTable* table, ScanSpec spec,
+                             IoBackend* backend, ExecStats* stats,
+                             BlockLayout layout)
+    : table_(table), spec_(std::move(spec)), backend_(backend), stats_(stats),
+      layout_(std::move(layout)) {}
+
+Result<OperatorPtr> ColumnScanner::Make(const OpenTable* table, ScanSpec spec,
+                                        IoBackend* backend,
+                                        ExecStats* stats) {
+  if (table == nullptr || backend == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("ColumnScanner: null dependency");
+  }
+  if (table->meta().layout != Layout::kColumn) {
+    return Status::InvalidArgument(
+        "ColumnScanner requires a column-layout table");
+  }
+  const Schema& schema = table->schema();
+  if (spec.projection.empty()) {
+    return Status::InvalidArgument("scan projection must not be empty");
+  }
+  for (int attr : spec.projection) {
+    if (attr < 0 || static_cast<size_t>(attr) >= schema.num_attributes()) {
+      return Status::OutOfRange("projection attribute out of range");
+    }
+  }
+  for (const Predicate& pred : spec.predicates) {
+    if (pred.attr_index() < 0 ||
+        static_cast<size_t>(pred.attr_index()) >= schema.num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+  }
+  if (spec.io_unit_bytes % table->meta().page_size != 0) {
+    return Status::InvalidArgument(
+        "I/O unit must be a multiple of the page size");
+  }
+  if (spec.first_page != 0 || spec.num_pages != UINT64_MAX) {
+    return Status::NotSupported(
+        "page-range scans are not defined for column tables");
+  }
+
+  BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
+  std::unique_ptr<ColumnScanner> scanner(new ColumnScanner(
+      table, std::move(spec), backend, stats, std::move(layout)));
+  const ScanSpec& s = scanner->spec_;
+
+  // Pipeline order: one node per distinct predicate attribute (in
+  // predicate order, deepest first), then the remaining projected columns.
+  const std::vector<size_t> pipeline_attrs = ScanPipelineAttrs(s);
+
+  int filled = 0;
+  int max_value_width = 1;
+  for (size_t k = 0; k < pipeline_attrs.size(); ++k) {
+    Node node;
+    node.attr = pipeline_attrs[k];
+    const auto proj_it =
+        std::find(s.projection.begin(), s.projection.end(),
+                  static_cast<int>(node.attr));
+    node.out_col = proj_it == s.projection.end()
+                       ? -1
+                       : static_cast<int>(proj_it - s.projection.begin());
+    for (const Predicate& pred : s.predicates) {
+      if (static_cast<size_t>(pred.attr_index()) == node.attr) {
+        node.preds.push_back(pred);
+      }
+    }
+    RODB_ASSIGN_OR_RETURN(node.codec, table->MakeAttrCodec(node.attr));
+    node.codec_kind = node.codec->kind();
+    node.value_width = schema.attribute(node.attr).width;
+    // Compressed-eval fast path (ScanSpec::compressed_eval): =/!= against
+    // a dictionary column become code comparisons.
+    if (s.compressed_eval && node.codec->SupportsCodeDecoding() &&
+        !node.preds.empty() && table->dict(node.attr) != nullptr) {
+      const Dictionary* dict = table->dict(node.attr);
+      bool eligible = true;
+      std::vector<Node::CodePred> code_preds;
+      for (const Predicate& pred : node.preds) {
+        if (pred.op() != CompareOp::kEq && pred.op() != CompareOp::kNe) {
+          eligible = false;
+          break;
+        }
+        std::vector<uint8_t> operand(
+            static_cast<size_t>(node.value_width), 0);
+        if (pred.is_text()) {
+          // Prefix-compare semantics only coincide with full-value
+          // equality when the operand covers the whole attribute.
+          if (pred.text_operand().size() !=
+              static_cast<size_t>(node.value_width)) {
+            eligible = false;
+            break;
+          }
+          std::memcpy(operand.data(), pred.text_operand().data(),
+                      operand.size());
+        } else {
+          if (node.value_width != 4) {
+            eligible = false;
+            break;
+          }
+          StoreLE32s(operand.data(), pred.int_operand());
+        }
+        Node::CodePred cp;
+        cp.negate = pred.op() == CompareOp::kNe;
+        auto code = dict->Encode(operand.data());
+        cp.matchable = code.ok();
+        cp.code = code.ok() ? *code : 0;
+        code_preds.push_back(cp);
+      }
+      if (eligible) {
+        node.use_codes = true;
+        node.code_preds = std::move(code_preds);
+        node.dict = dict;
+      }
+    }
+    max_value_width = std::max(max_value_width, node.value_width);
+    if (node.out_col >= 0) filled += node.value_width;
+    node.filled_bytes = filled;
+    // The deepest node and every predicate node rewrite tuples into their
+    // own block; projection-only inner nodes fill in place.
+    if (k == 0 || !node.preds.empty()) {
+      node.out_block = std::make_unique<TupleBlock>(scanner->layout_,
+                                                    s.block_tuples);
+    }
+    scanner->nodes_.push_back(std::move(node));
+  }
+  scanner->value_scratch_.resize(static_cast<size_t>(max_value_width));
+  return OperatorPtr(std::move(scanner));
+}
+
+Status ColumnScanner::Open() {
+  if (opened_) return Status::OK();
+  IoOptions options;
+  options.io_unit_bytes = spec_.io_unit_bytes;
+  options.prefetch_depth = spec_.prefetch_depth;
+  options.stats = stats_->io_stats();
+  for (Node& node : nodes_) {
+    RODB_ASSIGN_OR_RETURN(
+        node.stream,
+        backend_->OpenStream(table_->FilePath(node.attr), options));
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+void ColumnScanner::AccountPage(Node& node) {
+  if (!node.page.has_value()) return;
+  const uint32_t count = node.page->count();
+  if (count == 0) return;
+  // Memory accounting works at cache-line granularity (DESIGN.md
+  // substitution #2): with v values per 128-byte line, touching a fraction
+  // t of the values touches ~1-(1-t)^v of the lines. When most lines are
+  // touched the hardware prefetcher sees a dense sequential pattern and
+  // the page streams; otherwise each touched line is a random miss.
+  const double lines =
+      std::max(1.0, static_cast<double>(table_->meta().page_size) / 128.0);
+  const double t = static_cast<double>(node.touched_in_page) /
+                   static_cast<double>(count);
+  const double values_per_line = static_cast<double>(count) / lines;
+  const double touched_lines =
+      lines * (1.0 - std::pow(1.0 - std::min(1.0, t), values_per_line));
+  if (touched_lines >= 0.5 * lines) {
+    stats_->AddSequentialBytes(table_->meta().page_size);
+  } else {
+    stats_->AddRandomTouches(static_cast<uint64_t>(touched_lines));
+  }
+}
+
+Status ColumnScanner::AdvanceNodePage(Node& node) {
+  AccountPage(node);
+  if (node.page.has_value()) {
+    node.page_start_pos += node.page->count();
+    node.page.reset();
+  }
+  while (true) {
+    if (node.page_in_view >= node.pages_in_view) {
+      RODB_ASSIGN_OR_RETURN(node.view, node.stream->Next());
+      if (node.view.size == 0) {
+        node.eof = true;
+        return Status::OK();
+      }
+      node.pages_in_view = node.view.size / table_->meta().page_size;
+      node.page_in_view = 0;
+      if (node.pages_in_view == 0) {
+        return Status::Corruption("I/O unit smaller than one page");
+      }
+    }
+    const uint8_t* page_data =
+        node.view.data + node.page_in_view * table_->meta().page_size;
+    ++node.page_in_view;
+    RODB_ASSIGN_OR_RETURN(ColumnPageReader reader,
+                          ColumnPageReader::Open(page_data,
+                                                 table_->meta().page_size,
+                                                 node.codec.get()));
+    stats_->counters().pages_parsed += 1;
+    node.page.emplace(reader);
+    node.consumed_in_page = 0;
+    node.touched_in_page = 0;
+    if (node.page->count() > 0) return Status::OK();
+    node.page.reset();
+  }
+}
+
+void ColumnScanner::CountDecode(const Node& node, uint64_t n) {
+  ExecCounters& c = stats_->counters();
+  switch (node.codec_kind) {
+    case CompressionKind::kBitPack:
+      c.values_decoded_bitpack += n;
+      break;
+    case CompressionKind::kDict:
+    case CompressionKind::kCharPack:
+      c.values_decoded_dict += n;
+      break;
+    case CompressionKind::kFor:
+      c.values_decoded_for += n;
+      break;
+    case CompressionKind::kForDelta:
+      c.values_decoded_fordelta += n;
+      break;
+    case CompressionKind::kNone:
+      break;
+  }
+}
+
+Status ColumnScanner::SeekTo(Node& node, uint64_t pos) {
+  while (!node.eof &&
+         (!node.page.has_value() ||
+          pos >= node.page_start_pos + node.page->count())) {
+    RODB_RETURN_IF_ERROR(AdvanceNodePage(node));
+  }
+  if (node.eof) {
+    return Status::Corruption("column " + std::to_string(node.attr) +
+                              " shorter than the driving position stream");
+  }
+  const uint64_t target_in_page = pos - node.page_start_pos;
+  RODB_CHECK(target_in_page >= node.consumed_in_page);
+  const uint64_t skip = target_in_page - node.consumed_in_page;
+  if (skip > 0) {
+    node.page->SkipValues(skip);
+    node.consumed_in_page += skip;
+    if (node.codec_kind == CompressionKind::kForDelta) {
+      // FOR-delta decodes everything it passes over.
+      node.touched_in_page += skip;
+      CountDecode(node, skip);
+    }
+  }
+  return Status::OK();
+}
+
+Status ColumnScanner::FetchValueAt(Node& node, uint64_t pos, uint8_t* out) {
+  RODB_RETURN_IF_ERROR(SeekTo(node, pos));
+  node.page->DecodeNext(out);
+  node.consumed_in_page += 1;
+  node.touched_in_page += 1;
+  CountDecode(node, 1);
+  return Status::OK();
+}
+
+Status ColumnScanner::FetchCodeAt(Node& node, uint64_t pos, uint32_t* code) {
+  RODB_RETURN_IF_ERROR(SeekTo(node, pos));
+  *code = node.page->DecodeNextCode();
+  node.consumed_in_page += 1;
+  node.touched_in_page += 1;
+  stats_->counters().values_code_reads += 1;
+  return Status::OK();
+}
+
+bool ColumnScanner::EvalCodePreds(const Node& node, uint32_t code) {
+  ExecCounters& c = stats_->counters();
+  for (const Node::CodePred& cp : node.code_preds) {
+    c.predicate_evals += 1;
+    const bool eq = cp.matchable && code == cp.code;
+    if (cp.negate ? eq : !eq) return false;
+  }
+  return true;
+}
+
+Status ColumnScanner::ProduceBase(Node& node) {
+  ExecCounters& c = stats_->counters();
+  TupleBlock& out = *node.out_block;
+  out.Clear();
+  uint8_t* value = value_scratch_.data();
+  while (!out.full()) {
+    if (!node.page.has_value() ||
+        node.consumed_in_page >= node.page->count()) {
+      RODB_RETURN_IF_ERROR(AdvanceNodePage(node));
+      if (node.eof) break;
+    }
+    const uint64_t pos = node.page_start_pos + node.consumed_in_page;
+    c.tuples_examined += 1;
+    bool pass = true;
+    bool have_value = false;
+    if (node.use_codes) {
+      const uint32_t code = node.page->DecodeNextCode();
+      node.consumed_in_page += 1;
+      node.touched_in_page += 1;
+      c.values_code_reads += 1;
+      pass = EvalCodePreds(node, code);
+      if (pass && node.out_col >= 0) {
+        // Materialize only qualifying, projected values.
+        std::memcpy(value, node.dict->Decode(code),
+                    static_cast<size_t>(node.value_width));
+        c.values_decoded_dict += 1;
+        have_value = true;
+      }
+    } else {
+      node.page->DecodeNext(value);
+      node.consumed_in_page += 1;
+      node.touched_in_page += 1;
+      CountDecode(node, 1);
+      have_value = true;
+      for (const Predicate& pred : node.preds) {
+        c.predicate_evals += 1;
+        if (!pred.Eval(value)) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (!pass) continue;
+    uint8_t* slot = out.AppendSlot();
+    out.set_position(out.size() - 1, pos);
+    if (node.out_col >= 0) {
+      RODB_CHECK(have_value);
+      std::memcpy(slot + layout_.offsets[static_cast<size_t>(node.out_col)],
+                  value, static_cast<size_t>(node.value_width));
+      c.values_copied += 1;
+      c.bytes_copied += static_cast<uint64_t>(node.value_width);
+    }
+  }
+  return Status::OK();
+}
+
+Result<TupleBlock*> ColumnScanner::ProcessNode(Node& node, TupleBlock* in) {
+  ExecCounters& c = stats_->counters();
+  uint8_t* value = value_scratch_.data();
+  if (node.preds.empty()) {
+    // Attach values in place, without re-writing the tuples.
+    for (uint32_t i = 0; i < in->size(); ++i) {
+      RODB_RETURN_IF_ERROR(FetchValueAt(node, in->position(i), value));
+      c.positions_processed += 1;
+      std::memcpy(in->attr(i, static_cast<size_t>(node.out_col)), value,
+                  static_cast<size_t>(node.value_width));
+      c.values_copied += 1;
+      c.bytes_copied += static_cast<uint64_t>(node.value_width);
+    }
+    return in;
+  }
+  // Predicate node: qualifying tuples are copied forward to a new block.
+  TupleBlock& out = *node.out_block;
+  out.Clear();
+  for (uint32_t i = 0; i < in->size(); ++i) {
+    bool pass = true;
+    bool have_value = false;
+    if (node.use_codes) {
+      uint32_t code = 0;
+      RODB_RETURN_IF_ERROR(FetchCodeAt(node, in->position(i), &code));
+      c.positions_processed += 1;
+      pass = EvalCodePreds(node, code);
+      if (pass && node.out_col >= 0) {
+        std::memcpy(value, node.dict->Decode(code),
+                    static_cast<size_t>(node.value_width));
+        c.values_decoded_dict += 1;
+        have_value = true;
+      }
+    } else {
+      RODB_RETURN_IF_ERROR(FetchValueAt(node, in->position(i), value));
+      have_value = true;
+      c.positions_processed += 1;
+      for (const Predicate& pred : node.preds) {
+        c.predicate_evals += 1;
+        if (!pred.Eval(value)) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (!pass) continue;
+    uint8_t* slot = out.AppendSlot();
+    std::memcpy(slot, in->tuple(i),
+                static_cast<size_t>(layout_.tuple_width));
+    out.set_position(out.size() - 1, in->position(i));
+    if (node.out_col >= 0) {
+      RODB_CHECK(have_value);
+      std::memcpy(slot + layout_.offsets[static_cast<size_t>(node.out_col)],
+                  value, static_cast<size_t>(node.value_width));
+    }
+    c.values_copied += 1;
+    c.bytes_copied += static_cast<uint64_t>(node.filled_bytes);
+  }
+  return &out;
+}
+
+Result<TupleBlock*> ColumnScanner::Next() {
+  if (!opened_) return Status::InvalidArgument("ColumnScanner not opened");
+  if (done_) return static_cast<TupleBlock*>(nullptr);
+  // Keep producing base blocks until one survives the pipeline non-empty
+  // (a fully filtered-out block must not terminate the scan).
+  while (true) {
+    Node& base = nodes_[0];
+    RODB_RETURN_IF_ERROR(ProduceBase(base));
+    TupleBlock* block = base.out_block.get();
+    const bool base_eof = base.eof;
+    if (block->empty() && base_eof) {
+      done_ = true;
+      // Final memory accounting for pages left open on inner nodes.
+      for (Node& node : nodes_) AccountPage(node);
+      stats_->FoldIo();
+      return static_cast<TupleBlock*>(nullptr);
+    }
+    if (!block->empty()) {
+      for (size_t k = 1; k < nodes_.size(); ++k) {
+        RODB_ASSIGN_OR_RETURN(block, ProcessNode(nodes_[k], block));
+        if (block->empty()) break;
+      }
+    }
+    if (!block->empty()) {
+      stats_->counters().blocks_emitted += 1;
+      return block;
+    }
+    if (base_eof) {
+      done_ = true;
+      for (Node& node : nodes_) AccountPage(node);
+      stats_->FoldIo();
+      return static_cast<TupleBlock*>(nullptr);
+    }
+  }
+}
+
+void ColumnScanner::Close() {
+  stats_->FoldIo();
+  for (Node& node : nodes_) {
+    node.stream.reset();
+    node.page.reset();
+  }
+}
+
+}  // namespace rodb

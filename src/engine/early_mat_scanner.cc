@@ -1,0 +1,222 @@
+#include "engine/early_mat_scanner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace rodb {
+
+EarlyMatColumnScanner::EarlyMatColumnScanner(const OpenTable* table,
+                                             ScanSpec spec,
+                                             IoBackend* backend,
+                                             ExecStats* stats,
+                                             BlockLayout layout)
+    : table_(table), spec_(std::move(spec)), backend_(backend), stats_(stats),
+      block_(std::move(layout), spec_.block_tuples) {}
+
+Result<OperatorPtr> EarlyMatColumnScanner::Make(const OpenTable* table,
+                                                ScanSpec spec,
+                                                IoBackend* backend,
+                                                ExecStats* stats) {
+  if (table == nullptr || backend == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("EarlyMatColumnScanner: null dependency");
+  }
+  if (table->meta().layout != Layout::kColumn) {
+    return Status::InvalidArgument(
+        "EarlyMatColumnScanner requires a column-layout table");
+  }
+  const Schema& schema = table->schema();
+  if (spec.projection.empty()) {
+    return Status::InvalidArgument("scan projection must not be empty");
+  }
+  for (int attr : spec.projection) {
+    if (attr < 0 || static_cast<size_t>(attr) >= schema.num_attributes()) {
+      return Status::OutOfRange("projection attribute out of range");
+    }
+  }
+  for (const Predicate& pred : spec.predicates) {
+    if (pred.attr_index() < 0 ||
+        static_cast<size_t>(pred.attr_index()) >= schema.num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+  }
+  if (spec.io_unit_bytes % table->meta().page_size != 0) {
+    return Status::InvalidArgument(
+        "I/O unit must be a multiple of the page size");
+  }
+  if (spec.first_page != 0 || spec.num_pages != UINT64_MAX) {
+    return Status::NotSupported(
+        "page-range scans are not defined for column tables");
+  }
+  BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
+  std::unique_ptr<EarlyMatColumnScanner> scanner(new EarlyMatColumnScanner(
+      table, std::move(spec), backend, stats, std::move(layout)));
+  const ScanSpec& s = scanner->spec_;
+  int max_width = 1;
+  for (size_t attr : ScanPipelineAttrs(s)) {
+    Cursor cursor;
+    cursor.attr = attr;
+    const auto it = std::find(s.projection.begin(), s.projection.end(),
+                              static_cast<int>(attr));
+    cursor.out_col = it == s.projection.end()
+                         ? -1
+                         : static_cast<int>(it - s.projection.begin());
+    for (const Predicate& pred : s.predicates) {
+      if (static_cast<size_t>(pred.attr_index()) == attr) {
+        cursor.preds.push_back(pred);
+      }
+    }
+    RODB_ASSIGN_OR_RETURN(cursor.codec, table->MakeAttrCodec(attr));
+    cursor.kind = cursor.codec->kind();
+    cursor.width = schema.attribute(attr).width;
+    max_width = std::max(max_width, cursor.width);
+    scanner->cursors_.push_back(std::move(cursor));
+  }
+  scanner->value_scratch_.resize(static_cast<size_t>(max_width));
+  return OperatorPtr(std::move(scanner));
+}
+
+Status EarlyMatColumnScanner::Open() {
+  if (opened_) return Status::OK();
+  IoOptions options;
+  options.io_unit_bytes = spec_.io_unit_bytes;
+  options.prefetch_depth = spec_.prefetch_depth;
+  options.stats = stats_->io_stats();
+  for (Cursor& cursor : cursors_) {
+    RODB_ASSIGN_OR_RETURN(
+        cursor.stream,
+        backend_->OpenStream(table_->FilePath(cursor.attr), options));
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+void EarlyMatColumnScanner::CountDecode(const Cursor& cursor, uint64_t n) {
+  ExecCounters& c = stats_->counters();
+  switch (cursor.kind) {
+    case CompressionKind::kBitPack:
+      c.values_decoded_bitpack += n;
+      break;
+    case CompressionKind::kDict:
+    case CompressionKind::kCharPack:
+      c.values_decoded_dict += n;
+      break;
+    case CompressionKind::kFor:
+      c.values_decoded_for += n;
+      break;
+    case CompressionKind::kForDelta:
+      c.values_decoded_fordelta += n;
+      break;
+    case CompressionKind::kNone:
+      break;
+  }
+}
+
+Status EarlyMatColumnScanner::AdvancePage(Cursor& cursor) {
+  while (true) {
+    if (cursor.page_in_view >= cursor.pages_in_view) {
+      RODB_ASSIGN_OR_RETURN(cursor.view, cursor.stream->Next());
+      if (cursor.view.size == 0) {
+        cursor.eof = true;
+        return Status::OK();
+      }
+      cursor.pages_in_view = cursor.view.size / table_->meta().page_size;
+      cursor.page_in_view = 0;
+      if (cursor.pages_in_view == 0) {
+        return Status::Corruption("I/O unit smaller than one page");
+      }
+    }
+    const uint8_t* page_data =
+        cursor.view.data + cursor.page_in_view * table_->meta().page_size;
+    ++cursor.page_in_view;
+    RODB_ASSIGN_OR_RETURN(
+        ColumnPageReader reader,
+        ColumnPageReader::Open(page_data, table_->meta().page_size,
+                               cursor.codec.get()));
+    stats_->counters().pages_parsed += 1;
+    // Every column streams fully under early materialization.
+    stats_->AddSequentialBytes(table_->meta().page_size);
+    cursor.page.emplace(reader);
+    cursor.consumed_in_page = 0;
+    if (cursor.page->count() > 0) return Status::OK();
+    cursor.page.reset();
+  }
+}
+
+Status EarlyMatColumnScanner::EnsureValue(Cursor& cursor) {
+  if (!cursor.page.has_value() ||
+      cursor.consumed_in_page >= cursor.page->count()) {
+    RODB_RETURN_IF_ERROR(AdvancePage(cursor));
+  }
+  return Status::OK();
+}
+
+Result<TupleBlock*> EarlyMatColumnScanner::Next() {
+  if (!opened_) {
+    return Status::InvalidArgument("EarlyMatColumnScanner not opened");
+  }
+  ExecCounters& c = stats_->counters();
+  const BlockLayout& layout = block_.layout();
+  uint8_t* value = value_scratch_.data();
+  block_.Clear();
+  while (!block_.full()) {
+    // Row-at-a-time over all cursors in lockstep.
+    RODB_RETURN_IF_ERROR(EnsureValue(cursors_[0]));
+    if (cursors_[0].eof) break;
+    c.tuples_examined += 1;
+    const uint64_t position = next_position_++;
+    bool pass = true;
+    // Values are written directly into the next (not yet appended) slot;
+    // the slot only becomes part of the block if the row qualifies.
+    uint8_t* slot = block_.tuple(block_.size());
+    for (Cursor& cursor : cursors_) {
+      RODB_RETURN_IF_ERROR(EnsureValue(cursor));
+      if (cursor.eof) {
+        return Status::Corruption("column " + std::to_string(cursor.attr) +
+                                  " shorter than the table");
+      }
+      // Every selected column is decoded for every row -- the defining
+      // behaviour of the single-iterator organization ("iterating over
+      // entire rows, similarly to a row store").
+      cursor.page->DecodeNext(value);
+      cursor.consumed_in_page += 1;
+      CountDecode(cursor, 1);
+      if (pass) {
+        for (const Predicate& pred : cursor.preds) {
+          c.predicate_evals += 1;
+          if (!pred.Eval(value)) {
+            pass = false;
+            break;
+          }
+        }
+      }
+      if (pass && cursor.out_col >= 0) {
+        std::memcpy(
+            slot + layout.offsets[static_cast<size_t>(cursor.out_col)],
+            value, static_cast<size_t>(cursor.width));
+        c.values_copied += 1;
+        c.bytes_copied += static_cast<uint64_t>(cursor.width);
+      }
+    }
+    if (pass) {
+      block_.AppendSlot();  // slot was filled in place
+      block_.set_position(block_.size() - 1, position);
+    }
+  }
+  if (block_.empty()) {
+    stats_->FoldIo();
+    return static_cast<TupleBlock*>(nullptr);
+  }
+  c.blocks_emitted += 1;
+  return &block_;
+}
+
+void EarlyMatColumnScanner::Close() {
+  stats_->FoldIo();
+  for (Cursor& cursor : cursors_) {
+    cursor.stream.reset();
+    cursor.page.reset();
+  }
+}
+
+}  // namespace rodb

@@ -1,0 +1,83 @@
+#ifndef RODB_ENGINE_EARLY_MAT_SCANNER_H_
+#define RODB_ENGINE_EARLY_MAT_SCANNER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "engine/operator.h"
+#include "engine/scan_spec.h"
+#include "io/io.h"
+#include "storage/catalog.h"
+#include "storage/column_page.h"
+
+namespace rodb {
+
+/// The non-pipelined, single-iterator column scanner the paper sketches
+/// in Section 4.2 but does not build: it "fetches disk pages from all
+/// scanned columns into memory, then uses memory offsets to access all
+/// attributes within the same row, iterating over entire rows, similarly
+/// to a row store" (the PAX / MonetDB organization).
+///
+/// Compared to the pipelined ColumnScanner it trades the per-node
+/// {position, value} machinery for row-at-a-time iteration across all
+/// column cursors in lockstep: no position-list overhead, but every
+/// selected column is streamed and decoded (or skipped value-by-value)
+/// for every row, regardless of selectivity. Reads exactly the same
+/// files, so I/O behaviour is identical; only the CPU profile differs --
+/// which is why it serves as the ablation for the pipelined design
+/// (bench/ablation_early_mat).
+class EarlyMatColumnScanner final : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const OpenTable* table, ScanSpec spec,
+                                  IoBackend* backend, ExecStats* stats);
+
+  Status Open() override;
+  Result<TupleBlock*> Next() override;
+  void Close() override;
+  const BlockLayout& output_layout() const override {
+    return block_.layout();
+  }
+
+ private:
+  struct Cursor {
+    size_t attr = 0;
+    int out_col = -1;                 ///< output block column, or -1
+    std::vector<Predicate> preds;
+    std::unique_ptr<AttributeCodec> codec;
+    CompressionKind kind = CompressionKind::kNone;
+    int width = 0;
+
+    std::unique_ptr<SequentialStream> stream;
+    IoView view{};
+    size_t page_in_view = 0;
+    size_t pages_in_view = 0;
+    std::optional<ColumnPageReader> page;
+    uint64_t consumed_in_page = 0;
+    bool eof = false;
+  };
+
+  EarlyMatColumnScanner(const OpenTable* table, ScanSpec spec,
+                        IoBackend* backend, ExecStats* stats,
+                        BlockLayout layout);
+
+  Status AdvancePage(Cursor& cursor);
+  /// Ensures the cursor has a value available; sets eof at end.
+  Status EnsureValue(Cursor& cursor);
+  void CountDecode(const Cursor& cursor, uint64_t n);
+
+  const OpenTable* table_;
+  ScanSpec spec_;
+  IoBackend* backend_;
+  ExecStats* stats_;
+  TupleBlock block_;
+  std::vector<Cursor> cursors_;
+  std::vector<uint8_t> value_scratch_;
+  uint64_t next_position_ = 0;
+  bool opened_ = false;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_EARLY_MAT_SCANNER_H_

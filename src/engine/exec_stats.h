@@ -1,0 +1,49 @@
+#ifndef RODB_ENGINE_EXEC_STATS_H_
+#define RODB_ENGINE_EXEC_STATS_H_
+
+#include "hwmodel/cpu_model.h"
+#include "io/io.h"
+
+namespace rodb {
+
+/// Execution-statistics sink shared by all operators of one query plan.
+/// Collects the semantic event counters (the PAPI substitute, see
+/// hwmodel/cpu_model.h) plus raw I/O statistics per stream.
+class ExecStats {
+ public:
+  ExecCounters& counters() { return counters_; }
+  const ExecCounters& counters() const { return counters_; }
+
+  /// I/O stats sink handed to streams; folded into the counters by
+  /// FoldIo() when the query finishes.
+  IoStats* io_stats() { return &io_; }
+
+  /// Adds the accumulated I/O statistics into the counters (idempotent:
+  /// uses and clears the pending I/O record).
+  void FoldIo() {
+    counters_.io_bytes_read += io_.bytes_read;
+    counters_.io_requests += io_.requests;
+    counters_.files_read += io_.files_opened;
+    io_ = IoStats{};
+  }
+
+  /// Memory-pattern helpers (see DESIGN.md substitution #2). A scanner
+  /// that streams a page sequentially reports the bytes once; sparse
+  /// accesses are reported as random line touches.
+  void AddSequentialBytes(uint64_t bytes) {
+    counters_.seq_bytes_touched += bytes;
+    counters_.l1_lines_touched += bytes / 64;
+  }
+  void AddRandomTouches(uint64_t touches) {
+    counters_.random_line_accesses += touches;
+    counters_.l1_lines_touched += touches;
+  }
+
+ private:
+  ExecCounters counters_;
+  IoStats io_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_EXEC_STATS_H_

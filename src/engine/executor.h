@@ -1,0 +1,64 @@
+#ifndef RODB_ENGINE_EXECUTOR_H_
+#define RODB_ENGINE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "engine/exec_stats.h"
+#include "engine/operator.h"
+#include "engine/scan_spec.h"
+#include "hwmodel/disk_model.h"
+#include "hwmodel/hardware_config.h"
+#include "hwmodel/time_breakdown.h"
+#include "storage/catalog.h"
+
+namespace rodb {
+
+/// What one query execution produced.
+struct ExecutionResult {
+  uint64_t rows = 0;
+  uint64_t blocks = 0;
+  /// FNV-1a over the output tuple bytes, in order. Used to check that row
+  /// and column plans produce identical results.
+  uint64_t output_checksum = 0;
+  /// Host wall clock / CPU actually spent (the "measured" numbers).
+  MeasuredInterval measured;
+};
+
+/// Drives a plan to completion: Open, pull all blocks, Close. The stats
+/// sink accumulates the counters the hardware model consumes.
+Result<ExecutionResult> Execute(Operator* root, ExecStats* stats);
+
+/// The disk streams a scan reads, for the disk-array model: the single
+/// row file, or one stream per column the query touches (pipeline order).
+std::vector<StreamSpec> ScanStreams(const OpenTable& table,
+                                    const ScanSpec& spec);
+
+/// Timing of a query on the modeled hardware (Section 5's overlap
+/// assumption: CPU and I/O proceed concurrently, elapsed = max of the
+/// two).
+struct ModeledTiming {
+  TimeBreakdown cpu;        ///< five-component CPU breakdown
+  DiskSimResult disk;       ///< disk-array simulation
+  double cpu_seconds = 0.0;
+  double io_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  bool io_bound = false;
+};
+
+/// Converts the execution counters plus the scan's stream list into
+/// modeled times on `hw`. `competing` describes concurrent disk traffic
+/// (Figure 11); empty means an otherwise idle system.
+ModeledTiming ModelQueryTiming(const ExecCounters& counters,
+                               const HardwareConfig& hw, int prefetch_depth,
+                               const std::vector<StreamSpec>& query_streams,
+                               const std::vector<StreamSpec>& competing = {});
+
+/// Scales every per-tuple counter by `factor`, used to project a scaled-
+/// down run to the paper's 60M-tuple tables (I/O byte counters included;
+/// see DESIGN.md substitution #4).
+ExecCounters ScaleCounters(const ExecCounters& counters, double factor);
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_EXECUTOR_H_

@@ -1,0 +1,158 @@
+#include "engine/merge_join.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+
+namespace rodb {
+
+Status MergeJoinOperator::Cursor::EnsureTuple() {
+  while (!eof && (block == nullptr || index >= block->size())) {
+    auto next = op->Next();
+    if (!next.ok()) return next.status();
+    block = *next;
+    index = 0;
+    if (block == nullptr) eof = true;
+  }
+  return Status::OK();
+}
+
+MergeJoinOperator::MergeJoinOperator(OperatorPtr left, OperatorPtr right,
+                                     int left_column, int right_column,
+                                     ExecStats* stats, BlockLayout layout)
+    : left_(std::move(left)), right_(std::move(right)),
+      left_column_(left_column), right_column_(right_column), stats_(stats),
+      block_(std::move(layout)) {
+  left_width_ = left_->output_layout().tuple_width;
+  right_width_ = right_->output_layout().tuple_width;
+  lcur_.op = left_.get();
+  rcur_.op = right_.get();
+}
+
+Result<OperatorPtr> MergeJoinOperator::Make(OperatorPtr left,
+                                            OperatorPtr right,
+                                            int left_column, int right_column,
+                                            ExecStats* stats) {
+  if (left == nullptr || right == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("MergeJoinOperator: null dependency");
+  }
+  const BlockLayout& ll = left->output_layout();
+  const BlockLayout& rl = right->output_layout();
+  if (left_column < 0 || static_cast<size_t>(left_column) >= ll.num_attrs() ||
+      ll.widths[static_cast<size_t>(left_column)] != 4) {
+    return Status::InvalidArgument("left join column must be a valid int32");
+  }
+  if (right_column < 0 ||
+      static_cast<size_t>(right_column) >= rl.num_attrs() ||
+      rl.widths[static_cast<size_t>(right_column)] != 4) {
+    return Status::InvalidArgument("right join column must be a valid int32");
+  }
+  std::vector<int> widths = ll.widths;
+  widths.insert(widths.end(), rl.widths.begin(), rl.widths.end());
+  BlockLayout layout = BlockLayout::FromWidths(widths);
+  return OperatorPtr(new MergeJoinOperator(std::move(left), std::move(right),
+                                           left_column, right_column, stats,
+                                           std::move(layout)));
+}
+
+Status MergeJoinOperator::Open() {
+  RODB_RETURN_IF_ERROR(left_->Open());
+  return right_->Open();
+}
+
+Status MergeJoinOperator::FillRightGroup(int32_t key) {
+  right_group_.clear();
+  right_group_count_ = 0;
+  right_group_key_ = key;
+  right_group_valid_ = true;
+  ExecCounters& c = stats_->counters();
+  while (true) {
+    RODB_RETURN_IF_ERROR(rcur_.EnsureTuple());
+    if (rcur_.eof) break;
+    const int32_t rkey = LoadLE32s(
+        rcur_.block->attr(rcur_.index, static_cast<size_t>(right_column_)));
+    c.join_comparisons += 1;
+    if (rkey != key) break;
+    right_group_.insert(right_group_.end(), rcur_.tuple(),
+                        rcur_.tuple() + right_width_);
+    ++right_group_count_;
+    ++rcur_.index;
+  }
+  return Status::OK();
+}
+
+Result<TupleBlock*> MergeJoinOperator::Next() {
+  ExecCounters& c = stats_->counters();
+  block_.Clear();
+  while (!block_.full()) {
+    if (emitting_) {
+      // Continue the cross product of the current left tuple with the
+      // buffered right group.
+      while (!block_.full() && emit_in_group_ < right_group_count_) {
+        uint8_t* slot = block_.AppendSlot();
+        std::memcpy(slot, lcur_.tuple(), static_cast<size_t>(left_width_));
+        std::memcpy(slot + left_width_,
+                    right_group_.data() + emit_in_group_ *
+                        static_cast<size_t>(right_width_),
+                    static_cast<size_t>(right_width_));
+        c.operator_tuples += 1;
+        ++emit_in_group_;
+      }
+      if (emit_in_group_ < right_group_count_) break;  // block full
+      emitting_ = false;
+      ++lcur_.index;
+      continue;
+    }
+    RODB_RETURN_IF_ERROR(lcur_.EnsureTuple());
+    if (lcur_.eof) break;
+    const int32_t lkey = LoadLE32s(
+        lcur_.block->attr(lcur_.index, static_cast<size_t>(left_column_)));
+    if (right_group_valid_ && lkey == right_group_key_) {
+      // Same left key as the buffered group: reuse it (duplicate left keys).
+      emit_in_group_ = 0;
+      emitting_ = true;
+      continue;
+    }
+    if (right_group_valid_ && lkey < right_group_key_) {
+      // Left key smaller than the group we already buffered: no match.
+      c.join_comparisons += 1;
+      ++lcur_.index;
+      continue;
+    }
+    // Advance the right side to the first key >= lkey.
+    while (true) {
+      RODB_RETURN_IF_ERROR(rcur_.EnsureTuple());
+      if (rcur_.eof) break;
+      const int32_t rkey = LoadLE32s(
+          rcur_.block->attr(rcur_.index, static_cast<size_t>(right_column_)));
+      c.join_comparisons += 1;
+      if (rkey >= lkey) break;
+      ++rcur_.index;
+    }
+    if (rcur_.eof) {
+      right_group_valid_ = false;
+      break;  // no further matches possible
+    }
+    const int32_t rkey = LoadLE32s(
+        rcur_.block->attr(rcur_.index, static_cast<size_t>(right_column_)));
+    if (rkey > lkey) {
+      right_group_valid_ = false;
+      ++lcur_.index;
+      continue;
+    }
+    RODB_RETURN_IF_ERROR(FillRightGroup(lkey));
+    emit_in_group_ = 0;
+    emitting_ = true;
+  }
+  if (block_.empty()) return static_cast<TupleBlock*>(nullptr);
+  c.blocks_emitted += 1;
+  return &block_;
+}
+
+void MergeJoinOperator::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+}  // namespace rodb

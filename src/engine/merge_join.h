@@ -1,0 +1,69 @@
+#ifndef RODB_ENGINE_MERGE_JOIN_H_
+#define RODB_ENGINE_MERGE_JOIN_H_
+
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "engine/operator.h"
+
+namespace rodb {
+
+/// Merge join over two inputs sorted ascending on int32 join columns
+/// (Section 2.2.3). Handles duplicate keys on both sides by buffering the
+/// current right-side key group. Output tuples are the concatenation of
+/// the left and right tuples.
+class MergeJoinOperator final : public Operator {
+ public:
+  /// `left_column` / `right_column` index the children's block layouts.
+  static Result<OperatorPtr> Make(OperatorPtr left, OperatorPtr right,
+                                  int left_column, int right_column,
+                                  ExecStats* stats);
+
+  Status Open() override;
+  Result<TupleBlock*> Next() override;
+  void Close() override;
+  const BlockLayout& output_layout() const override {
+    return block_.layout();
+  }
+
+ private:
+  MergeJoinOperator(OperatorPtr left, OperatorPtr right, int left_column,
+                    int right_column, ExecStats* stats, BlockLayout layout);
+
+  /// Cursor over one child's block stream.
+  struct Cursor {
+    Operator* op = nullptr;
+    TupleBlock* block = nullptr;
+    uint32_t index = 0;
+    bool eof = false;
+
+    Status EnsureTuple();  ///< pulls blocks until a tuple is available/EOF
+    const uint8_t* tuple() const { return block->tuple(index); }
+  };
+
+  Status FillRightGroup(int32_t key);
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  int left_column_;
+  int right_column_;
+  ExecStats* stats_;
+  TupleBlock block_;
+  Cursor lcur_;
+  Cursor rcur_;
+
+  int left_width_ = 0;
+  int right_width_ = 0;
+  /// Buffered right tuples sharing the current key.
+  std::vector<uint8_t> right_group_;
+  size_t right_group_count_ = 0;
+  int32_t right_group_key_ = 0;
+  bool right_group_valid_ = false;
+  /// Emission state for the cross product of the current left tuple.
+  size_t emit_in_group_ = 0;
+  bool emitting_ = false;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_MERGE_JOIN_H_

@@ -1,0 +1,40 @@
+#ifndef RODB_ENGINE_OPERATOR_H_
+#define RODB_ENGINE_OPERATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "engine/tuple_block.h"
+
+namespace rodb {
+
+/// Pull-based block-iterator operator (Section 2.2.3): each relational
+/// operator calls Next() on its child and receives a block of tuples,
+/// amortizing call overhead and keeping the working set L1-resident.
+///
+/// The returned block is owned by the operator and stays valid until the
+/// next Next() call; nullptr signals end of stream. Operators are
+/// single-threaded, as in the paper's implementation.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (opens streams, resets state). Must be called
+  /// once before the first Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next block of tuples, or nullptr when exhausted.
+  virtual Result<TupleBlock*> Next() = 0;
+
+  /// Releases resources. Idempotent.
+  virtual void Close() {}
+
+  /// Geometry of the blocks this operator produces.
+  virtual const BlockLayout& output_layout() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_OPERATOR_H_

@@ -1,0 +1,310 @@
+#include "engine/pax_scanner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace rodb {
+
+PaxScanner::PaxScanner(const OpenTable* table, ScanSpec spec,
+                       IoBackend* backend, ExecStats* stats,
+                       BlockLayout layout)
+    : table_(table), spec_(std::move(spec)), backend_(backend), stats_(stats),
+      block_(std::move(layout), spec_.block_tuples) {}
+
+Result<OperatorPtr> PaxScanner::Make(const OpenTable* table, ScanSpec spec,
+                                     IoBackend* backend, ExecStats* stats) {
+  if (table == nullptr || backend == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("PaxScanner: null dependency");
+  }
+  if (table->meta().layout != Layout::kPax) {
+    return Status::InvalidArgument("PaxScanner requires a PAX-layout table");
+  }
+  const Schema& schema = table->schema();
+  if (spec.projection.empty()) {
+    return Status::InvalidArgument("scan projection must not be empty");
+  }
+  for (int attr : spec.projection) {
+    if (attr < 0 || static_cast<size_t>(attr) >= schema.num_attributes()) {
+      return Status::OutOfRange("projection attribute out of range");
+    }
+  }
+  for (const Predicate& pred : spec.predicates) {
+    if (pred.attr_index() < 0 ||
+        static_cast<size_t>(pred.attr_index()) >= schema.num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+  }
+  if (spec.io_unit_bytes % table->meta().page_size != 0) {
+    return Status::InvalidArgument(
+        "I/O unit must be a multiple of the page size");
+  }
+  BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
+  std::unique_ptr<PaxScanner> scanner(new PaxScanner(
+      table, std::move(spec), backend, stats, std::move(layout)));
+  const ScanSpec& s = scanner->spec_;
+  int max_width = 1;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    RODB_ASSIGN_OR_RETURN(auto eval_codec, table->MakeAttrCodec(a));
+    RODB_ASSIGN_OR_RETURN(auto emit_codec, table->MakeAttrCodec(a));
+    scanner->eval_raw_.push_back(eval_codec.get());
+    scanner->emit_raw_.push_back(emit_codec.get());
+    scanner->eval_codecs_.push_back(std::move(eval_codec));
+    scanner->emit_codecs_.push_back(std::move(emit_codec));
+    max_width = std::max(max_width, schema.attribute(a).width);
+  }
+  // Group predicates per attribute in first-appearance order.
+  for (const Predicate& pred : s.predicates) {
+    const size_t attr = static_cast<size_t>(pred.attr_index());
+    auto it = std::find_if(scanner->pred_nodes_.begin(),
+                           scanner->pred_nodes_.end(),
+                           [attr](const auto& node) {
+                             return node.first == attr;
+                           });
+    if (it == scanner->pred_nodes_.end()) {
+      scanner->pred_nodes_.push_back({attr, {pred}});
+    } else {
+      it->second.push_back(pred);
+    }
+  }
+  RODB_ASSIGN_OR_RETURN(
+      scanner->geometry_,
+      PaxGeometry::Make(scanner->eval_raw_, table->meta().page_size));
+  scanner->positions_.reserve(scanner->geometry_.capacity);
+  scanner->emit_cursor_.assign(schema.num_attributes(), 0);
+  scanner->touched_.assign(schema.num_attributes(), 0);
+  scanner->value_scratch_.resize(static_cast<size_t>(max_width));
+  return OperatorPtr(std::move(scanner));
+}
+
+Status PaxScanner::Open() {
+  if (opened_) return Status::OK();
+  IoOptions options;
+  options.io_unit_bytes = spec_.io_unit_bytes;
+  options.prefetch_depth = spec_.prefetch_depth;
+  options.stats = stats_->io_stats();
+  options.start_offset = spec_.first_page * table_->meta().page_size;
+  if (spec_.num_pages != UINT64_MAX) {
+    options.length = spec_.num_pages * table_->meta().page_size;
+  }
+  RODB_ASSIGN_OR_RETURN(stream_,
+                        backend_->OpenStream(table_->FilePath(0), options));
+  opened_ = true;
+  return Status::OK();
+}
+
+void PaxScanner::CountDecode(CompressionKind kind, uint64_t n) {
+  ExecCounters& c = stats_->counters();
+  switch (kind) {
+    case CompressionKind::kBitPack:
+      c.values_decoded_bitpack += n;
+      break;
+    case CompressionKind::kDict:
+    case CompressionKind::kCharPack:
+      c.values_decoded_dict += n;
+      break;
+    case CompressionKind::kFor:
+      c.values_decoded_for += n;
+      break;
+    case CompressionKind::kForDelta:
+      c.values_decoded_fordelta += n;
+      break;
+    case CompressionKind::kNone:
+      break;
+  }
+}
+
+void PaxScanner::AccountPage() {
+  if (!eval_reader_.has_value() || page_count_ == 0) return;
+  // Per-minipage, line-granular accounting (same rule as the column
+  // scanner): dense minipages stream, sparse ones pay per-line misses.
+  for (size_t a = 0; a < touched_.size(); ++a) {
+    if (touched_[a] == 0) continue;
+    const double lines = std::max(
+        1.0, static_cast<double>(geometry_.minipage_bytes[a]) / 128.0);
+    const double t = std::min(
+        1.0, static_cast<double>(touched_[a]) / page_count_);
+    const double per_line = static_cast<double>(page_count_) / lines;
+    const double touched_lines =
+        lines * (1.0 - std::pow(1.0 - t, per_line));
+    if (touched_lines >= 0.5 * lines) {
+      stats_->AddSequentialBytes(geometry_.minipage_bytes[a]);
+    } else {
+      stats_->AddRandomTouches(static_cast<uint64_t>(touched_lines));
+    }
+    touched_[a] = 0;
+  }
+}
+
+Status PaxScanner::AdvancePage() {
+  AccountPage();
+  if (eval_reader_.has_value()) {
+    page_start_pos_ += page_count_;
+    eval_reader_.reset();
+    emit_reader_.reset();
+  }
+  const Schema& schema = table_->schema();
+  ExecCounters& c = stats_->counters();
+  while (true) {
+    if (page_in_view_ >= pages_in_view_) {
+      RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
+      if (view_.size == 0) {
+        eof_ = true;
+        return Status::OK();
+      }
+      pages_in_view_ = view_.size / table_->meta().page_size;
+      page_in_view_ = 0;
+      if (pages_in_view_ == 0) {
+        return Status::Corruption("I/O unit smaller than one page");
+      }
+    }
+    const uint8_t* page_data =
+        view_.data + page_in_view_ * table_->meta().page_size;
+    ++page_in_view_;
+    RODB_ASSIGN_OR_RETURN(
+        PaxPageReader eval,
+        PaxPageReader::Open(page_data, table_->meta().page_size, &schema,
+                            eval_raw_));
+    RODB_ASSIGN_OR_RETURN(
+        PaxPageReader emit,
+        PaxPageReader::Open(page_data, table_->meta().page_size, &schema,
+                            emit_raw_));
+    stats_->counters().pages_parsed += 1;
+    eval_reader_.emplace(eval);
+    emit_reader_.emplace(emit);
+    page_count_ = eval_reader_->count();
+    std::fill(emit_cursor_.begin(), emit_cursor_.end(), 0);
+    pos_idx_ = 0;
+    positions_.clear();
+    if (page_count_ == 0) {
+      eval_reader_.reset();
+      emit_reader_.reset();
+      continue;
+    }
+
+    // --- evaluation pass ---
+    uint8_t* value = value_scratch_.data();
+    if (pred_nodes_.empty()) {
+      for (uint32_t i = 0; i < page_count_; ++i) positions_.push_back(i);
+      c.tuples_examined += page_count_;
+    } else {
+      // Deepest node: stream the whole minipage.
+      {
+        const auto& [attr, preds] = pred_nodes_.front();
+        const CompressionKind kind = eval_raw_[attr]->kind();
+        for (uint32_t i = 0; i < page_count_; ++i) {
+          eval_reader_->DecodeNext(attr, value);
+          CountDecode(kind, 1);
+          c.tuples_examined += 1;
+          bool pass = true;
+          for (const Predicate& pred : preds) {
+            c.predicate_evals += 1;
+            if (!pred.Eval(value)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) positions_.push_back(i);
+        }
+        touched_[attr] += page_count_;
+      }
+      // Later predicate attributes: only qualifying positions.
+      for (size_t n = 1; n < pred_nodes_.size() && !positions_.empty();
+           ++n) {
+        const auto& [attr, preds] = pred_nodes_[n];
+        const CompressionKind kind = eval_raw_[attr]->kind();
+        uint64_t cursor = 0;
+        size_t kept = 0;
+        for (uint32_t pos : positions_) {
+          const uint64_t skip = pos - cursor;
+          if (skip > 0) {
+            eval_reader_->SkipValues(attr, skip);
+            if (kind == CompressionKind::kForDelta) {
+              CountDecode(kind, skip);
+              touched_[attr] += skip;
+            }
+          }
+          eval_reader_->DecodeNext(attr, value);
+          cursor = pos + 1;
+          CountDecode(kind, 1);
+          touched_[attr] += 1;
+          c.positions_processed += 1;
+          bool pass = true;
+          for (const Predicate& pred : preds) {
+            c.predicate_evals += 1;
+            if (!pred.Eval(value)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) positions_[kept++] = pos;
+        }
+        positions_.resize(kept);
+      }
+    }
+    if (!positions_.empty()) return Status::OK();
+    // Fully filtered page: account it and move on.
+    AccountPage();
+    page_start_pos_ += page_count_;
+    eval_reader_.reset();
+    emit_reader_.reset();
+  }
+}
+
+Result<TupleBlock*> PaxScanner::Next() {
+  if (!opened_) return Status::InvalidArgument("PaxScanner not opened");
+  const Schema& schema = table_->schema();
+  ExecCounters& c = stats_->counters();
+  block_.Clear();
+  uint8_t* value = value_scratch_.data();
+  while (!block_.full() && !eof_) {
+    if (!eval_reader_.has_value() || pos_idx_ >= positions_.size()) {
+      RODB_RETURN_IF_ERROR(AdvancePage());
+      if (eof_) break;
+    }
+    while (!block_.full() && pos_idx_ < positions_.size()) {
+      const uint32_t pos = positions_[pos_idx_++];
+      uint8_t* slot = block_.AppendSlot();
+      const BlockLayout& layout = block_.layout();
+      for (size_t i = 0; i < spec_.projection.size(); ++i) {
+        const size_t attr = static_cast<size_t>(spec_.projection[i]);
+        const CompressionKind kind = emit_raw_[attr]->kind();
+        const uint64_t skip = pos - emit_cursor_[attr];
+        if (skip > 0) {
+          emit_reader_->SkipValues(attr, skip);
+          if (kind == CompressionKind::kForDelta) {
+            CountDecode(kind, skip);
+            touched_[attr] += skip;
+          }
+        }
+        emit_reader_->DecodeNext(attr, value);
+        emit_cursor_[attr] = pos + 1;
+        CountDecode(kind, 1);
+        touched_[attr] += 1;
+        std::memcpy(slot + layout.offsets[i], value,
+                    static_cast<size_t>(layout.widths[i]));
+        c.values_copied += 1;
+        c.bytes_copied += static_cast<uint64_t>(layout.widths[i]);
+      }
+      block_.set_position(block_.size() - 1, page_start_pos_ + pos);
+    }
+  }
+  (void)schema;
+  if (block_.empty()) {
+    stats_->FoldIo();
+    return static_cast<TupleBlock*>(nullptr);
+  }
+  c.blocks_emitted += 1;
+  return &block_;
+}
+
+void PaxScanner::Close() {
+  AccountPage();
+  stats_->FoldIo();
+  stream_.reset();
+  eval_reader_.reset();
+  emit_reader_.reset();
+}
+
+}  // namespace rodb

@@ -1,0 +1,151 @@
+#include "engine/plan_builder.h"
+
+#include "engine/column_scanner.h"
+#include "engine/merge_join.h"
+#include "engine/pax_scanner.h"
+#include "engine/project.h"
+#include "engine/row_scanner.h"
+#include "engine/select.h"
+
+namespace rodb {
+
+PlanBuilder PlanBuilder::Scan(const OpenTable* table, ScanSpec spec,
+                              IoBackend* backend, ExecStats* stats) {
+  PlanBuilder builder;
+  builder.stats_ = stats;
+  if (table == nullptr) {
+    builder.status_ = Status::InvalidArgument("Scan: null table");
+    return builder;
+  }
+  Result<OperatorPtr> scan = Status::Internal("unreachable");
+  switch (table->meta().layout) {
+    case Layout::kRow:
+      scan = RowScanner::Make(table, std::move(spec), backend, stats);
+      break;
+    case Layout::kColumn:
+      scan = ColumnScanner::Make(table, std::move(spec), backend, stats);
+      break;
+    case Layout::kPax:
+      scan = PaxScanner::Make(table, std::move(spec), backend, stats);
+      break;
+  }
+  if (!scan.ok()) {
+    builder.status_ = scan.status();
+  } else {
+    builder.op_ = std::move(scan).value();
+  }
+  return builder;
+}
+
+PlanBuilder PlanBuilder::From(OperatorPtr op, ExecStats* stats) {
+  PlanBuilder builder;
+  builder.stats_ = stats;
+  if (op == nullptr) {
+    builder.status_ = Status::InvalidArgument("From: null operator");
+  } else {
+    builder.op_ = std::move(op);
+  }
+  return builder;
+}
+
+PlanBuilder PlanBuilder::MergeJoin(PlanBuilder left, PlanBuilder right,
+                                   int left_column, int right_column) {
+  PlanBuilder builder;
+  builder.stats_ = left.stats_ != nullptr ? left.stats_ : right.stats_;
+  if (!left.status_.ok()) {
+    builder.status_ = left.status_;
+    return builder;
+  }
+  if (!right.status_.ok()) {
+    builder.status_ = right.status_;
+    return builder;
+  }
+  auto join = MergeJoinOperator::Make(std::move(left.op_),
+                                      std::move(right.op_), left_column,
+                                      right_column, builder.stats_);
+  if (!join.ok()) {
+    builder.status_ = join.status();
+  } else {
+    builder.op_ = std::move(join).value();
+  }
+  return builder;
+}
+
+PlanBuilder&& PlanBuilder::Filter(std::vector<Predicate> predicates) && {
+  if (status_.ok()) {
+    op_ = std::make_unique<FilterOperator>(std::move(op_),
+                                           std::move(predicates), stats_);
+  }
+  return std::move(*this);
+}
+
+PlanBuilder&& PlanBuilder::Project(std::vector<int> columns) && {
+  if (status_.ok()) {
+    auto project =
+        ProjectOperator::Make(std::move(op_), std::move(columns), stats_);
+    if (!project.ok()) {
+      status_ = project.status();
+    } else {
+      op_ = std::move(project).value();
+    }
+  }
+  return std::move(*this);
+}
+
+PlanBuilder&& PlanBuilder::HashAggregate(AggPlan plan) && {
+  if (status_.ok()) {
+    auto agg = HashAggOperator::Make(std::move(op_), std::move(plan), stats_);
+    if (!agg.ok()) {
+      status_ = agg.status();
+    } else {
+      op_ = std::move(agg).value();
+    }
+  }
+  return std::move(*this);
+}
+
+PlanBuilder&& PlanBuilder::SortAggregate(AggPlan plan) && {
+  if (status_.ok()) {
+    auto agg = SortAggOperator::Make(std::move(op_), std::move(plan), stats_);
+    if (!agg.ok()) {
+      status_ = agg.status();
+    } else {
+      op_ = std::move(agg).value();
+    }
+  }
+  return std::move(*this);
+}
+
+PlanBuilder&& PlanBuilder::OrderBy(int column, SortOrder order) && {
+  if (status_.ok()) {
+    auto sort = SortOperator::Make(std::move(op_), column, order, stats_);
+    if (!sort.ok()) {
+      status_ = sort.status();
+    } else {
+      op_ = std::move(sort).value();
+    }
+  }
+  return std::move(*this);
+}
+
+PlanBuilder&& PlanBuilder::TopN(int column, SortOrder order,
+                                uint32_t limit) && {
+  if (status_.ok()) {
+    auto topn =
+        TopNOperator::Make(std::move(op_), column, order, limit, stats_);
+    if (!topn.ok()) {
+      status_ = topn.status();
+    } else {
+      op_ = std::move(topn).value();
+    }
+  }
+  return std::move(*this);
+}
+
+Result<OperatorPtr> PlanBuilder::Build() && {
+  if (!status_.ok()) return status_;
+  if (op_ == nullptr) return Status::InvalidArgument("empty plan");
+  return std::move(op_);
+}
+
+}  // namespace rodb

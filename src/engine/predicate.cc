@@ -1,0 +1,76 @@
+#include "engine/predicate.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace rodb {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Predicate Predicate::Int32(int attr_index, CompareOp op, int32_t operand) {
+  Predicate p;
+  p.attr_index_ = attr_index;
+  p.op_ = op;
+  p.is_text_ = false;
+  p.int_operand_ = operand;
+  return p;
+}
+
+Predicate Predicate::Text(int attr_index, CompareOp op, std::string operand) {
+  Predicate p;
+  p.attr_index_ = attr_index;
+  p.op_ = op;
+  p.is_text_ = true;
+  p.text_operand_ = std::move(operand);
+  return p;
+}
+
+namespace {
+template <typename T>
+bool Compare(CompareOp op, T cmp_lt, T cmp_eq) {
+  // cmp_lt: value < operand; cmp_eq: value == operand
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp_eq;
+    case CompareOp::kNe:
+      return !cmp_eq;
+    case CompareOp::kLt:
+      return cmp_lt;
+    case CompareOp::kLe:
+      return cmp_lt || cmp_eq;
+    case CompareOp::kGt:
+      return !cmp_lt && !cmp_eq;
+    case CompareOp::kGe:
+      return !cmp_lt;
+  }
+  return false;
+}
+}  // namespace
+
+bool Predicate::Eval(const uint8_t* value) const {
+  if (!is_text_) {
+    const int32_t v = LoadLE32s(value);
+    return Compare(op_, v < int_operand_, v == int_operand_);
+  }
+  const int c = std::memcmp(value, text_operand_.data(), text_operand_.size());
+  return Compare(op_, c < 0, c == 0);
+}
+
+}  // namespace rodb

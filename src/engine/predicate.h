@@ -1,0 +1,54 @@
+#ifndef RODB_ENGINE_PREDICATE_H_
+#define RODB_ENGINE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/schema.h"
+
+namespace rodb {
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// A SARGable comparison of one attribute against a constant -- the only
+/// predicate form the paper's scanners apply (Section 2.2.3). Evaluation
+/// happens on raw (decoded) attribute bytes, so the same predicate object
+/// works against row pages, column values and operator blocks.
+class Predicate {
+ public:
+  /// attr_index is relative to the table schema (for scanners) or to the
+  /// block layout (for the Filter operator).
+  static Predicate Int32(int attr_index, CompareOp op, int32_t operand);
+  /// Text comparison is byte-wise over the fixed width.
+  static Predicate Text(int attr_index, CompareOp op, std::string operand);
+
+  int attr_index() const { return attr_index_; }
+  CompareOp op() const { return op_; }
+  bool is_text() const { return is_text_; }
+  int32_t int_operand() const { return int_operand_; }
+  const std::string& text_operand() const { return text_operand_; }
+
+  /// Evaluates against the raw bytes of the attribute value.
+  bool Eval(const uint8_t* value) const;
+
+  /// Re-targets the predicate at a different index (e.g. from table attr
+  /// index to block column index).
+  Predicate WithIndex(int attr_index) const {
+    Predicate p = *this;
+    p.attr_index_ = attr_index;
+    return p;
+  }
+
+ private:
+  int attr_index_ = 0;
+  CompareOp op_ = CompareOp::kEq;
+  bool is_text_ = false;
+  int32_t int_operand_ = 0;
+  std::string text_operand_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_PREDICATE_H_

@@ -1,0 +1,63 @@
+#include "engine/project.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace rodb {
+
+ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<int> columns,
+                                 ExecStats* stats, BlockLayout layout)
+    : child_(std::move(child)), columns_(std::move(columns)), stats_(stats),
+      block_(std::move(layout)) {}
+
+Result<OperatorPtr> ProjectOperator::Make(OperatorPtr child,
+                                          std::vector<int> columns,
+                                          ExecStats* stats) {
+  if (child == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("ProjectOperator: null dependency");
+  }
+  const BlockLayout& in = child->output_layout();
+  std::vector<int> widths;
+  widths.reserve(columns.size());
+  for (int col : columns) {
+    if (col < 0 || static_cast<size_t>(col) >= in.num_attrs()) {
+      return Status::OutOfRange("projection column out of range");
+    }
+    widths.push_back(in.widths[static_cast<size_t>(col)]);
+  }
+  BlockLayout layout = BlockLayout::FromWidths(widths);
+  return OperatorPtr(new ProjectOperator(std::move(child), std::move(columns),
+                                         stats, std::move(layout)));
+}
+
+Status ProjectOperator::Open() { return child_->Open(); }
+
+Result<TupleBlock*> ProjectOperator::Next() {
+  RODB_ASSIGN_OR_RETURN(TupleBlock * in, child_->Next());
+  if (in == nullptr) return static_cast<TupleBlock*>(nullptr);
+  ExecCounters& c = stats_->counters();
+  if (in->size() > block_.capacity()) {
+    block_ = TupleBlock(block_.layout(), in->size());
+  }
+  block_.Clear();
+  const BlockLayout& layout = block_.layout();
+  for (uint32_t i = 0; i < in->size(); ++i) {
+    uint8_t* slot = block_.AppendSlot();
+    for (size_t k = 0; k < columns_.size(); ++k) {
+      std::memcpy(slot + layout.offsets[k],
+                  in->attr(i, static_cast<size_t>(columns_[k])),
+                  static_cast<size_t>(layout.widths[k]));
+    }
+    block_.set_position(block_.size() - 1, in->position(i));
+    c.operator_tuples += 1;
+    c.values_copied += columns_.size();
+    c.bytes_copied += static_cast<uint64_t>(layout.tuple_width);
+  }
+  c.blocks_emitted += 1;
+  return &block_;
+}
+
+void ProjectOperator::Close() { child_->Close(); }
+
+}  // namespace rodb

@@ -1,0 +1,37 @@
+#ifndef RODB_ENGINE_PROJECT_H_
+#define RODB_ENGINE_PROJECT_H_
+
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "engine/operator.h"
+
+namespace rodb {
+
+/// Keeps a subset of the child's block columns, in the given order.
+class ProjectOperator final : public Operator {
+ public:
+  /// `columns` index into the child's block layout.
+  static Result<OperatorPtr> Make(OperatorPtr child,
+                                  std::vector<int> columns, ExecStats* stats);
+
+  Status Open() override;
+  Result<TupleBlock*> Next() override;
+  void Close() override;
+  const BlockLayout& output_layout() const override {
+    return block_.layout();
+  }
+
+ private:
+  ProjectOperator(OperatorPtr child, std::vector<int> columns,
+                  ExecStats* stats, BlockLayout layout);
+
+  OperatorPtr child_;
+  std::vector<int> columns_;
+  ExecStats* stats_;
+  TupleBlock block_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_PROJECT_H_

@@ -1,0 +1,186 @@
+#include "engine/row_scanner.h"
+
+#include "common/macros.h"
+
+namespace rodb {
+
+RowScanner::RowScanner(const OpenTable* table, ScanSpec spec,
+                       IoBackend* backend, ExecStats* stats,
+                       BlockLayout layout)
+    : table_(table), spec_(std::move(spec)), backend_(backend), stats_(stats),
+      block_(std::move(layout), spec_.block_tuples) {}
+
+Result<OperatorPtr> RowScanner::Make(const OpenTable* table, ScanSpec spec,
+                                     IoBackend* backend, ExecStats* stats) {
+  if (table == nullptr || backend == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("RowScanner: null dependency");
+  }
+  if (table->meta().layout != Layout::kRow) {
+    return Status::InvalidArgument("RowScanner requires a row-layout table");
+  }
+  const Schema& schema = table->schema();
+  if (spec.projection.empty()) {
+    return Status::InvalidArgument("scan projection must not be empty");
+  }
+  for (int attr : spec.projection) {
+    if (attr < 0 || static_cast<size_t>(attr) >= schema.num_attributes()) {
+      return Status::OutOfRange("projection attribute out of range");
+    }
+  }
+  for (const Predicate& pred : spec.predicates) {
+    if (pred.attr_index() < 0 ||
+        static_cast<size_t>(pred.attr_index()) >= schema.num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+  }
+  if (spec.io_unit_bytes % table->meta().page_size != 0) {
+    return Status::InvalidArgument(
+        "I/O unit must be a multiple of the page size");
+  }
+  BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
+  std::unique_ptr<RowScanner> scanner(new RowScanner(
+      table, std::move(spec), backend, stats, std::move(layout)));
+  RODB_ASSIGN_OR_RETURN(scanner->codec_bundle_, table->MakeRowCodec());
+  scanner->scratch_.resize(
+      static_cast<size_t>(schema.raw_tuple_width()));
+  // Pre-compute the per-tuple decode event profile for the counters.
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    switch (schema.attribute(i).codec.kind) {
+      case CompressionKind::kBitPack:
+        ++scanner->per_tuple_decode_.values_decoded_bitpack;
+        break;
+      case CompressionKind::kDict:
+      case CompressionKind::kCharPack:
+        ++scanner->per_tuple_decode_.values_decoded_dict;
+        break;
+      case CompressionKind::kFor:
+        ++scanner->per_tuple_decode_.values_decoded_for;
+        break;
+      case CompressionKind::kForDelta:
+        ++scanner->per_tuple_decode_.values_decoded_fordelta;
+        break;
+      case CompressionKind::kNone:
+        break;
+    }
+  }
+  for (int attr : scanner->spec_.projection) {
+    scanner->projected_bytes_ +=
+        schema.attribute(static_cast<size_t>(attr)).width;
+  }
+  return OperatorPtr(std::move(scanner));
+}
+
+Status RowScanner::Open() {
+  if (opened_) return Status::OK();
+  IoOptions options;
+  options.io_unit_bytes = spec_.io_unit_bytes;
+  options.prefetch_depth = spec_.prefetch_depth;
+  options.stats = stats_->io_stats();
+  options.start_offset = spec_.first_page * table_->meta().page_size;
+  if (spec_.num_pages != UINT64_MAX) {
+    options.length = spec_.num_pages * table_->meta().page_size;
+  }
+  RODB_ASSIGN_OR_RETURN(stream_,
+                        backend_->OpenStream(table_->FilePath(0), options));
+  opened_ = true;
+  return Status::OK();
+}
+
+Status RowScanner::AdvancePage() {
+  while (true) {
+    if (page_in_view_ >= pages_in_view_) {
+      RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
+      if (view_.size == 0) {
+        eof_ = true;
+        return Status::OK();
+      }
+      pages_in_view_ = view_.size / table_->meta().page_size;
+      page_in_view_ = 0;
+      if (pages_in_view_ == 0) {
+        return Status::Corruption("I/O unit smaller than one page");
+      }
+    }
+    const uint8_t* page_data =
+        view_.data + page_in_view_ * table_->meta().page_size;
+    ++page_in_view_;
+    RODB_ASSIGN_OR_RETURN(
+        RowPageReader reader,
+        RowPageReader::Open(page_data, table_->meta().page_size,
+                            &table_->schema(),
+                            codec_bundle_.row_codec.get()));
+    stats_->counters().pages_parsed += 1;
+    // A row scan streams the full page through the cache hierarchy.
+    stats_->AddSequentialBytes(table_->meta().page_size);
+    page_.emplace(reader);
+    tuple_in_page_ = 0;
+    if (page_->count() > 0) return Status::OK();
+    // Empty page: keep advancing.
+  }
+}
+
+void RowScanner::ProcessCurrentPage() {
+  const Schema& schema = table_->schema();
+  ExecCounters& c = stats_->counters();
+  const bool compressed = schema.is_compressed();
+  while (!block_.full() && tuple_in_page_ < page_->count()) {
+    const uint8_t* raw;
+    if (compressed) {
+      page_->DecodeNext(scratch_.data());
+      raw = scratch_.data();
+      c += per_tuple_decode_;
+    } else {
+      raw = page_->TupleAt(tuple_in_page_);
+    }
+    const uint64_t position = next_position_++;
+    ++tuple_in_page_;
+    c.tuples_examined += 1;
+    bool pass = true;
+    for (const Predicate& pred : spec_.predicates) {
+      c.predicate_evals += 1;
+      const uint8_t* value =
+          raw + schema.attr_offset(static_cast<size_t>(pred.attr_index()));
+      if (!pred.Eval(value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    uint8_t* slot = block_.AppendSlot();
+    const BlockLayout& layout = block_.layout();
+    for (size_t i = 0; i < spec_.projection.size(); ++i) {
+      const size_t attr = static_cast<size_t>(spec_.projection[i]);
+      std::memcpy(slot + layout.offsets[i],
+                  raw + schema.attr_offset(attr),
+                  static_cast<size_t>(layout.widths[i]));
+    }
+    block_.set_position(block_.size() - 1, position);
+    c.values_copied += spec_.projection.size();
+    c.bytes_copied += static_cast<uint64_t>(projected_bytes_);
+  }
+}
+
+Result<TupleBlock*> RowScanner::Next() {
+  if (!opened_) return Status::InvalidArgument("RowScanner not opened");
+  block_.Clear();
+  while (!block_.full() && !eof_) {
+    if (!page_.has_value() || tuple_in_page_ >= page_->count()) {
+      RODB_RETURN_IF_ERROR(AdvancePage());
+      if (eof_) break;
+    }
+    ProcessCurrentPage();
+  }
+  if (block_.empty()) {
+    stats_->FoldIo();
+    return static_cast<TupleBlock*>(nullptr);
+  }
+  stats_->counters().blocks_emitted += 1;
+  return &block_;
+}
+
+void RowScanner::Close() {
+  stats_->FoldIo();
+  stream_.reset();
+  page_.reset();
+}
+
+}  // namespace rodb

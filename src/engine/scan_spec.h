@@ -1,0 +1,62 @@
+#ifndef RODB_ENGINE_SCAN_SPEC_H_
+#define RODB_ENGINE_SCAN_SPEC_H_
+
+#include <vector>
+
+#include "engine/predicate.h"
+#include "engine/tuple_block.h"
+#include "io/io.h"
+
+namespace rodb {
+
+/// What a table scan computes: `select <projection> from T where
+/// <predicates>` -- the query template the whole performance study varies
+/// (Section 4). Predicate attribute indices refer to the table schema.
+///
+/// Predicates are a conjunction, evaluated in the given order; the column
+/// scanner builds one pipelined scan node per distinct predicate attribute
+/// in that order, deepest first ("we push scan nodes that yield few
+/// qualifying tuples as deep as possible"), followed by one node per
+/// remaining projected column.
+struct ScanSpec {
+  std::vector<int> projection;       ///< table attr indices, output order
+  std::vector<Predicate> predicates; ///< conjunctive SARGable predicates
+  size_t io_unit_bytes = 128 * 1024; ///< I/O request granularity
+  int prefetch_depth = 48;           ///< I/O units kept in flight
+  uint32_t block_tuples = kDefaultBlockTuples;
+  /// Page range of the table to scan, for partitioned (degree-of-
+  /// parallelism) plans over single-file layouts (row, PAX). The default
+  /// scans everything. Column tables reject ranges: their files disagree
+  /// on what a page range means.
+  uint64_t first_page = 0;
+  uint64_t num_pages = UINT64_MAX;
+  /// Evaluate =/!= predicates on dictionary columns directly against the
+  /// compressed codes, materializing values only for qualifying tuples
+  /// that the projection needs ("operating directly on compressed data",
+  /// the column-store advantage the paper's conclusion cites). Currently
+  /// honored by the pipelined ColumnScanner.
+  bool compressed_eval = true;
+};
+
+/// The distinct table attributes a column scan must read, in pipeline
+/// order: predicate attributes first (in predicate order), then the
+/// remaining projected attributes. Also the set of column files the scan
+/// opens, which drives the I/O model's stream list.
+inline std::vector<size_t> ScanPipelineAttrs(const ScanSpec& spec) {
+  std::vector<size_t> attrs;
+  auto add = [&attrs](size_t a) {
+    for (size_t seen : attrs) {
+      if (seen == a) return;
+    }
+    attrs.push_back(a);
+  };
+  for (const Predicate& pred : spec.predicates) {
+    add(static_cast<size_t>(pred.attr_index()));
+  }
+  for (int attr : spec.projection) add(static_cast<size_t>(attr));
+  return attrs;
+}
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_SCAN_SPEC_H_

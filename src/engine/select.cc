@@ -1,0 +1,54 @@
+#include "engine/select.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace rodb {
+
+FilterOperator::FilterOperator(OperatorPtr child,
+                               std::vector<Predicate> predicates,
+                               ExecStats* stats)
+    : child_(std::move(child)), predicates_(std::move(predicates)),
+      stats_(stats), block_(child_->output_layout()) {}
+
+Status FilterOperator::Open() { return child_->Open(); }
+
+Result<TupleBlock*> FilterOperator::Next() {
+  ExecCounters& c = stats_->counters();
+  block_.Clear();
+  while (!block_.full()) {
+    RODB_ASSIGN_OR_RETURN(TupleBlock * in, child_->Next());
+    if (in == nullptr) break;
+    if (in->size() > block_.capacity()) {
+      block_ = TupleBlock(block_.layout(), in->size());
+    }
+    const int width = in->layout().tuple_width;
+    for (uint32_t i = 0; i < in->size(); ++i) {
+      c.operator_tuples += 1;
+      bool pass = true;
+      for (const Predicate& pred : predicates_) {
+        c.predicate_evals += 1;
+        if (!pred.Eval(in->attr(i, static_cast<size_t>(pred.attr_index())))) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      // Qualifying tuples may overflow the output block mid-input-block;
+      // simplest faithful behaviour is to size output == input capacity.
+      if (block_.full()) break;
+      std::memcpy(block_.AppendSlot(), in->tuple(i),
+                  static_cast<size_t>(width));
+      block_.set_position(block_.size() - 1, in->position(i));
+    }
+    if (!block_.empty()) break;  // emit per input block, preserving order
+  }
+  if (block_.empty()) return static_cast<TupleBlock*>(nullptr);
+  c.blocks_emitted += 1;
+  return &block_;
+}
+
+void FilterOperator::Close() { child_->Close(); }
+
+}  // namespace rodb

@@ -1,0 +1,36 @@
+#ifndef RODB_ENGINE_SELECT_H_
+#define RODB_ENGINE_SELECT_H_
+
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "engine/operator.h"
+#include "engine/predicate.h"
+
+namespace rodb {
+
+/// Block-level filter for predicates that were not pushed into a scanner
+/// (e.g. on computed columns or above a join). Predicate attribute indices
+/// refer to the child's block layout.
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, std::vector<Predicate> predicates,
+                 ExecStats* stats);
+
+  Status Open() override;
+  Result<TupleBlock*> Next() override;
+  void Close() override;
+  const BlockLayout& output_layout() const override {
+    return child_->output_layout();
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<Predicate> predicates_;
+  ExecStats* stats_;
+  TupleBlock block_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_SELECT_H_

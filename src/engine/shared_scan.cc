@@ -1,0 +1,104 @@
+#include "engine/shared_scan.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace rodb {
+
+class SharedScan::Consumer final : public Operator {
+ public:
+  Consumer(std::shared_ptr<State> state, size_t index)
+      : state_(std::move(state)), index_(index) {}
+
+  Status Open() override {
+    if (opened_) return Status::OK();
+    opened_ = true;
+    ++state_->open_consumers;
+    if (!state_->opened) {
+      state_->opened = true;
+      return state_->source->Open();
+    }
+    return Status::OK();
+  }
+
+  Result<TupleBlock*> Next() override {
+    if (!opened_) return Status::InvalidArgument("consumer not opened");
+    state_->started = true;
+    const uint64_t seq = state_->consumer_next[index_];
+    auto block = state_->Fetch(seq);
+    if (!block.ok()) return block;
+    if (*block != nullptr) {
+      state_->consumer_next[index_] = seq + 1;
+      state_->Retire();
+    }
+    return block;
+  }
+
+  void Close() override {
+    if (!opened_ || closed_) return;
+    closed_ = true;
+    // Detach from the window so the other consumers can retire blocks.
+    state_->consumer_next[index_] = UINT64_MAX;
+    state_->Retire();
+    if (--state_->open_consumers == 0) state_->source->Close();
+  }
+
+  const BlockLayout& output_layout() const override {
+    return state_->source->output_layout();
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+  size_t index_;
+  bool opened_ = false;
+  bool closed_ = false;
+};
+
+SharedScan::SharedScan(OperatorPtr source, size_t max_lag_blocks)
+    : state_(std::make_shared<State>()) {
+  state_->source = std::move(source);
+  state_->max_lag = max_lag_blocks;
+}
+
+OperatorPtr SharedScan::AddConsumer() {
+  RODB_CHECK(!state_->started);
+  const size_t index = state_->consumer_next.size();
+  state_->consumer_next.push_back(0);
+  return OperatorPtr(new Consumer(state_, index));
+}
+
+Result<TupleBlock*> SharedScan::State::Fetch(uint64_t seq) {
+  RODB_CHECK(seq >= window_start);
+  while (seq >= window_start + window.size()) {
+    if (exhausted) return static_cast<TupleBlock*>(nullptr);
+    if (max_lag != 0 && window.size() >= max_lag) {
+      return Status::ResourceExhausted(
+          "shared scan window full: a consumer lags more than " +
+          std::to_string(max_lag) + " blocks");
+    }
+    auto next = source->Next();
+    if (!next.ok()) return next;
+    if (*next == nullptr) {
+      exhausted = true;
+      return static_cast<TupleBlock*>(nullptr);
+    }
+    // The source reuses its block; buffer a copy for the window.
+    window.push_back(std::make_unique<TupleBlock>(**next));
+  }
+  return window[seq - window_start].get();
+}
+
+void SharedScan::State::Retire() {
+  uint64_t min_next = UINT64_MAX;
+  for (uint64_t n : consumer_next) min_next = std::min(min_next, n);
+  // A consumer with next == s+1 may still hold a pointer to block s, so
+  // only retire blocks strictly older than min_next - 1.
+  while (!window.empty() && min_next != UINT64_MAX &&
+         window_start + 1 < min_next) {
+    window.pop_front();
+    ++window_start;
+  }
+}
+
+}  // namespace rodb

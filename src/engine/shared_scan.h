@@ -1,0 +1,64 @@
+#ifndef RODB_ENGINE_SHARED_SCAN_H_
+#define RODB_ENGINE_SHARED_SCAN_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace rodb {
+
+/// Scan sharing (Section 2.1.1): "when multiple concurrent queries scan
+/// the same table, often it pays off to employ a single scanner and
+/// deliver data to multiple queries off a single reading stream" (the
+/// optimization Teradata, RedBrick, SQL Server and QPipe employ; the
+/// paper notes it is orthogonal to data placement -- which is exactly why
+/// rodb layers it above any scanner).
+///
+/// One underlying operator is executed once; each AddConsumer() returns
+/// an Operator that observes the complete block stream. Consumers may be
+/// pulled in any interleaving (single-threaded); blocks are buffered in a
+/// sliding window sized by the maximum consumer lag and retired once
+/// every consumer has moved past them.
+class SharedScan {
+ public:
+  /// `source` is the scan to share; `max_lag_blocks` bounds the buffer
+  /// (a consumer falling further behind gets ResourceExhausted, which in
+  /// a real system would throttle the leader; 0 = unbounded).
+  explicit SharedScan(OperatorPtr source, size_t max_lag_blocks = 0);
+
+  /// Creates a consumer. All consumers must be added before the first
+  /// Next() on any of them.
+  OperatorPtr AddConsumer();
+
+  size_t num_consumers() const { return state_->consumer_next.size(); }
+  /// Blocks currently buffered (diagnostics / tests).
+  size_t window_size() const { return state_->window.size(); }
+
+ private:
+  struct State {
+    OperatorPtr source;
+    size_t max_lag = 0;
+    bool opened = false;
+    bool exhausted = false;
+    bool started = false;
+    uint64_t window_start = 0;  ///< sequence number of window.front()
+    std::deque<std::unique_ptr<TupleBlock>> window;
+    std::vector<uint64_t> consumer_next;  ///< next sequence per consumer
+    size_t open_consumers = 0;
+
+    /// Serves sequence `seq` (pulling the source if needed); nullptr at
+    /// end of stream.
+    Result<TupleBlock*> Fetch(uint64_t seq);
+    void Retire();
+  };
+
+  class Consumer;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_SHARED_SCAN_H_

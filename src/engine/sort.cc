@@ -1,0 +1,178 @@
+#include "engine/sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+
+namespace rodb {
+
+namespace {
+
+Status ValidateSortColumn(const BlockLayout& layout, int column) {
+  if (column < 0 || static_cast<size_t>(column) >= layout.num_attrs()) {
+    return Status::OutOfRange("sort column out of range");
+  }
+  if (layout.widths[static_cast<size_t>(column)] != 4) {
+    return Status::InvalidArgument("sort column must be int32");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- SortOperator ---
+
+SortOperator::SortOperator(OperatorPtr child, int column, SortOrder order,
+                           ExecStats* stats)
+    : child_(std::move(child)), column_(column), order_(order), stats_(stats),
+      block_(child_->output_layout()) {}
+
+Result<OperatorPtr> SortOperator::Make(OperatorPtr child, int column,
+                                       SortOrder order, ExecStats* stats) {
+  if (child == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("SortOperator: null dependency");
+  }
+  RODB_RETURN_IF_ERROR(ValidateSortColumn(child->output_layout(), column));
+  return OperatorPtr(new SortOperator(std::move(child), column, order, stats));
+}
+
+Status SortOperator::Open() { return child_->Open(); }
+
+Status SortOperator::Consume() {
+  ExecCounters& c = stats_->counters();
+  const int width = child_->output_layout().tuple_width;
+  while (true) {
+    RODB_ASSIGN_OR_RETURN(TupleBlock * in, child_->Next());
+    if (in == nullptr) break;
+    for (uint32_t i = 0; i < in->size(); ++i) {
+      rows_.insert(rows_.end(), in->tuple(i), in->tuple(i) + width);
+      c.operator_tuples += 1;
+    }
+  }
+  const size_t n = rows_.size() / static_cast<size_t>(width);
+  order_indices_.resize(n);
+  std::iota(order_indices_.begin(), order_indices_.end(), 0);
+  const int offset = child_->output_layout().offsets[
+      static_cast<size_t>(column_)];
+  uint64_t comparisons = 0;
+  const bool asc = order_ == SortOrder::kAscending;
+  std::stable_sort(
+      order_indices_.begin(), order_indices_.end(),
+      [this, width, offset, asc, &comparisons](uint32_t a, uint32_t b) {
+        ++comparisons;
+        const int32_t va = LoadLE32s(
+            rows_.data() + static_cast<size_t>(a) * width + offset);
+        const int32_t vb = LoadLE32s(
+            rows_.data() + static_cast<size_t>(b) * width + offset);
+        return asc ? va < vb : vb < va;
+      });
+  c.sort_comparisons += comparisons;
+  consumed_ = true;
+  return Status::OK();
+}
+
+Result<TupleBlock*> SortOperator::Next() {
+  if (!consumed_) RODB_RETURN_IF_ERROR(Consume());
+  if (emit_index_ >= order_indices_.size()) {
+    return static_cast<TupleBlock*>(nullptr);
+  }
+  const int width = child_->output_layout().tuple_width;
+  block_.Clear();
+  while (!block_.full() && emit_index_ < order_indices_.size()) {
+    std::memcpy(block_.AppendSlot(),
+                rows_.data() +
+                    static_cast<size_t>(order_indices_[emit_index_]) * width,
+                static_cast<size_t>(width));
+    ++emit_index_;
+  }
+  stats_->counters().blocks_emitted += 1;
+  return &block_;
+}
+
+void SortOperator::Close() { child_->Close(); }
+
+// --- TopNOperator ---
+
+TopNOperator::TopNOperator(OperatorPtr child, int column, SortOrder order,
+                           uint32_t limit, ExecStats* stats)
+    : child_(std::move(child)), column_(column), order_(order), limit_(limit),
+      stats_(stats), block_(child_->output_layout()) {}
+
+Result<OperatorPtr> TopNOperator::Make(OperatorPtr child, int column,
+                                       SortOrder order, uint32_t limit,
+                                       ExecStats* stats) {
+  if (child == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("TopNOperator: null dependency");
+  }
+  if (limit == 0) {
+    return Status::InvalidArgument("Top-N limit must be positive");
+  }
+  RODB_RETURN_IF_ERROR(ValidateSortColumn(child->output_layout(), column));
+  return OperatorPtr(
+      new TopNOperator(std::move(child), column, order, limit, stats));
+}
+
+Status TopNOperator::Open() { return child_->Open(); }
+
+bool TopNOperator::Before(const uint8_t* a, const uint8_t* b) const {
+  const int offset =
+      child_->output_layout().offsets[static_cast<size_t>(column_)];
+  const int32_t va = LoadLE32s(a + offset);
+  const int32_t vb = LoadLE32s(b + offset);
+  return order_ == SortOrder::kAscending ? va < vb : vb < va;
+}
+
+Status TopNOperator::Consume() {
+  ExecCounters& c = stats_->counters();
+  const int width = child_->output_layout().tuple_width;
+  // heap_ keeps the current worst of the best-N at the front.
+  auto worse = [this, &c](const std::vector<uint8_t>& a,
+                          const std::vector<uint8_t>& b) {
+    c.sort_comparisons += 1;
+    return Before(a.data(), b.data());
+  };
+  while (true) {
+    RODB_ASSIGN_OR_RETURN(TupleBlock * in, child_->Next());
+    if (in == nullptr) break;
+    for (uint32_t i = 0; i < in->size(); ++i) {
+      c.operator_tuples += 1;
+      const uint8_t* t = in->tuple(i);
+      if (heap_.size() < limit_) {
+        heap_.emplace_back(t, t + width);
+        std::push_heap(heap_.begin(), heap_.end(), worse);
+        continue;
+      }
+      c.sort_comparisons += 1;
+      if (Before(t, heap_.front().data())) {
+        std::pop_heap(heap_.begin(), heap_.end(), worse);
+        heap_.back().assign(t, t + width);
+        std::push_heap(heap_.begin(), heap_.end(), worse);
+      }
+    }
+  }
+  sorted_ = std::move(heap_);
+  std::sort(sorted_.begin(), sorted_.end(), worse);
+  consumed_ = true;
+  return Status::OK();
+}
+
+Result<TupleBlock*> TopNOperator::Next() {
+  if (!consumed_) RODB_RETURN_IF_ERROR(Consume());
+  if (emit_index_ >= sorted_.size()) return static_cast<TupleBlock*>(nullptr);
+  block_.Clear();
+  const int width = child_->output_layout().tuple_width;
+  while (!block_.full() && emit_index_ < sorted_.size()) {
+    std::memcpy(block_.AppendSlot(), sorted_[emit_index_].data(),
+                static_cast<size_t>(width));
+    ++emit_index_;
+  }
+  stats_->counters().blocks_emitted += 1;
+  return &block_;
+}
+
+void TopNOperator::Close() { child_->Close(); }
+
+}  // namespace rodb

@@ -1,0 +1,83 @@
+#ifndef RODB_ENGINE_SORT_H_
+#define RODB_ENGINE_SORT_H_
+
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "engine/operator.h"
+
+namespace rodb {
+
+/// Sort order for SortOperator / TopNOperator.
+enum class SortOrder : uint8_t { kAscending, kDescending };
+
+/// In-memory sort on one int32 block column (the ORDER BY of the paper's
+/// query template, and the way to feed MergeJoinOperator from inputs that
+/// are not already clustered on the join key). Buffers the whole input on
+/// the first Next(), sorts stably, then streams blocks.
+class SortOperator final : public Operator {
+ public:
+  static Result<OperatorPtr> Make(OperatorPtr child, int column,
+                                  SortOrder order, ExecStats* stats);
+
+  Status Open() override;
+  Result<TupleBlock*> Next() override;
+  void Close() override;
+  const BlockLayout& output_layout() const override {
+    return child_->output_layout();
+  }
+
+ private:
+  SortOperator(OperatorPtr child, int column, SortOrder order,
+               ExecStats* stats);
+  Status Consume();
+
+  OperatorPtr child_;
+  int column_;
+  SortOrder order_;
+  ExecStats* stats_;
+  TupleBlock block_;
+  bool consumed_ = false;
+  std::vector<uint8_t> rows_;     ///< buffered tuples, back to back
+  std::vector<uint32_t> order_indices_;
+  size_t emit_index_ = 0;
+};
+
+/// Top-N by one int32 column: a bounded heap over the input, so memory
+/// stays O(N) however large the scan (the common "largest sales" report
+/// shape). Emits results in sort order.
+class TopNOperator final : public Operator {
+ public:
+  static Result<OperatorPtr> Make(OperatorPtr child, int column,
+                                  SortOrder order, uint32_t limit,
+                                  ExecStats* stats);
+
+  Status Open() override;
+  Result<TupleBlock*> Next() override;
+  void Close() override;
+  const BlockLayout& output_layout() const override {
+    return child_->output_layout();
+  }
+
+ private:
+  TopNOperator(OperatorPtr child, int column, SortOrder order, uint32_t limit,
+               ExecStats* stats);
+  Status Consume();
+  /// True if tuple a should appear before tuple b in the output.
+  bool Before(const uint8_t* a, const uint8_t* b) const;
+
+  OperatorPtr child_;
+  int column_;
+  SortOrder order_;
+  uint32_t limit_;
+  ExecStats* stats_;
+  TupleBlock block_;
+  bool consumed_ = false;
+  std::vector<std::vector<uint8_t>> heap_;  ///< worst-first binary heap
+  std::vector<std::vector<uint8_t>> sorted_;
+  size_t emit_index_ = 0;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_SORT_H_

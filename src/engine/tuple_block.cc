@@ -1,0 +1,26 @@
+#include "engine/tuple_block.h"
+
+namespace rodb {
+
+BlockLayout BlockLayout::FromWidths(const std::vector<int>& widths) {
+  BlockLayout layout;
+  layout.widths = widths;
+  layout.offsets.reserve(widths.size());
+  for (int w : widths) {
+    layout.offsets.push_back(layout.tuple_width);
+    layout.tuple_width += w;
+  }
+  return layout;
+}
+
+BlockLayout BlockLayout::FromSchema(const Schema& schema,
+                                    const std::vector<int>& attr_indices) {
+  std::vector<int> widths;
+  widths.reserve(attr_indices.size());
+  for (int idx : attr_indices) {
+    widths.push_back(schema.attribute(static_cast<size_t>(idx)).width);
+  }
+  return FromWidths(widths);
+}
+
+}  // namespace rodb

@@ -1,0 +1,89 @@
+#ifndef RODB_ENGINE_TUPLE_BLOCK_H_
+#define RODB_ENGINE_TUPLE_BLOCK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// Tuples per block. Chosen so a block fits in the 16KB L1 data cache
+/// (Section 2.2.3: "we use blocks of 100 tuples").
+inline constexpr uint32_t kDefaultBlockTuples = 100;
+
+/// Physical layout of the tuples inside a block: fixed-width attributes
+/// back to back. Operators are agnostic about the database schema and see
+/// only this geometry.
+struct BlockLayout {
+  std::vector<int> widths;
+  std::vector<int> offsets;
+  int tuple_width = 0;
+
+  static BlockLayout FromWidths(const std::vector<int>& widths);
+  /// Layout of the given attributes of `schema`, in the given order.
+  static BlockLayout FromSchema(const Schema& schema,
+                                const std::vector<int>& attr_indices);
+
+  size_t num_attrs() const { return widths.size(); }
+  bool operator==(const BlockLayout& o) const {
+    return widths == o.widths;  // offsets/width are derived
+  }
+};
+
+/// A reusable array of tuples passed between operators (the pull-based
+/// block-iterator model of Figure 4). Blocks optionally carry a parallel
+/// array of row positions ({position, value} pairs of the pipelined
+/// column scanner). No memory is allocated during query execution: blocks
+/// are sized once and reused.
+class TupleBlock {
+ public:
+  TupleBlock(BlockLayout layout, uint32_t capacity = kDefaultBlockTuples)
+      : layout_(std::move(layout)), capacity_(capacity),
+        data_(static_cast<size_t>(capacity) *
+              static_cast<size_t>(layout_.tuple_width)),
+        positions_(capacity) {}
+
+  const BlockLayout& layout() const { return layout_; }
+  uint32_t size() const { return size_; }
+  uint32_t capacity() const { return capacity_; }
+  bool full() const { return size_ == capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t* tuple(uint32_t i) {
+    return data_.data() +
+           static_cast<size_t>(i) * static_cast<size_t>(layout_.tuple_width);
+  }
+  const uint8_t* tuple(uint32_t i) const {
+    return data_.data() +
+           static_cast<size_t>(i) * static_cast<size_t>(layout_.tuple_width);
+  }
+  uint8_t* attr(uint32_t i, size_t a) {
+    return tuple(i) + layout_.offsets[a];
+  }
+  const uint8_t* attr(uint32_t i, size_t a) const {
+    return tuple(i) + layout_.offsets[a];
+  }
+
+  /// Appends an empty tuple slot and returns it (caller fills it in).
+  uint8_t* AppendSlot() { return tuple(size_++); }
+
+  void Clear() { size_ = 0; }
+  /// Sets the tuple count directly (used by in-place column fills).
+  void set_size(uint32_t n) { size_ = n; }
+
+  uint64_t position(uint32_t i) const { return positions_[i]; }
+  void set_position(uint32_t i, uint64_t pos) { positions_[i] = pos; }
+
+ private:
+  BlockLayout layout_;
+  uint32_t capacity_;
+  uint32_t size_ = 0;
+  std::vector<uint8_t> data_;
+  std::vector<uint64_t> positions_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_TUPLE_BLOCK_H_

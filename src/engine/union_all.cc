@@ -1,0 +1,90 @@
+#include "engine/union_all.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "engine/pax_scanner.h"
+#include "engine/row_scanner.h"
+
+namespace rodb {
+
+Result<OperatorPtr> UnionAllOperator::Make(std::vector<OperatorPtr> children,
+                                           ExecStats* stats) {
+  if (children.empty()) {
+    return Status::InvalidArgument("union needs at least one child");
+  }
+  if (stats == nullptr) {
+    return Status::InvalidArgument("UnionAllOperator: null stats");
+  }
+  for (const OperatorPtr& child : children) {
+    if (child == nullptr) {
+      return Status::InvalidArgument("union child is null");
+    }
+    if (!(child->output_layout() == children.front()->output_layout())) {
+      return Status::InvalidArgument("union children disagree on layout");
+    }
+  }
+  return OperatorPtr(new UnionAllOperator(std::move(children), stats));
+}
+
+Status UnionAllOperator::Open() {
+  for (OperatorPtr& child : children_) {
+    RODB_RETURN_IF_ERROR(child->Open());
+  }
+  current_ = 0;
+  return Status::OK();
+}
+
+Result<TupleBlock*> UnionAllOperator::Next() {
+  while (current_ < children_.size()) {
+    RODB_ASSIGN_OR_RETURN(TupleBlock * block, children_[current_]->Next());
+    if (block != nullptr) return block;
+    ++current_;
+  }
+  return static_cast<TupleBlock*>(nullptr);
+}
+
+void UnionAllOperator::Close() {
+  for (OperatorPtr& child : children_) child->Close();
+}
+
+Result<OperatorPtr> MakePartitionedScan(const OpenTable* table,
+                                        const ScanSpec& spec, int partitions,
+                                        IoBackend* backend,
+                                        ExecStats* stats) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("MakePartitionedScan: null table");
+  }
+  if (partitions < 1) {
+    return Status::InvalidArgument("partition count must be positive");
+  }
+  if (table->meta().layout == Layout::kColumn) {
+    return Status::NotSupported(
+        "partitioned scans need a single-file layout (row or PAX)");
+  }
+  if (spec.first_page != 0 || spec.num_pages != UINT64_MAX) {
+    return Status::InvalidArgument(
+        "partitioned scan spec must cover the whole table");
+  }
+  const uint64_t total_pages = table->meta().file_pages[0];
+  const uint64_t per_part =
+      (total_pages + static_cast<uint64_t>(partitions) - 1) /
+      static_cast<uint64_t>(partitions);
+  std::vector<OperatorPtr> children;
+  for (int p = 0; p < partitions; ++p) {
+    const uint64_t first = static_cast<uint64_t>(p) * per_part;
+    if (first >= total_pages) break;
+    ScanSpec part = spec;
+    part.first_page = first;
+    part.num_pages = std::min(per_part, total_pages - first);
+    Result<OperatorPtr> scan =
+        table->meta().layout == Layout::kRow
+            ? RowScanner::Make(table, part, backend, stats)
+            : PaxScanner::Make(table, part, backend, stats);
+    RODB_RETURN_IF_ERROR(scan.status());
+    children.push_back(std::move(scan).value());
+  }
+  return UnionAllOperator::Make(std::move(children), stats);
+}
+
+}  // namespace rodb

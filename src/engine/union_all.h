@@ -1,0 +1,56 @@
+#ifndef RODB_ENGINE_UNION_ALL_H_
+#define RODB_ENGINE_UNION_ALL_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "engine/operator.h"
+#include "engine/scan_spec.h"
+#include "io/io.h"
+#include "storage/catalog.h"
+
+namespace rodb {
+
+/// Concatenates the block streams of several children with identical
+/// layouts (child 0 fully drained, then child 1, ...). With children
+/// that are page-range partitions of one table, the output equals the
+/// full-table scan in order.
+///
+/// This is the building block for the paper's "degree of parallelism"
+/// capacity-planning factor (Section 4, factor iv): a DOP-k plan is k
+/// partitioned scans whose CPU work the hardware model divides across k
+/// CPUs (HardwareConfig::num_cpus).
+class UnionAllOperator final : public Operator {
+ public:
+  static Result<OperatorPtr> Make(std::vector<OperatorPtr> children,
+                                  ExecStats* stats);
+
+  Status Open() override;
+  Result<TupleBlock*> Next() override;
+  void Close() override;
+  const BlockLayout& output_layout() const override {
+    return children_.front()->output_layout();
+  }
+
+ private:
+  UnionAllOperator(std::vector<OperatorPtr> children, ExecStats* stats)
+      : children_(std::move(children)), stats_(stats) {}
+
+  std::vector<OperatorPtr> children_;
+  ExecStats* stats_;
+  size_t current_ = 0;
+};
+
+/// Splits a row/PAX table scan into `partitions` contiguous page ranges
+/// and unions them. The result is plan-compatible with the single scan
+/// (same tuples, same order) while each partition's I/O is an
+/// independent sequential range -- the shape a DOP-k executor would hand
+/// to k workers.
+Result<OperatorPtr> MakePartitionedScan(const OpenTable* table,
+                                        const ScanSpec& spec, int partitions,
+                                        IoBackend* backend, ExecStats* stats);
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_UNION_ALL_H_

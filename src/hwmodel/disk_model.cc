@@ -1,0 +1,110 @@
+#include "hwmodel/disk_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace rodb {
+
+namespace {
+
+struct ActiveStream {
+  uint64_t remaining = 0;
+  uint64_t total = 0;
+  double weight = 1.0;
+  bool serialized = false;
+  bool is_query = false;
+  double credit = 0.0;  ///< accumulated scheduling credit
+};
+
+}  // namespace
+
+DiskSimResult DiskArrayModel::Simulate(
+    const std::vector<StreamSpec>& query_streams,
+    const std::vector<StreamSpec>& competing_streams) const {
+  DiskSimResult result;
+  std::vector<ActiveStream> streams;
+  streams.reserve(query_streams.size() + competing_streams.size());
+  uint64_t query_total = 0;
+  for (const StreamSpec& s : query_streams) {
+    if (s.bytes == 0) continue;
+    streams.push_back({s.bytes, s.bytes, s.weight, s.serialized, true, 0.0});
+    query_total += s.bytes;
+  }
+  result.query_bytes = query_total;
+  if (query_total == 0) return result;
+  for (const StreamSpec& s : competing_streams) {
+    if (s.bytes == 0) continue;
+    streams.push_back({s.bytes, s.bytes, s.weight, s.serialized, false, 0.0});
+  }
+
+  const double bw = hw_.TotalDiskBandwidth();
+  RODB_CHECK(bw > 0);
+  const uint64_t slice = std::max<uint64_t>(SliceBytes(), 1);
+
+  // Fast path: one stream and no competition reads at full sequential
+  // bandwidth with no seeks (Section 4.1: "a row store, for a single scan,
+  // enjoys a full sequential bandwidth").
+  size_t query_active = 0;
+  for (const ActiveStream& s : streams) query_active += s.is_query ? 1 : 0;
+  if (streams.size() == 1) {
+    result.transfer_seconds = SequentialSeconds(streams[0].remaining);
+    result.query_seconds = result.transfer_seconds;
+    return result;
+  }
+
+  double now = 0.0;
+  size_t last = streams.size();  // index of the stream served last
+  uint64_t remaining_query = query_total;
+  // Deficit round-robin over active streams. Each turn serves one slice
+  // (scaled by weight via credit accumulation).
+  while (remaining_query > 0) {
+    // Pick the active stream with the highest credit; replenish if none
+    // is ready. Competing streams restart when drained.
+    size_t pick = streams.size();
+    double best = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < streams.size(); ++i) {
+      ActiveStream& s = streams[i];
+      if (s.remaining == 0) {
+        if (!s.is_query) s.remaining = s.total;  // standing workload
+        else continue;
+      }
+      if (s.credit > best) {
+        best = s.credit;
+        pick = i;
+      }
+    }
+    RODB_CHECK(pick < streams.size());
+    for (size_t i = 0; i < streams.size(); ++i) {
+      if (streams[i].remaining > 0 || !streams[i].is_query) {
+        streams[i].credit += streams[i].weight;
+      }
+    }
+    ActiveStream& s = streams[pick];
+    s.credit -= static_cast<double>(streams.size());
+
+    const uint64_t chunk = std::min<uint64_t>(slice, s.remaining);
+    double cost = static_cast<double>(chunk) / bw;
+    if (pick != last) {
+      // Head movement between files. A serialized stream cannot overlap
+      // the seek with an already-queued request, so it pays it twice:
+      // once to reach the data and once because the device idles while
+      // the scanner digests the previous buffer before submitting.
+      cost += hw_.seek_seconds * (s.serialized ? 2.0 : 1.0);
+      result.seeks += 1;
+      result.seek_seconds += hw_.seek_seconds * (s.serialized ? 2.0 : 1.0);
+      last = pick;
+    }
+    now += cost;
+    result.transfer_seconds += static_cast<double>(chunk) / bw;
+    s.remaining -= chunk;
+    if (s.is_query) {
+      remaining_query -= chunk;
+      if (remaining_query == 0) result.query_seconds = now;
+    }
+  }
+  return result;
+}
+
+}  // namespace rodb

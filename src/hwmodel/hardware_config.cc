@@ -1,0 +1,38 @@
+#include "hwmodel/hardware_config.h"
+
+#include <cstdio>
+
+namespace rodb {
+
+HardwareConfig HardwareConfig::Paper2006() { return HardwareConfig{}; }
+
+HardwareConfig HardwareConfig::Paper2006OneDisk() {
+  HardwareConfig hw;
+  hw.num_disks = 1;
+  return hw;
+}
+
+HardwareConfig HardwareConfig::Desktop2006() {
+  HardwareConfig hw;
+  hw.num_cpus = 2;
+  hw.num_disks = 1;
+  return hw;
+}
+
+HardwareConfig HardwareConfig::WithCpdb(double cpdb) {
+  HardwareConfig hw;
+  hw.num_disks = 1;
+  hw.disk_bandwidth_bytes = hw.TotalCpuHz() / cpdb;
+  return hw;
+}
+
+std::string HardwareConfig::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%dx%.1fGHz CPU, %dx%.0fMB/s disks, cpdb=%.1f",
+                num_cpus, clock_hz / 1e9, num_disks,
+                disk_bandwidth_bytes / 1e6, Cpdb());
+  return buf;
+}
+
+}  // namespace rodb

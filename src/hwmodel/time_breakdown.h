@@ -1,0 +1,40 @@
+#ifndef RODB_HWMODEL_TIME_BREAKDOWN_H_
+#define RODB_HWMODEL_TIME_BREAKDOWN_H_
+
+namespace rodb {
+
+/// The five-component CPU time breakdown of Figures 6-9 (Section 4.1),
+/// all in seconds:
+///
+///  - sys:      CPU time in kernel mode executing I/O requests.
+///  - usr_uop:  minimum time to execute the counted micro-ops (uops / 3
+///              per cycle on the paper's Pentium 4).
+///  - usr_l2:   stalls waiting for data to arrive in L2, after subtracting
+///              overlap of the hardware prefetcher with computation, plus
+///              full-penalty random misses.
+///  - usr_l1:   maximum possible stall moving lines from L2 to L1.
+///  - usr_rest: everything else while active in user mode (branch
+///              mispredictions, functional-unit stalls, ...).
+struct TimeBreakdown {
+  double sys = 0.0;
+  double usr_uop = 0.0;
+  double usr_l2 = 0.0;
+  double usr_l1 = 0.0;
+  double usr_rest = 0.0;
+
+  double User() const { return usr_uop + usr_l2 + usr_l1 + usr_rest; }
+  double Total() const { return sys + User(); }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& o) {
+    sys += o.sys;
+    usr_uop += o.usr_uop;
+    usr_l2 += o.usr_l2;
+    usr_l1 += o.usr_l1;
+    usr_rest += o.usr_rest;
+    return *this;
+  }
+};
+
+}  // namespace rodb
+
+#endif  // RODB_HWMODEL_TIME_BREAKDOWN_H_

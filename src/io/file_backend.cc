@@ -1,0 +1,180 @@
+#include "io/file_backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rodb {
+
+namespace {
+
+/// Prefetching stream over a POSIX fd. A producer thread preads
+/// sequentially into a bounded ring; Next() hands units to the consumer in
+/// file order. The ring holds prefetch_depth + 1 buffers: depth in flight
+/// plus the one the consumer is currently holding.
+class AsyncFileStream final : public SequentialStream {
+ public:
+  AsyncFileStream(int fd, uint64_t file_size, const IoOptions& options)
+      : fd_(fd), file_size_(file_size),
+        range_start_(std::min(options.start_offset, file_size)),
+        range_end_(options.length > file_size - range_start_
+                       ? file_size
+                       : range_start_ + options.length),
+        unit_(options.io_unit_bytes),
+        depth_(options.prefetch_depth < 1 ? 1 : options.prefetch_depth),
+        stats_(options.stats) {
+    const size_t ring = static_cast<size_t>(depth_) + 1;
+    buffers_.resize(ring);
+    for (auto& buf : buffers_) buf.resize(unit_);
+    producer_ = std::thread([this] { ProducerLoop(); });
+  }
+
+  ~AsyncFileStream() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_producer_.notify_all();
+    cv_consumer_.notify_all();
+    producer_.join();
+    ::close(fd_);
+  }
+
+  Result<IoView> Next() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Release the buffer the consumer was holding.
+    if (holding_) {
+      holding_ = false;
+      ++free_slots_;
+      cv_producer_.notify_one();
+    }
+    cv_consumer_.wait(lock, [this] {
+      return !filled_.empty() || produced_all_ || !error_.ok();
+    });
+    if (!error_.ok()) return error_;
+    if (filled_.empty()) return IoView{nullptr, 0, file_size_};  // EOF
+    Filled f = filled_.front();
+    filled_.pop_front();
+    holding_ = true;
+    if (stats_ != nullptr) {
+      stats_->bytes_read += f.size;
+      stats_->requests += 1;
+    }
+    return IoView{buffers_[f.slot].data(), f.size, f.offset};
+  }
+
+  uint64_t file_size() const override { return file_size_; }
+
+ private:
+  struct Filled {
+    size_t slot;
+    size_t size;
+    uint64_t offset;
+  };
+
+  void ProducerLoop() {
+    uint64_t offset = range_start_;
+    size_t slot = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_producer_.wait(lock, [this] { return free_slots_ > 0 || stop_; });
+        if (stop_) return;
+        --free_slots_;
+      }
+      if (offset >= range_end_) break;
+      const size_t want = static_cast<size_t>(
+          std::min<uint64_t>(unit_, range_end_ - offset));
+      size_t got = 0;
+      while (got < want) {
+        const ssize_t n =
+            ::pread(fd_, buffers_[slot].data() + got, want - got,
+                    static_cast<off_t>(offset + got));
+        if (n < 0) {
+          std::lock_guard<std::mutex> lock(mu_);
+          error_ = Status::IoError("pread failed");
+          cv_consumer_.notify_all();
+          return;
+        }
+        if (n == 0) break;  // truncated file
+        got += static_cast<size_t>(n);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        filled_.push_back({slot, got, offset});
+        cv_consumer_.notify_one();
+        if (got < want) {
+          error_ = Status::IoError("file shrank while reading");
+          cv_consumer_.notify_all();
+          return;
+        }
+      }
+      offset += got;
+      slot = (slot + 1) % buffers_.size();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    produced_all_ = true;
+    cv_consumer_.notify_all();
+  }
+
+  const int fd_;
+  const uint64_t file_size_;
+  const uint64_t range_start_;
+  const uint64_t range_end_;
+  const size_t unit_;
+  const int depth_;
+  IoStats* const stats_;
+
+  std::vector<std::vector<uint8_t>> buffers_;
+  std::mutex mu_;
+  std::condition_variable cv_producer_;
+  std::condition_variable cv_consumer_;
+  std::deque<Filled> filled_;
+  size_t free_slots_ = 0;  // set in ctor body via initial credit below
+  bool holding_ = false;
+  bool produced_all_ = false;
+  bool stop_ = false;
+  Status error_;
+  std::thread producer_;
+
+ public:
+  /// Gives the producer its initial credit (depth slots). Called once by
+  /// the factory right after construction.
+  void GrantInitialCredit() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_slots_ = static_cast<size_t>(depth_);
+    }
+    cv_producer_.notify_one();
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SequentialStream>> FileBackend::OpenStream(
+    const std::string& path, const IoOptions& options) {
+  if (options.io_unit_bytes == 0) {
+    return Status::InvalidArgument("io_unit_bytes must be positive");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat failed for " + path);
+  }
+  if (options.stats != nullptr) options.stats->files_opened += 1;
+  auto stream = std::make_unique<AsyncFileStream>(
+      fd, static_cast<uint64_t>(st.st_size), options);
+  stream->GrantInitialCredit();
+  return std::unique_ptr<SequentialStream>(std::move(stream));
+}
+
+}  // namespace rodb

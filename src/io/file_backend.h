@@ -1,0 +1,24 @@
+#ifndef RODB_IO_FILE_BACKEND_H_
+#define RODB_IO_FILE_BACKEND_H_
+
+#include "io/io.h"
+
+namespace rodb {
+
+/// Reads real files with a non-blocking prefetching reader.
+///
+/// The paper implements prefetching with Linux AIO inside a single-
+/// threaded process; rodb reaches the same behaviour portably with one
+/// background producer thread per stream that keeps up to `prefetch_depth`
+/// I/O units resident in a ring of reusable buffers while the consumer
+/// (the query engine) drains them in order. As in the paper there is no
+/// buffer pool: the stream hands the query a pointer into the ring.
+class FileBackend : public IoBackend {
+ public:
+  Result<std::unique_ptr<SequentialStream>> OpenStream(
+      const std::string& path, const IoOptions& options) override;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_IO_FILE_BACKEND_H_

@@ -1,0 +1,65 @@
+#ifndef RODB_IO_IO_H_
+#define RODB_IO_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rodb {
+
+/// Counters a stream updates while reading; the engine folds these into
+/// its ExecCounters to model CPU system time.
+struct IoStats {
+  uint64_t bytes_read = 0;
+  uint64_t requests = 0;    ///< I/O unit requests issued
+  uint64_t files_opened = 0;
+};
+
+/// How a scan reads a file (Section 2.2.3): fixed-size I/O units, a
+/// prefetch depth saying how many units are kept in flight ahead of the
+/// consumer, and DMA-like delivery (buffers are handed to the query with
+/// no extra copies and no OS file cache assumptions).
+struct IoOptions {
+  size_t io_unit_bytes = 128 * 1024;
+  int prefetch_depth = 48;
+  IoStats* stats = nullptr;  ///< optional, not owned
+  /// Byte range of the file to read ([start_offset, start_offset+length)),
+  /// for partitioned scans; length saturates at end of file.
+  uint64_t start_offset = 0;
+  uint64_t length = UINT64_MAX;
+};
+
+/// A filled I/O unit as seen by the consumer. The view stays valid until
+/// the next Next() call on the same stream.
+struct IoView {
+  const uint8_t* data = nullptr;
+  size_t size = 0;          ///< 0 at end of file
+  uint64_t file_offset = 0;
+};
+
+/// Sequential, prefetched read stream over one file. Single consumer.
+class SequentialStream {
+ public:
+  virtual ~SequentialStream() = default;
+  /// Returns the next I/O unit (size == 0 at EOF).
+  virtual Result<IoView> Next() = 0;
+  /// Total size of the underlying file in bytes.
+  virtual uint64_t file_size() const = 0;
+};
+
+/// Factory for streams. Implementations: FileBackend (real files through
+/// the threaded async reader) and MemBackend (in-memory files, for tests
+/// and model-driven sweeps).
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+  virtual Result<std::unique_ptr<SequentialStream>> OpenStream(
+      const std::string& path, const IoOptions& options) = 0;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_IO_IO_H_

@@ -1,0 +1,74 @@
+#include "io/mem_backend.h"
+
+#include <algorithm>
+
+namespace rodb {
+
+namespace {
+
+class MemStream final : public SequentialStream {
+ public:
+  MemStream(std::shared_ptr<std::vector<uint8_t>> file,
+            const IoOptions& options)
+      : file_(std::move(file)), unit_(options.io_unit_bytes),
+        stats_(options.stats),
+        offset_(std::min<size_t>(options.start_offset, file_->size())),
+        end_(options.length > file_->size() - offset_
+                 ? file_->size()
+                 : offset_ + static_cast<size_t>(options.length)) {}
+
+  Result<IoView> Next() override {
+    if (offset_ >= end_) {
+      return IoView{nullptr, 0, static_cast<uint64_t>(end_)};
+    }
+    const size_t size = std::min(unit_, end_ - offset_);
+    IoView view{file_->data() + offset_, size, static_cast<uint64_t>(offset_)};
+    offset_ += size;
+    if (stats_ != nullptr) {
+      stats_->bytes_read += size;
+      stats_->requests += 1;
+    }
+    return view;
+  }
+
+  uint64_t file_size() const override { return file_->size(); }
+
+ private:
+  std::shared_ptr<std::vector<uint8_t>> file_;
+  size_t unit_;
+  IoStats* stats_;
+  size_t offset_;
+  size_t end_;
+};
+
+}  // namespace
+
+void MemBackend::PutFile(const std::string& path,
+                         std::vector<uint8_t> contents) {
+  files_[path] = std::make_shared<std::vector<uint8_t>>(std::move(contents));
+}
+
+std::vector<uint8_t>* MemBackend::MutableFile(const std::string& path) {
+  auto& slot = files_[path];
+  if (slot == nullptr) slot = std::make_shared<std::vector<uint8_t>>();
+  return slot.get();
+}
+
+uint64_t MemBackend::FileSize(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->size();
+}
+
+Result<std::unique_ptr<SequentialStream>> MemBackend::OpenStream(
+    const std::string& path, const IoOptions& options) {
+  if (options.io_unit_bytes == 0) {
+    return Status::InvalidArgument("io_unit_bytes must be positive");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such mem file: " + path);
+  if (options.stats != nullptr) options.stats->files_opened += 1;
+  return std::unique_ptr<SequentialStream>(
+      new MemStream(it->second, options));
+}
+
+}  // namespace rodb

@@ -1,0 +1,38 @@
+#ifndef RODB_IO_MEM_BACKEND_H_
+#define RODB_IO_MEM_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "io/io.h"
+
+namespace rodb {
+
+/// In-memory file system serving the same stream interface as
+/// FileBackend. Used by tests (no disk churn) and by model-driven sweeps
+/// where the disk array is simulated analytically while the engine does
+/// real CPU work over memory-resident pages.
+class MemBackend : public IoBackend {
+ public:
+  /// Registers (or replaces) a file.
+  void PutFile(const std::string& path, std::vector<uint8_t> contents);
+
+  /// Convenience for loaders that want to append pages incrementally.
+  std::vector<uint8_t>* MutableFile(const std::string& path);
+
+  bool HasFile(const std::string& path) const {
+    return files_.count(path) != 0;
+  }
+  uint64_t FileSize(const std::string& path) const;
+
+  Result<std::unique_ptr<SequentialStream>> OpenStream(
+      const std::string& path, const IoOptions& options) override;
+
+ private:
+  std::map<std::string, std::shared_ptr<std::vector<uint8_t>>> files_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_IO_MEM_BACKEND_H_

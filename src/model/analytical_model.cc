@@ -1,0 +1,96 @@
+#include "model/analytical_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rodb {
+
+double AnalyticalModel::OperatorRate(double cycles_per_tuple) const {
+  if (cycles_per_tuple <= 0.0) return std::numeric_limits<double>::infinity();
+  return hw_.TotalCpuHz() / cycles_per_tuple;
+}
+
+double AnalyticalModel::Compose(const std::vector<double>& rates) {
+  double inv = 0.0;
+  for (double r : rates) {
+    if (r <= 0.0) return 0.0;
+    if (r == std::numeric_limits<double>::infinity()) continue;
+    inv += 1.0 / r;
+  }
+  if (inv == 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / inv;
+}
+
+double AnalyticalModel::ScanRate(const ScanCpuCost& cost) const {
+  const double clock = hw_.TotalCpuHz();
+  const double sys_rate = OperatorRate(cost.system_cycles_per_tuple);
+  const double compute_rate = OperatorRate(cost.user_cycles_per_tuple);
+  // Rate at which memory can feed tuples into the L2 (equation 8's
+  // clock x MemBytesCycle / TupleWidth term).
+  const double mem_rate =
+      cost.mem_bytes_per_tuple <= 0.0
+          ? std::numeric_limits<double>::infinity()
+          : clock * hw_.MemBytesPerCycle() / cost.mem_bytes_per_tuple;
+  const double user_rate = std::min(compute_rate, mem_rate);
+  return Compose({sys_rate, user_rate});
+}
+
+double AnalyticalModel::DiskRate(double disk_bytes_per_tuple) const {
+  if (disk_bytes_per_tuple <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return hw_.TotalDiskBandwidth() / disk_bytes_per_tuple;
+}
+
+double AnalyticalModel::CpuRate(const SystemInputs& in) const {
+  std::vector<double> rates;
+  rates.push_back(ScanRate(in.scan));
+  for (double cycles : in.operator_cycles_per_tuple) {
+    rates.push_back(OperatorRate(cycles));
+  }
+  return Compose(rates);
+}
+
+double AnalyticalModel::Rate(const SystemInputs& in) const {
+  return std::min(DiskRate(in.disk_bytes_per_tuple), CpuRate(in));
+}
+
+ScanCpuCost AnalyticalModel::CalibrateScanCost(const ExecCounters& counters,
+                                               uint64_t tuples,
+                                               const HardwareConfig& hw,
+                                               const CostModel& costs) {
+  ScanCpuCost cost;
+  if (tuples == 0) return cost;
+  CpuModel cpu(hw, costs);
+  const double n = static_cast<double>(tuples);
+  // Issue cycles plus the work-proportional stall residue; random misses
+  // stall the pipeline outright. The exposed sequential component is NOT
+  // folded in here -- equation 8 models it through mem_bytes_per_tuple.
+  const double uop_cycles = cpu.UserUops(counters) / hw.uops_per_cycle;
+  const double random_cycles =
+      static_cast<double>(counters.random_line_accesses) *
+      hw.random_miss_cycles;
+  cost.user_cycles_per_tuple =
+      (uop_cycles * (1.0 + costs.rest_fraction) + random_cycles) / n;
+  const double sys_cycles =
+      static_cast<double>(counters.io_bytes_read) *
+          costs.sys_cycles_per_io_byte +
+      static_cast<double>(counters.io_requests) *
+          costs.sys_cycles_per_io_request +
+      static_cast<double>(counters.files_read) * costs.sys_cycles_per_file;
+  cost.system_cycles_per_tuple = sys_cycles / n;
+  cost.mem_bytes_per_tuple =
+      static_cast<double>(counters.seq_bytes_touched) / n;
+  return cost;
+}
+
+double IndexScanBreakEvenSelectivity(double seek_seconds,
+                                     double disk_bandwidth_bytes,
+                                     double tuple_bytes) {
+  // Seeking to the next qualifying tuple pays off once the data skipped
+  // between two hits takes longer to stream than one seek:
+  //   tuple_bytes / (selectivity x bandwidth) > seek_seconds.
+  return tuple_bytes / (seek_seconds * disk_bandwidth_bytes);
+}
+
+}  // namespace rodb

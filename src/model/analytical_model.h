@@ -1,0 +1,97 @@
+#ifndef RODB_MODEL_ANALYTICAL_MODEL_H_
+#define RODB_MODEL_ANALYTICAL_MODEL_H_
+
+#include <vector>
+
+#include "hwmodel/cpu_model.h"
+#include "hwmodel/hardware_config.h"
+
+namespace rodb {
+
+/// The analytical model of Section 5: predicts the tuples/sec rate of a
+/// scan-driven query as R = MIN(R_DISK, R_CPU), where R_DISK follows from
+/// sequential disk bandwidth over the bytes each system must read per
+/// tuple, and R_CPU composes per-operator rates like parallel resistors
+/// (equations 1-8). The single headline parameter of a configuration is
+/// cpdb = clock / DiskBW.
+///
+/// Costs are expressed in CPU cycles per tuple (the paper uses
+/// instructions and approximates 1 cycle per instruction; equation 7).
+struct ScanCpuCost {
+  double user_cycles_per_tuple = 0.0;    ///< I_user
+  double system_cycles_per_tuple = 0.0;  ///< I_system
+  /// Bytes that must move from memory into the L2 per tuple (drives the
+  /// memory-bandwidth bound of equation 8).
+  double mem_bytes_per_tuple = 0.0;
+};
+
+/// One system's (row or column) inputs for a given query.
+struct SystemInputs {
+  /// Bytes the disks deliver per input tuple: the full (padded) tuple
+  /// width for a row store, only the selected columns' widths for a
+  /// column store (equations 3 and 4).
+  double disk_bytes_per_tuple = 0.0;
+  ScanCpuCost scan;
+  /// Cycles/tuple of each downstream relational operator (equation 7);
+  /// composed in cascade with the scanner (equation 6).
+  std::vector<double> operator_cycles_per_tuple;
+};
+
+class AnalyticalModel {
+ public:
+  explicit AnalyticalModel(const HardwareConfig& hw) : hw_(hw) {}
+
+  /// Equation 7: rate of an operator costing `cycles_per_tuple`.
+  double OperatorRate(double cycles_per_tuple) const;
+
+  /// Equations 5/6: cascade composition (parallel-resistor form).
+  /// Zero rates (free operators) are ignored; returns +inf for empty.
+  static double Compose(const std::vector<double>& rates);
+
+  /// Equation 8: scanner rate = (clock/I_sys) || MIN(clock/I_user,
+  /// clock x MemBytesCycle / TupleWidth).
+  double ScanRate(const ScanCpuCost& cost) const;
+
+  /// Equations 3/4 specialized to a single-relation scan.
+  double DiskRate(double disk_bytes_per_tuple) const;
+
+  /// Full CPU rate of the plan: scanner composed with the operators.
+  double CpuRate(const SystemInputs& in) const;
+
+  /// Equation 1: R = MIN(R_DISK, R_CPU).
+  double Rate(const SystemInputs& in) const;
+
+  bool IsIoBound(const SystemInputs& in) const {
+    return DiskRate(in.disk_bytes_per_tuple) <= CpuRate(in);
+  }
+
+  /// The speedup formula: rate of the column system over the row system.
+  double Speedup(const SystemInputs& columns, const SystemInputs& rows) const {
+    return Rate(columns) / Rate(rows);
+  }
+
+  /// Derives a ScanCpuCost from engine counters measured over `tuples`
+  /// input tuples -- how Figure 2 gets "actual CPU rates from our
+  /// experimental section".
+  static ScanCpuCost CalibrateScanCost(const ExecCounters& counters,
+                                       uint64_t tuples,
+                                       const HardwareConfig& hw,
+                                       const CostModel& costs = {});
+
+  const HardwareConfig& hardware() const { return hw_; }
+
+ private:
+  HardwareConfig hw_;
+};
+
+/// Section 2.1.1's side calculation: the selectivity below which probing
+/// an unclustered index (sorted RID list, one seek per qualifying tuple)
+/// beats a plain sequential scan. With a 5ms seek, 300MB/s and 128-byte
+/// tuples the paper quotes 0.008%.
+double IndexScanBreakEvenSelectivity(double seek_seconds,
+                                     double disk_bandwidth_bytes,
+                                     double tuple_bytes);
+
+}  // namespace rodb
+
+#endif  // RODB_MODEL_ANALYTICAL_MODEL_H_

@@ -1,0 +1,111 @@
+#include "model/contour.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rodb {
+
+namespace {
+
+/// Page/block overheads amortized per tuple (uops).
+double AmortizedOverheads(double bytes_per_tuple, double tuples_per_block,
+                          const CostModel& costs) {
+  const double tuples_per_page =
+      std::max(1.0, 4076.0 / std::max(1.0, bytes_per_tuple));
+  return costs.uops_page / tuples_per_page +
+         costs.uops_block / tuples_per_block;
+}
+
+}  // namespace
+
+SystemInputs RowScanInputs(double width, double selectivity,
+                           double projection_fraction,
+                           const HardwareConfig& hw, const CostModel& costs) {
+  SystemInputs in;
+  const double ncols = std::max(1.0, width / 4.0);
+  const double selected_cols = std::max(1.0, std::round(
+      ncols * projection_fraction));
+  const double selected_bytes = selected_cols * 4.0;
+  in.disk_bytes_per_tuple = width;  // rows read everything
+
+  double uops = costs.uops_tuple_examined + costs.uops_predicate +
+                AmortizedOverheads(width, 100.0, costs);
+  // Qualifying tuples are projected and copied into the output block.
+  uops += selectivity * (selected_cols * costs.uops_value_copy +
+                         selected_bytes * costs.uops_byte_copied);
+  in.scan.user_cycles_per_tuple =
+      uops / hw.uops_per_cycle * (1.0 + costs.rest_fraction);
+  in.scan.system_cycles_per_tuple =
+      width * costs.sys_cycles_per_io_byte +
+      width / static_cast<double>(hw.io_unit_bytes) *
+          costs.sys_cycles_per_io_request;
+  // The row scanner streams the whole relation through the cache.
+  in.scan.mem_bytes_per_tuple = width;
+  return in;
+}
+
+SystemInputs ColumnScanInputs(double width, double selectivity,
+                              double projection_fraction,
+                              const HardwareConfig& hw,
+                              const CostModel& costs,
+                              double column_node_factor) {
+  SystemInputs in;
+  const double ncols = std::max(1.0, width / 4.0);
+  const double selected_cols = std::max(1.0, std::round(
+      ncols * projection_fraction));
+  const double selected_bytes = selected_cols * 4.0;
+  in.disk_bytes_per_tuple = selected_bytes;
+
+  // Deepest node: examines every value of the predicate column.
+  double uops = (costs.uops_tuple_examined * column_node_factor +
+                 costs.uops_predicate) +
+                AmortizedOverheads(4.0, 100.0, costs) +
+                selectivity * (costs.uops_value_copy +
+                               4.0 * costs.uops_byte_copied);
+  // Inner nodes: driven by qualifying positions only (Figure 4).
+  const double inner_nodes = selected_cols - 1.0;
+  uops += inner_nodes * selectivity *
+          (costs.uops_position * column_node_factor + costs.uops_value_copy +
+           4.0 * costs.uops_byte_copied);
+  in.scan.user_cycles_per_tuple =
+      uops / hw.uops_per_cycle * (1.0 + costs.rest_fraction);
+  // Sparse inner-node accesses miss randomly (no prefetchable pattern at
+  // 10% density); the predicate column streams sequentially.
+  const double sparse = selectivity < 0.125 ? 1.0 : 0.0;
+  in.scan.user_cycles_per_tuple +=
+      sparse * inner_nodes * selectivity * hw.random_miss_cycles;
+  in.scan.system_cycles_per_tuple =
+      selected_bytes * costs.sys_cycles_per_io_byte +
+      selected_bytes / static_cast<double>(hw.io_unit_bytes) *
+          costs.sys_cycles_per_io_request;
+  in.scan.mem_bytes_per_tuple =
+      4.0 + (1.0 - sparse) * (selected_bytes - 4.0);
+  return in;
+}
+
+std::vector<ContourCell> GenerateSpeedupContour(const ContourParams& params) {
+  std::vector<ContourCell> cells;
+  cells.reserve(params.cpdbs.size() * params.tuple_widths.size());
+  for (double cpdb : params.cpdbs) {
+    const HardwareConfig hw = HardwareConfig::WithCpdb(cpdb);
+    AnalyticalModel model(hw);
+    for (double width : params.tuple_widths) {
+      ContourCell cell;
+      cell.tuple_width = width;
+      cell.cpdb = cpdb;
+      const SystemInputs rows =
+          RowScanInputs(width, params.selectivity,
+                        params.projection_fraction, hw, params.costs);
+      const SystemInputs cols = ColumnScanInputs(
+          width, params.selectivity, params.projection_fraction, hw,
+          params.costs, params.column_node_factor);
+      cell.speedup = model.Speedup(cols, rows);
+      cell.row_io_bound = model.IsIoBound(rows);
+      cell.column_io_bound = model.IsIoBound(cols);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace rodb

@@ -1,0 +1,54 @@
+#ifndef RODB_MODEL_CONTOUR_H_
+#define RODB_MODEL_CONTOUR_H_
+
+#include <vector>
+
+#include "model/analytical_model.h"
+
+namespace rodb {
+
+/// Generator for Figure 2: average speedup of a column system over a row
+/// system for a simple scan selecting 10% of the tuples and projecting
+/// 50% of the attributes, swept over tuple width (x) and cpdb (y).
+struct ContourParams {
+  double selectivity = 0.10;
+  double projection_fraction = 0.50;
+  std::vector<double> tuple_widths = {8, 12, 16, 20, 24, 28, 32, 36};
+  std::vector<double> cpdbs = {9, 18, 36, 72, 144};
+  CostModel costs;
+  /// Per-value loop overhead of a pipelined column scan node relative to
+  /// the row scanner's per-tuple loop. Calibrated so the model reproduces
+  /// Figure 2's row-favorable region (lean tuples, CPU-constrained): the
+  /// paper's value-iterator-driven scan nodes cost more per value than
+  /// the row scanner costs per narrow tuple.
+  double column_node_factor = 1.8;
+};
+
+struct ContourCell {
+  double tuple_width = 0.0;
+  double cpdb = 0.0;
+  double speedup = 0.0;
+  bool row_io_bound = false;
+  bool column_io_bound = false;
+};
+
+/// Analytical inputs for a row scan of `width`-byte tuples with the given
+/// selectivity/projection, derived from the engine's cost constants.
+SystemInputs RowScanInputs(double width, double selectivity,
+                           double projection_fraction,
+                           const HardwareConfig& hw, const CostModel& costs);
+
+/// Analytical inputs for the equivalent pipelined column scan. Attributes
+/// are modeled as 4-byte columns (width / 4 of them).
+SystemInputs ColumnScanInputs(double width, double selectivity,
+                              double projection_fraction,
+                              const HardwareConfig& hw,
+                              const CostModel& costs,
+                              double column_node_factor);
+
+/// Sweeps the grid; cells are emitted row-major (cpdb outer, width inner).
+std::vector<ContourCell> GenerateSpeedupContour(const ContourParams& params);
+
+}  // namespace rodb
+
+#endif  // RODB_MODEL_CONTOUR_H_

@@ -1,0 +1,204 @@
+#include "storage/catalog.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/file_util.h"
+#include "common/macros.h"
+#include "storage/table_files.h"
+
+namespace rodb {
+
+Status Catalog::SaveTableMeta(const std::string& dir, const TableMeta& meta) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "name %s\n", meta.name.c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "layout %s\n",
+                std::string(LayoutName(meta.layout)).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "page_size %zu\n", meta.page_size);
+  out += line;
+  std::snprintf(line, sizeof(line), "num_tuples %llu\n",
+                static_cast<unsigned long long>(meta.num_tuples));
+  out += line;
+  std::snprintf(line, sizeof(line), "attrs %zu\n",
+                meta.schema.num_attributes());
+  out += line;
+  meta.schema.AppendTo(&out);
+  std::snprintf(line, sizeof(line), "files %zu\n", meta.file_pages.size());
+  out += line;
+  for (size_t i = 0; i < meta.file_pages.size(); ++i) {
+    std::snprintf(line, sizeof(line), "file %zu pages %llu bytes %llu\n", i,
+                  static_cast<unsigned long long>(meta.file_pages[i]),
+                  static_cast<unsigned long long>(meta.file_bytes[i]));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "stats %zu\n", meta.column_stats.size());
+  out += line;
+  for (size_t i = 0; i < meta.column_stats.size(); ++i) {
+    const ColumnStats& s = meta.column_stats[i];
+    std::snprintf(line, sizeof(line), "stat %zu %d %d %d %llu\n", i,
+                  s.valid ? 1 : 0, s.min, s.max,
+                  static_cast<unsigned long long>(s.ndv));
+    out += line;
+  }
+  return WriteStringToFile(TablePaths::MetaFile(dir, meta.name), out);
+}
+
+Result<TableMeta> Catalog::LoadTableMeta(const std::string& dir,
+                                         const std::string& name) {
+  RODB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(
+                                              TablePaths::MetaFile(dir, name)));
+  std::istringstream in(text);
+  TableMeta meta;
+  std::string key;
+  std::string layout_name;
+  size_t n_attrs = 0;
+  if (!(in >> key >> meta.name) || key != "name") {
+    return Status::Corruption("meta: bad name line");
+  }
+  if (!(in >> key >> layout_name) || key != "layout") {
+    return Status::Corruption("meta: bad layout line");
+  }
+  if (layout_name == "row") {
+    meta.layout = Layout::kRow;
+  } else if (layout_name == "column") {
+    meta.layout = Layout::kColumn;
+  } else if (layout_name == "pax") {
+    meta.layout = Layout::kPax;
+  } else {
+    return Status::Corruption("meta: unknown layout " + layout_name);
+  }
+  if (!(in >> key >> meta.page_size) || key != "page_size") {
+    return Status::Corruption("meta: bad page_size line");
+  }
+  if (!(in >> key >> meta.num_tuples) || key != "num_tuples") {
+    return Status::Corruption("meta: bad num_tuples line");
+  }
+  if (!(in >> key >> n_attrs) || key != "attrs") {
+    return Status::Corruption("meta: bad attrs line");
+  }
+  in.ignore();  // consume end of line
+  std::vector<std::string> attr_lines;
+  attr_lines.reserve(n_attrs);
+  for (size_t i = 0; i < n_attrs; ++i) {
+    std::string attr_line;
+    if (!std::getline(in, attr_line)) {
+      return Status::Corruption("meta: truncated attribute list");
+    }
+    attr_lines.push_back(std::move(attr_line));
+  }
+  RODB_ASSIGN_OR_RETURN(meta.schema, Schema::ParseFrom(attr_lines));
+  size_t n_files = 0;
+  if (!(in >> key >> n_files) || key != "files") {
+    return Status::Corruption("meta: bad files line");
+  }
+  for (size_t i = 0; i < n_files; ++i) {
+    size_t idx = 0;
+    uint64_t pages = 0, bytes = 0;
+    std::string pages_key, bytes_key;
+    if (!(in >> key >> idx >> pages_key >> pages >> bytes_key >> bytes) ||
+        key != "file" || pages_key != "pages" || bytes_key != "bytes" ||
+        idx != i) {
+      return Status::Corruption("meta: bad file line");
+    }
+    meta.file_pages.push_back(pages);
+    meta.file_bytes.push_back(bytes);
+  }
+  const size_t expected_files = meta.layout == Layout::kColumn
+                                    ? meta.schema.num_attributes()
+                                    : 1;
+  if (meta.file_pages.size() != expected_files) {
+    return Status::Corruption("meta: file count does not match layout");
+  }
+  // Optional statistics section (absent in minimal/hand-written metas).
+  size_t n_stats = 0;
+  if (in >> key >> n_stats) {
+    if (key != "stats" || n_stats > meta.schema.num_attributes()) {
+      return Status::Corruption("meta: bad stats line");
+    }
+    meta.column_stats.resize(meta.schema.num_attributes());
+    for (size_t i = 0; i < n_stats; ++i) {
+      size_t idx = 0;
+      int valid = 0;
+      ColumnStats s;
+      if (!(in >> key >> idx >> valid >> s.min >> s.max >> s.ndv) ||
+          key != "stat" || idx >= meta.column_stats.size()) {
+        return Status::Corruption("meta: bad stat line");
+      }
+      s.valid = valid != 0;
+      meta.column_stats[idx] = s;
+    }
+  }
+  return meta;
+}
+
+std::string OpenTable::FilePath(size_t attr) const {
+  switch (meta_.layout) {
+    case Layout::kRow:
+      return TablePaths::RowFile(dir_, meta_.name);
+    case Layout::kPax:
+      return TablePaths::PaxFile(dir_, meta_.name);
+    case Layout::kColumn:
+      break;
+  }
+  return TablePaths::ColumnFile(dir_, meta_.name, attr);
+}
+
+uint64_t OpenTable::FileBytes(size_t attr) const {
+  if (meta_.layout != Layout::kColumn) return meta_.file_bytes[0];
+  return meta_.file_bytes[attr];
+}
+
+Result<std::unique_ptr<AttributeCodec>> OpenTable::MakeAttrCodec(
+    size_t attr) const {
+  const AttributeDesc& desc = meta_.schema.attribute(attr);
+  return MakeCodec(desc.codec, desc.width, dicts_[attr].get());
+}
+
+Result<OpenTable::RowCodecBundle> OpenTable::MakeRowCodec() const {
+  RowCodecBundle bundle;
+  if (!meta_.schema.is_compressed()) return bundle;
+  std::vector<AttributeCodec*> raw;
+  raw.reserve(meta_.schema.num_attributes());
+  for (size_t i = 0; i < meta_.schema.num_attributes(); ++i) {
+    RODB_ASSIGN_OR_RETURN(std::unique_ptr<AttributeCodec> codec,
+                          MakeAttrCodec(i));
+    raw.push_back(codec.get());
+    bundle.attr_codecs.push_back(std::move(codec));
+  }
+  bundle.row_codec = std::make_unique<RowCodec>(std::move(raw));
+  return bundle;
+}
+
+Result<OpenTable> OpenTable::Open(const std::string& dir,
+                                  const std::string& name) {
+  OpenTable table;
+  table.dir_ = dir;
+  RODB_ASSIGN_OR_RETURN(table.meta_, Catalog::LoadTableMeta(dir, name));
+  const Schema& schema = table.meta_.schema;
+  table.dicts_.resize(schema.num_attributes());
+  bool any_dict = false;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    any_dict |= schema.attribute(i).codec.kind == CompressionKind::kDict;
+  }
+  if (any_dict) {
+    RODB_ASSIGN_OR_RETURN(
+        std::string blob, ReadFileToString(TablePaths::DictFile(dir, name)));
+    size_t offset = 0;
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      if (schema.attribute(i).codec.kind != CompressionKind::kDict) continue;
+      RODB_ASSIGN_OR_RETURN(Dictionary dict,
+                            Dictionary::ParseFrom(blob, &offset));
+      if (dict.value_width() != schema.attribute(i).width) {
+        return Status::Corruption("dictionary width mismatch for attribute " +
+                                  schema.attribute(i).name);
+      }
+      table.dicts_[i] = std::make_unique<Dictionary>(std::move(dict));
+    }
+  }
+  return table;
+}
+
+}  // namespace rodb

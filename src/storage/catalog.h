@@ -1,0 +1,101 @@
+#ifndef RODB_STORAGE_CATALOG_H_
+#define RODB_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compression/codec.h"
+#include "compression/dictionary.h"
+#include "compression/row_codec.h"
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// Per-column statistics gathered during bulk load (int32 attributes).
+/// Distinct counts are exact up to kNdvCap and reported as kNdvCap + 1
+/// beyond it -- enough for the selectivity estimates physical design
+/// needs without a sketch.
+struct ColumnStats {
+  static constexpr uint64_t kNdvCap = 4096;
+
+  bool valid = false;
+  int32_t min = 0;
+  int32_t max = 0;
+  uint64_t ndv = 0;  ///< distinct values, saturating at kNdvCap + 1
+};
+
+/// Catalog entry for one stored table.
+struct TableMeta {
+  std::string name;
+  Layout layout = Layout::kRow;
+  size_t page_size = 0;
+  uint64_t num_tuples = 0;
+  Schema schema;
+  /// Pages/bytes per physical file: one entry for row layout, one per
+  /// attribute for column layout.
+  std::vector<uint64_t> file_pages;
+  std::vector<uint64_t> file_bytes;
+  /// One entry per attribute (valid only for int32 attributes).
+  std::vector<ColumnStats> column_stats;
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (uint64_t b : file_bytes) total += b;
+    return total;
+  }
+};
+
+/// Minimal persistent catalog: one human-readable meta file per table in
+/// the database directory.
+class Catalog {
+ public:
+  static Status SaveTableMeta(const std::string& dir, const TableMeta& meta);
+  static Result<TableMeta> LoadTableMeta(const std::string& dir,
+                                         const std::string& name);
+};
+
+/// A table opened for scanning: catalog entry plus loaded dictionaries.
+///
+/// Scanners are stateful, so each scanner instance builds its own codecs
+/// through the helpers below; the dictionaries are shared (read-only at
+/// query time).
+class OpenTable {
+ public:
+  const TableMeta& meta() const { return meta_; }
+  const Schema& schema() const { return meta_.schema; }
+  const std::string& dir() const { return dir_; }
+
+  /// Physical file behind attribute `attr` (column layout) or the single
+  /// row file (row layout; attr ignored).
+  std::string FilePath(size_t attr) const;
+  /// Bytes of that physical file.
+  uint64_t FileBytes(size_t attr) const;
+
+  /// Dictionary for attribute `attr` (nullptr unless kDict).
+  Dictionary* dict(size_t attr) const { return dicts_[attr].get(); }
+
+  /// Fresh stateful codec for one attribute.
+  Result<std::unique_ptr<AttributeCodec>> MakeAttrCodec(size_t attr) const;
+
+  /// Fresh per-attribute codecs + RowCodec for scanning compressed row
+  /// pages. Returns {nullptr codecs, null RowCodec} for uncompressed
+  /// schemas.
+  struct RowCodecBundle {
+    std::vector<std::unique_ptr<AttributeCodec>> attr_codecs;
+    std::unique_ptr<RowCodec> row_codec;  ///< null if schema uncompressed
+  };
+  Result<RowCodecBundle> MakeRowCodec() const;
+
+  static Result<OpenTable> Open(const std::string& dir,
+                                const std::string& name);
+
+ private:
+  std::string dir_;
+  TableMeta meta_;
+  std::vector<std::unique_ptr<Dictionary>> dicts_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_STORAGE_CATALOG_H_

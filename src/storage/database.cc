@@ -1,0 +1,77 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "storage/table_files.h"
+
+namespace rodb {
+
+Result<Database> Database::Open(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec) || ec) {
+    return Status::NotFound("no such database directory: " + dir);
+  }
+  Database db;
+  db.dir_ = dir;
+  RODB_RETURN_IF_ERROR(db.Refresh());
+  return db;
+}
+
+Status Database::Refresh() {
+  tables_.clear();
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string file = entry.path().filename().string();
+    constexpr const char* kSuffix = ".meta";
+    constexpr size_t kSuffixLen = 5;
+    if (file.size() > kSuffixLen &&
+        file.compare(file.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+      tables_.push_back(file.substr(0, file.size() - kSuffixLen));
+    }
+  }
+  if (ec) return Status::IoError("cannot list " + dir_);
+  std::sort(tables_.begin(), tables_.end());
+  return Status::OK();
+}
+
+bool Database::Contains(const std::string& name) const {
+  return std::find(tables_.begin(), tables_.end(), name) != tables_.end();
+}
+
+Result<OpenTable> Database::OpenTableNamed(const std::string& name) const {
+  return OpenTable::Open(dir_, name);
+}
+
+Result<TableMeta> Database::Meta(const std::string& name) const {
+  return Catalog::LoadTableMeta(dir_, name);
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (!Contains(name)) return Status::NotFound("no such table: " + name);
+  RODB_ASSIGN_OR_RETURN(TableMeta meta, Catalog::LoadTableMeta(dir_, name));
+  std::vector<std::string> paths;
+  switch (meta.layout) {
+    case Layout::kRow:
+      paths.push_back(TablePaths::RowFile(dir_, name));
+      break;
+    case Layout::kPax:
+      paths.push_back(TablePaths::PaxFile(dir_, name));
+      break;
+    case Layout::kColumn:
+      for (size_t a = 0; a < meta.schema.num_attributes(); ++a) {
+        paths.push_back(TablePaths::ColumnFile(dir_, name, a));
+      }
+      break;
+  }
+  paths.push_back(TablePaths::DictFile(dir_, name));  // may not exist
+  paths.push_back(TablePaths::MetaFile(dir_, name));
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // missing sidecars are fine
+  }
+  return Refresh();
+}
+
+}  // namespace rodb

@@ -1,0 +1,40 @@
+#ifndef RODB_STORAGE_DATABASE_H_
+#define RODB_STORAGE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace rodb {
+
+/// A database is a directory of bulk-loaded tables. This handle
+/// enumerates the catalog and opens/drops tables; loading goes through
+/// TableWriter (or the WOS merge), reading through the scanners.
+class Database {
+ public:
+  /// Scans `dir` for catalog entries. The directory must exist.
+  static Result<Database> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  const std::vector<std::string>& table_names() const { return tables_; }
+  bool Contains(const std::string& name) const;
+
+  Result<OpenTable> OpenTableNamed(const std::string& name) const;
+  Result<TableMeta> Meta(const std::string& name) const;
+
+  /// Removes a table's files and catalog entry. Fails with NotFound for
+  /// unknown tables; refreshes the in-memory listing on success.
+  Status DropTable(const std::string& name);
+
+  /// Re-reads the directory (e.g. after an external load).
+  Status Refresh();
+
+ private:
+  std::string dir_;
+  std::vector<std::string> tables_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_STORAGE_DATABASE_H_

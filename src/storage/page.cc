@@ -1,0 +1,100 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace rodb {
+
+uint32_t PageChecksum(const uint8_t* page, size_t page_size) {
+  // Everything except the trailing 4-byte checksum field itself.
+  return Crc32(page, page_size - 4);
+}
+
+PageWriter::PageWriter(uint8_t* buffer, size_t page_size, int meta_count)
+    : buffer_(buffer), page_size_(page_size), meta_count_(meta_count),
+      writer_(buffer + kPageHeaderBytes,
+              PagePayloadCapacity(page_size, meta_count)) {}
+
+Status SealPage(uint8_t* buffer, size_t page_size, uint32_t count,
+                uint32_t payload_bits, const std::vector<CodecPageMeta>& metas,
+                uint32_t page_id, uint16_t flags) {
+  if (payload_bits > PagePayloadCapacity(page_size, static_cast<int>(
+                                             metas.size())) * 8) {
+    return Status::InvalidArgument("payload overflows page capacity");
+  }
+  StoreLE32(buffer, count);
+  uint8_t* meta_area =
+      buffer + page_size - kPageTrailerBytes - 8 * metas.size();
+  for (size_t i = 0; i < metas.size(); ++i) {
+    StoreLE64(meta_area + 8 * i, static_cast<uint64_t>(metas[i].base));
+  }
+  PageTrailer trailer;
+  trailer.page_id = page_id;
+  trailer.meta_count = static_cast<uint16_t>(metas.size());
+  trailer.flags = flags;
+  trailer.payload_bits = payload_bits;
+  std::memcpy(buffer + page_size - kPageTrailerBytes, &trailer,
+              sizeof(trailer));
+  trailer.checksum = PageChecksum(buffer, page_size);
+  std::memcpy(buffer + page_size - kPageTrailerBytes, &trailer,
+              sizeof(trailer));
+  return Status::OK();
+}
+
+Status PageWriter::Finish(uint32_t page_id,
+                          const std::vector<CodecPageMeta>& metas,
+                          uint16_t flags) {
+  if (metas.size() != static_cast<size_t>(meta_count_)) {
+    return Status::InvalidArgument("page meta count mismatch");
+  }
+  return SealPage(buffer_, page_size_, count_,
+                  static_cast<uint32_t>(writer_.bit_pos()), metas, page_id,
+                  flags);
+}
+
+Result<PageView> PageView::Parse(const uint8_t* buffer, size_t page_size,
+                                 bool verify_checksum) {
+  if (page_size < kPageHeaderBytes + kPageTrailerBytes) {
+    return Status::Corruption("page smaller than header + trailer");
+  }
+  PageTrailer trailer;
+  std::memcpy(&trailer, buffer + page_size - kPageTrailerBytes,
+              sizeof(trailer));
+  if (trailer.magic != kPageMagic) {
+    return Status::Corruption("bad page magic");
+  }
+  if (verify_checksum &&
+      trailer.checksum != PageChecksum(buffer, page_size)) {
+    return Status::Corruption("page checksum mismatch");
+  }
+  const size_t capacity = PagePayloadCapacity(page_size, trailer.meta_count);
+  if (trailer.payload_bits > capacity * 8) {
+    return Status::Corruption("page payload overflows capacity");
+  }
+  const uint32_t count = LoadLE32(buffer);
+  return PageView(buffer, page_size, count, trailer);
+}
+
+CodecPageMeta PageView::meta(int i) const {
+  CodecPageMeta m;
+  const uint8_t* meta_area = buffer_ + page_size_ - kPageTrailerBytes -
+                             8 * static_cast<size_t>(trailer_.meta_count);
+  m.base = static_cast<int64_t>(LoadLE64(meta_area + 8 * static_cast<size_t>(i)));
+  return m;
+}
+
+std::vector<CodecPageMeta> PageView::metas() const {
+  std::vector<CodecPageMeta> result;
+  result.reserve(trailer_.meta_count);
+  for (int i = 0; i < trailer_.meta_count; ++i) result.push_back(meta(i));
+  return result;
+}
+
+BitReader PageView::payload_reader() const {
+  // Bound the reader by whole bytes covering the used bits.
+  return BitReader(payload(), (trailer_.payload_bits + 7) / 8);
+}
+
+}  // namespace rodb

@@ -1,0 +1,145 @@
+#include "storage/schema.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+
+namespace rodb {
+
+std::string_view AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kInt32:
+      return "int32";
+    case AttrType::kFixedText:
+      return "text";
+  }
+  return "unknown";
+}
+
+std::string_view LayoutName(Layout layout) {
+  switch (layout) {
+    case Layout::kRow:
+      return "row";
+    case Layout::kColumn:
+      return "column";
+    case Layout::kPax:
+      return "pax";
+  }
+  return "unknown";
+}
+
+Result<Schema> Schema::Make(std::vector<AttributeDesc> attrs) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("schema must have at least one attribute");
+  }
+  Schema schema;
+  schema.offsets_.reserve(attrs.size());
+  int offset = 0;
+  for (const AttributeDesc& attr : attrs) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (attr.width <= 0) {
+      return Status::InvalidArgument("attribute width must be positive: " +
+                                     attr.name);
+    }
+    if (attr.type == AttrType::kInt32 && attr.width != 4) {
+      return Status::InvalidArgument("int32 attribute must be 4 bytes wide: " +
+                                     attr.name);
+    }
+    const CompressionKind kind = attr.codec.kind;
+    if (attr.type == AttrType::kFixedText &&
+        (kind == CompressionKind::kBitPack || kind == CompressionKind::kFor ||
+         kind == CompressionKind::kForDelta)) {
+      return Status::InvalidArgument("integer codec on text attribute: " +
+                                     attr.name);
+    }
+    if (attr.type == AttrType::kInt32 && kind == CompressionKind::kCharPack) {
+      return Status::InvalidArgument("charpack codec on int attribute: " +
+                                     attr.name);
+    }
+    schema.offsets_.push_back(offset);
+    offset += attr.width;
+    schema.compressed_ |= kind != CompressionKind::kNone;
+  }
+  schema.attrs_ = std::move(attrs);
+  schema.raw_width_ = offset;
+  schema.padded_width_ = static_cast<int>(RoundUp(offset, 4));
+  return schema;
+}
+
+int Schema::FindAttribute(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Schema> Schema::Project(const std::vector<int>& attr_indices) const {
+  std::vector<AttributeDesc> projected;
+  projected.reserve(attr_indices.size());
+  for (int idx : attr_indices) {
+    if (idx < 0 || static_cast<size_t>(idx) >= attrs_.size()) {
+      return Status::OutOfRange("projection attribute index out of range: " +
+                                std::to_string(idx));
+    }
+    projected.push_back(attrs_[static_cast<size_t>(idx)]);
+  }
+  return Make(std::move(projected));
+}
+
+void Schema::AppendTo(std::string* out) const {
+  char line[256];
+  for (const AttributeDesc& attr : attrs_) {
+    std::snprintf(line, sizeof(line), "attr %s %s %d %s %d %d\n",
+                  attr.name.c_str(), std::string(AttrTypeName(attr.type)).c_str(),
+                  attr.width,
+                  std::string(CompressionKindName(attr.codec.kind)).c_str(),
+                  attr.codec.bits, attr.codec.char_count);
+    out->append(line);
+  }
+}
+
+namespace {
+
+Result<CompressionKind> ParseKind(const std::string& s) {
+  if (s == "none") return CompressionKind::kNone;
+  if (s == "pack") return CompressionKind::kBitPack;
+  if (s == "dict") return CompressionKind::kDict;
+  if (s == "for") return CompressionKind::kFor;
+  if (s == "delta") return CompressionKind::kForDelta;
+  if (s == "charpack") return CompressionKind::kCharPack;
+  return Status::Corruption("unknown compression kind: " + s);
+}
+
+}  // namespace
+
+Result<Schema> Schema::ParseFrom(const std::vector<std::string>& attr_lines) {
+  std::vector<AttributeDesc> attrs;
+  attrs.reserve(attr_lines.size());
+  for (const std::string& line : attr_lines) {
+    std::istringstream in(line);
+    std::string tag, name, type_name, codec_name;
+    AttributeDesc attr;
+    in >> tag >> name >> type_name >> attr.width >> codec_name >>
+        attr.codec.bits >> attr.codec.char_count;
+    if (in.fail() || tag != "attr") {
+      return Status::Corruption("bad schema line: " + line);
+    }
+    attr.name = name;
+    if (type_name == "int32") {
+      attr.type = AttrType::kInt32;
+    } else if (type_name == "text") {
+      attr.type = AttrType::kFixedText;
+    } else {
+      return Status::Corruption("unknown attribute type: " + type_name);
+    }
+    RODB_ASSIGN_OR_RETURN(attr.codec.kind, ParseKind(codec_name));
+    attrs.push_back(std::move(attr));
+  }
+  return Make(std::move(attrs));
+}
+
+}  // namespace rodb

@@ -1,0 +1,98 @@
+#ifndef RODB_STORAGE_SCHEMA_H_
+#define RODB_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "compression/codec.h"
+
+namespace rodb {
+
+/// Attribute types. The paper uses fixed-length attributes throughout:
+/// four-byte integers (including all decimal and date types) and fixed
+/// text (Section 3.1).
+enum class AttrType : uint8_t {
+  kInt32 = 0,
+  kFixedText = 1,
+};
+
+std::string_view AttrTypeName(AttrType type);
+
+/// One attribute of a relation.
+struct AttributeDesc {
+  std::string name;
+  AttrType type = AttrType::kInt32;
+  int width = 4;  ///< raw (decoded) width in bytes; 4 for kInt32
+  CodecSpec codec;
+
+  static AttributeDesc Int32(std::string name,
+                             CodecSpec codec = CodecSpec::None()) {
+    return {std::move(name), AttrType::kInt32, 4, codec};
+  }
+  static AttributeDesc Text(std::string name, int width,
+                            CodecSpec codec = CodecSpec::None()) {
+    return {std::move(name), AttrType::kFixedText, width, codec};
+  }
+};
+
+/// Physical storage layout of a table (the axis of the whole study).
+enum class Layout : uint8_t {
+  kRow = 0,     ///< N-ary: whole tuples packed in pages, one file
+  kColumn = 1,  ///< fully vertically partitioned: one file per attribute
+  /// PAX (Section 6): one file with row-store I/O, but attributes grouped
+  /// into per-page minipages for column-store cache behaviour.
+  kPax = 2,
+};
+
+std::string_view LayoutName(Layout layout);
+
+/// An ordered list of fixed-width attributes plus derived tuple geometry.
+///
+/// Raw ("decoded") tuples lay attributes back to back at their raw widths;
+/// this is the in-memory format the engine's operators see for both row
+/// and column sources. On-disk row tuples are padded to 4-byte alignment
+/// when uncompressed (LINEITEM: 150 -> 152 bytes, "the extra 2 bytes are
+/// for padding purposes") and bit-packed per RowCodec when compressed.
+class Schema {
+ public:
+  Schema() = default;
+
+  static Result<Schema> Make(std::vector<AttributeDesc> attrs);
+
+  size_t num_attributes() const { return attrs_.size(); }
+  const AttributeDesc& attribute(size_t i) const { return attrs_[i]; }
+  const std::vector<AttributeDesc>& attributes() const { return attrs_; }
+
+  /// Byte offset of attribute `i` in a raw tuple.
+  int attr_offset(size_t i) const { return offsets_[i]; }
+  /// Raw tuple width: sum of attribute widths (e.g. LINEITEM 150).
+  int raw_tuple_width() const { return raw_width_; }
+  /// On-disk width of an uncompressed row tuple (padded to 4 bytes).
+  int padded_tuple_width() const { return padded_width_; }
+
+  bool is_compressed() const { return compressed_; }
+
+  /// Index of the named attribute, or -1.
+  int FindAttribute(std::string_view name) const;
+
+  /// Schema of a projection (attribute indices must be valid).
+  Result<Schema> Project(const std::vector<int>& attr_indices) const;
+
+  /// Serialization for the catalog meta file (one line per attribute).
+  void AppendTo(std::string* out) const;
+  static Result<Schema> ParseFrom(const std::vector<std::string>& attr_lines);
+
+ private:
+  std::vector<AttributeDesc> attrs_;
+  std::vector<int> offsets_;
+  int raw_width_ = 0;
+  int padded_width_ = 0;
+  bool compressed_ = false;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_STORAGE_SCHEMA_H_

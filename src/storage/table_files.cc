@@ -1,0 +1,279 @@
+#include "storage/table_files.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "common/macros.h"
+#include "storage/catalog.h"
+
+namespace rodb {
+
+std::string TablePaths::MetaFile(const std::string& dir,
+                                 const std::string& name) {
+  return dir + "/" + name + ".meta";
+}
+
+std::string TablePaths::DictFile(const std::string& dir,
+                                 const std::string& name) {
+  return dir + "/" + name + ".dict";
+}
+
+std::string TablePaths::RowFile(const std::string& dir,
+                                const std::string& name) {
+  return dir + "/" + name + ".row";
+}
+
+std::string TablePaths::PaxFile(const std::string& dir,
+                                const std::string& name) {
+  return dir + "/" + name + ".pax";
+}
+
+std::string TablePaths::ColumnFile(const std::string& dir,
+                                   const std::string& name,
+                                   size_t attr_index) {
+  return dir + "/" + name + ".col" + std::to_string(attr_index);
+}
+
+TableWriter::TableWriter(std::string dir, std::string name, Schema schema,
+                         Layout layout, size_t page_size)
+    : dir_(std::move(dir)), name_(std::move(name)), schema_(std::move(schema)),
+      layout_(layout), page_size_(page_size) {}
+
+TableWriter::~TableWriter() = default;
+
+Result<std::unique_ptr<TableWriter>> TableWriter::Create(
+    const std::string& dir, const std::string& name, const Schema& schema,
+    Layout layout, size_t page_size) {
+  if (page_size < 256) {
+    return Status::InvalidArgument("page size too small");
+  }
+  std::unique_ptr<TableWriter> writer(
+      new TableWriter(dir, name, schema, layout, page_size));
+  RODB_RETURN_IF_ERROR(writer->Init());
+  return writer;
+}
+
+Status TableWriter::Init() {
+  const size_t n = schema_.num_attributes();
+  dicts_.resize(n);
+  stats_.resize(n);
+  distinct_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const AttributeDesc& attr = schema_.attribute(i);
+    if (attr.codec.kind == CompressionKind::kDict) {
+      dicts_[i] = std::make_unique<Dictionary>(attr.width);
+    }
+  }
+  if (layout_ == Layout::kRow) {
+    if (schema_.is_compressed()) {
+      std::vector<AttributeCodec*> raw_codecs;
+      raw_codecs.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const AttributeDesc& attr = schema_.attribute(i);
+        RODB_ASSIGN_OR_RETURN(
+            std::unique_ptr<AttributeCodec> codec,
+            MakeCodec(attr.codec, attr.width, dicts_[i].get()));
+        raw_codecs.push_back(codec.get());
+        row_attr_codecs_.push_back(std::move(codec));
+      }
+      row_codec_ = std::make_unique<RowCodec>(std::move(raw_codecs));
+    }
+    row_builder_ = std::make_unique<RowPageBuilder>(&schema_, row_codec_.get(),
+                                                    page_size_);
+    const std::string path = TablePaths::RowFile(dir_, name_);
+    row_file_.open(path, std::ios::binary | std::ios::trunc);
+    if (!row_file_) return Status::IoError("cannot create " + path);
+    return Status::OK();
+  }
+  if (layout_ == Layout::kPax) {
+    std::vector<AttributeCodec*> raw_codecs;
+    for (size_t i = 0; i < n; ++i) {
+      const AttributeDesc& attr = schema_.attribute(i);
+      RODB_ASSIGN_OR_RETURN(std::unique_ptr<AttributeCodec> codec,
+                            MakeCodec(attr.codec, attr.width, dicts_[i].get()));
+      raw_codecs.push_back(codec.get());
+      col_codecs_.push_back(std::move(codec));
+    }
+    RODB_ASSIGN_OR_RETURN(
+        pax_builder_,
+        PaxPageBuilder::Make(&schema_, std::move(raw_codecs), page_size_));
+    const std::string path = TablePaths::PaxFile(dir_, name_);
+    pax_file_.open(path, std::ios::binary | std::ios::trunc);
+    if (!pax_file_) return Status::IoError("cannot create " + path);
+    return Status::OK();
+  }
+  // Column layout: one codec + builder + file per attribute.
+  col_pages_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const AttributeDesc& attr = schema_.attribute(i);
+    RODB_ASSIGN_OR_RETURN(std::unique_ptr<AttributeCodec> codec,
+                          MakeCodec(attr.codec, attr.width, dicts_[i].get()));
+    col_builders_.push_back(
+        std::make_unique<ColumnPageBuilder>(codec.get(), page_size_));
+    col_codecs_.push_back(std::move(codec));
+    const std::string path = TablePaths::ColumnFile(dir_, name_, i);
+    auto file = std::make_unique<std::ofstream>(
+        path, std::ios::binary | std::ios::trunc);
+    if (!*file) return Status::IoError("cannot create " + path);
+    col_files_.push_back(std::move(file));
+  }
+  return Status::OK();
+}
+
+Status TableWriter::FlushRowPage() {
+  RODB_RETURN_IF_ERROR(
+      row_builder_->Finish(static_cast<uint32_t>(row_pages_)));
+  row_file_.write(reinterpret_cast<const char*>(row_builder_->data()),
+                  static_cast<std::streamsize>(page_size_));
+  if (!row_file_) return Status::IoError("row page write failed");
+  ++row_pages_;
+  row_builder_->Reset();
+  return Status::OK();
+}
+
+Status TableWriter::FlushPaxPage() {
+  RODB_RETURN_IF_ERROR(
+      pax_builder_->Finish(static_cast<uint32_t>(pax_pages_)));
+  pax_file_.write(reinterpret_cast<const char*>(pax_builder_->data()),
+                  static_cast<std::streamsize>(page_size_));
+  if (!pax_file_) return Status::IoError("PAX page write failed");
+  ++pax_pages_;
+  pax_builder_->Reset();
+  return Status::OK();
+}
+
+Status TableWriter::FlushColumnPage(size_t attr) {
+  ColumnPageBuilder& builder = *col_builders_[attr];
+  RODB_RETURN_IF_ERROR(
+      builder.Finish(static_cast<uint32_t>(col_pages_[attr])));
+  col_files_[attr]->write(reinterpret_cast<const char*>(builder.data()),
+                          static_cast<std::streamsize>(page_size_));
+  if (!*col_files_[attr]) return Status::IoError("column page write failed");
+  ++col_pages_[attr];
+  builder.Reset();
+  return Status::OK();
+}
+
+void TableWriter::CollectStats(const uint8_t* raw_tuple) {
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    if (schema_.attribute(i).type != AttrType::kInt32) continue;
+    const int32_t v =
+        LoadLE32s(raw_tuple + static_cast<size_t>(schema_.attr_offset(i)));
+    ColumnStats& s = stats_[i];
+    if (!s.valid) {
+      s.valid = true;
+      s.min = s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    if (s.ndv <= ColumnStats::kNdvCap) {
+      auto& seen = distinct_[i];
+      if (seen.insert(v).second) {
+        s.ndv = seen.size() > ColumnStats::kNdvCap ? ColumnStats::kNdvCap + 1
+                                                   : seen.size();
+        if (seen.size() > ColumnStats::kNdvCap) seen.clear();
+      }
+    }
+  }
+}
+
+Status TableWriter::Append(const uint8_t* raw_tuple) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (raw_tuple != nullptr) CollectStats(raw_tuple);
+  if (layout_ == Layout::kRow) {
+    AppendResult r = row_builder_->Append(raw_tuple);
+    if (r == AppendResult::kPageFull) {
+      RODB_RETURN_IF_ERROR(FlushRowPage());
+      r = row_builder_->Append(raw_tuple);
+    }
+    if (r != AppendResult::kOk) {
+      return Status::InvalidArgument(
+          "tuple " + std::to_string(num_tuples_) +
+          " not encodable under the schema's compression");
+    }
+    ++num_tuples_;
+    return Status::OK();
+  }
+  if (layout_ == Layout::kPax) {
+    AppendResult r = pax_builder_->Append(raw_tuple);
+    if (r == AppendResult::kPageFull) {
+      RODB_RETURN_IF_ERROR(FlushPaxPage());
+      r = pax_builder_->Append(raw_tuple);
+    }
+    if (r != AppendResult::kOk) {
+      return Status::InvalidArgument(
+          "tuple " + std::to_string(num_tuples_) +
+          " not encodable under the schema's compression");
+    }
+    ++num_tuples_;
+    return Status::OK();
+  }
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    const uint8_t* value =
+        raw_tuple + static_cast<size_t>(schema_.attr_offset(i));
+    AppendResult r = col_builders_[i]->Append(value);
+    if (r == AppendResult::kPageFull) {
+      RODB_RETURN_IF_ERROR(FlushColumnPage(i));
+      r = col_builders_[i]->Append(value);
+    }
+    if (r != AppendResult::kOk) {
+      return Status::InvalidArgument(
+          "value of attribute " + schema_.attribute(i).name + " in tuple " +
+          std::to_string(num_tuples_) + " not encodable");
+    }
+  }
+  ++num_tuples_;
+  return Status::OK();
+}
+
+Status TableWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  finished_ = true;
+  TableMeta meta;
+  meta.name = name_;
+  meta.column_stats = stats_;
+  meta.layout = layout_;
+  meta.page_size = page_size_;
+  meta.num_tuples = num_tuples_;
+  meta.schema = schema_;
+  if (layout_ == Layout::kRow) {
+    if (row_builder_->count() > 0) RODB_RETURN_IF_ERROR(FlushRowPage());
+    row_file_.flush();
+    if (!row_file_) return Status::IoError("row file flush failed");
+    row_file_.close();
+    meta.file_pages.push_back(row_pages_);
+    meta.file_bytes.push_back(row_pages_ * page_size_);
+  } else if (layout_ == Layout::kPax) {
+    if (pax_builder_->count() > 0) RODB_RETURN_IF_ERROR(FlushPaxPage());
+    pax_file_.flush();
+    if (!pax_file_) return Status::IoError("PAX file flush failed");
+    pax_file_.close();
+    meta.file_pages.push_back(pax_pages_);
+    meta.file_bytes.push_back(pax_pages_ * page_size_);
+  } else {
+    for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+      if (col_builders_[i]->count() > 0) {
+        RODB_RETURN_IF_ERROR(FlushColumnPage(i));
+      }
+      col_files_[i]->flush();
+      if (!*col_files_[i]) return Status::IoError("column file flush failed");
+      col_files_[i]->close();
+      meta.file_pages.push_back(col_pages_[i]);
+      meta.file_bytes.push_back(col_pages_[i] * page_size_);
+    }
+  }
+  // Dictionary sidecar: all dictionaries concatenated in attribute order.
+  std::string dict_blob;
+  for (const auto& dict : dicts_) {
+    if (dict != nullptr) dict->AppendTo(&dict_blob);
+  }
+  if (!dict_blob.empty()) {
+    RODB_RETURN_IF_ERROR(
+        WriteStringToFile(TablePaths::DictFile(dir_, name_), dict_blob));
+  }
+  return Catalog::SaveTableMeta(dir_, meta);
+}
+
+}  // namespace rodb

@@ -1,0 +1,92 @@
+#include "tpch/generator.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace rodb::tpch {
+
+namespace {
+
+/// Copies `text` into a fixed-width field, space-padded.
+void PutText(uint8_t* out, int width, const char* text) {
+  const size_t len = std::strlen(text);
+  std::memset(out, ' ', static_cast<size_t>(width));
+  std::memcpy(out, text, len < static_cast<size_t>(width)
+                             ? len
+                             : static_cast<size_t>(width));
+}
+
+const char* const kReturnFlags[] = {"R", "A", "N"};
+const char* const kLineStatus[] = {"O", "F"};
+const char* const kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                     "NONE", "TAKE BACK RETURN"};
+const char* const kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                                  "TRUCK", "MAIL", "FOB"};
+const char* const kOrderStatus[] = {"F", "O", "P"};
+const char* const kOrderPriority[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                      "4-NOT SPECI", "5-LOW"};
+
+/// The CharPack alphabet (compression/codecs_internal.h) minus nothing:
+/// comments draw from exactly the symbols the 4-bit codec can represent.
+constexpr char kCommentAlphabet[] = " abcdefghijklmno";
+constexpr int kCommentChars = 56;  ///< packed prefix of the 69-byte field
+
+}  // namespace
+
+LineitemGenerator::LineitemGenerator(uint64_t seed) : rng_(seed) {}
+
+void LineitemGenerator::NextTuple(uint8_t* out) {
+  // ~4 lineitems per order (TPC-H's LINEITEM:ORDERS ratio): advance the
+  // orderkey with probability 1/4, keeping FOR-delta deltas in {0, 1}.
+  if (count_ > 0 && rng_.Bernoulli(0.25)) {
+    ++orderkey_;
+    linenumber_ = 1;
+  }
+  const int32_t quantity = static_cast<int32_t>(rng_.UniformRange(1, 50));
+  const int32_t price = static_cast<int32_t>(
+      rng_.UniformRange(1000, kPriceDomain));
+  const int32_t shipdate = static_cast<int32_t>(
+      rng_.UniformRange(0, kDateDomain - 120));
+
+  StoreLE32s(out + 0, static_cast<int32_t>(rng_.Uniform(kPartkeyDomain)));
+  StoreLE32s(out + 4, orderkey_);
+  StoreLE32s(out + 8, static_cast<int32_t>(rng_.Uniform(kSuppkeyDomain)));
+  StoreLE32s(out + 12, linenumber_ <= 7 ? linenumber_ : 7);
+  StoreLE32s(out + 16, quantity);
+  StoreLE32s(out + 20, price * quantity % 1000000);
+  PutText(out + 24, 1, kReturnFlags[rng_.Uniform(3)]);
+  PutText(out + 25, 1, kLineStatus[rng_.Uniform(2)]);
+  PutText(out + 26, 25, kShipInstruct[rng_.Uniform(4)]);
+  PutText(out + 51, 10, kShipModes[rng_.Uniform(7)]);
+  // L_COMMENT: 56 packable characters + 13 bytes of space padding.
+  uint8_t* comment = out + 61;
+  for (int i = 0; i < kCommentChars; ++i) {
+    comment[i] =
+        static_cast<uint8_t>(kCommentAlphabet[rng_.Uniform(16)]);
+  }
+  std::memset(comment + kCommentChars, ' ', 69 - kCommentChars);
+  StoreLE32s(out + 130, static_cast<int32_t>(rng_.UniformRange(0, 10)));
+  StoreLE32s(out + 134, static_cast<int32_t>(rng_.UniformRange(0, 8)));
+  StoreLE32s(out + 138, shipdate);
+  StoreLE32s(out + 142, shipdate + static_cast<int32_t>(rng_.UniformRange(1, 60)));
+  StoreLE32s(out + 146, shipdate + static_cast<int32_t>(rng_.UniformRange(1, 120)));
+
+  ++linenumber_;
+  ++count_;
+}
+
+OrdersGenerator::OrdersGenerator(uint64_t seed) : rng_(seed) {}
+
+void OrdersGenerator::NextTuple(uint8_t* out) {
+  StoreLE32s(out + 0, static_cast<int32_t>(rng_.Uniform(kOrderdateDomain)));
+  StoreLE32s(out + 4, orderkey_++);
+  StoreLE32s(out + 8, static_cast<int32_t>(rng_.Uniform(kCustkeyDomain)));
+  PutText(out + 12, 1, kOrderStatus[rng_.Uniform(3)]);
+  PutText(out + 13, 11, kOrderPriority[rng_.Uniform(5)]);
+  StoreLE32s(out + 24, static_cast<int32_t>(rng_.UniformRange(1000, kPriceDomain)));
+  StoreLE32s(out + 28, static_cast<int32_t>(rng_.Uniform(2)));
+  ++count_;
+}
+
+}  // namespace rodb::tpch

@@ -1,0 +1,51 @@
+#ifndef RODB_TPCH_GENERATOR_H_
+#define RODB_TPCH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "tpch/tpch_schema.h"
+
+namespace rodb::tpch {
+
+/// Deterministic generator of LINEITEM tuples (the dbgen substitute; see
+/// DESIGN.md substitution #3). Tuples are produced in clustering order:
+/// L_ORDERKEY ascends with ~4 lineitems per order, so FOR-delta deltas are
+/// always 0 or 1, matching the "sorted ID attribute" the paper compresses
+/// at 8 bits.
+class LineitemGenerator {
+ public:
+  explicit LineitemGenerator(uint64_t seed = 42);
+
+  /// Writes the next tuple's 150 raw bytes into `out`.
+  void NextTuple(uint8_t* out);
+
+  uint64_t tuples_generated() const { return count_; }
+
+ private:
+  Random rng_;
+  int32_t orderkey_ = 1;
+  int32_t linenumber_ = 1;
+  uint64_t count_ = 0;
+};
+
+/// Deterministic generator of ORDERS tuples: O_ORDERKEY is the dense
+/// ascending key (delta always 1).
+class OrdersGenerator {
+ public:
+  explicit OrdersGenerator(uint64_t seed = 43);
+
+  /// Writes the next tuple's 32 raw bytes into `out`.
+  void NextTuple(uint8_t* out);
+
+  uint64_t tuples_generated() const { return count_; }
+
+ private:
+  Random rng_;
+  int32_t orderkey_ = 1;
+  uint64_t count_ = 0;
+};
+
+}  // namespace rodb::tpch
+
+#endif  // RODB_TPCH_GENERATOR_H_

@@ -1,0 +1,97 @@
+#include "tpch/loader.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace rodb::tpch {
+
+std::string TableName(const std::string& base, const LoadSpec& spec) {
+  if (!spec.name.empty()) return spec.name;
+  std::string name = base;
+  if (spec.orders_plain_for) {
+    name += "_zfor";
+  } else if (spec.compressed) {
+    name += "_z";
+  }
+  switch (spec.layout) {
+    case Layout::kRow:
+      name += "_row";
+      break;
+    case Layout::kColumn:
+      name += "_col";
+      break;
+    case Layout::kPax:
+      name += "_pax";
+      break;
+  }
+  return name;
+}
+
+namespace {
+
+template <typename Generator>
+Result<TableMeta> LoadTable(const LoadSpec& spec, const std::string& base,
+                            Result<Schema> schema_result, int tuple_width,
+                            uint64_t generator_seed) {
+  RODB_ASSIGN_OR_RETURN(Schema schema, std::move(schema_result));
+  const std::string name = TableName(base, spec);
+  RODB_ASSIGN_OR_RETURN(
+      std::unique_ptr<TableWriter> writer,
+      TableWriter::Create(spec.dir, name, schema, spec.layout,
+                          spec.page_size));
+  Generator gen(generator_seed);
+  std::vector<uint8_t> tuple(static_cast<size_t>(tuple_width));
+  for (uint64_t i = 0; i < spec.num_tuples; ++i) {
+    gen.NextTuple(tuple.data());
+    RODB_RETURN_IF_ERROR(writer->Append(tuple.data()));
+  }
+  RODB_RETURN_IF_ERROR(writer->Finish());
+  return Catalog::LoadTableMeta(spec.dir, name);
+}
+
+template <typename Generator>
+Result<TableMeta> EnsureTable(const LoadSpec& spec, const std::string& base,
+                              Result<Schema> schema_result, int tuple_width,
+                              uint64_t generator_seed) {
+  const std::string name = TableName(base, spec);
+  auto existing = Catalog::LoadTableMeta(spec.dir, name);
+  if (existing.ok() && existing->num_tuples == spec.num_tuples &&
+      existing->page_size == spec.page_size &&
+      existing->layout == spec.layout) {
+    return existing;
+  }
+  return LoadTable<Generator>(spec, base, std::move(schema_result),
+                              tuple_width, generator_seed);
+}
+
+Result<Schema> OrdersSchemaFor(const LoadSpec& spec) {
+  if (spec.orders_plain_for) return OrdersZForSchema();
+  return spec.compressed ? OrdersZSchema() : OrdersSchema();
+}
+
+}  // namespace
+
+Result<TableMeta> LoadLineitem(const LoadSpec& spec) {
+  return LoadTable<LineitemGenerator>(
+      spec, "lineitem",
+      spec.compressed ? LineitemZSchema() : LineitemSchema(), 150, spec.seed);
+}
+
+Result<TableMeta> LoadOrders(const LoadSpec& spec) {
+  return LoadTable<OrdersGenerator>(spec, "orders", OrdersSchemaFor(spec), 32,
+                                    spec.seed + 1);
+}
+
+Result<TableMeta> EnsureLineitem(const LoadSpec& spec) {
+  return EnsureTable<LineitemGenerator>(
+      spec, "lineitem",
+      spec.compressed ? LineitemZSchema() : LineitemSchema(), 150, spec.seed);
+}
+
+Result<TableMeta> EnsureOrders(const LoadSpec& spec) {
+  return EnsureTable<OrdersGenerator>(spec, "orders", OrdersSchemaFor(spec),
+                                      32, spec.seed + 1);
+}
+
+}  // namespace rodb::tpch

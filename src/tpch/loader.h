@@ -1,0 +1,43 @@
+#ifndef RODB_TPCH_LOADER_H_
+#define RODB_TPCH_LOADER_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/table_files.h"
+#include "tpch/generator.h"
+
+namespace rodb::tpch {
+
+/// Which table to materialize and how.
+struct LoadSpec {
+  std::string dir;                     ///< database directory (must exist)
+  uint64_t num_tuples = 0;
+  Layout layout = Layout::kRow;
+  bool compressed = false;             ///< use the -Z schema
+  /// ORDERS only: use plain FOR(16) instead of FOR-delta(8) on O_ORDERKEY
+  /// (the Figure 9 ablation). Implies compressed.
+  bool orders_plain_for = false;
+  size_t page_size = kDefaultPageSize;
+  uint64_t seed = 42;
+  /// Table name; empty derives "<base>[_z|_zfor]_<row|col>".
+  std::string name;
+};
+
+/// Canonical table name for a spec ("lineitem_z_col", "orders_row", ...).
+std::string TableName(const std::string& base, const LoadSpec& spec);
+
+/// Generates and bulk-loads LINEITEM / ORDERS per the spec. Returns the
+/// catalog entry of the created table.
+Result<TableMeta> LoadLineitem(const LoadSpec& spec);
+Result<TableMeta> LoadOrders(const LoadSpec& spec);
+
+/// Loads the table only if its catalog entry is absent or disagrees with
+/// the spec (tuple count / page size); benches use this to reuse datasets
+/// across runs.
+Result<TableMeta> EnsureLineitem(const LoadSpec& spec);
+Result<TableMeta> EnsureOrders(const LoadSpec& spec);
+
+}  // namespace rodb::tpch
+
+#endif  // RODB_TPCH_LOADER_H_

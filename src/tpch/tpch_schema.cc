@@ -1,0 +1,78 @@
+#include "tpch/tpch_schema.h"
+
+#include <cmath>
+
+namespace rodb::tpch {
+
+namespace {
+
+/// LINEITEM attribute descriptors; `compressed` selects Figure 5's right-
+/// hand column ("Z" specs). 150 raw bytes either way.
+std::vector<AttributeDesc> LineitemAttrs(bool compressed) {
+  auto z = [compressed](CodecSpec spec) {
+    return compressed ? spec : CodecSpec::None();
+  };
+  return {
+      AttributeDesc::Int32("L_PARTKEY"),                                // 1
+      AttributeDesc::Int32("L_ORDERKEY", z(CodecSpec::ForDelta(8))),    // 2Z
+      AttributeDesc::Int32("L_SUPPKEY"),                                // 3
+      AttributeDesc::Int32("L_LINENUMBER", z(CodecSpec::BitPack(3))),   // 4Z
+      AttributeDesc::Int32("L_QUANTITY", z(CodecSpec::BitPack(6))),     // 5Z
+      AttributeDesc::Int32("L_EXTENDEDPRICE"),                          // 6
+      AttributeDesc::Text("L_RETURNFLAG", 1, z(CodecSpec::Dict(2))),    // 7Z
+      AttributeDesc::Text("L_LINESTATUS", 1),                           // 8
+      AttributeDesc::Text("L_SHIPINSTRUCT", 25, z(CodecSpec::Dict(2))), // 9Z
+      AttributeDesc::Text("L_SHIPMODE", 10, z(CodecSpec::Dict(3))),     // 10Z
+      // "pack, 28 bytes": 56 characters x 4 bits from a 16-symbol
+      // alphabet; the remaining 13 bytes of the 69-byte field are padding.
+      AttributeDesc::Text("L_COMMENT", 69, z(CodecSpec::CharPack(4, 56))),
+      AttributeDesc::Int32("L_DISCOUNT", z(CodecSpec::Dict(4))),        // 12Z
+      AttributeDesc::Int32("L_TAX", z(CodecSpec::Dict(4))),             // 13Z
+      AttributeDesc::Int32("L_SHIPDATE", z(CodecSpec::BitPack(16))),    // 14Z
+      AttributeDesc::Int32("L_COMMITDATE", z(CodecSpec::BitPack(16))),  // 15Z
+      AttributeDesc::Int32("L_RECEIPTDATE", z(CodecSpec::BitPack(16))), // 16Z
+  };
+}
+
+std::vector<AttributeDesc> OrdersAttrs(bool compressed, bool plain_for) {
+  auto z = [compressed](CodecSpec spec) {
+    return compressed ? spec : CodecSpec::None();
+  };
+  // Figure 9 swaps O_ORDERKEY between FOR-delta (8 bits) and plain FOR
+  // (16 bits: "storing the difference from a base value instead of the
+  // previous attribute requires more space, 16 bits instead of 8").
+  const CodecSpec orderkey_spec =
+      plain_for ? CodecSpec::For(16) : CodecSpec::ForDelta(8);
+  return {
+      AttributeDesc::Int32("O_ORDERDATE", z(CodecSpec::BitPack(14))),    // 1Z
+      AttributeDesc::Int32("O_ORDERKEY", z(orderkey_spec)),              // 2Z
+      AttributeDesc::Int32("O_CUSTKEY"),                                 // 3
+      AttributeDesc::Text("O_ORDERSTATUS", 1, z(CodecSpec::Dict(2))),    // 4Z
+      AttributeDesc::Text("O_ORDERPRIORITY", 11, z(CodecSpec::Dict(3))), // 5Z
+      AttributeDesc::Int32("O_TOTALPRICE"),                              // 6
+      AttributeDesc::Int32("O_SHIPPRIORITY", z(CodecSpec::BitPack(1))),  // 7Z
+  };
+}
+
+}  // namespace
+
+Result<Schema> LineitemSchema() { return Schema::Make(LineitemAttrs(false)); }
+Result<Schema> LineitemZSchema() { return Schema::Make(LineitemAttrs(true)); }
+Result<Schema> OrdersSchema() {
+  return Schema::Make(OrdersAttrs(false, false));
+}
+Result<Schema> OrdersZSchema() {
+  return Schema::Make(OrdersAttrs(true, false));
+}
+Result<Schema> OrdersZForSchema() {
+  return Schema::Make(OrdersAttrs(true, true));
+}
+
+int32_t SelectivityCutoff(int32_t domain, double selectivity) {
+  if (selectivity <= 0.0) return 0;
+  if (selectivity >= 1.0) return domain;
+  return static_cast<int32_t>(
+      std::llround(static_cast<double>(domain) * selectivity));
+}
+
+}  // namespace rodb::tpch

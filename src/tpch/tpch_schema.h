@@ -1,0 +1,68 @@
+#ifndef RODB_TPCH_TPCH_SCHEMA_H_
+#define RODB_TPCH_TPCH_SCHEMA_H_
+
+#include <cstdint>
+
+#include "storage/schema.h"
+
+namespace rodb::tpch {
+
+/// The two tables of the study (Section 3.1, Figure 5), with the paper's
+/// modifications to stock TPC-H: all decimals/dates are four-byte ints,
+/// L_COMMENT is fixed text sized to make LINEITEM exactly 150 bytes, and
+/// ORDERS drops/resizes text fields to reach exactly 32 bytes.
+///
+/// The -Z variants carry the compressed attribute specs of Figure 5's
+/// right-hand side: LINEITEM-Z encodes to 52 bytes/tuple and ORDERS-Z to
+/// 12 bytes/tuple.
+
+Result<Schema> LineitemSchema();
+Result<Schema> LineitemZSchema();
+Result<Schema> OrdersSchema();
+Result<Schema> OrdersZSchema();
+/// ORDERS-Z with plain FOR (16 bits) instead of FOR-delta (8 bits) on
+/// O_ORDERKEY -- the compression ablation of Figure 9.
+Result<Schema> OrdersZForSchema();
+
+// Attribute indices (0-based; Figure 5 numbers them from 1).
+inline constexpr int kLPartkey = 0;
+inline constexpr int kLOrderkey = 1;
+inline constexpr int kLSuppkey = 2;
+inline constexpr int kLLinenumber = 3;
+inline constexpr int kLQuantity = 4;
+inline constexpr int kLExtendedprice = 5;
+inline constexpr int kLReturnflag = 6;
+inline constexpr int kLLinestatus = 7;
+inline constexpr int kLShipinstruct = 8;
+inline constexpr int kLShipmode = 9;
+inline constexpr int kLComment = 10;
+inline constexpr int kLDiscount = 11;
+inline constexpr int kLTax = 12;
+inline constexpr int kLShipdate = 13;
+inline constexpr int kLCommitdate = 14;
+inline constexpr int kLReceiptdate = 15;
+
+inline constexpr int kOOrderdate = 0;
+inline constexpr int kOOrderkey = 1;
+inline constexpr int kOCustkey = 2;
+inline constexpr int kOOrderstatus = 3;
+inline constexpr int kOOrderpriority = 4;
+inline constexpr int kOTotalprice = 5;
+inline constexpr int kOShippriority = 6;
+
+// Value domains the generator draws from (all uniform unless noted). The
+// experiment harness derives predicate cutoffs from these.
+inline constexpr int32_t kPartkeyDomain = 200000;   ///< L_PARTKEY in [0, N)
+inline constexpr int32_t kSuppkeyDomain = 10000;
+inline constexpr int32_t kCustkeyDomain = 150000;
+inline constexpr int32_t kOrderdateDomain = 10000;  ///< O_ORDERDATE in [0, N)
+inline constexpr int32_t kDateDomain = 60000;       ///< lineitem dates < 2^16
+inline constexpr int32_t kPriceDomain = 100000;
+
+/// Predicate cutoff c such that `attr < c` selects `selectivity` of a
+/// uniform [0, domain) attribute.
+int32_t SelectivityCutoff(int32_t domain, double selectivity);
+
+}  // namespace rodb::tpch
+
+#endif  // RODB_TPCH_TPCH_SCHEMA_H_

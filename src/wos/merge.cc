@@ -1,0 +1,187 @@
+#include "wos/merge.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "common/macros.h"
+#include "storage/column_page.h"
+#include "storage/pax_page.h"
+#include "storage/row_page.h"
+#include "storage/table_files.h"
+
+namespace rodb {
+
+namespace {
+
+Result<std::vector<std::vector<uint8_t>>> ReadRowTable(
+    const OpenTable& table) {
+  const TableMeta& meta = table.meta();
+  RODB_ASSIGN_OR_RETURN(std::string file, ReadFileToString(table.FilePath(0)));
+  if (file.size() != meta.file_bytes[0]) {
+    return Status::Corruption("row file size mismatch for " + meta.name);
+  }
+  RODB_ASSIGN_OR_RETURN(OpenTable::RowCodecBundle bundle,
+                        table.MakeRowCodec());
+  std::vector<std::vector<uint8_t>> tuples;
+  tuples.reserve(meta.num_tuples);
+  const size_t width = static_cast<size_t>(meta.schema.raw_tuple_width());
+  for (uint64_t p = 0; p < meta.file_pages[0]; ++p) {
+    const uint8_t* page =
+        reinterpret_cast<const uint8_t*>(file.data()) + p * meta.page_size;
+    RODB_ASSIGN_OR_RETURN(
+        RowPageReader reader,
+        RowPageReader::Open(page, meta.page_size, &meta.schema,
+                            bundle.row_codec.get()));
+    for (uint32_t i = 0; i < reader.count(); ++i) {
+      std::vector<uint8_t> tuple(width);
+      reader.DecodeNext(tuple.data());
+      tuples.push_back(std::move(tuple));
+    }
+  }
+  return tuples;
+}
+
+Result<std::vector<std::vector<uint8_t>>> ReadColumnTable(
+    const OpenTable& table) {
+  const TableMeta& meta = table.meta();
+  const size_t width = static_cast<size_t>(meta.schema.raw_tuple_width());
+  std::vector<std::vector<uint8_t>> tuples(
+      meta.num_tuples, std::vector<uint8_t>(width));
+  for (size_t attr = 0; attr < meta.schema.num_attributes(); ++attr) {
+    RODB_ASSIGN_OR_RETURN(std::string file,
+                          ReadFileToString(table.FilePath(attr)));
+    if (file.size() != meta.file_bytes[attr]) {
+      return Status::Corruption("column file size mismatch for " + meta.name);
+    }
+    RODB_ASSIGN_OR_RETURN(std::unique_ptr<AttributeCodec> codec,
+                          table.MakeAttrCodec(attr));
+    const int offset = meta.schema.attr_offset(attr);
+    uint64_t row = 0;
+    for (uint64_t p = 0; p < meta.file_pages[attr]; ++p) {
+      const uint8_t* page =
+          reinterpret_cast<const uint8_t*>(file.data()) + p * meta.page_size;
+      RODB_ASSIGN_OR_RETURN(
+          ColumnPageReader reader,
+          ColumnPageReader::Open(page, meta.page_size, codec.get()));
+      for (uint32_t i = 0; i < reader.count(); ++i) {
+        if (row >= meta.num_tuples) {
+          return Status::Corruption("column longer than table cardinality");
+        }
+        reader.DecodeNext(tuples[row].data() + offset);
+        ++row;
+      }
+    }
+    if (row != meta.num_tuples) {
+      return Status::Corruption("column shorter than table cardinality");
+    }
+  }
+  return tuples;
+}
+
+Result<std::vector<std::vector<uint8_t>>> ReadPaxTable(
+    const OpenTable& table) {
+  const TableMeta& meta = table.meta();
+  RODB_ASSIGN_OR_RETURN(std::string file, ReadFileToString(table.FilePath(0)));
+  if (file.size() != meta.file_bytes[0]) {
+    return Status::Corruption("PAX file size mismatch for " + meta.name);
+  }
+  std::vector<std::unique_ptr<AttributeCodec>> owned;
+  std::vector<AttributeCodec*> codecs;
+  for (size_t a = 0; a < meta.schema.num_attributes(); ++a) {
+    RODB_ASSIGN_OR_RETURN(auto codec, table.MakeAttrCodec(a));
+    codecs.push_back(codec.get());
+    owned.push_back(std::move(codec));
+  }
+  const size_t width = static_cast<size_t>(meta.schema.raw_tuple_width());
+  std::vector<std::vector<uint8_t>> tuples;
+  tuples.reserve(meta.num_tuples);
+  for (uint64_t p = 0; p < meta.file_pages[0]; ++p) {
+    const uint8_t* page =
+        reinterpret_cast<const uint8_t*>(file.data()) + p * meta.page_size;
+    RODB_ASSIGN_OR_RETURN(
+        PaxPageReader reader,
+        PaxPageReader::Open(page, meta.page_size, &meta.schema, codecs));
+    for (uint32_t i = 0; i < reader.count(); ++i) {
+      std::vector<uint8_t> tuple(width);
+      for (size_t a = 0; a < codecs.size(); ++a) {
+        reader.DecodeNext(
+            a, tuple.data() +
+                   static_cast<size_t>(meta.schema.attr_offset(a)));
+      }
+      tuples.push_back(std::move(tuple));
+    }
+  }
+  return tuples;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<uint8_t>>> ReadAllTuples(
+    const OpenTable& table) {
+  switch (table.meta().layout) {
+    case Layout::kRow:
+      return ReadRowTable(table);
+    case Layout::kPax:
+      return ReadPaxTable(table);
+    case Layout::kColumn:
+      break;
+  }
+  return ReadColumnTable(table);
+}
+
+Result<TableMeta> MergeIntoReadStore(const std::string& dir,
+                                     const std::string& old_name,
+                                     const std::string& new_name,
+                                     WriteStore* wos,
+                                     const MergeOptions& options) {
+  if (wos == nullptr) return Status::InvalidArgument("null write store");
+  const Schema& schema = wos->schema();
+  const size_t attr = static_cast<size_t>(options.sort_attr);
+  if (attr >= schema.num_attributes() ||
+      schema.attribute(attr).type != AttrType::kInt32) {
+    return Status::InvalidArgument("merge sort attribute must be int32");
+  }
+  RODB_RETURN_IF_ERROR(wos->SortBy(options.sort_attr));
+
+  std::vector<std::vector<uint8_t>> old_tuples;
+  if (!old_name.empty()) {
+    RODB_ASSIGN_OR_RETURN(OpenTable old_table,
+                          OpenTable::Open(dir, old_name));
+    if (old_table.schema().raw_tuple_width() != schema.raw_tuple_width() ||
+        old_table.schema().num_attributes() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "write store schema does not match read store");
+    }
+    RODB_ASSIGN_OR_RETURN(old_tuples, ReadAllTuples(old_table));
+  }
+
+  RODB_ASSIGN_OR_RETURN(
+      std::unique_ptr<TableWriter> writer,
+      TableWriter::Create(dir, new_name, schema, options.layout,
+                          options.page_size));
+  const int key_offset = schema.attr_offset(attr);
+  size_t oi = 0;
+  uint64_t wi = 0;
+  const uint64_t wn = wos->size();
+  // Linear two-way merge: both runs are sorted on the clustering key; the
+  // read store wins ties so older facts stay ahead of compensations.
+  while (oi < old_tuples.size() || wi < wn) {
+    const uint8_t* next;
+    if (oi >= old_tuples.size()) {
+      next = wos->tuple(wi++);
+    } else if (wi >= wn) {
+      next = old_tuples[oi++].data();
+    } else {
+      const int32_t ok = LoadLE32s(old_tuples[oi].data() + key_offset);
+      const int32_t wk = LoadLE32s(wos->tuple(wi) + key_offset);
+      next = ok <= wk ? old_tuples[oi++].data() : wos->tuple(wi++);
+    }
+    RODB_RETURN_IF_ERROR(writer->Append(next));
+  }
+  RODB_RETURN_IF_ERROR(writer->Finish());
+  wos->Clear();
+  return Catalog::LoadTableMeta(dir, new_name);
+}
+
+}  // namespace rodb

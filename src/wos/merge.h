@@ -1,0 +1,39 @@
+#ifndef RODB_WOS_MERGE_H_
+#define RODB_WOS_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/page.h"
+#include "wos/write_store.h"
+
+namespace rodb {
+
+/// Options for merging a WriteStore into the read-optimized store.
+struct MergeOptions {
+  /// int32 attribute both sides are clustered on.
+  int sort_attr = 0;
+  Layout layout = Layout::kRow;
+  size_t page_size = kDefaultPageSize;
+};
+
+/// Materializes every tuple of a stored table back into raw form (used by
+/// the merge to re-write the read store; tables are read page by page,
+/// column files in lockstep).
+Result<std::vector<std::vector<uint8_t>>> ReadAllTuples(
+    const OpenTable& table);
+
+/// The "merge" arrow of Figure 1: combines the existing read store table
+/// `old_name` (may be empty for a first load) with the sorted contents of
+/// `wos` into a brand-new table `new_name`, written densely in one
+/// sequential pass. The WOS is cleared on success.
+Result<TableMeta> MergeIntoReadStore(const std::string& dir,
+                                     const std::string& old_name,
+                                     const std::string& new_name,
+                                     WriteStore* wos,
+                                     const MergeOptions& options);
+
+}  // namespace rodb
+
+#endif  // RODB_WOS_MERGE_H_

@@ -1,0 +1,46 @@
+#include "wos/write_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/bytes.h"
+
+namespace rodb {
+
+Status WriteStore::Insert(const uint8_t* raw_tuple) {
+  if (raw_tuple == nullptr) {
+    return Status::InvalidArgument("null tuple");
+  }
+  data_.insert(data_.end(), raw_tuple, raw_tuple + tuple_width_);
+  return Status::OK();
+}
+
+Status WriteStore::SortBy(int attr_index) {
+  if (attr_index < 0 ||
+      static_cast<size_t>(attr_index) >= schema_.num_attributes()) {
+    return Status::OutOfRange("sort attribute out of range");
+  }
+  if (schema_.attribute(static_cast<size_t>(attr_index)).type !=
+      AttrType::kInt32) {
+    return Status::InvalidArgument("sort attribute must be int32");
+  }
+  const int offset = schema_.attr_offset(static_cast<size_t>(attr_index));
+  const uint64_t n = size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this, offset](uint32_t a, uint32_t b) {
+                     return LoadLE32s(tuple(a) + offset) <
+                            LoadLE32s(tuple(b) + offset);
+                   });
+  std::vector<uint8_t> sorted(data_.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    std::memcpy(sorted.data() + i * tuple_width_, tuple(order[i]),
+                tuple_width_);
+  }
+  data_ = std::move(sorted);
+  return Status::OK();
+}
+
+}  // namespace rodb

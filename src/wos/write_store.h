@@ -1,0 +1,50 @@
+#ifndef RODB_WOS_WRITE_STORE_H_
+#define RODB_WOS_WRITE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// The staging area of Figure 1: writes land in an in-memory,
+/// insert-friendly buffer and move to the read-optimized store in bulk.
+/// Deletions follow the warehouse convention the paper describes
+/// (compensating facts, e.g. a negative Sale amount) rather than in-place
+/// updates, so the store is append-only.
+class WriteStore {
+ public:
+  explicit WriteStore(Schema schema)
+      : schema_(std::move(schema)),
+        tuple_width_(static_cast<size_t>(schema_.raw_tuple_width())) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends one raw tuple (attribute bytes back to back).
+  Status Insert(const uint8_t* raw_tuple);
+
+  uint64_t size() const { return data_.size() / tuple_width_; }
+  uint64_t memory_bytes() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  const uint8_t* tuple(uint64_t i) const {
+    return data_.data() + i * tuple_width_;
+  }
+
+  /// Sorts the buffered tuples by an int32 attribute -- the clustering
+  /// key of the read store, so the merge stays a linear pass. Stable, so
+  /// insertion order breaks ties.
+  Status SortBy(int attr_index);
+
+  void Clear() { data_.clear(); }
+
+ private:
+  Schema schema_;
+  size_t tuple_width_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_WOS_WRITE_STORE_H_

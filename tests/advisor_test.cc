@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "advisor/compression_advisor.h"
+#include "advisor/layout_advisor.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "test_util.h"
+#include "tpch/generator.h"
+#include "tpch/tpch_schema.h"
+
+namespace rodb {
+namespace {
+
+std::vector<std::vector<uint8_t>> IntSample(
+    const std::vector<int32_t>& values) {
+  std::vector<std::vector<uint8_t>> out;
+  for (int32_t v : values) {
+    std::vector<uint8_t> raw(4);
+    StoreLE32s(raw.data(), v);
+    out.push_back(std::move(raw));
+  }
+  return out;
+}
+
+TEST(CompressionAdvisorTest, SmallDomainGetsBitPack) {
+  CompressionAdvisor advisor;
+  std::vector<int32_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(i % 50);
+  const auto advice =
+      advisor.Advise(AttributeDesc::Int32("qty"), IntSample(values));
+  // 50 distinct values, max 49: 6 bits either as pack or dict; pack is
+  // the cheaper decode.
+  EXPECT_EQ(advice.spec.kind, CompressionKind::kBitPack);
+  EXPECT_EQ(advice.spec.bits, 6);
+}
+
+TEST(CompressionAdvisorTest, SortedKeyGetsDelta) {
+  CompressionAdvisor advisor;
+  std::vector<int32_t> values;
+  int32_t v = 1000000;
+  Random rng(3);
+  for (int i = 0; i < 500; ++i) {
+    v += static_cast<int32_t>(rng.Uniform(3));
+    values.push_back(v);
+  }
+  const auto advice =
+      advisor.Advise(AttributeDesc::Int32("key"), IntSample(values));
+  EXPECT_EQ(advice.spec.kind, CompressionKind::kForDelta);
+  EXPECT_LE(advice.spec.bits, 4);
+}
+
+TEST(CompressionAdvisorTest, WideRandomIntStaysRaw) {
+  CompressionAdvisor advisor;
+  Random rng(5);
+  std::vector<int32_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<int32_t>(rng.Next()));
+  }
+  const auto advice =
+      advisor.Advise(AttributeDesc::Int32("hash"), IntSample(values));
+  EXPECT_EQ(advice.spec.kind, CompressionKind::kNone);
+  EXPECT_DOUBLE_EQ(advice.bits_per_value, 32.0);
+}
+
+TEST(CompressionAdvisorTest, LowCardinalityTextGetsDict) {
+  CompressionAdvisor advisor;
+  std::vector<std::vector<uint8_t>> sample;
+  const char* modes[] = {"AIR ", "RAIL", "SHIP"};
+  for (int i = 0; i < 300; ++i) {
+    const char* m = modes[i % 3];
+    sample.emplace_back(m, m + 4);
+  }
+  const auto advice =
+      advisor.Advise(AttributeDesc::Text("mode", 4), sample);
+  EXPECT_EQ(advice.spec.kind, CompressionKind::kDict);
+  EXPECT_EQ(advice.spec.bits, 2);
+}
+
+TEST(CompressionAdvisorTest, AlphabetTextGetsCharPack) {
+  CompressionAdvisor advisor;
+  Random rng(7);
+  std::vector<std::vector<uint8_t>> sample;
+  for (int i = 0; i < 300; ++i) {
+    std::string s = rng.String(20, "abcdefgh") + std::string(12, ' ');
+    sample.emplace_back(s.begin(), s.end());
+  }
+  const auto advice =
+      advisor.Advise(AttributeDesc::Text("comment", 32), sample);
+  EXPECT_EQ(advice.spec.kind, CompressionKind::kCharPack);
+  EXPECT_EQ(advice.spec.bits, 4);
+  EXPECT_EQ(advice.spec.char_count, 20);
+}
+
+TEST(CompressionAdvisorTest, EmptySampleKeepsRaw) {
+  CompressionAdvisor advisor;
+  const auto advice = advisor.Advise(AttributeDesc::Int32("x"), {});
+  EXPECT_EQ(advice.spec.kind, CompressionKind::kNone);
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(CompressionAdvisorTest, AdvisedSchemaEncodesTheSample) {
+  // Whatever the advisor picks must actually encode the sampled data:
+  // load it through a TableWriter-equivalent round trip via RowCodec.
+  CompressionAdvisor advisor;
+  ASSERT_OK_AND_ASSIGN(Schema plain, tpch::OrdersSchema());
+  tpch::OrdersGenerator gen(11);
+  std::vector<std::vector<uint8_t>> sample;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> t(32);
+    gen.NextTuple(t.data());
+    sample.push_back(std::move(t));
+  }
+  ASSERT_OK_AND_ASSIGN(Schema advised, advisor.AdviseSchema(plain, sample));
+  ASSERT_EQ(advised.num_attributes(), plain.num_attributes());
+  EXPECT_TRUE(advised.is_compressed());
+  // O_ORDERKEY is dense ascending: delta-style compression at few bits.
+  const CodecSpec key = advised.attribute(tpch::kOOrderkey).codec;
+  EXPECT_TRUE(key.kind == CompressionKind::kForDelta ||
+              key.kind == CompressionKind::kFor);
+  // O_ORDERPRIORITY has 5 values -> dict 3 bits.
+  EXPECT_EQ(advised.attribute(tpch::kOOrderpriority).codec.kind,
+            CompressionKind::kDict);
+  EXPECT_EQ(advised.attribute(tpch::kOOrderpriority).codec.bits, 3);
+}
+
+TEST(LayoutAdvisorTest, WarehouseWorkloadFavorsColumns) {
+  LayoutAdvisor advisor(HardwareConfig::Desktop2006());
+  const std::vector<WorkloadQuery> workload = {
+      {"report", 0.25, 0.1, 5.0},
+      {"drilldown", 0.5, 0.01, 2.0},
+  };
+  const LayoutAdvice advice = advisor.Advise(150.0, workload);
+  EXPECT_EQ(advice.layout, Layout::kColumn);
+  EXPECT_GT(advice.workload_speedup, 1.5);
+  ASSERT_EQ(advice.per_query.size(), 2u);
+  EXPECT_EQ(advice.per_query[0].name, "report");
+}
+
+TEST(LayoutAdvisorTest, LeanTuplesOnCpuBoundBoxFavorRows) {
+  // The Figure 2 corner: narrow tuples, CPU-constrained configuration.
+  LayoutAdvisor advisor(HardwareConfig::WithCpdb(9));
+  const std::vector<WorkloadQuery> workload = {{"lean", 0.5, 0.1, 1.0}};
+  const LayoutAdvice advice = advisor.Advise(8.0, workload);
+  EXPECT_EQ(advice.layout, Layout::kRow);
+  EXPECT_LT(advice.workload_speedup, 1.0);
+}
+
+TEST(LayoutAdvisorTest, EmptyWorkloadDefaultsToColumns) {
+  LayoutAdvisor advisor(HardwareConfig::Paper2006());
+  const LayoutAdvice advice = advisor.Advise(150.0, {});
+  EXPECT_DOUBLE_EQ(advice.workload_speedup, 1.0);
+  EXPECT_EQ(advice.layout, Layout::kColumn);
+}
+
+}  // namespace
+}  // namespace rodb

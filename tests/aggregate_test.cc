@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/bytes.h"
+#include "engine/aggregate.h"
+#include "scan_test_util.h"
+#include "vector_source.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::VectorSource;
+
+BlockLayout TwoInts() { return BlockLayout::FromWidths({4, 4}); }
+
+std::vector<std::vector<int32_t>> GroupedRows() {
+  // 3 groups: key 1 -> {10, 20}, key 2 -> {5}, key 3 -> {7, 7, 7}.
+  return {{1, 10}, {2, 5}, {3, 7}, {1, 20}, {3, 7}, {3, 7}};
+}
+
+int64_t ReadAgg(const std::vector<uint8_t>& tuple, size_t offset) {
+  return static_cast<int64_t>(LoadLE64(tuple.data() + offset));
+}
+
+/// Collects grouped results into key -> aggregate values.
+std::map<int32_t, std::vector<int64_t>> GroupMap(
+    const std::vector<std::vector<uint8_t>>& tuples, size_t n_aggs) {
+  std::map<int32_t, std::vector<int64_t>> out;
+  for (const auto& t : tuples) {
+    const int32_t key = LoadLE32s(t.data());
+    std::vector<int64_t> vals;
+    for (size_t i = 0; i < n_aggs; ++i) vals.push_back(ReadAgg(t, 4 + 8 * i));
+    out[key] = vals;
+  }
+  return out;
+}
+
+class BothAggsTest : public ::testing::TestWithParam<bool> {
+ protected:
+  Result<OperatorPtr> MakeAgg(OperatorPtr child, AggPlan plan) {
+    if (GetParam()) return HashAggOperator::Make(std::move(child), plan,
+                                                 &stats_);
+    return SortAggOperator::Make(std::move(child), plan, &stats_);
+  }
+  ExecStats stats_;
+};
+
+TEST_P(BothAggsTest, GroupedSumCountMinMaxAvg) {
+  auto source = std::make_unique<VectorSource>(TwoInts(), GroupedRows());
+  AggPlan plan;
+  plan.group_column = 0;
+  plan.aggs = {{AggFunc::kSum, 1},
+               {AggFunc::kCount, 0},
+               {AggFunc::kMin, 1},
+               {AggFunc::kMax, 1},
+               {AggFunc::kAvg, 1}};
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeAgg(std::move(source), plan));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(agg.get()));
+  const auto groups = GroupMap(tuples, 5);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at(1), (std::vector<int64_t>{30, 2, 10, 20, 15}));
+  EXPECT_EQ(groups.at(2), (std::vector<int64_t>{5, 1, 5, 5, 5}));
+  EXPECT_EQ(groups.at(3), (std::vector<int64_t>{21, 3, 7, 7, 7}));
+}
+
+TEST_P(BothAggsTest, ScalarAggregateOverWholeInput) {
+  std::vector<std::vector<int32_t>> rows;
+  for (int i = 1; i <= 1000; ++i) rows.push_back({i, i});
+  auto source = std::make_unique<VectorSource>(TwoInts(), std::move(rows));
+  AggPlan plan;
+  plan.group_column = -1;
+  plan.aggs = {{AggFunc::kSum, 1}, {AggFunc::kCount, 0}};
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeAgg(std::move(source), plan));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(agg.get()));
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(ReadAgg(tuples[0], 0), 500500);
+  EXPECT_EQ(ReadAgg(tuples[0], 8), 1000);
+}
+
+TEST_P(BothAggsTest, EmptyInputProducesNoGroups) {
+  auto source = std::make_unique<VectorSource>(TwoInts(),
+                                               std::vector<std::vector<int32_t>>{});
+  AggPlan plan;
+  plan.group_column = 0;
+  plan.aggs = {{AggFunc::kCount, 0}};
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeAgg(std::move(source), plan));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(agg.get()));
+  EXPECT_TRUE(tuples.empty());
+}
+
+TEST_P(BothAggsTest, NegativeValuesAndMinMax) {
+  auto source = std::make_unique<VectorSource>(
+      TwoInts(),
+      std::vector<std::vector<int32_t>>{{1, -5}, {1, 3}, {1, -20}});
+  AggPlan plan;
+  plan.group_column = 0;
+  plan.aggs = {{AggFunc::kMin, 1}, {AggFunc::kMax, 1}, {AggFunc::kSum, 1}};
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeAgg(std::move(source), plan));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(agg.get()));
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(ReadAgg(tuples[0], 4), -20);
+  EXPECT_EQ(ReadAgg(tuples[0], 12), 3);
+  EXPECT_EQ(ReadAgg(tuples[0], 20), -22);
+}
+
+TEST_P(BothAggsTest, ManyGroupsSpanMultipleOutputBlocks) {
+  std::vector<std::vector<int32_t>> rows;
+  for (int i = 0; i < 5000; ++i) rows.push_back({i % 700, 1});
+  auto source = std::make_unique<VectorSource>(TwoInts(), std::move(rows));
+  AggPlan plan;
+  plan.group_column = 0;
+  plan.aggs = {{AggFunc::kSum, 1}};
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeAgg(std::move(source), plan));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(agg.get()));
+  ASSERT_EQ(tuples.size(), 700u);
+  int64_t total = 0;
+  for (const auto& t : tuples) total += ReadAgg(t, 4);
+  EXPECT_EQ(total, 5000);
+}
+
+INSTANTIATE_TEST_SUITE_P(HashAndSort, BothAggsTest, ::testing::Bool());
+
+TEST(SortAggTest, EmitsGroupsInKeyOrder) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(
+      TwoInts(),
+      std::vector<std::vector<int32_t>>{{5, 1}, {2, 1}, {9, 1}, {2, 1}});
+  AggPlan plan;
+  plan.group_column = 0;
+  plan.aggs = {{AggFunc::kCount, 0}};
+  ASSERT_OK_AND_ASSIGN(auto agg,
+                       SortAggOperator::Make(std::move(source), plan, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(agg.get()));
+  ASSERT_EQ(tuples.size(), 3u);
+  EXPECT_EQ(LoadLE32s(tuples[0].data()), 2);
+  EXPECT_EQ(LoadLE32s(tuples[1].data()), 5);
+  EXPECT_EQ(LoadLE32s(tuples[2].data()), 9);
+  EXPECT_GT(stats.counters().sort_comparisons, 0u);
+}
+
+TEST(HashAggTest, CountsHashOps) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(TwoInts(), GroupedRows());
+  AggPlan plan;
+  plan.group_column = 0;
+  plan.aggs = {{AggFunc::kCount, 0}};
+  ASSERT_OK_AND_ASSIGN(auto agg,
+                       HashAggOperator::Make(std::move(source), plan, &stats));
+  ASSERT_OK(CollectTuples(agg.get()).status());
+  EXPECT_EQ(stats.counters().hash_ops, 6u);
+  EXPECT_EQ(stats.counters().operator_tuples, 6u);
+}
+
+TEST(AggValidationTest, RejectsBadPlans) {
+  ExecStats stats;
+  auto src = [] {
+    return std::make_unique<VectorSource>(TwoInts(),
+                                          std::vector<std::vector<int32_t>>{});
+  };
+  AggPlan no_aggs;
+  EXPECT_FALSE(HashAggOperator::Make(src(), no_aggs, &stats).ok());
+  AggPlan bad_group;
+  bad_group.group_column = 5;
+  bad_group.aggs = {{AggFunc::kCount, 0}};
+  EXPECT_FALSE(HashAggOperator::Make(src(), bad_group, &stats).ok());
+  AggPlan bad_col;
+  bad_col.aggs = {{AggFunc::kSum, 9}};
+  EXPECT_FALSE(SortAggOperator::Make(src(), bad_col, &stats).ok());
+}
+
+TEST(AggOutputLayoutTest, Shapes) {
+  AggPlan grouped;
+  grouped.group_column = 0;
+  grouped.aggs = {{AggFunc::kSum, 1}, {AggFunc::kCount, 0}};
+  EXPECT_EQ(AggOutputLayout(grouped).widths, (std::vector<int>{4, 8, 8}));
+  AggPlan scalar;
+  scalar.group_column = -1;
+  scalar.aggs = {{AggFunc::kMax, 0}};
+  EXPECT_EQ(AggOutputLayout(scalar).widths, (std::vector<int>{8}));
+  EXPECT_EQ(AggFuncName(AggFunc::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "model/analytical_model.h"
+#include "model/contour.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+TEST(AnalyticalModelTest, OperatorRateIsClockOverCost) {
+  AnalyticalModel model(HardwareConfig::Paper2006());
+  EXPECT_DOUBLE_EQ(model.OperatorRate(3.2e9), 1.0);
+  EXPECT_DOUBLE_EQ(model.OperatorRate(320), 1e7);
+  EXPECT_EQ(model.OperatorRate(0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(AnalyticalModelTest, ComposeMatchesPaperExample) {
+  // Section 5's worked example: 4 tuples/sec || 6 tuples/sec = 2.4.
+  EXPECT_DOUBLE_EQ(AnalyticalModel::Compose({4.0, 6.0}), 2.4);
+}
+
+TEST(AnalyticalModelTest, ComposeProperties) {
+  EXPECT_DOUBLE_EQ(AnalyticalModel::Compose({5.0}), 5.0);
+  // Composition is slower than the slowest stage alone... never faster.
+  EXPECT_LT(AnalyticalModel::Compose({4.0, 6.0, 10.0}), 4.0);
+  // Infinite (free) stages drop out.
+  EXPECT_DOUBLE_EQ(
+      AnalyticalModel::Compose(
+          {4.0, std::numeric_limits<double>::infinity()}),
+      4.0);
+  EXPECT_EQ(AnalyticalModel::Compose({}),
+            std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(AnalyticalModel::Compose({0.0, 5.0}), 0.0);
+}
+
+TEST(AnalyticalModelTest, DiskRateFollowsBandwidthAndWidth) {
+  AnalyticalModel model(HardwareConfig::Paper2006());  // 180MB/s
+  EXPECT_NEAR(model.DiskRate(152), 180e6 / 152, 1.0);
+  // Columns reading 4 of 152 bytes get a 38x higher disk rate.
+  EXPECT_NEAR(model.DiskRate(4) / model.DiskRate(152), 38.0, 1e-9);
+}
+
+TEST(AnalyticalModelTest, ScanRateBoundedByMemoryBandwidth) {
+  AnalyticalModel model(HardwareConfig::Paper2006());
+  ScanCpuCost cheap_compute;
+  cheap_compute.user_cycles_per_tuple = 1;
+  cheap_compute.mem_bytes_per_tuple = 3200;  // 1 byte/cycle -> 1M tuples/s
+  const double rate = model.ScanRate(cheap_compute);
+  EXPECT_NEAR(rate, 1e6, 1.0);
+}
+
+TEST(AnalyticalModelTest, RateIsMinOfDiskAndCpu) {
+  AnalyticalModel model(HardwareConfig::Paper2006());
+  SystemInputs in;
+  in.disk_bytes_per_tuple = 152;
+  in.scan.user_cycles_per_tuple = 10;  // very fast CPU side
+  EXPECT_TRUE(model.IsIoBound(in));
+  EXPECT_NEAR(model.Rate(in), model.DiskRate(152), 1e-6);
+  in.scan.user_cycles_per_tuple = 1e6;  // very slow CPU side
+  EXPECT_FALSE(model.IsIoBound(in));
+  EXPECT_NEAR(model.Rate(in), 3.2e9 / 1e6, 1e-6);
+}
+
+TEST(AnalyticalModelTest, DownstreamOperatorShrinksColumnAdvantage) {
+  // Section 5: "a high-cost relational operator lowers the CPU rate, and
+  // the difference between columns and rows in a CPU-bound system becomes
+  // less noticeable."
+  const HardwareConfig hw = HardwareConfig::WithCpdb(9);
+  AnalyticalModel model(hw);
+  SystemInputs rows = RowScanInputs(16, 0.1, 0.5, hw, CostModel{});
+  SystemInputs cols = ColumnScanInputs(16, 0.1, 0.5, hw, CostModel{}, 1.8);
+  const double bare = model.Speedup(cols, rows);
+  rows.operator_cycles_per_tuple.push_back(2000);
+  cols.operator_cycles_per_tuple.push_back(2000);
+  const double with_op = model.Speedup(cols, rows);
+  EXPECT_GT(std::abs(with_op - 1.0), -1e-12);
+  EXPECT_LT(std::abs(with_op - 1.0), std::abs(bare - 1.0));
+}
+
+TEST(AnalyticalModelTest, CalibrateScanCostFromCounters) {
+  ExecCounters c;
+  c.tuples_examined = 1000000;
+  c.predicate_evals = 1000000;
+  c.seq_bytes_touched = 152000000;
+  c.io_bytes_read = 152000000;
+  c.io_requests = 1160;
+  const auto cost = AnalyticalModel::CalibrateScanCost(
+      c, 1000000, HardwareConfig::Paper2006());
+  EXPECT_GT(cost.user_cycles_per_tuple, 0.0);
+  EXPECT_NEAR(cost.mem_bytes_per_tuple, 152.0, 1e-9);
+  EXPECT_GT(cost.system_cycles_per_tuple, 152.0 * 0.9);
+  // Zero tuples: all zero, no division blowup.
+  const auto zero = AnalyticalModel::CalibrateScanCost(
+      c, 0, HardwareConfig::Paper2006());
+  EXPECT_DOUBLE_EQ(zero.user_cycles_per_tuple, 0.0);
+}
+
+TEST(IndexBreakEvenTest, MatchesPaperNumber) {
+  // Section 2.1.1: 5ms seek, 300MB/s, 128-byte tuples -> < 0.008%.
+  const double sel = IndexScanBreakEvenSelectivity(0.005, 300e6, 128);
+  EXPECT_NEAR(sel, 8.5e-5, 1e-5);
+}
+
+// --- Figure 2 contour shape ---
+
+double CellAt(const std::vector<ContourCell>& cells, double width,
+              double cpdb) {
+  for (const ContourCell& c : cells) {
+    if (c.tuple_width == width && c.cpdb == cpdb) return c.speedup;
+  }
+  ADD_FAILURE() << "missing cell " << width << "," << cpdb;
+  return 0.0;
+}
+
+TEST(ContourTest, ReproducesFigure2Shape) {
+  const auto cells = GenerateSpeedupContour(ContourParams{});
+  ASSERT_EQ(cells.size(), 5u * 8u);
+  // Row stores win only for lean tuples in CPU-constrained settings.
+  EXPECT_LT(CellAt(cells, 8, 9), 0.85);
+  // Wide tuples at high cpdb: disk-bound, speedup approaches the byte
+  // ratio of 2 (50% projection).
+  EXPECT_GT(CellAt(cells, 32, 144), 1.6);
+  EXPECT_LE(CellAt(cells, 32, 144), 2.0 + 1e-9);
+  // Speedup grows along both axes.
+  for (double width : {8.0, 16.0, 24.0, 32.0}) {
+    EXPECT_LE(CellAt(cells, width, 9), CellAt(cells, width, 144) + 1e-9)
+        << width;
+  }
+  for (double cpdb : {9.0, 36.0, 144.0}) {
+    EXPECT_LE(CellAt(cells, 8, cpdb), CellAt(cells, 32, cpdb) + 1e-9)
+        << cpdb;
+  }
+}
+
+TEST(ContourTest, FullProjectionConvergesToOne) {
+  // "the speedup of columns over rows converges to 1 when the query
+  // accesses all attributes" -- in the disk-bound regime.
+  ContourParams params;
+  params.projection_fraction = 1.0;
+  params.cpdbs = {400};
+  params.tuple_widths = {32};
+  const auto cells = GenerateSpeedupContour(params);
+  EXPECT_NEAR(cells[0].speedup, 1.0, 0.05);
+}
+
+TEST(ContourTest, NarrowProjectionSpeedupApproachesN) {
+  // "it can be as high as N if the query only needs 1/Nth of the tuple."
+  ContourParams params;
+  params.projection_fraction = 1.0 / 8.0;
+  params.cpdbs = {400};
+  params.tuple_widths = {32};  // 8 columns, read 1
+  const auto cells = GenerateSpeedupContour(params);
+  EXPECT_NEAR(cells[0].speedup, 8.0, 0.4);
+}
+
+TEST(ContourTest, IoBoundFlagsConsistent) {
+  const auto cells = GenerateSpeedupContour(ContourParams{});
+  // At the highest cpdb everything is disk-bound; at the lowest, wide
+  // row scans are disk-bound while the column side is CPU-bound for
+  // narrow tuples.
+  for (const ContourCell& c : cells) {
+    if (c.cpdb >= 144) EXPECT_TRUE(c.row_io_bound) << c.tuple_width;
+  }
+}
+
+}  // namespace
+}  // namespace rodb

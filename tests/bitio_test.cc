@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitio.h"
+#include "common/random.h"
+
+namespace rodb {
+namespace {
+
+TEST(BitWriterTest, SingleByteValues) {
+  std::vector<uint8_t> buf(16, 0);
+  BitWriter w(buf.data(), buf.size());
+  EXPECT_TRUE(w.Put(0b101, 3));
+  EXPECT_TRUE(w.Put(0b11, 2));
+  EXPECT_EQ(w.bit_pos(), 5u);
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(3), 0b101u);
+  EXPECT_EQ(r.Get(2), 0b11u);
+}
+
+TEST(BitWriterTest, CrossByteBoundary) {
+  std::vector<uint8_t> buf(16, 0);
+  BitWriter w(buf.data(), buf.size());
+  EXPECT_TRUE(w.Put(0x1FF, 9));   // crosses into byte 1
+  EXPECT_TRUE(w.Put(0x3FFF, 14)); // crosses two boundaries
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(9), 0x1FFu);
+  EXPECT_EQ(r.Get(14), 0x3FFFu);
+}
+
+TEST(BitWriterTest, SixtyFourBitValueAtOddOffset) {
+  std::vector<uint8_t> buf(32, 0);
+  BitWriter w(buf.data(), buf.size());
+  EXPECT_TRUE(w.Put(0b1, 1));
+  const uint64_t big = 0xDEADBEEFCAFEBABEULL;
+  EXPECT_TRUE(w.Put(big, 64));
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(1), 1u);
+  EXPECT_EQ(r.Get(64), big);
+}
+
+TEST(BitWriterTest, OverflowRejectedWithoutWriting) {
+  std::vector<uint8_t> buf(1, 0);
+  BitWriter w(buf.data(), buf.size());
+  EXPECT_TRUE(w.Put(0xAB, 8));
+  EXPECT_FALSE(w.Put(1, 1));
+  EXPECT_EQ(w.bit_pos(), 8u);
+  EXPECT_EQ(buf[0], 0xAB);
+}
+
+TEST(BitWriterTest, ValueMaskedToWidth) {
+  std::vector<uint8_t> buf(4, 0);
+  BitWriter w(buf.data(), buf.size());
+  EXPECT_TRUE(w.Put(0xFF, 4));  // only low 4 bits stored
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(4), 0xFu);
+  EXPECT_EQ(r.Get(4), 0u);  // no spill into following bits
+}
+
+TEST(BitWriterTest, PutBytesRequiresAlignment) {
+  std::vector<uint8_t> buf(16, 0);
+  BitWriter w(buf.data(), buf.size());
+  const uint8_t data[3] = {1, 2, 3};
+  EXPECT_TRUE(w.Put(1, 1));
+  EXPECT_FALSE(w.PutBytes(data, 3));
+  w.AlignToByte();
+  EXPECT_TRUE(w.PutBytes(data, 3));
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(1), 1u);
+  r.AlignToByte();
+  uint8_t out[3];
+  EXPECT_TRUE(r.GetBytes(out, 3));
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[2], 3);
+}
+
+TEST(BitWriterTest, TruncateToRollsBackCleanly) {
+  std::vector<uint8_t> buf(8, 0);
+  BitWriter w(buf.data(), buf.size());
+  EXPECT_TRUE(w.Put(0b101, 3));
+  const size_t mark = w.bit_pos();
+  EXPECT_TRUE(w.Put(0x7FFF, 15));
+  w.TruncateTo(mark);
+  EXPECT_EQ(w.bit_pos(), mark);
+  // Re-writing after truncation must not OR with stale bits.
+  EXPECT_TRUE(w.Put(0, 15));
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(3), 0b101u);
+  EXPECT_EQ(r.Get(15), 0u);
+}
+
+TEST(BitReaderTest, OverrunReportsAndReturnsZero) {
+  std::vector<uint8_t> buf(1, 0xFF);
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(8), 0xFFu);
+  EXPECT_FALSE(r.overrun());
+  EXPECT_EQ(r.Get(1), 0u);
+  EXPECT_TRUE(r.overrun());
+}
+
+TEST(BitReaderTest, SkipAndSeek) {
+  std::vector<uint8_t> buf(4, 0);
+  BitWriter w(buf.data(), buf.size());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(w.Put(i & 7, 3));
+  BitReader r(buf.data(), buf.size());
+  r.Skip(3 * 4);
+  EXPECT_EQ(r.Get(3), 4u);
+  r.SeekToBit(3);
+  EXPECT_EQ(r.Get(3), 1u);
+}
+
+TEST(BitsForMaxValueTest, Boundaries) {
+  EXPECT_EQ(BitsForMaxValue(0), 1);
+  EXPECT_EQ(BitsForMaxValue(1), 1);
+  EXPECT_EQ(BitsForMaxValue(2), 2);
+  EXPECT_EQ(BitsForMaxValue(3), 2);
+  EXPECT_EQ(BitsForMaxValue(4), 3);
+  EXPECT_EQ(BitsForMaxValue(255), 8);
+  EXPECT_EQ(BitsForMaxValue(256), 9);
+  EXPECT_EQ(BitsForMaxValue(1000), 10);  // the paper's example
+}
+
+TEST(ZigZagTest, RoundTripsSmallValues) {
+  for (int64_t v = -1000; v <= 1000; ++v) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+/// Property: any sequence of (value, width) pairs round-trips.
+class BitIoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitIoPropertyTest, RandomSequenceRoundTrips) {
+  Random rng(GetParam());
+  std::vector<uint8_t> buf(4096, 0);
+  BitWriter w(buf.data(), buf.size());
+  std::vector<std::pair<uint64_t, int>> written;
+  for (int i = 0; i < 500; ++i) {
+    const int bits = static_cast<int>(rng.UniformRange(1, 64));
+    uint64_t value = rng.Next();
+    if (bits < 64) value &= (uint64_t{1} << bits) - 1;
+    if (!w.Put(value, bits)) break;
+    written.emplace_back(value, bits);
+  }
+  ASSERT_FALSE(written.empty());
+  BitReader r(buf.data(), buf.size());
+  for (const auto& [value, bits] : written) {
+    EXPECT_EQ(r.Get(bits), value);
+  }
+  EXPECT_FALSE(r.overrun());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,125 @@
+// Calibration regression tests: lock the hardware model's headline
+// numbers to the paper's measured series so cost-model edits that would
+// silently bend the reproduced figures fail loudly here.
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/cpu_model.h"
+#include "hwmodel/disk_model.h"
+
+namespace rodb {
+namespace {
+
+constexpr uint64_t kLineitemBytes = 9500000000ULL;  // 9.5GB on disk
+constexpr uint64_t kOrdersBytes = 1900000000ULL;    // 1.9GB
+constexpr uint64_t kTuples = 60000000ULL;
+
+TEST(CalibrationTest, Figure6RowScanElapsed) {
+  // The flat row line of Figure 6 sits at ~53-55s: 9.5GB at 180MB/s.
+  DiskArrayModel disks(HardwareConfig::Paper2006(), 48);
+  const double t = disks.Simulate({{kLineitemBytes, 1.0, false}}).query_seconds;
+  EXPECT_GT(t, 50.0);
+  EXPECT_LT(t, 56.0);
+}
+
+TEST(CalibrationTest, Figure10PrefetchSeries) {
+  // ORDERS full-projection column scan (7 streams, 1.9GB total) across
+  // prefetch depths; the paper's series is ~{32, 22, 16, 13, 11}s for
+  // depths {2, 4, 8, 16, 48}.
+  const HardwareConfig hw = HardwareConfig::Paper2006();
+  std::vector<StreamSpec> streams;
+  // Stream sizes proportional to the ORDERS attribute widths.
+  const int widths[] = {4, 4, 4, 1, 11, 4, 4};
+  for (int w : widths) {
+    streams.push_back({kOrdersBytes * static_cast<uint64_t>(w) / 32, 1.0,
+                       false});
+  }
+  const struct {
+    int depth;
+    double lo, hi;
+  } expectations[] = {
+      {2, 26.0, 36.0}, {4, 18.0, 25.0}, {8, 14.0, 18.0},
+      {16, 11.5, 15.0}, {48, 10.5, 13.0},
+  };
+  for (const auto& e : expectations) {
+    DiskArrayModel disks(hw, e.depth);
+    const double t = disks.Simulate(streams).query_seconds;
+    EXPECT_GT(t, e.lo) << "depth " << e.depth;
+    EXPECT_LT(t, e.hi) << "depth " << e.depth;
+  }
+}
+
+TEST(CalibrationTest, Figure6RowCpuBreakdownShape) {
+  // Synthesize the counters a full 16-attribute row scan produces and
+  // check the breakdown lands in the ballpark of Figure 6's row bars
+  // (total ~8-11s, sys ~3-4.5s of it).
+  ExecCounters c;
+  c.tuples_examined = kTuples;
+  c.predicate_evals = kTuples;
+  c.values_copied = kTuples / 10 * 16;
+  c.bytes_copied = kTuples / 10 * 150;
+  c.pages_parsed = kLineitemBytes / 4096;
+  c.blocks_emitted = kTuples / 10 / 100;
+  c.seq_bytes_touched = kLineitemBytes;
+  c.l1_lines_touched = kLineitemBytes / 64;
+  c.io_bytes_read = kLineitemBytes;
+  c.io_requests = kLineitemBytes / (128 * 1024);
+  c.files_read = 1;
+  CpuModel model(HardwareConfig::Paper2006());
+  const TimeBreakdown t = model.Breakdown(c);
+  EXPECT_GT(t.Total(), 7.0);
+  EXPECT_LT(t.Total(), 12.0);
+  EXPECT_GT(t.sys, 2.5);
+  EXPECT_LT(t.sys, 5.0);
+  EXPECT_GT(t.usr_uop, 1.0);
+  EXPECT_LT(t.usr_uop, 3.5);
+  // The scan is I/O-bound on the paper machine: CPU total < 52s of disk.
+  EXPECT_LT(t.Total(), 52.0);
+}
+
+TEST(CalibrationTest, ForDeltaColumnJumpShape) {
+  // Figure 9's second-attribute jump: decoding 60M FOR-delta values costs
+  // roughly an extra second of CPU.
+  ExecCounters base;
+  base.values_decoded_fordelta = kTuples;
+  CpuModel model(HardwareConfig::Paper2006());
+  const double delta_cost = model.Breakdown(base).usr_uop;
+  EXPECT_GT(delta_cost, 0.4);
+  EXPECT_LT(delta_cost, 1.2);
+  // And FOR is markedly cheaper.
+  ExecCounters forc;
+  forc.values_decoded_for = kTuples;
+  EXPECT_LT(model.Breakdown(forc).usr_uop, delta_cost * 0.5);
+}
+
+TEST(CalibrationTest, StringAttributeL2Jump) {
+  // Figure 6's usr-L2 jump: adding the 25/10/69-byte string columns at
+  // 10% selectivity makes those minipages/pages stream; ~6.2GB of
+  // sequential traffic lifts usr-L2 by ~1s once uop overlap is spent.
+  ExecCounters narrow;
+  narrow.tuples_examined = kTuples;
+  narrow.seq_bytes_touched = kTuples * 26;  // 8 int attrs worth
+  ExecCounters wide = narrow;
+  wide.seq_bytes_touched = kTuples * 130;  // + the three strings
+  CpuModel model(HardwareConfig::Paper2006());
+  const double l2_narrow = model.Breakdown(narrow).usr_l2;
+  const double l2_wide = model.Breakdown(wide).usr_l2;
+  EXPECT_GT(l2_wide - l2_narrow, 0.5);
+}
+
+TEST(CalibrationTest, CompetitionRoughlyHalvesBandwidth) {
+  // Figure 11 depth 48: the ORDERS row scan against a LINEITEM competitor
+  // lands at ~2x its solo time (plus seeks).
+  DiskArrayModel disks(HardwareConfig::Paper2006(), 48);
+  const double solo =
+      disks.Simulate({{kOrdersBytes, 1.0, false}}).query_seconds;
+  const double contended =
+      disks.Simulate({{kOrdersBytes, 1.0, false}},
+                     {{kLineitemBytes, 1.0, false}})
+          .query_seconds;
+  EXPECT_GT(contended / solo, 1.9);
+  EXPECT_LT(contended / solo, 2.6);
+}
+
+}  // namespace
+}  // namespace rodb

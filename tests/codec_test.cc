@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "compression/codec.h"
+#include "compression/dictionary.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+std::vector<uint8_t> EncodeInts(AttributeCodec* codec,
+                                const std::vector<int32_t>& values,
+                                CodecPageMeta* meta) {
+  std::vector<uint8_t> buf(8192, 0);
+  BitWriter w(buf.data(), buf.size());
+  codec->BeginPage();
+  for (int32_t v : values) {
+    uint8_t raw[4];
+    StoreLE32s(raw, v);
+    EXPECT_TRUE(codec->EncodeValue(raw, &w));
+  }
+  codec->FinishPage(meta);
+  return buf;
+}
+
+std::vector<int32_t> DecodeInts(AttributeCodec* codec,
+                                const std::vector<uint8_t>& buf, size_t n,
+                                const CodecPageMeta& meta) {
+  BitReader r(buf.data(), buf.size());
+  codec->BeginDecode(meta);
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t raw[4];
+    codec->DecodeValue(&r, raw);
+    out.push_back(LoadLE32s(raw));
+  }
+  return out;
+}
+
+TEST(NoneCodecTest, RoundTripsRawBytes) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::None(), 4, nullptr));
+  EXPECT_EQ(codec->encoded_bits(), 32);
+  EXPECT_EQ(codec->kind(), CompressionKind::kNone);
+  std::vector<int32_t> values = {0, -1, INT32_MAX, INT32_MIN, 12345};
+  CodecPageMeta meta;
+  auto buf = EncodeInts(codec.get(), values, &meta);
+  EXPECT_EQ(DecodeInts(codec.get(), buf, values.size(), meta), values);
+}
+
+TEST(NoneCodecTest, TextAtBitOffset) {
+  ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(CodecSpec::None(), 5, nullptr));
+  std::vector<uint8_t> buf(64, 0);
+  BitWriter w(buf.data(), buf.size());
+  ASSERT_TRUE(w.Put(1, 3));  // misalign
+  const uint8_t text[5] = {'h', 'e', 'l', 'l', 'o'};
+  EXPECT_TRUE(codec->EncodeValue(text, &w));
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get(3), 1u);
+  uint8_t out[5];
+  codec->DecodeValue(&r, out);
+  EXPECT_EQ(std::memcmp(out, text, 5), 0);
+}
+
+TEST(BitPackCodecTest, RoundTrips) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::BitPack(10), 4, nullptr));
+  EXPECT_EQ(codec->encoded_bits(), 10);
+  std::vector<int32_t> values = {0, 1, 512, 1000, 1023};
+  CodecPageMeta meta;
+  auto buf = EncodeInts(codec.get(), values, &meta);
+  EXPECT_EQ(DecodeInts(codec.get(), buf, values.size(), meta), values);
+}
+
+TEST(BitPackCodecTest, RejectsOutOfRange) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::BitPack(10), 4, nullptr));
+  std::vector<uint8_t> buf(64, 0);
+  BitWriter w(buf.data(), buf.size());
+  uint8_t raw[4];
+  StoreLE32s(raw, 1024);  // needs 11 bits
+  EXPECT_FALSE(codec->EncodeValue(raw, &w));
+  StoreLE32s(raw, -1);  // negative not representable
+  EXPECT_FALSE(codec->EncodeValue(raw, &w));
+}
+
+TEST(BitPackCodecTest, RejectsBadSpecs) {
+  EXPECT_FALSE(MakeCodec(CodecSpec::BitPack(0), 4, nullptr).ok());
+  EXPECT_FALSE(MakeCodec(CodecSpec::BitPack(33), 4, nullptr).ok());
+  EXPECT_FALSE(MakeCodec(CodecSpec::BitPack(8), 10, nullptr).ok());
+}
+
+TEST(DictCodecTest, RoundTripsText) {
+  Dictionary dict(10);
+  ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(CodecSpec::Dict(3), 10, &dict));
+  const char* values[] = {"REG AIR   ", "AIR       ", "RAIL      ",
+                          "SHIP      ", "TRUCK     ", "MAIL      ",
+                          "FOB       "};
+  std::vector<uint8_t> buf(256, 0);
+  BitWriter w(buf.data(), buf.size());
+  codec->BeginPage();
+  for (const char* v : values) {
+    EXPECT_TRUE(
+        codec->EncodeValue(reinterpret_cast<const uint8_t*>(v), &w));
+  }
+  EXPECT_EQ(dict.size(), 7u);
+  BitReader r(buf.data(), buf.size());
+  codec->BeginDecode(CodecPageMeta{});
+  for (const char* v : values) {
+    uint8_t out[10];
+    codec->DecodeValue(&r, out);
+    EXPECT_EQ(std::memcmp(out, v, 10), 0);
+  }
+}
+
+TEST(DictCodecTest, OverflowWhenAlphabetExceedsBits) {
+  Dictionary dict(4);
+  ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(CodecSpec::Dict(2), 4, &dict));
+  std::vector<uint8_t> buf(256, 0);
+  BitWriter w(buf.data(), buf.size());
+  for (int32_t v = 0; v < 4; ++v) {
+    uint8_t raw[4];
+    StoreLE32s(raw, v);
+    EXPECT_TRUE(codec->EncodeValue(raw, &w));
+  }
+  uint8_t raw[4];
+  StoreLE32s(raw, 99);  // fifth distinct value does not fit 2 bits
+  EXPECT_FALSE(codec->EncodeValue(raw, &w));
+}
+
+TEST(DictCodecTest, RequiresDictionary) {
+  EXPECT_FALSE(MakeCodec(CodecSpec::Dict(3), 4, nullptr).ok());
+}
+
+TEST(ForCodecTest, RoundTripsFromPageBase) {
+  ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(CodecSpec::For(16), 4, nullptr));
+  std::vector<int32_t> values = {1000, 1001, 1003, 1010, 1500, 60000 + 1000};
+  CodecPageMeta meta;
+  auto buf = EncodeInts(codec.get(), values, &meta);
+  EXPECT_EQ(meta.base, 1000);
+  EXPECT_EQ(DecodeInts(codec.get(), buf, values.size(), meta), values);
+}
+
+TEST(ForCodecTest, OverflowSignalsPageFull) {
+  ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(CodecSpec::For(8), 4, nullptr));
+  std::vector<uint8_t> buf(64, 0);
+  BitWriter w(buf.data(), buf.size());
+  codec->BeginPage();
+  uint8_t raw[4];
+  StoreLE32s(raw, 100);
+  EXPECT_TRUE(codec->EncodeValue(raw, &w));
+  StoreLE32s(raw, 100 + 255);
+  EXPECT_TRUE(codec->EncodeValue(raw, &w));
+  StoreLE32s(raw, 100 + 256);  // diff 256 needs 9 bits
+  EXPECT_FALSE(codec->EncodeValue(raw, &w));
+  StoreLE32s(raw, 99);  // negative diff not representable in plain FOR
+  EXPECT_FALSE(codec->EncodeValue(raw, &w));
+}
+
+TEST(ForDeltaCodecTest, RoundTripsSortedRun) {
+  // The paper's example: (100, 101, 102, 103) stores (0, 1, 1, 1).
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::ForDelta(8), 4, nullptr));
+  std::vector<int32_t> values = {100, 101, 102, 103, 103, 110};
+  CodecPageMeta meta;
+  auto buf = EncodeInts(codec.get(), values, &meta);
+  EXPECT_EQ(meta.base, 100);
+  EXPECT_EQ(DecodeInts(codec.get(), buf, values.size(), meta), values);
+}
+
+TEST(ForDeltaCodecTest, HandlesNegativeDeltasViaZigZag) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::ForDelta(8), 4, nullptr));
+  std::vector<int32_t> values = {50, 45, 47, 40, 60};
+  CodecPageMeta meta;
+  auto buf = EncodeInts(codec.get(), values, &meta);
+  EXPECT_EQ(DecodeInts(codec.get(), buf, values.size(), meta), values);
+}
+
+TEST(ForDeltaCodecTest, LargeJumpSignalsPageFull) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::ForDelta(8), 4, nullptr));
+  std::vector<uint8_t> buf(64, 0);
+  BitWriter w(buf.data(), buf.size());
+  codec->BeginPage();
+  uint8_t raw[4];
+  StoreLE32s(raw, 0);
+  EXPECT_TRUE(codec->EncodeValue(raw, &w));
+  StoreLE32s(raw, 127);  // zigzag(127) = 254 fits 8 bits
+  EXPECT_TRUE(codec->EncodeValue(raw, &w));
+  StoreLE32s(raw, 127 + 128);  // zigzag(128) = 256 does not fit
+  EXPECT_FALSE(codec->EncodeValue(raw, &w));
+}
+
+TEST(ForDeltaCodecTest, SkipValueMaintainsRunningValue) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::ForDelta(8), 4, nullptr));
+  std::vector<int32_t> values = {10, 11, 13, 16, 20};
+  CodecPageMeta meta;
+  auto buf = EncodeInts(codec.get(), values, &meta);
+  BitReader r(buf.data(), buf.size());
+  codec->BeginDecode(meta);
+  codec->SkipValue(&r);
+  codec->SkipValue(&r);
+  codec->SkipValue(&r);
+  uint8_t raw[4];
+  codec->DecodeValue(&r, raw);
+  EXPECT_EQ(LoadLE32s(raw), 16);
+}
+
+TEST(CharPackCodecTest, RoundTripsAlphabetText) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::CharPack(4, 8), 12, nullptr));
+  EXPECT_EQ(codec->encoded_bits(), 32);
+  const uint8_t text[12] = {'a', 'b', 'c', ' ', 'o', 'n', 'm', 'l',
+                            ' ', ' ', ' ', ' '};
+  std::vector<uint8_t> buf(64, 0);
+  BitWriter w(buf.data(), buf.size());
+  EXPECT_TRUE(codec->EncodeValue(text, &w));
+  BitReader r(buf.data(), buf.size());
+  uint8_t out[12];
+  codec->DecodeValue(&r, out);
+  EXPECT_EQ(std::memcmp(out, text, 12), 0);
+}
+
+TEST(CharPackCodecTest, RejectsNonAlphabetOrNonPaddedText) {
+  ASSERT_OK_AND_ASSIGN(auto codec,
+                       MakeCodec(CodecSpec::CharPack(4, 8), 12, nullptr));
+  std::vector<uint8_t> buf(64, 0);
+  BitWriter w(buf.data(), buf.size());
+  uint8_t bad[12];
+  std::memset(bad, ' ', 12);
+  bad[0] = 'Z';  // not in the 16-symbol alphabet
+  EXPECT_FALSE(codec->EncodeValue(bad, &w));
+  std::memset(bad, ' ', 12);
+  bad[10] = 'a';  // content past char_count
+  EXPECT_FALSE(codec->EncodeValue(bad, &w));
+}
+
+TEST(MakeCodecTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(MakeCodec(CodecSpec::None(), 0, nullptr).ok());
+  EXPECT_FALSE(MakeCodec(CodecSpec::For(0), 4, nullptr).ok());
+  EXPECT_FALSE(MakeCodec(CodecSpec::For(8), 8, nullptr).ok());
+  EXPECT_FALSE(MakeCodec(CodecSpec::ForDelta(40), 4, nullptr).ok());
+  EXPECT_FALSE(MakeCodec(CodecSpec::CharPack(9, 4), 12, nullptr).ok());
+  EXPECT_FALSE(MakeCodec(CodecSpec::CharPack(4, 20), 12, nullptr).ok());
+}
+
+TEST(CompressionKindNameTest, MatchesFigure5Vocabulary) {
+  EXPECT_EQ(CompressionKindName(CompressionKind::kBitPack), "pack");
+  EXPECT_EQ(CompressionKindName(CompressionKind::kDict), "dict");
+  EXPECT_EQ(CompressionKindName(CompressionKind::kForDelta), "delta");
+  EXPECT_EQ(CompressionKindName(CompressionKind::kFor), "for");
+}
+
+/// Property: random sorted sequences round-trip under FOR and FOR-delta.
+class SortedCodecProperty
+    : public ::testing::TestWithParam<std::pair<CompressionKind, uint64_t>> {};
+
+TEST_P(SortedCodecProperty, RandomSortedRunsRoundTrip) {
+  const auto [kind, seed] = GetParam();
+  Random rng(seed);
+  std::vector<int32_t> values;
+  int32_t v = static_cast<int32_t>(rng.Uniform(100000));
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(v);
+    v += static_cast<int32_t>(rng.Uniform(100));
+  }
+  CodecSpec spec = kind == CompressionKind::kFor ? CodecSpec::For(32)
+                                                 : CodecSpec::ForDelta(16);
+  ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(spec, 4, nullptr));
+  CodecPageMeta meta;
+  auto buf = EncodeInts(codec.get(), values, &meta);
+  EXPECT_EQ(DecodeInts(codec.get(), buf, values.size(), meta), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SortedCodecProperty,
+    ::testing::Values(std::pair{CompressionKind::kFor, 1ull},
+                      std::pair{CompressionKind::kFor, 2ull},
+                      std::pair{CompressionKind::kFor, 3ull},
+                      std::pair{CompressionKind::kForDelta, 1ull},
+                      std::pair{CompressionKind::kForDelta, 2ull},
+                      std::pair{CompressionKind::kForDelta, 3ull}));
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "scan_test_util.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::LoadBothLayouts;
+using rodb::testing::TempDir;
+
+class ColumnScannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = Schema::Make(
+        {AttributeDesc::Int32("id", CodecSpec::ForDelta(8)),
+         AttributeDesc::Int32("val"),
+         AttributeDesc::Text("tag", 3, CodecSpec::Dict(2)),
+         AttributeDesc::Int32("qty", CodecSpec::BitPack(6))});
+    ASSERT_OK(schema.status());
+    schema_ = std::move(schema).value();
+    std::vector<std::vector<uint8_t>> tuples;
+    for (int i = 0; i < 3000; ++i) {
+      std::vector<uint8_t> t(15);
+      StoreLE32s(t.data(), 100 + i);             // sorted for FOR-delta
+      StoreLE32s(t.data() + 4, (i * 37) % 1000);
+      std::memcpy(t.data() + 8, (i % 3 == 0) ? "foo" : "bar", 3);
+      StoreLE32s(t.data() + 11, i % 50);
+      tuples.push_back(std::move(t));
+      expected_.push_back(tuples.back());
+    }
+    ASSERT_OK(LoadBothLayouts(dir_.path(), "t", schema_, tuples, 1024));
+    auto table = OpenTable::Open(dir_.path(), "t_col");
+    ASSERT_OK(table.status());
+    table_ = std::move(table).value();
+  }
+
+  ScanSpec BaseSpec() {
+    ScanSpec spec;
+    spec.projection = {0, 1, 2, 3};
+    spec.io_unit_bytes = 4096;
+    spec.prefetch_depth = 4;
+    return spec;
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  OpenTable table_;
+  FileBackend backend_;
+  ExecStats stats_;
+  std::vector<std::vector<uint8_t>> expected_;
+};
+
+TEST_F(ColumnScannerTest, FullScanDecodesEveryColumn) {
+  ASSERT_OK_AND_ASSIGN(
+      auto scanner,
+      ColumnScanner::Make(&table_, BaseSpec(), &backend_, &stats_));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scanner.get()));
+  ASSERT_EQ(tuples.size(), 3000u);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(tuples[i], expected_[i]) << "tuple " << i;
+  }
+}
+
+TEST_F(ColumnScannerTest, ReadsOnlySelectedColumns) {
+  // The defining column-store property (Section 4, factor i): bytes read
+  // shrink with the projection.
+  ScanSpec spec = BaseSpec();
+  spec.projection = {3};  // one 6-bit column
+  ASSERT_OK_AND_ASSIGN(
+      auto scanner, ColumnScanner::Make(&table_, spec, &backend_, &stats_));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scanner.get()));
+  ASSERT_EQ(tuples.size(), 3000u);
+  const uint64_t narrow_bytes = stats_.counters().io_bytes_read;
+  EXPECT_EQ(stats_.counters().files_read, 1u);
+
+  ExecStats full_stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto full,
+      ColumnScanner::Make(&table_, BaseSpec(), &backend_, &full_stats));
+  ASSERT_OK(CollectTuples(full.get()).status());
+  EXPECT_EQ(full_stats.counters().files_read, 4u);
+  EXPECT_LT(narrow_bytes, full_stats.counters().io_bytes_read / 3);
+}
+
+TEST_F(ColumnScannerTest, PredicatePipelineFilters) {
+  ScanSpec spec = BaseSpec();
+  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 100)};
+  ASSERT_OK_AND_ASSIGN(
+      auto scanner, ColumnScanner::Make(&table_, spec, &backend_, &stats_));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scanner.get()));
+  ASSERT_GT(tuples.size(), 0u);
+  size_t j = 0;
+  for (const auto& e : expected_) {
+    if (LoadLE32s(e.data() + 4) < 100) {
+      ASSERT_LT(j, tuples.size());
+      EXPECT_EQ(tuples[j], e);
+      ++j;
+    }
+  }
+  EXPECT_EQ(j, tuples.size());
+}
+
+TEST_F(ColumnScannerTest, LaterNodesProcessOnlyQualifyingPositions) {
+  // Figure 7's mechanism: at low selectivity, inner scan nodes touch ~one
+  // in a thousand values.
+  ScanSpec spec = BaseSpec();
+  spec.projection = {1, 2};
+  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 2)};  // ~0.2%
+  ASSERT_OK_AND_ASSIGN(
+      auto scanner, ColumnScanner::Make(&table_, spec, &backend_, &stats_));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scanner.get()));
+  const uint64_t qualifying = tuples.size();
+  EXPECT_LT(qualifying, 50u);
+  // The dict column (inner node) decoded only qualifying positions.
+  EXPECT_EQ(stats_.counters().values_decoded_dict, qualifying);
+  EXPECT_EQ(stats_.counters().positions_processed, qualifying);
+}
+
+TEST_F(ColumnScannerTest, TwoPredicatesTwoNodes) {
+  ScanSpec spec = BaseSpec();
+  spec.projection = {0, 1, 3};
+  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 500),
+                     Predicate::Int32(3, CompareOp::kLt, 10)};
+  ASSERT_OK_AND_ASSIGN(
+      auto op, ColumnScanner::Make(&table_, spec, &backend_, &stats_));
+  auto* scanner = static_cast<ColumnScanner*>(op.get());
+  EXPECT_EQ(scanner->num_nodes(), 3u);  // val, qty, id
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(op.get()));
+  size_t j = 0;
+  for (const auto& e : expected_) {
+    if (LoadLE32s(e.data() + 4) < 500 && LoadLE32s(e.data() + 11) < 10) {
+      ASSERT_LT(j, tuples.size());
+      // Output order is the projection order {id, val, qty}.
+      EXPECT_EQ(LoadLE32s(tuples[j].data()), LoadLE32s(e.data()));
+      EXPECT_EQ(LoadLE32s(tuples[j].data() + 4), LoadLE32s(e.data() + 4));
+      EXPECT_EQ(LoadLE32s(tuples[j].data() + 8), LoadLE32s(e.data() + 11));
+      ++j;
+    }
+  }
+  EXPECT_EQ(j, tuples.size());
+}
+
+TEST_F(ColumnScannerTest, PredicateOnTextDictColumn) {
+  ScanSpec spec = BaseSpec();
+  spec.projection = {0, 2};
+  spec.predicates = {Predicate::Text(2, CompareOp::kEq, "foo")};
+  ASSERT_OK_AND_ASSIGN(
+      auto scanner, ColumnScanner::Make(&table_, spec, &backend_, &stats_));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scanner.get()));
+  EXPECT_EQ(tuples.size(), 1000u);
+  for (const auto& t : tuples) {
+    EXPECT_EQ(std::memcmp(t.data() + 4, "foo", 3), 0);
+  }
+}
+
+TEST_F(ColumnScannerTest, PredicateAttrOutsideProjection) {
+  ScanSpec spec = BaseSpec();
+  spec.projection = {1};
+  spec.predicates = {Predicate::Int32(3, CompareOp::kEq, 7)};
+  ASSERT_OK_AND_ASSIGN(
+      auto op, ColumnScanner::Make(&table_, spec, &backend_, &stats_));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(op.get()));
+  EXPECT_EQ(op->output_layout().tuple_width, 4);
+  size_t expected_count = 0;
+  for (const auto& e : expected_) {
+    expected_count += LoadLE32s(e.data() + 11) == 7;
+  }
+  EXPECT_EQ(tuples.size(), expected_count);
+}
+
+TEST_F(ColumnScannerTest, EmptyResult) {
+  ScanSpec spec = BaseSpec();
+  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 0)};
+  ASSERT_OK_AND_ASSIGN(
+      auto scanner, ColumnScanner::Make(&table_, spec, &backend_, &stats_));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scanner.get()));
+  EXPECT_TRUE(tuples.empty());
+}
+
+TEST_F(ColumnScannerTest, MakeValidatesArguments) {
+  ScanSpec spec = BaseSpec();
+  ASSERT_OK_AND_ASSIGN(OpenTable row, OpenTable::Open(dir_.path(), "t_row"));
+  EXPECT_FALSE(ColumnScanner::Make(&row, spec, &backend_, &stats_).ok());
+  ScanSpec empty = spec;
+  empty.projection = {};
+  EXPECT_FALSE(ColumnScanner::Make(&table_, empty, &backend_, &stats_).ok());
+  ScanSpec bad = spec;
+  bad.projection = {9};
+  EXPECT_FALSE(ColumnScanner::Make(&table_, bad, &backend_, &stats_).ok());
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+TEST(BytesTest, Le32RoundTrip) {
+  uint8_t buf[4];
+  StoreLE32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x78);  // little-endian on disk
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(LoadLE32(buf), 0x12345678u);
+}
+
+TEST(BytesTest, SignedLe32RoundTrip) {
+  uint8_t buf[4];
+  StoreLE32s(buf, -123456);
+  EXPECT_EQ(LoadLE32s(buf), -123456);
+  StoreLE32s(buf, INT32_MIN);
+  EXPECT_EQ(LoadLE32s(buf), INT32_MIN);
+}
+
+TEST(BytesTest, Le64RoundTrip) {
+  uint8_t buf[8];
+  StoreLE64(buf, 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(LoadLE64(buf), 0xDEADBEEFCAFEBABEULL);
+}
+
+TEST(BytesTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 4), 0u);
+  EXPECT_EQ(RoundUp(1, 4), 4u);
+  EXPECT_EQ(RoundUp(4, 4), 4u);
+  EXPECT_EQ(RoundUp(150, 4), 152u);  // LINEITEM padding
+  EXPECT_EQ(RoundUp(51, 2), 52u);    // LINEITEM-Z alignment
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) differing += a.Next() != b.Next();
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RandomTest, UniformCoversDomainRoughly) {
+  Random rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, BernoulliRoughFrequency) {
+  Random rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RandomTest, StringUsesAlphabet) {
+  Random rng(19);
+  const std::string s = rng.String(64, "abc");
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(c == 'a' || c == 'b' || c == 'c');
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(CpuUsageTest, AccumulatesUserTime) {
+  const CpuUsage before = CurrentCpuUsage();
+  volatile double x = 0;
+  for (int i = 0; i < 20000000; ++i) x += i * 0.5;
+  const CpuUsage delta = CurrentCpuUsage() - before;
+  EXPECT_GE(delta.user_seconds, 0.0);
+  EXPECT_GE(delta.total(), delta.user_seconds);
+}
+
+TEST(FileUtilTest, WriteReadRoundTrip) {
+  testing::TempDir dir;
+  const std::string path = dir.path() + "/blob.bin";
+  std::string data(1000, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  ASSERT_OK(WriteStringToFile(path, data));
+  EXPECT_TRUE(FileExists(path));
+  ASSERT_OK_AND_ASSIGN(std::string read, ReadFileToString(path));
+  EXPECT_EQ(read, data);
+}
+
+TEST(FileUtilTest, ReadMissingFileFails) {
+  auto result = ReadFileToString("/nonexistent/rodb/file");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+TEST(FileUtilTest, WriteToBadPathFails) {
+  EXPECT_TRUE(WriteStringToFile("/nonexistent/rodb/file", "x").IsIoError());
+}
+
+}  // namespace
+}  // namespace rodb

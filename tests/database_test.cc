@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "scan_test_util.h"
+#include "storage/database.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::LoadAllLayouts;
+using rodb::testing::TempDir;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = Schema::Make({AttributeDesc::Int32("a")});
+    ASSERT_OK(schema.status());
+    std::vector<std::vector<uint8_t>> tuples(50, std::vector<uint8_t>(4, 0));
+    ASSERT_OK(LoadAllLayouts(dir_.path(), "t", *schema, tuples, 1024));
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(DatabaseTest, ListsTablesSorted) {
+  ASSERT_OK_AND_ASSIGN(Database db, Database::Open(dir_.path()));
+  EXPECT_EQ(db.table_names(),
+            (std::vector<std::string>{"t_col", "t_pax", "t_row"}));
+  EXPECT_TRUE(db.Contains("t_pax"));
+  EXPECT_FALSE(db.Contains("nope"));
+}
+
+TEST_F(DatabaseTest, OpensAndReadsMeta) {
+  ASSERT_OK_AND_ASSIGN(Database db, Database::Open(dir_.path()));
+  ASSERT_OK_AND_ASSIGN(OpenTable table, db.OpenTableNamed("t_col"));
+  EXPECT_EQ(table.meta().layout, Layout::kColumn);
+  ASSERT_OK_AND_ASSIGN(TableMeta meta, db.Meta("t_row"));
+  EXPECT_EQ(meta.num_tuples, 50u);
+  EXPECT_FALSE(db.OpenTableNamed("ghost").ok());
+}
+
+TEST_F(DatabaseTest, DropRemovesAllFiles) {
+  ASSERT_OK_AND_ASSIGN(Database db, Database::Open(dir_.path()));
+  ASSERT_OK_AND_ASSIGN(OpenTable col, db.OpenTableNamed("t_col"));
+  const std::string col_file = col.FilePath(0);
+  ASSERT_TRUE(FileExists(col_file));
+  ASSERT_OK(db.DropTable("t_col"));
+  EXPECT_FALSE(db.Contains("t_col"));
+  EXPECT_FALSE(FileExists(col_file));
+  EXPECT_FALSE(
+      FileExists(TablePaths::MetaFile(dir_.path(), "t_col")));
+  // The other tables are untouched.
+  EXPECT_TRUE(db.Contains("t_row"));
+  ASSERT_OK(db.OpenTableNamed("t_row").status());
+  // Dropping twice fails cleanly.
+  EXPECT_TRUE(db.DropTable("t_col").IsNotFound());
+}
+
+TEST_F(DatabaseTest, RefreshSeesExternalLoads) {
+  ASSERT_OK_AND_ASSIGN(Database db, Database::Open(dir_.path()));
+  auto schema = Schema::Make({AttributeDesc::Int32("x")});
+  ASSERT_OK(schema.status());
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir_.path(), "late", *schema, Layout::kRow));
+  ASSERT_OK(writer->Finish());
+  EXPECT_FALSE(db.Contains("late"));
+  ASSERT_OK(db.Refresh());
+  EXPECT_TRUE(db.Contains("late"));
+}
+
+TEST(DatabaseOpenTest, MissingDirectoryFails) {
+  EXPECT_TRUE(Database::Open("/no/such/rodb/db").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "compression/dictionary.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+TEST(DictionaryTest, AssignsDenseCodesInInsertionOrder) {
+  Dictionary dict(4);
+  const uint8_t male[4] = {'M', 'A', 'L', 'E'};
+  const uint8_t fema[4] = {'F', 'E', 'M', 'A'};
+  ASSERT_OK_AND_ASSIGN(uint32_t c0, dict.EncodeOrInsert(male, 1));
+  ASSERT_OK_AND_ASSIGN(uint32_t c1, dict.EncodeOrInsert(fema, 1));
+  EXPECT_EQ(c0, 0u);
+  EXPECT_EQ(c1, 1u);
+  // Re-inserting returns the existing code.
+  ASSERT_OK_AND_ASSIGN(uint32_t again, dict.EncodeOrInsert(male, 1));
+  EXPECT_EQ(again, 0u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, DecodeReturnsStoredBytes) {
+  Dictionary dict(3);
+  const uint8_t abc[3] = {'a', 'b', 'c'};
+  ASSERT_OK_AND_ASSIGN(uint32_t code, dict.EncodeOrInsert(abc, 8));
+  const uint8_t* entry = dict.Decode(code);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(std::memcmp(entry, abc, 3), 0);
+  EXPECT_EQ(dict.Decode(99), nullptr);
+}
+
+TEST(DictionaryTest, EncodeWithoutInsert) {
+  Dictionary dict(1);
+  const uint8_t a = 'a';
+  const uint8_t b = 'b';
+  ASSERT_OK_AND_ASSIGN(uint32_t code, dict.EncodeOrInsert(&a, 4));
+  ASSERT_OK_AND_ASSIGN(uint32_t found, dict.Encode(&a));
+  EXPECT_EQ(found, code);
+  EXPECT_TRUE(dict.Encode(&b).status().IsNotFound());
+}
+
+TEST(DictionaryTest, OverflowAtBitCapacity) {
+  Dictionary dict(1);
+  for (int i = 0; i < 4; ++i) {
+    const uint8_t c = static_cast<uint8_t>('a' + i);
+    ASSERT_OK(dict.EncodeOrInsert(&c, 2).status());
+  }
+  const uint8_t c = 'z';
+  EXPECT_EQ(dict.EncodeOrInsert(&c, 2).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DictionaryTest, SerializationRoundTrips) {
+  Dictionary dict(5);
+  for (const char* v : {"alpha", "bravo", "charl", "delta"}) {
+    ASSERT_OK(
+        dict.EncodeOrInsert(reinterpret_cast<const uint8_t*>(v), 8).status());
+  }
+  std::string blob;
+  dict.AppendTo(&blob);
+  size_t offset = 0;
+  ASSERT_OK_AND_ASSIGN(Dictionary loaded, Dictionary::ParseFrom(blob, &offset));
+  EXPECT_EQ(offset, blob.size());
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded.value_width(), 5);
+  EXPECT_EQ(std::memcmp(loaded.Decode(2), "charl", 5), 0);
+  // Codes preserved across the round trip.
+  ASSERT_OK_AND_ASSIGN(uint32_t code,
+                       loaded.Encode(reinterpret_cast<const uint8_t*>("delta")));
+  EXPECT_EQ(code, 3u);
+}
+
+TEST(DictionaryTest, MultipleDictionariesInOneBlob) {
+  Dictionary a(2), b(3);
+  ASSERT_OK(a.EncodeOrInsert(reinterpret_cast<const uint8_t*>("xy"), 8)
+                .status());
+  ASSERT_OK(b.EncodeOrInsert(reinterpret_cast<const uint8_t*>("pqr"), 8)
+                .status());
+  std::string blob;
+  a.AppendTo(&blob);
+  b.AppendTo(&blob);
+  size_t offset = 0;
+  ASSERT_OK_AND_ASSIGN(Dictionary la, Dictionary::ParseFrom(blob, &offset));
+  ASSERT_OK_AND_ASSIGN(Dictionary lb, Dictionary::ParseFrom(blob, &offset));
+  EXPECT_EQ(la.value_width(), 2);
+  EXPECT_EQ(lb.value_width(), 3);
+  EXPECT_EQ(offset, blob.size());
+}
+
+TEST(DictionaryTest, ParseRejectsTruncatedBlob) {
+  Dictionary dict(4);
+  ASSERT_OK(dict.EncodeOrInsert(reinterpret_cast<const uint8_t*>("abcd"), 8)
+                .status());
+  std::string blob;
+  dict.AppendTo(&blob);
+  blob.resize(blob.size() - 1);
+  size_t offset = 0;
+  EXPECT_TRUE(
+      Dictionary::ParseFrom(blob, &offset).status().IsCorruption());
+  std::string tiny = "abc";
+  offset = 0;
+  EXPECT_TRUE(Dictionary::ParseFrom(tiny, &offset).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace rodb

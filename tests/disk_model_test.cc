@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "hwmodel/disk_model.h"
+
+namespace rodb {
+namespace {
+
+constexpr uint64_t kGB = 1000000000ULL;
+
+DiskArrayModel PaperModel(int depth = 48) {
+  return DiskArrayModel(HardwareConfig::Paper2006(), depth);
+}
+
+TEST(DiskModelTest, SingleStreamRunsAtFullBandwidth) {
+  // Section 4.1: a row store's single scan enjoys full sequential
+  // bandwidth -- 9.5GB at 180MB/s is ~52.8s (Figure 6's flat row line).
+  DiskArrayModel model = PaperModel();
+  const auto r = model.Simulate({{9500000000ULL, 1.0, false}});
+  EXPECT_NEAR(r.query_seconds, 52.8, 0.1);
+  EXPECT_EQ(r.seeks, 0u);
+}
+
+TEST(DiskModelTest, EmptyQueryIsFree) {
+  DiskArrayModel model = PaperModel();
+  EXPECT_DOUBLE_EQ(model.Simulate({}).query_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(model.Simulate({{0, 1.0, false}}).query_seconds, 0.0);
+}
+
+TEST(DiskModelTest, MultiStreamAddsSeeks) {
+  DiskArrayModel model = PaperModel();
+  const auto one = model.Simulate({{4 * kGB, 1.0, false}});
+  const auto two =
+      model.Simulate({{2 * kGB, 1.0, false}, {2 * kGB, 1.0, false}});
+  EXPECT_GT(two.seeks, 0u);
+  EXPECT_GT(two.query_seconds, one.query_seconds);
+  // With deep prefetch the seek overhead stays small (Figure 6: crossover
+  // only past 85% of the tuple read).
+  EXPECT_LT(two.query_seconds, one.query_seconds * 1.15);
+}
+
+TEST(DiskModelTest, ShallowPrefetchHurtsMultiStreamOnly) {
+  // Figure 10: prefetch depth does not affect a single scan, but a column
+  // scan over several files degrades sharply as depth shrinks.
+  const std::vector<StreamSpec> single = {{4 * kGB, 1.0, false}};
+  const std::vector<StreamSpec> multi = {{kGB, 1.0, false},
+                                         {kGB, 1.0, false},
+                                         {kGB, 1.0, false},
+                                         {kGB, 1.0, false}};
+  const double single48 = PaperModel(48).Simulate(single).query_seconds;
+  const double single2 = PaperModel(2).Simulate(single).query_seconds;
+  EXPECT_NEAR(single48, single2, 1e-9);
+  const double multi48 = PaperModel(48).Simulate(multi).query_seconds;
+  const double multi8 = PaperModel(8).Simulate(multi).query_seconds;
+  const double multi2 = PaperModel(2).Simulate(multi).query_seconds;
+  EXPECT_LT(multi48, multi8);
+  EXPECT_LT(multi8, multi2);
+}
+
+TEST(DiskModelTest, PrefetchDepthMonotonicallyHelps) {
+  const std::vector<StreamSpec> multi = {{kGB, 1.0, false},
+                                         {kGB, 1.0, false},
+                                         {kGB, 1.0, false}};
+  double prev = 1e100;
+  for (int depth : {1, 2, 4, 8, 16, 32, 48}) {
+    const double t = PaperModel(depth).Simulate(multi).query_seconds;
+    EXPECT_LE(t, prev + 1e-9) << "depth " << depth;
+    prev = t;
+  }
+}
+
+TEST(DiskModelTest, CompetingTrafficSlowsTheQuery) {
+  DiskArrayModel model = PaperModel();
+  const std::vector<StreamSpec> query = {{2 * kGB, 1.0, false}};
+  const std::vector<StreamSpec> competitor = {{8 * kGB, 1.0, false}};
+  const double alone = model.Simulate(query).query_seconds;
+  const double contended = model.Simulate(query, competitor).query_seconds;
+  // Sharing the array with an equal-rate scan roughly doubles the time.
+  EXPECT_GT(contended, 1.7 * alone);
+  EXPECT_LT(contended, 3.0 * alone);
+}
+
+TEST(DiskModelTest, CompetitorRestartsAsStandingWorkload) {
+  // A small competitor keeps competing for the whole query (it restarts),
+  // so the slowdown does not vanish when competitor bytes < query bytes.
+  DiskArrayModel model = PaperModel();
+  const std::vector<StreamSpec> query = {{8 * kGB, 1.0, false}};
+  const double small_comp =
+      model.Simulate(query, {{kGB, 1.0, false}}).query_seconds;
+  const double big_comp =
+      model.Simulate(query, {{16 * kGB, 1.0, false}}).query_seconds;
+  EXPECT_NEAR(small_comp, big_comp, big_comp * 0.1);
+}
+
+TEST(DiskModelTest, SerializedStreamsPayExtraSeeks) {
+  // The Figure 11 "slow" column system: no request queued ahead.
+  DiskArrayModel model = PaperModel(8);
+  const std::vector<StreamSpec> pipelined = {{kGB, 1.0, false},
+                                             {kGB, 1.0, false}};
+  const std::vector<StreamSpec> slow = {{kGB, 1.0, true}, {kGB, 1.0, true}};
+  const std::vector<StreamSpec> competitor = {{8 * kGB, 1.0, false}};
+  EXPECT_GT(model.Simulate(slow, competitor).query_seconds,
+            model.Simulate(pipelined, competitor).query_seconds);
+}
+
+TEST(DiskModelTest, HigherWeightFinishesSooner) {
+  // The pipelined column scanner's aggressive submissions are modeled as
+  // scheduling weight (Section 4.5's "one step ahead" effect).
+  DiskArrayModel model = PaperModel(8);
+  const std::vector<StreamSpec> competitor = {{8 * kGB, 1.0, false}};
+  const double normal =
+      model.Simulate({{2 * kGB, 1.0, false}}, competitor).query_seconds;
+  const double favored =
+      model.Simulate({{2 * kGB, 1.5, false}}, competitor).query_seconds;
+  EXPECT_LT(favored, normal);
+}
+
+TEST(DiskModelTest, MoreDisksScaleBandwidth) {
+  HardwareConfig one = HardwareConfig::Paper2006OneDisk();
+  HardwareConfig three = HardwareConfig::Paper2006();
+  const double t1 =
+      DiskArrayModel(one, 48).Simulate({{9 * kGB, 1.0, false}}).query_seconds;
+  const double t3 = DiskArrayModel(three, 48)
+                        .Simulate({{9 * kGB, 1.0, false}})
+                        .query_seconds;
+  EXPECT_NEAR(t1, 3 * t3, 0.01 * t1);
+}
+
+TEST(DiskModelTest, SequentialSecondsMatchesBandwidth) {
+  DiskArrayModel model = PaperModel();
+  EXPECT_NEAR(model.SequentialSeconds(180000000ULL), 1.0, 1e-9);
+}
+
+TEST(DiskModelTest, SliceBytesFollowsDepthUnitDisks) {
+  DiskArrayModel model = PaperModel(16);
+  EXPECT_EQ(model.SliceBytes(), 16ull * 128 * 1024 * 3);
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "hwmodel/cpu_model.h"
+#include "hwmodel/hardware_config.h"
+#include "hwmodel/time_breakdown.h"
+
+namespace rodb {
+namespace {
+
+TEST(HardwareConfigTest, PaperCpdbRatings) {
+  // Section 5: "the machine used in this paper (one CPU, three disks) is
+  // rated at 18 cpdb. By operating on a single disk, cpdb jumps to 54."
+  EXPECT_NEAR(HardwareConfig::Paper2006().Cpdb(), 17.8, 0.2);
+  EXPECT_NEAR(HardwareConfig::Paper2006OneDisk().Cpdb(), 53.3, 0.5);
+  // "a modern single-disk, dual-processor desktop machine has a cpdb of
+  // about 108."
+  EXPECT_NEAR(HardwareConfig::Desktop2006().Cpdb(), 106.7, 1.5);
+}
+
+TEST(HardwareConfigTest, WithCpdbHitsTarget) {
+  for (double target : {9.0, 18.0, 36.0, 72.0, 144.0, 400.0}) {
+    EXPECT_NEAR(HardwareConfig::WithCpdb(target).Cpdb(), target,
+                target * 1e-9);
+  }
+}
+
+TEST(HardwareConfigTest, MemoryBandwidthMatchesPaper) {
+  // Section 4.1: 128 bytes per 128 cycles -> 1 byte/cycle -> 3.2GB/s.
+  const HardwareConfig hw = HardwareConfig::Paper2006();
+  EXPECT_DOUBLE_EQ(hw.MemBytesPerCycle(), 1.0);
+  EXPECT_DOUBLE_EQ(hw.MemBandwidth(), 3.2e9);
+}
+
+TEST(HardwareConfigTest, UopSecondsUsesIssueWidth) {
+  const HardwareConfig hw = HardwareConfig::Paper2006();
+  // 9.6e9 uops at 3 uops/cycle on 3.2GHz = 1 second.
+  EXPECT_NEAR(hw.UopSeconds(9.6e9), 1.0, 1e-9);
+}
+
+TEST(HardwareConfigTest, ToStringMentionsCpdb) {
+  EXPECT_NE(HardwareConfig::Paper2006().ToString().find("cpdb"),
+            std::string::npos);
+}
+
+TEST(TimeBreakdownTest, TotalsAddUp) {
+  TimeBreakdown t{1.0, 2.0, 0.5, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(t.User(), 3.0);
+  EXPECT_DOUBLE_EQ(t.Total(), 4.0);
+  TimeBreakdown u = t;
+  u += t;
+  EXPECT_DOUBLE_EQ(u.Total(), 8.0);
+}
+
+TEST(ExecCountersTest, PlusEqualsAccumulates) {
+  ExecCounters a, b;
+  a.tuples_examined = 10;
+  a.io_bytes_read = 100;
+  b.tuples_examined = 5;
+  b.seq_bytes_touched = 7;
+  a += b;
+  EXPECT_EQ(a.tuples_examined, 15u);
+  EXPECT_EQ(a.io_bytes_read, 100u);
+  EXPECT_EQ(a.seq_bytes_touched, 7u);
+}
+
+TEST(CpuModelTest, EmptyCountersCostNothing) {
+  CpuModel model(HardwareConfig::Paper2006());
+  const TimeBreakdown t = model.Breakdown(ExecCounters{});
+  EXPECT_DOUBLE_EQ(t.Total(), 0.0);
+}
+
+TEST(CpuModelTest, UopTimeScalesLinearly) {
+  CpuModel model(HardwareConfig::Paper2006());
+  ExecCounters c;
+  c.tuples_examined = 1000000;
+  const double t1 = model.Breakdown(c).usr_uop;
+  c.tuples_examined = 2000000;
+  const double t2 = model.Breakdown(c).usr_uop;
+  EXPECT_NEAR(t2, 2 * t1, 1e-12);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(CpuModelTest, SequentialMemoryOverlapsWithComputation) {
+  CpuModel model(HardwareConfig::Paper2006());
+  // Plenty of computation, little memory: no exposed L2 stall.
+  ExecCounters busy;
+  busy.tuples_examined = 100000000;
+  busy.seq_bytes_touched = 1000;
+  EXPECT_NEAR(model.Breakdown(busy).usr_l2, 0.0, 1e-9);
+  // Lots of memory, no computation: stall is bytes / 1 byte-per-cycle.
+  ExecCounters memory;
+  memory.seq_bytes_touched = 3200000000ULL;  // 3.2e9 bytes -> 1 second
+  EXPECT_NEAR(model.Breakdown(memory).usr_l2, 1.0, 1e-6);
+}
+
+TEST(CpuModelTest, RandomMissesPayFullLatency) {
+  const HardwareConfig hw = HardwareConfig::Paper2006();
+  CpuModel model(hw);
+  ExecCounters c;
+  c.random_line_accesses = 1000000;
+  // 1e6 misses x 380 cycles at 3.2GHz.
+  EXPECT_NEAR(model.Breakdown(c).usr_l2, 1e6 * 380 / 3.2e9, 1e-9);
+}
+
+TEST(CpuModelTest, SystemTimeFollowsIoBytes) {
+  CpuModel model(HardwareConfig::Paper2006());
+  ExecCounters c;
+  c.io_bytes_read = 9500000000ULL;  // a full LINEITEM scan
+  const double sys = model.Breakdown(c).sys;
+  // Calibrated to land near the ~3s system-time bars of Figure 6.
+  EXPECT_GT(sys, 1.5);
+  EXPECT_LT(sys, 5.0);
+}
+
+TEST(CpuModelTest, MoreCpusShrinkCpuTime) {
+  ExecCounters c;
+  c.tuples_examined = 60000000;
+  c.seq_bytes_touched = 9500000000ULL;
+  HardwareConfig one = HardwareConfig::Paper2006();
+  HardwareConfig two = one;
+  two.num_cpus = 2;
+  const double t1 = CpuModel(one).Breakdown(c).Total();
+  const double t2 = CpuModel(two).Breakdown(c).Total();
+  EXPECT_LT(t2, t1);
+}
+
+TEST(CpuModelTest, L1ComponentIsUpperBoundStyle) {
+  CpuModel model(HardwareConfig::Paper2006());
+  ExecCounters c;
+  c.l1_lines_touched = 64000000;
+  const double l1 = model.Breakdown(c).usr_l1;
+  EXPECT_NEAR(l1, 64e6 * 18 / 3.2e9, 1e-6);
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "io/file_backend.h"
+#include "io/mem_backend.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+std::vector<uint8_t> PatternBytes(size_t n) {
+  std::vector<uint8_t> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<uint8_t>((i * 31 + (i >> 8)) & 0xFF);
+  }
+  return data;
+}
+
+/// Drains a stream and returns the concatenated bytes, checking offsets.
+std::vector<uint8_t> Drain(SequentialStream* stream, size_t unit) {
+  std::vector<uint8_t> out;
+  uint64_t expect_offset = 0;
+  while (true) {
+    auto view = stream->Next();
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    if (view->size == 0) break;
+    EXPECT_EQ(view->file_offset, expect_offset);
+    EXPECT_LE(view->size, unit);
+    out.insert(out.end(), view->data, view->data + view->size);
+    expect_offset += view->size;
+  }
+  return out;
+}
+
+class BackendTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendTest, FileBackendDeliversExactBytes) {
+  const int depth = GetParam();
+  testing::TempDir dir;
+  const std::string path = dir.path() + "/data.bin";
+  // 2.5 units: exercises a partial tail unit.
+  const size_t kUnit = 4096;
+  const auto data = PatternBytes(kUnit * 2 + kUnit / 2);
+  ASSERT_OK(WriteStringToFile(
+      path, std::string(data.begin(), data.end())));
+
+  FileBackend backend;
+  IoStats stats;
+  IoOptions options;
+  options.io_unit_bytes = kUnit;
+  options.prefetch_depth = depth;
+  options.stats = &stats;
+  ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream(path, options));
+  EXPECT_EQ(stream->file_size(), data.size());
+  EXPECT_EQ(Drain(stream.get(), kUnit), data);
+  EXPECT_EQ(stats.bytes_read, data.size());
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.files_opened, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BackendTest, ::testing::Values(1, 2, 8, 48));
+
+TEST(FileBackendTest, EmptyFile) {
+  testing::TempDir dir;
+  const std::string path = dir.path() + "/empty";
+  ASSERT_OK(WriteStringToFile(path, ""));
+  FileBackend backend;
+  ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream(path, IoOptions{}));
+  auto view = stream->Next();
+  ASSERT_OK(view.status());
+  EXPECT_EQ(view->size, 0u);
+  // EOF is sticky.
+  auto again = stream->Next();
+  ASSERT_OK(again.status());
+  EXPECT_EQ(again->size, 0u);
+}
+
+TEST(FileBackendTest, MissingFileFails) {
+  FileBackend backend;
+  EXPECT_TRUE(
+      backend.OpenStream("/no/such/rodb/file", IoOptions{}).status().IsIoError());
+}
+
+TEST(FileBackendTest, RejectsZeroUnit) {
+  FileBackend backend;
+  IoOptions options;
+  options.io_unit_bytes = 0;
+  EXPECT_FALSE(backend.OpenStream("/dev/null", options).ok());
+}
+
+TEST(FileBackendTest, EarlyDestructionIsClean) {
+  testing::TempDir dir;
+  const std::string path = dir.path() + "/big.bin";
+  const auto data = PatternBytes(1 << 20);
+  ASSERT_OK(WriteStringToFile(path, std::string(data.begin(), data.end())));
+  FileBackend backend;
+  IoOptions options;
+  options.io_unit_bytes = 4096;
+  options.prefetch_depth = 4;
+  ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream(path, options));
+  auto view = stream->Next();
+  ASSERT_OK(view.status());
+  // Drop the stream with the producer mid-flight: must join cleanly.
+  stream.reset();
+}
+
+TEST(MemBackendTest, ServesRegisteredFiles) {
+  MemBackend backend;
+  const auto data = PatternBytes(10000);
+  backend.PutFile("a", data);
+  EXPECT_TRUE(backend.HasFile("a"));
+  EXPECT_EQ(backend.FileSize("a"), data.size());
+  IoStats stats;
+  IoOptions options;
+  options.io_unit_bytes = 1024;
+  options.stats = &stats;
+  ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream("a", options));
+  EXPECT_EQ(Drain(stream.get(), 1024), data);
+  EXPECT_EQ(stats.bytes_read, data.size());
+  EXPECT_EQ(stats.requests, 10u);  // ceil(10000/1024)
+}
+
+TEST(MemBackendTest, MissingFile) {
+  MemBackend backend;
+  EXPECT_FALSE(backend.HasFile("nope"));
+  EXPECT_EQ(backend.FileSize("nope"), 0u);
+  EXPECT_TRUE(backend.OpenStream("nope", IoOptions{}).status().IsNotFound());
+}
+
+TEST(MemBackendTest, MutableFileAppends) {
+  MemBackend backend;
+  auto* file = backend.MutableFile("grow");
+  file->push_back(1);
+  file->push_back(2);
+  EXPECT_EQ(backend.FileSize("grow"), 2u);
+  ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream("grow", IoOptions{}));
+  auto view = stream->Next();
+  ASSERT_OK(view.status());
+  EXPECT_EQ(view->size, 2u);
+  EXPECT_EQ(view->data[1], 2);
+}
+
+TEST(MemBackendTest, MatchesFileBackendByteForByte) {
+  // The two backends must be interchangeable under the engine.
+  testing::TempDir dir;
+  const auto data = PatternBytes(123457);
+  const std::string path = dir.path() + "/x";
+  ASSERT_OK(WriteStringToFile(path, std::string(data.begin(), data.end())));
+  FileBackend file_backend;
+  MemBackend mem_backend;
+  mem_backend.PutFile(path, data);
+  IoOptions options;
+  options.io_unit_bytes = 8192;
+  options.prefetch_depth = 3;
+  ASSERT_OK_AND_ASSIGN(auto fs, file_backend.OpenStream(path, options));
+  ASSERT_OK_AND_ASSIGN(auto ms, mem_backend.OpenStream(path, options));
+  EXPECT_EQ(Drain(fs.get(), 8192), Drain(ms.get(), 8192));
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "engine/merge_join.h"
+#include "scan_test_util.h"
+#include "vector_source.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::VectorSource;
+
+BlockLayout TwoInts() { return BlockLayout::FromWidths({4, 4}); }
+
+Result<std::vector<std::vector<uint8_t>>> Join(
+    std::vector<std::vector<int32_t>> left,
+    std::vector<std::vector<int32_t>> right, ExecStats* stats) {
+  auto l = std::make_unique<VectorSource>(TwoInts(), std::move(left));
+  auto r = std::make_unique<VectorSource>(TwoInts(), std::move(right));
+  auto join =
+      MergeJoinOperator::Make(std::move(l), std::move(r), 0, 0, stats);
+  RODB_RETURN_IF_ERROR(join.status());
+  return rodb::testing::CollectTuples(join->get());
+}
+
+struct JoinedRow {
+  int32_t lk, lv, rk, rv;
+};
+
+JoinedRow Parse(const std::vector<uint8_t>& t) {
+  return {LoadLE32s(t.data()), LoadLE32s(t.data() + 4),
+          LoadLE32s(t.data() + 8), LoadLE32s(t.data() + 12)};
+}
+
+TEST(MergeJoinTest, OneToOne) {
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out, Join({{1, 10}, {2, 20}, {3, 30}},
+                     {{1, 100}, {2, 200}, {3, 300}}, &stats));
+  ASSERT_EQ(out.size(), 3u);
+  const JoinedRow r = Parse(out[1]);
+  EXPECT_EQ(r.lk, 2);
+  EXPECT_EQ(r.lv, 20);
+  EXPECT_EQ(r.rk, 2);
+  EXPECT_EQ(r.rv, 200);
+}
+
+TEST(MergeJoinTest, UnmatchedKeysDropped) {
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       Join({{1, 10}, {3, 30}, {5, 50}},
+                            {{2, 200}, {3, 300}, {4, 400}}, &stats));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(Parse(out[0]).lk, 3);
+}
+
+TEST(MergeJoinTest, DuplicatesOnRightFanOut) {
+  // The ORDERS x LINEITEM shape: ~4 right rows per left key.
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out, Join({{7, 70}},
+                     {{7, 1}, {7, 2}, {7, 3}, {7, 4}}, &stats));
+  ASSERT_EQ(out.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(Parse(out[static_cast<size_t>(i)]).rv, i + 1);
+    EXPECT_EQ(Parse(out[static_cast<size_t>(i)]).lv, 70);
+  }
+}
+
+TEST(MergeJoinTest, DuplicatesOnBothSidesCrossProduct) {
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       Join({{2, 1}, {2, 2}}, {{2, 10}, {2, 20}}, &stats));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(MergeJoinTest, EmptyInputs) {
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out, Join({}, {{1, 1}}, &stats));
+  EXPECT_TRUE(out.empty());
+  ASSERT_OK_AND_ASSIGN(auto out2, Join({{1, 1}}, {}, &stats));
+  EXPECT_TRUE(out2.empty());
+  ASSERT_OK_AND_ASSIGN(auto out3, Join({}, {}, &stats));
+  EXPECT_TRUE(out3.empty());
+}
+
+TEST(MergeJoinTest, LargeJoinSpanningManyBlocks) {
+  std::vector<std::vector<int32_t>> left, right;
+  for (int i = 0; i < 1000; ++i) left.push_back({i, i * 2});
+  for (int i = 0; i < 4000; ++i) right.push_back({i / 4, i});
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out, Join(std::move(left), std::move(right),
+                                      &stats));
+  ASSERT_EQ(out.size(), 4000u);
+  // Spot-check ordering and values.
+  const JoinedRow r = Parse(out[100]);
+  EXPECT_EQ(r.lk, r.rk);
+  EXPECT_EQ(r.lv, r.lk * 2);
+  EXPECT_EQ(r.rv / 4, r.rk);
+  EXPECT_GT(stats.counters().join_comparisons, 0u);
+}
+
+TEST(MergeJoinTest, OutputLayoutConcatenatesInputs) {
+  ExecStats stats;
+  auto l = std::make_unique<VectorSource>(
+      BlockLayout::FromWidths({4}), std::vector<std::vector<int32_t>>{});
+  auto r = std::make_unique<VectorSource>(
+      TwoInts(), std::vector<std::vector<int32_t>>{});
+  ASSERT_OK_AND_ASSIGN(
+      auto join, MergeJoinOperator::Make(std::move(l), std::move(r), 0, 1,
+                                         &stats));
+  EXPECT_EQ(join->output_layout().widths, (std::vector<int>{4, 4, 4}));
+}
+
+TEST(MergeJoinTest, RejectsBadColumns) {
+  ExecStats stats;
+  auto mk = [] {
+    return std::make_unique<VectorSource>(
+        BlockLayout::FromWidths({4, 1}), std::vector<std::vector<int32_t>>{});
+  };
+  auto l1 = std::make_unique<VectorSource>(TwoInts(),
+                                           std::vector<std::vector<int32_t>>{});
+  EXPECT_FALSE(
+      MergeJoinOperator::Make(std::move(l1), mk(), 0, 1, &stats).ok());
+  auto l2 = std::make_unique<VectorSource>(TwoInts(),
+                                           std::vector<std::vector<int32_t>>{});
+  EXPECT_FALSE(
+      MergeJoinOperator::Make(std::move(l2), mk(), 5, 0, &stats).ok());
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "engine/project.h"
+#include "engine/select.h"
+#include "scan_test_util.h"
+#include "vector_source.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::VectorSource;
+
+std::vector<std::vector<int32_t>> MakeRows(int n) {
+  std::vector<std::vector<int32_t>> rows;
+  for (int i = 0; i < n; ++i) rows.push_back({i, i % 10, i * 2});
+  return rows;
+}
+
+BlockLayout ThreeInts() { return BlockLayout::FromWidths({4, 4, 4}); }
+
+TEST(FilterOperatorTest, KeepsMatchingTuples) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(ThreeInts(), MakeRows(100));
+  FilterOperator filter(std::move(source),
+                        {Predicate::Int32(1, CompareOp::kEq, 3)}, &stats);
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(&filter));
+  EXPECT_EQ(tuples.size(), 10u);
+  for (const auto& t : tuples) EXPECT_EQ(LoadLE32s(t.data() + 4), 3);
+  EXPECT_EQ(stats.counters().operator_tuples, 100u);
+}
+
+TEST(FilterOperatorTest, ConjunctionAndEmptyResult) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(ThreeInts(), MakeRows(50));
+  FilterOperator filter(std::move(source),
+                        {Predicate::Int32(1, CompareOp::kEq, 3),
+                         Predicate::Int32(0, CompareOp::kGt, 1000)},
+                        &stats);
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(&filter));
+  EXPECT_TRUE(tuples.empty());
+}
+
+TEST(FilterOperatorTest, NoPredicatesPassesEverything) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(ThreeInts(), MakeRows(42));
+  FilterOperator filter(std::move(source), {}, &stats);
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(&filter));
+  EXPECT_EQ(tuples.size(), 42u);
+}
+
+TEST(ProjectOperatorTest, ReordersAndDropsColumns) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(ThreeInts(), MakeRows(30));
+  ASSERT_OK_AND_ASSIGN(auto project,
+                       ProjectOperator::Make(std::move(source), {2, 0},
+                                             &stats));
+  EXPECT_EQ(project->output_layout().tuple_width, 8);
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(project.get()));
+  ASSERT_EQ(tuples.size(), 30u);
+  EXPECT_EQ(LoadLE32s(tuples[5].data()), 10);      // i*2
+  EXPECT_EQ(LoadLE32s(tuples[5].data() + 4), 5);   // i
+}
+
+TEST(ProjectOperatorTest, RejectsBadColumn) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(ThreeInts(), MakeRows(5));
+  EXPECT_FALSE(ProjectOperator::Make(std::move(source), {7}, &stats).ok());
+}
+
+TEST(OperatorCompositionTest, FilterThenProject) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(ThreeInts(), MakeRows(200));
+  auto filter = std::make_unique<FilterOperator>(
+      std::move(source),
+      std::vector<Predicate>{Predicate::Int32(1, CompareOp::kLt, 2)}, &stats);
+  ASSERT_OK_AND_ASSIGN(auto project,
+                       ProjectOperator::Make(std::move(filter), {0}, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(project.get()));
+  EXPECT_EQ(tuples.size(), 40u);  // i%10 in {0,1}
+  for (const auto& t : tuples) {
+    const int32_t i = LoadLE32s(t.data());
+    EXPECT_LT(i % 10, 2);
+  }
+}
+
+}  // namespace
+}  // namespace rodb

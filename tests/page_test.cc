@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/page.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+TEST(PageGeometryTest, PayloadCapacity) {
+  EXPECT_EQ(PagePayloadCapacity(4096, 0), 4096u - 4 - 20);
+  EXPECT_EQ(PagePayloadCapacity(4096, 1), 4096u - 4 - 20 - 8);
+  EXPECT_EQ(PagePayloadCapacity(4096, 3), 4096u - 4 - 20 - 24);
+}
+
+TEST(PageWriterTest, FinishWritesCountMetasTrailer) {
+  std::vector<uint8_t> page(4096, 0);
+  PageWriter writer(page.data(), page.size(), 2);
+  ASSERT_TRUE(writer.writer()->Put(0xABCD, 16));
+  writer.IncrementCount();
+  writer.IncrementCount();
+  std::vector<CodecPageMeta> metas = {{-100}, {424242}};
+  ASSERT_OK(writer.Finish(77, metas));
+
+  ASSERT_OK_AND_ASSIGN(PageView view, PageView::Parse(page.data(), 4096));
+  EXPECT_EQ(view.count(), 2u);
+  EXPECT_EQ(view.page_id(), 77u);
+  EXPECT_EQ(view.meta_count(), 2);
+  EXPECT_EQ(view.meta(0).base, -100);
+  EXPECT_EQ(view.meta(1).base, 424242);
+  EXPECT_EQ(view.payload_bits(), 16u);
+  BitReader r = view.payload_reader();
+  EXPECT_EQ(r.Get(16), 0xABCDu);
+}
+
+TEST(PageWriterTest, FinishRejectsMetaCountMismatch) {
+  std::vector<uint8_t> page(4096, 0);
+  PageWriter writer(page.data(), page.size(), 1);
+  EXPECT_FALSE(writer.Finish(0, {}).ok());
+  EXPECT_FALSE(writer.Finish(0, {{1}, {2}}).ok());
+}
+
+TEST(PageViewTest, RejectsBadMagic) {
+  std::vector<uint8_t> page(4096, 0);
+  EXPECT_TRUE(PageView::Parse(page.data(), 4096).status().IsCorruption());
+}
+
+TEST(PageViewTest, RejectsTinyPage) {
+  std::vector<uint8_t> page(8, 0);
+  EXPECT_TRUE(PageView::Parse(page.data(), 8).status().IsCorruption());
+}
+
+TEST(PageViewTest, RejectsOverflowingPayloadBits) {
+  std::vector<uint8_t> page(4096, 0);
+  PageWriter writer(page.data(), page.size(), 0);
+  ASSERT_OK(writer.Finish(0, {}));
+  // Corrupt the payload_bits field (trailer bytes [-8, -4)).
+  page[4096 - 8] = 0xFF;
+  page[4096 - 7] = 0xFF;
+  page[4096 - 6] = 0xFF;
+  page[4096 - 5] = 0x7F;
+  EXPECT_TRUE(PageView::Parse(page.data(), 4096).status().IsCorruption());
+}
+
+TEST(PageViewTest, ChecksumDetectsBitFlips) {
+  std::vector<uint8_t> page(4096, 0);
+  PageWriter writer(page.data(), page.size(), 1);
+  ASSERT_TRUE(writer.writer()->Put(0x1234, 16));
+  writer.IncrementCount();
+  ASSERT_OK(writer.Finish(9, {{42}}));
+  // Pristine page verifies.
+  ASSERT_OK(PageView::Parse(page.data(), 4096, /*verify_checksum=*/true)
+                .status());
+  // Any single-bit flip in payload, metas or header is caught.
+  for (size_t offset : {0u, 5u, 2000u, 4096u - 24}) {
+    std::vector<uint8_t> corrupt = page;
+    corrupt[offset] ^= 0x10;
+    EXPECT_TRUE(PageView::Parse(corrupt.data(), 4096, true)
+                    .status()
+                    .IsCorruption())
+        << "offset " << offset;
+    // The hot path (no verification) still parses geometry-valid pages.
+    EXPECT_OK(PageView::Parse(corrupt.data(), 4096, false).status());
+  }
+}
+
+TEST(PageViewTest, StoredChecksumMatchesRecomputation) {
+  std::vector<uint8_t> page(1024, 0);
+  PageWriter writer(page.data(), page.size(), 0);
+  ASSERT_TRUE(writer.writer()->Put(77, 8));
+  writer.IncrementCount();
+  ASSERT_OK(writer.Finish(3, {}));
+  ASSERT_OK_AND_ASSIGN(PageView view, PageView::Parse(page.data(), 1024));
+  EXPECT_EQ(view.stored_checksum(), PageChecksum(page.data(), 1024));
+  EXPECT_EQ(view.flags(), 0);
+}
+
+TEST(PageViewTest, MetasReturnsAllInOrder) {
+  std::vector<uint8_t> page(4096, 0);
+  PageWriter writer(page.data(), page.size(), 3);
+  ASSERT_OK(writer.Finish(1, {{10}, {20}, {30}}));
+  ASSERT_OK_AND_ASSIGN(PageView view, PageView::Parse(page.data(), 4096));
+  const auto metas = view.metas();
+  ASSERT_EQ(metas.size(), 3u);
+  EXPECT_EQ(metas[0].base, 10);
+  EXPECT_EQ(metas[1].base, 20);
+  EXPECT_EQ(metas[2].base, 30);
+}
+
+TEST(PageGeometryTest, NonDefaultPageSizes) {
+  // Page size is a system parameter (Section 2.2.1); geometry must hold
+  // for any size.
+  for (size_t size : {512u, 1024u, 8192u, 65536u}) {
+    std::vector<uint8_t> page(size, 0);
+    PageWriter writer(page.data(), size, 1);
+    EXPECT_EQ(writer.payload_capacity_bits(), (size - 4 - 20 - 8) * 8);
+    ASSERT_OK(writer.Finish(5, {{7}}));
+    ASSERT_OK_AND_ASSIGN(PageView view, PageView::Parse(page.data(), size));
+    EXPECT_EQ(view.page_id(), 5u);
+    EXPECT_EQ(view.meta(0).base, 7);
+  }
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "engine/plan_builder.h"
+#include "engine/shared_scan.h"
+#include "scan_test_util.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::LoadAllLayouts;
+using rodb::testing::TempDir;
+
+class PlanBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = Schema::Make({AttributeDesc::Int32("key"),
+                                AttributeDesc::Int32("group"),
+                                AttributeDesc::Int32("value")});
+    ASSERT_OK(schema.status());
+    schema_ = std::move(schema).value();
+    std::vector<std::vector<uint8_t>> tuples;
+    for (int i = 0; i < 2000; ++i) {
+      std::vector<uint8_t> t(12);
+      StoreLE32s(t.data(), i);
+      StoreLE32s(t.data() + 4, i % 5);
+      StoreLE32s(t.data() + 8, i % 100);
+      tuples.push_back(std::move(t));
+    }
+    ASSERT_OK(LoadAllLayouts(dir_.path(), "t", schema_, tuples, 1024));
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  FileBackend backend_;
+  ExecStats stats_;
+};
+
+TEST_F(PlanBuilderTest, ScanFilterProjectAggregateOnEveryLayout) {
+  // The same plan text runs against all three physical layouts.
+  std::vector<uint64_t> checksums;
+  for (const char* name : {"t_row", "t_col", "t_pax"}) {
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), name));
+    ExecStats stats;
+    ScanSpec spec;
+    spec.projection = {0, 1, 2};
+    spec.io_unit_bytes = 4096;
+    AggPlan agg;
+    agg.group_column = 0;  // "group" after projection below
+    agg.aggs = {{AggFunc::kSum, 1}, {AggFunc::kCount, 0}};
+    ASSERT_OK_AND_ASSIGN(
+        OperatorPtr plan,
+        PlanBuilder::Scan(&table, spec, &backend_, &stats)
+            .Filter({Predicate::Int32(2, CompareOp::kLt, 50)})
+            .Project({1, 2})
+            .SortAggregate(agg)
+            .Build());
+    ASSERT_OK_AND_ASSIGN(ExecutionResult result, Execute(plan.get(), &stats));
+    EXPECT_EQ(result.rows, 5u);  // five groups
+    checksums.push_back(result.output_checksum);
+  }
+  EXPECT_EQ(checksums[0], checksums[1]);
+  EXPECT_EQ(checksums[0], checksums[2]);
+}
+
+TEST_F(PlanBuilderTest, MergeJoinPlan) {
+  ASSERT_OK_AND_ASSIGN(OpenTable left, OpenTable::Open(dir_.path(), "t_row"));
+  ASSERT_OK_AND_ASSIGN(OpenTable right, OpenTable::Open(dir_.path(), "t_col"));
+  ScanSpec lspec;
+  lspec.projection = {0, 2};
+  lspec.io_unit_bytes = 4096;
+  ScanSpec rspec;
+  rspec.projection = {0, 1};
+  rspec.io_unit_bytes = 4096;
+  ASSERT_OK_AND_ASSIGN(
+      OperatorPtr plan,
+      PlanBuilder::MergeJoin(
+          PlanBuilder::Scan(&left, lspec, &backend_, &stats_),
+          PlanBuilder::Scan(&right, rspec, &backend_, &stats_), 0, 0)
+          .Build());
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result, Execute(plan.get(), &stats_));
+  EXPECT_EQ(result.rows, 2000u);  // 1:1 self-join on key
+  EXPECT_EQ(plan->output_layout().num_attrs(), 4u);
+}
+
+TEST_F(PlanBuilderTest, FromWrapsSharedScanConsumer) {
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
+  ScanSpec spec;
+  spec.projection = {1, 2};
+  spec.io_unit_bytes = 4096;
+  ASSERT_OK_AND_ASSIGN(auto scan,
+                       RowScanner::Make(&table, spec, &backend_, &stats_));
+  SharedScan shared(std::move(scan));
+  auto c1 = shared.AddConsumer();
+  auto c2 = shared.AddConsumer();
+  AggPlan count_all;
+  count_all.group_column = -1;
+  count_all.aggs = {{AggFunc::kCount, 0}};
+  ASSERT_OK_AND_ASSIGN(OperatorPtr q1,
+                       PlanBuilder::From(std::move(c1), &stats_)
+                           .Filter({Predicate::Int32(0, CompareOp::kEq, 3)})
+                           .HashAggregate(count_all)
+                           .Build());
+  ASSERT_OK_AND_ASSIGN(OperatorPtr q2,
+                       PlanBuilder::From(std::move(c2), &stats_)
+                           .HashAggregate(count_all)
+                           .Build());
+  // Interleave the two queries over the shared scan.
+  ASSERT_OK(q1->Open());
+  ASSERT_OK(q2->Open());
+  ASSERT_OK_AND_ASSIGN(TupleBlock * r1, q1->Next());
+  ASSERT_OK_AND_ASSIGN(TupleBlock * r2, q2->Next());
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(LoadLE64(r1->attr(0, 0)), 400u);   // 2000 / 5 groups
+  EXPECT_EQ(LoadLE64(r2->attr(0, 0)), 2000u);
+  q1->Close();
+  q2->Close();
+}
+
+TEST_F(PlanBuilderTest, ErrorsSurfaceAtBuild) {
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
+  ScanSpec bad;
+  bad.projection = {99};
+  auto plan = PlanBuilder::Scan(&table, bad, &backend_, &stats_)
+                  .Project({0})
+                  .Build();
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kOutOfRange);
+
+  ScanSpec good;
+  good.projection = {0};
+  good.io_unit_bytes = 4096;
+  auto bad_project = PlanBuilder::Scan(&table, good, &backend_, &stats_)
+                         .Project({7})
+                         .Build();
+  EXPECT_FALSE(bad_project.ok());
+  EXPECT_FALSE(PlanBuilder::Scan(nullptr, good, &backend_, &stats_)
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(PlanBuilder::From(nullptr, &stats_).Build().ok());
+}
+
+TEST_F(PlanBuilderTest, OrderByAndTopN) {
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_pax"));
+  ScanSpec spec;
+  spec.projection = {0, 2};
+  spec.io_unit_bytes = 4096;
+  // Top 5 by value, descending.
+  ASSERT_OK_AND_ASSIGN(OperatorPtr topn,
+                       PlanBuilder::Scan(&table, spec, &backend_, &stats_)
+                           .TopN(1, SortOrder::kDescending, 5)
+                           .Build());
+  ASSERT_OK_AND_ASSIGN(auto top, CollectTuples(topn.get()));
+  ASSERT_EQ(top.size(), 5u);
+  for (const auto& t : top) EXPECT_EQ(LoadLE32s(t.data() + 4), 99);
+
+  // Full ORDER BY descending: first block carries the maxima.
+  ASSERT_OK_AND_ASSIGN(OperatorPtr ordered,
+                       PlanBuilder::Scan(&table, spec, &backend_, &stats_)
+                           .OrderBy(1, SortOrder::kDescending)
+                           .Build());
+  ASSERT_OK_AND_ASSIGN(auto all, CollectTuples(ordered.get()));
+  ASSERT_EQ(all.size(), 2000u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(LoadLE32s(all[i - 1].data() + 4), LoadLE32s(all[i].data() + 4));
+  }
+  // Bad sort column surfaces at Build.
+  EXPECT_FALSE(PlanBuilder::Scan(&table, spec, &backend_, &stats_)
+                   .OrderBy(9)
+                   .Build()
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,173 @@
+// Parameterized robustness sweeps: every scanner must behave identically
+// across page sizes, I/O unit sizes, block sizes and prefetch depths --
+// all of these are "system parameters" the paper says should not change
+// results, only performance (Section 2.2.1: "the page size has no
+// visible effect" for sequential access).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "scan_test_util.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::LoadAllLayouts;
+using rodb::testing::MakeScanner;
+using rodb::testing::TempDir;
+
+struct SweepParam {
+  size_t page_size;
+  size_t io_unit_pages;  ///< I/O unit = this many pages
+  uint32_t block_tuples;
+  int prefetch_depth;
+};
+
+void PrintTo(const SweepParam& p, std::ostream* os) {
+  *os << "page" << p.page_size << "_unit" << p.io_unit_pages << "_block"
+      << p.block_tuples << "_depth" << p.prefetch_depth;
+}
+
+class RobustnessSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RobustnessSweep, AllLayoutsAgreeUnderAnyGeometry) {
+  const SweepParam& p = GetParam();
+  TempDir dir;
+  auto schema = Schema::Make(
+      {AttributeDesc::Int32("key", CodecSpec::ForDelta(8)),
+       AttributeDesc::Int32("val"),
+       AttributeDesc::Text("tag", 3, CodecSpec::Dict(2))});
+  ASSERT_OK(schema.status());
+  std::vector<std::vector<uint8_t>> tuples;
+  for (int i = 0; i < 1500; ++i) {
+    std::vector<uint8_t> t(11);
+    StoreLE32s(t.data(), 10 + i);
+    StoreLE32s(t.data() + 4, (i * 31) % 500);
+    std::memcpy(t.data() + 8, (i % 2) != 0 ? "odd" : "evn", 3);
+    tuples.push_back(std::move(t));
+  }
+  ASSERT_OK(LoadAllLayouts(dir.path(), "t", *schema, tuples, p.page_size));
+
+  ScanSpec spec;
+  spec.projection = {2, 0};
+  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 123)};
+  spec.io_unit_bytes = p.page_size * p.io_unit_pages;
+  spec.block_tuples = p.block_tuples;
+  spec.prefetch_depth = p.prefetch_depth;
+
+  FileBackend backend;
+  std::vector<std::vector<std::vector<uint8_t>>> results;
+  for (const char* name : {"t_row", "t_col", "t_pax"}) {
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), name));
+    ExecStats stats;
+    ASSERT_OK_AND_ASSIGN(auto scan,
+                         MakeScanner(&table, spec, &backend, &stats));
+    ASSERT_OK_AND_ASSIGN(auto out, CollectTuples(scan.get()));
+    results.push_back(std::move(out));
+  }
+  ASSERT_FALSE(results[0].empty());
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  // Sanity: the predicate keeps (i*31)%500 < 123 tuples.
+  size_t expected = 0;
+  for (int i = 0; i < 1500; ++i) expected += (i * 31) % 500 < 123;
+  EXPECT_EQ(results[0].size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RobustnessSweep,
+    ::testing::Values(SweepParam{512, 1, 1, 1},      // tiny everything
+                      SweepParam{512, 8, 100, 2},
+                      SweepParam{1024, 4, 3, 48},    // tiny blocks
+                      SweepParam{4096, 1, 100, 4},   // unit == one page
+                      SweepParam{4096, 32, 1000, 8}, // big blocks
+                      SweepParam{16384, 2, 100, 16}  // big pages
+                      ));
+
+TEST(RobustnessTest, NextAfterEofIsStableForEveryScanner) {
+  TempDir dir;
+  auto schema = Schema::Make({AttributeDesc::Int32("v")});
+  ASSERT_OK(schema.status());
+  std::vector<std::vector<uint8_t>> tuples(10, std::vector<uint8_t>(4, 1));
+  ASSERT_OK(LoadAllLayouts(dir.path(), "t", *schema, tuples, 1024));
+  FileBackend backend;
+  for (const char* name : {"t_row", "t_col", "t_pax"}) {
+    SCOPED_TRACE(name);
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), name));
+    ExecStats stats;
+    ScanSpec spec;
+    spec.projection = {0};
+    spec.io_unit_bytes = 4096;
+    ASSERT_OK_AND_ASSIGN(auto scan,
+                         MakeScanner(&table, spec, &backend, &stats));
+    ASSERT_OK(scan->Open());
+    // Drain.
+    while (true) {
+      ASSERT_OK_AND_ASSIGN(TupleBlock * block, scan->Next());
+      if (block == nullptr) break;
+    }
+    // Next() after EOF keeps returning nullptr, never crashes.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK_AND_ASSIGN(TupleBlock * block, scan->Next());
+      EXPECT_EQ(block, nullptr);
+    }
+    scan->Close();
+    scan->Close();  // idempotent
+  }
+}
+
+TEST(RobustnessTest, OpenIsIdempotent) {
+  TempDir dir;
+  auto schema = Schema::Make({AttributeDesc::Int32("v")});
+  ASSERT_OK(schema.status());
+  std::vector<std::vector<uint8_t>> tuples(5, std::vector<uint8_t>(4, 2));
+  ASSERT_OK(LoadAllLayouts(dir.path(), "t", *schema, tuples, 1024));
+  FileBackend backend;
+  for (const char* name : {"t_row", "t_col", "t_pax"}) {
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), name));
+    ExecStats stats;
+    ScanSpec spec;
+    spec.projection = {0};
+    spec.io_unit_bytes = 4096;
+    ASSERT_OK_AND_ASSIGN(auto scan,
+                         MakeScanner(&table, spec, &backend, &stats));
+    ASSERT_OK(scan->Open());
+    ASSERT_OK(scan->Open());
+    ASSERT_OK_AND_ASSIGN(auto out, CollectTuples(scan.get()));
+    (void)out;
+  }
+}
+
+TEST(RobustnessTest, SingleTuplePerPageExtreme) {
+  // 256-byte pages cannot hold two 150-byte tuples: one tuple per page.
+  TempDir dir;
+  auto schema = Schema::Make({AttributeDesc::Text("wide", 150)});
+  ASSERT_OK(schema.status());
+  std::vector<std::vector<uint8_t>> tuples;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<uint8_t> t(150, static_cast<uint8_t>('a' + i % 26));
+    tuples.push_back(std::move(t));
+  }
+  ASSERT_OK(LoadAllLayouts(dir.path(), "w", *schema, tuples, 256));
+  ASSERT_OK_AND_ASSIGN(OpenTable row, OpenTable::Open(dir.path(), "w_row"));
+  EXPECT_EQ(row.meta().file_pages[0], 40u);
+  FileBackend backend;
+  for (const char* name : {"w_row", "w_col", "w_pax"}) {
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), name));
+    ExecStats stats;
+    ScanSpec spec;
+    spec.projection = {0};
+    spec.io_unit_bytes = 256 * 16;
+    ASSERT_OK_AND_ASSIGN(auto scan,
+                         MakeScanner(&table, spec, &backend, &stats));
+    ASSERT_OK_AND_ASSIGN(auto out, CollectTuples(scan.get()));
+    ASSERT_EQ(out.size(), 40u) << name;
+    EXPECT_EQ(out[3], tuples[3]) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rodb

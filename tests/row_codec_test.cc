@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "compression/row_codec.h"
+#include "compression/dictionary.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+struct CodecSet {
+  std::vector<std::unique_ptr<AttributeCodec>> owned;
+  std::vector<AttributeCodec*> raw;
+
+  void Add(Result<std::unique_ptr<AttributeCodec>> codec) {
+    ASSERT_TRUE(codec.ok()) << codec.status().ToString();
+    raw.push_back(codec->get());
+    owned.push_back(std::move(codec).value());
+  }
+};
+
+TEST(RowCodecTest, OrdersZGeometry) {
+  // Figure 5's ORDERS-Z: 14 + 8 + 32 + 2 + 3 + 32 + 1 = 92 bits -> 12
+  // bytes per tuple.
+  Dictionary status_dict(1), prio_dict(11);
+  CodecSet set;
+  set.Add(MakeCodec(CodecSpec::BitPack(14), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::ForDelta(8), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::None(), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::Dict(2), 1, &status_dict));
+  set.Add(MakeCodec(CodecSpec::Dict(3), 11, &prio_dict));
+  set.Add(MakeCodec(CodecSpec::None(), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::BitPack(1), 4, nullptr));
+  RowCodec codec(set.raw);
+  EXPECT_EQ(codec.tuple_bits(), 92);
+  EXPECT_EQ(codec.encoded_tuple_bytes(), 12);
+  EXPECT_EQ(codec.raw_tuple_bytes(), 32);
+  EXPECT_EQ(codec.page_meta_count(), 1);
+}
+
+TEST(RowCodecTest, RoundTripsTuples) {
+  CodecSet set;
+  set.Add(MakeCodec(CodecSpec::BitPack(10), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::ForDelta(8), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::None(), 4, nullptr));
+  RowCodec codec(set.raw);
+  EXPECT_EQ(codec.raw_tuple_bytes(), 12);
+
+  std::vector<std::vector<uint8_t>> tuples;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<uint8_t> t(12);
+    StoreLE32s(t.data(), i * 7 % 1000);
+    StoreLE32s(t.data() + 4, 100 + i);   // sorted for FOR-delta
+    StoreLE32s(t.data() + 8, -i * 1000);
+    tuples.push_back(std::move(t));
+  }
+
+  std::vector<uint8_t> buf(4096, 0);
+  BitWriter w(buf.data(), buf.size());
+  codec.BeginPage();
+  for (const auto& t : tuples) ASSERT_TRUE(codec.EncodeTuple(t.data(), &w));
+  // Fixed per-tuple width on the page.
+  EXPECT_EQ(w.bit_pos(), tuples.size() * 8 *
+                             static_cast<size_t>(codec.encoded_tuple_bytes()));
+  std::vector<CodecPageMeta> metas;
+  codec.FinishPage(&metas);
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_EQ(metas[0].base, 100);
+
+  BitReader r(buf.data(), buf.size());
+  codec.BeginDecode(metas);
+  for (const auto& t : tuples) {
+    std::vector<uint8_t> out(12);
+    codec.DecodeTuple(&r, out.data());
+    EXPECT_EQ(out, t);
+  }
+}
+
+TEST(RowCodecTest, EncodeFailsCleanlyOnUnencodableValue) {
+  CodecSet set;
+  set.Add(MakeCodec(CodecSpec::BitPack(4), 4, nullptr));
+  RowCodec codec(set.raw);
+  std::vector<uint8_t> buf(64, 0);
+  BitWriter w(buf.data(), buf.size());
+  codec.BeginPage();
+  uint8_t tuple[4];
+  StoreLE32s(tuple, 16);  // needs 5 bits
+  EXPECT_FALSE(codec.EncodeTuple(tuple, &w));
+}
+
+TEST(RowCodecTest, EncodeFailsWhenPageFull) {
+  CodecSet set;
+  set.Add(MakeCodec(CodecSpec::None(), 4, nullptr));
+  RowCodec codec(set.raw);
+  ASSERT_EQ(codec.encoded_tuple_bytes(), 4);
+  std::vector<uint8_t> buf(10, 0);
+  BitWriter w(buf.data(), buf.size());
+  codec.BeginPage();
+  uint8_t tuple[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(codec.EncodeTuple(tuple, &w));
+  EXPECT_TRUE(codec.EncodeTuple(tuple, &w));
+  EXPECT_FALSE(codec.EncodeTuple(tuple, &w));  // only 2 bytes left
+}
+
+TEST(RowCodecTest, RawOffsetsMatchWidths) {
+  Dictionary dict(6);
+  CodecSet set;
+  set.Add(MakeCodec(CodecSpec::None(), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::Dict(4), 6, &dict));
+  set.Add(MakeCodec(CodecSpec::BitPack(7), 4, nullptr));
+  RowCodec codec(set.raw);
+  EXPECT_EQ(codec.raw_offset(0), 0);
+  EXPECT_EQ(codec.raw_offset(1), 4);
+  EXPECT_EQ(codec.raw_offset(2), 10);
+  EXPECT_EQ(codec.raw_tuple_bytes(), 14);
+}
+
+TEST(RowCodecTest, UncompressedSchemaHasNoMeta) {
+  CodecSet set;
+  set.Add(MakeCodec(CodecSpec::None(), 4, nullptr));
+  set.Add(MakeCodec(CodecSpec::None(), 9, nullptr));
+  RowCodec codec(set.raw);
+  EXPECT_EQ(codec.page_meta_count(), 0);
+  // 13 bytes -> 14 with 2-byte alignment.
+  EXPECT_EQ(codec.encoded_tuple_bytes(), 14);
+}
+
+}  // namespace
+}  // namespace rodb

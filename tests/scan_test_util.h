@@ -1,0 +1,107 @@
+#ifndef RODB_TESTS_SCAN_TEST_UTIL_H_
+#define RODB_TESTS_SCAN_TEST_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "engine/column_scanner.h"
+#include "engine/executor.h"
+#include "engine/pax_scanner.h"
+#include "engine/row_scanner.h"
+#include "io/file_backend.h"
+#include "storage/catalog.h"
+#include "storage/table_files.h"
+#include "test_util.h"
+
+namespace rodb::testing {
+
+/// Suffix used by LoadBothLayouts / LoadAllLayouts for each layout.
+inline const char* LayoutSuffix(Layout layout) {
+  switch (layout) {
+    case Layout::kRow:
+      return "_row";
+    case Layout::kColumn:
+      return "_col";
+    case Layout::kPax:
+      return "_pax";
+  }
+  return "_unknown";
+}
+
+inline Status LoadLayouts(const std::string& dir, const std::string& name,
+                          const Schema& schema,
+                          const std::vector<std::vector<uint8_t>>& tuples,
+                          const std::vector<Layout>& layouts,
+                          size_t page_size = kDefaultPageSize) {
+  for (Layout layout : layouts) {
+    const std::string table_name = name + LayoutSuffix(layout);
+    auto writer =
+        TableWriter::Create(dir, table_name, schema, layout, page_size);
+    RODB_RETURN_IF_ERROR(writer.status());
+    for (const auto& tuple : tuples) {
+      RODB_RETURN_IF_ERROR((*writer)->Append(tuple.data()));
+    }
+    RODB_RETURN_IF_ERROR((*writer)->Finish());
+  }
+  return Status::OK();
+}
+
+/// Materializes `tuples` (raw schema-width byte strings) as both a row
+/// table "<name>_row" and a column table "<name>_col" in `dir`.
+inline Status LoadBothLayouts(const std::string& dir, const std::string& name,
+                              const Schema& schema,
+                              const std::vector<std::vector<uint8_t>>& tuples,
+                              size_t page_size = kDefaultPageSize) {
+  return LoadLayouts(dir, name, schema, tuples,
+                     {Layout::kRow, Layout::kColumn}, page_size);
+}
+
+/// All three layouts: "_row", "_col" and "_pax".
+inline Status LoadAllLayouts(const std::string& dir, const std::string& name,
+                             const Schema& schema,
+                             const std::vector<std::vector<uint8_t>>& tuples,
+                             size_t page_size = kDefaultPageSize) {
+  return LoadLayouts(dir, name, schema, tuples,
+                     {Layout::kRow, Layout::kColumn, Layout::kPax},
+                     page_size);
+}
+
+/// Builds the scanner matching the table's physical layout.
+inline Result<OperatorPtr> MakeScanner(const OpenTable* table, ScanSpec spec,
+                                       IoBackend* backend, ExecStats* stats) {
+  switch (table->meta().layout) {
+    case Layout::kRow:
+      return RowScanner::Make(table, std::move(spec), backend, stats);
+    case Layout::kPax:
+      return PaxScanner::Make(table, std::move(spec), backend, stats);
+    case Layout::kColumn:
+      break;
+  }
+  return ColumnScanner::Make(table, std::move(spec), backend, stats);
+}
+
+/// Runs a scan to completion and returns every output tuple's raw bytes,
+/// in order.
+inline Result<std::vector<std::vector<uint8_t>>> CollectTuples(
+    Operator* root) {
+  RODB_RETURN_IF_ERROR(root->Open());
+  std::vector<std::vector<uint8_t>> out;
+  const int width = root->output_layout().tuple_width;
+  while (true) {
+    auto block = root->Next();
+    RODB_RETURN_IF_ERROR(block.status());
+    if (*block == nullptr) break;
+    for (uint32_t i = 0; i < (*block)->size(); ++i) {
+      const uint8_t* t = (*block)->tuple(i);
+      out.emplace_back(t, t + width);
+    }
+  }
+  root->Close();
+  return out;
+}
+
+}  // namespace rodb::testing
+
+#endif  // RODB_TESTS_SCAN_TEST_UTIL_H_

@@ -1,0 +1,238 @@
+// The central correctness property of the whole study: the row and column
+// scanners are interchangeable -- for any schema, codec assignment,
+// projection and predicate set, both produce exactly the same tuples in
+// the same order (Section 2.2.2: "both scanners produce their output in
+// exactly the same format and therefore they are interchangeable").
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "engine/early_mat_scanner.h"
+#include "scan_test_util.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::LoadBothLayouts;
+using rodb::testing::MakeScanner;
+using rodb::testing::TempDir;
+
+struct RandomDataset {
+  Schema schema;
+  std::vector<std::vector<uint8_t>> tuples;
+};
+
+/// Builds a random schema (2-6 attributes, random codecs) plus data that
+/// satisfies every codec's constraints.
+RandomDataset MakeRandomDataset(Random* rng, int num_tuples) {
+  RandomDataset ds;
+  const int n_attrs = static_cast<int>(rng->UniformRange(2, 6));
+  std::vector<AttributeDesc> attrs;
+  // Per-attribute generation strategy.
+  enum class Gen { kSortedKey, kSmallInt, kFreeInt, kDictText, kPlainText };
+  std::vector<Gen> gens;
+  for (int a = 0; a < n_attrs; ++a) {
+    switch (rng->Uniform(6)) {
+      case 0:
+        attrs.push_back(AttributeDesc::Int32(
+            "k" + std::to_string(a),
+            rng->Bernoulli(0.5) ? CodecSpec::ForDelta(8)
+                                : CodecSpec::For(16)));
+        gens.push_back(Gen::kSortedKey);
+        break;
+      case 1:
+        attrs.push_back(AttributeDesc::Int32("p" + std::to_string(a),
+                                             CodecSpec::BitPack(7)));
+        gens.push_back(Gen::kSmallInt);
+        break;
+      case 2:
+        attrs.push_back(AttributeDesc::Int32("i" + std::to_string(a)));
+        gens.push_back(Gen::kFreeInt);
+        break;
+      case 3:
+        attrs.push_back(AttributeDesc::Text("d" + std::to_string(a), 8,
+                                            CodecSpec::Dict(3)));
+        gens.push_back(Gen::kDictText);
+        break;
+      case 4:
+        attrs.push_back(AttributeDesc::Text("t" + std::to_string(a), 5));
+        gens.push_back(Gen::kPlainText);
+        break;
+      default:
+        attrs.push_back(AttributeDesc::Int32("u" + std::to_string(a),
+                                             CodecSpec::BitPack(12)));
+        gens.push_back(Gen::kSmallInt);
+        break;
+    }
+  }
+  auto schema = Schema::Make(std::move(attrs));
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  ds.schema = std::move(schema).value();
+
+  const char* dict_words[] = {"alpha   ", "beta    ", "gamma   ",
+                              "delta   ", "epsilon ", "zeta    ",
+                              "eta     ", "theta   "};
+  std::vector<int32_t> sorted_state(static_cast<size_t>(n_attrs), 1000);
+  for (int i = 0; i < num_tuples; ++i) {
+    std::vector<uint8_t> t(static_cast<size_t>(ds.schema.raw_tuple_width()));
+    for (int a = 0; a < n_attrs; ++a) {
+      uint8_t* field = t.data() + ds.schema.attr_offset(a);
+      switch (gens[a]) {
+        case Gen::kSortedKey:
+          sorted_state[a] += static_cast<int32_t>(rng->Uniform(60));
+          StoreLE32s(field, sorted_state[a]);
+          break;
+        case Gen::kSmallInt:
+          StoreLE32s(field, static_cast<int32_t>(rng->Uniform(128)));
+          break;
+        case Gen::kFreeInt:
+          StoreLE32s(field,
+                     static_cast<int32_t>(rng->UniformRange(-50000, 50000)));
+          break;
+        case Gen::kDictText:
+          std::memcpy(field, dict_words[rng->Uniform(8)], 8);
+          break;
+        case Gen::kPlainText: {
+          const std::string s = rng->String(5, "xyzw ");
+          std::memcpy(field, s.data(), 5);
+          break;
+        }
+      }
+    }
+    ds.tuples.push_back(std::move(t));
+  }
+  return ds;
+}
+
+/// Builds a random scan spec against the dataset's schema.
+ScanSpec MakeRandomSpec(Random* rng, const Schema& schema) {
+  ScanSpec spec;
+  const size_t n = schema.num_attributes();
+  // Random non-empty projection, random order, no duplicates.
+  std::vector<int> attrs;
+  for (size_t a = 0; a < n; ++a) attrs.push_back(static_cast<int>(a));
+  for (size_t a = attrs.size(); a > 1; --a) {
+    std::swap(attrs[a - 1], attrs[rng->Uniform(a)]);
+  }
+  const size_t keep = 1 + rng->Uniform(n);
+  spec.projection.assign(attrs.begin(), attrs.begin() + keep);
+  // 0-2 predicates on random attributes.
+  const int n_preds = static_cast<int>(rng->Uniform(3));
+  for (int p = 0; p < n_preds; ++p) {
+    const size_t attr = rng->Uniform(n);
+    const AttributeDesc& desc = schema.attribute(attr);
+    const CompareOp op = static_cast<CompareOp>(rng->Uniform(6));
+    if (desc.type == AttrType::kInt32) {
+      spec.predicates.push_back(Predicate::Int32(
+          static_cast<int>(attr), op,
+          static_cast<int32_t>(rng->UniformRange(-1000, 60000))));
+    } else {
+      spec.predicates.push_back(Predicate::Text(
+          static_cast<int>(attr), op, rng->String(1, "abgdxyz")));
+    }
+  }
+  spec.io_unit_bytes = 4096;
+  spec.prefetch_depth = static_cast<int>(rng->UniformRange(1, 8));
+  return spec;
+}
+
+class ScannerEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScannerEquivalenceTest, AllScannersAgree) {
+  // Four independent implementations of the same scan semantics: the row
+  // scanner, the pipelined column scanner, the PAX scanner, and the
+  // early-materialization column scanner. For random schemas, codecs,
+  // projections and predicates they must produce identical tuple streams.
+  Random rng(GetParam());
+  TempDir dir;
+  RandomDataset ds = MakeRandomDataset(&rng, 2000);
+  ASSERT_OK(rodb::testing::LoadAllLayouts(dir.path(), "rand", ds.schema,
+                                          ds.tuples, 1024));
+  ASSERT_OK_AND_ASSIGN(OpenTable row_table,
+                       OpenTable::Open(dir.path(), "rand_row"));
+  ASSERT_OK_AND_ASSIGN(OpenTable col_table,
+                       OpenTable::Open(dir.path(), "rand_col"));
+  ASSERT_OK_AND_ASSIGN(OpenTable pax_table,
+                       OpenTable::Open(dir.path(), "rand_pax"));
+  FileBackend backend;
+  for (int q = 0; q < 5; ++q) {
+    const ScanSpec spec = MakeRandomSpec(&rng, ds.schema);
+    ExecStats row_stats, col_stats, pax_stats, early_stats;
+    ASSERT_OK_AND_ASSIGN(auto row_scan,
+                         MakeScanner(&row_table, spec, &backend, &row_stats));
+    ASSERT_OK_AND_ASSIGN(auto col_scan,
+                         MakeScanner(&col_table, spec, &backend, &col_stats));
+    ASSERT_OK_AND_ASSIGN(auto pax_scan,
+                         MakeScanner(&pax_table, spec, &backend, &pax_stats));
+    ASSERT_OK_AND_ASSIGN(
+        auto early_scan,
+        EarlyMatColumnScanner::Make(&col_table, spec, &backend,
+                                    &early_stats));
+    ASSERT_OK_AND_ASSIGN(auto row_tuples, CollectTuples(row_scan.get()));
+    ASSERT_OK_AND_ASSIGN(auto col_tuples, CollectTuples(col_scan.get()));
+    ASSERT_OK_AND_ASSIGN(auto pax_tuples, CollectTuples(pax_scan.get()));
+    ASSERT_OK_AND_ASSIGN(auto early_tuples, CollectTuples(early_scan.get()));
+    ASSERT_EQ(row_tuples.size(), col_tuples.size()) << "query " << q;
+    for (size_t i = 0; i < row_tuples.size(); ++i) {
+      ASSERT_EQ(row_tuples[i], col_tuples[i]) << "query " << q << " row " << i;
+    }
+    ASSERT_EQ(pax_tuples, row_tuples) << "query " << q << " (pax)";
+    ASSERT_EQ(early_tuples, row_tuples) << "query " << q << " (early mat)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScannerEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(ScannerEquivalenceCompressedTest, CompressedAndPlainAgree) {
+  // Compression must never change query results, only their cost.
+  Random rng(99);
+  TempDir dir;
+  auto plain_schema = Schema::Make(
+      {AttributeDesc::Int32("key"), AttributeDesc::Int32("qty"),
+       AttributeDesc::Text("flag", 4)});
+  auto z_schema = Schema::Make(
+      {AttributeDesc::Int32("key", CodecSpec::ForDelta(8)),
+       AttributeDesc::Int32("qty", CodecSpec::BitPack(6)),
+       AttributeDesc::Text("flag", 4, CodecSpec::Dict(2))});
+  ASSERT_OK(plain_schema.status());
+  ASSERT_OK(z_schema.status());
+  const char* flags[] = {"AAAA", "BBBB", "CCCC"};
+  std::vector<std::vector<uint8_t>> tuples;
+  int32_t key = 5000;
+  for (int i = 0; i < 4000; ++i) {
+    key += static_cast<int32_t>(rng.Uniform(2));
+    std::vector<uint8_t> t(12);
+    StoreLE32s(t.data(), key);
+    StoreLE32s(t.data() + 4, static_cast<int32_t>(rng.Uniform(50)));
+    std::memcpy(t.data() + 8, flags[rng.Uniform(3)], 4);
+    tuples.push_back(std::move(t));
+  }
+  ASSERT_OK(LoadBothLayouts(dir.path(), "plain", *plain_schema, tuples));
+  ASSERT_OK(LoadBothLayouts(dir.path(), "z", *z_schema, tuples));
+
+  ScanSpec spec;
+  spec.projection = {0, 1, 2};
+  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 25)};
+  FileBackend backend;
+  std::vector<std::vector<std::vector<uint8_t>>> results;
+  for (const char* name : {"plain_row", "plain_col", "z_row", "z_col"}) {
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), name));
+    ExecStats stats;
+    ASSERT_OK_AND_ASSIGN(auto scan,
+                         MakeScanner(&table, spec, &backend, &stats));
+    ASSERT_OK_AND_ASSIGN(auto out, CollectTuples(scan.get()));
+    results.push_back(std::move(out));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].size(), results[0].size());
+    EXPECT_EQ(results[i], results[0]) << "variant " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+#include "test_util.h"
+#include "tpch/tpch_schema.h"
+
+namespace rodb {
+namespace {
+
+TEST(SchemaTest, OffsetsAndWidths) {
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      Schema::Make({AttributeDesc::Int32("a"), AttributeDesc::Text("b", 10),
+                    AttributeDesc::Int32("c")}));
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.attr_offset(0), 0);
+  EXPECT_EQ(schema.attr_offset(1), 4);
+  EXPECT_EQ(schema.attr_offset(2), 14);
+  EXPECT_EQ(schema.raw_tuple_width(), 18);
+  EXPECT_EQ(schema.padded_tuple_width(), 20);
+  EXPECT_FALSE(schema.is_compressed());
+}
+
+TEST(SchemaTest, RejectsBadAttributes) {
+  EXPECT_FALSE(Schema::Make({}).ok());
+  EXPECT_FALSE(Schema::Make({AttributeDesc::Text("", 4)}).ok());
+  EXPECT_FALSE(Schema::Make({AttributeDesc::Text("t", 0)}).ok());
+  AttributeDesc bad_int = AttributeDesc::Int32("i");
+  bad_int.width = 8;
+  EXPECT_FALSE(Schema::Make({bad_int}).ok());
+  // Integer codec on text and vice versa.
+  EXPECT_FALSE(
+      Schema::Make({AttributeDesc::Text("t", 4, CodecSpec::BitPack(3))}).ok());
+  EXPECT_FALSE(
+      Schema::Make({AttributeDesc::Int32("i", CodecSpec::CharPack(4, 2))})
+          .ok());
+}
+
+TEST(SchemaTest, FindAttribute) {
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      Schema::Make({AttributeDesc::Int32("x"), AttributeDesc::Int32("y")}));
+  EXPECT_EQ(schema.FindAttribute("y"), 1);
+  EXPECT_EQ(schema.FindAttribute("z"), -1);
+}
+
+TEST(SchemaTest, Project) {
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      Schema::Make({AttributeDesc::Int32("a"), AttributeDesc::Text("b", 5),
+                    AttributeDesc::Int32("c")}));
+  ASSERT_OK_AND_ASSIGN(Schema proj, schema.Project({2, 0}));
+  EXPECT_EQ(proj.num_attributes(), 2u);
+  EXPECT_EQ(proj.attribute(0).name, "c");
+  EXPECT_EQ(proj.attribute(1).name, "a");
+  EXPECT_FALSE(schema.Project({5}).ok());
+}
+
+TEST(SchemaTest, SerializationRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      Schema::Make({AttributeDesc::Int32("key", CodecSpec::ForDelta(8)),
+                    AttributeDesc::Text("flag", 1, CodecSpec::Dict(2)),
+                    AttributeDesc::Text("comment", 69,
+                                        CodecSpec::CharPack(4, 56)),
+                    AttributeDesc::Int32("plain")}));
+  std::string text;
+  schema.AppendTo(&text);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_OK_AND_ASSIGN(Schema parsed, Schema::ParseFrom(lines));
+  ASSERT_EQ(parsed.num_attributes(), 4u);
+  EXPECT_EQ(parsed.attribute(0).codec.kind, CompressionKind::kForDelta);
+  EXPECT_EQ(parsed.attribute(0).codec.bits, 8);
+  EXPECT_EQ(parsed.attribute(1).codec.kind, CompressionKind::kDict);
+  EXPECT_EQ(parsed.attribute(2).codec.char_count, 56);
+  EXPECT_EQ(parsed.attribute(3).codec.kind, CompressionKind::kNone);
+  EXPECT_EQ(parsed.raw_tuple_width(), schema.raw_tuple_width());
+}
+
+TEST(SchemaTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Schema::ParseFrom({"attr x int32"}).ok());
+  EXPECT_FALSE(Schema::ParseFrom({"blah x int32 4 none 0 0"}).ok());
+  EXPECT_FALSE(Schema::ParseFrom({"attr x float 4 none 0 0"}).ok());
+  EXPECT_FALSE(Schema::ParseFrom({"attr x int32 4 zstd 0 0"}).ok());
+}
+
+TEST(TpchSchemaTest, PaperTupleWidths) {
+  // Section 3.1: LINEITEM 150 bytes stored as 152 (2 bytes padding);
+  // ORDERS exactly 32 bytes.
+  ASSERT_OK_AND_ASSIGN(Schema lineitem, tpch::LineitemSchema());
+  EXPECT_EQ(lineitem.num_attributes(), 16u);
+  EXPECT_EQ(lineitem.raw_tuple_width(), 150);
+  EXPECT_EQ(lineitem.padded_tuple_width(), 152);
+  ASSERT_OK_AND_ASSIGN(Schema orders, tpch::OrdersSchema());
+  EXPECT_EQ(orders.num_attributes(), 7u);
+  EXPECT_EQ(orders.raw_tuple_width(), 32);
+  EXPECT_EQ(orders.padded_tuple_width(), 32);
+}
+
+TEST(SchemaTest, LayoutNames) {
+  EXPECT_EQ(LayoutName(Layout::kRow), "row");
+  EXPECT_EQ(LayoutName(Layout::kColumn), "column");
+  EXPECT_EQ(AttrTypeName(AttrType::kInt32), "int32");
+  EXPECT_EQ(AttrTypeName(AttrType::kFixedText), "text");
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "engine/shared_scan.h"
+#include "scan_test_util.h"
+#include "vector_source.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::LoadBothLayouts;
+using rodb::testing::TempDir;
+using rodb::testing::VectorSource;
+
+std::unique_ptr<VectorSource> MakeSource(int n, uint32_t block = 7) {
+  std::vector<std::vector<int32_t>> rows;
+  for (int i = 0; i < n; ++i) rows.push_back({i});
+  return std::make_unique<VectorSource>(BlockLayout::FromWidths({4}),
+                                        std::move(rows), block);
+}
+
+TEST(SharedScanTest, TwoConsumersSeeIdenticalStreams) {
+  SharedScan shared(MakeSource(500));
+  auto a = shared.AddConsumer();
+  auto b = shared.AddConsumer();
+  EXPECT_EQ(shared.num_consumers(), 2u);
+  ASSERT_OK_AND_ASSIGN(auto ta, CollectTuples(a.get()));
+  ASSERT_OK_AND_ASSIGN(auto tb, CollectTuples(b.get()));
+  EXPECT_EQ(ta.size(), 500u);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(SharedScanTest, InterleavedConsumersStayConsistent) {
+  SharedScan shared(MakeSource(100, 10));
+  auto a = shared.AddConsumer();
+  auto b = shared.AddConsumer();
+  ASSERT_OK(a->Open());
+  ASSERT_OK(b->Open());
+  int32_t next_a = 0, next_b = 0;
+  // a pulls two blocks for every block b pulls.
+  while (true) {
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_OK_AND_ASSIGN(TupleBlock * block, a->Next());
+      if (block == nullptr) break;
+      for (uint32_t r = 0; r < block->size(); ++r) {
+        EXPECT_EQ(LoadLE32s(block->attr(r, 0)), next_a++);
+      }
+    }
+    ASSERT_OK_AND_ASSIGN(TupleBlock * block, b->Next());
+    if (block == nullptr) break;
+    for (uint32_t r = 0; r < block->size(); ++r) {
+      EXPECT_EQ(LoadLE32s(block->attr(r, 0)), next_b++);
+    }
+  }
+  // Drain a too.
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(TupleBlock * block, a->Next());
+    if (block == nullptr) break;
+    for (uint32_t r = 0; r < block->size(); ++r) {
+      EXPECT_EQ(LoadLE32s(block->attr(r, 0)), next_a++);
+    }
+  }
+  EXPECT_EQ(next_a, 100);
+  EXPECT_EQ(next_b, 100);
+  a->Close();
+  b->Close();
+}
+
+TEST(SharedScanTest, WindowRetiresConsumedBlocks) {
+  SharedScan shared(MakeSource(100, 10));
+  auto a = shared.AddConsumer();
+  auto b = shared.AddConsumer();
+  ASSERT_OK(a->Open());
+  ASSERT_OK(b->Open());
+  // Pull both in lockstep: the window should stay tiny.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(a->Next().status());
+    ASSERT_OK(b->Next().status());
+    EXPECT_LE(shared.window_size(), 2u);
+  }
+}
+
+TEST(SharedScanTest, MaxLagEnforced) {
+  SharedScan shared(MakeSource(1000, 10), /*max_lag_blocks=*/3);
+  auto fast = shared.AddConsumer();
+  auto slow = shared.AddConsumer();
+  ASSERT_OK(fast->Open());
+  ASSERT_OK(slow->Open());
+  Status last;
+  for (int i = 0; i < 10; ++i) {
+    auto block = fast->Next();
+    last = block.status();
+    if (!last.ok()) break;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SharedScanTest, SingleConsumerBehavesLikeSource) {
+  SharedScan shared(MakeSource(42));
+  auto only = shared.AddConsumer();
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(only.get()));
+  EXPECT_EQ(tuples.size(), 42u);
+}
+
+TEST(SharedScanTest, ClosedConsumerUnblocksRetirement) {
+  SharedScan shared(MakeSource(100, 10));
+  auto a = shared.AddConsumer();
+  auto b = shared.AddConsumer();
+  ASSERT_OK(a->Open());
+  ASSERT_OK(b->Open());
+  ASSERT_OK(b->Next().status());
+  b->Close();  // b departs; a must still see everything
+  ASSERT_OK_AND_ASSIGN(auto rest, CollectTuples(a.get()));
+  EXPECT_EQ(rest.size(), 100u);
+  EXPECT_LE(shared.window_size(), 2u);
+}
+
+TEST(SharedScanTest, SharesARealTableScanReadingOnce) {
+  // The actual Section 2.1.1 scenario: two "queries" over one table scan;
+  // the file is read once.
+  TempDir dir;
+  auto schema = Schema::Make({AttributeDesc::Int32("v")});
+  ASSERT_OK(schema.status());
+  std::vector<std::vector<uint8_t>> tuples;
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<uint8_t> t(4);
+    StoreLE32s(t.data(), i);
+    tuples.push_back(std::move(t));
+  }
+  ASSERT_OK(LoadBothLayouts(dir.path(), "t", *schema, tuples, 1024));
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), "t_row"));
+  FileBackend backend;
+  ExecStats stats;
+  ScanSpec spec;
+  spec.projection = {0};
+  spec.io_unit_bytes = 4096;
+  ASSERT_OK_AND_ASSIGN(auto scan,
+                       RowScanner::Make(&table, spec, &backend, &stats));
+  SharedScan shared(std::move(scan));
+  auto q1 = shared.AddConsumer();
+  auto q2 = shared.AddConsumer();
+  ASSERT_OK(q1->Open());
+  ASSERT_OK(q2->Open());
+  uint64_t rows1 = 0, rows2 = 0;
+  while (true) {
+    auto b1 = q1->Next();
+    ASSERT_OK(b1.status());
+    auto b2 = q2->Next();
+    ASSERT_OK(b2.status());
+    if (*b1 == nullptr && *b2 == nullptr) break;
+    if (*b1 != nullptr) rows1 += (*b1)->size();
+    if (*b2 != nullptr) rows2 += (*b2)->size();
+  }
+  q1->Close();
+  q2->Close();
+  EXPECT_EQ(rows1, 5000u);
+  EXPECT_EQ(rows2, 5000u);
+  // One sequential pass over the file, not two.
+  EXPECT_EQ(stats.counters().files_read, 1u);
+  EXPECT_EQ(stats.counters().io_bytes_read, table.FileBytes(0));
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "engine/merge_join.h"
+#include "engine/sort.h"
+#include "scan_test_util.h"
+#include "vector_source.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::VectorSource;
+
+BlockLayout TwoInts() { return BlockLayout::FromWidths({4, 4}); }
+
+std::vector<std::vector<int32_t>> ShuffledRows(int n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::vector<int32_t>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({static_cast<int32_t>(rng.UniformRange(-1000, 1000)), i});
+  }
+  return rows;
+}
+
+TEST(SortOperatorTest, SortsAscendingAndDescending) {
+  for (SortOrder order : {SortOrder::kAscending, SortOrder::kDescending}) {
+    ExecStats stats;
+    auto source =
+        std::make_unique<VectorSource>(TwoInts(), ShuffledRows(1000, 3));
+    ASSERT_OK_AND_ASSIGN(auto sort,
+                         SortOperator::Make(std::move(source), 0, order,
+                                            &stats));
+    ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(sort.get()));
+    ASSERT_EQ(tuples.size(), 1000u);
+    for (size_t i = 1; i < tuples.size(); ++i) {
+      const int32_t prev = LoadLE32s(tuples[i - 1].data());
+      const int32_t cur = LoadLE32s(tuples[i].data());
+      if (order == SortOrder::kAscending) {
+        EXPECT_LE(prev, cur);
+      } else {
+        EXPECT_GE(prev, cur);
+      }
+    }
+    EXPECT_GT(stats.counters().sort_comparisons, 0u);
+  }
+}
+
+TEST(SortOperatorTest, StableForEqualKeys) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(
+      TwoInts(),
+      std::vector<std::vector<int32_t>>{{5, 0}, {5, 1}, {3, 2}, {5, 3}});
+  ASSERT_OK_AND_ASSIGN(
+      auto sort, SortOperator::Make(std::move(source), 0,
+                                    SortOrder::kAscending, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(sort.get()));
+  ASSERT_EQ(tuples.size(), 4u);
+  EXPECT_EQ(LoadLE32s(tuples[0].data() + 4), 2);
+  EXPECT_EQ(LoadLE32s(tuples[1].data() + 4), 0);
+  EXPECT_EQ(LoadLE32s(tuples[2].data() + 4), 1);
+  EXPECT_EQ(LoadLE32s(tuples[3].data() + 4), 3);
+}
+
+TEST(SortOperatorTest, EmptyInput) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(
+      TwoInts(), std::vector<std::vector<int32_t>>{});
+  ASSERT_OK_AND_ASSIGN(
+      auto sort, SortOperator::Make(std::move(source), 0,
+                                    SortOrder::kAscending, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(sort.get()));
+  EXPECT_TRUE(tuples.empty());
+}
+
+TEST(SortOperatorTest, ValidatesColumn) {
+  ExecStats stats;
+  auto src = [] {
+    return std::make_unique<VectorSource>(TwoInts(),
+                                          std::vector<std::vector<int32_t>>{});
+  };
+  EXPECT_FALSE(
+      SortOperator::Make(src(), 5, SortOrder::kAscending, &stats).ok());
+  EXPECT_FALSE(
+      SortOperator::Make(nullptr, 0, SortOrder::kAscending, &stats).ok());
+}
+
+TEST(SortOperatorTest, EnablesMergeJoinOnUnsortedInput) {
+  // Sort feeding the merge join: the standard sort-merge plan.
+  ExecStats stats;
+  auto left = std::make_unique<VectorSource>(
+      TwoInts(), std::vector<std::vector<int32_t>>{{3, 30}, {1, 10}, {2, 20}});
+  auto right = std::make_unique<VectorSource>(
+      TwoInts(), std::vector<std::vector<int32_t>>{{2, 200}, {3, 300}, {1, 100}});
+  ASSERT_OK_AND_ASSIGN(auto lsorted,
+                       SortOperator::Make(std::move(left), 0,
+                                          SortOrder::kAscending, &stats));
+  ASSERT_OK_AND_ASSIGN(auto rsorted,
+                       SortOperator::Make(std::move(right), 0,
+                                          SortOrder::kAscending, &stats));
+  ASSERT_OK_AND_ASSIGN(
+      auto join, MergeJoinOperator::Make(std::move(lsorted),
+                                         std::move(rsorted), 0, 0, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(join.get()));
+  ASSERT_EQ(tuples.size(), 3u);
+  EXPECT_EQ(LoadLE32s(tuples[0].data() + 12), 100);
+  EXPECT_EQ(LoadLE32s(tuples[2].data() + 12), 300);
+}
+
+TEST(TopNOperatorTest, KeepsLargestN) {
+  ExecStats stats;
+  auto source =
+      std::make_unique<VectorSource>(TwoInts(), ShuffledRows(5000, 9));
+  ASSERT_OK_AND_ASSIGN(
+      auto topn, TopNOperator::Make(std::move(source), 0,
+                                    SortOrder::kDescending, 10, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(topn.get()));
+  ASSERT_EQ(tuples.size(), 10u);
+  // Compare against a full sort.
+  auto rows = ShuffledRows(5000, 9);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a[0] > b[0]; });
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(LoadLE32s(tuples[static_cast<size_t>(i)].data()),
+              rows[static_cast<size_t>(i)][0])
+        << i;
+  }
+}
+
+TEST(TopNOperatorTest, SmallestNAscending) {
+  ExecStats stats;
+  auto source =
+      std::make_unique<VectorSource>(TwoInts(), ShuffledRows(500, 11));
+  ASSERT_OK_AND_ASSIGN(
+      auto topn, TopNOperator::Make(std::move(source), 0,
+                                    SortOrder::kAscending, 5, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(topn.get()));
+  ASSERT_EQ(tuples.size(), 5u);
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    EXPECT_LE(LoadLE32s(tuples[i - 1].data()), LoadLE32s(tuples[i].data()));
+  }
+}
+
+TEST(TopNOperatorTest, LimitLargerThanInput) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(TwoInts(), ShuffledRows(7, 2));
+  ASSERT_OK_AND_ASSIGN(
+      auto topn, TopNOperator::Make(std::move(source), 0,
+                                    SortOrder::kAscending, 100, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(topn.get()));
+  EXPECT_EQ(tuples.size(), 7u);
+}
+
+TEST(TopNOperatorTest, RejectsZeroLimit) {
+  ExecStats stats;
+  auto source = std::make_unique<VectorSource>(
+      TwoInts(), std::vector<std::vector<int32_t>>{});
+  EXPECT_FALSE(TopNOperator::Make(std::move(source), 0,
+                                  SortOrder::kAscending, 0, &stats)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "advisor/selectivity.h"
+#include "common/bytes.h"
+#include "scan_test_util.h"
+#include "tpch/loader.h"
+#include "tpch/tpch_schema.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::TempDir;
+
+TEST(ColumnStatsTest, CollectedDuringLoad) {
+  TempDir dir;
+  auto schema = Schema::Make({AttributeDesc::Int32("k"),
+                              AttributeDesc::Text("t", 4),
+                              AttributeDesc::Int32("v")});
+  ASSERT_OK(schema.status());
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir.path(), "s", *schema, Layout::kRow));
+  uint8_t tuple[12];
+  std::memcpy(tuple + 4, "abcd", 4);
+  for (int i = 0; i < 1000; ++i) {
+    StoreLE32s(tuple, 100 + i);        // 1000 distinct, range [100, 1099]
+    StoreLE32s(tuple + 8, i % 7 - 3);  // 7 distinct, range [-3, 3]
+    ASSERT_OK(writer->Append(tuple));
+  }
+  ASSERT_OK(writer->Finish());
+  ASSERT_OK_AND_ASSIGN(TableMeta meta, Catalog::LoadTableMeta(dir.path(), "s"));
+  ASSERT_EQ(meta.column_stats.size(), 3u);
+  EXPECT_TRUE(meta.column_stats[0].valid);
+  EXPECT_EQ(meta.column_stats[0].min, 100);
+  EXPECT_EQ(meta.column_stats[0].max, 1099);
+  EXPECT_EQ(meta.column_stats[0].ndv, 1000u);
+  EXPECT_FALSE(meta.column_stats[1].valid);  // text: no int stats
+  EXPECT_TRUE(meta.column_stats[2].valid);
+  EXPECT_EQ(meta.column_stats[2].min, -3);
+  EXPECT_EQ(meta.column_stats[2].max, 3);
+  EXPECT_EQ(meta.column_stats[2].ndv, 7u);
+}
+
+TEST(ColumnStatsTest, NdvSaturates) {
+  TempDir dir;
+  auto schema = Schema::Make({AttributeDesc::Int32("wide")});
+  ASSERT_OK(schema.status());
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir.path(), "wide", *schema, Layout::kColumn));
+  uint8_t tuple[4];
+  for (int i = 0; i < 10000; ++i) {
+    StoreLE32s(tuple, i * 3);
+    ASSERT_OK(writer->Append(tuple));
+  }
+  ASSERT_OK(writer->Finish());
+  ASSERT_OK_AND_ASSIGN(TableMeta meta,
+                       Catalog::LoadTableMeta(dir.path(), "wide"));
+  EXPECT_EQ(meta.column_stats[0].ndv, ColumnStats::kNdvCap + 1);
+  EXPECT_EQ(meta.column_stats[0].max, 9999 * 3);
+}
+
+TEST(SelectivityTest, RangePredicatesUniform) {
+  ColumnStats stats;
+  stats.valid = true;
+  stats.min = 0;
+  stats.max = 999;
+  stats.ndv = 1000;
+  EXPECT_NEAR(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kLt, 100), stats),
+      0.1, 0.001);
+  EXPECT_NEAR(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kGe, 900), stats),
+      0.1, 0.001);
+  EXPECT_NEAR(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kEq, 5), stats),
+      0.001, 1e-6);
+  EXPECT_NEAR(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kNe, 5), stats),
+      0.999, 1e-6);
+  // Out of range.
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kLt, -5), stats),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kLt, 5000), stats),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kEq, 5000), stats),
+      0.0);
+}
+
+TEST(SelectivityTest, UnknownFallsBackToOne) {
+  ColumnStats invalid;
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(Predicate::Int32(0, CompareOp::kLt, 5), invalid),
+      1.0);
+  ColumnStats stats;
+  stats.valid = true;
+  stats.min = 0;
+  stats.max = 9;
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(Predicate::Text(0, CompareOp::kEq, "x"), stats),
+      1.0);
+}
+
+TEST(SelectivityTest, ConjunctionMultiplies) {
+  TableMeta meta;
+  auto schema = Schema::Make({AttributeDesc::Int32("a"),
+                              AttributeDesc::Int32("b")});
+  ASSERT_OK(schema.status());
+  meta.schema = *schema;
+  ColumnStats s;
+  s.valid = true;
+  s.min = 0;
+  s.max = 99;
+  s.ndv = 100;
+  meta.column_stats = {s, s};
+  const std::vector<Predicate> preds = {
+      Predicate::Int32(0, CompareOp::kLt, 50),
+      Predicate::Int32(1, CompareOp::kLt, 10)};
+  EXPECT_NEAR(EstimateSelectivity(preds, meta), 0.05, 0.001);
+}
+
+TEST(SelectivityTest, MatchesActualOnGeneratedOrders) {
+  // End to end: the estimate from load-time stats predicts the observed
+  // fraction on the paper's workload generator.
+  TempDir dir;
+  tpch::LoadSpec spec;
+  spec.dir = dir.path();
+  spec.num_tuples = 20000;
+  spec.layout = Layout::kRow;
+  ASSERT_OK_AND_ASSIGN(TableMeta meta, tpch::LoadOrders(spec));
+  const std::vector<Predicate> preds = {Predicate::Int32(
+      tpch::kOOrderdate, CompareOp::kLt,
+      tpch::SelectivityCutoff(tpch::kOrderdateDomain, 0.25))};
+  const double estimated = EstimateSelectivity(preds, meta);
+  EXPECT_NEAR(estimated, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "storage/catalog.h"
+#include "storage/table_files.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+Schema SmallSchema(bool compressed) {
+  std::vector<AttributeDesc> attrs = {
+      AttributeDesc::Int32("id", compressed ? CodecSpec::ForDelta(8)
+                                            : CodecSpec::None()),
+      AttributeDesc::Text("flag", 1,
+                          compressed ? CodecSpec::Dict(2) : CodecSpec::None()),
+      AttributeDesc::Int32("val"),
+  };
+  auto schema = Schema::Make(std::move(attrs));
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+std::vector<uint8_t> SmallTuple(int32_t id, char flag, int32_t val) {
+  std::vector<uint8_t> t(9);
+  StoreLE32s(t.data(), id);
+  t[4] = static_cast<uint8_t>(flag);
+  StoreLE32s(t.data() + 5, val);
+  return t;
+}
+
+class TableFilesTest : public ::testing::TestWithParam<
+                           std::pair<Layout, bool>> {};
+
+TEST_P(TableFilesTest, WriteLoadRoundTrip) {
+  const auto [layout, compressed] = GetParam();
+  testing::TempDir dir;
+  Schema schema = SmallSchema(compressed);
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir.path(), "t", schema, layout, 1024));
+  const int kTuples = 5000;
+  for (int i = 0; i < kTuples; ++i) {
+    auto t = SmallTuple(1000 + i, "ABC"[i % 3], i * 3);
+    ASSERT_OK(writer->Append(t.data()));
+  }
+  EXPECT_EQ(writer->num_tuples(), static_cast<uint64_t>(kTuples));
+  ASSERT_OK(writer->Finish());
+
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), "t"));
+  EXPECT_EQ(table.meta().num_tuples, static_cast<uint64_t>(kTuples));
+  EXPECT_EQ(table.meta().layout, layout);
+  EXPECT_EQ(table.meta().page_size, 1024u);
+  const size_t expected_files =
+      layout == Layout::kRow ? 1 : schema.num_attributes();
+  EXPECT_EQ(table.meta().file_pages.size(), expected_files);
+  for (size_t i = 0; i < expected_files; ++i) {
+    EXPECT_GT(table.meta().file_pages[i], 0u);
+    EXPECT_EQ(table.meta().file_bytes[i], table.meta().file_pages[i] * 1024);
+    EXPECT_TRUE(FileExists(table.FilePath(i)));
+  }
+  if (compressed) {
+    EXPECT_NE(table.dict(1), nullptr);
+    EXPECT_EQ(table.dict(1)->size(), 3u);
+  } else {
+    EXPECT_EQ(table.dict(1), nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, TableFilesTest,
+    ::testing::Values(std::pair{Layout::kRow, false},
+                      std::pair{Layout::kRow, true},
+                      std::pair{Layout::kColumn, false},
+                      std::pair{Layout::kColumn, true}));
+
+TEST(TableWriterTest, CompressedColumnSmallerThanUncompressed) {
+  testing::TempDir dir;
+  for (bool compressed : {false, true}) {
+    Schema schema = SmallSchema(compressed);
+    const std::string name = compressed ? "z" : "plain";
+    ASSERT_OK_AND_ASSIGN(auto writer,
+                         TableWriter::Create(dir.path(), name, schema,
+                                             Layout::kColumn, 4096));
+    for (int i = 0; i < 20000; ++i) {
+      auto t = SmallTuple(i, "AB"[i % 2], i);
+      ASSERT_OK(writer->Append(t.data()));
+    }
+    ASSERT_OK(writer->Finish());
+  }
+  ASSERT_OK_AND_ASSIGN(OpenTable plain, OpenTable::Open(dir.path(), "plain"));
+  ASSERT_OK_AND_ASSIGN(OpenTable z, OpenTable::Open(dir.path(), "z"));
+  // id: 32 bits -> 8 bits, flag: 8 bits -> 2 bits.
+  EXPECT_LT(z.FileBytes(0), plain.FileBytes(0) / 3);
+  EXPECT_LT(z.FileBytes(1), plain.FileBytes(1) / 2);
+  // Uncompressed column untouched.
+  EXPECT_EQ(z.FileBytes(2), plain.FileBytes(2));
+}
+
+TEST(TableWriterTest, RejectsUnencodableTuple) {
+  testing::TempDir dir;
+  auto schema_result =
+      Schema::Make({AttributeDesc::Int32("q", CodecSpec::BitPack(4))});
+  ASSERT_OK(schema_result.status());
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       TableWriter::Create(dir.path(), "bad",
+                                           *schema_result, Layout::kRow));
+  uint8_t tuple[4];
+  StoreLE32s(tuple, 16);
+  EXPECT_TRUE(writer->Append(tuple).IsInvalidArgument());
+}
+
+TEST(TableWriterTest, DoubleFinishRejected) {
+  testing::TempDir dir;
+  Schema schema = SmallSchema(false);
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir.path(), "t", schema, Layout::kRow));
+  ASSERT_OK(writer->Finish());
+  EXPECT_FALSE(writer->Finish().ok());
+  EXPECT_FALSE(writer->Append(nullptr).ok());
+}
+
+TEST(CatalogTest, LoadMissingTableFails) {
+  testing::TempDir dir;
+  EXPECT_FALSE(Catalog::LoadTableMeta(dir.path(), "ghost").ok());
+  EXPECT_FALSE(OpenTable::Open(dir.path(), "ghost").ok());
+}
+
+TEST(CatalogTest, RejectsTamperedMeta) {
+  testing::TempDir dir;
+  Schema schema = SmallSchema(false);
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir.path(), "t", schema, Layout::kRow));
+  ASSERT_OK(writer->Finish());
+  ASSERT_OK(WriteStringToFile(TablePaths::MetaFile(dir.path(), "t"),
+                              "name t\nlayout diagonal\n"));
+  EXPECT_TRUE(Catalog::LoadTableMeta(dir.path(), "t").status().IsCorruption());
+}
+
+TEST(CatalogTest, MetaSurvivesRoundTripExactly) {
+  testing::TempDir dir;
+  Schema schema = SmallSchema(true);
+  TableMeta meta;
+  meta.name = "roundtrip";
+  meta.layout = Layout::kColumn;
+  meta.page_size = 8192;
+  meta.num_tuples = 123456789;
+  meta.schema = schema;
+  meta.file_pages = {10, 20, 30};
+  meta.file_bytes = {81920, 163840, 245760};
+  ASSERT_OK(Catalog::SaveTableMeta(dir.path(), meta));
+  ASSERT_OK_AND_ASSIGN(TableMeta loaded,
+                       Catalog::LoadTableMeta(dir.path(), "roundtrip"));
+  EXPECT_EQ(loaded.layout, Layout::kColumn);
+  EXPECT_EQ(loaded.page_size, 8192u);
+  EXPECT_EQ(loaded.num_tuples, 123456789u);
+  EXPECT_EQ(loaded.file_pages, meta.file_pages);
+  EXPECT_EQ(loaded.file_bytes, meta.file_bytes);
+  EXPECT_EQ(loaded.TotalBytes(), 81920u + 163840 + 245760);
+  EXPECT_EQ(loaded.schema.num_attributes(), schema.num_attributes());
+}
+
+}  // namespace
+}  // namespace rodb

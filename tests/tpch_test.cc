@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "scan_test_util.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+#include "tpch/tpch_schema.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::TempDir;
+using namespace rodb::tpch;  // NOLINT
+
+TEST(TpchSchemaTest, CompressedTupleWidthsMatchFigure5) {
+  // LINEITEM-Z is 52 bytes, ORDERS-Z is 12 bytes.
+  ASSERT_OK_AND_ASSIGN(Schema lz, LineitemZSchema());
+  std::vector<std::unique_ptr<AttributeCodec>> owned;
+  std::vector<AttributeCodec*> raw;
+  std::vector<std::unique_ptr<Dictionary>> dicts;
+  for (size_t i = 0; i < lz.num_attributes(); ++i) {
+    const AttributeDesc& a = lz.attribute(i);
+    Dictionary* dict = nullptr;
+    if (a.codec.kind == CompressionKind::kDict) {
+      dicts.push_back(std::make_unique<Dictionary>(a.width));
+      dict = dicts.back().get();
+    }
+    ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(a.codec, a.width, dict));
+    raw.push_back(codec.get());
+    owned.push_back(std::move(codec));
+  }
+  RowCodec lineitem_codec(raw);
+  EXPECT_EQ(lineitem_codec.tuple_bits(), 408);
+  EXPECT_EQ(lineitem_codec.encoded_tuple_bytes(), 52);
+
+  ASSERT_OK_AND_ASSIGN(Schema oz, OrdersZSchema());
+  std::vector<std::unique_ptr<AttributeCodec>> oowned;
+  std::vector<AttributeCodec*> oraw;
+  for (size_t i = 0; i < oz.num_attributes(); ++i) {
+    const AttributeDesc& a = oz.attribute(i);
+    Dictionary* dict = nullptr;
+    if (a.codec.kind == CompressionKind::kDict) {
+      dicts.push_back(std::make_unique<Dictionary>(a.width));
+      dict = dicts.back().get();
+    }
+    ASSERT_OK_AND_ASSIGN(auto codec, MakeCodec(a.codec, a.width, dict));
+    oraw.push_back(codec.get());
+    oowned.push_back(std::move(codec));
+  }
+  RowCodec orders_codec(oraw);
+  EXPECT_EQ(orders_codec.tuple_bits(), 92);
+  EXPECT_EQ(orders_codec.encoded_tuple_bytes(), 12);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  LineitemGenerator a(7), b(7);
+  uint8_t ta[150], tb[150];
+  for (int i = 0; i < 200; ++i) {
+    a.NextTuple(ta);
+    b.NextTuple(tb);
+    ASSERT_EQ(std::memcmp(ta, tb, 150), 0) << "tuple " << i;
+  }
+  OrdersGenerator oa(7), ob(7);
+  uint8_t sa[32], sb[32];
+  for (int i = 0; i < 200; ++i) {
+    oa.NextTuple(sa);
+    ob.NextTuple(sb);
+    ASSERT_EQ(std::memcmp(sa, sb, 32), 0);
+  }
+}
+
+TEST(GeneratorTest, LineitemDomainsFitCompressedSpecs) {
+  LineitemGenerator gen(42);
+  uint8_t t[150];
+  int32_t prev_orderkey = 0;
+  std::set<std::string> shipmodes;
+  for (int i = 0; i < 20000; ++i) {
+    gen.NextTuple(t);
+    const int32_t orderkey = LoadLE32s(t + 4);
+    EXPECT_GE(orderkey - prev_orderkey, 0);
+    EXPECT_LE(orderkey - prev_orderkey, 127);  // delta fits 8-bit zigzag
+    prev_orderkey = orderkey;
+    EXPECT_LT(LoadLE32s(t + 12), 8);           // linenumber: 3 bits
+    EXPECT_LT(LoadLE32s(t + 16), 64);          // quantity: 6 bits
+    EXPECT_GE(LoadLE32s(t + 16), 1);
+    EXPECT_LE(LoadLE32s(t + 130), 10);         // discount: 11 values
+    EXPECT_LE(LoadLE32s(t + 134), 8);          // tax: 9 values
+    EXPECT_LT(LoadLE32s(t + 138), 65536);      // dates: 2 bytes
+    EXPECT_LT(LoadLE32s(t + 142), 65536);
+    EXPECT_LT(LoadLE32s(t + 146), 65536);
+    shipmodes.insert(std::string(reinterpret_cast<char*>(t + 51), 10));
+  }
+  EXPECT_EQ(shipmodes.size(), 7u);  // dict 3 bits
+}
+
+TEST(GeneratorTest, OrdersDomainsFitCompressedSpecs) {
+  OrdersGenerator gen(42);
+  uint8_t t[32];
+  int32_t prev = 0;
+  std::set<std::string> priorities;
+  for (int i = 0; i < 20000; ++i) {
+    gen.NextTuple(t);
+    EXPECT_LT(LoadLE32s(t), 16384);             // orderdate: 14 bits
+    const int32_t orderkey = LoadLE32s(t + 4);
+    EXPECT_EQ(orderkey, prev + 1);              // dense ascending
+    prev = orderkey;
+    EXPECT_LT(LoadLE32s(t + 28), 2);            // shippriority: 1 bit
+    priorities.insert(std::string(reinterpret_cast<char*>(t + 13), 11));
+  }
+  EXPECT_EQ(priorities.size(), 5u);  // dict 3 bits
+}
+
+TEST(GeneratorTest, AboutFourLineitemsPerOrder) {
+  LineitemGenerator gen(42);
+  uint8_t t[150];
+  int32_t max_orderkey = 0;
+  const int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    gen.NextTuple(t);
+    max_orderkey = LoadLE32s(t + 4);
+  }
+  EXPECT_NEAR(static_cast<double>(kN) / max_orderkey, 4.0, 0.3);
+}
+
+TEST(SelectivityCutoffTest, Fractions) {
+  EXPECT_EQ(SelectivityCutoff(10000, 0.1), 1000);
+  EXPECT_EQ(SelectivityCutoff(10000, 0.001), 10);
+  EXPECT_EQ(SelectivityCutoff(10000, 0.0), 0);
+  EXPECT_EQ(SelectivityCutoff(10000, 1.0), 10000);
+}
+
+class LoaderTest : public ::testing::TestWithParam<std::pair<Layout, bool>> {};
+
+TEST_P(LoaderTest, LoadsAllFourTableVariants) {
+  const auto [layout, compressed] = GetParam();
+  TempDir dir;
+  LoadSpec spec;
+  spec.dir = dir.path();
+  spec.num_tuples = 3000;
+  spec.layout = layout;
+  spec.compressed = compressed;
+  ASSERT_OK_AND_ASSIGN(TableMeta lineitem, LoadLineitem(spec));
+  EXPECT_EQ(lineitem.num_tuples, 3000u);
+  ASSERT_OK_AND_ASSIGN(TableMeta orders, LoadOrders(spec));
+  EXPECT_EQ(orders.num_tuples, 3000u);
+  // Compression shrinks the footprint roughly 3x (150 -> 52, 32 -> 12).
+  if (compressed) {
+    EXPECT_LT(lineitem.TotalBytes(), 3000u * 150 * 2 / 3);
+    EXPECT_LT(orders.TotalBytes(), 3000u * 32);
+  } else if (layout == Layout::kRow) {
+    EXPECT_GE(lineitem.TotalBytes(), 3000u * 152);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, LoaderTest,
+    ::testing::Values(std::pair{Layout::kRow, false},
+                      std::pair{Layout::kRow, true},
+                      std::pair{Layout::kColumn, false},
+                      std::pair{Layout::kColumn, true}));
+
+TEST(LoaderTest, OrdersPlainForVariantLoads) {
+  TempDir dir;
+  LoadSpec spec;
+  spec.dir = dir.path();
+  spec.num_tuples = 2000;
+  spec.layout = Layout::kColumn;
+  spec.compressed = true;
+  spec.orders_plain_for = true;
+  ASSERT_OK_AND_ASSIGN(TableMeta meta, LoadOrders(spec));
+  EXPECT_EQ(meta.schema.attribute(kOOrderkey).codec.kind,
+            CompressionKind::kFor);
+  EXPECT_EQ(TableName("orders", spec), "orders_zfor_col");
+}
+
+TEST(LoaderTest, EnsureReusesExistingTable) {
+  TempDir dir;
+  LoadSpec spec;
+  spec.dir = dir.path();
+  spec.num_tuples = 500;
+  ASSERT_OK_AND_ASSIGN(TableMeta first, EnsureOrders(spec));
+  ASSERT_OK_AND_ASSIGN(TableMeta second, EnsureOrders(spec));
+  EXPECT_EQ(first.num_tuples, second.num_tuples);
+  // Changing the spec reloads.
+  spec.num_tuples = 800;
+  ASSERT_OK_AND_ASSIGN(TableMeta third, EnsureOrders(spec));
+  EXPECT_EQ(third.num_tuples, 800u);
+}
+
+TEST(GeneratorScanTest, SelectivityCutoffsHoldOnStoredData) {
+  // End to end: the 10% predicate of the baseline experiment selects ~10%.
+  TempDir dir;
+  LoadSpec spec;
+  spec.dir = dir.path();
+  spec.num_tuples = 20000;
+  spec.layout = Layout::kRow;
+  ASSERT_OK_AND_ASSIGN(TableMeta meta, LoadOrders(spec));
+  ASSERT_OK_AND_ASSIGN(OpenTable table,
+                       OpenTable::Open(dir.path(), meta.name));
+  FileBackend backend;
+  ExecStats stats;
+  ScanSpec scan;
+  scan.projection = {kOOrderkey};
+  scan.predicates = {Predicate::Int32(
+      kOOrderdate, CompareOp::kLt, SelectivityCutoff(kOrderdateDomain, 0.1))};
+  ASSERT_OK_AND_ASSIGN(auto scanner,
+                       RowScanner::Make(&table, scan, &backend, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples,
+                       rodb::testing::CollectTuples(scanner.get()));
+  EXPECT_NEAR(static_cast<double>(tuples.size()) / 20000.0, 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace rodb

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "engine/tuple_block.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+TEST(BlockLayoutTest, FromWidths) {
+  BlockLayout layout = BlockLayout::FromWidths({4, 1, 10});
+  EXPECT_EQ(layout.num_attrs(), 3u);
+  EXPECT_EQ(layout.tuple_width, 15);
+  EXPECT_EQ(layout.offsets[0], 0);
+  EXPECT_EQ(layout.offsets[1], 4);
+  EXPECT_EQ(layout.offsets[2], 5);
+}
+
+TEST(BlockLayoutTest, FromSchemaSubset) {
+  auto schema = Schema::Make({AttributeDesc::Int32("a"),
+                              AttributeDesc::Text("b", 25),
+                              AttributeDesc::Int32("c")});
+  ASSERT_OK(schema.status());
+  BlockLayout layout = BlockLayout::FromSchema(*schema, {2, 1});
+  EXPECT_EQ(layout.widths, (std::vector<int>{4, 25}));
+  EXPECT_EQ(layout.tuple_width, 29);
+}
+
+TEST(BlockLayoutTest, Equality) {
+  EXPECT_TRUE(BlockLayout::FromWidths({4, 4}) == BlockLayout::FromWidths({4, 4}));
+  EXPECT_FALSE(BlockLayout::FromWidths({4}) == BlockLayout::FromWidths({4, 4}));
+}
+
+TEST(TupleBlockTest, DefaultCapacityIsPaperBlockSize) {
+  // Section 2.2.3: blocks of 100 tuples, sized to fit the L1 data cache.
+  TupleBlock block(BlockLayout::FromWidths({4}));
+  EXPECT_EQ(block.capacity(), 100u);
+  EXPECT_TRUE(block.empty());
+  // 100 x 150-byte LINEITEM tuples = 15000 bytes < 16KB L1.
+  TupleBlock wide(BlockLayout::FromWidths({150}));
+  EXPECT_LE(wide.capacity() * 150, 16 * 1024u);
+}
+
+TEST(TupleBlockTest, AppendAndAccess) {
+  TupleBlock block(BlockLayout::FromWidths({4, 2}), 10);
+  for (int i = 0; i < 3; ++i) {
+    uint8_t* slot = block.AppendSlot();
+    StoreLE32s(slot, i * 100);
+    slot[4] = static_cast<uint8_t>('a' + i);
+    slot[5] = 'z';
+    block.set_position(block.size() - 1, static_cast<uint64_t>(i) * 7);
+  }
+  EXPECT_EQ(block.size(), 3u);
+  EXPECT_FALSE(block.full());
+  EXPECT_EQ(LoadLE32s(block.attr(1, 0)), 100);
+  EXPECT_EQ(block.attr(2, 1)[0], 'c');
+  EXPECT_EQ(block.position(2), 14u);
+}
+
+TEST(TupleBlockTest, FullAndClear) {
+  TupleBlock block(BlockLayout::FromWidths({4}), 2);
+  block.AppendSlot();
+  block.AppendSlot();
+  EXPECT_TRUE(block.full());
+  block.Clear();
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.size(), 0u);
+}
+
+TEST(TupleBlockTest, TuplesAreContiguous) {
+  TupleBlock block(BlockLayout::FromWidths({4, 4}), 5);
+  uint8_t* first = block.AppendSlot();
+  uint8_t* second = block.AppendSlot();
+  EXPECT_EQ(second - first, 8);
+}
+
+}  // namespace
+}  // namespace rodb

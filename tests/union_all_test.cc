@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "engine/union_all.h"
+#include "scan_test_util.h"
+#include "vector_source.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::CollectTuples;
+using rodb::testing::LoadAllLayouts;
+using rodb::testing::MakeScanner;
+using rodb::testing::TempDir;
+using rodb::testing::VectorSource;
+
+TEST(UnionAllTest, ConcatenatesChildrenInOrder) {
+  ExecStats stats;
+  std::vector<OperatorPtr> children;
+  for (int part = 0; part < 3; ++part) {
+    std::vector<std::vector<int32_t>> rows;
+    for (int i = 0; i < 10; ++i) rows.push_back({part * 10 + i});
+    children.push_back(std::make_unique<VectorSource>(
+        BlockLayout::FromWidths({4}), std::move(rows)));
+  }
+  ASSERT_OK_AND_ASSIGN(auto unioned,
+                       UnionAllOperator::Make(std::move(children), &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(unioned.get()));
+  ASSERT_EQ(tuples.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(LoadLE32s(tuples[static_cast<size_t>(i)].data()), i);
+  }
+}
+
+TEST(UnionAllTest, SkipsEmptyChildren) {
+  ExecStats stats;
+  std::vector<OperatorPtr> children;
+  children.push_back(std::make_unique<VectorSource>(
+      BlockLayout::FromWidths({4}), std::vector<std::vector<int32_t>>{}));
+  children.push_back(std::make_unique<VectorSource>(
+      BlockLayout::FromWidths({4}),
+      std::vector<std::vector<int32_t>>{{7}}));
+  ASSERT_OK_AND_ASSIGN(auto unioned,
+                       UnionAllOperator::Make(std::move(children), &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(unioned.get()));
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(LoadLE32s(tuples[0].data()), 7);
+}
+
+TEST(UnionAllTest, RejectsMismatchedLayoutsAndEmptyList) {
+  ExecStats stats;
+  std::vector<OperatorPtr> children;
+  children.push_back(std::make_unique<VectorSource>(
+      BlockLayout::FromWidths({4}), std::vector<std::vector<int32_t>>{}));
+  children.push_back(std::make_unique<VectorSource>(
+      BlockLayout::FromWidths({4, 4}), std::vector<std::vector<int32_t>>{}));
+  EXPECT_FALSE(UnionAllOperator::Make(std::move(children), &stats).ok());
+  EXPECT_FALSE(UnionAllOperator::Make({}, &stats).ok());
+}
+
+class PartitionedScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = Schema::Make(
+        {AttributeDesc::Int32("id", CodecSpec::ForDelta(8)),
+         AttributeDesc::Int32("val")});
+    ASSERT_OK(schema.status());
+    schema_ = std::move(schema).value();
+    std::vector<std::vector<uint8_t>> tuples;
+    for (int i = 0; i < 4000; ++i) {
+      std::vector<uint8_t> t(8);
+      StoreLE32s(t.data(), i);
+      StoreLE32s(t.data() + 4, (i * 13) % 997);
+      tuples.push_back(std::move(t));
+    }
+    ASSERT_OK(LoadAllLayouts(dir_.path(), "t", schema_, tuples, 1024));
+  }
+
+  ScanSpec BaseSpec() {
+    ScanSpec spec;
+    spec.projection = {0, 1};
+    spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 200)};
+    spec.io_unit_bytes = 4096;
+    return spec;
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  FileBackend backend_;
+};
+
+TEST_F(PartitionedScanTest, PartitionedEqualsFullScanOnRowAndPax) {
+  for (const char* name : {"t_row", "t_pax"}) {
+    SCOPED_TRACE(name);
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), name));
+    ExecStats full_stats;
+    ASSERT_OK_AND_ASSIGN(
+        auto full, MakeScanner(&table, BaseSpec(), &backend_, &full_stats));
+    ASSERT_OK_AND_ASSIGN(auto expected, CollectTuples(full.get()));
+    for (int partitions : {1, 2, 3, 7, 50}) {
+      SCOPED_TRACE(partitions);
+      ExecStats stats;
+      ASSERT_OK_AND_ASSIGN(
+          auto plan, MakePartitionedScan(&table, BaseSpec(), partitions,
+                                         &backend_, &stats));
+      ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(plan.get()));
+      EXPECT_EQ(tuples, expected);
+      // Every byte of the file is read exactly once across partitions.
+      EXPECT_EQ(stats.counters().io_bytes_read, table.FileBytes(0));
+    }
+  }
+}
+
+TEST_F(PartitionedScanTest, MorePartitionsThanPages) {
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
+  const uint64_t pages = table.meta().file_pages[0];
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto plan, MakePartitionedScan(&table, BaseSpec(),
+                                     static_cast<int>(pages) * 3, &backend_,
+                                     &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(plan.get()));
+  EXPECT_FALSE(tuples.empty());
+}
+
+TEST_F(PartitionedScanTest, SinglePartitionRangeScans) {
+  // Direct page-range scan: only the requested pages are read.
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
+  ScanSpec spec = BaseSpec();
+  spec.predicates.clear();
+  spec.first_page = 2;
+  spec.num_pages = 3;
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto scan,
+                       RowScanner::Make(&table, spec, &backend_, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scan.get()));
+  // Compressed row tuples are 6 bytes (8 + 32 bits, 2-byte aligned);
+  // 1024B pages with one codec base hold (1024-24-8)/6 = 165 tuples.
+  EXPECT_EQ(tuples.size(), 3u * 165);
+  EXPECT_EQ(LoadLE32s(tuples[0].data()), 2 * 165);
+  EXPECT_EQ(stats.counters().io_bytes_read, 3u * 1024);
+}
+
+TEST_F(PartitionedScanTest, ColumnTablesRejectRanges) {
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_col"));
+  ExecStats stats;
+  ScanSpec spec = BaseSpec();
+  spec.first_page = 1;
+  EXPECT_FALSE(ColumnScanner::Make(&table, spec, &backend_, &stats).ok());
+  EXPECT_EQ(MakePartitionedScan(&table, BaseSpec(), 2, &backend_, &stats)
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(PartitionedScanTest, ValidatesArguments) {
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
+  ExecStats stats;
+  EXPECT_FALSE(
+      MakePartitionedScan(&table, BaseSpec(), 0, &backend_, &stats).ok());
+  EXPECT_FALSE(
+      MakePartitionedScan(nullptr, BaseSpec(), 2, &backend_, &stats).ok());
+  ScanSpec ranged = BaseSpec();
+  ranged.first_page = 1;
+  EXPECT_FALSE(
+      MakePartitionedScan(&table, ranged, 2, &backend_, &stats).ok());
+}
+
+}  // namespace
+}  // namespace rodb

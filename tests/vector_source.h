@@ -1,0 +1,50 @@
+#ifndef RODB_TESTS_VECTOR_SOURCE_H_
+#define RODB_TESTS_VECTOR_SOURCE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "engine/operator.h"
+
+namespace rodb::testing {
+
+/// Operator serving pre-baked int32 rows; lets operator tests run without
+/// storage underneath.
+class VectorSource final : public Operator {
+ public:
+  VectorSource(BlockLayout layout, std::vector<std::vector<int32_t>> rows,
+               uint32_t block_size = 7)
+      : layout_(std::move(layout)), rows_(std::move(rows)),
+        block_(layout_, block_size) {}
+
+  Status Open() override {
+    cursor_ = 0;
+    return Status::OK();
+  }
+
+  Result<TupleBlock*> Next() override {
+    if (cursor_ >= rows_.size()) return static_cast<TupleBlock*>(nullptr);
+    block_.Clear();
+    while (!block_.full() && cursor_ < rows_.size()) {
+      uint8_t* slot = block_.AppendSlot();
+      for (size_t a = 0; a < layout_.num_attrs(); ++a) {
+        StoreLE32s(slot + layout_.offsets[a], rows_[cursor_][a]);
+      }
+      block_.set_position(block_.size() - 1, cursor_);
+      ++cursor_;
+    }
+    return &block_;
+  }
+
+  const BlockLayout& output_layout() const override { return layout_; }
+
+ private:
+  BlockLayout layout_;
+  std::vector<std::vector<int32_t>> rows_;
+  TupleBlock block_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace rodb::testing
+
+#endif  // RODB_TESTS_VECTOR_SOURCE_H_

@@ -1,0 +1,307 @@
+// rodbctl: command-line inspection of a rodb database directory.
+//
+//   rodbctl tables <dir>
+//       list every table in the catalog with layout, cardinality, bytes
+//   rodbctl describe <dir> <table>
+//       schema, compression specs, per-file page counts
+//   rodbctl verify <dir> <table>
+//       re-read every page of every file with checksum verification
+//   rodbctl scan <dir> <table> [limit [attr op value]]
+//       print tuples (optionally filtered by one predicate); `op` is one
+//       of = != < <= > >=
+//   rodbctl advise <dir> <table>
+//       run the compression advisor over a sample of the stored data
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "advisor/compression_advisor.h"
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "common/macros.h"
+#include "engine/executor.h"
+#include "engine/plan_builder.h"
+#include "io/file_backend.h"
+#include "storage/catalog.h"
+#include "storage/table_files.h"
+#include "wos/merge.h"
+
+using namespace rodb;  // NOLINT
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "rodbctl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Status CmdTables(const std::string& dir) {
+  std::printf("%-24s %-7s %12s %14s %6s\n", "table", "layout", "tuples",
+              "bytes", "files");
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (file.size() > 5 && file.substr(file.size() - 5) == ".meta") {
+      names.push_back(file.substr(0, file.size() - 5));
+    }
+  }
+  if (ec) return Status::IoError("cannot list " + dir);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    RODB_ASSIGN_OR_RETURN(TableMeta meta, Catalog::LoadTableMeta(dir, name));
+    std::printf("%-24s %-7s %12llu %14llu %6zu\n", meta.name.c_str(),
+                std::string(LayoutName(meta.layout)).c_str(),
+                static_cast<unsigned long long>(meta.num_tuples),
+                static_cast<unsigned long long>(meta.TotalBytes()),
+                meta.file_pages.size());
+  }
+  return Status::OK();
+}
+
+Status CmdDescribe(const std::string& dir, const std::string& name) {
+  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+  const TableMeta& meta = table.meta();
+  std::printf("table      : %s\n", meta.name.c_str());
+  std::printf("layout     : %s\n", std::string(LayoutName(meta.layout)).c_str());
+  std::printf("tuples     : %llu\n",
+              static_cast<unsigned long long>(meta.num_tuples));
+  std::printf("page size  : %zu\n", meta.page_size);
+  std::printf("raw width  : %d bytes/tuple\n",
+              meta.schema.raw_tuple_width());
+  std::printf("attributes :\n");
+  for (size_t a = 0; a < meta.schema.num_attributes(); ++a) {
+    const AttributeDesc& attr = meta.schema.attribute(a);
+    char codec[64] = "-";
+    if (attr.codec.kind != CompressionKind::kNone) {
+      std::snprintf(codec, sizeof(codec), "%s:%d%s",
+                    std::string(CompressionKindName(attr.codec.kind)).c_str(),
+                    attr.codec.bits,
+                    attr.codec.kind == CompressionKind::kDict &&
+                            table.dict(a) != nullptr
+                        ? (" (" + std::to_string(table.dict(a)->size()) +
+                           " entries)")
+                              .c_str()
+                        : "");
+    }
+    char stats[64] = "";
+    if (a < meta.column_stats.size() && meta.column_stats[a].valid) {
+      const ColumnStats& s = meta.column_stats[a];
+      std::snprintf(stats, sizeof(stats), "  [%d..%d] ndv%s%llu", s.min,
+                    s.max, s.ndv > ColumnStats::kNdvCap ? ">" : "=",
+                    static_cast<unsigned long long>(
+                        std::min<uint64_t>(s.ndv, ColumnStats::kNdvCap)));
+    }
+    std::printf("  %2zu %-18s %-6s %3dB  %s%s\n", a + 1, attr.name.c_str(),
+                std::string(AttrTypeName(attr.type)).c_str(), attr.width,
+                codec, stats);
+  }
+  std::printf("files      :\n");
+  const size_t n_files = meta.file_pages.size();
+  for (size_t f = 0; f < n_files; ++f) {
+    std::printf("  %-40s %8llu pages %12llu bytes\n",
+                table.FilePath(n_files == 1 ? 0 : f).c_str(),
+                static_cast<unsigned long long>(meta.file_pages[f]),
+                static_cast<unsigned long long>(meta.file_bytes[f]));
+  }
+  return Status::OK();
+}
+
+Status CmdVerify(const std::string& dir, const std::string& name) {
+  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+  const TableMeta& meta = table.meta();
+  uint64_t pages = 0, tuples = 0;
+  const size_t n_files = meta.file_pages.size();
+  for (size_t f = 0; f < n_files; ++f) {
+    const std::string path = table.FilePath(n_files == 1 ? 0 : f);
+    RODB_ASSIGN_OR_RETURN(std::string blob, ReadFileToString(path));
+    if (blob.size() != meta.file_bytes[f]) {
+      return Status::Corruption(path + ": size " +
+                                std::to_string(blob.size()) +
+                                " != catalog " +
+                                std::to_string(meta.file_bytes[f]));
+    }
+    for (uint64_t p = 0; p < meta.file_pages[f]; ++p) {
+      auto view = PageView::Parse(
+          reinterpret_cast<const uint8_t*>(blob.data()) + p * meta.page_size,
+          meta.page_size, /*verify_checksum=*/true);
+      if (!view.ok()) {
+        return Status::Corruption(path + " page " + std::to_string(p) + ": " +
+                                  view.status().ToString());
+      }
+      ++pages;
+      // Cardinality is counted once: the single file for row/PAX, the
+      // first column file otherwise.
+      if (f == 0) tuples += view->count();
+    }
+  }
+  if (tuples != meta.num_tuples) {
+    return Status::Corruption("tuple count " + std::to_string(tuples) +
+                              " != catalog " +
+                              std::to_string(meta.num_tuples));
+  }
+  // Full decode pass through every codec.
+  RODB_ASSIGN_OR_RETURN(auto all, ReadAllTuples(table));
+  if (all.size() != meta.num_tuples) {
+    return Status::Corruption("decoded tuple count mismatch");
+  }
+  std::printf("%s: OK -- %llu pages verified, %llu tuples decoded\n",
+              name.c_str(), static_cast<unsigned long long>(pages),
+              static_cast<unsigned long long>(all.size()));
+  return Status::OK();
+}
+
+void PrintValue(const AttributeDesc& attr, const uint8_t* value) {
+  if (attr.type == AttrType::kInt32) {
+    std::printf("%11d", LoadLE32s(value));
+    return;
+  }
+  std::printf("\"%.*s\"", attr.width, reinterpret_cast<const char*>(value));
+}
+
+Status CmdScan(const std::string& dir, const std::string& name,
+               uint64_t limit, const char* where_attr, const char* where_op,
+               const char* where_value) {
+  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+  const Schema& schema = table.schema();
+  ScanSpec spec;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    spec.projection.push_back(static_cast<int>(a));
+  }
+  spec.io_unit_bytes =
+      RoundUp(table.meta().page_size * 32, table.meta().page_size);
+  if (where_attr != nullptr) {
+    const int attr = schema.FindAttribute(where_attr);
+    if (attr < 0) {
+      return Status::NotFound(std::string("no attribute named ") +
+                              where_attr);
+    }
+    CompareOp op;
+    const std::string ops = where_op;
+    if (ops == "=") {
+      op = CompareOp::kEq;
+    } else if (ops == "!=") {
+      op = CompareOp::kNe;
+    } else if (ops == "<") {
+      op = CompareOp::kLt;
+    } else if (ops == "<=") {
+      op = CompareOp::kLe;
+    } else if (ops == ">") {
+      op = CompareOp::kGt;
+    } else if (ops == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator " + ops);
+    }
+    const AttributeDesc& desc = schema.attribute(static_cast<size_t>(attr));
+    spec.predicates = {desc.type == AttrType::kInt32
+                           ? Predicate::Int32(attr, op, std::atoi(where_value))
+                           : Predicate::Text(attr, op, where_value)};
+  }
+  FileBackend backend;
+  ExecStats stats;
+  RODB_ASSIGN_OR_RETURN(OperatorPtr plan,
+                        PlanBuilder::Scan(&table, spec, &backend, &stats)
+                            .Build());
+  RODB_RETURN_IF_ERROR(plan->Open());
+  uint64_t printed = 0;
+  while (printed < limit) {
+    RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
+    if (block == nullptr) break;
+    for (uint32_t i = 0; i < block->size() && printed < limit; ++i) {
+      std::printf("[%6llu] ", static_cast<unsigned long long>(printed));
+      for (size_t a = 0; a < schema.num_attributes(); ++a) {
+        if (a > 0) std::printf("  ");
+        PrintValue(schema.attribute(a), block->attr(i, a));
+      }
+      std::printf("\n");
+      ++printed;
+    }
+  }
+  plan->Close();
+  std::printf("(%llu tuples shown)\n",
+              static_cast<unsigned long long>(printed));
+  return Status::OK();
+}
+
+Status CmdAdvise(const std::string& dir, const std::string& name) {
+  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+  RODB_ASSIGN_OR_RETURN(auto tuples, ReadAllTuples(table));
+  constexpr size_t kSample = 20000;
+  if (tuples.size() > kSample) tuples.resize(kSample);
+  CompressionAdvisor advisor;
+  RODB_ASSIGN_OR_RETURN(Schema advised,
+                        advisor.AdviseSchema(table.schema(), tuples));
+  std::printf("%-18s %-10s %-14s\n", "attribute", "current", "advised");
+  for (size_t a = 0; a < advised.num_attributes(); ++a) {
+    const CodecSpec current = table.schema().attribute(a).codec;
+    const CodecSpec next = advised.attribute(a).codec;
+    char cur_s[32], next_s[32];
+    std::snprintf(cur_s, sizeof(cur_s), "%s:%d",
+                  std::string(CompressionKindName(current.kind)).c_str(),
+                  current.bits);
+    std::snprintf(next_s, sizeof(next_s), "%s:%d",
+                  std::string(CompressionKindName(next.kind)).c_str(),
+                  next.bits);
+    std::printf("%-18s %-10s %-14s\n",
+                advised.attribute(a).name.c_str(), cur_s, next_s);
+  }
+  return Status::OK();
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rodbctl tables <dir>\n"
+               "  rodbctl describe <dir> <table>\n"
+               "  rodbctl verify <dir> <table>\n"
+               "  rodbctl scan <dir> <table> [limit [attr op value]]\n"
+               "  rodbctl advise <dir> <table>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+  if (cmd == "tables") {
+    const Status s = CmdTables(dir);
+    return s.ok() ? 0 : Fail(s);
+  }
+  if (argc < 4) {
+    Usage();
+    return 2;
+  }
+  const std::string table = argv[3];
+  if (cmd == "describe") {
+    const Status s = CmdDescribe(dir, table);
+    return s.ok() ? 0 : Fail(s);
+  }
+  if (cmd == "verify") {
+    const Status s = CmdVerify(dir, table);
+    return s.ok() ? 0 : Fail(s);
+  }
+  if (cmd == "advise") {
+    const Status s = CmdAdvise(dir, table);
+    return s.ok() ? 0 : Fail(s);
+  }
+  if (cmd == "scan") {
+    const uint64_t limit =
+        argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4])) : 20;
+    const char* attr = argc > 7 ? argv[5] : nullptr;
+    const char* op = argc > 7 ? argv[6] : nullptr;
+    const char* value = argc > 7 ? argv[7] : nullptr;
+    const Status s = CmdScan(dir, table, limit, attr, op, value);
+    return s.ok() ? 0 : Fail(s);
+  }
+  Usage();
+  return 2;
+}

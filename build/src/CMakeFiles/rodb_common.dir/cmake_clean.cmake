@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_common.dir/common/bitio.cc.o"
+  "CMakeFiles/rodb_common.dir/common/bitio.cc.o.d"
+  "CMakeFiles/rodb_common.dir/common/crc32.cc.o"
+  "CMakeFiles/rodb_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/rodb_common.dir/common/status.cc.o"
+  "CMakeFiles/rodb_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rodb_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/rodb_common.dir/common/stopwatch.cc.o.d"
+  "librodb_common.a"
+  "librodb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

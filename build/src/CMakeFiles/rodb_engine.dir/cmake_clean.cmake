@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_engine.dir/engine/aggregate.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/aggregate.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/column_scanner.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/column_scanner.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/early_mat_scanner.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/early_mat_scanner.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/merge_join.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/merge_join.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/pax_scanner.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/pax_scanner.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/plan_builder.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/plan_builder.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/predicate.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/predicate.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/project.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/project.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/row_scanner.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/row_scanner.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/select.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/select.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/shared_scan.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/shared_scan.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/sort.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/sort.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/tuple_block.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/tuple_block.cc.o.d"
+  "CMakeFiles/rodb_engine.dir/engine/union_all.cc.o"
+  "CMakeFiles/rodb_engine.dir/engine/union_all.cc.o.d"
+  "librodb_engine.a"
+  "librodb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -35,3 +35,4 @@ rodb_bench(ablation_scanners)
 rodb_bench(capacity_planning)
 rodb_bench(memory_resident)
 rodb_bench(ablation_compressed_eval)
+rodb_bench(parallel_scan_bench)

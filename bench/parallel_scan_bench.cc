@@ -1,0 +1,129 @@
+// Morsel-driven parallel scan scaling (DESIGN.md "Parallel execution").
+//
+// Scans a memory-resident LINEITEM (row and column layouts) with 1..8
+// worker threads and reports wall-clock scaling as JSON lines, one
+// object per (layout, threads) point. Two invariants are checked and
+// reported per point:
+//   - output_checksum equals the serial Execute() checksum, and
+//   - ModelQueryTiming on the merged+normalized counters equals the
+//     serial model numbers (parallelism changes wall clock, never the
+//     modeled Section-5 answer).
+// Speedup is hardware-dependent: on a single-core container every
+// thread count degenerates to ~1x; on >=4 cores the 4-thread column
+// scan is expected >=2x.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "common/macros.h"
+#include "engine/parallel_executor.h"
+#include "engine/plan_builder.h"
+#include "io/mem_backend.h"
+
+using namespace rodb;         // NOLINT
+using namespace rodb::bench;  // NOLINT
+using namespace rodb::tpch;   // NOLINT
+
+namespace {
+
+constexpr int kRuns = 3;
+constexpr int kAttrs = 3;  // L_PARTKEY, L_ORDERKEY, L_SUPPKEY: all int32
+
+/// Copies a loaded table's files into the in-memory backend.
+void Mirror(const OpenTable& table, MemBackend* backend) {
+  const size_t files = table.meta().layout == Layout::kColumn
+                           ? table.schema().num_attributes()
+                           : 1;
+  for (size_t f = 0; f < files; ++f) {
+    auto blob = ReadFileToString(table.FilePath(f));
+    RODB_CHECK(blob.ok());
+    backend->PutFile(table.FilePath(f),
+                     std::vector<uint8_t>(blob->begin(), blob->end()));
+  }
+}
+
+double ModelElapsed(const ExecCounters& counters, const OpenTable& table,
+                    const ScanSpec& spec) {
+  return ModelQueryTiming(counters, HardwareConfig::Paper2006(),
+                          spec.prefetch_depth, ScanStreams(table, spec))
+      .elapsed_seconds;
+}
+
+}  // namespace
+
+int main() {
+  Env env = Env::FromEnv();
+  std::fprintf(stderr,
+               "parallel_scan_bench: %llu tuples, %u hardware threads\n",
+               static_cast<unsigned long long>(env.tuples),
+               std::thread::hardware_concurrency());
+
+  MemBackend mem;
+  for (Layout layout : {Layout::kRow, Layout::kColumn}) {
+    auto meta = EnsureLineitem(env.Spec(layout, false));
+    RODB_CHECK(meta.ok());
+    auto table = OpenTable::Open(env.data_dir, meta->name);
+    RODB_CHECK(table.ok());
+    Mirror(*table, &mem);
+
+    ScanSpec spec;
+    spec.projection = FirstAttrs(kAttrs);
+    // Align block boundaries with page boundaries (all projected
+    // attributes are int32, so one uniform value count per page) --
+    // makes the merged counters exactly equal the serial ones.
+    const uint32_t vpp = table->meta().PageValues(0);
+    if (vpp > 0) spec.block_tuples = vpp;
+
+    // Serial ground truth through the ordinary Execute() path.
+    ExecStats serial_stats;
+    auto root =
+        PlanBuilder::Scan(&*table, spec, &mem, &serial_stats).Build();
+    RODB_CHECK(root.ok());
+    auto serial = Execute(root->get(), &serial_stats);
+    RODB_CHECK(serial.ok());
+    const double serial_model =
+        ModelElapsed(serial_stats.counters(), *table, spec);
+
+    ParallelScanPlan plan;
+    plan.table = &*table;
+    plan.spec = spec;
+    plan.backend = &mem;
+
+    double wall_1 = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      double best = 1e100;
+      uint64_t checksum = 0;
+      int morsels = 0;
+      double model = 0.0;
+      for (int run = 0; run < kRuns; ++run) {
+        auto out = ParallelExecute(plan, threads);
+        RODB_CHECK(out.ok());
+        RODB_CHECK(out->result.rows == serial->rows);
+        best = std::min(best, out->result.measured.wall_seconds);
+        checksum = out->result.output_checksum;
+        morsels = out->morsels;
+        model = ModelElapsed(out->counters, *table, spec);
+      }
+      if (threads == 1) wall_1 = best;
+      std::printf(
+          "{\"bench\":\"parallel_scan\",\"layout\":\"%s\","
+          "\"tuples\":%llu,\"threads\":%d,\"morsels\":%d,"
+          "\"wall_seconds\":%.6f,\"speedup_vs_1\":%.3f,"
+          "\"output_checksum\":%llu,\"checksum_matches_serial\":%s,"
+          "\"modeled_elapsed_seconds\":%.6f,"
+          "\"modeled_matches_serial\":%s}\n",
+          layout == Layout::kRow ? "row" : "column",
+          static_cast<unsigned long long>(env.tuples), threads, morsels,
+          best, wall_1 / best,
+          static_cast<unsigned long long>(checksum),
+          checksum == serial->output_checksum ? "true" : "false",
+          model, model == serial_model ? "true" : "false");
+      RODB_CHECK(checksum == serial->output_checksum);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef RODB_COMMON_THREAD_POOL_H_
+#define RODB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rodb {
+
+/// Fixed-size worker pool shared by parallel query execution. Tasks are
+/// plain closures; completion signalling is the submitter's business
+/// (ParallelExecute blocks on a latch). Intentionally minimal: one FIFO
+/// queue under one lock, no priorities, no work stealing -- scan morsels
+/// are coarse enough that queue contention is irrelevant.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues one task; never blocks. Tasks start in FIFO order.
+  void Submit(std::function<void()> task);
+
+  /// Process-wide pool sized to the hardware concurrency, created on
+  /// first use and deliberately never destroyed (joining workers from a
+  /// static destructor is a shutdown hazard).
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_THREAD_POOL_H_

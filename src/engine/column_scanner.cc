@@ -48,6 +48,18 @@ Result<OperatorPtr> ColumnScanner::Make(const OpenTable* table, ScanSpec spec,
     return Status::NotSupported(
         "page-range scans are not defined for column tables");
   }
+  if (spec.first_row != 0 || spec.num_rows != UINT64_MAX) {
+    // Position ranges map onto each file's pages via O(1) arithmetic,
+    // which needs every involved file to pack pages uniformly (codecs
+    // can end pages early; the bulk loader records whether they did).
+    for (size_t attr : ScanPipelineAttrs(spec)) {
+      if (table->meta().PageValues(attr) == 0) {
+        return Status::NotSupported(
+            "position-range scan needs uniform page value counts "
+            "(attribute " + std::to_string(attr) + " is non-uniform)");
+      }
+    }
+  }
 
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<ColumnScanner> scanner(new ColumnScanner(
@@ -138,16 +150,38 @@ Result<OperatorPtr> ColumnScanner::Make(const OpenTable* table, ScanSpec spec,
 
 Status ColumnScanner::Open() {
   if (opened_) return Status::OK();
-  IoOptions options;
-  options.io_unit_bytes = spec_.io_unit_bytes;
-  options.prefetch_depth = spec_.prefetch_depth;
-  options.stats = stats_->io_stats();
+  opened_ = true;
+  const uint64_t total = table_->meta().num_tuples;
+  const uint64_t start = std::min(spec_.first_row, total);
+  end_row_ = spec_.num_rows >= total - start ? total : start + spec_.num_rows;
+  if (start >= end_row_) {
+    // Empty position range: nothing to read.
+    done_ = true;
+    for (Node& node : nodes_) node.eof = true;
+    return Status::OK();
+  }
+  const bool ranged = start > 0 || end_row_ < total;
+  const size_t page_size = table_->meta().page_size;
   for (Node& node : nodes_) {
+    IoOptions options;
+    options.io_unit_bytes = spec_.io_unit_bytes;
+    options.prefetch_depth = spec_.prefetch_depth;
+    options.stats = stats_->io_stats();
+    if (ranged) {
+      // Each node maps the position range onto its own file's pages
+      // (files disagree on values per page across codecs).
+      const uint64_t vpp = table_->meta().PageValues(node.attr);
+      RODB_CHECK(vpp > 0);  // enforced in Make
+      const uint64_t start_page = start / vpp;
+      const uint64_t last_page = (end_row_ - 1) / vpp;
+      options.start_offset = start_page * page_size;
+      options.length = (last_page - start_page + 1) * page_size;
+      node.page_start_pos = start_page * vpp;
+    }
     RODB_ASSIGN_OR_RETURN(
         node.stream,
         backend_->OpenStream(table_->FilePath(node.attr), options));
   }
-  opened_ = true;
   return Status::OK();
 }
 
@@ -287,6 +321,13 @@ Status ColumnScanner::ProduceBase(Node& node) {
   ExecCounters& c = stats_->counters();
   TupleBlock& out = *node.out_block;
   out.Clear();
+  if (!base_positioned_) {
+    base_positioned_ = true;
+    if (spec_.first_row > node.page_start_pos) {
+      // Unaligned morsel start: skip within the first page.
+      RODB_RETURN_IF_ERROR(SeekTo(node, spec_.first_row));
+    }
+  }
   uint8_t* value = value_scratch_.data();
   while (!out.full()) {
     if (!node.page.has_value() ||
@@ -295,6 +336,10 @@ Status ColumnScanner::ProduceBase(Node& node) {
       if (node.eof) break;
     }
     const uint64_t pos = node.page_start_pos + node.consumed_in_page;
+    if (pos >= end_row_) {
+      node.eof = true;
+      break;
+    }
     c.tuples_examined += 1;
     bool pass = true;
     bool have_value = false;

@@ -110,6 +110,11 @@ class ColumnScanner final : public Operator {
   std::vector<uint8_t> value_scratch_;
   bool opened_ = false;
   bool done_ = false;
+  /// Scan stops at this absolute position (set from the spec's position
+  /// range in Open; num_tuples for a whole-table scan).
+  uint64_t end_row_ = UINT64_MAX;
+  /// Whether the deepest node has skipped ahead to spec_.first_row.
+  bool base_positioned_ = false;
 };
 
 }  // namespace rodb

@@ -7,17 +7,13 @@
 
 namespace rodb {
 
-namespace {
-
-uint64_t Fnv1a(uint64_t hash, const uint8_t* data, size_t size) {
+uint64_t Fnv1aExtend(uint64_t hash, const uint8_t* data, size_t size) {
   for (size_t i = 0; i < size; ++i) {
     hash ^= data[i];
     hash *= 1099511628211ULL;
   }
   return hash;
 }
-
-}  // namespace
 
 Result<ExecutionResult> Execute(Operator* root, ExecStats* stats) {
   if (root == nullptr || stats == nullptr) {
@@ -26,7 +22,7 @@ Result<ExecutionResult> Execute(Operator* root, ExecStats* stats) {
   ExecutionResult result;
   IntervalTimer timer;
   RODB_RETURN_IF_ERROR(root->Open());
-  uint64_t checksum = 14695981039346656037ULL;
+  uint64_t checksum = kFnv1aSeed;
   const int width = root->output_layout().tuple_width;
   while (true) {
     RODB_ASSIGN_OR_RETURN(TupleBlock * block, root->Next());
@@ -34,9 +30,9 @@ Result<ExecutionResult> Execute(Operator* root, ExecStats* stats) {
     if (block->empty()) continue;
     result.blocks += 1;
     result.rows += block->size();
-    checksum = Fnv1a(checksum, block->tuple(0),
-                     static_cast<size_t>(block->size()) *
-                         static_cast<size_t>(width));
+    checksum = Fnv1aExtend(checksum, block->tuple(0),
+                           static_cast<size_t>(block->size()) *
+                               static_cast<size_t>(width));
   }
   root->Close();
   stats->FoldIo();

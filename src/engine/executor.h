@@ -14,6 +14,15 @@
 
 namespace rodb {
 
+/// FNV-1a offset basis -- the checksum value of an empty output.
+inline constexpr uint64_t kFnv1aSeed = 14695981039346656037ULL;
+
+/// Extends a running FNV-1a hash over `size` bytes. The hash is chained
+/// over the output stream in order (NOT combinable from independent
+/// partial hashes), so parallel execution buffers each morsel's output
+/// bytes and folds them through this in morsel order.
+uint64_t Fnv1aExtend(uint64_t hash, const uint8_t* data, size_t size);
+
 /// What one query execution produced.
 struct ExecutionResult {
   uint64_t rows = 0;

@@ -1,0 +1,396 @@
+#include "engine/parallel_executor.h"
+
+#include <algorithm>
+#include <latch>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "engine/exec_stats.h"
+#include "engine/plan_builder.h"
+#include "storage/table_files.h"
+
+namespace rodb {
+
+namespace {
+
+/// Partial state of one aggregation group, across workers: the original
+/// aggregates' accumulators plus the group's total input row count (the
+/// COUNT the worker plans append so AVG can divide at the end).
+struct PartialGroup {
+  int64_t count = 0;
+  std::vector<int64_t> acc;
+};
+
+void InitPartial(const AggPlan& plan, PartialGroup* g) {
+  g->acc.resize(plan.aggs.size());
+  for (size_t i = 0; i < plan.aggs.size(); ++i) {
+    switch (plan.aggs[i].func) {
+      case AggFunc::kMin:
+        g->acc[i] = std::numeric_limits<int64_t>::max();
+        break;
+      case AggFunc::kMax:
+        g->acc[i] = std::numeric_limits<int64_t>::min();
+        break;
+      default:
+        g->acc[i] = 0;
+        break;
+    }
+  }
+}
+
+void CombinePartial(const AggPlan& plan, const PartialGroup& in,
+                    PartialGroup* out) {
+  out->count += in.count;
+  for (size_t i = 0; i < plan.aggs.size(); ++i) {
+    switch (plan.aggs[i].func) {
+      case AggFunc::kMin:
+        out->acc[i] = std::min(out->acc[i], in.acc[i]);
+        break;
+      case AggFunc::kMax:
+        out->acc[i] = std::max(out->acc[i], in.acc[i]);
+        break;
+      default:  // COUNT / SUM / AVG-as-SUM partials all add
+        out->acc[i] += in.acc[i];
+        break;
+    }
+  }
+}
+
+/// Workers aggregate with AVG rewritten to its SUM partial plus one
+/// appended COUNT, so the merge can reproduce the serial integer-divide.
+AggPlan WorkerAggPlan(const AggPlan& orig) {
+  AggPlan plan = orig;
+  for (AggSpec& spec : plan.aggs) {
+    if (spec.func == AggFunc::kAvg) spec.func = AggFunc::kSum;
+  }
+  AggSpec count;
+  count.func = AggFunc::kCount;
+  count.column = 0;
+  plan.aggs.push_back(count);
+  return plan;
+}
+
+struct WorkerState {
+  ExecStats stats;
+  Status status = Status::OK();
+  /// Non-aggregating pipelines: the worker's raw output tuple bytes, in
+  /// production order (FNV-1a is chained, not combinable, so the merge
+  /// re-hashes these buffers in morsel order).
+  std::vector<uint8_t> bytes;
+  uint64_t rows = 0;
+  uint64_t blocks = 0;
+  /// Aggregating pipelines: partial groups, keyed by group key.
+  std::map<int32_t, PartialGroup> groups;
+};
+
+Result<OperatorPtr> BuildWorkerPlan(const ParallelScanPlan& plan,
+                                    const ScanSpec& morsel,
+                                    const AggPlan* worker_agg,
+                                    ExecStats* stats) {
+  PlanBuilder builder =
+      PlanBuilder::Scan(plan.table, morsel, plan.backend, stats);
+  // The && stages mutate the builder in place; the returned reference is
+  // only for chaining.
+  if (!plan.filter.empty()) std::move(builder).Filter(plan.filter);
+  if (!plan.project.empty()) std::move(builder).Project(plan.project);
+  if (worker_agg != nullptr) {
+    if (plan.use_sort_aggregate) {
+      std::move(builder).SortAggregate(*worker_agg);
+    } else {
+      std::move(builder).HashAggregate(*worker_agg);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+/// Folds one partial-aggregate output block (layout: [key?] [8B per
+/// original aggregate, AVG as SUM] [8B count]) into the worker's groups.
+void CollectPartials(const AggPlan& orig, const TupleBlock& block,
+                     WorkerState* w) {
+  const bool grouped = orig.group_column >= 0;
+  const size_t first = grouped ? 1 : 0;
+  const size_t m = orig.aggs.size();
+  for (uint32_t i = 0; i < block.size(); ++i) {
+    const int32_t key = grouped ? LoadLE32s(block.attr(i, 0)) : 0;
+    auto [it, inserted] = w->groups.try_emplace(key);
+    if (inserted) InitPartial(orig, &it->second);
+    PartialGroup in;
+    in.count = static_cast<int64_t>(LoadLE64(block.attr(i, first + m)));
+    in.acc.resize(m);
+    for (size_t a = 0; a < m; ++a) {
+      in.acc[a] = static_cast<int64_t>(LoadLE64(block.attr(i, first + a)));
+    }
+    CombinePartial(orig, in, &it->second);
+  }
+}
+
+/// One worker: drive its pipeline clone over one morsel, recording either
+/// output bytes or partial aggregates into worker-local state.
+Status DriveWorker(Operator* root, const AggPlan* orig_agg, WorkerState* w) {
+  RODB_RETURN_IF_ERROR(root->Open());
+  const int width = root->output_layout().tuple_width;
+  while (true) {
+    RODB_ASSIGN_OR_RETURN(TupleBlock * block, root->Next());
+    if (block == nullptr) break;
+    if (block->empty()) continue;
+    w->blocks += 1;
+    w->rows += block->size();
+    if (orig_agg != nullptr) {
+      CollectPartials(*orig_agg, *block, w);
+    } else {
+      const uint8_t* data = block->tuple(0);
+      w->bytes.insert(w->bytes.end(), data,
+                      data + static_cast<size_t>(block->size()) *
+                                 static_cast<size_t>(width));
+    }
+  }
+  root->Close();
+  w->stats.FoldIo();
+  return Status::OK();
+}
+
+/// Emits the merged groups (ascending key order) through a fresh output
+/// block, chaining the checksum exactly like serial Execute would.
+void EmitMergedAggregate(const AggPlan& orig,
+                         const std::map<int32_t, PartialGroup>& merged,
+                         uint32_t block_tuples, ExecutionResult* out) {
+  TupleBlock block(AggOutputLayout(orig), block_tuples);
+  const BlockLayout& layout = block.layout();
+  const bool grouped = orig.group_column >= 0;
+  uint64_t checksum = kFnv1aSeed;
+  auto flush = [&] {
+    if (block.empty()) return;
+    out->blocks += 1;
+    out->rows += block.size();
+    checksum = Fnv1aExtend(checksum, block.tuple(0),
+                           static_cast<size_t>(block.size()) *
+                               static_cast<size_t>(layout.tuple_width));
+    block.Clear();
+  };
+  for (const auto& [key, g] : merged) {
+    uint8_t* slot = block.AppendSlot();
+    size_t offset = 0;
+    if (grouped) {
+      StoreLE32s(slot, key);
+      offset = 1;
+    }
+    for (size_t i = 0; i < orig.aggs.size(); ++i) {
+      int64_t v = 0;
+      switch (orig.aggs[i].func) {
+        case AggFunc::kAvg:
+          v = g.count == 0 ? 0 : g.acc[i] / g.count;
+          break;
+        default:
+          v = g.acc[i];
+          break;
+      }
+      StoreLE64(slot + layout.offsets[offset + i], static_cast<uint64_t>(v));
+    }
+    if (block.full()) flush();
+  }
+  flush();
+  out->output_checksum = checksum;
+}
+
+/// Serial-stream I/O equivalents for the normalized counters: one stream
+/// per file the scan reads, each requesting the whole file in I/O units.
+void NormalizeIoCounters(const OpenTable& table, const ScanSpec& spec,
+                         ExecCounters* c) {
+  uint64_t requests = 0;
+  uint64_t files = 0;
+  auto add_file = [&](uint64_t bytes) {
+    files += 1;
+    requests += (bytes + spec.io_unit_bytes - 1) / spec.io_unit_bytes;
+  };
+  if (table.meta().layout != Layout::kColumn) {
+    add_file(table.FileBytes(0));
+  } else {
+    for (size_t attr : ScanPipelineAttrs(spec)) {
+      add_file(table.FileBytes(attr));
+    }
+  }
+  c->io_requests = requests;
+  c->files_read = files;
+}
+
+}  // namespace
+
+std::vector<ScanSpec> PlanMorsels(const OpenTable& table, const ScanSpec& spec,
+                                  int parallelism) {
+  std::vector<ScanSpec> morsels;
+  const TableMeta& meta = table.meta();
+  if (parallelism <= 1) {
+    morsels.push_back(spec);
+    return morsels;
+  }
+  if (meta.layout != Layout::kColumn) {
+    const std::vector<FilePartition> parts =
+        PartitionFile(meta.file_bytes[0], meta.page_size, parallelism);
+    if (parts.size() <= 1) {
+      morsels.push_back(spec);
+      return morsels;
+    }
+    for (const FilePartition& p : parts) {
+      ScanSpec m = spec;
+      m.first_page = p.first_page;
+      m.num_pages = p.num_pages;
+      morsels.push_back(std::move(m));
+    }
+    return morsels;
+  }
+  // Column layout: split the position space so every file the pipeline
+  // touches splits at page boundaries (no page is parsed by two workers).
+  const uint64_t total = meta.num_tuples;
+  const std::vector<size_t> attrs = ScanPipelineAttrs(spec);
+  if (total == 0 || attrs.empty()) {
+    morsels.push_back(spec);
+    return morsels;
+  }
+  for (size_t attr : attrs) {
+    if (meta.PageValues(attr) == 0) {
+      // A codec ended pages early somewhere: position -> page arithmetic
+      // is unsound, run serially.
+      morsels.push_back(spec);
+      return morsels;
+    }
+  }
+  uint64_t unit = 1;
+  for (size_t attr : attrs) {
+    unit = std::lcm(unit, static_cast<uint64_t>(meta.PageValues(attr)));
+    if (unit > total) break;
+  }
+  if (unit > total) {
+    // The LCM outgrew the table; align to the driving column instead and
+    // accept that other files' boundary pages are parsed by two workers.
+    unit = meta.PageValues(attrs.front());
+  }
+  const uint64_t units = (total + unit - 1) / unit;
+  const uint64_t k =
+      std::min<uint64_t>(static_cast<uint64_t>(parallelism), units);
+  if (k <= 1) {
+    morsels.push_back(spec);
+    return morsels;
+  }
+  const uint64_t base = units / k;
+  const uint64_t extra = units % k;
+  uint64_t at = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    const uint64_t n = base + (i < extra ? 1 : 0);
+    ScanSpec m = spec;
+    m.first_row = at * unit;
+    m.num_rows = std::min(total, (at + n) * unit) - m.first_row;
+    morsels.push_back(std::move(m));
+    at += n;
+  }
+  return morsels;
+}
+
+Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
+                                       int parallelism, ThreadPool* pool) {
+  if (plan.table == nullptr || plan.backend == nullptr) {
+    return Status::InvalidArgument("ParallelExecute: null dependency");
+  }
+  IntervalTimer timer;
+  const std::vector<ScanSpec> morsels =
+      PlanMorsels(*plan.table, plan.spec, parallelism);
+  ParallelResult out;
+  out.morsels = static_cast<int>(morsels.size());
+
+  if (morsels.size() == 1) {
+    // Serial fallback: identical to Execute over the unmodified plan.
+    ExecStats stats;
+    RODB_ASSIGN_OR_RETURN(OperatorPtr root,
+                          BuildWorkerPlan(plan, morsels[0], plan.agg, &stats));
+    RODB_ASSIGN_OR_RETURN(out.result, Execute(root.get(), &stats));
+    out.counters = stats.counters();
+    out.raw_io.bytes_read = out.counters.io_bytes_read;
+    out.raw_io.requests = out.counters.io_requests;
+    out.raw_io.files_opened = out.counters.files_read;
+    out.result.measured = timer.Lap();
+    return out;
+  }
+
+  const AggPlan worker_agg =
+      plan.agg != nullptr ? WorkerAggPlan(*plan.agg) : AggPlan{};
+  std::vector<WorkerState> workers(morsels.size());
+  std::vector<OperatorPtr> roots;
+  roots.reserve(morsels.size());
+  for (size_t i = 0; i < morsels.size(); ++i) {
+    RODB_ASSIGN_OR_RETURN(
+        OperatorPtr root,
+        BuildWorkerPlan(plan, morsels[i],
+                        plan.agg != nullptr ? &worker_agg : nullptr,
+                        &workers[i].stats));
+    roots.push_back(std::move(root));
+  }
+  // IoStats single-writer contract (io/io.h): every worker must own a
+  // distinct I/O record -- sharing one across streams is a data race.
+  for (size_t i = 0; i < workers.size(); ++i) {
+    for (size_t j = i + 1; j < workers.size(); ++j) {
+      RODB_CHECK(workers[i].stats.io_stats() != workers[j].stats.io_stats());
+    }
+  }
+
+  if (pool == nullptr) pool = ThreadPool::Shared();
+  std::latch done(static_cast<std::ptrdiff_t>(morsels.size()));
+  const AggPlan* orig_agg = plan.agg;
+  for (size_t i = 0; i < morsels.size(); ++i) {
+    Operator* root = roots[i].get();
+    WorkerState* w = &workers[i];
+    pool->Submit([root, orig_agg, w, &done] {
+      w->status = DriveWorker(root, orig_agg, w);
+      done.count_down();
+    });
+  }
+  done.wait();
+
+  for (const WorkerState& w : workers) {
+    RODB_RETURN_IF_ERROR(w.status);
+  }
+
+  // --- merge ---
+  if (plan.agg != nullptr) {
+    std::map<int32_t, PartialGroup> merged;
+    for (const WorkerState& w : workers) {
+      for (const auto& [key, g] : w.groups) {
+        auto [it, inserted] = merged.try_emplace(key);
+        if (inserted) InitPartial(*plan.agg, &it->second);
+        CombinePartial(*plan.agg, g, &it->second);
+      }
+    }
+    EmitMergedAggregate(*plan.agg, merged, plan.spec.block_tuples,
+                        &out.result);
+  } else {
+    uint64_t checksum = kFnv1aSeed;
+    for (const WorkerState& w : workers) {
+      out.result.rows += w.rows;
+      out.result.blocks += w.blocks;
+      checksum = Fnv1aExtend(checksum, w.bytes.data(), w.bytes.size());
+    }
+    out.result.output_checksum = checksum;
+  }
+
+  IoStats raw;
+  for (const WorkerState& w : workers) {
+    out.counters += w.stats.counters();
+    raw.MergeFrom(IoStats{w.stats.counters().io_bytes_read,
+                          w.stats.counters().io_requests,
+                          w.stats.counters().files_read});
+  }
+  out.raw_io = raw;
+  // Morsel byte ranges partition each file, so summed bytes_read already
+  // equals a serial scan's; requests and file opens do not (boundary
+  // fragments, k streams per file) and are normalized to the serial
+  // equivalents so ModelQueryTiming is parallelism-invariant.
+  NormalizeIoCounters(*plan.table, plan.spec, &out.counters);
+  out.result.measured = timer.Lap();
+  return out;
+}
+
+}  // namespace rodb

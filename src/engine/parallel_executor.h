@@ -1,0 +1,83 @@
+#ifndef RODB_ENGINE_PARALLEL_EXECUTOR_H_
+#define RODB_ENGINE_PARALLEL_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/aggregate.h"
+#include "engine/executor.h"
+#include "engine/predicate.h"
+#include "engine/scan_spec.h"
+#include "io/io.h"
+#include "storage/catalog.h"
+
+namespace rodb {
+
+/// A scan pipeline to run morsel-parallel: one table scan plus optional
+/// block-level filter / projection / aggregation stages. The pipeline is
+/// cloned per worker; each clone scans one morsel of the table with its
+/// own streams and its own ExecStats, then the partial results are merged
+/// on the calling thread.
+struct ParallelScanPlan {
+  const OpenTable* table = nullptr;  ///< borrowed
+  ScanSpec spec;                     ///< whole-table scan spec
+  IoBackend* backend = nullptr;      ///< borrowed; must allow concurrent
+                                     ///< OpenStream + independent streams
+  /// Block-level conjunctive filter above the scan (indices refer to the
+  /// scan's output layout). Empty = none.
+  std::vector<Predicate> filter;
+  /// Block columns kept/reordered above the filter. Empty = keep all.
+  std::vector<int> project;
+  /// Optional aggregation on top (borrowed). Workers compute partial
+  /// aggregates (AVG split into SUM + COUNT) which are combined at merge
+  /// time; merged groups are emitted in ascending key order, matching the
+  /// serial sort-aggregate exactly (serial hash-aggregate group order is
+  /// unspecified).
+  const AggPlan* agg = nullptr;
+  bool use_sort_aggregate = false;  ///< SortAgg vs HashAgg in each worker
+};
+
+/// What a parallel execution produced.
+struct ParallelResult {
+  /// rows / blocks / output_checksum / measured wall time. The checksum
+  /// is chained over worker outputs in morsel order and equals the serial
+  /// Execute() checksum for the same plan.
+  ExecutionResult result;
+  /// Per-worker counters summed, with the I/O counters normalized to
+  /// their single-stream (serial-scan) equivalents so ModelQueryTiming
+  /// yields the same Section-5 numbers regardless of the degree of
+  /// parallelism: bytes already sum exactly (morsels partition each
+  /// file); requests are recomputed as ceil(file bytes / I/O unit) per
+  /// serial stream; files as the serial stream count.
+  ExecCounters counters;
+  /// The raw summed per-worker I/O record (what actually hit the
+  /// backend): k streams per file, boundary-fragment requests included.
+  IoStats raw_io;
+  int morsels = 0;  ///< morsels actually executed (1 = ran serially)
+};
+
+/// Splits a whole-table scan into at most `parallelism` morsel specs.
+///
+/// Row/PAX tables split the single file into page-aligned byte ranges
+/// (PartitionFile). Column tables split the position space, aligned so
+/// that every column file the pipeline touches splits at page boundaries
+/// (the LCM of the files' values-per-page, or the driving column's when
+/// the LCM outgrows the table); this requires uniform page value counts
+/// (TableMeta::PageValues) on every involved file -- otherwise, and for
+/// `parallelism` <= 1, the original spec comes back as a single morsel.
+std::vector<ScanSpec> PlanMorsels(const OpenTable& table, const ScanSpec& spec,
+                                  int parallelism);
+
+/// Runs the plan with `parallelism` workers on `pool` (ThreadPool::Shared
+/// when null) and merges: output bytes are concatenated in morsel order
+/// (checksum-chained, never reordered), partial aggregates are combined,
+/// and per-worker counters are summed + normalized as described above.
+/// Falls back to serial execution (identical to Execute) when the table
+/// cannot be partitioned or `parallelism` <= 1.
+Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
+                                       int parallelism,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_PARALLEL_EXECUTOR_H_

@@ -37,6 +37,10 @@ Result<OperatorPtr> RowScanner::Make(const OpenTable* table, ScanSpec spec,
     return Status::InvalidArgument(
         "I/O unit must be a multiple of the page size");
   }
+  if (spec.first_row != 0 || spec.num_rows != UINT64_MAX) {
+    return Status::NotSupported(
+        "row scans partition by page range, not position range");
+  }
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<RowScanner> scanner(new RowScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
@@ -80,6 +84,10 @@ Status RowScanner::Open() {
   if (spec_.num_pages != UINT64_MAX) {
     options.length = spec_.num_pages * table_->meta().page_size;
   }
+  // Absolute tuple positions for partitioned scans, when the page->tuple
+  // mapping is known; otherwise positions are morsel-local (they never
+  // feed the output checksum).
+  next_position_ = spec_.first_page * table_->meta().PageValues(0);
   RODB_ASSIGN_OR_RETURN(stream_,
                         backend_->OpenStream(table_->FilePath(0), options));
   opened_ = true;

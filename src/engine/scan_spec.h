@@ -30,6 +30,14 @@ struct ScanSpec {
   /// on what a page range means.
   uint64_t first_page = 0;
   uint64_t num_pages = UINT64_MAX;
+  /// Tuple-position range of the table to scan ([first_row, first_row +
+  /// num_rows)), the column-layout counterpart of the page range above:
+  /// each pipelined scan node maps the position range onto its own file's
+  /// pages, which requires every involved file to have uniform page value
+  /// counts (TableMeta::PageValues). Row and PAX scans reject position
+  /// ranges -- use the page range. The default scans everything.
+  uint64_t first_row = 0;
+  uint64_t num_rows = UINT64_MAX;
   /// Evaluate =/!= predicates on dictionary columns directly against the
   /// compressed codes, materializing values only for qualifying tuples
   /// that the projection needs ("operating directly on compressed data",

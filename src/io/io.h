@@ -12,10 +12,27 @@ namespace rodb {
 
 /// Counters a stream updates while reading; the engine folds these into
 /// its ExecCounters to model CPU system time.
+///
+/// Single-writer contract: streams update their IoStats sink with plain
+/// unsynchronized increments, so at any moment a given IoStats object may
+/// be written by AT MOST ONE stream/worker thread. Partitioned scans give
+/// every worker its own ExecStats (and therefore its own IoStats) and
+/// combine the per-worker records with MergeFrom() after the workers have
+/// quiesced; sharing one IoStats* across concurrently running streams is
+/// a data race.
 struct IoStats {
   uint64_t bytes_read = 0;
   uint64_t requests = 0;    ///< I/O unit requests issued
   uint64_t files_opened = 0;
+
+  /// Adds `other`'s counters into this record. Safe across threads only
+  /// in the join sense: the worker that produced `other` must have
+  /// finished (its stream destroyed or drained) before the merge.
+  void MergeFrom(const IoStats& other) {
+    bytes_read += other.bytes_read;
+    requests += other.requests;
+    files_opened += other.files_opened;
+  }
 };
 
 /// How a scan reads a file (Section 2.2.3): fixed-size I/O units, a

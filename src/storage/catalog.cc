@@ -43,6 +43,14 @@ Status Catalog::SaveTableMeta(const std::string& dir, const TableMeta& meta) {
                   static_cast<unsigned long long>(s.ndv));
     out += line;
   }
+  std::snprintf(line, sizeof(line), "pagevals %zu\n",
+                meta.file_page_values.size());
+  out += line;
+  for (size_t i = 0; i < meta.file_page_values.size(); ++i) {
+    std::snprintf(line, sizeof(line), "pageval %zu %u\n", i,
+                  meta.file_page_values[i]);
+    out += line;
+  }
   return WriteStringToFile(TablePaths::MetaFile(dir, meta.name), out);
 }
 
@@ -129,6 +137,24 @@ Result<TableMeta> Catalog::LoadTableMeta(const std::string& dir,
       }
       s.valid = valid != 0;
       meta.column_stats[idx] = s;
+    }
+  }
+  // Optional per-file uniform page value counts (absent in metas written
+  // before partitioned scans existed; PageValues() then reports 0).
+  size_t n_pagevals = 0;
+  if (in >> key >> n_pagevals) {
+    if (key != "pagevals" || n_pagevals > meta.file_pages.size()) {
+      return Status::Corruption("meta: bad pagevals line");
+    }
+    meta.file_page_values.assign(meta.file_pages.size(), 0);
+    for (size_t i = 0; i < n_pagevals; ++i) {
+      size_t idx = 0;
+      uint32_t values = 0;
+      if (!(in >> key >> idx >> values) || key != "pageval" ||
+          idx >= meta.file_page_values.size()) {
+        return Status::Corruption("meta: bad pageval line");
+      }
+      meta.file_page_values[idx] = values;
     }
   }
   return meta;

@@ -36,6 +36,13 @@ struct TableMeta {
   /// attribute for column layout.
   std::vector<uint64_t> file_pages;
   std::vector<uint64_t> file_bytes;
+  /// Tuples/values per full page of each physical file, when every page
+  /// of that file except the last holds the same count (the bulk loader
+  /// records this; it holds unless a codec ended a page early). 0 means
+  /// non-uniform or unknown (e.g. metas written before this field
+  /// existed). Uniform files admit O(1) position -> page arithmetic,
+  /// which partitioned (morsel) scans rely on.
+  std::vector<uint32_t> file_page_values;
   /// One entry per attribute (valid only for int32 attributes).
   std::vector<ColumnStats> column_stats;
 
@@ -43,6 +50,11 @@ struct TableMeta {
     uint64_t total = 0;
     for (uint64_t b : file_bytes) total += b;
     return total;
+  }
+
+  /// Values per full page of file `file`, or 0 when non-uniform/unknown.
+  uint32_t PageValues(size_t file) const {
+    return file < file_page_values.size() ? file_page_values[file] : 0;
   }
 };
 

@@ -35,6 +35,36 @@ std::string TablePaths::ColumnFile(const std::string& dir,
   return dir + "/" + name + ".col" + std::to_string(attr_index);
 }
 
+std::vector<FilePartition> PartitionFile(uint64_t file_size, size_t page_bytes,
+                                         int k) {
+  std::vector<FilePartition> parts;
+  if (file_size == 0 || page_bytes == 0) return parts;
+  const uint64_t pages = file_size / page_bytes;
+  if (pages == 0) {
+    // Sub-page file: one partition spanning the fragment.
+    parts.push_back(FilePartition{0, 0, 0, file_size});
+    return parts;
+  }
+  const uint64_t want = k < 1 ? 1 : static_cast<uint64_t>(k);
+  const uint64_t n = std::min(want, pages);
+  const uint64_t base = pages / n;
+  const uint64_t extra = pages % n;  // first `extra` partitions get +1 page
+  uint64_t page = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    FilePartition p;
+    p.first_page = page;
+    p.num_pages = base + (i < extra ? 1 : 0);
+    p.start_offset = p.first_page * page_bytes;
+    p.length = p.num_pages * page_bytes;
+    page += p.num_pages;
+    parts.push_back(p);
+  }
+  // Trailing partial page (not produced by the bulk loader, but the
+  // helper handles arbitrary sizes): the last partition absorbs it.
+  parts.back().length += file_size - pages * page_bytes;
+  return parts;
+}
+
 TableWriter::TableWriter(std::string dir, std::string name, Schema schema,
                          Layout layout, size_t page_size)
     : dir_(std::move(dir)), name_(std::move(name)), schema_(std::move(schema)),
@@ -121,7 +151,26 @@ Status TableWriter::Init() {
   return Status::OK();
 }
 
+void TableWriter::NotePageFlush(size_t file, uint32_t count) {
+  if (page_values_.size() <= file) {
+    page_values_.resize(file + 1, 0);
+    page_values_uniform_.resize(file + 1, true);
+  }
+  if (page_values_[file] == 0) {
+    page_values_[file] = count;
+    return;
+  }
+  // The trailing partial page flushed by Finish() may hold a different
+  // count without breaking uniformity: scans only ever enter it at its
+  // true start position. Any other mismatch (a codec ended a page early)
+  // makes position -> page arithmetic unsound for this file.
+  if (!final_flush_ && count != page_values_[file]) {
+    page_values_uniform_[file] = false;
+  }
+}
+
 Status TableWriter::FlushRowPage() {
+  NotePageFlush(0, row_builder_->count());
   RODB_RETURN_IF_ERROR(
       row_builder_->Finish(static_cast<uint32_t>(row_pages_)));
   row_file_.write(reinterpret_cast<const char*>(row_builder_->data()),
@@ -133,6 +182,7 @@ Status TableWriter::FlushRowPage() {
 }
 
 Status TableWriter::FlushPaxPage() {
+  NotePageFlush(0, pax_builder_->count());
   RODB_RETURN_IF_ERROR(
       pax_builder_->Finish(static_cast<uint32_t>(pax_pages_)));
   pax_file_.write(reinterpret_cast<const char*>(pax_builder_->data()),
@@ -145,6 +195,7 @@ Status TableWriter::FlushPaxPage() {
 
 Status TableWriter::FlushColumnPage(size_t attr) {
   ColumnPageBuilder& builder = *col_builders_[attr];
+  NotePageFlush(attr, builder.count());
   RODB_RETURN_IF_ERROR(
       builder.Finish(static_cast<uint32_t>(col_pages_[attr])));
   col_files_[attr]->write(reinterpret_cast<const char*>(builder.data()),
@@ -231,6 +282,7 @@ Status TableWriter::Append(const uint8_t* raw_tuple) {
 Status TableWriter::Finish() {
   if (finished_) return Status::InvalidArgument("writer already finished");
   finished_ = true;
+  final_flush_ = true;
   TableMeta meta;
   meta.name = name_;
   meta.column_stats = stats_;
@@ -263,6 +315,10 @@ Status TableWriter::Finish() {
       meta.file_pages.push_back(col_pages_[i]);
       meta.file_bytes.push_back(col_pages_[i] * page_size_);
     }
+  }
+  for (size_t i = 0; i < meta.file_pages.size(); ++i) {
+    const bool uniform = i < page_values_.size() && page_values_uniform_[i];
+    meta.file_page_values.push_back(uniform ? page_values_[i] : 0);
   }
   // Dictionary sidecar: all dictionaries concatenated in attribute order.
   std::string dict_blob;

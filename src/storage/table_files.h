@@ -32,6 +32,26 @@ struct TablePaths {
                                 const std::string& name, size_t attr_index);
 };
 
+/// One page-aligned byte range of a table file -- the unit of intra-query
+/// scan parallelism (a "morsel"). `start_offset`/`length` plug directly
+/// into IoOptions; `first_page`/`num_pages` into ScanSpec's page range.
+struct FilePartition {
+  uint64_t first_page = 0;
+  uint64_t num_pages = 0;
+  uint64_t start_offset = 0;  ///< first_page * page_bytes
+  uint64_t length = 0;        ///< bytes covered (last partition absorbs
+                              ///< any trailing partial page)
+};
+
+/// Splits a file of `file_size` bytes into at most `k` contiguous,
+/// non-empty, page-aligned partitions that together cover the whole file.
+/// Page counts differ by at most one across partitions. Fewer than `k`
+/// partitions come back when the file has fewer than `k` pages; a file
+/// smaller than one page yields a single partition spanning it; an empty
+/// file yields none. `k < 1` is treated as 1.
+std::vector<FilePartition> PartitionFile(uint64_t file_size, size_t page_bytes,
+                                         int k);
+
 /// Bulk-loads one table in a chosen layout. This plays the role of the
 /// paper's bulk-loading tool: tuples stream in (in load order), pages are
 /// dense-packed and written sequentially, dictionaries are built on the
@@ -65,6 +85,9 @@ class TableWriter {
   Status FlushColumnPage(size_t attr);
   Status FlushPaxPage();
   void CollectStats(const uint8_t* raw_tuple);
+  /// Records a flushed page's value count for the uniform-pages catalog
+  /// field (`file` is 0 for row/PAX, the attribute index for columns).
+  void NotePageFlush(size_t file, uint32_t count);
 
   std::string dir_;
   std::string name_;
@@ -73,6 +96,14 @@ class TableWriter {
   size_t page_size_;
   uint64_t num_tuples_ = 0;
   bool finished_ = false;
+  /// True while Finish() flushes the trailing partial pages (those are
+  /// allowed to be short without breaking per-file uniformity).
+  bool final_flush_ = false;
+
+  /// Per physical file: value count of the first flushed page, and
+  /// whether every later full page matched it (see TableMeta::PageValues).
+  std::vector<uint32_t> page_values_;
+  std::vector<bool> page_values_uniform_;
 
   // Per-attribute dictionaries (null unless the attribute is kDict).
   std::vector<std::unique_ptr<Dictionary>> dicts_;

@@ -11,6 +11,8 @@
 #include "common/bytes.h"
 #include "common/random.h"
 #include "engine/early_mat_scanner.h"
+#include "engine/parallel_executor.h"
+#include "engine/plan_builder.h"
 #include "scan_test_util.h"
 
 namespace rodb {
@@ -231,6 +233,83 @@ TEST(ScannerEquivalenceCompressedTest, CompressedAndPlainAgree) {
   for (size_t i = 1; i < results.size(); ++i) {
     ASSERT_EQ(results[i].size(), results[0].size());
     EXPECT_EQ(results[i], results[0]) << "variant " << i;
+  }
+}
+
+TEST(ParallelEquivalenceTest, EveryLayoutAndCodecMatchesSerialChecksum) {
+  // Morsel-parallel execution is a pure execution strategy: for every
+  // layout x codec combination and any degree of parallelism the output
+  // checksum must equal the serial Execute() checksum. Codecs whose
+  // pages can close early (FOR, FOR-delta) may be recorded as
+  // non-uniform, in which case PlanMorsels falls back to one morsel --
+  // the answer still has to match.
+  Random rng(7);
+  TempDir dir;
+  auto schema = Schema::Make({
+      AttributeDesc::Int32("key", CodecSpec::ForDelta(8)),
+      AttributeDesc::Int32("qty", CodecSpec::BitPack(6)),
+      AttributeDesc::Int32("base", CodecSpec::For(16)),
+      AttributeDesc::Int32("free"),
+      AttributeDesc::Text("word", 8, CodecSpec::Dict(3)),
+      AttributeDesc::Text("pack", 8, CodecSpec::CharPack(4, 8)),
+  });
+  ASSERT_OK(schema.status());
+  const char* words[] = {"alpha   ", "beta    ", "gamma   ", "delta   ",
+                         "epsilon ", "zeta    ", "eta     ", "theta   "};
+  const char* packs[] = {"abc     ", "lmno    ", "ba      ", "omnb    "};
+  std::vector<std::vector<uint8_t>> tuples;
+  int32_t key = 100;
+  int32_t base = 70000;
+  for (int i = 0; i < 5000; ++i) {
+    key += static_cast<int32_t>(rng.Uniform(40));
+    base += static_cast<int32_t>(rng.Uniform(12));
+    std::vector<uint8_t> t(32);
+    StoreLE32s(t.data(), key);
+    StoreLE32s(t.data() + 4, static_cast<int32_t>(rng.Uniform(60)));
+    StoreLE32s(t.data() + 8, base);
+    StoreLE32s(t.data() + 12,
+               static_cast<int32_t>(rng.UniformRange(-90000, 90000)));
+    std::memcpy(t.data() + 16, words[rng.Uniform(8)], 8);
+    std::memcpy(t.data() + 24, packs[rng.Uniform(4)], 8);
+    tuples.push_back(std::move(t));
+  }
+  ASSERT_OK(rodb::testing::LoadAllLayouts(dir.path(), "zz", *schema, tuples,
+                                          1024));
+
+  ScanSpec plain;
+  plain.projection = {0, 1, 2, 3, 4, 5};
+  plain.io_unit_bytes = 4096;
+  ScanSpec filtered;
+  filtered.projection = {5, 4, 0};
+  filtered.predicates = {Predicate::Int32(1, CompareOp::kLt, 30),
+                         Predicate::Text(4, CompareOp::kNe, "beta    ")};
+  filtered.io_unit_bytes = 4096;
+
+  FileBackend backend;
+  for (Layout layout : {Layout::kRow, Layout::kColumn, Layout::kPax}) {
+    ASSERT_OK_AND_ASSIGN(
+        OpenTable table,
+        OpenTable::Open(dir.path(), std::string("zz") +
+                                        rodb::testing::LayoutSuffix(layout)));
+    for (const ScanSpec& spec : {plain, filtered}) {
+      ExecStats stats;
+      ASSERT_OK_AND_ASSIGN(
+          auto root,
+          PlanBuilder::Scan(&table, spec, &backend, &stats).Build());
+      ASSERT_OK_AND_ASSIGN(ExecutionResult serial,
+                           Execute(root.get(), &stats));
+      ParallelScanPlan plan;
+      plan.table = &table;
+      plan.spec = spec;
+      plan.backend = &backend;
+      for (int k : {1, 2, 4}) {
+        ASSERT_OK_AND_ASSIGN(ParallelResult out, ParallelExecute(plan, k));
+        EXPECT_EQ(out.result.rows, serial.rows)
+            << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+        EXPECT_EQ(out.result.output_checksum, serial.output_checksum)
+            << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+      }
+    }
   }
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -163,6 +165,132 @@ TEST(CatalogTest, MetaSurvivesRoundTripExactly) {
   EXPECT_EQ(loaded.file_bytes, meta.file_bytes);
   EXPECT_EQ(loaded.TotalBytes(), 81920u + 163840 + 245760);
   EXPECT_EQ(loaded.schema.num_attributes(), schema.num_attributes());
+}
+
+// --- PartitionFile (morsel partitioner) ---
+
+uint64_t CoveredBytes(const std::vector<FilePartition>& parts) {
+  uint64_t total = 0;
+  for (const FilePartition& p : parts) total += p.length;
+  return total;
+}
+
+TEST(PartitionFileTest, EvenSplitCoversFileContiguously) {
+  const size_t kPage = 1024;
+  const auto parts = PartitionFile(12 * kPage, kPage, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  uint64_t next_page = 0;
+  for (const FilePartition& p : parts) {
+    EXPECT_EQ(p.first_page, next_page);
+    EXPECT_EQ(p.num_pages, 3u);
+    EXPECT_EQ(p.start_offset, p.first_page * kPage);
+    EXPECT_EQ(p.length, p.num_pages * kPage);
+    next_page += p.num_pages;
+  }
+  EXPECT_EQ(next_page, 12u);
+  EXPECT_EQ(CoveredBytes(parts), 12 * kPage);
+}
+
+TEST(PartitionFileTest, NonMultipleSizesDifferByAtMostOnePage) {
+  const size_t kPage = 512;
+  const auto parts = PartitionFile(10 * kPage, kPage, 4);  // 10 = 3+3+2+2
+  ASSERT_EQ(parts.size(), 4u);
+  uint64_t min_pages = UINT64_MAX, max_pages = 0, pages = 0;
+  for (const FilePartition& p : parts) {
+    min_pages = std::min(min_pages, p.num_pages);
+    max_pages = std::max(max_pages, p.num_pages);
+    pages += p.num_pages;
+  }
+  EXPECT_EQ(pages, 10u);
+  EXPECT_LE(max_pages - min_pages, 1u);
+  EXPECT_EQ(CoveredBytes(parts), 10 * kPage);
+}
+
+TEST(PartitionFileTest, MorePartitionsThanPagesClampsToPages) {
+  const auto parts = PartitionFile(3 * 1024, 1024, 8);
+  ASSERT_EQ(parts.size(), 3u);
+  for (const FilePartition& p : parts) EXPECT_EQ(p.num_pages, 1u);
+}
+
+TEST(PartitionFileTest, TinyFileYieldsOneSubPagePartition) {
+  const auto parts = PartitionFile(100, 1024, 4);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].start_offset, 0u);
+  EXPECT_EQ(parts[0].length, 100u);
+}
+
+TEST(PartitionFileTest, EmptyFileYieldsNoPartitions) {
+  EXPECT_TRUE(PartitionFile(0, 1024, 4).empty());
+}
+
+TEST(PartitionFileTest, NonPositiveKBehavesAsOne) {
+  const auto parts = PartitionFile(5 * 1024, 1024, 0);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].num_pages, 5u);
+  EXPECT_EQ(CoveredBytes(parts), 5 * 1024u);
+}
+
+TEST(PartitionFileTest, LastPartitionAbsorbsTrailingFragment) {
+  const auto parts = PartitionFile(4 * 1024 + 100, 1024, 2);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].length, 2 * 1024u);
+  EXPECT_EQ(parts[1].length, 2 * 1024u + 100);
+  EXPECT_EQ(CoveredBytes(parts), 4 * 1024u + 100);
+}
+
+// --- uniform page value counts in the catalog ---
+
+TEST(PageValuesTest, BulkLoadRecordsUniformCounts) {
+  // Uncompressed tables pack a fixed number of values per page, so every
+  // file must come back with a non-zero per-page count that explains the
+  // total tuple count.
+  testing::TempDir dir;
+  Schema schema = SmallSchema(false);
+  for (Layout layout : {Layout::kRow, Layout::kColumn, Layout::kPax}) {
+    const std::string name =
+        std::string("u_") + std::string(LayoutName(layout));
+    ASSERT_OK_AND_ASSIGN(
+        auto writer,
+        TableWriter::Create(dir.path(), name, schema, layout, 1024));
+    for (int i = 0; i < 5000; ++i) {
+      auto t = SmallTuple(1000 + i, "ABC"[i % 3], i * 3);
+      ASSERT_OK(writer->Append(t.data()));
+    }
+    ASSERT_OK(writer->Finish());
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), name));
+    const TableMeta& meta = table.meta();
+    ASSERT_EQ(meta.file_page_values.size(), meta.file_pages.size());
+    for (size_t f = 0; f < meta.file_pages.size(); ++f) {
+      const uint32_t vpp = meta.PageValues(f);
+      ASSERT_GT(vpp, 0u) << name << " file " << f;
+      // All pages except the last are full.
+      EXPECT_EQ((meta.num_tuples + vpp - 1) / vpp, meta.file_pages[f])
+          << name << " file " << f;
+    }
+  }
+}
+
+TEST(PageValuesTest, MetaWithoutPagevalsSectionReportsUnknown) {
+  // Metas written before the pagevals section existed load fine and
+  // report 0 ("unknown") so partitioned scans fall back to serial.
+  testing::TempDir dir;
+  Schema schema = SmallSchema(false);
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir.path(), "old", schema, Layout::kRow, 1024));
+  auto t = SmallTuple(1, 'A', 2);
+  ASSERT_OK(writer->Append(t.data()));
+  ASSERT_OK(writer->Finish());
+  ASSERT_OK_AND_ASSIGN(std::string text, ReadFileToString(
+                           TablePaths::MetaFile(dir.path(), "old")));
+  const size_t cut = text.find("pagevals");
+  ASSERT_NE(cut, std::string::npos);
+  ASSERT_OK(WriteStringToFile(TablePaths::MetaFile(dir.path(), "old"),
+                              text.substr(0, cut)));
+  ASSERT_OK_AND_ASSIGN(TableMeta meta,
+                       Catalog::LoadTableMeta(dir.path(), "old"));
+  EXPECT_EQ(meta.PageValues(0), 0u);
+  EXPECT_EQ(meta.PageValues(99), 0u);  // out of range is also "unknown"
 }
 
 }  // namespace

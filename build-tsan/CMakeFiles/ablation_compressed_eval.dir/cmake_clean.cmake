@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compressed_eval.dir/bench/ablation_compressed_eval.cc.o"
+  "CMakeFiles/ablation_compressed_eval.dir/bench/ablation_compressed_eval.cc.o.d"
+  "bench/ablation_compressed_eval"
+  "bench/ablation_compressed_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compressed_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scanners.dir/bench/ablation_scanners.cc.o"
+  "CMakeFiles/ablation_scanners.dir/bench/ablation_scanners.cc.o.d"
+  "bench/ablation_scanners"
+  "bench/ablation_scanners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scanners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

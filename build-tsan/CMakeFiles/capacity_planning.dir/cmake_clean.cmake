@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_planning.dir/bench/capacity_planning.cc.o"
+  "CMakeFiles/capacity_planning.dir/bench/capacity_planning.cc.o.d"
+  "bench/capacity_planning"
+  "bench/capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_speedup_contour.dir/bench/fig02_speedup_contour.cc.o"
+  "CMakeFiles/fig02_speedup_contour.dir/bench/fig02_speedup_contour.cc.o.d"
+  "bench/fig02_speedup_contour"
+  "bench/fig02_speedup_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_speedup_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_speedup_contour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_baseline_lineitem.dir/bench/fig06_baseline_lineitem.cc.o"
+  "CMakeFiles/fig06_baseline_lineitem.dir/bench/fig06_baseline_lineitem.cc.o.d"
+  "bench/fig06_baseline_lineitem"
+  "bench/fig06_baseline_lineitem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_baseline_lineitem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_baseline_lineitem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_selectivity.dir/bench/fig07_selectivity.cc.o"
+  "CMakeFiles/fig07_selectivity.dir/bench/fig07_selectivity.cc.o.d"
+  "bench/fig07_selectivity"
+  "bench/fig07_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

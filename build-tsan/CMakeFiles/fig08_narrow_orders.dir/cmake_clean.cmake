@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_narrow_orders.dir/bench/fig08_narrow_orders.cc.o"
+  "CMakeFiles/fig08_narrow_orders.dir/bench/fig08_narrow_orders.cc.o.d"
+  "bench/fig08_narrow_orders"
+  "bench/fig08_narrow_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_narrow_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

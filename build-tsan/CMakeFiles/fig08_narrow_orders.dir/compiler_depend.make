@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_narrow_orders.
+# This may be replaced when dependencies are built.

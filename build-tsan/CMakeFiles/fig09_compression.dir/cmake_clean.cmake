@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_compression.dir/bench/fig09_compression.cc.o"
+  "CMakeFiles/fig09_compression.dir/bench/fig09_compression.cc.o.d"
+  "bench/fig09_compression"
+  "bench/fig09_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

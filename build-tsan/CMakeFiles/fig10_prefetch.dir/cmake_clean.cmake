@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_prefetch.dir/bench/fig10_prefetch.cc.o"
+  "CMakeFiles/fig10_prefetch.dir/bench/fig10_prefetch.cc.o.d"
+  "bench/fig10_prefetch"
+  "bench/fig10_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

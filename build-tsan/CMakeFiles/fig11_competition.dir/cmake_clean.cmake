@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_competition.dir/bench/fig11_competition.cc.o"
+  "CMakeFiles/fig11_competition.dir/bench/fig11_competition.cc.o.d"
+  "bench/fig11_competition"
+  "bench/fig11_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

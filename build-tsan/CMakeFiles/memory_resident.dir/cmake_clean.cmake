@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_resident.dir/bench/memory_resident.cc.o"
+  "CMakeFiles/memory_resident.dir/bench/memory_resident.cc.o.d"
+  "bench/memory_resident"
+  "bench/memory_resident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_resident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

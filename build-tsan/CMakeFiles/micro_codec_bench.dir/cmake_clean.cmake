@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_codec_bench.dir/bench/micro_codec_bench.cc.o"
+  "CMakeFiles/micro_codec_bench.dir/bench/micro_codec_bench.cc.o.d"
+  "bench/micro_codec_bench"
+  "bench/micro_codec_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_codec_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scan_bench.dir/bench/micro_scan_bench.cc.o"
+  "CMakeFiles/micro_scan_bench.dir/bench/micro_scan_bench.cc.o.d"
+  "bench/micro_scan_bench"
+  "bench/micro_scan_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scan_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scan_bench.dir/bench/parallel_scan_bench.cc.o"
+  "CMakeFiles/parallel_scan_bench.dir/bench/parallel_scan_bench.cc.o.d"
+  "bench/parallel_scan_bench"
+  "bench/parallel_scan_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scan_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

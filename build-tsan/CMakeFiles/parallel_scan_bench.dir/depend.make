@@ -1,0 +1,2 @@
+# Empty dependencies file for parallel_scan_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_bench_support.dir/bench/bench_util.cc.o"
+  "CMakeFiles/rodb_bench_support.dir/bench/bench_util.cc.o.d"
+  "librodb_bench_support.a"
+  "librodb_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

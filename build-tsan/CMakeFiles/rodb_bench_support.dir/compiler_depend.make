@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rodb_bench_support.
+# This may be replaced when dependencies are built.

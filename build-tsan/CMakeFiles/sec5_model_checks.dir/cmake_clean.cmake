@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_model_checks.dir/bench/sec5_model_checks.cc.o"
+  "CMakeFiles/sec5_model_checks.dir/bench/sec5_model_checks.cc.o.d"
+  "bench/sec5_model_checks"
+  "bench/sec5_model_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_model_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec5_model_checks.
+# This may be replaced when dependencies are built.

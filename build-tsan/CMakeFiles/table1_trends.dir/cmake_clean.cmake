@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_trends.dir/bench/table1_trends.cc.o"
+  "CMakeFiles/table1_trends.dir/bench/table1_trends.cc.o.d"
+  "bench/table1_trends"
+  "bench/table1_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

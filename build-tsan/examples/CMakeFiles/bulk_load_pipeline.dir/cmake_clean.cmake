@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_load_pipeline.dir/bulk_load_pipeline.cpp.o"
+  "CMakeFiles/bulk_load_pipeline.dir/bulk_load_pipeline.cpp.o.d"
+  "bulk_load_pipeline"
+  "bulk_load_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_load_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_advisor.dir/design_advisor.cpp.o"
+  "CMakeFiles/design_advisor.dir/design_advisor.cpp.o.d"
+  "design_advisor"
+  "design_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

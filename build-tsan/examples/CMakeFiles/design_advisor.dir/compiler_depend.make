@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for design_advisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_tpch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_wos.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_advisor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_compression.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

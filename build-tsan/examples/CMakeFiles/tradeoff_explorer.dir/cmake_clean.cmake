@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_explorer.dir/tradeoff_explorer.cpp.o"
+  "CMakeFiles/tradeoff_explorer.dir/tradeoff_explorer.cpp.o.d"
+  "tradeoff_explorer"
+  "tradeoff_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_report.dir/warehouse_report.cpp.o"
+  "CMakeFiles/warehouse_report.dir/warehouse_report.cpp.o.d"
+  "warehouse_report"
+  "warehouse_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_advisor.dir/advisor/compression_advisor.cc.o"
+  "CMakeFiles/rodb_advisor.dir/advisor/compression_advisor.cc.o.d"
+  "CMakeFiles/rodb_advisor.dir/advisor/layout_advisor.cc.o"
+  "CMakeFiles/rodb_advisor.dir/advisor/layout_advisor.cc.o.d"
+  "CMakeFiles/rodb_advisor.dir/advisor/selectivity.cc.o"
+  "CMakeFiles/rodb_advisor.dir/advisor/selectivity.cc.o.d"
+  "librodb_advisor.a"
+  "librodb_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/bitpack_codec.cc" "src/CMakeFiles/rodb_compression.dir/compression/bitpack_codec.cc.o" "gcc" "src/CMakeFiles/rodb_compression.dir/compression/bitpack_codec.cc.o.d"
+  "/root/repo/src/compression/codec.cc" "src/CMakeFiles/rodb_compression.dir/compression/codec.cc.o" "gcc" "src/CMakeFiles/rodb_compression.dir/compression/codec.cc.o.d"
+  "/root/repo/src/compression/dictionary.cc" "src/CMakeFiles/rodb_compression.dir/compression/dictionary.cc.o" "gcc" "src/CMakeFiles/rodb_compression.dir/compression/dictionary.cc.o.d"
+  "/root/repo/src/compression/for_codec.cc" "src/CMakeFiles/rodb_compression.dir/compression/for_codec.cc.o" "gcc" "src/CMakeFiles/rodb_compression.dir/compression/for_codec.cc.o.d"
+  "/root/repo/src/compression/row_codec.cc" "src/CMakeFiles/rodb_compression.dir/compression/row_codec.cc.o" "gcc" "src/CMakeFiles/rodb_compression.dir/compression/row_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

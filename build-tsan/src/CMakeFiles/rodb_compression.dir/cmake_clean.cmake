@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_compression.dir/compression/bitpack_codec.cc.o"
+  "CMakeFiles/rodb_compression.dir/compression/bitpack_codec.cc.o.d"
+  "CMakeFiles/rodb_compression.dir/compression/codec.cc.o"
+  "CMakeFiles/rodb_compression.dir/compression/codec.cc.o.d"
+  "CMakeFiles/rodb_compression.dir/compression/dictionary.cc.o"
+  "CMakeFiles/rodb_compression.dir/compression/dictionary.cc.o.d"
+  "CMakeFiles/rodb_compression.dir/compression/for_codec.cc.o"
+  "CMakeFiles/rodb_compression.dir/compression/for_codec.cc.o.d"
+  "CMakeFiles/rodb_compression.dir/compression/row_codec.cc.o"
+  "CMakeFiles/rodb_compression.dir/compression/row_codec.cc.o.d"
+  "librodb_compression.a"
+  "librodb_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

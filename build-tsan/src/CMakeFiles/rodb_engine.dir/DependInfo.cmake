@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregate.cc" "src/CMakeFiles/rodb_engine.dir/engine/aggregate.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/aggregate.cc.o.d"
+  "/root/repo/src/engine/column_scanner.cc" "src/CMakeFiles/rodb_engine.dir/engine/column_scanner.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/column_scanner.cc.o.d"
+  "/root/repo/src/engine/early_mat_scanner.cc" "src/CMakeFiles/rodb_engine.dir/engine/early_mat_scanner.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/early_mat_scanner.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/rodb_engine.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/merge_join.cc" "src/CMakeFiles/rodb_engine.dir/engine/merge_join.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/merge_join.cc.o.d"
+  "/root/repo/src/engine/parallel_executor.cc" "src/CMakeFiles/rodb_engine.dir/engine/parallel_executor.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/parallel_executor.cc.o.d"
+  "/root/repo/src/engine/pax_scanner.cc" "src/CMakeFiles/rodb_engine.dir/engine/pax_scanner.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/pax_scanner.cc.o.d"
+  "/root/repo/src/engine/plan_builder.cc" "src/CMakeFiles/rodb_engine.dir/engine/plan_builder.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/plan_builder.cc.o.d"
+  "/root/repo/src/engine/predicate.cc" "src/CMakeFiles/rodb_engine.dir/engine/predicate.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/predicate.cc.o.d"
+  "/root/repo/src/engine/project.cc" "src/CMakeFiles/rodb_engine.dir/engine/project.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/project.cc.o.d"
+  "/root/repo/src/engine/row_scanner.cc" "src/CMakeFiles/rodb_engine.dir/engine/row_scanner.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/row_scanner.cc.o.d"
+  "/root/repo/src/engine/select.cc" "src/CMakeFiles/rodb_engine.dir/engine/select.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/select.cc.o.d"
+  "/root/repo/src/engine/shared_scan.cc" "src/CMakeFiles/rodb_engine.dir/engine/shared_scan.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/shared_scan.cc.o.d"
+  "/root/repo/src/engine/sort.cc" "src/CMakeFiles/rodb_engine.dir/engine/sort.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/sort.cc.o.d"
+  "/root/repo/src/engine/tuple_block.cc" "src/CMakeFiles/rodb_engine.dir/engine/tuple_block.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/tuple_block.cc.o.d"
+  "/root/repo/src/engine/union_all.cc" "src/CMakeFiles/rodb_engine.dir/engine/union_all.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/union_all.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_compression.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

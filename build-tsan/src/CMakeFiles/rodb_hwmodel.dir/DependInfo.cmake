@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/cpu_model.cc" "src/CMakeFiles/rodb_hwmodel.dir/hwmodel/cpu_model.cc.o" "gcc" "src/CMakeFiles/rodb_hwmodel.dir/hwmodel/cpu_model.cc.o.d"
+  "/root/repo/src/hwmodel/disk_model.cc" "src/CMakeFiles/rodb_hwmodel.dir/hwmodel/disk_model.cc.o" "gcc" "src/CMakeFiles/rodb_hwmodel.dir/hwmodel/disk_model.cc.o.d"
+  "/root/repo/src/hwmodel/hardware_config.cc" "src/CMakeFiles/rodb_hwmodel.dir/hwmodel/hardware_config.cc.o" "gcc" "src/CMakeFiles/rodb_hwmodel.dir/hwmodel/hardware_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

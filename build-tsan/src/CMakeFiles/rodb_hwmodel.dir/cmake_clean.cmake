@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_hwmodel.dir/hwmodel/cpu_model.cc.o"
+  "CMakeFiles/rodb_hwmodel.dir/hwmodel/cpu_model.cc.o.d"
+  "CMakeFiles/rodb_hwmodel.dir/hwmodel/disk_model.cc.o"
+  "CMakeFiles/rodb_hwmodel.dir/hwmodel/disk_model.cc.o.d"
+  "CMakeFiles/rodb_hwmodel.dir/hwmodel/hardware_config.cc.o"
+  "CMakeFiles/rodb_hwmodel.dir/hwmodel/hardware_config.cc.o.d"
+  "librodb_hwmodel.a"
+  "librodb_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_io.dir/io/file_backend.cc.o"
+  "CMakeFiles/rodb_io.dir/io/file_backend.cc.o.d"
+  "CMakeFiles/rodb_io.dir/io/mem_backend.cc.o"
+  "CMakeFiles/rodb_io.dir/io/mem_backend.cc.o.d"
+  "librodb_io.a"
+  "librodb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

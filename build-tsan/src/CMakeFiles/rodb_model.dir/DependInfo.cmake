@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analytical_model.cc" "src/CMakeFiles/rodb_model.dir/model/analytical_model.cc.o" "gcc" "src/CMakeFiles/rodb_model.dir/model/analytical_model.cc.o.d"
+  "/root/repo/src/model/contour.cc" "src/CMakeFiles/rodb_model.dir/model/contour.cc.o" "gcc" "src/CMakeFiles/rodb_model.dir/model/contour.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_model.dir/model/analytical_model.cc.o"
+  "CMakeFiles/rodb_model.dir/model/analytical_model.cc.o.d"
+  "CMakeFiles/rodb_model.dir/model/contour.cc.o"
+  "CMakeFiles/rodb_model.dir/model/contour.cc.o.d"
+  "librodb_model.a"
+  "librodb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

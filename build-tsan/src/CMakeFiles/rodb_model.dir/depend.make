@@ -1,0 +1,2 @@
+# Empty dependencies file for rodb_model.
+# This may be replaced when dependencies are built.

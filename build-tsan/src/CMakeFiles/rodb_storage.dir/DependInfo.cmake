@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/rodb_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column_page.cc" "src/CMakeFiles/rodb_storage.dir/storage/column_page.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/column_page.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/rodb_storage.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/rodb_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/pax_page.cc" "src/CMakeFiles/rodb_storage.dir/storage/pax_page.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/pax_page.cc.o.d"
+  "/root/repo/src/storage/row_page.cc" "src/CMakeFiles/rodb_storage.dir/storage/row_page.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/row_page.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/rodb_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table_files.cc" "src/CMakeFiles/rodb_storage.dir/storage/table_files.cc.o" "gcc" "src/CMakeFiles/rodb_storage.dir/storage/table_files.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rodb_compression.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

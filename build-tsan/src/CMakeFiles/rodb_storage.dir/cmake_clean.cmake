@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/rodb_storage.dir/storage/column_page.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/column_page.cc.o.d"
+  "CMakeFiles/rodb_storage.dir/storage/database.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/rodb_storage.dir/storage/page.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/rodb_storage.dir/storage/pax_page.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/pax_page.cc.o.d"
+  "CMakeFiles/rodb_storage.dir/storage/row_page.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/row_page.cc.o.d"
+  "CMakeFiles/rodb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/rodb_storage.dir/storage/table_files.cc.o"
+  "CMakeFiles/rodb_storage.dir/storage/table_files.cc.o.d"
+  "librodb_storage.a"
+  "librodb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_tpch.dir/tpch/generator.cc.o"
+  "CMakeFiles/rodb_tpch.dir/tpch/generator.cc.o.d"
+  "CMakeFiles/rodb_tpch.dir/tpch/loader.cc.o"
+  "CMakeFiles/rodb_tpch.dir/tpch/loader.cc.o.d"
+  "CMakeFiles/rodb_tpch.dir/tpch/tpch_schema.cc.o"
+  "CMakeFiles/rodb_tpch.dir/tpch/tpch_schema.cc.o.d"
+  "librodb_tpch.a"
+  "librodb_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

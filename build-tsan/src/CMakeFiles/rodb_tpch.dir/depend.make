@@ -1,0 +1,2 @@
+# Empty dependencies file for rodb_tpch.
+# This may be replaced when dependencies are built.

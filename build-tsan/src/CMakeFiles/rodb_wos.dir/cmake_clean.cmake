@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodb_wos.dir/wos/merge.cc.o"
+  "CMakeFiles/rodb_wos.dir/wos/merge.cc.o.d"
+  "CMakeFiles/rodb_wos.dir/wos/write_store.cc.o"
+  "CMakeFiles/rodb_wos.dir/wos/write_store.cc.o.d"
+  "librodb_wos.a"
+  "librodb_wos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodb_wos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytical_model_test.dir/analytical_model_test.cc.o"
+  "CMakeFiles/analytical_model_test.dir/analytical_model_test.cc.o.d"
+  "analytical_model_test"
+  "analytical_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytical_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

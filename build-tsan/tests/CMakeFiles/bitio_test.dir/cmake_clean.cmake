@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_test.dir/bitio_test.cc.o"
+  "CMakeFiles/bitio_test.dir/bitio_test.cc.o.d"
+  "bitio_test"
+  "bitio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_test.dir/calibration_test.cc.o"
+  "CMakeFiles/calibration_test.dir/calibration_test.cc.o.d"
+  "calibration_test"
+  "calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_test.dir/codec_test.cc.o"
+  "CMakeFiles/codec_test.dir/codec_test.cc.o.d"
+  "codec_test"
+  "codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_page_test.dir/column_page_test.cc.o"
+  "CMakeFiles/column_page_test.dir/column_page_test.cc.o.d"
+  "column_page_test"
+  "column_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

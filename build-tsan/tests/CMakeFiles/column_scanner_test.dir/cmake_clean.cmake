@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_scanner_test.dir/column_scanner_test.cc.o"
+  "CMakeFiles/column_scanner_test.dir/column_scanner_test.cc.o.d"
+  "column_scanner_test"
+  "column_scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_eval_test.dir/compressed_eval_test.cc.o"
+  "CMakeFiles/compressed_eval_test.dir/compressed_eval_test.cc.o.d"
+  "compressed_eval_test"
+  "compressed_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

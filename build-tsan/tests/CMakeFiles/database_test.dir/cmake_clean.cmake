@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_test.dir/database_test.cc.o"
+  "CMakeFiles/database_test.dir/database_test.cc.o.d"
+  "database_test"
+  "database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

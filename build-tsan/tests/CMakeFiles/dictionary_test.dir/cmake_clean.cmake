@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionary_test.dir/dictionary_test.cc.o"
+  "CMakeFiles/dictionary_test.dir/dictionary_test.cc.o.d"
+  "dictionary_test"
+  "dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

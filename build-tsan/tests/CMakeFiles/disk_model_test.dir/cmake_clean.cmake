@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_model_test.dir/disk_model_test.cc.o"
+  "CMakeFiles/disk_model_test.dir/disk_model_test.cc.o.d"
+  "disk_model_test"
+  "disk_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_test.dir/executor_test.cc.o"
+  "CMakeFiles/executor_test.dir/executor_test.cc.o.d"
+  "executor_test"
+  "executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o"
+  "CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o.d"
+  "failure_injection_test"
+  "failure_injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

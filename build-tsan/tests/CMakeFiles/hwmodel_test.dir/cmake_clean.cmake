@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwmodel_test.dir/hwmodel_test.cc.o"
+  "CMakeFiles/hwmodel_test.dir/hwmodel_test.cc.o.d"
+  "hwmodel_test"
+  "hwmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

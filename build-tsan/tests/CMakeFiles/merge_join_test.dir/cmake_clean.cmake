@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_join_test.dir/merge_join_test.cc.o"
+  "CMakeFiles/merge_join_test.dir/merge_join_test.cc.o.d"
+  "merge_join_test"
+  "merge_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operators_test.dir/operators_test.cc.o"
+  "CMakeFiles/operators_test.dir/operators_test.cc.o.d"
+  "operators_test"
+  "operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

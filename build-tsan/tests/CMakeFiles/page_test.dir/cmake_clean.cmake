@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_test.dir/page_test.cc.o"
+  "CMakeFiles/page_test.dir/page_test.cc.o.d"
+  "page_test"
+  "page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

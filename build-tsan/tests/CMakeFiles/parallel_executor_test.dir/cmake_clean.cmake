@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_executor_test.dir/parallel_executor_test.cc.o"
+  "CMakeFiles/parallel_executor_test.dir/parallel_executor_test.cc.o.d"
+  "parallel_executor_test"
+  "parallel_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_page_test.dir/pax_page_test.cc.o"
+  "CMakeFiles/pax_page_test.dir/pax_page_test.cc.o.d"
+  "pax_page_test"
+  "pax_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

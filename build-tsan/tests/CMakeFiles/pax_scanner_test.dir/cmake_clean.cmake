@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_scanner_test.dir/pax_scanner_test.cc.o"
+  "CMakeFiles/pax_scanner_test.dir/pax_scanner_test.cc.o.d"
+  "pax_scanner_test"
+  "pax_scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_builder_test.dir/plan_builder_test.cc.o"
+  "CMakeFiles/plan_builder_test.dir/plan_builder_test.cc.o.d"
+  "plan_builder_test"
+  "plan_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

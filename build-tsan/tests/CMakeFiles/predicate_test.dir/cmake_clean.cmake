@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_test.dir/predicate_test.cc.o"
+  "CMakeFiles/predicate_test.dir/predicate_test.cc.o.d"
+  "predicate_test"
+  "predicate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for predicate_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_sweep_test.dir/robustness_sweep_test.cc.o"
+  "CMakeFiles/robustness_sweep_test.dir/robustness_sweep_test.cc.o.d"
+  "robustness_sweep_test"
+  "robustness_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_codec_test.dir/row_codec_test.cc.o"
+  "CMakeFiles/row_codec_test.dir/row_codec_test.cc.o.d"
+  "row_codec_test"
+  "row_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

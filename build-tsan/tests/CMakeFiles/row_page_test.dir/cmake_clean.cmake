@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_page_test.dir/row_page_test.cc.o"
+  "CMakeFiles/row_page_test.dir/row_page_test.cc.o.d"
+  "row_page_test"
+  "row_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

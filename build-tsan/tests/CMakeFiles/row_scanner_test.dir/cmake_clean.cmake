@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_scanner_test.dir/row_scanner_test.cc.o"
+  "CMakeFiles/row_scanner_test.dir/row_scanner_test.cc.o.d"
+  "row_scanner_test"
+  "row_scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

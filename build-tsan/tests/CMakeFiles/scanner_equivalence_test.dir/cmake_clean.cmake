@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_equivalence_test.dir/scanner_equivalence_test.cc.o"
+  "CMakeFiles/scanner_equivalence_test.dir/scanner_equivalence_test.cc.o.d"
+  "scanner_equivalence_test"
+  "scanner_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

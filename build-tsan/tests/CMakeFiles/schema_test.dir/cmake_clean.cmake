@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_test.dir/schema_test.cc.o"
+  "CMakeFiles/schema_test.dir/schema_test.cc.o.d"
+  "schema_test"
+  "schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_scan_test.dir/shared_scan_test.cc.o"
+  "CMakeFiles/shared_scan_test.dir/shared_scan_test.cc.o.d"
+  "shared_scan_test"
+  "shared_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

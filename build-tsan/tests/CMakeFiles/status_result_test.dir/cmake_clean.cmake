@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/status_result_test.dir/status_result_test.cc.o"
+  "CMakeFiles/status_result_test.dir/status_result_test.cc.o.d"
+  "status_result_test"
+  "status_result_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/status_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

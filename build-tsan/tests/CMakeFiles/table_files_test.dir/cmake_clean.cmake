@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_files_test.dir/table_files_test.cc.o"
+  "CMakeFiles/table_files_test.dir/table_files_test.cc.o.d"
+  "table_files_test"
+  "table_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_test.dir/tpch_test.cc.o"
+  "CMakeFiles/tpch_test.dir/tpch_test.cc.o.d"
+  "tpch_test"
+  "tpch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_block_test.dir/tuple_block_test.cc.o"
+  "CMakeFiles/tuple_block_test.dir/tuple_block_test.cc.o.d"
+  "tuple_block_test"
+  "tuple_block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_all_test.dir/union_all_test.cc.o"
+  "CMakeFiles/union_all_test.dir/union_all_test.cc.o.d"
+  "union_all_test"
+  "union_all_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_all_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wos_test.dir/wos_test.cc.o"
+  "CMakeFiles/wos_test.dir/wos_test.cc.o.d"
+  "wos_test"
+  "wos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

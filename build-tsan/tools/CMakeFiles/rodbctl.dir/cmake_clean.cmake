@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodbctl.dir/rodbctl.cpp.o"
+  "CMakeFiles/rodbctl.dir/rodbctl.cpp.o.d"
+  "rodbctl"
+  "rodbctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodbctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rodbctl.
+# This may be replaced when dependencies are built.

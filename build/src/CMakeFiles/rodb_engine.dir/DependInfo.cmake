@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/engine/early_mat_scanner.cc" "src/CMakeFiles/rodb_engine.dir/engine/early_mat_scanner.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/early_mat_scanner.cc.o.d"
   "/root/repo/src/engine/executor.cc" "src/CMakeFiles/rodb_engine.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/executor.cc.o.d"
   "/root/repo/src/engine/merge_join.cc" "src/CMakeFiles/rodb_engine.dir/engine/merge_join.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/merge_join.cc.o.d"
+  "/root/repo/src/engine/parallel_executor.cc" "src/CMakeFiles/rodb_engine.dir/engine/parallel_executor.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/parallel_executor.cc.o.d"
   "/root/repo/src/engine/pax_scanner.cc" "src/CMakeFiles/rodb_engine.dir/engine/pax_scanner.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/pax_scanner.cc.o.d"
   "/root/repo/src/engine/plan_builder.cc" "src/CMakeFiles/rodb_engine.dir/engine/plan_builder.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/plan_builder.cc.o.d"
   "/root/repo/src/engine/predicate.cc" "src/CMakeFiles/rodb_engine.dir/engine/predicate.cc.o" "gcc" "src/CMakeFiles/rodb_engine.dir/engine/predicate.cc.o.d"

@@ -233,7 +233,8 @@ Status ColumnScanner::AdvanceNodePage(Node& node) {
     RODB_ASSIGN_OR_RETURN(ColumnPageReader reader,
                           ColumnPageReader::Open(page_data,
                                                  table_->meta().page_size,
-                                                 node.codec.get()));
+                                                 node.codec.get(),
+                                                 spec_.verify_checksums));
     stats_->counters().pages_parsed += 1;
     node.page.emplace(reader);
     node.consumed_in_page = 0;
@@ -333,7 +334,17 @@ Status ColumnScanner::ProduceBase(Node& node) {
     if (!node.page.has_value() ||
         node.consumed_in_page >= node.page->count()) {
       RODB_RETURN_IF_ERROR(AdvanceNodePage(node));
-      if (node.eof) break;
+      if (node.eof) {
+        // The stream must not end before the scanned position range does:
+        // a truncated column file has to fail, not return fewer rows.
+        if (node.page_start_pos < end_row_) {
+          return Status::Corruption(
+              "column " + std::to_string(node.attr) +
+              " ended at position " + std::to_string(node.page_start_pos) +
+              " before the scan range end " + std::to_string(end_row_));
+        }
+        break;
+      }
     }
     const uint64_t pos = node.page_start_pos + node.consumed_in_page;
     if (pos >= end_row_) {

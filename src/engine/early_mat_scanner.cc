@@ -132,7 +132,7 @@ Status EarlyMatColumnScanner::AdvancePage(Cursor& cursor) {
     RODB_ASSIGN_OR_RETURN(
         ColumnPageReader reader,
         ColumnPageReader::Open(page_data, table_->meta().page_size,
-                               cursor.codec.get()));
+                               cursor.codec.get(), spec_.verify_checksums));
     stats_->counters().pages_parsed += 1;
     // Every column streams fully under early materialization.
     stats_->AddSequentialBytes(table_->meta().page_size);
@@ -162,7 +162,17 @@ Result<TupleBlock*> EarlyMatColumnScanner::Next() {
   while (!block_.full()) {
     // Row-at-a-time over all cursors in lockstep.
     RODB_RETURN_IF_ERROR(EnsureValue(cursors_[0]));
-    if (cursors_[0].eof) break;
+    if (cursors_[0].eof) {
+      // The driving column must deliver every tuple the catalog promised;
+      // a truncated file has to fail, not return fewer rows.
+      if (next_position_ < table_->meta().num_tuples) {
+        return Status::Corruption(
+            "column " + std::to_string(cursors_[0].attr) +
+            " ended after " + std::to_string(next_position_) +
+            " of " + std::to_string(table_->meta().num_tuples) + " tuples");
+      }
+      break;
+    }
     c.tuples_examined += 1;
     const uint64_t position = next_position_++;
     bool pass = true;

@@ -159,7 +159,7 @@ Status PaxScanner::AdvancePage() {
       RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
       if (view_.size == 0) {
         eof_ = true;
-        return Status::OK();
+        return CheckScanComplete();
       }
       pages_in_view_ = view_.size / table_->meta().page_size;
       page_in_view_ = 0;
@@ -173,12 +173,14 @@ Status PaxScanner::AdvancePage() {
     RODB_ASSIGN_OR_RETURN(
         PaxPageReader eval,
         PaxPageReader::Open(page_data, table_->meta().page_size, &schema,
-                            eval_raw_));
+                            eval_raw_, spec_.verify_checksums));
     RODB_ASSIGN_OR_RETURN(
         PaxPageReader emit,
         PaxPageReader::Open(page_data, table_->meta().page_size, &schema,
-                            emit_raw_));
+                            emit_raw_, spec_.verify_checksums));
     stats_->counters().pages_parsed += 1;
+    pages_scanned_ += 1;
+    tuples_scanned_ += eval.count();
     eval_reader_.emplace(eval);
     emit_reader_.emplace(emit);
     page_count_ = eval_reader_->count();
@@ -258,6 +260,27 @@ Status PaxScanner::AdvancePage() {
     eval_reader_.reset();
     emit_reader_.reset();
   }
+}
+
+Status PaxScanner::CheckScanComplete() const {
+  const TableMeta& meta = table_->meta();
+  const uint64_t total_pages = meta.file_pages.empty() ? 0
+                                                       : meta.file_pages[0];
+  const uint64_t avail =
+      spec_.first_page < total_pages ? total_pages - spec_.first_page : 0;
+  const uint64_t expected_pages = std::min(spec_.num_pages, avail);
+  if (pages_scanned_ != expected_pages) {
+    return Status::Corruption(
+        "PAX file ended early: scanned " + std::to_string(pages_scanned_) +
+        " of " + std::to_string(expected_pages) + " expected pages");
+  }
+  if (spec_.first_page == 0 && spec_.num_pages == UINT64_MAX &&
+      tuples_scanned_ != meta.num_tuples) {
+    return Status::Corruption(
+        "PAX table holds " + std::to_string(tuples_scanned_) +
+        " tuples but the catalog claims " + std::to_string(meta.num_tuples));
+  }
+  return Status::OK();
 }
 
 Result<TupleBlock*> PaxScanner::Next() {

@@ -43,6 +43,10 @@ class PaxScanner final : public Operator {
 
   /// Loads the next page, runs the evaluation pass, fills positions_.
   Status AdvancePage();
+  /// At stream EOF: the pages/tuples actually delivered must match what
+  /// the catalog promised for the scanned range -- a file truncated
+  /// underneath the scan must fail, not silently return fewer rows.
+  Status CheckScanComplete() const;
   void AccountPage();
   void CountDecode(CompressionKind kind, uint64_t n);
 
@@ -72,6 +76,8 @@ class PaxScanner final : public Operator {
   size_t pos_idx_ = 0;
   uint64_t page_start_pos_ = 0;         ///< global row id of page start
   uint32_t page_count_ = 0;
+  uint64_t pages_scanned_ = 0;
+  uint64_t tuples_scanned_ = 0;         ///< sum of scanned pages' counts
   std::vector<uint64_t> emit_cursor_;   ///< per-attr values consumed (emit)
   std::vector<uint64_t> touched_;       ///< per-attr touched values (page)
   std::vector<uint8_t> value_scratch_;

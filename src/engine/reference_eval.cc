@@ -1,0 +1,205 @@
+#include "engine/reference_eval.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+#include "engine/executor.h"
+
+namespace rodb {
+
+namespace {
+
+Status ValidateSpec(const Schema& schema, const ScanSpec& spec) {
+  if (spec.projection.empty()) {
+    return Status::InvalidArgument("scan projection must not be empty");
+  }
+  for (int attr : spec.projection) {
+    if (attr < 0 || static_cast<size_t>(attr) >= schema.num_attributes()) {
+      return Status::OutOfRange("projection attribute out of range");
+    }
+  }
+  for (const Predicate& pred : spec.predicates) {
+    if (pred.attr_index() < 0 ||
+        static_cast<size_t>(pred.attr_index()) >= schema.num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+  }
+  return Status::OK();
+}
+
+void FinishChecksum(ReferenceResult* result) {
+  uint64_t checksum = kFnv1aSeed;
+  for (const std::vector<uint8_t>& tuple : result->tuples) {
+    checksum = Fnv1aExtend(checksum, tuple.data(), tuple.size());
+  }
+  result->rows = result->tuples.size();
+  result->output_checksum = checksum;
+}
+
+/// One group's accumulators, mirroring AggAccumulator.
+struct RefGroup {
+  int64_t count = 0;
+  std::vector<int64_t> acc;
+};
+
+}  // namespace
+
+Result<ReferenceResult> ReferenceScan(
+    const Schema& schema, const std::vector<std::vector<uint8_t>>& tuples,
+    const ScanSpec& spec) {
+  RODB_RETURN_IF_ERROR(ValidateSpec(schema, spec));
+  size_t out_width = 0;
+  for (int attr : spec.projection) {
+    out_width += static_cast<size_t>(
+        schema.attribute(static_cast<size_t>(attr)).width);
+  }
+  ReferenceResult result;
+  for (const std::vector<uint8_t>& raw : tuples) {
+    bool pass = true;
+    for (const Predicate& pred : spec.predicates) {
+      const uint8_t* value =
+          raw.data() + schema.attr_offset(static_cast<size_t>(pred.attr_index()));
+      if (!pred.Eval(value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    std::vector<uint8_t> out;
+    out.reserve(out_width);
+    for (int attr : spec.projection) {
+      const size_t a = static_cast<size_t>(attr);
+      const uint8_t* value = raw.data() + schema.attr_offset(a);
+      out.insert(out.end(), value,
+                 value + static_cast<size_t>(schema.attribute(a).width));
+    }
+    result.tuples.push_back(std::move(out));
+  }
+  FinishChecksum(&result);
+  return result;
+}
+
+Result<ReferenceResult> ReferenceAggregate(
+    const Schema& schema, const std::vector<std::vector<uint8_t>>& tuples,
+    const ScanSpec& spec, const AggPlan& plan) {
+  RODB_ASSIGN_OR_RETURN(ReferenceResult scanned,
+                        ReferenceScan(schema, tuples, spec));
+  if (plan.aggs.empty()) {
+    return Status::InvalidArgument("aggregation needs at least one aggregate");
+  }
+  // Column indices address the scan projection; build their byte offsets.
+  std::vector<size_t> col_offsets;
+  std::vector<int> col_widths;
+  size_t offset = 0;
+  for (int attr : spec.projection) {
+    const int width = schema.attribute(static_cast<size_t>(attr)).width;
+    col_offsets.push_back(offset);
+    col_widths.push_back(width);
+    offset += static_cast<size_t>(width);
+  }
+  auto check_col = [&](int col) -> Status {
+    if (col < 0 || static_cast<size_t>(col) >= col_widths.size()) {
+      return Status::OutOfRange("aggregate column out of range");
+    }
+    if (col_widths[static_cast<size_t>(col)] != 4) {
+      return Status::InvalidArgument("aggregate input must be int32");
+    }
+    return Status::OK();
+  };
+  if (plan.group_column >= 0) {
+    RODB_RETURN_IF_ERROR(check_col(plan.group_column));
+  }
+  for (const AggSpec& agg : plan.aggs) {
+    if (agg.func == AggFunc::kCount) continue;
+    RODB_RETURN_IF_ERROR(check_col(agg.column));
+  }
+
+  auto make_group = [&] {
+    RefGroup group;
+    group.acc.resize(plan.aggs.size());
+    for (size_t i = 0; i < plan.aggs.size(); ++i) {
+      switch (plan.aggs[i].func) {
+        case AggFunc::kMin:
+          group.acc[i] = std::numeric_limits<int64_t>::max();
+          break;
+        case AggFunc::kMax:
+          group.acc[i] = std::numeric_limits<int64_t>::min();
+          break;
+        default:
+          group.acc[i] = 0;
+          break;
+      }
+    }
+    return group;
+  };
+  // std::map iterates in ascending key order -- the engine's emit order.
+  std::map<int32_t, RefGroup> groups;
+  constexpr int32_t kGlobalKey = 0;
+  for (const std::vector<uint8_t>& tuple : scanned.tuples) {
+    const int32_t key =
+        plan.group_column >= 0
+            ? LoadLE32s(tuple.data() +
+                        col_offsets[static_cast<size_t>(plan.group_column)])
+            : kGlobalKey;
+    auto it = groups.find(key);
+    if (it == groups.end()) it = groups.emplace(key, make_group()).first;
+    RefGroup& group = it->second;
+    ++group.count;
+    for (size_t i = 0; i < plan.aggs.size(); ++i) {
+      const AggSpec& agg = plan.aggs[i];
+      if (agg.func == AggFunc::kCount) continue;
+      const int64_t v = LoadLE32s(
+          tuple.data() + col_offsets[static_cast<size_t>(agg.column)]);
+      switch (agg.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          group.acc[i] += v;
+          break;
+        case AggFunc::kMin:
+          group.acc[i] = std::min(group.acc[i], v);
+          break;
+        case AggFunc::kMax:
+          group.acc[i] = std::max(group.acc[i], v);
+          break;
+        case AggFunc::kCount:
+          break;
+      }
+    }
+  }
+  // Note: empty input produces zero groups (no global row), matching the
+  // engine's aggregate operators and the parallel merge.
+
+  ReferenceResult result;
+  for (const auto& [key, group] : groups) {
+    std::vector<uint8_t> out;
+    if (plan.group_column >= 0) {
+      out.resize(4);
+      StoreLE32s(out.data(), key);
+    }
+    const size_t agg_base = out.size();
+    out.resize(agg_base + 8 * plan.aggs.size());
+    for (size_t i = 0; i < plan.aggs.size(); ++i) {
+      int64_t v = 0;
+      switch (plan.aggs[i].func) {
+        case AggFunc::kCount:
+          v = group.count;
+          break;
+        case AggFunc::kAvg:
+          v = group.count == 0 ? 0 : group.acc[i] / group.count;
+          break;
+        default:
+          v = group.acc[i];
+          break;
+      }
+      StoreLE64(out.data() + agg_base + 8 * i, static_cast<uint64_t>(v));
+    }
+    result.tuples.push_back(std::move(out));
+  }
+  FinishChecksum(&result);
+  return result;
+}
+
+}  // namespace rodb

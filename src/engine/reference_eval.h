@@ -1,0 +1,56 @@
+#ifndef RODB_ENGINE_REFERENCE_EVAL_H_
+#define RODB_ENGINE_REFERENCE_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/aggregate.h"
+#include "engine/scan_spec.h"
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// Reference ("oracle") query evaluator for differential testing. It
+/// executes the same query shapes the engine supports -- scan, filter,
+/// project, aggregate -- directly over in-memory raw tuples, touching
+/// none of the storage, codec, I/O or operator machinery. Any divergence
+/// between this evaluator and the engine is a bug in one of them.
+///
+/// Deliberately simple and slow: one straight-line pass over the tuples,
+/// no pages, no compression, no blocks. Semantics mirror the engine's
+/// documented behaviour exactly:
+///  - predicates evaluate on raw attribute bytes (Predicate::Eval);
+///  - projection copies attribute bytes in projection order, which is the
+///    block layout the scanners emit;
+///  - aggregation follows AggAccumulator (int64 accumulators, AVG is
+///    integer division, MIN/MAX start from the int64 limits) and emits
+///    groups in ascending key order, matching SortAggOperator and the
+///    parallel executor's merge.
+struct ReferenceResult {
+  uint64_t rows = 0;
+  /// FNV-1a over the concatenated output tuples, seeded with kFnv1aSeed --
+  /// directly comparable with ExecutionResult::output_checksum.
+  uint64_t output_checksum = 0;
+  /// The output tuples themselves (projection layout for scans, aggregate
+  /// output layout for aggregations), for exact engine comparisons.
+  std::vector<std::vector<uint8_t>> tuples;
+};
+
+/// Evaluates projection + predicates of `spec` over `tuples` (raw tuples
+/// of `schema` width each). Range fields of the spec are ignored: the
+/// oracle always answers for the whole relation.
+Result<ReferenceResult> ReferenceScan(
+    const Schema& schema, const std::vector<std::vector<uint8_t>>& tuples,
+    const ScanSpec& spec);
+
+/// Evaluates scan + aggregation. `plan` column indices address the scan's
+/// projection output (block columns), as with the engine's aggregate
+/// operators; referenced columns must be 4 bytes wide.
+Result<ReferenceResult> ReferenceAggregate(
+    const Schema& schema, const std::vector<std::vector<uint8_t>>& tuples,
+    const ScanSpec& spec, const AggPlan& plan);
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_REFERENCE_EVAL_H_

@@ -100,7 +100,7 @@ Status RowScanner::AdvancePage() {
       RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
       if (view_.size == 0) {
         eof_ = true;
-        return Status::OK();
+        return CheckScanComplete();
       }
       pages_in_view_ = view_.size / table_->meta().page_size;
       page_in_view_ = 0;
@@ -115,8 +115,11 @@ Status RowScanner::AdvancePage() {
         RowPageReader reader,
         RowPageReader::Open(page_data, table_->meta().page_size,
                             &table_->schema(),
-                            codec_bundle_.row_codec.get()));
+                            codec_bundle_.row_codec.get(),
+                            spec_.verify_checksums));
     stats_->counters().pages_parsed += 1;
+    pages_scanned_ += 1;
+    tuples_scanned_ += reader.count();
     // A row scan streams the full page through the cache hierarchy.
     stats_->AddSequentialBytes(table_->meta().page_size);
     page_.emplace(reader);
@@ -124,6 +127,27 @@ Status RowScanner::AdvancePage() {
     if (page_->count() > 0) return Status::OK();
     // Empty page: keep advancing.
   }
+}
+
+Status RowScanner::CheckScanComplete() const {
+  const TableMeta& meta = table_->meta();
+  const uint64_t total_pages = meta.file_pages.empty() ? 0
+                                                       : meta.file_pages[0];
+  const uint64_t avail =
+      spec_.first_page < total_pages ? total_pages - spec_.first_page : 0;
+  const uint64_t expected_pages = std::min(spec_.num_pages, avail);
+  if (pages_scanned_ != expected_pages) {
+    return Status::Corruption(
+        "row file ended early: scanned " + std::to_string(pages_scanned_) +
+        " of " + std::to_string(expected_pages) + " expected pages");
+  }
+  if (spec_.first_page == 0 && spec_.num_pages == UINT64_MAX &&
+      tuples_scanned_ != meta.num_tuples) {
+    return Status::Corruption(
+        "row table holds " + std::to_string(tuples_scanned_) +
+        " tuples but the catalog claims " + std::to_string(meta.num_tuples));
+  }
+  return Status::OK();
 }
 
 void RowScanner::ProcessCurrentPage() {

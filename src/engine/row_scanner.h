@@ -38,6 +38,10 @@ class RowScanner final : public Operator {
 
   /// Advances to the next page in the stream. Sets eof_ when done.
   Status AdvancePage();
+  /// At stream EOF: the pages/tuples actually delivered must match what
+  /// the catalog promised for the scanned range -- a file truncated
+  /// underneath the scan must fail, not silently return fewer rows.
+  Status CheckScanComplete() const;
   /// Processes tuples of the current page into block_ until the block is
   /// full or the page is exhausted.
   void ProcessCurrentPage();
@@ -56,6 +60,8 @@ class RowScanner final : public Operator {
   std::optional<RowPageReader> page_;
   uint32_t tuple_in_page_ = 0;
   uint64_t next_position_ = 0;  ///< absolute row id of the next tuple
+  uint64_t pages_scanned_ = 0;
+  uint64_t tuples_scanned_ = 0;  ///< sum of scanned pages' tuple counts
   bool eof_ = false;
   bool opened_ = false;
 

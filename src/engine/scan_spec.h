@@ -44,6 +44,11 @@ struct ScanSpec {
   /// the column-store advantage the paper's conclusion cites). Currently
   /// honored by the pipelined ColumnScanner.
   bool compressed_eval = true;
+  /// Verify every page's CRC-32 before decoding it. Off on the hot path
+  /// (as in any engine); turned on by verification tools and by the
+  /// fault-injecting fuzz runs, where silent payload corruption must
+  /// surface as Status::Corruption instead of decoded garbage.
+  bool verify_checksums = false;
 };
 
 /// The distinct table attributes a column scan must read, in pipeline

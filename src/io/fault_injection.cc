@@ -1,0 +1,196 @@
+#include "io/fault_injection.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace rodb {
+
+namespace {
+
+/// FNV-1a over the path's basename, mixed with the stream's seed and byte
+/// range so distinct streams draw independent (but reproducible) fault
+/// sequences. The directory part is deliberately excluded: fuzz runs use
+/// fresh temp directories, and fault sequences must not depend on their
+/// random names.
+uint64_t StreamSeed(uint64_t seed, const std::string& path, uint64_t offset) {
+  const size_t slash = path.find_last_of('/');
+  const size_t start = slash == std::string::npos ? 0 : slash + 1;
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = start; i < path.size(); ++i) {
+    h ^= static_cast<uint8_t>(path[i]);
+    h *= 1099511628211ULL;
+  }
+  h ^= seed + 0x9e3779b97f4a7c15ULL;
+  h *= 1099511628211ULL;
+  h ^= offset + 1;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+}  // namespace
+
+class FaultInjectingBackend::FaultStream final : public SequentialStream {
+ public:
+  FaultStream(std::unique_ptr<SequentialStream> inner,
+              FaultInjectingBackend* owner, uint64_t stream_seed)
+      : inner_(std::move(inner)), owner_(owner), rng_(stream_seed) {
+    const FaultSpec& spec = owner_->spec_;
+    if (spec.truncate_probability > 0 &&
+        rng_.Bernoulli(spec.truncate_probability)) {
+      // End the stream after a random prefix of whatever it would have
+      // served (0 = immediate EOF, as if the whole range were gone).
+      truncate_at_ = rng_.Uniform(inner_->file_size() + 1);
+      owner_->injected_truncations_.fetch_add(1);
+    }
+  }
+
+  Result<IoView> Next() override {
+    const FaultSpec& spec = owner_->spec_;
+    if (units_served_++ == spec.fail_after_units) {
+      owner_->injected_errors_.fetch_add(1);
+      return Status::IoError("injected I/O failure");
+    }
+    if (spec.error_probability > 0 && rng_.Bernoulli(spec.error_probability)) {
+      owner_->injected_errors_.fetch_add(1);
+      return Status::IoError("injected transient I/O error");
+    }
+    if (remainder_size_ > 0) {
+      return ServeFromBuffer();
+    }
+    RODB_ASSIGN_OR_RETURN(IoView view, inner_->Next());
+    if (view.size == 0) return view;
+    if (truncate_at_ >= 0) {
+      const uint64_t limit = static_cast<uint64_t>(truncate_at_);
+      if (bytes_served_ >= limit) {
+        return IoView{nullptr, 0, view.file_offset};
+      }
+      view.size = std::min<size_t>(view.size,
+                                   static_cast<size_t>(limit - bytes_served_));
+    }
+    // From here every mutation works on a private copy: the inner view
+    // must stay byte-exact for any retry/other decorator.
+    buffer_.assign(view.data, view.data + view.size);
+    buffer_offset_ = view.file_offset;
+    buffer_served_ = 0;
+    remainder_size_ = buffer_.size();
+    if (spec.bit_flip_probability > 0 &&
+        rng_.Bernoulli(spec.bit_flip_probability)) {
+      const uint64_t bit = rng_.Uniform(buffer_.size() * 8);
+      buffer_[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      owner_->injected_bit_flips_.fetch_add(1);
+    }
+    return ServeFromBuffer();
+  }
+
+  uint64_t file_size() const override { return inner_->file_size(); }
+
+ private:
+  Result<IoView> ServeFromBuffer() {
+    const FaultSpec& spec = owner_->spec_;
+    size_t take = remainder_size_;
+    if (take > 1 && spec.short_read_probability > 0 &&
+        rng_.Bernoulli(spec.short_read_probability)) {
+      take = 1 + static_cast<size_t>(rng_.Uniform(take - 1));
+      owner_->injected_short_reads_.fetch_add(1);
+    }
+    IoView view{buffer_.data() + buffer_served_, take,
+                buffer_offset_ + buffer_served_};
+    buffer_served_ += take;
+    remainder_size_ -= take;
+    bytes_served_ += take;
+    return view;
+  }
+
+  std::unique_ptr<SequentialStream> inner_;
+  FaultInjectingBackend* owner_;
+  Random rng_;
+  int64_t truncate_at_ = -1;  ///< stream byte budget; -1 = no truncation
+  int64_t units_served_ = 0;
+  uint64_t bytes_served_ = 0;
+  /// Private copy of the current inner view (bit flips / short reads).
+  std::vector<uint8_t> buffer_;
+  uint64_t buffer_offset_ = 0;
+  size_t buffer_served_ = 0;
+  size_t remainder_size_ = 0;
+};
+
+Result<std::unique_ptr<SequentialStream>> FaultInjectingBackend::OpenStream(
+    const std::string& path, const IoOptions& options) {
+  RODB_ASSIGN_OR_RETURN(std::unique_ptr<SequentialStream> inner,
+                        inner_->OpenStream(path, options));
+  return std::unique_ptr<SequentialStream>(new FaultStream(
+      std::move(inner), this,
+      StreamSeed(spec_.seed, path, options.start_offset)));
+}
+
+class TracingBackend::TracingStream final : public SequentialStream {
+ public:
+  TracingStream(std::unique_ptr<SequentialStream> inner,
+                TracingBackend* owner, std::string path)
+      : inner_(std::move(inner)), owner_(owner), path_(std::move(path)) {}
+
+  Result<IoView> Next() override {
+    RODB_ASSIGN_OR_RETURN(IoView view, inner_->Next());
+    if (view.size > 0) owner_->Record(path_, 1, view.size);
+    return view;
+  }
+
+  uint64_t file_size() const override { return inner_->file_size(); }
+
+ private:
+  std::unique_ptr<SequentialStream> inner_;
+  TracingBackend* owner_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<SequentialStream>> TracingBackend::OpenStream(
+    const std::string& path, const IoOptions& options) {
+  RODB_ASSIGN_OR_RETURN(std::unique_ptr<SequentialStream> inner,
+                        inner_->OpenStream(path, options));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    traces_[path].opens += 1;
+  }
+  return std::unique_ptr<SequentialStream>(
+      new TracingStream(std::move(inner), this, path));
+}
+
+void TracingBackend::Record(const std::string& path, uint64_t units,
+                            uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PathTrace& t = traces_[path];
+  t.units += units;
+  t.bytes += bytes;
+}
+
+TracingBackend::PathTrace TracingBackend::Trace(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(path);
+  return it == traces_.end() ? PathTrace{} : it->second;
+}
+
+std::vector<std::string> TracingBackend::Paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  paths.reserve(traces_.size());
+  for (const auto& [path, trace] : traces_) paths.push_back(path);
+  return paths;
+}
+
+uint64_t TracingBackend::total_opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, trace] : traces_) total += trace.opens;
+  return total;
+}
+
+void TracingBackend::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+}
+
+}  // namespace rodb

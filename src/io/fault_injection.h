@@ -1,0 +1,130 @@
+#ifndef RODB_IO_FAULT_INJECTION_H_
+#define RODB_IO_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/io.h"
+
+namespace rodb {
+
+/// What a FaultInjectingBackend does to the streams it decorates. All
+/// faults are drawn from a PRNG derived from (seed, file name,
+/// start_offset) -- the directory part is excluded so fresh temp dirs
+/// reproduce --
+/// so a given configuration misbehaves identically on every run and on
+/// every thread interleaving -- the property the differential fuzzer's
+/// reproduce-from-seed contract depends on.
+struct FaultSpec {
+  uint64_t seed = 1;
+
+  /// Deterministic per-stream failure: the stream's Nth Next() call (0 =
+  /// the first) returns IoError. -1 disables. This is the old
+  /// failure_injection_test FlakyBackend behaviour.
+  int fail_after_units = -1;
+
+  /// Per Next(): probability of a transient IoError (the read itself is
+  /// not consumed; a retry would see the same data).
+  double error_probability = 0.0;
+
+  /// Per delivered view: probability of splitting it and delivering only
+  /// a prefix now (a short read). The remainder is served by the
+  /// following Next() calls, so offsets stay consistent -- a correct
+  /// consumer must cope or fail cleanly, never misread.
+  double short_read_probability = 0.0;
+
+  /// Per stream, decided at open: probability that the stream ends early
+  /// (EOF after a random prefix of its byte range), as if the file had
+  /// been truncated underneath the reader.
+  double truncate_probability = 0.0;
+
+  /// Per delivered view: probability of flipping one random bit of the
+  /// payload (silent media corruption; only page checksums can catch it).
+  double bit_flip_probability = 0.0;
+
+  /// FlakyBackend-compatible spec: fail the (units+1)-th read.
+  static FaultSpec FailAfter(int units) {
+    FaultSpec spec;
+    spec.fail_after_units = units;
+    return spec;
+  }
+};
+
+/// IoBackend decorator that injects the faults described by a FaultSpec
+/// into every stream it opens. Thread-safe: concurrent OpenStream calls
+/// (morsel workers) are fine, and each stream owns its PRNG and buffers.
+///
+/// Composable with any inner backend (FileBackend, MemBackend,
+/// TracingBackend); the inner backend is borrowed and must outlive this.
+class FaultInjectingBackend : public IoBackend {
+ public:
+  FaultInjectingBackend(IoBackend* inner, FaultSpec spec)
+      : inner_(inner), spec_(spec) {}
+
+  Result<std::unique_ptr<SequentialStream>> OpenStream(
+      const std::string& path, const IoOptions& options) override;
+
+  /// Totals across all streams, for asserting that faults actually fired.
+  uint64_t injected_errors() const { return injected_errors_.load(); }
+  uint64_t injected_short_reads() const { return injected_short_reads_.load(); }
+  uint64_t injected_truncations() const {
+    return injected_truncations_.load();
+  }
+  uint64_t injected_bit_flips() const { return injected_bit_flips_.load(); }
+  uint64_t injected_total() const {
+    return injected_errors() + injected_short_reads() +
+           injected_truncations() + injected_bit_flips();
+  }
+
+ private:
+  class FaultStream;
+
+  IoBackend* inner_;
+  FaultSpec spec_;
+  std::atomic<uint64_t> injected_errors_{0};
+  std::atomic<uint64_t> injected_short_reads_{0};
+  std::atomic<uint64_t> injected_truncations_{0};
+  std::atomic<uint64_t> injected_bit_flips_{0};
+};
+
+/// IoBackend decorator that counts, per file path, how the engine reads:
+/// stream opens, Next() calls that returned data, and bytes delivered.
+/// Lets tests assert I/O behaviour (e.g. a column scan opens exactly the
+/// files its pipeline touches) without reaching into scanner internals.
+class TracingBackend : public IoBackend {
+ public:
+  struct PathTrace {
+    uint64_t opens = 0;
+    uint64_t units = 0;   ///< non-empty views delivered
+    uint64_t bytes = 0;   ///< payload bytes delivered
+  };
+
+  explicit TracingBackend(IoBackend* inner) : inner_(inner) {}
+
+  Result<std::unique_ptr<SequentialStream>> OpenStream(
+      const std::string& path, const IoOptions& options) override;
+
+  /// Counters for one path (zeroes if never opened).
+  PathTrace Trace(const std::string& path) const;
+  /// Every path opened so far, in lexicographic order.
+  std::vector<std::string> Paths() const;
+  uint64_t total_opens() const;
+
+  void Reset();
+
+ private:
+  class TracingStream;
+
+  void Record(const std::string& path, uint64_t units, uint64_t bytes);
+
+  IoBackend* inner_;
+  mutable std::mutex mu_;
+  std::map<std::string, PathTrace> traces_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_IO_FAULT_INJECTION_H_

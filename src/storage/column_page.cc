@@ -53,11 +53,13 @@ Status ColumnPageBuilder::Finish(uint32_t page_id) {
 
 Result<ColumnPageReader> ColumnPageReader::Open(const uint8_t* page,
                                                 size_t page_size,
-                                                AttributeCodec* codec) {
+                                                AttributeCodec* codec,
+                                                bool verify_checksum) {
   if (codec == nullptr) {
     return Status::InvalidArgument("ColumnPageReader requires a codec");
   }
-  RODB_ASSIGN_OR_RETURN(PageView view, PageView::Parse(page, page_size));
+  RODB_ASSIGN_OR_RETURN(PageView view,
+                        PageView::Parse(page, page_size, verify_checksum));
   const int want_meta = CodecNeedsPageMeta(codec->kind()) ? 1 : 0;
   if (view.meta_count() != want_meta) {
     return Status::Corruption("column page meta count mismatch");

@@ -39,8 +39,11 @@ class ColumnPageBuilder {
 /// Sequentially decodes one column page through its (stateful) codec.
 class ColumnPageReader {
  public:
+  /// `verify_checksum` additionally validates the page CRC (see
+  /// PageView::Parse) so silent payload corruption fails the open.
   static Result<ColumnPageReader> Open(const uint8_t* page, size_t page_size,
-                                       AttributeCodec* codec);
+                                       AttributeCodec* codec,
+                                       bool verify_checksum = false);
 
   uint32_t count() const { return view_.count(); }
   uint32_t page_id() const { return view_.page_id(); }

@@ -127,11 +127,12 @@ Status PaxPageBuilder::Finish(uint32_t page_id) {
 
 Result<PaxPageReader> PaxPageReader::Open(
     const uint8_t* page, size_t page_size, const Schema* schema,
-    const std::vector<AttributeCodec*>& codecs) {
+    const std::vector<AttributeCodec*>& codecs, bool verify_checksum) {
   if (schema == nullptr || codecs.size() != schema->num_attributes()) {
     return Status::InvalidArgument("PAX reader: schema/codec mismatch");
   }
-  RODB_ASSIGN_OR_RETURN(PageView view, PageView::Parse(page, page_size));
+  RODB_ASSIGN_OR_RETURN(PageView view,
+                        PageView::Parse(page, page_size, verify_checksum));
   if ((view.flags() & kPageFlagPax) == 0) {
     return Status::Corruption("not a PAX page");
   }

@@ -74,9 +74,12 @@ class PaxPageBuilder {
 class PaxPageReader {
  public:
   /// `codecs` must match the page's schema; they are reset per page.
+  /// `verify_checksum` additionally validates the page CRC (see
+  /// PageView::Parse) so silent payload corruption fails the open.
   static Result<PaxPageReader> Open(const uint8_t* page, size_t page_size,
                                     const Schema* schema,
-                                    const std::vector<AttributeCodec*>& codecs);
+                                    const std::vector<AttributeCodec*>& codecs,
+                                    bool verify_checksum = false);
 
   uint32_t count() const { return view_.count(); }
   uint32_t page_id() const { return view_.page_id(); }

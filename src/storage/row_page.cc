@@ -71,7 +71,8 @@ Status RowPageBuilder::Finish(uint32_t page_id) {
 Result<RowPageReader> RowPageReader::Open(const uint8_t* page,
                                           size_t page_size,
                                           const Schema* schema,
-                                          RowCodec* codec) {
+                                          RowCodec* codec,
+                                          bool verify_checksum) {
   if (schema == nullptr) {
     return Status::InvalidArgument("RowPageReader requires a schema");
   }
@@ -79,7 +80,8 @@ Result<RowPageReader> RowPageReader::Open(const uint8_t* page,
     return Status::InvalidArgument(
         "RowPageReader codec presence must match schema compression");
   }
-  RODB_ASSIGN_OR_RETURN(PageView view, PageView::Parse(page, page_size));
+  RODB_ASSIGN_OR_RETURN(PageView view,
+                        PageView::Parse(page, page_size, verify_checksum));
   if (codec != nullptr) {
     if (view.meta_count() != codec->page_meta_count()) {
       return Status::Corruption("row page meta count mismatch");

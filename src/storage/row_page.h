@@ -59,8 +59,11 @@ class RowPageBuilder {
 /// through the (stateful) RowCodec.
 class RowPageReader {
  public:
+  /// `verify_checksum` additionally validates the page CRC (see
+  /// PageView::Parse) so silent payload corruption fails the open.
   static Result<RowPageReader> Open(const uint8_t* page, size_t page_size,
-                                    const Schema* schema, RowCodec* codec);
+                                    const Schema* schema, RowCodec* codec,
+                                    bool verify_checksum = false);
 
   uint32_t count() const { return view_.count(); }
   uint32_t page_id() const { return view_.page_id(); }

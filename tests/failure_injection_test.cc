@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/file_util.h"
+#include "io/fault_injection.h"
 #include "scan_test_util.h"
 #include "wos/merge.h"
 
@@ -19,40 +20,6 @@ using rodb::testing::CollectTuples;
 using rodb::testing::LoadAllLayouts;
 using rodb::testing::MakeScanner;
 using rodb::testing::TempDir;
-
-/// An IoBackend whose streams fail after serving `fail_after` units.
-class FlakyBackend : public IoBackend {
- public:
-  FlakyBackend(IoBackend* inner, int fail_after)
-      : inner_(inner), fail_after_(fail_after) {}
-
-  Result<std::unique_ptr<SequentialStream>> OpenStream(
-      const std::string& path, const IoOptions& options) override {
-    auto inner = inner_->OpenStream(path, options);
-    RODB_RETURN_IF_ERROR(inner.status());
-    return std::unique_ptr<SequentialStream>(
-        new FlakyStream(std::move(inner).value(), fail_after_));
-  }
-
- private:
-  class FlakyStream : public SequentialStream {
-   public:
-    FlakyStream(std::unique_ptr<SequentialStream> inner, int fail_after)
-        : inner_(std::move(inner)), remaining_(fail_after) {}
-    Result<IoView> Next() override {
-      if (remaining_-- <= 0) return Status::IoError("injected I/O failure");
-      return inner_->Next();
-    }
-    uint64_t file_size() const override { return inner_->file_size(); }
-
-   private:
-    std::unique_ptr<SequentialStream> inner_;
-    int remaining_;
-  };
-
-  IoBackend* inner_;
-  int fail_after_;
-};
 
 class FailureInjectionTest : public ::testing::Test {
  protected:
@@ -85,19 +52,32 @@ class FailureInjectionTest : public ::testing::Test {
     }
   }
 
+  /// Flips one bit of the byte at `offset` -- guaranteed to change the
+  /// file, unlike an absolute overwrite.
+  void FlipBit(const std::string& path, size_t offset) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(byte ^ 0x10));
+  }
+
   void Truncate(const std::string& path, size_t new_size) {
     std::error_code ec;
     std::filesystem::resize_file(path, new_size, ec);
     ASSERT_FALSE(ec);
   }
 
-  Result<uint64_t> ScanRows(const std::string& table_name,
-                            IoBackend* backend) {
+  Result<uint64_t> ScanRows(const std::string& table_name, IoBackend* backend,
+                            bool verify_checksums = false) {
     auto table = OpenTable::Open(dir_.path(), table_name);
     RODB_RETURN_IF_ERROR(table.status());
     ScanSpec spec;
     spec.projection = {0, 1, 2};
     spec.io_unit_bytes = 4096;
+    spec.verify_checksums = verify_checksums;
     ExecStats stats;
     auto scan = MakeScanner(&*table, spec, backend, &stats);
     RODB_RETURN_IF_ERROR(scan.status());
@@ -167,12 +147,77 @@ TEST_F(FailureInjectionTest, TruncatedDictionarySidecarIsCorruption) {
 TEST_F(FailureInjectionTest, InjectedIoErrorPropagatesFromEveryScanner) {
   for (const char* name : {"t_row", "t_col", "t_pax"}) {
     SCOPED_TRACE(name);
-    FlakyBackend flaky(&backend_, /*fail_after=*/1);
+    FaultInjectingBackend flaky(&backend_, FaultSpec::FailAfter(1));
     auto rows = ScanRows(name, &flaky);
     ASSERT_FALSE(rows.ok());
     EXPECT_TRUE(rows.status().IsIoError());
     EXPECT_NE(rows.status().message().find("injected"), std::string::npos);
+    EXPECT_GE(flaky.injected_errors(), 1u);
   }
+}
+
+TEST_F(FailureInjectionTest, SealedPageBitFlipIsCorruptionInEveryLayout) {
+  // End to end: one flipped bit in a sealed page on disk, scanned through
+  // the real stack with checksum verification on, must come back as
+  // Corruption -- for every physical layout.
+  for (const char* name : {"t_row", "t_col", "t_pax"}) {
+    SCOPED_TRACE(name);
+    ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), name));
+    // Mid-payload of the first page: geometry stays valid, only the CRC
+    // can tell.
+    FlipBit(table.FilePath(0), 100);
+    auto rows = ScanRows(name, &backend_, /*verify_checksums=*/true);
+    EXPECT_FALSE(rows.ok());
+    EXPECT_TRUE(rows.status().IsCorruption()) << rows.status().ToString();
+  }
+}
+
+TEST_F(FailureInjectionTest, RandomBitFlipsNeverGoUnnoticedWhenVerifying) {
+  // Decorator-injected in-flight corruption: with checksums on, every
+  // outcome is either a clean Corruption/IoError or (if the flip missed
+  // the pages we read) the full, correct row count. Never silently short.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.bit_flip_probability = 0.5;
+    FaultInjectingBackend noisy(&backend_, spec);
+    auto rows = ScanRows("t_pax", &noisy, /*verify_checksums=*/true);
+    if (rows.ok()) {
+      EXPECT_EQ(*rows, 3000u);
+    } else {
+      EXPECT_TRUE(rows.status().IsCorruption() || rows.status().IsIoError())
+          << rows.status().ToString();
+    }
+    EXPECT_GT(noisy.injected_bit_flips(), 0u);
+  }
+}
+
+TEST_F(FailureInjectionTest, TracingBackendCountsPerFileReads) {
+  TracingBackend tracing(&backend_);
+  // A column scan projecting all three attributes opens exactly the three
+  // column files, once each, and actually pulls bytes through them.
+  ASSERT_OK_AND_ASSIGN(uint64_t rows, ScanRows("t_col", &tracing));
+  EXPECT_EQ(rows, 3000u);
+  EXPECT_EQ(tracing.total_opens(), 3u);
+  EXPECT_EQ(tracing.Paths().size(), 3u);
+  ASSERT_OK_AND_ASSIGN(OpenTable col, OpenTable::Open(dir_.path(), "t_col"));
+  for (int file = 0; file < 3; ++file) {
+    const TracingBackend::PathTrace trace = tracing.Trace(col.FilePath(file));
+    EXPECT_EQ(trace.opens, 1u);
+    EXPECT_GT(trace.units, 0u);
+    EXPECT_GT(trace.bytes, 0u);
+  }
+
+  tracing.Reset();
+  EXPECT_EQ(tracing.total_opens(), 0u);
+
+  // A row scan reads the single row file, whatever the projection.
+  ASSERT_OK_AND_ASSIGN(rows, ScanRows("t_row", &tracing));
+  EXPECT_EQ(rows, 3000u);
+  ASSERT_OK_AND_ASSIGN(OpenTable row, OpenTable::Open(dir_.path(), "t_row"));
+  EXPECT_EQ(tracing.total_opens(), 1u);
+  EXPECT_EQ(tracing.Trace(row.FilePath(0)).opens, 1u);
 }
 
 TEST_F(FailureInjectionTest, ChecksumCatchesSilentPayloadCorruption) {

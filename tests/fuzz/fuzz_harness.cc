@@ -1,0 +1,611 @@
+#include "fuzz_harness.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "engine/executor.h"
+#include "engine/early_mat_scanner.h"
+#include "engine/parallel_executor.h"
+#include "engine/plan_builder.h"
+#include "engine/reference_eval.h"
+#include "io/fault_injection.h"
+#include "io/file_backend.h"
+#include "storage/catalog.h"
+#include "storage/table_files.h"
+
+namespace rodb::fuzz {
+
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  // splitmix64-style finalizer over the pair.
+  uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t FoldBytes(uint64_t hash, const uint8_t* data, size_t size) {
+  return Fnv1aExtend(hash, data, size);
+}
+
+uint64_t FoldU64(uint64_t hash, uint64_t v) {
+  uint8_t buf[8];
+  StoreLE64(buf, v);
+  return FoldBytes(hash, buf, sizeof(buf));
+}
+
+/// How one attribute's values are generated (and which codec encodes
+/// them). The value ranges respect the codec constraints so every
+/// generated tuple is encodable.
+struct AttrGen {
+  AttributeDesc desc;
+  enum Kind { kPlain, kBitPack, kFor, kForDelta, kDictWord, kCharText } kind;
+  int bits = 0;
+  int32_t running = 0;          ///< FOR base drift / FOR-delta running value
+  int char_count = 0;           ///< kCharText: packed character count
+  std::vector<std::string> words;  ///< kDictWord pool
+};
+
+constexpr char kCharPackAlphabet[] = "abcdefghijklmno";  // sans the pad ' '
+
+/// One generated relation: compressed schema, its uncompressed twin
+/// (same types and widths, all codecs None) and the raw tuples.
+struct Dataset {
+  Schema compressed;
+  Schema plain;
+  std::vector<std::vector<uint8_t>> tuples;
+  size_t page_size = 0;
+  size_t io_unit = 0;
+  uint64_t bytes_hash = 0;  ///< digest of schema text + tuple bytes
+};
+
+/// One generated query: a scan spec plus an optional aggregation over the
+/// scan's output columns.
+struct Query {
+  ScanSpec spec;
+  bool has_agg = false;
+  AggPlan agg;
+};
+
+Result<Dataset> GenerateDataset(Random& rng, uint32_t min_tuples,
+                                uint32_t max_tuples) {
+  const size_t num_attrs = 2 + rng.Uniform(4);  // 2..5
+  std::vector<AttrGen> gens;
+  std::vector<AttributeDesc> comp_attrs;
+  std::vector<AttributeDesc> plain_attrs;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    AttrGen gen;
+    const std::string name = "a" + std::to_string(a);
+    switch (rng.Uniform(6)) {
+      case 0:
+        gen.kind = AttrGen::kPlain;
+        gen.desc = AttributeDesc::Int32(name);
+        break;
+      case 1:
+        gen.kind = AttrGen::kBitPack;
+        gen.bits = 4 + static_cast<int>(rng.Uniform(7));  // 4..10
+        gen.desc = AttributeDesc::Int32(name, CodecSpec::BitPack(gen.bits));
+        break;
+      case 2:
+        gen.kind = AttrGen::kFor;
+        gen.desc = AttributeDesc::Int32(name, CodecSpec::For(16));
+        gen.running = static_cast<int32_t>(rng.UniformRange(-50000, 50000));
+        break;
+      case 3:
+        gen.kind = AttrGen::kForDelta;
+        gen.desc = AttributeDesc::Int32(name, CodecSpec::ForDelta(8));
+        gen.running = static_cast<int32_t>(rng.UniformRange(-1000, 1000));
+        break;
+      case 4: {
+        gen.kind = AttrGen::kDictWord;
+        gen.desc = AttributeDesc::Text(name, 8, CodecSpec::Dict(3));
+        // Pool of exactly 8 distinct 8-char words (Dict(3) capacity);
+        // the index-derived last character guarantees distinctness.
+        for (int w = 0; w < 8; ++w) {
+          gen.words.push_back(
+              rng.String(7, "abcdefghijklmnopqrstuvwxyz") +
+              static_cast<char>('a' + w));
+        }
+        break;
+      }
+      default: {
+        gen.kind = AttrGen::kCharText;
+        const int width = 4 + static_cast<int>(rng.Uniform(5));  // 4..8
+        gen.char_count = 1 + static_cast<int>(rng.Uniform(width));
+        gen.desc = AttributeDesc::Text(name, width,
+                                       CodecSpec::CharPack(4, gen.char_count));
+        break;
+      }
+    }
+    comp_attrs.push_back(gen.desc);
+    AttributeDesc plain_desc = gen.desc;
+    plain_desc.codec = CodecSpec::None();
+    plain_attrs.push_back(plain_desc);
+    gens.push_back(std::move(gen));
+  }
+
+  Dataset dataset;
+  RODB_ASSIGN_OR_RETURN(dataset.compressed,
+                        Schema::Make(std::move(comp_attrs)));
+  RODB_ASSIGN_OR_RETURN(dataset.plain, Schema::Make(std::move(plain_attrs)));
+
+  const uint32_t num_tuples =
+      min_tuples +
+      static_cast<uint32_t>(rng.Uniform(max_tuples - min_tuples + 1));
+  const size_t width = static_cast<size_t>(dataset.plain.raw_tuple_width());
+  for (uint32_t i = 0; i < num_tuples; ++i) {
+    std::vector<uint8_t> tuple(width, 0);
+    for (size_t a = 0; a < gens.size(); ++a) {
+      AttrGen& gen = gens[a];
+      uint8_t* out =
+          tuple.data() + static_cast<size_t>(dataset.plain.attr_offset(a));
+      switch (gen.kind) {
+        case AttrGen::kPlain:
+          StoreLE32s(out,
+                     static_cast<int32_t>(rng.UniformRange(-100000, 100000)));
+          break;
+        case AttrGen::kBitPack:
+          StoreLE32s(out,
+                     static_cast<int32_t>(rng.Uniform(1ULL << gen.bits)));
+          break;
+        case AttrGen::kFor:
+          // Values stay within 2^16 of any page base; pages that close
+          // early on a backward jump just re-base (allowed).
+          StoreLE32s(out, gen.running + static_cast<int32_t>(
+                                            rng.Uniform(20000)));
+          break;
+        case AttrGen::kForDelta:
+          gen.running += static_cast<int32_t>(rng.Uniform(100));
+          StoreLE32s(out, gen.running);
+          break;
+        case AttrGen::kDictWord: {
+          const std::string& word = gen.words[rng.Uniform(gen.words.size())];
+          std::memcpy(out, word.data(), word.size());
+          break;
+        }
+        case AttrGen::kCharText: {
+          const std::string text =
+              rng.String(static_cast<size_t>(gen.char_count),
+                         kCharPackAlphabet);
+          std::memcpy(out, text.data(), text.size());
+          std::memset(out + gen.char_count, ' ',
+                      static_cast<size_t>(gen.desc.width - gen.char_count));
+          break;
+        }
+      }
+    }
+    dataset.tuples.push_back(std::move(tuple));
+  }
+
+  const size_t page_sizes[] = {512, 1024, 2048};
+  dataset.page_size = page_sizes[rng.Uniform(3)];
+  dataset.io_unit = dataset.page_size << rng.Uniform(3);  // 1x/2x/4x
+
+  std::string schema_text;
+  dataset.compressed.AppendTo(&schema_text);
+  uint64_t hash = kFnv1aSeed;
+  hash = FoldBytes(hash,
+                   reinterpret_cast<const uint8_t*>(schema_text.data()),
+                   schema_text.size());
+  for (const auto& tuple : dataset.tuples) {
+    hash = FoldBytes(hash, tuple.data(), tuple.size());
+  }
+  hash = FoldU64(hash, dataset.page_size);
+  hash = FoldU64(hash, dataset.io_unit);
+  dataset.bytes_hash = hash;
+  return dataset;
+}
+
+Query GenerateQuery(Random& rng, const Dataset& dataset) {
+  const Schema& schema = dataset.plain;
+  const size_t num_attrs = schema.num_attributes();
+  Query query;
+
+  // Projection: random non-empty subset in random order, no duplicates.
+  std::vector<int> attrs(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) attrs[a] = static_cast<int>(a);
+  for (size_t a = num_attrs; a > 1; --a) {
+    std::swap(attrs[a - 1], attrs[rng.Uniform(a)]);
+  }
+  const size_t keep = 1 + rng.Uniform(num_attrs);
+  query.spec.projection.assign(attrs.begin(), attrs.begin() + keep);
+
+  // 0-2 predicates; operands are sampled from the data so selectivities
+  // are non-degenerate.
+  const size_t num_preds = rng.Uniform(3);
+  for (size_t p = 0; p < num_preds; ++p) {
+    const size_t attr = rng.Uniform(num_attrs);
+    const CompareOp op = static_cast<CompareOp>(rng.Uniform(6));
+    const std::vector<uint8_t>& sample =
+        dataset.tuples[rng.Uniform(dataset.tuples.size())];
+    const uint8_t* value = sample.data() + schema.attr_offset(attr);
+    if (schema.attribute(attr).type == AttrType::kInt32) {
+      query.spec.predicates.push_back(
+          Predicate::Int32(static_cast<int>(attr), op, LoadLE32s(value)));
+    } else {
+      query.spec.predicates.push_back(Predicate::Text(
+          static_cast<int>(attr), op,
+          std::string(reinterpret_cast<const char*>(value),
+                      static_cast<size_t>(schema.attribute(attr).width))));
+    }
+  }
+
+  query.spec.io_unit_bytes = dataset.io_unit;
+  query.spec.block_tuples = 16 + static_cast<uint32_t>(rng.Uniform(140));
+
+  // Half the queries aggregate on top of the scan. Group/input columns
+  // address the scan's output layout and must be int32.
+  if (rng.Bernoulli(0.5)) {
+    std::vector<int> int_cols;
+    for (size_t i = 0; i < query.spec.projection.size(); ++i) {
+      const size_t attr = static_cast<size_t>(query.spec.projection[i]);
+      if (schema.attribute(attr).type == AttrType::kInt32) {
+        int_cols.push_back(static_cast<int>(i));
+      }
+    }
+    query.has_agg = true;
+    query.agg.group_column =
+        !int_cols.empty() && rng.Bernoulli(0.6)
+            ? int_cols[rng.Uniform(int_cols.size())]
+            : -1;
+    const size_t num_aggs = 1 + rng.Uniform(2);
+    for (size_t i = 0; i < num_aggs; ++i) {
+      AggSpec agg;
+      if (int_cols.empty() || rng.Bernoulli(0.25)) {
+        agg.func = AggFunc::kCount;
+      } else {
+        const AggFunc funcs[] = {AggFunc::kSum, AggFunc::kMin, AggFunc::kMax,
+                                 AggFunc::kAvg};
+        agg.func = funcs[rng.Uniform(4)];
+        agg.column = int_cols[rng.Uniform(int_cols.size())];
+      }
+      query.agg.aggs.push_back(agg);
+    }
+  }
+  return query;
+}
+
+/// Drains a plan, returning the output tuples as byte strings.
+Result<std::vector<std::vector<uint8_t>>> CollectOutput(Operator* root) {
+  RODB_RETURN_IF_ERROR(root->Open());
+  std::vector<std::vector<uint8_t>> out;
+  const size_t width = static_cast<size_t>(root->output_layout().tuple_width);
+  while (true) {
+    RODB_ASSIGN_OR_RETURN(TupleBlock * block, root->Next());
+    if (block == nullptr) break;
+    for (uint32_t i = 0; i < block->size(); ++i) {
+      out.emplace_back(block->tuple(i), block->tuple(i) + width);
+    }
+  }
+  root->Close();
+  return out;
+}
+
+/// Shared state of one fuzz run.
+struct Runner {
+  const FuzzOptions& options;
+  FuzzStats stats;
+  std::string root_dir;
+
+  explicit Runner(const FuzzOptions& opts) : options(opts) {
+    stats.state_hash = kFnv1aSeed;
+  }
+
+  void Log(const std::string& line) {
+    if (options.out != nullptr) *options.out << line << "\n";
+  }
+
+  void Fail(const std::string& what) {
+    ++stats.mismatches;
+    stats.failures.push_back(what);
+    Log("FAIL: " + what);
+  }
+
+  void FoldOutcome(uint64_t tag, const Status& status, uint64_t rows,
+                   uint64_t checksum) {
+    stats.state_hash = FoldU64(stats.state_hash, tag);
+    stats.state_hash =
+        FoldU64(stats.state_hash, static_cast<uint64_t>(status.code()));
+    stats.state_hash = FoldU64(stats.state_hash, rows);
+    stats.state_hash = FoldU64(stats.state_hash, checksum);
+  }
+
+  Result<OperatorPtr> BuildSerialPlan(const OpenTable& table,
+                                      const Query& query, IoBackend* backend,
+                                      ExecStats* stats_out, bool faulted,
+                                      bool early_mat) {
+    ScanSpec spec = query.spec;
+    spec.verify_checksums = faulted;
+    if (early_mat) {
+      RODB_ASSIGN_OR_RETURN(
+          OperatorPtr scan,
+          EarlyMatColumnScanner::Make(&table, std::move(spec), backend,
+                                      stats_out));
+      if (query.has_agg) {
+        return PlanBuilder::From(std::move(scan), stats_out)
+            .SortAggregate(query.agg)
+            .Build();
+      }
+      return PlanBuilder::From(std::move(scan), stats_out).Build();
+    }
+    if (query.has_agg) {
+      return PlanBuilder::Scan(&table, std::move(spec), backend, stats_out)
+          .SortAggregate(query.agg)
+          .Build();
+    }
+    return PlanBuilder::Scan(&table, std::move(spec), backend, stats_out)
+        .Build();
+  }
+
+  /// Serial clean run: exact tuple equality against the oracle, plus an
+  /// independent Execute() checksum comparison and an I/O-shape check
+  /// through the tracing backend.
+  void RunSerialClean(const OpenTable& table, const Query& query,
+                      const ReferenceResult& oracle, const std::string& ctx,
+                      bool early_mat) {
+    FileBackend file_backend;
+    TracingBackend tracing(&file_backend);
+    {
+      ExecStats exec_stats;
+      auto plan = BuildSerialPlan(table, query, &tracing, &exec_stats,
+                                  /*faulted=*/false, early_mat);
+      if (!plan.ok()) {
+        Fail(ctx + ": plan build failed: " + plan.status().ToString());
+        return;
+      }
+      auto out = CollectOutput(plan->get());
+      if (!out.ok()) {
+        Fail(ctx + ": clean run errored: " + out.status().ToString());
+        FoldOutcome(1, out.status(), 0, 0);
+        return;
+      }
+      ++stats.clean_runs;
+      if (*out != oracle.tuples) {
+        Fail(ctx + ": output tuples diverge from the oracle (" +
+             std::to_string(out->size()) + " vs " +
+             std::to_string(oracle.tuples.size()) + " rows)");
+      }
+      FoldOutcome(1, Status::OK(), out->size(), oracle.output_checksum);
+      // The scan must have opened exactly the files its pipeline needs.
+      const uint64_t expected_opens =
+          table.meta().layout == Layout::kColumn
+              ? ScanPipelineAttrs(query.spec).size()
+              : 1;
+      if (tracing.total_opens() != expected_opens) {
+        Fail(ctx + ": opened " + std::to_string(tracing.total_opens()) +
+             " streams, expected " + std::to_string(expected_opens));
+      }
+    }
+    // Independent full-pipeline run through Execute(), checking the
+    // chained output checksum against the oracle's.
+    {
+      ExecStats exec_stats;
+      auto plan = BuildSerialPlan(table, query, &file_backend, &exec_stats,
+                                  /*faulted=*/false, early_mat);
+      if (!plan.ok()) return;  // already reported above
+      auto result = Execute(plan->get(), &exec_stats);
+      if (!result.ok()) {
+        Fail(ctx + ": Execute errored: " + result.status().ToString());
+        return;
+      }
+      ++stats.clean_runs;
+      if (result->rows != oracle.rows ||
+          result->output_checksum != oracle.output_checksum) {
+        Fail(ctx + ": Execute rows/checksum diverge from the oracle");
+      }
+    }
+  }
+
+  void RunParallelClean(const OpenTable& table, const Query& query,
+                        const ReferenceResult& oracle,
+                        const std::string& ctx) {
+    FileBackend file_backend;
+    ParallelScanPlan plan;
+    plan.table = &table;
+    plan.spec = query.spec;
+    plan.backend = &file_backend;
+    if (query.has_agg) {
+      plan.agg = &query.agg;
+      plan.use_sort_aggregate = true;
+    }
+    auto result = ParallelExecute(plan, options.parallelism);
+    if (!result.ok()) {
+      Fail(ctx + ": parallel clean run errored: " +
+           result.status().ToString());
+      FoldOutcome(2, result.status(), 0, 0);
+      return;
+    }
+    ++stats.clean_runs;
+    if (result->result.rows != oracle.rows ||
+        result->result.output_checksum != oracle.output_checksum) {
+      Fail(ctx + ": parallel rows/checksum diverge from the oracle");
+    }
+    FoldOutcome(2, Status::OK(), result->result.rows,
+                result->result.output_checksum);
+  }
+
+  /// A fault run may fail with any clean Status error, or succeed -- in
+  /// which case the answer must be exactly the oracle's. Anything else
+  /// (silently wrong results) is a bug.
+  void RunFaulted(const OpenTable& table, const Query& query,
+                  const ReferenceResult& oracle, const std::string& ctx,
+                  uint64_t fault_seed, bool parallel) {
+    FileBackend file_backend;
+    FaultSpec fault_spec;
+    fault_spec.seed = fault_seed;
+    fault_spec.error_probability = 0.03;
+    fault_spec.short_read_probability = 0.15;
+    fault_spec.truncate_probability = 0.2;
+    fault_spec.bit_flip_probability = 0.2;
+    FaultInjectingBackend faulty(&file_backend, fault_spec);
+
+    Status status;
+    uint64_t rows = 0;
+    uint64_t checksum = 0;
+    if (parallel) {
+      ScanSpec spec = query.spec;
+      spec.verify_checksums = true;
+      ParallelScanPlan plan;
+      plan.table = &table;
+      plan.spec = std::move(spec);
+      plan.backend = &faulty;
+      if (query.has_agg) {
+        plan.agg = &query.agg;
+        plan.use_sort_aggregate = true;
+      }
+      auto result = ParallelExecute(plan, options.parallelism);
+      status = result.status();
+      if (result.ok()) {
+        rows = result->result.rows;
+        checksum = result->result.output_checksum;
+      }
+    } else {
+      ExecStats exec_stats;
+      auto plan = BuildSerialPlan(table, query, &faulty, &exec_stats,
+                                  /*faulted=*/true, /*early_mat=*/false);
+      if (!plan.ok()) {
+        Fail(ctx + ": fault-run plan build failed: " +
+             plan.status().ToString());
+        return;
+      }
+      auto result = Execute(plan->get(), &exec_stats);
+      status = result.status();
+      if (result.ok()) {
+        rows = result->rows;
+        checksum = result->output_checksum;
+      }
+    }
+    ++stats.fault_runs;
+    stats.injected_faults += faulty.injected_total();
+    if (status.ok()) {
+      ++stats.fault_successes;
+      if (rows != oracle.rows || checksum != oracle.output_checksum) {
+        Fail(ctx + ": SILENTLY WRONG under faults (rows " +
+             std::to_string(rows) + " vs " + std::to_string(oracle.rows) +
+             ")");
+      }
+    } else {
+      ++stats.fault_errors;
+    }
+    FoldOutcome(3, status, rows, checksum);
+  }
+
+  Status RunIteration(uint64_t iter) {
+    const uint64_t iter_seed = Mix(options.seed, iter);
+    Random rng(iter_seed);
+    RODB_ASSIGN_OR_RETURN(
+        Dataset dataset,
+        GenerateDataset(rng, options.min_tuples, options.max_tuples));
+    const Query query = GenerateQuery(rng, dataset);
+    stats.state_hash = FoldU64(stats.state_hash, dataset.bytes_hash);
+
+    // The oracle answers once for the whole iteration: layouts and codecs
+    // must not change the result.
+    ReferenceResult oracle;
+    if (query.has_agg) {
+      RODB_ASSIGN_OR_RETURN(oracle,
+                            ReferenceAggregate(dataset.plain, dataset.tuples,
+                                               query.spec, query.agg));
+    } else {
+      RODB_ASSIGN_OR_RETURN(
+          oracle, ReferenceScan(dataset.plain, dataset.tuples, query.spec));
+    }
+
+    const std::string dir = root_dir + "/iter" + std::to_string(iter);
+    std::error_code ec;
+    std::filesystem::create_directory(dir, ec);
+    if (ec) return Status::IoError("cannot create " + dir);
+
+    const Layout layouts[] = {Layout::kRow, Layout::kColumn, Layout::kPax};
+    const char* layout_names[] = {"row", "col", "pax"};
+    for (int compressed = 0; compressed < 2; ++compressed) {
+      const Schema& schema =
+          compressed != 0 ? dataset.compressed : dataset.plain;
+      for (int l = 0; l < 3; ++l) {
+        const std::string name =
+            std::string("t_") + (compressed != 0 ? "c" : "u") + "_" +
+            layout_names[l];
+        RODB_ASSIGN_OR_RETURN(
+            auto writer, TableWriter::Create(dir, name, schema, layouts[l],
+                                             dataset.page_size));
+        for (const auto& tuple : dataset.tuples) {
+          RODB_RETURN_IF_ERROR(writer->Append(tuple.data()));
+        }
+        RODB_RETURN_IF_ERROR(writer->Finish());
+        RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+
+        const std::string ctx = "seed=" + std::to_string(options.seed) +
+                                " iter=" + std::to_string(iter) + " " + name;
+        RunSerialClean(table, query, oracle, ctx + " serial",
+                       /*early_mat=*/false);
+        RunParallelClean(table, query, oracle, ctx + " parallel");
+        if (layouts[l] == Layout::kColumn) {
+          RunSerialClean(table, query, oracle, ctx + " early-mat",
+                         /*early_mat=*/true);
+        }
+        RunFaulted(table, query, oracle, ctx + " serial-fault",
+                   Mix(iter_seed, 100 + 2 * (compressed * 3 + l)), false);
+        RunFaulted(table, query, oracle, ctx + " parallel-fault",
+                   Mix(iter_seed, 101 + 2 * (compressed * 3 + l)), true);
+      }
+    }
+    std::filesystem::remove_all(dir, ec);
+
+    ++stats.iterations;
+    if (options.verbose) {
+      Log("iter " + std::to_string(iter) + ": " +
+          std::to_string(dataset.tuples.size()) + " tuples, " +
+          std::to_string(dataset.plain.num_attributes()) + " attrs" +
+          (query.has_agg ? ", agg" : "") +
+          ", mismatches=" + std::to_string(stats.mismatches));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<FuzzStats> RunFuzz(const FuzzOptions& options) {
+  if (options.iterations < 0 || options.min_tuples == 0 ||
+      options.min_tuples > options.max_tuples) {
+    return Status::InvalidArgument("bad fuzz options");
+  }
+  Runner runner(options);
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "rodb_fuzz_XXXXXX").string();
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    return Status::IoError("mkdtemp failed for " + tmpl);
+  }
+  runner.root_dir = tmpl;
+  Status status;
+  for (int i = 0; i < options.iterations; ++i) {
+    status = runner.RunIteration(static_cast<uint64_t>(i));
+    if (!status.ok()) break;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(runner.root_dir, ec);
+  RODB_RETURN_IF_ERROR(status);
+  runner.Log("fuzz: " + std::to_string(runner.stats.iterations) +
+             " iterations, " + std::to_string(runner.stats.clean_runs) +
+             " clean runs, " + std::to_string(runner.stats.fault_runs) +
+             " fault runs (" + std::to_string(runner.stats.fault_errors) +
+             " clean errors, " +
+             std::to_string(runner.stats.fault_successes) +
+             " correct answers), " +
+             std::to_string(runner.stats.injected_faults) +
+             " faults injected, " +
+             std::to_string(runner.stats.mismatches) + " mismatches");
+  return runner.stats;
+}
+
+}  // namespace rodb::fuzz

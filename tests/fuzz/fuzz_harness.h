@@ -1,0 +1,63 @@
+#ifndef RODB_TESTS_FUZZ_FUZZ_HARNESS_H_
+#define RODB_TESTS_FUZZ_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rodb::fuzz {
+
+/// Configuration of one differential fuzz run. Everything the run does is
+/// a pure function of this struct: the same options produce byte-identical
+/// datasets, identical queries and identical outcomes (fault injection
+/// included), so any failure reproduces from the printed seed alone.
+struct FuzzOptions {
+  uint64_t seed = 1;
+  int iterations = 100;
+  /// Degree of parallelism for the ParallelExecute runs.
+  int parallelism = 3;
+  /// Tuples per generated dataset, drawn uniformly from this range.
+  uint32_t min_tuples = 50;
+  uint32_t max_tuples = 1200;
+  /// Per-iteration progress lines (one-line summaries go here too).
+  bool verbose = false;
+  /// Where log output goes; null = silent.
+  std::ostream* out = nullptr;
+};
+
+/// What a fuzz run did and found. `mismatches` counts oracle
+/// disagreements and crashes of the "never silently wrong" contract --
+/// it must be zero; `failures` holds one reproducible description each.
+struct FuzzStats {
+  uint64_t iterations = 0;
+  uint64_t clean_runs = 0;        ///< engine runs cross-checked vs oracle
+  uint64_t fault_runs = 0;        ///< runs against the fault-injecting I/O
+  uint64_t fault_errors = 0;      ///< fault runs -> clean Status error
+  uint64_t fault_successes = 0;   ///< fault runs -> ok, matched the oracle
+  uint64_t injected_faults = 0;   ///< faults the backends actually fired
+  uint64_t mismatches = 0;        ///< MUST be zero
+  /// Order-sensitive FNV-1a digest of every dataset and every outcome
+  /// (status codes, row counts, output checksums -- no messages or
+  /// paths). Two runs with equal options must produce equal hashes.
+  uint64_t state_hash = 0;
+  std::vector<std::string> failures;
+};
+
+/// Runs `options.iterations` differential-fuzz iterations. Each iteration
+/// generates a random schema + codec assignment + dataset + query,
+/// materializes it as row, column and PAX tables (compressed and
+/// uncompressed twins), and cross-checks every scanner x {serial,
+/// parallel} x {clean I/O, fault-injected I/O} against the reference
+/// oracle (ReferenceScan / ReferenceAggregate).
+///
+/// Returns an error Status only for harness-level problems (e.g. the
+/// temp directory cannot be created); oracle disagreements are reported
+/// through FuzzStats::mismatches / failures.
+Result<FuzzStats> RunFuzz(const FuzzOptions& options);
+
+}  // namespace rodb::fuzz
+
+#endif  // RODB_TESTS_FUZZ_FUZZ_HARNESS_H_

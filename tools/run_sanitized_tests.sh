@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite plus a bounded differential fuzz
+# campaign under each sanitizer configuration:
+#
+#   asan-ubsan   AddressSanitizer + UndefinedBehaviorSanitizer over the
+#                full ctest suite and the fuzzer.
+#   tsan         ThreadSanitizer over the tests that exercise cross-thread
+#                code and the fuzzer (whose parallel runs drive the morsel
+#                scheduler).
+#
+# The RODB_SANITIZE cache option (top-level CMakeLists.txt) applies the
+# sanitizer to every target; each configuration gets its own build tree so
+# the instrumented objects never mix.
+#
+# Usage: tools/run_sanitized_tests.sh [asan-ubsan|tsan|all] [fuzz-iterations]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE="${1:-all}"
+FUZZ_ITERATIONS="${2:-200}"
+
+TSAN_TESTS=(parallel_executor_test scanner_equivalence_test fuzz_test)
+
+status=0
+
+configure_and_build() {
+  local build_dir="$1" sanitize="$2"
+  shift 2
+  cmake -B "$build_dir" -S . -DRODB_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" -j "$(nproc)" "$@"
+}
+
+run_fuzz() {
+  local build_dir="$1" label="$2"
+  echo "=== $label: rodb_fuzz --iterations=$FUZZ_ITERATIONS --seed=1 ==="
+  if ! "$build_dir/tools/rodb_fuzz" --iterations="$FUZZ_ITERATIONS" --seed=1; then
+    status=1
+  fi
+}
+
+run_asan_ubsan() {
+  local build_dir="build-asan"
+  configure_and_build "$build_dir" "address,undefined"
+  echo "=== ASan+UBSan: ctest ==="
+  if ! (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)"); then
+    status=1
+  fi
+  run_fuzz "$build_dir" "ASan+UBSan"
+}
+
+run_tsan() {
+  local build_dir="build-tsan"
+  local targets=()
+  for t in "${TSAN_TESTS[@]}"; do targets+=(--target "$t"); done
+  configure_and_build "$build_dir" "thread" "${targets[@]}" --target rodb_fuzz
+  for t in "${TSAN_TESTS[@]}"; do
+    local bin="$build_dir/tests/$t"
+    [ -x "$bin" ] || bin="$build_dir/tests/fuzz/$t"
+    echo "=== TSan: $t ==="
+    if ! "$bin"; then
+      status=1
+    fi
+  done
+  run_fuzz "$build_dir" "TSan"
+}
+
+case "$MODE" in
+  asan-ubsan) run_asan_ubsan ;;
+  tsan) run_tsan ;;
+  all)
+    run_asan_ubsan
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [asan-ubsan|tsan|all] [fuzz-iterations]" >&2
+    exit 2
+    ;;
+esac
+
+if [ "$status" -eq 0 ]; then
+  echo "Sanitized run clean."
+else
+  echo "Sanitized run FAILED." >&2
+fi
+exit "$status"

@@ -1,32 +1,4 @@
 #!/usr/bin/env bash
-# Builds the parallel-execution tests under ThreadSanitizer and runs
-# them. Usage: tools/run_tsan_tests.sh [build-dir]
-#
-# The RODB_SANITIZE cache option (top-level CMakeLists.txt) applies the
-# sanitizer to every target; only the tests that actually exercise
-# cross-thread code are built and run here to keep the cycle short.
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
-
-TESTS=(parallel_executor_test scanner_equivalence_test)
-
-cmake -B "$BUILD_DIR" -S . -DRODB_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
-
-status=0
-for t in "${TESTS[@]}"; do
-  echo "=== TSan: $t ==="
-  if ! "$BUILD_DIR/tests/$t"; then
-    status=1
-  fi
-done
-
-if [ "$status" -eq 0 ]; then
-  echo "TSan run clean."
-else
-  echo "TSan run FAILED." >&2
-fi
-exit "$status"
+# Back-compat shim: the TSan run now lives in run_sanitized_tests.sh,
+# which also covers ASan+UBSan and the differential fuzzer.
+exec "$(dirname "$0")/run_sanitized_tests.sh" tsan

@@ -15,8 +15,7 @@
 
 #include "bench_util.h"
 #include "common/macros.h"
-#include "engine/early_mat_scanner.h"
-#include "engine/pax_scanner.h"
+#include "engine/open_scanner.h"
 
 using namespace rodb;         // NOLINT
 using namespace rodb::bench;  // NOLINT
@@ -30,7 +29,8 @@ Result<ScanRun> RunEarlyMat(const std::string& dir, const std::string& name,
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   ExecStats stats;
   RODB_ASSIGN_OR_RETURN(
-      auto scan, EarlyMatColumnScanner::Make(&table, spec, backend, &stats));
+      auto scan, OpenScanner(table, spec, backend, &stats,
+                       ScannerImpl::kEarlyMat));
   ScanRun run;
   RODB_ASSIGN_OR_RETURN(run.exec, Execute(scan.get(), &stats));
   run.rows = run.exec.rows;

@@ -5,9 +5,7 @@
 #include <filesystem>
 
 #include "common/macros.h"
-#include "engine/column_scanner.h"
-#include "engine/pax_scanner.h"
-#include "engine/row_scanner.h"
+#include "engine/open_scanner.h"
 
 namespace rodb::bench {
 
@@ -44,18 +42,7 @@ Result<ScanRun> RunScan(const std::string& dir, const std::string& name,
                         IoBackend* backend) {
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   ExecStats stats;
-  Result<OperatorPtr> scan = Status::Internal("unreachable");
-  switch (table.meta().layout) {
-    case Layout::kRow:
-      scan = RowScanner::Make(&table, spec, backend, &stats);
-      break;
-    case Layout::kColumn:
-      scan = ColumnScanner::Make(&table, spec, backend, &stats);
-      break;
-    case Layout::kPax:
-      scan = PaxScanner::Make(&table, spec, backend, &stats);
-      break;
-  }
+  Result<OperatorPtr> scan = OpenScanner(table, spec, backend, &stats);
   RODB_RETURN_IF_ERROR(scan.status());
   ScanRun run;
   RODB_ASSIGN_OR_RETURN(run.exec, Execute(scan->get(), &stats));

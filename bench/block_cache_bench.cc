@@ -1,0 +1,90 @@
+// Cold-vs-warm scans through the sharded block cache (DESIGN.md
+// "Block cache").
+//
+// Scans LINEITEM (row and column layouts) twice through one BlockCache
+// over the real file backend and reports both passes as JSON lines, one
+// object per (layout, pass) point. The cold pass populates the cache
+// from disk; the warm pass must serve (almost) every I/O unit from
+// memory, so its backend byte count collapses and the timing model
+// (CacheAdjustedStreams) sees a CPU-bound query. Checked and reported
+// per point:
+//   - warm output_checksum equals the cold checksum (the cache never
+//     changes answers), and
+//   - warm bytes_read from the backend is 0 while bytes_from_cache
+//     equals the cold pass's bytes_read.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/macros.h"
+#include "io/block_cache.h"
+#include "io/file_backend.h"
+
+using namespace rodb;         // NOLINT
+using namespace rodb::bench;  // NOLINT
+using namespace rodb::tpch;   // NOLINT
+
+namespace {
+
+constexpr int kAttrs = 3;  // L_PARTKEY, L_ORDERKEY, L_SUPPKEY: all int32
+
+}  // namespace
+
+int main() {
+  Env env = Env::FromEnv();
+  std::fprintf(stderr, "block_cache_bench: %llu tuples\n",
+               static_cast<unsigned long long>(env.tuples));
+
+  FileBackend disk;
+  for (Layout layout : {Layout::kRow, Layout::kColumn}) {
+    auto meta = EnsureLineitem(env.Spec(layout, false));
+    RODB_CHECK(meta.ok());
+
+    BlockCache cache(/*capacity_bytes=*/256ULL << 20);
+    ScanSpec spec;
+    spec.projection = FirstAttrs(kAttrs);
+    spec.read.cache = &cache;
+
+    uint64_t cold_checksum = 0;
+    double cold_wall = 0.0;
+    for (const char* pass : {"cold", "warm"}) {
+      auto run = RunScan(env.data_dir, meta->name, spec, env.PaperScale(),
+                         &disk);
+      RODB_CHECK(run.ok());
+      const bool cold = std::string(pass) == "cold";
+      if (cold) {
+        cold_checksum = run->exec.output_checksum;
+        cold_wall = run->exec.measured.wall_seconds;
+      }
+      const BlockCache::Stats cs = cache.stats();
+      std::printf(
+          "{\"bench\":\"block_cache\",\"layout\":\"%s\","
+          "\"tuples\":%llu,\"pass\":\"%s\",\"rows\":%llu,"
+          "\"wall_seconds\":%.6f,\"speedup_vs_cold\":%.3f,"
+          "\"backend_bytes\":%llu,\"cache_bytes\":%llu,"
+          "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+          "\"cache_hit_rate\":%.3f,\"cache_bytes_in_use\":%llu,"
+          "\"output_checksum\":%llu,\"checksum_matches_cold\":%s}\n",
+          layout == Layout::kRow ? "row" : "column",
+          static_cast<unsigned long long>(env.tuples), pass,
+          static_cast<unsigned long long>(run->rows),
+          run->exec.measured.wall_seconds,
+          cold ? 1.0 : cold_wall / run->exec.measured.wall_seconds,
+          static_cast<unsigned long long>(run->counters.io_bytes_read),
+          static_cast<unsigned long long>(run->counters.io_bytes_from_cache),
+          static_cast<unsigned long long>(cs.hits),
+          static_cast<unsigned long long>(cs.misses), cs.hit_rate(),
+          static_cast<unsigned long long>(cs.bytes_in_use),
+          static_cast<unsigned long long>(run->exec.output_checksum),
+          run->exec.output_checksum == cold_checksum ? "true" : "false");
+      RODB_CHECK(run->exec.output_checksum == cold_checksum);
+      if (!cold) {
+        // The whole point of the warm pass: zero backend traffic.
+        RODB_CHECK(run->counters.io_bytes_read == 0);
+        RODB_CHECK(run->counters.io_bytes_from_cache > 0);
+      }
+    }
+  }
+  return 0;
+}

@@ -11,8 +11,7 @@
 #include "bench_util.h"
 #include "common/file_util.h"
 #include "common/macros.h"
-#include "engine/column_scanner.h"
-#include "engine/row_scanner.h"
+#include "engine/open_scanner.h"
 #include "io/mem_backend.h"
 
 using namespace rodb;         // NOLINT
@@ -73,9 +72,7 @@ int main() {
         for (int run = 0; run < 5; ++run) {
           ExecStats stats;
           Result<OperatorPtr> scan =
-              table->meta().layout == Layout::kRow
-                  ? RowScanner::Make(table, spec, &mem, &stats)
-                  : ColumnScanner::Make(table, spec, &mem, &stats);
+              OpenScanner(*table, spec, &mem, &stats);
           RODB_CHECK(scan.ok());
           auto result = Execute(scan->get(), &stats);
           RODB_CHECK(result.ok());

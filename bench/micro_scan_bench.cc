@@ -8,8 +8,7 @@
 
 #include "bench_util.h"
 #include "common/file_util.h"
-#include "engine/column_scanner.h"
-#include "engine/row_scanner.h"
+#include "engine/open_scanner.h"
 #include "io/mem_backend.h"
 
 namespace rodb {
@@ -64,9 +63,7 @@ void RunScanBench(benchmark::State& state, const std::string& name,
   for (auto _ : state) {
     ExecStats stats;
     Result<OperatorPtr> scan =
-        table->meta().layout == Layout::kRow
-            ? RowScanner::Make(&*table, spec, &fx.backend, &stats)
-            : ColumnScanner::Make(&*table, spec, &fx.backend, &stats);
+        OpenScanner(*table, spec, &fx.backend, &stats);
     if (!scan.ok()) std::abort();
     auto result = Execute(scan->get(), &stats);
     if (!result.ok()) std::abort();

@@ -49,7 +49,7 @@ void Mirror(const OpenTable& table, MemBackend* backend) {
 double ModelElapsed(const ExecCounters& counters, const OpenTable& table,
                     const ScanSpec& spec) {
   return ModelQueryTiming(counters, HardwareConfig::Paper2006(),
-                          spec.prefetch_depth, ScanStreams(table, spec))
+                          spec.read.prefetch_depth, ScanStreams(table, spec))
       .elapsed_seconds;
 }
 

@@ -10,8 +10,8 @@
 
 #include "common/macros.h"
 #include "common/bytes.h"
-#include "engine/column_scanner.h"
 #include "engine/executor.h"
+#include "engine/open_scanner.h"
 #include "io/file_backend.h"
 #include "wos/merge.h"
 #include "wos/write_store.h"
@@ -67,7 +67,7 @@ Status Run(const std::string& dir) {
   spec.projection = {0, 1};
   spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 10)};
   RODB_ASSIGN_OR_RETURN(auto scan,
-                        ColumnScanner::Make(&table, spec, &backend, &stats));
+                        OpenScanner(table, spec, &backend, &stats));
   RODB_ASSIGN_OR_RETURN(ExecutionResult result, Execute(scan.get(), &stats));
   std::printf("\nscan of %s: %llu of %llu tuples qualify (amount < 10)\n",
               current.c_str(), static_cast<unsigned long long>(result.rows),

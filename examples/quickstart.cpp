@@ -4,16 +4,16 @@
 //   build/examples/quickstart [directory]
 //
 // Covers the core public API: Schema / TableWriter / OpenTable /
-// RowScanner / ColumnScanner / Execute.
+// OpenScanner / BlockCache / Execute.
 
 #include <cstdio>
 #include <filesystem>
 
 #include "common/macros.h"
 #include "common/bytes.h"
-#include "engine/column_scanner.h"
 #include "engine/executor.h"
-#include "engine/row_scanner.h"
+#include "engine/open_scanner.h"
+#include "io/block_cache.h"
 #include "io/file_backend.h"
 #include "storage/table_files.h"
 
@@ -59,29 +59,36 @@ Status Run(const std::string& dir) {
 
   // 3. The same query against both layouts:
   //      select sale_id, amount from sales where amount < 50
+  //    OpenScanner picks the scanner matching each table's layout, and a
+  //    shared BlockCache turns the second (warm) run of each scan into
+  //    memory traffic instead of backend reads.
   ScanSpec spec;
   spec.projection = {0, 1};
   spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 50)};
+  BlockCache cache(/*capacity_bytes=*/64 << 20);
+  spec.read.cache = &cache;
   FileBackend backend;
   for (const char* name : {"sales_row", "sales_col"}) {
     RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
-    ExecStats stats;
-    Result<OperatorPtr> scan =
-        table.meta().layout == Layout::kRow
-            ? RowScanner::Make(&table, spec, &backend, &stats)
-            : ColumnScanner::Make(&table, spec, &backend, &stats);
-    RODB_RETURN_IF_ERROR(scan.status());
-    RODB_ASSIGN_OR_RETURN(ExecutionResult result,
-                          Execute(scan->get(), &stats));
-    std::printf("%-9s: %llu qualifying tuples, %.1f MB read, %.0f ms wall, "
-                "checksum %016llx\n",
-                name, static_cast<unsigned long long>(result.rows),
-                static_cast<double>(stats.counters().io_bytes_read) / 1e6,
-                result.measured.wall_seconds * 1e3,
-                static_cast<unsigned long long>(result.output_checksum));
+    for (const char* pass : {"cold", "warm"}) {
+      ExecStats stats;
+      RODB_ASSIGN_OR_RETURN(OperatorPtr scan,
+                            OpenScanner(table, spec, &backend, &stats));
+      RODB_ASSIGN_OR_RETURN(ExecutionResult result,
+                            Execute(scan.get(), &stats));
+      std::printf("%-9s %-4s: %llu qualifying tuples, %.1f MB from disk, "
+                  "%.1f MB from cache, checksum %016llx\n",
+                  name, pass, static_cast<unsigned long long>(result.rows),
+                  static_cast<double>(stats.counters().io_bytes_read) / 1e6,
+                  static_cast<double>(
+                      stats.counters().io_bytes_from_cache) / 1e6,
+                  static_cast<unsigned long long>(result.output_checksum));
+    }
   }
-  std::printf("\nnote the column scan read only the two selected columns; "
-              "identical checksums mean identical results.\n");
+  std::printf("\nnote the column scan read only the two selected columns, "
+              "the warm runs read nothing from disk, and identical "
+              "checksums mean identical results (cache hit rate %.0f%%).\n",
+              cache.stats().hit_rate() * 100);
   return Status::OK();
 }
 

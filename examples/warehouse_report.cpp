@@ -17,10 +17,9 @@
 #include "common/macros.h"
 #include "common/bytes.h"
 #include "engine/aggregate.h"
-#include "engine/column_scanner.h"
 #include "engine/executor.h"
 #include "engine/merge_join.h"
-#include "engine/row_scanner.h"
+#include "engine/open_scanner.h"
 #include "io/file_backend.h"
 #include "tpch/loader.h"
 
@@ -28,14 +27,6 @@ using namespace rodb;        // NOLINT
 using namespace rodb::tpch;  // NOLINT
 
 namespace {
-
-Result<OperatorPtr> Scan(const OpenTable& table, ScanSpec spec,
-                         IoBackend* backend, ExecStats* stats) {
-  if (table.meta().layout == Layout::kRow) {
-    return RowScanner::Make(&table, std::move(spec), backend, stats);
-  }
-  return ColumnScanner::Make(&table, std::move(spec), backend, stats);
-}
 
 Status RunQ1(const std::string& dir, Layout layout) {
   const std::string table_name =
@@ -49,7 +40,7 @@ Status RunQ1(const std::string& dir, Layout layout) {
   spec.predicates = {Predicate::Int32(
       kLShipdate, CompareOp::kLt, SelectivityCutoff(kDateDomain, 0.5))};
   RODB_ASSIGN_OR_RETURN(OperatorPtr scan,
-                        Scan(lineitem, spec, &backend, &stats));
+                        OpenScanner(lineitem, spec, &backend, &stats));
   AggPlan plan;
   plan.group_column = 0;  // L_LINENUMBER within the scan's output block
   plan.aggs = {{AggFunc::kSum, 1}, {AggFunc::kCount, 0}, {AggFunc::kAvg, 1}};
@@ -94,9 +85,9 @@ Status RunQ2(const std::string& dir, Layout layout) {
   ScanSpec lspec;
   lspec.projection = {kLOrderkey, kLQuantity};
   RODB_ASSIGN_OR_RETURN(OperatorPtr oscan,
-                        Scan(orders, ospec, &backend, &stats));
+                        OpenScanner(orders, ospec, &backend, &stats));
   RODB_ASSIGN_OR_RETURN(OperatorPtr lscan,
-                        Scan(lineitem, lspec, &backend, &stats));
+                        OpenScanner(lineitem, lspec, &backend, &stats));
   RODB_ASSIGN_OR_RETURN(
       OperatorPtr join,
       MergeJoinOperator::Make(std::move(oscan), std::move(lscan), 0, 0,

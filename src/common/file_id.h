@@ -1,0 +1,32 @@
+#ifndef RODB_COMMON_FILE_ID_H_
+#define RODB_COMMON_FILE_ID_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rodb {
+
+/// Stable 64-bit identity of a stored file, derived from its full path
+/// with FNV-1a. Used as the block-cache key prefix and recorded per file
+/// in TableMeta, so storage, I/O decorators and tools agree on which
+/// cached blocks belong to which physical file without sharing an
+/// interning table. The full path (not just the basename) participates:
+/// two databases with identically named tables in different directories
+/// must never alias each other's cache entries.
+///
+/// A 64-bit hash over a handful of distinct paths makes accidental
+/// collisions astronomically unlikely; a deployment that cannot tolerate
+/// even that should assign ids explicitly via IoOptions::file_id.
+inline uint64_t FileIdForPath(const std::string& path) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (const char c : path) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  // Avoid the reserved value 0 ("no id"): remap the (improbable) zero.
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_FILE_ID_H_

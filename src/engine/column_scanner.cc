@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/macros.h"
+#include "engine/scanner_io.h"
 
 namespace rodb {
 
@@ -40,15 +41,12 @@ Result<OperatorPtr> ColumnScanner::Make(const OpenTable* table, ScanSpec spec,
       return Status::OutOfRange("predicate attribute out of range");
     }
   }
-  if (spec.io_unit_bytes % table->meta().page_size != 0) {
+  if (spec.read.io_unit_bytes % table->meta().page_size != 0) {
     return Status::InvalidArgument(
         "I/O unit must be a multiple of the page size");
   }
-  if (spec.first_page != 0 || spec.num_pages != UINT64_MAX) {
-    return Status::NotSupported(
-        "page-range scans are not defined for column tables");
-  }
-  if (spec.first_row != 0 || spec.num_rows != UINT64_MAX) {
+  RODB_RETURN_IF_ERROR(spec.range.Validate(Layout::kColumn));
+  if (!spec.range.is_all()) {
     // Position ranges map onto each file's pages via O(1) arithmetic,
     // which needs every involved file to pack pages uniformly (codecs
     // can end pages early; the bulk loader records whether they did).
@@ -64,6 +62,8 @@ Result<OperatorPtr> ColumnScanner::Make(const OpenTable* table, ScanSpec spec,
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<ColumnScanner> scanner(new ColumnScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
+  scanner->backend_ = MaybeCachingBackend(backend, scanner->spec_,
+                                          &scanner->owned_backend_);
   const ScanSpec& s = scanner->spec_;
 
   // Pipeline order: one node per distinct predicate attribute (in
@@ -152,8 +152,10 @@ Status ColumnScanner::Open() {
   if (opened_) return Status::OK();
   opened_ = true;
   const uint64_t total = table_->meta().num_tuples;
-  const uint64_t start = std::min(spec_.first_row, total);
-  end_row_ = spec_.num_rows >= total - start ? total : start + spec_.num_rows;
+  const uint64_t start = std::min(spec_.range.first_row(), total);
+  end_row_ = spec_.range.num_rows() >= total - start
+                 ? total
+                 : start + spec_.range.num_rows();
   if (start >= end_row_) {
     // Empty position range: nothing to read.
     done_ = true;
@@ -163,10 +165,7 @@ Status ColumnScanner::Open() {
   const bool ranged = start > 0 || end_row_ < total;
   const size_t page_size = table_->meta().page_size;
   for (Node& node : nodes_) {
-    IoOptions options;
-    options.io_unit_bytes = spec_.io_unit_bytes;
-    options.prefetch_depth = spec_.prefetch_depth;
-    options.stats = stats_->io_stats();
+    IoOptions options = ScanStreamOptions(spec_, stats_, *table_, node.attr);
     if (ranged) {
       // Each node maps the position range onto its own file's pages
       // (files disagree on values per page across codecs).
@@ -234,7 +233,7 @@ Status ColumnScanner::AdvanceNodePage(Node& node) {
                           ColumnPageReader::Open(page_data,
                                                  table_->meta().page_size,
                                                  node.codec.get(),
-                                                 spec_.verify_checksums));
+                                                 spec_.read.verify_checksums));
     stats_->counters().pages_parsed += 1;
     node.page.emplace(reader);
     node.consumed_in_page = 0;
@@ -324,9 +323,9 @@ Status ColumnScanner::ProduceBase(Node& node) {
   out.Clear();
   if (!base_positioned_) {
     base_positioned_ = true;
-    if (spec_.first_row > node.page_start_pos) {
+    if (spec_.range.first_row() > node.page_start_pos) {
       // Unaligned morsel start: skip within the first page.
-      RODB_RETURN_IF_ERROR(SeekTo(node, spec_.first_row));
+      RODB_RETURN_IF_ERROR(SeekTo(node, spec_.range.first_row()));
     }
   }
   uint8_t* value = value_scratch_.data();

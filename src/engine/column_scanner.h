@@ -104,6 +104,9 @@ class ColumnScanner final : public Operator {
   const OpenTable* table_;
   ScanSpec spec_;
   IoBackend* backend_;
+  /// CachingBackend wrapped around the borrowed backend when the spec
+  /// carries a block cache (backend_ then points at it).
+  std::unique_ptr<IoBackend> owned_backend_;
   ExecStats* stats_;
   BlockLayout layout_;
   std::vector<Node> nodes_;
@@ -113,7 +116,7 @@ class ColumnScanner final : public Operator {
   /// Scan stops at this absolute position (set from the spec's position
   /// range in Open; num_tuples for a whole-table scan).
   uint64_t end_row_ = UINT64_MAX;
-  /// Whether the deepest node has skipped ahead to spec_.first_row.
+  /// Whether the deepest node has skipped ahead to spec_.range.first_row().
   bool base_positioned_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "engine/scanner_io.h"
 
 namespace rodb {
 
@@ -40,17 +41,22 @@ Result<OperatorPtr> EarlyMatColumnScanner::Make(const OpenTable* table,
       return Status::OutOfRange("predicate attribute out of range");
     }
   }
-  if (spec.io_unit_bytes % table->meta().page_size != 0) {
+  if (spec.read.io_unit_bytes % table->meta().page_size != 0) {
     return Status::InvalidArgument(
         "I/O unit must be a multiple of the page size");
   }
-  if (spec.first_page != 0 || spec.num_pages != UINT64_MAX) {
+  RODB_RETURN_IF_ERROR(spec.range.Validate(Layout::kColumn));
+  if (!spec.range.is_all()) {
+    // The lockstep cursors have no position-seek machinery; this scanner
+    // exists as a whole-table ablation, not a morsel worker.
     return Status::NotSupported(
-        "page-range scans are not defined for column tables");
+        "early-materialized scans read the whole table (no ranges)");
   }
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<EarlyMatColumnScanner> scanner(new EarlyMatColumnScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
+  scanner->backend_ = MaybeCachingBackend(backend, scanner->spec_,
+                                          &scanner->owned_backend_);
   const ScanSpec& s = scanner->spec_;
   int max_width = 1;
   for (size_t attr : ScanPipelineAttrs(s)) {
@@ -78,11 +84,9 @@ Result<OperatorPtr> EarlyMatColumnScanner::Make(const OpenTable* table,
 
 Status EarlyMatColumnScanner::Open() {
   if (opened_) return Status::OK();
-  IoOptions options;
-  options.io_unit_bytes = spec_.io_unit_bytes;
-  options.prefetch_depth = spec_.prefetch_depth;
-  options.stats = stats_->io_stats();
   for (Cursor& cursor : cursors_) {
+    const IoOptions options =
+        ScanStreamOptions(spec_, stats_, *table_, cursor.attr);
     RODB_ASSIGN_OR_RETURN(
         cursor.stream,
         backend_->OpenStream(table_->FilePath(cursor.attr), options));
@@ -132,7 +136,8 @@ Status EarlyMatColumnScanner::AdvancePage(Cursor& cursor) {
     RODB_ASSIGN_OR_RETURN(
         ColumnPageReader reader,
         ColumnPageReader::Open(page_data, table_->meta().page_size,
-                               cursor.codec.get(), spec_.verify_checksums));
+                               cursor.codec.get(),
+                               spec_.read.verify_checksums));
     stats_->counters().pages_parsed += 1;
     // Every column streams fully under early materialization.
     stats_->AddSequentialBytes(table_->meta().page_size);

@@ -70,6 +70,9 @@ class EarlyMatColumnScanner final : public Operator {
   const OpenTable* table_;
   ScanSpec spec_;
   IoBackend* backend_;
+  /// CachingBackend wrapped around the borrowed backend when the spec
+  /// carries a block cache (backend_ then points at it).
+  std::unique_ptr<IoBackend> owned_backend_;
   ExecStats* stats_;
   TupleBlock block_;
   std::vector<Cursor> cursors_;

@@ -24,6 +24,9 @@ class ExecStats {
     counters_.io_bytes_read += io_.bytes_read;
     counters_.io_requests += io_.requests;
     counters_.files_read += io_.files_opened;
+    counters_.io_bytes_from_cache += io_.bytes_from_cache;
+    counters_.io_cache_hits += io_.cache_hits;
+    counters_.io_cache_misses += io_.cache_misses;
     io_ = IoStats{};
   }
 

@@ -71,6 +71,22 @@ ModeledTiming ModelQueryTiming(const ExecCounters& counters,
   return t;
 }
 
+std::vector<StreamSpec> CacheAdjustedStreams(
+    std::vector<StreamSpec> streams, const ExecCounters& counters) {
+  const uint64_t total = counters.io_bytes_read + counters.io_bytes_from_cache;
+  if (total == 0 || counters.io_bytes_from_cache == 0) return streams;
+  const double backend_fraction =
+      static_cast<double>(counters.io_bytes_read) / static_cast<double>(total);
+  std::vector<StreamSpec> adjusted;
+  adjusted.reserve(streams.size());
+  for (StreamSpec s : streams) {
+    s.bytes = static_cast<uint64_t>(
+        std::llround(static_cast<double>(s.bytes) * backend_fraction));
+    if (s.bytes > 0) adjusted.push_back(s);
+  }
+  return adjusted;
+}
+
 ExecCounters ScaleCounters(const ExecCounters& counters, double factor) {
   auto scale = [factor](uint64_t v) {
     return static_cast<uint64_t>(std::llround(static_cast<double>(v) * factor));
@@ -98,6 +114,9 @@ ExecCounters ScaleCounters(const ExecCounters& counters, double factor) {
   s.io_bytes_read = scale(counters.io_bytes_read);
   s.io_requests = scale(counters.io_requests);
   s.files_read = counters.files_read;  // file count does not scale
+  s.io_bytes_from_cache = scale(counters.io_bytes_from_cache);
+  s.io_cache_hits = scale(counters.io_cache_hits);
+  s.io_cache_misses = scale(counters.io_cache_misses);
   return s;
 }
 

@@ -63,6 +63,14 @@ ModeledTiming ModelQueryTiming(const ExecCounters& counters,
                                const std::vector<StreamSpec>& query_streams,
                                const std::vector<StreamSpec>& competing = {});
 
+/// Shrinks a scan's stream list by the fraction of bytes a BlockCache
+/// served: the disk model should only see the traffic that actually
+/// reached the backend. A fully warm run (io_bytes_read == 0) maps to
+/// empty streams, so ModelQueryTiming reports it CPU-bound; a cold run
+/// passes through unchanged.
+std::vector<StreamSpec> CacheAdjustedStreams(
+    std::vector<StreamSpec> streams, const ExecCounters& counters);
+
 /// Scales every per-tuple counter by `factor`, used to project a scaled-
 /// down run to the paper's 60M-tuple tables (I/O byte counters included;
 /// see DESIGN.md substitution #4).

@@ -1,0 +1,28 @@
+#include "engine/open_scanner.h"
+
+#include "engine/column_scanner.h"
+#include "engine/early_mat_scanner.h"
+#include "engine/pax_scanner.h"
+#include "engine/row_scanner.h"
+
+namespace rodb {
+
+Result<OperatorPtr> OpenScanner(const OpenTable& table, ScanSpec spec,
+                                IoBackend* backend, ExecStats* stats,
+                                ScannerImpl impl) {
+  if (impl == ScannerImpl::kEarlyMat) {
+    return EarlyMatColumnScanner::Make(&table, std::move(spec), backend,
+                                       stats);
+  }
+  switch (table.meta().layout) {
+    case Layout::kRow:
+      return RowScanner::Make(&table, std::move(spec), backend, stats);
+    case Layout::kColumn:
+      return ColumnScanner::Make(&table, std::move(spec), backend, stats);
+    case Layout::kPax:
+      return PaxScanner::Make(&table, std::move(spec), backend, stats);
+  }
+  return Status::Internal("unknown table layout");
+}
+
+}  // namespace rodb

@@ -1,10 +1,8 @@
 #include "engine/plan_builder.h"
 
-#include "engine/column_scanner.h"
 #include "engine/merge_join.h"
-#include "engine/pax_scanner.h"
+#include "engine/open_scanner.h"
 #include "engine/project.h"
-#include "engine/row_scanner.h"
 #include "engine/select.h"
 
 namespace rodb {
@@ -17,18 +15,8 @@ PlanBuilder PlanBuilder::Scan(const OpenTable* table, ScanSpec spec,
     builder.status_ = Status::InvalidArgument("Scan: null table");
     return builder;
   }
-  Result<OperatorPtr> scan = Status::Internal("unreachable");
-  switch (table->meta().layout) {
-    case Layout::kRow:
-      scan = RowScanner::Make(table, std::move(spec), backend, stats);
-      break;
-    case Layout::kColumn:
-      scan = ColumnScanner::Make(table, std::move(spec), backend, stats);
-      break;
-    case Layout::kPax:
-      scan = PaxScanner::Make(table, std::move(spec), backend, stats);
-      break;
-  }
+  Result<OperatorPtr> scan =
+      OpenScanner(*table, std::move(spec), backend, stats);
   if (!scan.ok()) {
     builder.status_ = scan.status();
   } else {

@@ -1,6 +1,7 @@
 #include "engine/row_scanner.h"
 
 #include "common/macros.h"
+#include "engine/scanner_io.h"
 
 namespace rodb {
 
@@ -33,17 +34,16 @@ Result<OperatorPtr> RowScanner::Make(const OpenTable* table, ScanSpec spec,
       return Status::OutOfRange("predicate attribute out of range");
     }
   }
-  if (spec.io_unit_bytes % table->meta().page_size != 0) {
+  if (spec.read.io_unit_bytes % table->meta().page_size != 0) {
     return Status::InvalidArgument(
         "I/O unit must be a multiple of the page size");
   }
-  if (spec.first_row != 0 || spec.num_rows != UINT64_MAX) {
-    return Status::NotSupported(
-        "row scans partition by page range, not position range");
-  }
+  RODB_RETURN_IF_ERROR(spec.range.Validate(Layout::kRow));
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<RowScanner> scanner(new RowScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
+  scanner->backend_ = MaybeCachingBackend(backend, scanner->spec_,
+                                          &scanner->owned_backend_);
   RODB_ASSIGN_OR_RETURN(scanner->codec_bundle_, table->MakeRowCodec());
   scanner->scratch_.resize(
       static_cast<size_t>(schema.raw_tuple_width()));
@@ -76,18 +76,15 @@ Result<OperatorPtr> RowScanner::Make(const OpenTable* table, ScanSpec spec,
 
 Status RowScanner::Open() {
   if (opened_) return Status::OK();
-  IoOptions options;
-  options.io_unit_bytes = spec_.io_unit_bytes;
-  options.prefetch_depth = spec_.prefetch_depth;
-  options.stats = stats_->io_stats();
-  options.start_offset = spec_.first_page * table_->meta().page_size;
-  if (spec_.num_pages != UINT64_MAX) {
-    options.length = spec_.num_pages * table_->meta().page_size;
+  IoOptions options = ScanStreamOptions(spec_, stats_, *table_, 0);
+  options.start_offset = spec_.range.first_page() * table_->meta().page_size;
+  if (spec_.range.num_pages() != UINT64_MAX) {
+    options.length = spec_.range.num_pages() * table_->meta().page_size;
   }
   // Absolute tuple positions for partitioned scans, when the page->tuple
   // mapping is known; otherwise positions are morsel-local (they never
   // feed the output checksum).
-  next_position_ = spec_.first_page * table_->meta().PageValues(0);
+  next_position_ = spec_.range.first_page() * table_->meta().PageValues(0);
   RODB_ASSIGN_OR_RETURN(stream_,
                         backend_->OpenStream(table_->FilePath(0), options));
   opened_ = true;
@@ -116,7 +113,7 @@ Status RowScanner::AdvancePage() {
         RowPageReader::Open(page_data, table_->meta().page_size,
                             &table_->schema(),
                             codec_bundle_.row_codec.get(),
-                            spec_.verify_checksums));
+                            spec_.read.verify_checksums));
     stats_->counters().pages_parsed += 1;
     pages_scanned_ += 1;
     tuples_scanned_ += reader.count();
@@ -133,16 +130,16 @@ Status RowScanner::CheckScanComplete() const {
   const TableMeta& meta = table_->meta();
   const uint64_t total_pages = meta.file_pages.empty() ? 0
                                                        : meta.file_pages[0];
+  const uint64_t first_page = spec_.range.first_page();
   const uint64_t avail =
-      spec_.first_page < total_pages ? total_pages - spec_.first_page : 0;
-  const uint64_t expected_pages = std::min(spec_.num_pages, avail);
+      first_page < total_pages ? total_pages - first_page : 0;
+  const uint64_t expected_pages = std::min(spec_.range.num_pages(), avail);
   if (pages_scanned_ != expected_pages) {
     return Status::Corruption(
         "row file ended early: scanned " + std::to_string(pages_scanned_) +
         " of " + std::to_string(expected_pages) + " expected pages");
   }
-  if (spec_.first_page == 0 && spec_.num_pages == UINT64_MAX &&
-      tuples_scanned_ != meta.num_tuples) {
+  if (spec_.range.is_all() && tuples_scanned_ != meta.num_tuples) {
     return Status::Corruption(
         "row table holds " + std::to_string(tuples_scanned_) +
         " tuples but the catalog claims " + std::to_string(meta.num_tuples));

@@ -49,6 +49,9 @@ class RowScanner final : public Operator {
   const OpenTable* table_;
   ScanSpec spec_;
   IoBackend* backend_;
+  /// CachingBackend wrapped around the borrowed backend when the spec
+  /// carries a block cache (backend_ then points at it).
+  std::unique_ptr<IoBackend> owned_backend_;
   ExecStats* stats_;
   TupleBlock block_;
 

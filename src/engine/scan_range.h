@@ -1,0 +1,82 @@
+#ifndef RODB_ENGINE_SCAN_RANGE_H_
+#define RODB_ENGINE_SCAN_RANGE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// The slice of a table one scan covers, for partitioned (morsel) plans.
+///
+/// Two partitioning units exist because the layouts disagree on what a
+/// "slice" is: single-file layouts (row, PAX) split by page range of that
+/// file, while the column layout splits by tuple-position range, which
+/// each pipelined scan node maps onto its own file's pages (requiring
+/// uniform TableMeta::PageValues). ScanRange holds either, and
+/// Validate(layout) is the one place the layout/unit compatibility rule
+/// lives -- every scanner reports the same InvalidArgument instead of
+/// four differently worded ones.
+struct ScanRange {
+  enum class Unit : uint8_t {
+    kAll = 0,    ///< whole table (the default; valid for every layout)
+    kPages = 1,  ///< page range of the single physical file (row, PAX)
+    kRows = 2,   ///< tuple-position range (column)
+  };
+
+  Unit unit = Unit::kAll;
+  uint64_t first = 0;
+  uint64_t count = UINT64_MAX;
+
+  static ScanRange All() { return ScanRange{}; }
+  static ScanRange Pages(uint64_t first_page, uint64_t num_pages) {
+    return ScanRange{Unit::kPages, first_page, num_pages};
+  }
+  static ScanRange Rows(uint64_t first_row, uint64_t num_rows) {
+    return ScanRange{Unit::kRows, first_row, num_rows};
+  }
+
+  /// True when the range covers the whole table, either explicitly
+  /// (kAll) or as a degenerate full-range kPages/kRows.
+  bool is_all() const {
+    return unit == Unit::kAll || (first == 0 && count == UINT64_MAX);
+  }
+
+  /// Page-range accessors; a kAll range reads as the full page range.
+  uint64_t first_page() const { return unit == Unit::kRows ? 0 : first; }
+  uint64_t num_pages() const {
+    return unit == Unit::kRows ? UINT64_MAX : count;
+  }
+  /// Position-range accessors; a kAll range reads as the full row range.
+  uint64_t first_row() const { return unit == Unit::kPages ? 0 : first; }
+  uint64_t num_rows() const {
+    return unit == Unit::kPages ? UINT64_MAX : count;
+  }
+
+  /// The one layout/range compatibility check. A full-table range is
+  /// valid everywhere; otherwise single-file layouts take page ranges
+  /// and the column layout takes position ranges.
+  Status Validate(Layout layout) const {
+    if (is_all()) return Status::OK();
+    const bool pages_ok = layout == Layout::kRow || layout == Layout::kPax;
+    if (unit == Unit::kPages && !pages_ok) {
+      return Status::InvalidArgument(
+          "ScanRange: page ranges require a single-file layout (row/PAX); "
+          "column tables partition by position range");
+    }
+    if (unit == Unit::kRows && pages_ok) {
+      return Status::InvalidArgument(
+          "ScanRange: position ranges require the column layout; "
+          "single-file layouts (row/PAX) partition by page range");
+    }
+    if (count == 0) {
+      return Status::InvalidArgument("ScanRange: empty range (count == 0)");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_SCAN_RANGE_H_

@@ -1,11 +1,14 @@
 #ifndef RODB_ENGINE_SCAN_SPEC_H_
 #define RODB_ENGINE_SCAN_SPEC_H_
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "engine/predicate.h"
+#include "engine/scan_range.h"
 #include "engine/tuple_block.h"
-#include "io/io.h"
+#include "io/read_options.h"
 
 namespace rodb {
 
@@ -21,34 +24,42 @@ namespace rodb {
 struct ScanSpec {
   std::vector<int> projection;       ///< table attr indices, output order
   std::vector<Predicate> predicates; ///< conjunctive SARGable predicates
-  size_t io_unit_bytes = 128 * 1024; ///< I/O request granularity
-  int prefetch_depth = 48;           ///< I/O units kept in flight
+  /// How to read: I/O unit size, prefetch depth, checksum verification,
+  /// optional block cache. The same struct IoOptions carries, so these
+  /// knobs flow to the backend without per-field copying. A stats sink
+  /// set here is ignored by scanners (they substitute their own ExecStats
+  /// record; see ReadOptions::stats).
+  ReadOptions read;
+  /// Which slice of the table to scan (page range for row/PAX, position
+  /// range for column, default everything); see engine/scan_range.h.
+  ScanRange range;
   uint32_t block_tuples = kDefaultBlockTuples;
-  /// Page range of the table to scan, for partitioned (degree-of-
-  /// parallelism) plans over single-file layouts (row, PAX). The default
-  /// scans everything. Column tables reject ranges: their files disagree
-  /// on what a page range means.
-  uint64_t first_page = 0;
-  uint64_t num_pages = UINT64_MAX;
-  /// Tuple-position range of the table to scan ([first_row, first_row +
-  /// num_rows)), the column-layout counterpart of the page range above:
-  /// each pipelined scan node maps the position range onto its own file's
-  /// pages, which requires every involved file to have uniform page value
-  /// counts (TableMeta::PageValues). Row and PAX scans reject position
-  /// ranges -- use the page range. The default scans everything.
-  uint64_t first_row = 0;
-  uint64_t num_rows = UINT64_MAX;
   /// Evaluate =/!= predicates on dictionary columns directly against the
   /// compressed codes, materializing values only for qualifying tuples
   /// that the projection needs ("operating directly on compressed data",
   /// the column-store advantage the paper's conclusion cites). Currently
   /// honored by the pipelined ColumnScanner.
   bool compressed_eval = true;
-  /// Verify every page's CRC-32 before decoding it. Off on the hot path
-  /// (as in any engine); turned on by verification tools and by the
-  /// fault-injecting fuzz runs, where silent payload corruption must
-  /// surface as Status::Corruption instead of decoded garbage.
-  bool verify_checksums = false;
+
+  // --- Deprecated-alias shim (one release) -------------------------------
+  // The fields below used to live directly on ScanSpec, duplicating
+  // IoOptions; they moved into `read` (ReadOptions) and `range`
+  // (ScanRange). These accessors keep old call sites compiling with a
+  // deprecation warning; they will be removed next release.
+  [[deprecated("use spec.read.io_unit_bytes")]]
+  size_t& io_unit_bytes() { return read.io_unit_bytes; }
+  [[deprecated("use spec.read.prefetch_depth")]]
+  int& prefetch_depth() { return read.prefetch_depth; }
+  [[deprecated("use spec.read.verify_checksums")]]
+  bool& verify_checksums() { return read.verify_checksums; }
+  [[deprecated("use spec.range = ScanRange::Pages(...)")]]
+  void set_page_range(uint64_t first_page, uint64_t num_pages) {
+    range = ScanRange::Pages(first_page, num_pages);
+  }
+  [[deprecated("use spec.range = ScanRange::Rows(...)")]]
+  void set_row_range(uint64_t first_row, uint64_t num_rows) {
+    range = ScanRange::Rows(first_row, num_rows);
+  }
 };
 
 /// The distinct table attributes a column scan must read, in pipeline
@@ -56,17 +67,31 @@ struct ScanSpec {
 /// remaining projected attributes. Also the set of column files the scan
 /// opens, which drives the I/O model's stream list.
 inline std::vector<size_t> ScanPipelineAttrs(const ScanSpec& spec) {
-  std::vector<size_t> attrs;
-  auto add = [&attrs](size_t a) {
-    for (size_t seen : attrs) {
-      if (seen == a) return;
-    }
-    attrs.push_back(a);
-  };
+  // Order-preserving dedup in O(n log n): tag each mention with its
+  // first-occurrence index, sort by attribute to find duplicates, keep
+  // the earliest mention of each, then restore pipeline order.
+  std::vector<std::pair<size_t, size_t>> mentions;  // (attr, position)
+  mentions.reserve(spec.predicates.size() + spec.projection.size());
   for (const Predicate& pred : spec.predicates) {
-    add(static_cast<size_t>(pred.attr_index()));
+    mentions.emplace_back(static_cast<size_t>(pred.attr_index()),
+                          mentions.size());
   }
-  for (int attr : spec.projection) add(static_cast<size_t>(attr));
+  for (int attr : spec.projection) {
+    mentions.emplace_back(static_cast<size_t>(attr), mentions.size());
+  }
+  std::sort(mentions.begin(), mentions.end());
+  size_t kept = 0;
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    if (i == 0 || mentions[i].first != mentions[kept - 1].first) {
+      mentions[kept++] = mentions[i];
+    }
+  }
+  mentions.resize(kept);
+  std::sort(mentions.begin(), mentions.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::vector<size_t> attrs;
+  attrs.reserve(mentions.size());
+  for (const auto& mention : mentions) attrs.push_back(mention.first);
   return attrs;
 }
 

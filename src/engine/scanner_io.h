@@ -1,0 +1,39 @@
+#ifndef RODB_ENGINE_SCANNER_IO_H_
+#define RODB_ENGINE_SCANNER_IO_H_
+
+#include <memory>
+
+#include "engine/exec_stats.h"
+#include "engine/scan_spec.h"
+#include "io/block_cache.h"
+#include "storage/catalog.h"
+
+namespace rodb {
+
+/// Routes a scanner's reads through a CachingBackend when the spec asks
+/// for one (spec.read.cache). The decorator is stored in `owned` so its
+/// lifetime matches the scanner's; without a cache the borrowed backend
+/// is returned untouched.
+inline IoBackend* MaybeCachingBackend(IoBackend* backend, const ScanSpec& spec,
+                                      std::unique_ptr<IoBackend>* owned) {
+  if (spec.read.cache == nullptr) return backend;
+  *owned = std::make_unique<CachingBackend>(backend, spec.read.cache);
+  return owned->get();
+}
+
+/// Stream options for one of a scan's files: the spec's ReadOptions with
+/// the stats sink swapped for the scanner's own ExecStats record (the
+/// IoStats single-writer contract; see io/io.h) and the file identity
+/// filled in for cache keying.
+inline IoOptions ScanStreamOptions(const ScanSpec& spec, ExecStats* stats,
+                                   const OpenTable& table, size_t attr) {
+  IoOptions options;
+  options.read = spec.read;
+  options.read.stats = stats->io_stats();
+  options.file_id = table.FileId(attr);
+  return options;
+}
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_SCANNER_IO_H_

@@ -3,8 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
-#include "engine/pax_scanner.h"
-#include "engine/row_scanner.h"
+#include "engine/open_scanner.h"
 
 namespace rodb {
 
@@ -62,7 +61,7 @@ Result<OperatorPtr> MakePartitionedScan(const OpenTable* table,
     return Status::NotSupported(
         "partitioned scans need a single-file layout (row or PAX)");
   }
-  if (spec.first_page != 0 || spec.num_pages != UINT64_MAX) {
+  if (!spec.range.is_all()) {
     return Status::InvalidArgument(
         "partitioned scan spec must cover the whole table");
   }
@@ -75,12 +74,9 @@ Result<OperatorPtr> MakePartitionedScan(const OpenTable* table,
     const uint64_t first = static_cast<uint64_t>(p) * per_part;
     if (first >= total_pages) break;
     ScanSpec part = spec;
-    part.first_page = first;
-    part.num_pages = std::min(per_part, total_pages - first);
-    Result<OperatorPtr> scan =
-        table->meta().layout == Layout::kRow
-            ? RowScanner::Make(table, part, backend, stats)
-            : PaxScanner::Make(table, part, backend, stats);
+    part.range = ScanRange::Pages(first, std::min(per_part,
+                                                  total_pages - first));
+    Result<OperatorPtr> scan = OpenScanner(*table, part, backend, stats);
     RODB_RETURN_IF_ERROR(scan.status());
     children.push_back(std::move(scan).value());
   }

@@ -27,6 +27,9 @@ ExecCounters& ExecCounters::operator+=(const ExecCounters& o) {
   io_bytes_read += o.io_bytes_read;
   io_requests += o.io_requests;
   files_read += o.files_read;
+  io_bytes_from_cache += o.io_bytes_from_cache;
+  io_cache_hits += o.io_cache_hits;
+  io_cache_misses += o.io_cache_misses;
   return *this;
 }
 

@@ -42,9 +42,16 @@ struct ExecCounters {
   uint64_t l1_lines_touched = 0;       ///< lines moved L2 -> L1
 
   // --- I/O issued on behalf of this query (drives system time) ---
-  uint64_t io_bytes_read = 0;
+  uint64_t io_bytes_read = 0;   ///< bytes actually served by the backend
   uint64_t io_requests = 0;
   uint64_t files_read = 0;
+  /// Bytes served by a BlockCache instead of the backend (and the unit
+  /// hit/miss split). Cache-served bytes never reach the disk model:
+  /// CacheAdjustedStreams() shrinks the stream list by the cached
+  /// fraction so warm-cache runs come out CPU-bound.
+  uint64_t io_bytes_from_cache = 0;
+  uint64_t io_cache_hits = 0;
+  uint64_t io_cache_misses = 0;
 
   ExecCounters& operator+=(const ExecCounters& o);
 };

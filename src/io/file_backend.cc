@@ -27,9 +27,10 @@ class AsyncFileStream final : public SequentialStream {
         range_end_(options.length > file_size - range_start_
                        ? file_size
                        : range_start_ + options.length),
-        unit_(options.io_unit_bytes),
-        depth_(options.prefetch_depth < 1 ? 1 : options.prefetch_depth),
-        stats_(options.stats) {
+        unit_(options.read.io_unit_bytes),
+        depth_(options.read.prefetch_depth < 1 ? 1
+                                               : options.read.prefetch_depth),
+        stats_(options.read.stats) {
     const size_t ring = static_cast<size_t>(depth_) + 1;
     buffers_.resize(ring);
     for (auto& buf : buffers_) buf.resize(unit_);
@@ -160,7 +161,7 @@ class AsyncFileStream final : public SequentialStream {
 
 Result<std::unique_ptr<SequentialStream>> FileBackend::OpenStream(
     const std::string& path, const IoOptions& options) {
-  if (options.io_unit_bytes == 0) {
+  if (options.read.io_unit_bytes == 0) {
     return Status::InvalidArgument("io_unit_bytes must be positive");
   }
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -170,7 +171,7 @@ Result<std::unique_ptr<SequentialStream>> FileBackend::OpenStream(
     ::close(fd);
     return Status::IoError("fstat failed for " + path);
   }
-  if (options.stats != nullptr) options.stats->files_opened += 1;
+  if (options.read.stats != nullptr) options.read.stats->files_opened += 1;
   auto stream = std::make_unique<AsyncFileStream>(
       fd, static_cast<uint64_t>(st.st_size), options);
   stream->GrantInitialCredit();

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "io/read_options.h"
 
 namespace rodb {
 
@@ -21,9 +22,16 @@ namespace rodb {
 /// quiesced; sharing one IoStats* across concurrently running streams is
 /// a data race.
 struct IoStats {
-  uint64_t bytes_read = 0;
-  uint64_t requests = 0;    ///< I/O unit requests issued
+  uint64_t bytes_read = 0;  ///< bytes the backend actually served
+  uint64_t requests = 0;    ///< I/O unit requests issued to the backend
   uint64_t files_opened = 0;
+  /// Bytes served from a BlockCache instead of the backend. A fully warm
+  /// scan has bytes_read == 0 and bytes_from_cache == the scan's bytes;
+  /// ModelQueryTiming then sees (almost) no disk traffic and the run is
+  /// CPU-bound (see CacheAdjustedStreams in engine/executor.h).
+  uint64_t bytes_from_cache = 0;
+  uint64_t cache_hits = 0;    ///< I/O units served from cache
+  uint64_t cache_misses = 0;  ///< I/O units assembled from the backend
 
   /// Adds `other`'s counters into this record. Safe across threads only
   /// in the join sense: the worker that produced `other` must have
@@ -32,6 +40,9 @@ struct IoStats {
     bytes_read += other.bytes_read;
     requests += other.requests;
     files_opened += other.files_opened;
+    bytes_from_cache += other.bytes_from_cache;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
   }
 };
 
@@ -39,14 +50,21 @@ struct IoStats {
 /// prefetch depth saying how many units are kept in flight ahead of the
 /// consumer, and DMA-like delivery (buffers are handed to the query with
 /// no extra copies and no OS file cache assumptions).
+///
+/// The shared knobs (unit size, prefetch depth, stats sink, cache) live
+/// in `read` -- the same ReadOptions a ScanSpec carries -- and this
+/// struct adds only what is inherently per-stream: the byte range and
+/// the stable file identity.
 struct IoOptions {
-  size_t io_unit_bytes = 128 * 1024;
-  int prefetch_depth = 48;
-  IoStats* stats = nullptr;  ///< optional, not owned
+  ReadOptions read;
   /// Byte range of the file to read ([start_offset, start_offset+length)),
   /// for partitioned scans; length saturates at end of file.
   uint64_t start_offset = 0;
   uint64_t length = UINT64_MAX;
+  /// Stable identity of the file for cache keying (storage records one
+  /// per table file in TableMeta). 0 = unknown; a CachingBackend then
+  /// derives it from the path (common/file_id.h).
+  uint64_t file_id = 0;
 };
 
 /// A filled I/O unit as seen by the consumer. The view stays valid until
@@ -69,7 +87,8 @@ class SequentialStream {
 
 /// Factory for streams. Implementations: FileBackend (real files through
 /// the threaded async reader) and MemBackend (in-memory files, for tests
-/// and model-driven sweeps).
+/// and model-driven sweeps); decorators: CachingBackend (block cache),
+/// FaultInjectingBackend and TracingBackend (io/fault_injection.h).
 class IoBackend {
  public:
   virtual ~IoBackend() = default;

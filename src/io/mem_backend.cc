@@ -10,8 +10,8 @@ class MemStream final : public SequentialStream {
  public:
   MemStream(std::shared_ptr<std::vector<uint8_t>> file,
             const IoOptions& options)
-      : file_(std::move(file)), unit_(options.io_unit_bytes),
-        stats_(options.stats),
+      : file_(std::move(file)), unit_(options.read.io_unit_bytes),
+        stats_(options.read.stats),
         offset_(std::min<size_t>(options.start_offset, file_->size())),
         end_(options.length > file_->size() - offset_
                  ? file_->size()
@@ -61,12 +61,12 @@ uint64_t MemBackend::FileSize(const std::string& path) const {
 
 Result<std::unique_ptr<SequentialStream>> MemBackend::OpenStream(
     const std::string& path, const IoOptions& options) {
-  if (options.io_unit_bytes == 0) {
+  if (options.read.io_unit_bytes == 0) {
     return Status::InvalidArgument("io_unit_bytes must be positive");
   }
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such mem file: " + path);
-  if (options.stats != nullptr) options.stats->files_opened += 1;
+  if (options.read.stats != nullptr) options.read.stats->files_opened += 1;
   return std::unique_ptr<SequentialStream>(
       new MemStream(it->second, options));
 }

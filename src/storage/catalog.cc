@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/file_id.h"
 #include "common/file_util.h"
 #include "common/macros.h"
 #include "storage/table_files.h"
@@ -177,6 +178,12 @@ uint64_t OpenTable::FileBytes(size_t attr) const {
   return meta_.file_bytes[attr];
 }
 
+uint64_t OpenTable::FileId(size_t attr) const {
+  const size_t file = meta_.layout == Layout::kColumn ? attr : 0;
+  if (file < meta_.file_ids.size()) return meta_.file_ids[file];
+  return FileIdForPath(FilePath(attr));
+}
+
 Result<std::unique_ptr<AttributeCodec>> OpenTable::MakeAttrCodec(
     size_t attr) const {
   const AttributeDesc& desc = meta_.schema.attribute(attr);
@@ -203,6 +210,15 @@ Result<OpenTable> OpenTable::Open(const std::string& dir,
   OpenTable table;
   table.dir_ = dir;
   RODB_ASSIGN_OR_RETURN(table.meta_, Catalog::LoadTableMeta(dir, name));
+  // Stamp each physical file's identity from its full path. Hashing the
+  // path at open time (instead of persisting ids) means two databases
+  // with identically named tables in different directories never alias
+  // each other's block-cache entries.
+  const size_t n_files = table.meta_.file_pages.size();
+  table.meta_.file_ids.reserve(n_files);
+  for (size_t i = 0; i < n_files; ++i) {
+    table.meta_.file_ids.push_back(FileIdForPath(table.FilePath(i)));
+  }
   const Schema& schema = table.meta_.schema;
   table.dicts_.resize(schema.num_attributes());
   bool any_dict = false;

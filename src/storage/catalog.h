@@ -43,6 +43,12 @@ struct TableMeta {
   /// existed). Uniform files admit O(1) position -> page arithmetic,
   /// which partitioned (morsel) scans rely on.
   std::vector<uint32_t> file_page_values;
+  /// Stable identity of each physical file (common/file_id.h), parallel
+  /// to file_pages/file_bytes. Derived from the full file path when the
+  /// table is opened -- not persisted, so metas copied between
+  /// directories never carry stale ids -- and used by the block cache to
+  /// key cached I/O units.
+  std::vector<uint64_t> file_ids;
   /// One entry per attribute (valid only for int32 attributes).
   std::vector<ColumnStats> column_stats;
 
@@ -83,6 +89,9 @@ class OpenTable {
   std::string FilePath(size_t attr) const;
   /// Bytes of that physical file.
   uint64_t FileBytes(size_t attr) const;
+  /// Stable id of that physical file (TableMeta::file_ids), for block-
+  /// cache keying.
+  uint64_t FileId(size_t attr) const;
 
   /// Dictionary for attribute `attr` (nullptr unless kDict).
   Dictionary* dict(size_t attr) const { return dicts_[attr].get(); }

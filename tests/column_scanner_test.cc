@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "engine/column_scanner.h"
 #include "scan_test_util.h"
 
 namespace rodb {
@@ -41,8 +42,8 @@ class ColumnScannerTest : public ::testing::Test {
   ScanSpec BaseSpec() {
     ScanSpec spec;
     spec.projection = {0, 1, 2, 3};
-    spec.io_unit_bytes = 4096;
-    spec.prefetch_depth = 4;
+    spec.read.io_unit_bytes = 4096;
+    spec.read.prefetch_depth = 4;
     return spec;
   }
 

@@ -9,6 +9,8 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "engine/column_scanner.h"
+#include "engine/row_scanner.h"
 #include "scan_test_util.h"
 
 namespace rodb {
@@ -48,7 +50,7 @@ class CompressedEvalTest : public ::testing::Test {
   ScanSpec Spec(bool compressed_eval) {
     ScanSpec spec;
     spec.projection = {0, 1};
-    spec.io_unit_bytes = 4096;
+    spec.read.io_unit_bytes = 4096;
     spec.compressed_eval = compressed_eval;
     return spec;
   }

@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/file_util.h"
+#include "engine/column_scanner.h"
 #include "io/fault_injection.h"
 #include "scan_test_util.h"
 #include "wos/merge.h"
@@ -76,8 +77,8 @@ class FailureInjectionTest : public ::testing::Test {
     RODB_RETURN_IF_ERROR(table.status());
     ScanSpec spec;
     spec.projection = {0, 1, 2};
-    spec.io_unit_bytes = 4096;
-    spec.verify_checksums = verify_checksums;
+    spec.read.io_unit_bytes = 4096;
+    spec.read.verify_checksums = verify_checksums;
     ExecStats stats;
     auto scan = MakeScanner(&*table, spec, backend, &stats);
     RODB_RETURN_IF_ERROR(scan.status());
@@ -258,7 +259,7 @@ TEST_F(FailureInjectionTest, CatalogCardinalityLieDetectedByColumnScan) {
   ScanSpec spec;
   spec.projection = {1, 0};
   spec.predicates = {Predicate::Int32(1, CompareOp::kGe, 0)};
-  spec.io_unit_bytes = 4096;
+  spec.read.io_unit_bytes = 4096;
   ExecStats stats;
   ASSERT_OK_AND_ASSIGN(auto scan,
                        ColumnScanner::Make(&table, spec, &backend_, &stats));

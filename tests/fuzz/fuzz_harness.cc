@@ -13,10 +13,11 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "engine/executor.h"
-#include "engine/early_mat_scanner.h"
+#include "engine/open_scanner.h"
 #include "engine/parallel_executor.h"
 #include "engine/plan_builder.h"
 #include "engine/reference_eval.h"
+#include "io/block_cache.h"
 #include "io/fault_injection.h"
 #include "io/file_backend.h"
 #include "storage/catalog.h"
@@ -240,7 +241,7 @@ Query GenerateQuery(Random& rng, const Dataset& dataset) {
     }
   }
 
-  query.spec.io_unit_bytes = dataset.io_unit;
+  query.spec.read.io_unit_bytes = dataset.io_unit;
   query.spec.block_tuples = 16 + static_cast<uint32_t>(rng.Uniform(140));
 
   // Half the queries aggregate on top of the scan. Group/input columns
@@ -323,14 +324,16 @@ struct Runner {
   Result<OperatorPtr> BuildSerialPlan(const OpenTable& table,
                                       const Query& query, IoBackend* backend,
                                       ExecStats* stats_out, bool faulted,
-                                      bool early_mat) {
+                                      bool early_mat,
+                                      BlockCache* cache = nullptr) {
     ScanSpec spec = query.spec;
-    spec.verify_checksums = faulted;
+    spec.read.verify_checksums = faulted;
+    spec.read.cache = cache;
     if (early_mat) {
       RODB_ASSIGN_OR_RETURN(
           OperatorPtr scan,
-          EarlyMatColumnScanner::Make(&table, std::move(spec), backend,
-                                      stats_out));
+          OpenScanner(table, std::move(spec), backend, stats_out,
+                      ScannerImpl::kEarlyMat));
       if (query.has_agg) {
         return PlanBuilder::From(std::move(scan), stats_out)
             .SortAggregate(query.agg)
@@ -406,6 +409,104 @@ struct Runner {
     }
   }
 
+  /// Cold-then-warm serial runs over one BlockCache: both must answer
+  /// exactly like the oracle, and the fully-warm pass must not reopen
+  /// any backend stream (the cache is sized to hold the whole table).
+  void RunCachedClean(const OpenTable& table, const Query& query,
+                      const ReferenceResult& oracle, const std::string& ctx) {
+    FileBackend file_backend;
+    TracingBackend tracing(&file_backend);
+    BlockCache cache(64ULL << 20, 4);
+    uint64_t opens_after_cold = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      const char* what = pass == 0 ? " (cold)" : " (warm)";
+      ExecStats exec_stats;
+      auto plan = BuildSerialPlan(table, query, &tracing, &exec_stats,
+                                  /*faulted=*/false, /*early_mat=*/false,
+                                  &cache);
+      if (!plan.ok()) {
+        Fail(ctx + what + ": plan build failed: " + plan.status().ToString());
+        return;
+      }
+      auto result = Execute(plan->get(), &exec_stats);
+      if (!result.ok()) {
+        Fail(ctx + what + ": errored: " + result.status().ToString());
+        FoldOutcome(4, result.status(), 0, 0);
+        return;
+      }
+      ++stats.clean_runs;
+      if (result->rows != oracle.rows ||
+          result->output_checksum != oracle.output_checksum) {
+        Fail(ctx + what + ": rows/checksum diverge from the oracle");
+      }
+      FoldOutcome(4, Status::OK(), result->rows, result->output_checksum);
+      if (pass == 0) opens_after_cold = tracing.total_opens();
+    }
+    if (tracing.total_opens() != opens_after_cold) {
+      Fail(ctx + ": warm cached run reopened backend streams (" +
+           std::to_string(tracing.total_opens()) + " vs " +
+           std::to_string(opens_after_cold) + " after cold)");
+    }
+    if (cache.stats().hits == 0) {
+      Fail(ctx + ": warm cached run never hit the cache");
+    }
+  }
+
+  /// Fault runs with a fresh cache above the fault injector: the faulted
+  /// cold run behaves like any fault run (a clean Status error or the
+  /// exact answer), and a warm re-run over the now-clean backend must
+  /// never serve stale garbage from blocks populated under faults --
+  /// corrupted-but-cached units have to surface through page checksums.
+  void RunCachedFaulted(const OpenTable& table, const Query& query,
+                        const ReferenceResult& oracle, const std::string& ctx,
+                        uint64_t fault_seed) {
+    FileBackend file_backend;
+    FaultSpec fault_spec;
+    fault_spec.seed = fault_seed;
+    fault_spec.error_probability = 0.03;
+    fault_spec.short_read_probability = 0.15;
+    fault_spec.truncate_probability = 0.2;
+    fault_spec.bit_flip_probability = 0.2;
+    FaultInjectingBackend faulty(&file_backend, fault_spec);
+    BlockCache cache(64ULL << 20, 4);
+
+    auto one_run = [&](IoBackend* backend, const char* what) {
+      Status status;
+      uint64_t rows = 0;
+      uint64_t checksum = 0;
+      ExecStats exec_stats;
+      auto plan = BuildSerialPlan(table, query, backend, &exec_stats,
+                                  /*faulted=*/true, /*early_mat=*/false,
+                                  &cache);
+      if (!plan.ok()) {
+        Fail(ctx + ": cached fault-run plan build failed: " +
+             plan.status().ToString());
+        return;
+      }
+      auto result = Execute(plan->get(), &exec_stats);
+      status = result.status();
+      if (result.ok()) {
+        rows = result->rows;
+        checksum = result->output_checksum;
+      }
+      ++stats.fault_runs;
+      if (status.ok()) {
+        ++stats.fault_successes;
+        if (rows != oracle.rows || checksum != oracle.output_checksum) {
+          Fail(ctx + ": " + what + " (rows " + std::to_string(rows) +
+               " vs " + std::to_string(oracle.rows) + ")");
+        }
+      } else {
+        ++stats.fault_errors;
+      }
+      FoldOutcome(5, status, rows, checksum);
+    };
+
+    one_run(&faulty, "SILENTLY WRONG under faults with cache");
+    stats.injected_faults += faulty.injected_total();
+    one_run(&file_backend, "STALE CACHE GARBAGE after faulted run");
+  }
+
   void RunParallelClean(const OpenTable& table, const Query& query,
                         const ReferenceResult& oracle,
                         const std::string& ctx) {
@@ -454,7 +555,7 @@ struct Runner {
     uint64_t checksum = 0;
     if (parallel) {
       ScanSpec spec = query.spec;
-      spec.verify_checksums = true;
+      spec.read.verify_checksums = true;
       ParallelScanPlan plan;
       plan.table = &table;
       plan.spec = std::move(spec);
@@ -549,6 +650,7 @@ struct Runner {
         RunSerialClean(table, query, oracle, ctx + " serial",
                        /*early_mat=*/false);
         RunParallelClean(table, query, oracle, ctx + " parallel");
+        RunCachedClean(table, query, oracle, ctx + " cached");
         if (layouts[l] == Layout::kColumn) {
           RunSerialClean(table, query, oracle, ctx + " early-mat",
                          /*early_mat=*/true);
@@ -557,6 +659,8 @@ struct Runner {
                    Mix(iter_seed, 100 + 2 * (compressed * 3 + l)), false);
         RunFaulted(table, query, oracle, ctx + " parallel-fault",
                    Mix(iter_seed, 101 + 2 * (compressed * 3 + l)), true);
+        RunCachedFaulted(table, query, oracle, ctx + " cached-fault",
+                         Mix(iter_seed, 700 + 2 * (compressed * 3 + l)));
       }
     }
     std::filesystem::remove_all(dir, ec);

@@ -51,9 +51,9 @@ TEST_P(BackendTest, FileBackendDeliversExactBytes) {
   FileBackend backend;
   IoStats stats;
   IoOptions options;
-  options.io_unit_bytes = kUnit;
-  options.prefetch_depth = depth;
-  options.stats = &stats;
+  options.read.io_unit_bytes = kUnit;
+  options.read.prefetch_depth = depth;
+  options.read.stats = &stats;
   ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream(path, options));
   EXPECT_EQ(stream->file_size(), data.size());
   EXPECT_EQ(Drain(stream.get(), kUnit), data);
@@ -88,7 +88,7 @@ TEST(FileBackendTest, MissingFileFails) {
 TEST(FileBackendTest, RejectsZeroUnit) {
   FileBackend backend;
   IoOptions options;
-  options.io_unit_bytes = 0;
+  options.read.io_unit_bytes = 0;
   EXPECT_FALSE(backend.OpenStream("/dev/null", options).ok());
 }
 
@@ -99,8 +99,8 @@ TEST(FileBackendTest, EarlyDestructionIsClean) {
   ASSERT_OK(WriteStringToFile(path, std::string(data.begin(), data.end())));
   FileBackend backend;
   IoOptions options;
-  options.io_unit_bytes = 4096;
-  options.prefetch_depth = 4;
+  options.read.io_unit_bytes = 4096;
+  options.read.prefetch_depth = 4;
   ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream(path, options));
   auto view = stream->Next();
   ASSERT_OK(view.status());
@@ -116,8 +116,8 @@ TEST(MemBackendTest, ServesRegisteredFiles) {
   EXPECT_EQ(backend.FileSize("a"), data.size());
   IoStats stats;
   IoOptions options;
-  options.io_unit_bytes = 1024;
-  options.stats = &stats;
+  options.read.io_unit_bytes = 1024;
+  options.read.stats = &stats;
   ASSERT_OK_AND_ASSIGN(auto stream, backend.OpenStream("a", options));
   EXPECT_EQ(Drain(stream.get(), 1024), data);
   EXPECT_EQ(stats.bytes_read, data.size());
@@ -154,8 +154,8 @@ TEST(MemBackendTest, MatchesFileBackendByteForByte) {
   MemBackend mem_backend;
   mem_backend.PutFile(path, data);
   IoOptions options;
-  options.io_unit_bytes = 8192;
-  options.prefetch_depth = 3;
+  options.read.io_unit_bytes = 8192;
+  options.read.prefetch_depth = 3;
   ASSERT_OK_AND_ASSIGN(auto fs, file_backend.OpenStream(path, options));
   ASSERT_OK_AND_ASSIGN(auto ms, mem_backend.OpenStream(path, options));
   EXPECT_EQ(Drain(fs.get(), 8192), Drain(ms.get(), 8192));

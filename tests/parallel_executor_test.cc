@@ -172,8 +172,7 @@ TEST_F(ParallelScanTest, PlanMorselsSerialWhenParallelismIsOne) {
   spec.projection = {0, 1};
   const auto morsels = PlanMorsels(table, spec, 1);
   ASSERT_EQ(morsels.size(), 1u);
-  EXPECT_EQ(morsels[0].first_row, 0u);
-  EXPECT_EQ(morsels[0].num_rows, UINT64_MAX);
+  EXPECT_TRUE(morsels[0].range.is_all());
 }
 
 TEST_F(ParallelScanTest, PlanMorselsColumnCoversPositionSpaceAligned) {
@@ -184,15 +183,15 @@ TEST_F(ParallelScanTest, PlanMorselsColumnCoversPositionSpaceAligned) {
   ASSERT_EQ(morsels.size(), 4u);
   uint64_t next = 0;
   for (const ScanSpec& m : morsels) {
-    EXPECT_EQ(m.first_row, next);
-    EXPECT_GT(m.num_rows, 0u);
+    EXPECT_EQ(m.range.first_row(), next);
+    EXPECT_GT(m.range.num_rows(), 0u);
     // Every involved column file splits at a page boundary.
     for (size_t attr : ScanPipelineAttrs(spec)) {
       const uint32_t vpp = table.meta().PageValues(attr);
       ASSERT_GT(vpp, 0u);
-      EXPECT_EQ(m.first_row % vpp, 0u) << "attr " << attr;
+      EXPECT_EQ(m.range.first_row() % vpp, 0u) << "attr " << attr;
     }
-    next = m.first_row + m.num_rows;
+    next = m.range.first_row() + m.range.num_rows();
   }
   EXPECT_EQ(next, table.meta().num_tuples);
 }
@@ -205,9 +204,9 @@ TEST_F(ParallelScanTest, PlanMorselsRowCoversPageSpace) {
   ASSERT_EQ(morsels.size(), 3u);
   uint64_t next = 0;
   for (const ScanSpec& m : morsels) {
-    EXPECT_EQ(m.first_page, next);
-    EXPECT_GT(m.num_pages, 0u);
-    next = m.first_page + m.num_pages;
+    EXPECT_EQ(m.range.first_page(), next);
+    EXPECT_GT(m.range.num_pages(), 0u);
+    next = m.range.first_page() + m.range.num_pages();
   }
   EXPECT_EQ(next, table.meta().file_pages[0]);
 }
@@ -247,7 +246,7 @@ TEST_F(ParallelScanTest, ScanMatchesSerialAcrossLayoutsAndParallelism) {
     ParallelScanPlan plan;
     plan.table = &table;
     plan.spec.projection = {0, 1, 2, 3};
-    plan.spec.io_unit_bytes = 4096;
+    plan.spec.read.io_unit_bytes = 4096;
     plan.backend = &backend_;
     ExecCounters serial_counters;
     ASSERT_OK_AND_ASSIGN(ExecutionResult serial,
@@ -272,7 +271,7 @@ TEST_F(ParallelScanTest, FilteredScanMatchesSerial) {
     plan.table = &table;
     plan.spec.projection = {0, 3};
     plan.spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 25)};
-    plan.spec.io_unit_bytes = 4096;
+    plan.spec.read.io_unit_bytes = 4096;
     plan.backend = &backend_;
     ASSERT_OK_AND_ASSIGN(ExecutionResult serial, SerialExecute(plan, nullptr));
     ASSERT_GT(serial.rows, 0u);
@@ -295,7 +294,7 @@ TEST_F(ParallelScanTest, BlockFilterAndProjectionAboveScanMatchSerial) {
     ParallelScanPlan plan;
     plan.table = &table;
     plan.spec.projection = {0, 1, 2};
-    plan.spec.io_unit_bytes = 4096;
+    plan.spec.read.io_unit_bytes = 4096;
     plan.backend = &backend_;
     plan.filter = {Predicate::Int32(1, CompareOp::kGe, 10)};
     plan.project = {2, 0};
@@ -323,7 +322,7 @@ TEST_F(ParallelScanTest, AlignedScanCountersAndModeledTimingMatchSerial) {
     ParallelScanPlan plan;
     plan.table = &table;
     plan.spec.projection = {0, 1, 2, 3};
-    plan.spec.io_unit_bytes = 4096;
+    plan.spec.read.io_unit_bytes = 4096;
     // Align block boundaries with page boundaries: every file in this
     // table has 4-byte values, so all layouts report one uniform count.
     const uint32_t vpp = table.meta().PageValues(0);
@@ -356,9 +355,9 @@ TEST_F(ParallelScanTest, AlignedScanCountersAndModeledTimingMatchSerial) {
       const auto streams = ScanStreams(table, plan.spec);
       const HardwareConfig hw = HardwareConfig::Paper2006();
       const auto serial_t =
-          ModelQueryTiming(s, hw, plan.spec.prefetch_depth, streams);
+          ModelQueryTiming(s, hw, plan.spec.read.prefetch_depth, streams);
       const auto parallel_t =
-          ModelQueryTiming(c, hw, plan.spec.prefetch_depth, streams);
+          ModelQueryTiming(c, hw, plan.spec.read.prefetch_depth, streams);
       EXPECT_DOUBLE_EQ(parallel_t.elapsed_seconds, serial_t.elapsed_seconds)
           << rodb::testing::LayoutSuffix(layout) << " k=" << k;
       EXPECT_DOUBLE_EQ(parallel_t.cpu_seconds, serial_t.cpu_seconds);
@@ -385,7 +384,7 @@ TEST_F(ParallelScanTest, GlobalAggregatesCombineExactly) {
     ParallelScanPlan plan;
     plan.table = &table;
     plan.spec.projection = {0, 1};
-    plan.spec.io_unit_bytes = 4096;
+    plan.spec.read.io_unit_bytes = 4096;
     plan.backend = &backend_;
     plan.agg = &agg;
     ASSERT_OK_AND_ASSIGN(ExecutionResult serial, SerialExecute(plan, nullptr));
@@ -407,7 +406,7 @@ TEST_F(ParallelScanTest, GroupedSortAggregateMatchesSerial) {
   ParallelScanPlan plan;
   plan.table = &table;
   plan.spec.projection = {2, 1};
-  plan.spec.io_unit_bytes = 4096;
+  plan.spec.read.io_unit_bytes = 4096;
   plan.backend = &backend_;
   plan.agg = &agg;
   plan.use_sort_aggregate = true;
@@ -432,7 +431,7 @@ TEST_F(ParallelScanTest, GroupedHashAggregateEmitsAscendingKeys) {
   ParallelScanPlan plan;
   plan.table = &table;
   plan.spec.projection = {2, 1};
-  plan.spec.io_unit_bytes = 4096;
+  plan.spec.read.io_unit_bytes = 4096;
   plan.backend = &backend_;
   plan.agg = &agg;
   plan.use_sort_aggregate = true;
@@ -456,7 +455,7 @@ TEST_F(ParallelScanTest, FilteredAggregateMatchesSerial) {
   plan.table = &table;
   plan.spec.projection = {2, 1};
   plan.spec.predicates = {Predicate::Int32(1, CompareOp::kGe, 40)};
-  plan.spec.io_unit_bytes = 4096;
+  plan.spec.read.io_unit_bytes = 4096;
   plan.backend = &backend_;
   plan.agg = &agg;
   plan.use_sort_aggregate = true;
@@ -478,7 +477,7 @@ TEST_F(ParallelScanTest, ReusesACallerProvidedPool) {
   ParallelScanPlan plan;
   plan.table = &table;
   plan.spec.projection = {0, 1, 2, 3};
-  plan.spec.io_unit_bytes = 4096;
+  plan.spec.read.io_unit_bytes = 4096;
   plan.backend = &backend_;
   ASSERT_OK_AND_ASSIGN(ExecutionResult serial, SerialExecute(plan, nullptr));
   for (int round = 0; round < 3; ++round) {

@@ -4,7 +4,9 @@
 
 #include "common/bytes.h"
 #include "common/random.h"
+#include "engine/column_scanner.h"
 #include "engine/early_mat_scanner.h"
+#include "engine/pax_scanner.h"
 #include "scan_test_util.h"
 
 namespace rodb {
@@ -44,8 +46,8 @@ class PaxScannerTest : public ::testing::Test {
   ScanSpec BaseSpec() {
     ScanSpec spec;
     spec.projection = {0, 1, 2, 3};
-    spec.io_unit_bytes = 4096;
-    spec.prefetch_depth = 4;
+    spec.read.io_unit_bytes = 4096;
+    spec.read.prefetch_depth = 4;
     return spec;
   }
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/bytes.h"
 #include "engine/plan_builder.h"
+#include "engine/row_scanner.h"
 #include "engine/shared_scan.h"
 #include "scan_test_util.h"
 
@@ -45,7 +48,7 @@ TEST_F(PlanBuilderTest, ScanFilterProjectAggregateOnEveryLayout) {
     ExecStats stats;
     ScanSpec spec;
     spec.projection = {0, 1, 2};
-    spec.io_unit_bytes = 4096;
+    spec.read.io_unit_bytes = 4096;
     AggPlan agg;
     agg.group_column = 0;  // "group" after projection below
     agg.aggs = {{AggFunc::kSum, 1}, {AggFunc::kCount, 0}};
@@ -69,10 +72,10 @@ TEST_F(PlanBuilderTest, MergeJoinPlan) {
   ASSERT_OK_AND_ASSIGN(OpenTable right, OpenTable::Open(dir_.path(), "t_col"));
   ScanSpec lspec;
   lspec.projection = {0, 2};
-  lspec.io_unit_bytes = 4096;
+  lspec.read.io_unit_bytes = 4096;
   ScanSpec rspec;
   rspec.projection = {0, 1};
-  rspec.io_unit_bytes = 4096;
+  rspec.read.io_unit_bytes = 4096;
   ASSERT_OK_AND_ASSIGN(
       OperatorPtr plan,
       PlanBuilder::MergeJoin(
@@ -88,7 +91,7 @@ TEST_F(PlanBuilderTest, FromWrapsSharedScanConsumer) {
   ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
   ScanSpec spec;
   spec.projection = {1, 2};
-  spec.io_unit_bytes = 4096;
+  spec.read.io_unit_bytes = 4096;
   ASSERT_OK_AND_ASSIGN(auto scan,
                        RowScanner::Make(&table, spec, &backend_, &stats_));
   SharedScan shared(std::move(scan));
@@ -131,7 +134,7 @@ TEST_F(PlanBuilderTest, ErrorsSurfaceAtBuild) {
 
   ScanSpec good;
   good.projection = {0};
-  good.io_unit_bytes = 4096;
+  good.read.io_unit_bytes = 4096;
   auto bad_project = PlanBuilder::Scan(&table, good, &backend_, &stats_)
                          .Project({7})
                          .Build();
@@ -142,11 +145,45 @@ TEST_F(PlanBuilderTest, ErrorsSurfaceAtBuild) {
   EXPECT_FALSE(PlanBuilder::From(nullptr, &stats_).Build().ok());
 }
 
+TEST(ScanPipelineAttrsTest, PredicatesFirstThenProjectionDeduped) {
+  ScanSpec spec;
+  spec.projection = {4, 2, 7, 2};
+  spec.predicates = {Predicate::Int32(2, CompareOp::kLt, 5),
+                     Predicate::Int32(9, CompareOp::kGt, 1),
+                     Predicate::Int32(2, CompareOp::kGt, 0)};
+  EXPECT_EQ(ScanPipelineAttrs(spec), (std::vector<size_t>{2, 9, 4, 7}));
+  EXPECT_TRUE(ScanPipelineAttrs(ScanSpec{}).empty());
+}
+
+TEST(ScanPipelineAttrsTest, WideProjectionStaysFast) {
+  // Regression: the order-preserving dedup used to be O(n^2) in the
+  // number of mentions, so a star-schema-width SELECT list took seconds
+  // (minutes under sanitizers). The O(n log n) version must chew through
+  // 200k mentions of 50k distinct attributes instantly.
+  constexpr size_t kMentions = 200000;
+  constexpr size_t kDistinct = 50000;
+  ScanSpec spec;
+  spec.projection.reserve(kMentions);
+  for (size_t i = 0; i < kMentions; ++i) {
+    spec.projection.push_back(static_cast<int>((i * 37) % kDistinct));
+  }
+  const std::vector<size_t> attrs = ScanPipelineAttrs(spec);
+  ASSERT_EQ(attrs.size(), kDistinct);
+  // First occurrences, kept in first-occurrence order.
+  EXPECT_EQ(attrs[0], 0u);
+  EXPECT_EQ(attrs[1], 37u);
+  std::vector<size_t> sorted = attrs;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(sorted[i], i);
+  }
+}
+
 TEST_F(PlanBuilderTest, OrderByAndTopN) {
   ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_pax"));
   ScanSpec spec;
   spec.projection = {0, 2};
-  spec.io_unit_bytes = 4096;
+  spec.read.io_unit_bytes = 4096;
   // Top 5 by value, descending.
   ASSERT_OK_AND_ASSIGN(OperatorPtr topn,
                        PlanBuilder::Scan(&table, spec, &backend_, &stats_)

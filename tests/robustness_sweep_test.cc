@@ -54,9 +54,9 @@ TEST_P(RobustnessSweep, AllLayoutsAgreeUnderAnyGeometry) {
   ScanSpec spec;
   spec.projection = {2, 0};
   spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 123)};
-  spec.io_unit_bytes = p.page_size * p.io_unit_pages;
+  spec.read.io_unit_bytes = p.page_size * p.io_unit_pages;
   spec.block_tuples = p.block_tuples;
-  spec.prefetch_depth = p.prefetch_depth;
+  spec.read.prefetch_depth = p.prefetch_depth;
 
   FileBackend backend;
   std::vector<std::vector<std::vector<uint8_t>>> results;
@@ -100,7 +100,7 @@ TEST(RobustnessTest, NextAfterEofIsStableForEveryScanner) {
     ExecStats stats;
     ScanSpec spec;
     spec.projection = {0};
-    spec.io_unit_bytes = 4096;
+    spec.read.io_unit_bytes = 4096;
     ASSERT_OK_AND_ASSIGN(auto scan,
                          MakeScanner(&table, spec, &backend, &stats));
     ASSERT_OK(scan->Open());
@@ -131,7 +131,7 @@ TEST(RobustnessTest, OpenIsIdempotent) {
     ExecStats stats;
     ScanSpec spec;
     spec.projection = {0};
-    spec.io_unit_bytes = 4096;
+    spec.read.io_unit_bytes = 4096;
     ASSERT_OK_AND_ASSIGN(auto scan,
                          MakeScanner(&table, spec, &backend, &stats));
     ASSERT_OK(scan->Open());
@@ -160,7 +160,7 @@ TEST(RobustnessTest, SingleTuplePerPageExtreme) {
     ExecStats stats;
     ScanSpec spec;
     spec.projection = {0};
-    spec.io_unit_bytes = 256 * 16;
+    spec.read.io_unit_bytes = 256 * 16;
     ASSERT_OK_AND_ASSIGN(auto scan,
                          MakeScanner(&table, spec, &backend, &stats));
     ASSERT_OK_AND_ASSIGN(auto out, CollectTuples(scan.get()));

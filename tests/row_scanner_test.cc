@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "engine/row_scanner.h"
 #include "scan_test_util.h"
 
 namespace rodb {
@@ -38,8 +39,8 @@ class RowScannerTest : public ::testing::Test {
   ScanSpec BaseSpec() {
     ScanSpec spec;
     spec.projection = {0, 1, 2};
-    spec.io_unit_bytes = 4096;  // multiple of the 1024 page size
-    spec.prefetch_depth = 4;
+    spec.read.io_unit_bytes = 4096;  // multiple of the 1024 page size
+    spec.read.prefetch_depth = 4;
     return spec;
   }
 
@@ -163,7 +164,7 @@ TEST_F(RowScannerTest, MakeValidatesArguments) {
   bad_pred.predicates = {Predicate::Int32(42, CompareOp::kEq, 0)};
   EXPECT_FALSE(RowScanner::Make(&table_, bad_pred, &backend_, &stats_).ok());
   ScanSpec bad_unit = spec;
-  bad_unit.io_unit_bytes = 1000;  // not a multiple of page size
+  bad_unit.read.io_unit_bytes = 1000;  // not a multiple of page size
   EXPECT_FALSE(RowScanner::Make(&table_, bad_unit, &backend_, &stats_).ok());
   // Column table rejected.
   ASSERT_OK_AND_ASSIGN(OpenTable col, OpenTable::Open(dir_.path(), "t_col"));

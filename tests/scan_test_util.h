@@ -6,10 +6,8 @@
 #include <vector>
 
 #include "common/macros.h"
-#include "engine/column_scanner.h"
 #include "engine/executor.h"
-#include "engine/pax_scanner.h"
-#include "engine/row_scanner.h"
+#include "engine/open_scanner.h"
 #include "io/file_backend.h"
 #include "storage/catalog.h"
 #include "storage/table_files.h"
@@ -71,15 +69,8 @@ inline Status LoadAllLayouts(const std::string& dir, const std::string& name,
 /// Builds the scanner matching the table's physical layout.
 inline Result<OperatorPtr> MakeScanner(const OpenTable* table, ScanSpec spec,
                                        IoBackend* backend, ExecStats* stats) {
-  switch (table->meta().layout) {
-    case Layout::kRow:
-      return RowScanner::Make(table, std::move(spec), backend, stats);
-    case Layout::kPax:
-      return PaxScanner::Make(table, std::move(spec), backend, stats);
-    case Layout::kColumn:
-      break;
-  }
-  return ColumnScanner::Make(table, std::move(spec), backend, stats);
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  return OpenScanner(*table, std::move(spec), backend, stats);
 }
 
 /// Runs a scan to completion and returns every output tuple's raw bytes,

@@ -10,9 +10,9 @@
 
 #include "common/bytes.h"
 #include "common/random.h"
-#include "engine/early_mat_scanner.h"
 #include "engine/parallel_executor.h"
 #include "engine/plan_builder.h"
+#include "io/block_cache.h"
 #include "scan_test_util.h"
 
 namespace rodb {
@@ -137,8 +137,8 @@ ScanSpec MakeRandomSpec(Random* rng, const Schema& schema) {
           static_cast<int>(attr), op, rng->String(1, "abgdxyz")));
     }
   }
-  spec.io_unit_bytes = 4096;
-  spec.prefetch_depth = static_cast<int>(rng->UniformRange(1, 8));
+  spec.read.io_unit_bytes = 4096;
+  spec.read.prefetch_depth = static_cast<int>(rng->UniformRange(1, 8));
   return spec;
 }
 
@@ -172,8 +172,8 @@ TEST_P(ScannerEquivalenceTest, AllScannersAgree) {
                          MakeScanner(&pax_table, spec, &backend, &pax_stats));
     ASSERT_OK_AND_ASSIGN(
         auto early_scan,
-        EarlyMatColumnScanner::Make(&col_table, spec, &backend,
-                                    &early_stats));
+        OpenScanner(col_table, spec, &backend, &early_stats,
+                    ScannerImpl::kEarlyMat));
     ASSERT_OK_AND_ASSIGN(auto row_tuples, CollectTuples(row_scan.get()));
     ASSERT_OK_AND_ASSIGN(auto col_tuples, CollectTuples(col_scan.get()));
     ASSERT_OK_AND_ASSIGN(auto pax_tuples, CollectTuples(pax_scan.get()));
@@ -184,6 +184,25 @@ TEST_P(ScannerEquivalenceTest, AllScannersAgree) {
     }
     ASSERT_EQ(pax_tuples, row_tuples) << "query " << q << " (pax)";
     ASSERT_EQ(early_tuples, row_tuples) << "query " << q << " (early mat)";
+
+    // Cached-backend axis: every layout must produce identical results
+    // when the scan populates a cold BlockCache (pass 0) and again when
+    // it is served warm from that cache (pass 1).
+    BlockCache cache(64ULL << 20, 4);
+    ScanSpec cached_spec = spec;
+    cached_spec.read.cache = &cache;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const OpenTable* table :
+           {&row_table, &col_table, &pax_table}) {
+        ExecStats stats;
+        ASSERT_OK_AND_ASSIGN(
+            auto scan, MakeScanner(table, cached_spec, &backend, &stats));
+        ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scan.get()));
+        ASSERT_EQ(tuples, row_tuples)
+            << "query " << q << " cached pass " << pass;
+      }
+    }
+    EXPECT_GT(cache.stats().hits, 0u) << "query " << q;
   }
 }
 
@@ -278,12 +297,12 @@ TEST(ParallelEquivalenceTest, EveryLayoutAndCodecMatchesSerialChecksum) {
 
   ScanSpec plain;
   plain.projection = {0, 1, 2, 3, 4, 5};
-  plain.io_unit_bytes = 4096;
+  plain.read.io_unit_bytes = 4096;
   ScanSpec filtered;
   filtered.projection = {5, 4, 0};
   filtered.predicates = {Predicate::Int32(1, CompareOp::kLt, 30),
                          Predicate::Text(4, CompareOp::kNe, "beta    ")};
-  filtered.io_unit_bytes = 4096;
+  filtered.read.io_unit_bytes = 4096;
 
   FileBackend backend;
   for (Layout layout : {Layout::kRow, Layout::kColumn, Layout::kPax}) {

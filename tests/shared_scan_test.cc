@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "engine/row_scanner.h"
 #include "engine/shared_scan.h"
 #include "scan_test_util.h"
 #include "vector_source.h"
@@ -134,7 +135,7 @@ TEST(SharedScanTest, SharesARealTableScanReadingOnce) {
   ExecStats stats;
   ScanSpec spec;
   spec.projection = {0};
-  spec.io_unit_bytes = 4096;
+  spec.read.io_unit_bytes = 4096;
   ASSERT_OK_AND_ASSIGN(auto scan,
                        RowScanner::Make(&table, spec, &backend, &stats));
   SharedScan shared(std::move(scan));

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/bytes.h"
+#include "engine/row_scanner.h"
 #include "scan_test_util.h"
 #include "tpch/generator.h"
 #include "tpch/loader.h"

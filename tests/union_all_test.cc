@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "engine/column_scanner.h"
+#include "engine/row_scanner.h"
 #include "engine/union_all.h"
 #include "scan_test_util.h"
 #include "vector_source.h"
@@ -82,7 +84,7 @@ class PartitionedScanTest : public ::testing::Test {
     ScanSpec spec;
     spec.projection = {0, 1};
     spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 200)};
-    spec.io_unit_bytes = 4096;
+    spec.read.io_unit_bytes = 4096;
     return spec;
   }
 
@@ -130,8 +132,7 @@ TEST_F(PartitionedScanTest, SinglePartitionRangeScans) {
   ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
   ScanSpec spec = BaseSpec();
   spec.predicates.clear();
-  spec.first_page = 2;
-  spec.num_pages = 3;
+  spec.range = ScanRange::Pages(2, 3);
   ExecStats stats;
   ASSERT_OK_AND_ASSIGN(auto scan,
                        RowScanner::Make(&table, spec, &backend_, &stats));
@@ -147,7 +148,7 @@ TEST_F(PartitionedScanTest, ColumnTablesRejectRanges) {
   ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_col"));
   ExecStats stats;
   ScanSpec spec = BaseSpec();
-  spec.first_page = 1;
+  spec.range = ScanRange::Pages(1, UINT64_MAX);
   EXPECT_FALSE(ColumnScanner::Make(&table, spec, &backend_, &stats).ok());
   EXPECT_EQ(MakePartitionedScan(&table, BaseSpec(), 2, &backend_, &stats)
                 .status()
@@ -163,7 +164,7 @@ TEST_F(PartitionedScanTest, ValidatesArguments) {
   EXPECT_FALSE(
       MakePartitionedScan(nullptr, BaseSpec(), 2, &backend_, &stats).ok());
   ScanSpec ranged = BaseSpec();
-  ranged.first_page = 1;
+  ranged.range = ScanRange::Pages(1, UINT64_MAX);
   EXPECT_FALSE(
       MakePartitionedScan(&table, ranged, 2, &backend_, &stats).ok());
 }

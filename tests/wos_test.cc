@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "engine/column_scanner.h"
 #include "scan_test_util.h"
 #include "wos/merge.h"
 #include "wos/write_store.h"

@@ -17,7 +17,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "advisor/compression_advisor.h"
 #include "common/bytes.h"
@@ -25,6 +27,7 @@
 #include "common/macros.h"
 #include "engine/executor.h"
 #include "engine/plan_builder.h"
+#include "io/block_cache.h"
 #include "io/file_backend.h"
 #include "storage/catalog.h"
 #include "storage/table_files.h"
@@ -165,14 +168,20 @@ void PrintValue(const AttributeDesc& attr, const uint8_t* value) {
 
 Status CmdScan(const std::string& dir, const std::string& name,
                uint64_t limit, const char* where_attr, const char* where_op,
-               const char* where_value) {
+               const char* where_value, int cache_mb) {
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   const Schema& schema = table.schema();
+  std::unique_ptr<BlockCache> cache;
+  if (cache_mb > 0) {
+    cache = std::make_unique<BlockCache>(static_cast<uint64_t>(cache_mb)
+                                         << 20);
+  }
   ScanSpec spec;
+  spec.read.cache = cache.get();
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
     spec.projection.push_back(static_cast<int>(a));
   }
-  spec.io_unit_bytes =
+  spec.read.io_unit_bytes =
       RoundUp(table.meta().page_size * 32, table.meta().page_size);
   if (where_attr != nullptr) {
     const int attr = schema.FindAttribute(where_attr);
@@ -225,6 +234,18 @@ Status CmdScan(const std::string& dir, const std::string& name,
   plan->Close();
   std::printf("(%llu tuples shown)\n",
               static_cast<unsigned long long>(printed));
+  if (cache != nullptr) {
+    const BlockCache::Stats cs = cache->stats();
+    std::printf("cache: %llu hits, %llu misses (%.0f%% hit rate), "
+                "%llu bytes from cache, %llu bytes from disk\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                cs.hit_rate() * 100,
+                static_cast<unsigned long long>(
+                    stats.counters().io_bytes_from_cache),
+                static_cast<unsigned long long>(
+                    stats.counters().io_bytes_read));
+  }
   return Status::OK();
 }
 
@@ -259,7 +280,8 @@ void Usage() {
                "  rodbctl tables <dir>\n"
                "  rodbctl describe <dir> <table>\n"
                "  rodbctl verify <dir> <table>\n"
-               "  rodbctl scan <dir> <table> [limit [attr op value]]\n"
+               "  rodbctl scan <dir> <table> [limit [attr op value]]"
+               " [--cache-mb=N]\n"
                "  rodbctl advise <dir> <table>\n");
 }
 
@@ -294,12 +316,28 @@ int main(int argc, char** argv) {
     return s.ok() ? 0 : Fail(s);
   }
   if (cmd == "scan") {
+    // Split out --cache-mb=N (anywhere after <table>) from the
+    // positional [limit [attr op value]] arguments.
+    int cache_mb = 0;
+    std::vector<const char*> pos;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
+        cache_mb = std::atoi(argv[i] + 11);
+        if (cache_mb <= 0) {
+          std::fprintf(stderr, "rodbctl: bad --cache-mb value: %s\n",
+                       argv[i] + 11);
+          return 2;
+        }
+      } else {
+        pos.push_back(argv[i]);
+      }
+    }
     const uint64_t limit =
-        argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4])) : 20;
-    const char* attr = argc > 7 ? argv[5] : nullptr;
-    const char* op = argc > 7 ? argv[6] : nullptr;
-    const char* value = argc > 7 ? argv[7] : nullptr;
-    const Status s = CmdScan(dir, table, limit, attr, op, value);
+        !pos.empty() ? static_cast<uint64_t>(std::atoll(pos[0])) : 20;
+    const char* attr = pos.size() > 3 ? pos[1] : nullptr;
+    const char* op = pos.size() > 3 ? pos[2] : nullptr;
+    const char* value = pos.size() > 3 ? pos[3] : nullptr;
+    const Status s = CmdScan(dir, table, limit, attr, op, value, cache_mb);
     return s.ok() ? 0 : Fail(s);
   }
   Usage();

@@ -6,7 +6,7 @@
 #                full ctest suite and the fuzzer.
 #   tsan         ThreadSanitizer over the tests that exercise cross-thread
 #                code and the fuzzer (whose parallel runs drive the morsel
-#                scheduler).
+#                scheduler and whose cached axis drives the block cache).
 #
 # The RODB_SANITIZE cache option (top-level CMakeLists.txt) applies the
 # sanitizer to every target; each configuration gets its own build tree so
@@ -19,7 +19,11 @@ cd "$(dirname "$0")/.."
 MODE="${1:-all}"
 FUZZ_ITERATIONS="${2:-200}"
 
-TSAN_TESTS=(parallel_executor_test scanner_equivalence_test fuzz_test)
+# block_cache_test's concurrent-reader cases and the fuzz harness's
+# cached axis (cold/warm passes over one shared BlockCache) both stress
+# the per-shard locking under TSan.
+TSAN_TESTS=(parallel_executor_test scanner_equivalence_test
+            block_cache_test fuzz_test)
 
 status=0
 

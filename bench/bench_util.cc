@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "engine/open_scanner.h"
+#include "obs/model_comparison.h"
 
 namespace rodb::bench {
 
@@ -39,15 +40,29 @@ tpch::LoadSpec Env::Spec(Layout layout, bool compressed,
 
 Result<ScanRun> RunScan(const std::string& dir, const std::string& name,
                         const ScanSpec& spec, double paper_scale,
-                        IoBackend* backend) {
+                        IoBackend* backend, obs::QueryTrace* trace) {
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   ExecStats stats;
+  stats.set_trace(trace);
   Result<OperatorPtr> scan = OpenScanner(table, spec, backend, &stats);
   RODB_RETURN_IF_ERROR(scan.status());
   ScanRun run;
   RODB_ASSIGN_OR_RETURN(run.exec, Execute(scan->get(), &stats));
   run.rows = run.exec.rows;
   run.counters = stats.counters();
+  if (trace != nullptr) {
+    const auto physics = obs::PredictScanPhysics(table, spec);
+    if (physics.ok()) {
+      const HardwareConfig hw = HardwareConfig::Paper2006();
+      const ModeledTiming timing = ModelQueryTiming(
+          run.counters, hw, spec.read.prefetch_depth,
+          CacheAdjustedStreams(ScanStreams(table, spec), run.counters));
+      run.model_json =
+          obs::BuildModelComparison(*physics, run.counters, *trace, timing,
+                                    run.exec.measured.wall_seconds, hw)
+              .ToJson();
+    }
+  }
   run.paper_counters = ScaleCounters(run.counters, paper_scale);
   run.paper_streams = ScanStreams(table, spec);
   for (StreamSpec& s : run.paper_streams) {

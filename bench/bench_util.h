@@ -7,6 +7,7 @@
 #include "engine/executor.h"
 #include "engine/scan_spec.h"
 #include "io/file_backend.h"
+#include "obs/span.h"
 #include "storage/catalog.h"
 #include "tpch/loader.h"
 #include "tpch/tpch_schema.h"
@@ -43,13 +44,20 @@ struct ScanRun {
   ExecCounters paper_counters;    ///< counters scaled to 60M tuples
   std::vector<StreamSpec> paper_streams;  ///< stream bytes at paper scale
   uint64_t rows = 0;
+  /// Predicted-vs-measured ModelComparison::ToJson() of the traced run;
+  /// empty unless a trace was passed to RunScan (or the physics
+  /// predictor declined the spec).
+  std::string model_json;
 };
 
 /// Opens `name`, builds the layout-appropriate scanner, executes it, and
-/// returns counters/streams projected by `paper_scale`.
+/// returns counters/streams projected by `paper_scale`. When `trace` is
+/// non-null the run is traced and `model_json` carries the side-by-side
+/// predicted-vs-measured comparison for the benches' JSON output.
 Result<ScanRun> RunScan(const std::string& dir, const std::string& name,
                         const ScanSpec& spec, double paper_scale,
-                        IoBackend* backend);
+                        IoBackend* backend,
+                        obs::QueryTrace* trace = nullptr);
 
 /// Cumulative on-disk bytes of the first `k` attributes of a schema --
 /// the "selected bytes per tuple" x-axis of Figures 6-10. For compressed

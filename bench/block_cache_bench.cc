@@ -49,8 +49,9 @@ int main() {
     uint64_t cold_checksum = 0;
     double cold_wall = 0.0;
     for (const char* pass : {"cold", "warm"}) {
+      obs::QueryTrace trace;
       auto run = RunScan(env.data_dir, meta->name, spec, env.PaperScale(),
-                         &disk);
+                         &disk, &trace);
       RODB_CHECK(run.ok());
       const bool cold = std::string(pass) == "cold";
       if (cold) {
@@ -65,7 +66,8 @@ int main() {
           "\"backend_bytes\":%llu,\"cache_bytes\":%llu,"
           "\"cache_hits\":%llu,\"cache_misses\":%llu,"
           "\"cache_hit_rate\":%.3f,\"cache_bytes_in_use\":%llu,"
-          "\"output_checksum\":%llu,\"checksum_matches_cold\":%s}\n",
+          "\"output_checksum\":%llu,\"checksum_matches_cold\":%s,"
+          "\"model\":%s}\n",
           layout == Layout::kRow ? "row" : "column",
           static_cast<unsigned long long>(env.tuples), pass,
           static_cast<unsigned long long>(run->rows),
@@ -77,7 +79,8 @@ int main() {
           static_cast<unsigned long long>(cs.misses), cs.hit_rate(),
           static_cast<unsigned long long>(cs.bytes_in_use),
           static_cast<unsigned long long>(run->exec.output_checksum),
-          run->exec.output_checksum == cold_checksum ? "true" : "false");
+          run->exec.output_checksum == cold_checksum ? "true" : "false",
+          run->model_json.empty() ? "null" : run->model_json.c_str());
       RODB_CHECK(run->exec.output_checksum == cold_checksum);
       if (!cold) {
         // The whole point of the warm pass: zero backend traffic.

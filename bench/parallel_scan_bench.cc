@@ -23,6 +23,9 @@
 #include "engine/parallel_executor.h"
 #include "engine/plan_builder.h"
 #include "io/mem_backend.h"
+#include "obs/model_comparison.h"
+#include "obs/scan_physics.h"
+#include "obs/span.h"
 
 using namespace rodb;         // NOLINT
 using namespace rodb::bench;  // NOLINT
@@ -93,13 +96,21 @@ int main() {
     plan.spec = spec;
     plan.backend = &mem;
 
+    const auto physics = obs::PredictScanPhysics(*table, spec);
+    RODB_CHECK(physics.ok());
+
     double wall_1 = 0.0;
     for (int threads : {1, 2, 4, 8}) {
       double best = 1e100;
       uint64_t checksum = 0;
       int morsels = 0;
       double model = 0.0;
+      std::string model_json;
       for (int run = 0; run < kRuns; ++run) {
+        // Fresh trace per run: span nanos accumulate, and each run's
+        // FinalizeFromCounters expects one query's worth of data.
+        obs::QueryTrace trace;
+        plan.trace = &trace;
         auto out = ParallelExecute(plan, threads);
         RODB_CHECK(out.ok());
         RODB_CHECK(out->result.rows == serial->rows);
@@ -107,7 +118,16 @@ int main() {
         checksum = out->result.output_checksum;
         morsels = out->morsels;
         model = ModelElapsed(out->counters, *table, spec);
+        const HardwareConfig hw = HardwareConfig::Paper2006();
+        model_json =
+            obs::BuildModelComparison(
+                *physics, out->counters, trace,
+                ModelQueryTiming(out->counters, hw, spec.read.prefetch_depth,
+                                 ScanStreams(*table, spec)),
+                out->result.measured.wall_seconds, hw)
+                .ToJson();
       }
+      plan.trace = nullptr;
       if (threads == 1) wall_1 = best;
       std::printf(
           "{\"bench\":\"parallel_scan\",\"layout\":\"%s\","
@@ -115,13 +135,15 @@ int main() {
           "\"wall_seconds\":%.6f,\"speedup_vs_1\":%.3f,"
           "\"output_checksum\":%llu,\"checksum_matches_serial\":%s,"
           "\"modeled_elapsed_seconds\":%.6f,"
-          "\"modeled_matches_serial\":%s}\n",
+          "\"modeled_matches_serial\":%s,"
+          "\"model\":%s}\n",
           layout == Layout::kRow ? "row" : "column",
           static_cast<unsigned long long>(env.tuples), threads, morsels,
           best, wall_1 / best,
           static_cast<unsigned long long>(checksum),
           checksum == serial->output_checksum ? "true" : "false",
-          model, model == serial_model ? "true" : "false");
+          model, model == serial_model ? "true" : "false",
+          model_json.c_str());
       RODB_CHECK(checksum == serial->output_checksum);
     }
   }

@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/macros.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -169,6 +170,7 @@ Status HashAggOperator::Consume() {
 }
 
 Result<TupleBlock*> HashAggOperator::Next() {
+  obs::SpanTimer span(stats_->trace(), obs::TracePhase::kAggregate);
   if (!consumed_) RODB_RETURN_IF_ERROR(Consume());
   if (emit_index_ >= groups_.size()) return static_cast<TupleBlock*>(nullptr);
   block_.Clear();
@@ -244,6 +246,7 @@ Status SortAggOperator::Consume() {
 }
 
 Result<TupleBlock*> SortAggOperator::Next() {
+  obs::SpanTimer span(stats_->trace(), obs::TracePhase::kAggregate);
   if (!consumed_) RODB_RETURN_IF_ERROR(Consume());
   if (emit_index_ >= rows_.size()) return static_cast<TupleBlock*>(nullptr);
   ExecCounters& c = stats_->counters();

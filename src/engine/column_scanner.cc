@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "common/macros.h"
 #include "engine/scanner_io.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -215,7 +216,10 @@ Status ColumnScanner::AdvanceNodePage(Node& node) {
   }
   while (true) {
     if (node.page_in_view >= node.pages_in_view) {
-      RODB_ASSIGN_OR_RETURN(node.view, node.stream->Next());
+      {
+        obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);
+        RODB_ASSIGN_OR_RETURN(node.view, node.stream->Next());
+      }
       if (node.view.size == 0) {
         node.eof = true;
         return Status::OK();
@@ -456,6 +460,7 @@ Result<TupleBlock*> ColumnScanner::ProcessNode(Node& node, TupleBlock* in) {
 
 Result<TupleBlock*> ColumnScanner::Next() {
   if (!opened_) return Status::InvalidArgument("ColumnScanner not opened");
+  obs::SpanTimer scan_span(stats_->trace(), obs::TracePhase::kScan);
   if (done_) return static_cast<TupleBlock*>(nullptr);
   // Keep producing base blocks until one survives the pipeline non-empty
   // (a fully filtered-out block must not terminate the scan).

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "engine/scanner_io.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -119,7 +120,10 @@ void EarlyMatColumnScanner::CountDecode(const Cursor& cursor, uint64_t n) {
 Status EarlyMatColumnScanner::AdvancePage(Cursor& cursor) {
   while (true) {
     if (cursor.page_in_view >= cursor.pages_in_view) {
-      RODB_ASSIGN_OR_RETURN(cursor.view, cursor.stream->Next());
+      {
+        obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);
+        RODB_ASSIGN_OR_RETURN(cursor.view, cursor.stream->Next());
+      }
       if (cursor.view.size == 0) {
         cursor.eof = true;
         return Status::OK();
@@ -160,6 +164,7 @@ Result<TupleBlock*> EarlyMatColumnScanner::Next() {
   if (!opened_) {
     return Status::InvalidArgument("EarlyMatColumnScanner not opened");
   }
+  obs::SpanTimer scan_span(stats_->trace(), obs::TracePhase::kScan);
   ExecCounters& c = stats_->counters();
   const BlockLayout& layout = block_.layout();
   uint8_t* value = value_scratch_.data();

@@ -3,12 +3,15 @@
 
 #include "hwmodel/cpu_model.h"
 #include "io/io.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rodb {
 
 /// Execution-statistics sink shared by all operators of one query plan.
 /// Collects the semantic event counters (the PAPI substitute, see
-/// hwmodel/cpu_model.h) plus raw I/O statistics per stream.
+/// hwmodel/cpu_model.h) plus raw I/O statistics per stream, and carries
+/// the optional per-query trace the operators' SpanTimers record into.
 class ExecStats {
  public:
   ExecCounters& counters() { return counters_; }
@@ -18,8 +21,14 @@ class ExecStats {
   /// FoldIo() when the query finishes.
   IoStats* io_stats() { return &io_; }
 
+  /// Optional span tree for this query (obs/span.h). Null (the default)
+  /// disables span timing entirely; operators must tolerate both.
+  obs::QueryTrace* trace() { return trace_; }
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+
   /// Adds the accumulated I/O statistics into the counters (idempotent:
-  /// uses and clears the pending I/O record).
+  /// uses and clears the pending I/O record) and mirrors the same delta
+  /// into the process-wide metrics registry.
   void FoldIo() {
     counters_.io_bytes_read += io_.bytes_read;
     counters_.io_requests += io_.requests;
@@ -27,6 +36,7 @@ class ExecStats {
     counters_.io_bytes_from_cache += io_.bytes_from_cache;
     counters_.io_cache_hits += io_.cache_hits;
     counters_.io_cache_misses += io_.cache_misses;
+    MirrorIoToRegistry(io_);
     io_ = IoStats{};
   }
 
@@ -43,8 +53,28 @@ class ExecStats {
   }
 
  private:
+  /// Because FoldIo consumes-and-clears the pending record, mirroring the
+  /// record right before the clear publishes each delta exactly once.
+  static void MirrorIoToRegistry(const IoStats& io) {
+    auto& reg = obs::MetricsRegistry::Default();
+    static obs::Counter* bytes = reg.GetCounter("rodb.io.backend_bytes");
+    static obs::Counter* requests = reg.GetCounter("rodb.io.requests");
+    static obs::Counter* files = reg.GetCounter("rodb.io.files_opened");
+    static obs::Counter* cache_bytes = reg.GetCounter("rodb.io.cache_bytes");
+    static obs::Counter* cache_hits = reg.GetCounter("rodb.io.cache_hits");
+    static obs::Counter* cache_misses =
+        reg.GetCounter("rodb.io.cache_misses");
+    bytes->Add(io.bytes_read);
+    requests->Add(io.requests);
+    files->Add(io.files_opened);
+    cache_bytes->Add(io.bytes_from_cache);
+    cache_hits->Add(io.cache_hits);
+    cache_misses->Add(io.cache_misses);
+  }
+
   ExecCounters counters_;
   IoStats io_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace rodb

@@ -4,8 +4,31 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rodb {
+
+namespace {
+
+/// Process-wide roll-up of every Execute() call: query count, output
+/// volume, and a wall-latency histogram (microsecond buckets, 1us-~1s).
+void RecordQueryMetrics(const ExecutionResult& result) {
+  auto& reg = obs::MetricsRegistry::Default();
+  static obs::Counter* queries = reg.GetCounter("rodb.query.count");
+  static obs::Counter* rows = reg.GetCounter("rodb.query.rows");
+  static obs::Counter* blocks = reg.GetCounter("rodb.query.blocks");
+  static obs::Histogram* latency = reg.GetHistogram(
+      "rodb.query.latency_us",
+      obs::Histogram::ExponentialBounds(1, 4.0, 10));
+  queries->Increment();
+  rows->Add(result.rows);
+  blocks->Add(result.blocks);
+  latency->Record(
+      static_cast<uint64_t>(result.measured.wall_seconds * 1e6));
+}
+
+}  // namespace
 
 uint64_t Fnv1aExtend(uint64_t hash, const uint8_t* data, size_t size) {
   for (size_t i = 0; i < size; ++i) {
@@ -21,23 +44,32 @@ Result<ExecutionResult> Execute(Operator* root, ExecStats* stats) {
   }
   ExecutionResult result;
   IntervalTimer timer;
-  RODB_RETURN_IF_ERROR(root->Open());
-  uint64_t checksum = kFnv1aSeed;
-  const int width = root->output_layout().tuple_width;
-  while (true) {
-    RODB_ASSIGN_OR_RETURN(TupleBlock * block, root->Next());
-    if (block == nullptr) break;
-    if (block->empty()) continue;
-    result.blocks += 1;
-    result.rows += block->size();
-    checksum = Fnv1aExtend(checksum, block->tuple(0),
-                           static_cast<size_t>(block->size()) *
-                               static_cast<size_t>(width));
+  obs::QueryTrace* trace = stats->trace();
+  {
+    obs::SpanTimer query_span(trace, obs::TracePhase::kQuery);
+    {
+      obs::SpanTimer open_span(trace, obs::TracePhase::kOpen);
+      RODB_RETURN_IF_ERROR(root->Open());
+    }
+    uint64_t checksum = kFnv1aSeed;
+    const int width = root->output_layout().tuple_width;
+    while (true) {
+      RODB_ASSIGN_OR_RETURN(TupleBlock * block, root->Next());
+      if (block == nullptr) break;
+      if (block->empty()) continue;
+      result.blocks += 1;
+      result.rows += block->size();
+      checksum = Fnv1aExtend(checksum, block->tuple(0),
+                             static_cast<size_t>(block->size()) *
+                                 static_cast<size_t>(width));
+    }
+    root->Close();
+    stats->FoldIo();
+    result.output_checksum = checksum;
   }
-  root->Close();
-  stats->FoldIo();
-  result.output_checksum = checksum;
   result.measured = timer.Lap();
+  if (trace != nullptr) trace->FinalizeFromCounters(stats->counters());
+  RecordQueryMetrics(result);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "common/stopwatch.h"
 #include "engine/exec_stats.h"
 #include "engine/plan_builder.h"
+#include "obs/metrics.h"
 #include "storage/table_files.h"
 
 namespace rodb {
@@ -320,6 +321,7 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
   if (morsels.size() == 1) {
     // Serial fallback: identical to Execute over the unmodified plan.
     ExecStats stats;
+    stats.set_trace(plan.trace);
     RODB_ASSIGN_OR_RETURN(OperatorPtr root,
                           BuildWorkerPlan(plan, morsels[0], plan.agg, &stats));
     RODB_ASSIGN_OR_RETURN(out.result, Execute(root.get(), &stats));
@@ -358,11 +360,20 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
   if (pool == nullptr) pool = ThreadPool::Shared();
   std::latch done(static_cast<std::ptrdiff_t>(morsels.size()));
   const AggPlan* orig_agg = plan.agg;
+  obs::QueryTrace* trace = plan.trace;
+  obs::SpanTimer query_span(trace, obs::TracePhase::kQuery);
   for (size_t i = 0; i < morsels.size(); ++i) {
     Operator* root = roots[i].get();
     WorkerState* w = &workers[i];
-    pool->Submit([root, orig_agg, w, &done] {
-      w->status = DriveWorker(root, orig_agg, w);
+    pool->Submit([root, orig_agg, w, trace, &done] {
+      {
+        // AddPhaseNanos is wait-free, so worker threads may time their
+        // own morsel even though their counters stay worker-local. The
+        // timer closes before count_down so the merging thread never
+        // reads a trace a worker is still writing.
+        obs::SpanTimer morsel_span(trace, obs::TracePhase::kMorsel);
+        w->status = DriveWorker(root, orig_agg, w);
+      }
       done.count_down();
     });
   }
@@ -373,6 +384,7 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
   }
 
   // --- merge ---
+  obs::SpanTimer merge_span(trace, obs::TracePhase::kMerge);
   if (plan.agg != nullptr) {
     std::map<int32_t, PartialGroup> merged;
     for (const WorkerState& w : workers) {
@@ -405,11 +417,23 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
                           w.stats.counters().io_cache_misses});
   }
   out.raw_io = raw;
-  // Morsel byte ranges partition each file, so summed bytes_read already
-  // equals a serial scan's; requests and file opens do not (boundary
-  // fragments, k streams per file) and are normalized to the serial
-  // equivalents so ModelQueryTiming is parallelism-invariant.
+  // Morsel ranges partition single-file layouts exactly, so summed
+  // bytes_read equals a serial scan's there; column files can re-read
+  // one boundary unit per interior split (morsel rows are not aligned
+  // to every column's page/unit phase). Requests and file opens are
+  // never partition-exact (boundary fragments, k streams per file) and
+  // are normalized to the serial equivalents so ModelQueryTiming is
+  // parallelism-invariant.
   NormalizeIoCounters(*plan.table, plan.spec, &out.counters);
+  if (trace != nullptr) trace->FinalizeFromCounters(out.counters);
+  {
+    static obs::Counter* morsel_count =
+        obs::MetricsRegistry::Default().GetCounter("rodb.parallel.morsels");
+    static obs::Counter* runs =
+        obs::MetricsRegistry::Default().GetCounter("rodb.parallel.runs");
+    morsel_count->Add(static_cast<uint64_t>(out.morsels));
+    runs->Increment();
+  }
   out.result.measured = timer.Lap();
   return out;
 }

@@ -9,6 +9,7 @@
 #include "engine/predicate.h"
 #include "engine/scan_spec.h"
 #include "io/io.h"
+#include "obs/span.h"
 #include "storage/catalog.h"
 
 namespace rodb {
@@ -35,6 +36,11 @@ struct ParallelScanPlan {
   /// unspecified).
   const AggPlan* agg = nullptr;
   bool use_sort_aggregate = false;  ///< SortAgg vs HashAgg in each worker
+  /// Optional span tree (obs/span.h). The serial fallback traces the full
+  /// pipeline; parallel runs record per-worker wall time (morsel spans),
+  /// the merge, and the finalized counters — workers keep their own
+  /// untraced ExecStats so the single-writer I/O contract holds.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// What a parallel execution produced.

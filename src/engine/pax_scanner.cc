@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "engine/scanner_io.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -153,7 +154,10 @@ Status PaxScanner::AdvancePage() {
   ExecCounters& c = stats_->counters();
   while (true) {
     if (page_in_view_ >= pages_in_view_) {
-      RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
+      {
+        obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);
+        RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
+      }
       if (view_.size == 0) {
         eof_ = true;
         return CheckScanComplete();
@@ -282,6 +286,7 @@ Status PaxScanner::CheckScanComplete() const {
 
 Result<TupleBlock*> PaxScanner::Next() {
   if (!opened_) return Status::InvalidArgument("PaxScanner not opened");
+  obs::SpanTimer scan_span(stats_->trace(), obs::TracePhase::kScan);
   const Schema& schema = table_->schema();
   ExecCounters& c = stats_->counters();
   block_.Clear();

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -34,6 +35,7 @@ Result<OperatorPtr> ProjectOperator::Make(OperatorPtr child,
 Status ProjectOperator::Open() { return child_->Open(); }
 
 Result<TupleBlock*> ProjectOperator::Next() {
+  obs::SpanTimer span(stats_->trace(), obs::TracePhase::kProject);
   RODB_ASSIGN_OR_RETURN(TupleBlock * in, child_->Next());
   if (in == nullptr) return static_cast<TupleBlock*>(nullptr);
   ExecCounters& c = stats_->counters();

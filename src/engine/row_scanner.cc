@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "engine/scanner_io.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -94,7 +95,10 @@ Status RowScanner::Open() {
 Status RowScanner::AdvancePage() {
   while (true) {
     if (page_in_view_ >= pages_in_view_) {
-      RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
+      {
+        obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);
+        RODB_ASSIGN_OR_RETURN(view_, stream_->Next());
+      }
       if (view_.size == 0) {
         eof_ = true;
         return CheckScanComplete();
@@ -190,6 +194,7 @@ void RowScanner::ProcessCurrentPage() {
 
 Result<TupleBlock*> RowScanner::Next() {
   if (!opened_) return Status::InvalidArgument("RowScanner not opened");
+  obs::SpanTimer scan_span(stats_->trace(), obs::TracePhase::kScan);
   block_.Clear();
   while (!block_.full() && !eof_) {
     if (!page_.has_value() || tuple_in_page_ >= page_->count()) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -15,6 +16,7 @@ FilterOperator::FilterOperator(OperatorPtr child,
 Status FilterOperator::Open() { return child_->Open(); }
 
 Result<TupleBlock*> FilterOperator::Next() {
+  obs::SpanTimer span(stats_->trace(), obs::TracePhase::kFilter);
   ExecCounters& c = stats_->counters();
   block_.Clear();
   while (!block_.full()) {

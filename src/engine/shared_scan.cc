@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace rodb {
 
@@ -85,6 +86,10 @@ Result<TupleBlock*> SharedScan::State::Fetch(uint64_t seq) {
     }
     // The source reuses its block; buffer a copy for the window.
     window.push_back(std::make_unique<TupleBlock>(**next));
+    static obs::Counter* buffered =
+        obs::MetricsRegistry::Default().GetCounter(
+            "rodb.sharedscan.buffered_blocks");
+    buffered->Increment();
   }
   return window[seq - window_start].get();
 }

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/macros.h"
+#include "obs/span.h"
 
 namespace rodb {
 
@@ -75,6 +76,7 @@ Status SortOperator::Consume() {
 }
 
 Result<TupleBlock*> SortOperator::Next() {
+  obs::SpanTimer span(stats_->trace(), obs::TracePhase::kSort);
   if (!consumed_) RODB_RETURN_IF_ERROR(Consume());
   if (emit_index_ >= order_indices_.size()) {
     return static_cast<TupleBlock*>(nullptr);
@@ -160,6 +162,7 @@ Status TopNOperator::Consume() {
 }
 
 Result<TupleBlock*> TopNOperator::Next() {
+  obs::SpanTimer span(stats_->trace(), obs::TracePhase::kSort);
   if (!consumed_) RODB_RETURN_IF_ERROR(Consume());
   if (emit_index_ >= sorted_.size()) return static_cast<TupleBlock*>(nullptr);
   block_.Clear();

@@ -6,6 +6,7 @@
 
 #include "common/file_id.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace rodb {
 
@@ -16,6 +17,25 @@ size_t RoundUpPow2(int n) {
   while (p < static_cast<size_t>(n < 1 ? 1 : n)) p <<= 1;
   return p;
 }
+
+/// Process-wide cache metrics, aggregated across every BlockCache
+/// instance (per-instance numbers stay available via BlockCache::stats).
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* inserted_bytes;
+  static const CacheMetrics& Get() {
+    static const CacheMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      return CacheMetrics{reg.GetCounter("rodb.cache.hits"),
+                          reg.GetCounter("rodb.cache.misses"),
+                          reg.GetCounter("rodb.cache.evictions"),
+                          reg.GetCounter("rodb.cache.inserted_bytes")};
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -46,10 +66,12 @@ BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_id, uint64_t offset,
     if (it != shard.index.end() && it->second->block->size() >= min_size) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::Get().hits->Increment();
       return it->second->block;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().misses->Increment();
   return nullptr;
 }
 
@@ -75,6 +97,7 @@ void BlockCache::Insert(uint64_t file_id, uint64_t offset, BlockHandle block) {
   shard.bytes += size;
   bytes_in_use_.fetch_add(size, std::memory_order_relaxed);
   inserted_bytes_.fetch_add(size, std::memory_order_relaxed);
+  CacheMetrics::Get().inserted_bytes->Add(size);
   while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
     const Entry& victim = shard.lru.back();
     const uint64_t victim_size = victim.block->size();
@@ -84,6 +107,7 @@ void BlockCache::Insert(uint64_t file_id, uint64_t offset, BlockHandle block) {
     bytes_in_use_.fetch_sub(victim_size, std::memory_order_relaxed);
     entries_.fetch_sub(1, std::memory_order_relaxed);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().evictions->Increment();
   }
 }
 
@@ -148,7 +172,8 @@ class CachingBackend::CachingStream final : public SequentialStream {
         end_(options.length > file_size - pos_ ? file_size
                                                : pos_ + options.length),
         unit_(options.read.io_unit_bytes), stats_(options.read.stats),
-        inner_(std::move(inner_stream)), inner_next_offset_(pos_) {}
+        inner_(std::move(inner_stream)), inner_next_offset_(pos_),
+        counted_open_(inner_ != nullptr) {}
 
   Result<IoView> Next() override {
     if (pos_ >= end_) return IoView{nullptr, 0, end_};
@@ -205,6 +230,17 @@ class CachingBackend::CachingStream final : public SequentialStream {
     inner_options.read.cache = nullptr;  // we are the caching layer
     RODB_ASSIGN_OR_RETURN(inner_,
                           inner_backend_->OpenStream(path_, inner_options));
+    // The inner backend counts files_opened on every OpenStream, but a
+    // reopen (hits advanced pos_ past the inner cursor on a partially
+    // warm cache) is still the same logical file: compensate so one
+    // CachingStream contributes at most one open.
+    if (counted_open_) {
+      if (stats_ != nullptr && stats_->files_opened > 0) {
+        stats_->files_opened -= 1;
+      }
+    } else {
+      counted_open_ = true;
+    }
     inner_next_offset_ = offset;
     return Status::OK();
   }
@@ -221,6 +257,9 @@ class CachingBackend::CachingStream final : public SequentialStream {
 
   std::unique_ptr<SequentialStream> inner_;
   uint64_t inner_next_offset_;
+  /// Whether this stream already contributed one files_opened to the
+  /// stats sink (reopens of the same logical file must not count again).
+  bool counted_open_;
   BlockCache::BlockHandle handle_;  ///< pins the block behind the view
 };
 

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace rodb {
 
 namespace {
@@ -56,6 +58,11 @@ class AsyncFileStream final : public SequentialStream {
       ++free_slots_;
       cv_producer_.notify_one();
     }
+    // Prefetch-depth utilization: a unit already sitting in the ring
+    // means the prefetcher kept ahead of the consumer; an empty ring
+    // means the consumer stalls on the disk.
+    RecordPrefetchUtilization(!filled_.empty() || produced_all_ ||
+                              !error_.ok());
     cv_consumer_.wait(lock, [this] {
       return !filled_.empty() || produced_all_ || !error_.ok();
     });
@@ -79,6 +86,13 @@ class AsyncFileStream final : public SequentialStream {
     size_t size;
     uint64_t offset;
   };
+
+  static void RecordPrefetchUtilization(bool ready) {
+    auto& reg = obs::MetricsRegistry::Default();
+    static obs::Counter* hits = reg.GetCounter("rodb.io.prefetch_ready");
+    static obs::Counter* stalls = reg.GetCounter("rodb.io.prefetch_stalls");
+    (ready ? hits : stalls)->Increment();
+  }
 
   void ProducerLoop() {
     uint64_t offset = range_start_;

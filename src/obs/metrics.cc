@@ -1,0 +1,225 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace rodb::obs {
+
+size_t ThisThreadShard() {
+  // Hash the thread id once per thread; the cached slot keeps Add() at a
+  // single relaxed fetch_add with no hashing on the hot path.
+  thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kCounterShards;
+  return shard;
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  RODB_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(uint64_t sample) {
+  size_t i = 0;
+  while (i < bounds_.size() && sample > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  RODB_CHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::ExponentialBounds(uint64_t first,
+                                                   double factor,
+                                                   size_t count) {
+  RODB_CHECK(first > 0 && factor > 1.0);
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  double b = static_cast<double>(first);
+  for (size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<uint64_t>(b);
+    if (bounds.empty() || v > bounds.back()) bounds.push_back(v);
+    b *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter == nullptr) {
+    RODB_CHECK(e.gauge == nullptr && e.histogram == nullptr);
+    e.kind = MetricSample::Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.gauge == nullptr) {
+    RODB_CHECK(e.counter == nullptr && e.histogram == nullptr);
+    e.kind = MetricSample::Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.histogram == nullptr) {
+    RODB_CHECK(e.counter == nullptr && e.gauge == nullptr);
+    e.kind = MetricSample::Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return e.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricSample::Kind::kCounter:
+        s.counter_value = e.counter->Value();
+        break;
+      case MetricSample::Kind::kGauge:
+        s.gauge_value = e.gauge->Value();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        s.histogram_bounds = e.histogram->bounds();
+        s.histogram_counts.reserve(s.histogram_bounds.size() + 1);
+        for (size_t i = 0; i <= s.histogram_bounds.size(); ++i) {
+          s.histogram_counts.push_back(e.histogram->BucketCount(i));
+        }
+        s.histogram_sum = e.histogram->Sum();
+        s.histogram_count = e.histogram->TotalCount();
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+void AppendHistogramText(const MetricSample& s, std::string* out) {
+  char buf[128];
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < s.histogram_counts.size(); ++i) {
+    cumulative += s.histogram_counts[i];
+    if (i < s.histogram_bounds.size()) {
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.histogram_bounds[i]),
+                    static_cast<unsigned long long>(cumulative));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(cumulative));
+    }
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s_sum %llu\n%s_count %llu\n",
+                s.name.c_str(),
+                static_cast<unsigned long long>(s.histogram_sum),
+                s.name.c_str(),
+                static_cast<unsigned long long>(s.histogram_count));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportText() const {
+  std::string out;
+  char buf[128];
+  for (const MetricSample& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%s %llu\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.counter_value));
+        out += buf;
+        break;
+      case MetricSample::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%s %lld\n", s.name.c_str(),
+                      static_cast<long long>(s.gauge_value));
+        out += buf;
+        break;
+      case MetricSample::Kind::kHistogram:
+        AppendHistogramText(s, &out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::string out = "{";
+  char buf[128];
+  bool first = true;
+  for (const MetricSample& s : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + s.name + "\":";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(s.counter_value));
+        out += buf;
+        break;
+      case MetricSample::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(s.gauge_value));
+        out += buf;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "{\"bounds\":[";
+        for (size_t i = 0; i < s.histogram_bounds.size(); ++i) {
+          std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                        static_cast<unsigned long long>(
+                            s.histogram_bounds[i]));
+          out += buf;
+        }
+        out += "],\"counts\":[";
+        for (size_t i = 0; i < s.histogram_counts.size(); ++i) {
+          std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                        static_cast<unsigned long long>(
+                            s.histogram_counts[i]));
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "],\"sum\":%llu,\"count\":%llu}",
+                      static_cast<unsigned long long>(s.histogram_sum),
+                      static_cast<unsigned long long>(s.histogram_count));
+        out += buf;
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rodb::obs

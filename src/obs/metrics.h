@@ -1,0 +1,162 @@
+#ifndef RODB_OBS_METRICS_H_
+#define RODB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rodb::obs {
+
+/// Process-wide metric primitives (DESIGN.md "Observability").
+///
+/// Counters and histograms sit on the scan hot path (every I/O unit, every
+/// folded stats delta), so the write side must never take a lock and must
+/// not bounce a single cache line between the parallel executor's workers:
+/// Counter shards its value over cache-line-aligned atomics indexed by a
+/// thread-local slot. Reads (Value/Snapshot/export) sum the shards; they
+/// are monotonic but not a point-in-time cut, which is all a monitoring
+/// export needs.
+
+/// Number of independent atomic shards per counter. Sixteen covers the
+/// morsel scheduler's worker cap without two hot threads mapping to the
+/// same line in the common case.
+inline constexpr size_t kCounterShards = 16;
+
+/// Index of the calling thread's counter shard, stable for the thread's
+/// lifetime.
+size_t ThisThreadShard();
+
+/// Monotonic counter. Add() is wait-free; Value() sums the shards.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    shards_[ThisThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kCounterShards];
+};
+
+/// Last-value gauge (signed so it can track levels that shrink, e.g.
+/// cache bytes in use).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are fixed at
+/// construction so Record() is a branchless-ish scan over a small array
+/// plus one relaxed fetch_add — no locks, safe from any thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t sample);
+
+  /// Upper bounds, ascending; the overflow bucket is not included.
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t BucketCount(size_t i) const;
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Exponential bounds {first, first*factor, ...} with `count` entries.
+  static std::vector<uint64_t> ExponentialBounds(uint64_t first,
+                                                 double factor, size_t count);
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Point-in-time copy of one metric, used by the exporters and tests.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  std::vector<uint64_t> histogram_bounds;
+  std::vector<uint64_t> histogram_counts;  // bounds.size() + 1 (overflow)
+  uint64_t histogram_sum = 0;
+  uint64_t histogram_count = 0;
+};
+
+/// Name -> metric registry. Registration takes a mutex (cold path, once
+/// per call site thanks to cached handles); returned pointers are stable
+/// for the registry's lifetime, so hot paths touch only the atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation reports to.
+  static MetricsRegistry& Default();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. Aborts if `name` is already a different metric kind.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` are used only on first creation; later lookups ignore them.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<uint64_t> bounds);
+
+  /// Snapshot of every registered metric, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus-style text exposition of Snapshot().
+  std::string ExportText() const;
+  /// One JSON object {"name": {...}, ...} of Snapshot().
+  std::string ExportJson() const;
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace rodb::obs
+
+#endif  // RODB_OBS_METRICS_H_

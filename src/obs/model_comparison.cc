@@ -1,0 +1,246 @@
+#include "obs/model_comparison.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace rodb::obs {
+
+namespace {
+
+CounterComparison Compare(const char* name, uint64_t predicted,
+                          uint64_t measured) {
+  CounterComparison c;
+  c.name = name;
+  c.predicted = predicted;
+  c.measured = measured;
+  const uint64_t diff =
+      predicted > measured ? predicted - measured : measured - predicted;
+  c.rel_error = static_cast<double>(diff) /
+                static_cast<double>(std::max<uint64_t>(measured, 1));
+  return c;
+}
+
+/// Seconds the cost model attributes to `uops` of user-mode work,
+/// including the usr-rest surcharge that scales with executed uops.
+double UopSeconds(const HardwareConfig& hw, const CostModel& costs,
+                  double uops) {
+  return hw.UopSeconds(uops) * (1.0 + costs.rest_fraction);
+}
+
+}  // namespace
+
+double ModelComparison::MaxCountError() const {
+  double max_err = 0.0;
+  for (const CounterComparison& c : counts) {
+    max_err = std::max(max_err, c.rel_error);
+  }
+  return max_err;
+}
+
+ModelComparison BuildModelComparison(const ScanPhysics& physics,
+                                     const ExecCounters& c,
+                                     const QueryTrace& trace,
+                                     const ModeledTiming& timing,
+                                     double measured_wall_seconds,
+                                     const HardwareConfig& hw) {
+  ModelComparison out;
+
+  // Pick which cache projection of the physics the run corresponds to:
+  // no hit/miss traffic means no cache, zero backend bytes means fully
+  // warm, otherwise cold. (A partially warm cache matches none of the
+  // three; the rel_error columns surface that honestly.)
+  IoPhysics io;
+  if (c.io_cache_hits + c.io_cache_misses == 0) {
+    io = physics.Uncached();
+  } else if (c.io_bytes_read == 0) {
+    io = physics.Warm();
+  } else {
+    io = physics.Cold();
+  }
+  out.counts.push_back(Compare("tuples_examined", physics.tuples_examined,
+                               c.tuples_examined));
+  out.counts.push_back(
+      Compare("pages_parsed", physics.pages_parsed, c.pages_parsed));
+  out.counts.push_back(Compare("backend_bytes", io.bytes_read,
+                               c.io_bytes_read));
+  out.counts.push_back(Compare("io_requests", io.requests, c.io_requests));
+  out.counts.push_back(
+      Compare("files_opened", io.files_opened, c.files_read));
+  out.counts.push_back(Compare("cache_bytes", io.bytes_from_cache,
+                               c.io_bytes_from_cache));
+  out.counts.push_back(Compare("cache_hits", io.cache_hits,
+                               c.io_cache_hits));
+  out.counts.push_back(Compare("cache_misses", io.cache_misses,
+                               c.io_cache_misses));
+
+  // Per-phase attribution of the cost model's cycles, against the span
+  // tree's measured self times.
+  const CostModel costs = CostModel::Default();
+  std::vector<SpanNode> spans = trace.Spans();
+  const auto measured_self = [&spans](TracePhase p) {
+    for (const SpanNode& n : spans) {
+      if (n.phase == p) return static_cast<double>(n.self_nanos) / 1e9;
+    }
+    return 0.0;
+  };
+  const auto phase = [&out, &measured_self](TracePhase p, double predicted) {
+    PhaseComparison pc;
+    pc.phase = p;
+    pc.predicted_seconds = predicted;
+    pc.measured_seconds = measured_self(p);
+    out.phases.push_back(pc);
+  };
+  phase(TracePhase::kOpen,
+        hw.CyclesToSeconds(static_cast<double>(c.files_read) *
+                           costs.sys_cycles_per_file));
+  phase(TracePhase::kScan,
+        UopSeconds(hw, costs,
+                   static_cast<double>(c.tuples_examined) *
+                           costs.uops_tuple_examined +
+                       static_cast<double>(c.pages_parsed) * costs.uops_page +
+                       static_cast<double>(c.blocks_emitted) *
+                           costs.uops_block));
+  phase(TracePhase::kIo,
+        hw.CyclesToSeconds(static_cast<double>(c.io_bytes_read) *
+                               costs.sys_cycles_per_io_byte +
+                           static_cast<double>(c.io_requests) *
+                               costs.sys_cycles_per_io_request));
+  phase(TracePhase::kDecode,
+        UopSeconds(
+            hw, costs,
+            static_cast<double>(c.values_decoded_bitpack) *
+                    costs.uops_decode_bitpack +
+                static_cast<double>(c.values_decoded_dict) *
+                    costs.uops_decode_dict +
+                static_cast<double>(c.values_code_reads) *
+                    costs.uops_code_read +
+                static_cast<double>(c.values_decoded_for) *
+                    costs.uops_decode_for +
+                static_cast<double>(c.values_decoded_fordelta) *
+                    costs.uops_decode_fordelta +
+                static_cast<double>(c.positions_processed) *
+                    costs.uops_position));
+  phase(TracePhase::kFilter,
+        UopSeconds(hw, costs,
+                   static_cast<double>(c.predicate_evals) *
+                       costs.uops_predicate));
+  phase(TracePhase::kProject,
+        UopSeconds(hw, costs,
+                   static_cast<double>(c.values_copied) *
+                           costs.uops_value_copy +
+                       static_cast<double>(c.bytes_copied) *
+                           costs.uops_byte_copied));
+  phase(TracePhase::kAggregate,
+        UopSeconds(hw, costs,
+                   static_cast<double>(c.hash_ops) * costs.uops_hash_op +
+                       static_cast<double>(c.operator_tuples) *
+                           costs.uops_operator_tuple));
+  phase(TracePhase::kSort,
+        UopSeconds(hw, costs,
+                   static_cast<double>(c.sort_comparisons) *
+                       costs.uops_sort_comparison));
+
+  out.predicted_elapsed_seconds = timing.elapsed_seconds;
+  out.predicted_io_bound = timing.io_bound;
+  out.measured_wall_seconds = measured_wall_seconds;
+  return out;
+}
+
+std::string ModelComparison::ToText() const {
+  std::string out;
+  char buf[160];
+  out += "  counter            predicted       measured    rel.err\n";
+  for (const CounterComparison& c : counts) {
+    std::snprintf(buf, sizeof(buf), "  %-16s %12llu %14llu %10.4f\n",
+                  c.name.c_str(),
+                  static_cast<unsigned long long>(c.predicted),
+                  static_cast<unsigned long long>(c.measured), c.rel_error);
+    out += buf;
+  }
+  out += "  phase            predicted_ms    measured_ms\n";
+  for (const PhaseComparison& p : phases) {
+    if (p.predicted_seconds == 0.0 && p.measured_seconds == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-16s %12.3f %14.3f\n",
+                  PhaseName(p.phase), p.predicted_seconds * 1e3,
+                  p.measured_seconds * 1e3);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  modeled elapsed %.3f ms (%s-bound), measured wall "
+                "%.3f ms\n",
+                predicted_elapsed_seconds * 1e3,
+                predicted_io_bound ? "io" : "cpu",
+                measured_wall_seconds * 1e3);
+  out += buf;
+  return out;
+}
+
+std::string ModelComparison::ToJson() const {
+  std::string out = "{\"counts\":[";
+  char buf[200];
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const CounterComparison& c = counts[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"predicted\":%llu,"
+                  "\"measured\":%llu,\"rel_error\":%.6f}",
+                  i == 0 ? "" : ",", c.name.c_str(),
+                  static_cast<unsigned long long>(c.predicted),
+                  static_cast<unsigned long long>(c.measured), c.rel_error);
+    out += buf;
+  }
+  out += "],\"phases\":[";
+  bool first = true;
+  for (const PhaseComparison& p : phases) {
+    if (p.predicted_seconds == 0.0 && p.measured_seconds == 0.0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"phase\":\"%s\",\"predicted_seconds\":%.9f,"
+                  "\"measured_seconds\":%.9f}",
+                  first ? "" : ",", PhaseName(p.phase), p.predicted_seconds,
+                  p.measured_seconds);
+    first = false;
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"predicted_elapsed_seconds\":%.9f,"
+                "\"predicted_io_bound\":%s,"
+                "\"measured_wall_seconds\":%.9f}",
+                predicted_elapsed_seconds,
+                predicted_io_bound ? "true" : "false",
+                measured_wall_seconds);
+  out += buf;
+  return out;
+}
+
+Result<ModelComparisonRun> RunModelComparison(const OpenTable& table,
+                                              const ScanSpec& spec,
+                                              IoBackend* backend,
+                                              const HardwareConfig& hw,
+                                              ScannerImpl impl,
+                                              const ScanPhysicsHints& hints) {
+  RODB_ASSIGN_OR_RETURN(ScanPhysics physics,
+                        PredictScanPhysics(table, spec, impl, hints));
+
+  ExecStats stats;
+  QueryTrace trace;
+  stats.set_trace(&trace);
+  RODB_ASSIGN_OR_RETURN(OperatorPtr root,
+                        OpenScanner(table, spec, backend, &stats, impl));
+
+  ModelComparisonRun run;
+  RODB_ASSIGN_OR_RETURN(run.exec, Execute(root.get(), &stats));
+  run.counters = stats.counters();
+
+  const ModeledTiming timing = ModelQueryTiming(
+      run.counters, hw, spec.read.prefetch_depth,
+      CacheAdjustedStreams(ScanStreams(table, spec), run.counters));
+  run.comparison =
+      BuildModelComparison(physics, run.counters, trace, timing,
+                           run.exec.measured.wall_seconds, hw);
+  run.trace_text = trace.ToText();
+  run.trace_json = trace.ToJson();
+  return run;
+}
+
+}  // namespace rodb::obs

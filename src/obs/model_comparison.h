@@ -1,0 +1,85 @@
+#ifndef RODB_OBS_MODEL_COMPARISON_H_
+#define RODB_OBS_MODEL_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/open_scanner.h"
+#include "hwmodel/hardware_config.h"
+#include "obs/scan_physics.h"
+#include "obs/span.h"
+
+namespace rodb::obs {
+
+/// Side-by-side predicted-vs-measured report (DESIGN.md "Observability").
+///
+/// Two tiers of comparison, matching what is actually deterministic:
+///  - counts (bytes, I/O units, files, pages, tuples) are physics — the
+///    ScanPhysics prediction must match the measured counters exactly;
+///  - per-phase times pit the Section 5 cost model's cycle attribution
+///    against the measured span tree — indicative, not exact, since wall
+///    time varies run to run.
+
+/// One predicted-vs-measured count.
+struct CounterComparison {
+  std::string name;
+  uint64_t predicted = 0;
+  uint64_t measured = 0;
+  double rel_error = 0.0;  ///< |p - m| / max(m, 1) (0 when both zero)
+};
+
+/// One phase of the modeled CPU/I-O attribution vs the measured span
+/// self time.
+struct PhaseComparison {
+  TracePhase phase = TracePhase::kQuery;
+  double predicted_seconds = 0.0;
+  double measured_seconds = 0.0;
+};
+
+struct ModelComparison {
+  std::vector<CounterComparison> counts;
+  std::vector<PhaseComparison> phases;
+  double predicted_elapsed_seconds = 0.0;
+  double measured_wall_seconds = 0.0;
+  bool predicted_io_bound = false;
+
+  /// Largest counter rel_error — zero when the physics matched exactly.
+  double MaxCountError() const;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// Assembles the report from already-collected pieces (used by benches
+/// and by RunModelComparison below). Cache-aware: picks the Uncached,
+/// Cold or Warm projection of `physics` to compare against based on the
+/// measured hit/miss counters.
+ModelComparison BuildModelComparison(const ScanPhysics& physics,
+                                     const ExecCounters& measured,
+                                     const QueryTrace& trace,
+                                     const ModeledTiming& timing,
+                                     double measured_wall_seconds,
+                                     const HardwareConfig& hw);
+
+/// What RunModelComparison hands back.
+struct ModelComparisonRun {
+  ExecutionResult exec;
+  ExecCounters counters;
+  ModelComparison comparison;
+  std::string trace_text;  ///< rendered span tree of the traced run
+  std::string trace_json;
+};
+
+/// Runs `spec` over `table` once with tracing on, predicts the same scan
+/// with PredictScanPhysics and the Section 5 timing model, and returns
+/// the merged report. Full-table ranges only (the physics predictor's
+/// restriction).
+Result<ModelComparisonRun> RunModelComparison(
+    const OpenTable& table, const ScanSpec& spec, IoBackend* backend,
+    const HardwareConfig& hw, ScannerImpl impl = ScannerImpl::kAuto,
+    const ScanPhysicsHints& hints = ScanPhysicsHints{});
+
+}  // namespace rodb::obs
+
+#endif  // RODB_OBS_MODEL_COMPARISON_H_

@@ -1,0 +1,143 @@
+#include "obs/scan_physics.h"
+
+#include <algorithm>
+
+namespace rodb::obs {
+
+namespace {
+
+/// Units delivered for reading the first `bytes` bytes of a file in
+/// `unit`-sized views (the trailing EOF Next() delivers no view and
+/// counts nothing).
+uint64_t UnitsFor(uint64_t bytes, uint64_t unit) {
+  return bytes == 0 ? 0 : (bytes + unit - 1) / unit;
+}
+
+/// A stream delivers full `unit`-sized views except for the file's final
+/// tail, so pulling `units` views off a `file_bytes`-long file moves
+/// min(units * unit, file_bytes) bytes.
+uint64_t BytesFor(uint64_t units, uint64_t unit, uint64_t file_bytes) {
+  return std::min(units * unit, file_bytes);
+}
+
+FilePhysics FullFile(const TableMeta& meta, size_t attr, size_t file,
+                     uint64_t unit) {
+  FilePhysics f;
+  f.attr = attr;
+  f.bytes = meta.file_bytes[file];
+  f.io_units = UnitsFor(f.bytes, unit);
+  f.pages = meta.file_pages[file];
+  return f;
+}
+
+}  // namespace
+
+IoPhysics ScanPhysics::Uncached() const {
+  IoPhysics io;
+  io.bytes_read = bytes_read;
+  io.requests = io_units;
+  io.files_opened = files_opened;
+  return io;
+}
+
+IoPhysics ScanPhysics::Cold() const {
+  // A cold CachingStream forwards every miss to the backend in the same
+  // unit-aligned views, so backend traffic matches the uncached run and
+  // every delivered unit is one miss.
+  IoPhysics io = Uncached();
+  io.cache_misses = io_units;
+  return io;
+}
+
+IoPhysics ScanPhysics::Warm() const {
+  // Every unit (including the short file tail, which is cached because
+  // the assembled block equals the requested size) is served from cache;
+  // the file-size registry lets warm opens skip the backend probe, so no
+  // file opens are counted either.
+  IoPhysics io;
+  io.bytes_from_cache = bytes_read;
+  io.cache_hits = io_units;
+  return io;
+}
+
+Result<ScanPhysics> PredictScanPhysics(const OpenTable& table,
+                                       const ScanSpec& spec,
+                                       ScannerImpl impl,
+                                       const ScanPhysicsHints& hints) {
+  if (!spec.range.is_all()) {
+    return Status::NotSupported(
+        "PredictScanPhysics: only full-table ranges are modeled");
+  }
+  const TableMeta& meta = table.meta();
+  const uint64_t unit = spec.read.io_unit_bytes;
+  if (unit == 0) {
+    return Status::InvalidArgument("PredictScanPhysics: io_unit_bytes == 0");
+  }
+
+  ScanPhysics physics;
+  physics.tuples_examined = meta.num_tuples;
+
+  if (meta.layout != Layout::kColumn) {
+    if (impl == ScannerImpl::kEarlyMat) {
+      return Status::NotSupported(
+          "PredictScanPhysics: early materialization is column-only");
+    }
+    // Row and PAX scan the single physical file front to back and parse
+    // every page regardless of predicate selectivity (PAX evaluates the
+    // deepest predicate over every minipage).
+    physics.files.push_back(FullFile(meta, 0, 0, unit));
+  } else {
+    const std::vector<size_t> attrs = ScanPipelineAttrs(spec);
+    if (!hints.last_position.empty() &&
+        hints.last_position.size() != attrs.size()) {
+      return Status::InvalidArgument(
+          "PredictScanPhysics: hints must parallel ScanPipelineAttrs");
+    }
+    for (size_t node = 0; node < attrs.size(); ++node) {
+      const size_t attr = attrs[node];
+      if (node == 0 || impl == ScannerImpl::kEarlyMat ||
+          hints.last_position.empty()) {
+        // The driving node streams its whole file to EOF; early
+        // materialization decodes every column for every row; and with
+        // no hints we assume every node's reach extends to the last
+        // tuple (exact whenever predicates qualify the final tuple).
+        physics.files.push_back(FullFile(meta, attr, attr, unit));
+        continue;
+      }
+      const int64_t last = hints.last_position[node];
+      FilePhysics f;
+      f.attr = attr;
+      if (last >= 0) {
+        // Inner nodes parse pages lazily up to the one holding the last
+        // position they are asked for, pulling only the units that span
+        // those pages.
+        const uint32_t vpp = meta.PageValues(attr);
+        if (vpp == 0) {
+          return Status::NotSupported(
+              "PredictScanPhysics: bounded inner reach needs uniform "
+              "PageValues");
+        }
+        f.pages = static_cast<uint64_t>(last) / vpp + 1;
+        f.pages = std::min(f.pages, meta.file_pages[attr]);
+        const uint64_t spanned =
+            std::min(f.pages * meta.page_size, meta.file_bytes[attr]);
+        f.io_units = UnitsFor(spanned, unit);
+        f.bytes = BytesFor(f.io_units, unit, meta.file_bytes[attr]);
+      }
+      physics.files.push_back(f);
+    }
+  }
+
+  // Every pipeline stream is opened up front (column scans open all node
+  // files before the first position qualifies), so opens count files,
+  // not files-with-traffic.
+  physics.files_opened = physics.files.size();
+  for (const FilePhysics& f : physics.files) {
+    physics.bytes_read += f.bytes;
+    physics.io_units += f.io_units;
+    physics.pages_parsed += f.pages;
+  }
+  return physics;
+}
+
+}  // namespace rodb::obs

@@ -1,0 +1,86 @@
+#ifndef RODB_OBS_SCAN_PHYSICS_H_
+#define RODB_OBS_SCAN_PHYSICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/open_scanner.h"
+#include "engine/scan_spec.h"
+#include "storage/catalog.h"
+
+namespace rodb::obs {
+
+/// Exact prediction of a full-table scan's I/O and parse physics
+/// (DESIGN.md "Observability").
+///
+/// Cycle timings vary run to run, but the *counts* a scan produces —
+/// bytes pulled from the backend, I/O units delivered, files opened,
+/// pages parsed, tuples examined — are fully determined by the catalog
+/// metadata, the scan spec, and (for pipelined column scans) how deep
+/// into each inner file the qualifying positions reach. Predicting them
+/// exactly is what lets the model-accuracy suite assert equality against
+/// the measured registry counters instead of a tolerance band.
+
+/// Physics of one physical file touched by the scan.
+struct FilePhysics {
+  size_t attr = 0;        ///< table attribute (0 for row/PAX single file)
+  uint64_t bytes = 0;     ///< backend bytes delivered for this file
+  uint64_t io_units = 0;  ///< delivered SequentialStream::Next() views
+  uint64_t pages = 0;     ///< pages parsed out of those units
+};
+
+/// Expected IoStats for one run configuration (uncached / cache-cold /
+/// cache-warm), field-compatible with the ExecCounters io_* block.
+struct IoPhysics {
+  uint64_t bytes_read = 0;
+  uint64_t requests = 0;
+  uint64_t files_opened = 0;
+  uint64_t bytes_from_cache = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// The full prediction.
+struct ScanPhysics {
+  std::vector<FilePhysics> files;
+  uint64_t bytes_read = 0;
+  uint64_t io_units = 0;
+  uint64_t files_opened = 0;
+  uint64_t pages_parsed = 0;
+  uint64_t tuples_examined = 0;
+
+  /// Expected I/O counters without a cache.
+  IoPhysics Uncached() const;
+  /// First run against an empty BlockCache: backend traffic identical to
+  /// Uncached(), every unit a miss.
+  IoPhysics Cold() const;
+  /// Re-run with every unit resident: all bytes from cache, zero backend
+  /// traffic, zero opens (the cache's file-size registry avoids the
+  /// probe open).
+  IoPhysics Warm() const;
+};
+
+/// Per-inner-node reach hints for pipelined column scans: entry i is the
+/// last tuple position pipeline node i is asked to fetch (i.e. the last
+/// position qualifying under the predicates of nodes 0..i-1), or -1 if
+/// it is never asked. Parallel to ScanPipelineAttrs(spec); entry 0 (the
+/// driving node, which always reads its whole file) is ignored. An empty
+/// vector means every node reaches the last tuple — correct for scans
+/// whose predicates never go false, and for all of row/PAX/early-mat.
+struct ScanPhysicsHints {
+  std::vector<int64_t> last_position;
+};
+
+/// Predicts the physics of scanning `table` with `spec` under scanner
+/// implementation `impl`. Only full-table ranges are supported
+/// (NotSupported otherwise); column predictions additionally require
+/// uniform PageValues for files whose reach is bounded by a hint.
+Result<ScanPhysics> PredictScanPhysics(
+    const OpenTable& table, const ScanSpec& spec,
+    ScannerImpl impl = ScannerImpl::kAuto,
+    const ScanPhysicsHints& hints = ScanPhysicsHints{});
+
+}  // namespace rodb::obs
+
+#endif  // RODB_OBS_SCAN_PHYSICS_H_

@@ -5,6 +5,7 @@
 #include "common/bytes.h"
 #include "common/file_util.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "storage/column_page.h"
 #include "storage/pax_page.h"
 #include "storage/row_page.h"
@@ -143,6 +144,14 @@ Result<TableMeta> MergeIntoReadStore(const std::string& dir,
     return Status::InvalidArgument("merge sort attribute must be int32");
   }
   RODB_RETURN_IF_ERROR(wos->SortBy(options.sort_attr));
+  {
+    auto& reg = obs::MetricsRegistry::Default();
+    static obs::Counter* merges = reg.GetCounter("rodb.wos.merges");
+    static obs::Counter* merged_tuples =
+        reg.GetCounter("rodb.wos.merged_tuples");
+    merges->Increment();
+    merged_tuples->Add(wos->size());
+  }
 
   std::vector<std::vector<uint8_t>> old_tuples;
   if (!old_name.empty()) {

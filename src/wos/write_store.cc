@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace rodb {
 
@@ -13,6 +14,9 @@ Status WriteStore::Insert(const uint8_t* raw_tuple) {
     return Status::InvalidArgument("null tuple");
   }
   data_.insert(data_.end(), raw_tuple, raw_tuple + tuple_width_);
+  static obs::Counter* appends =
+      obs::MetricsRegistry::Default().GetCounter("rodb.wos.appends");
+  appends->Increment();
   return Status::OK();
 }
 

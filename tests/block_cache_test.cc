@@ -303,6 +303,44 @@ TEST_F(CachingBackendTest, RangedAndFullScansShareTheCache) {
   EXPECT_GT(ranged_stats.counters().io_bytes_from_cache, 0u);
 }
 
+TEST_F(CachingBackendTest, PartiallyWarmScanCountsOneFileOpen) {
+  // Regression: a scan over a partially warm cache alternates hits and
+  // misses, and every hit run advances the stream past the inner
+  // backend's cursor, forcing a reopen of the SAME logical file at the
+  // next miss. Each reopen used to count files_opened again, so one
+  // one-file scan reported several opens. It must report exactly one.
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir_.path(), "t_row"));
+  FileBackend backend;
+  BlockCache cache(64ULL << 20, 4);
+  ScanSpec spec = BaseSpec();
+  spec.read.cache = &cache;
+
+  // Warm two disjoint unit-aligned stretches in the middle of the file
+  // (pages are 1024 bytes, the I/O unit 4096, so 8 pages = 2 units).
+  for (const uint64_t first_page : {4, 16}) {
+    ScanSpec ranged = spec;
+    ranged.range = ScanRange::Pages(first_page, 8);
+    ExecStats warm_stats;
+    ASSERT_OK_AND_ASSIGN(auto warm_scan,
+                         MakeScanner(&table, ranged, &backend, &warm_stats));
+    ASSERT_OK(CollectTuples(warm_scan.get()).status());
+  }
+
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto scan, MakeScanner(&table, spec, &backend, &stats));
+  ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scan.get()));
+  EXPECT_EQ(tuples.size(), tuples_.size());
+  stats.FoldIo();
+  const ExecCounters& c = stats.counters();
+  // The scan is genuinely mixed: both the backend and the cache served
+  // bytes, so the stream really did reopen around the warm stretches.
+  EXPECT_GT(c.io_bytes_read, 0u);
+  EXPECT_GT(c.io_bytes_from_cache, 0u);
+  EXPECT_GT(c.io_cache_hits, 0u);
+  EXPECT_GT(c.io_cache_misses, 0u);
+  EXPECT_EQ(c.files_read, 1u);
+}
+
 TEST_F(CachingBackendTest, FaultsBelowTheCacheSurfaceAsStatus) {
   // Hard backend errors below the cache must propagate as Status and
   // must not poison the cache: a later healthy scan over the same cache

@@ -352,10 +352,12 @@ struct Runner {
 
   /// Serial clean run: exact tuple equality against the oracle, plus an
   /// independent Execute() checksum comparison and an I/O-shape check
-  /// through the tracing backend.
+  /// through the tracing backend. On success the Execute() run's counters
+  /// are stored in `serial_out` (when non-null) as the stats-invariance
+  /// baseline for the parallel and cached runs of the same table.
   void RunSerialClean(const OpenTable& table, const Query& query,
                       const ReferenceResult& oracle, const std::string& ctx,
-                      bool early_mat) {
+                      bool early_mat, ExecCounters* serial_out = nullptr) {
     FileBackend file_backend;
     TracingBackend tracing(&file_backend);
     {
@@ -406,14 +408,20 @@ struct Runner {
           result->output_checksum != oracle.output_checksum) {
         Fail(ctx + ": Execute rows/checksum diverge from the oracle");
       }
+      if (serial_out != nullptr) *serial_out = exec_stats.counters();
     }
   }
 
   /// Cold-then-warm serial runs over one BlockCache: both must answer
   /// exactly like the oracle, and the fully-warm pass must not reopen
   /// any backend stream (the cache is sized to hold the whole table).
+  /// Stats invariance vs the uncached serial baseline: the cache must
+  /// not change the logical work (tuples examined, pages parsed) or the
+  /// total byte traffic -- it only moves bytes from the backend column
+  /// to the cache column, and a warm pass leaves the backend untouched.
   void RunCachedClean(const OpenTable& table, const Query& query,
-                      const ReferenceResult& oracle, const std::string& ctx) {
+                      const ReferenceResult& oracle, const std::string& ctx,
+                      const ExecCounters* serial) {
     FileBackend file_backend;
     TracingBackend tracing(&file_backend);
     BlockCache cache(64ULL << 20, 4);
@@ -440,6 +448,32 @@ struct Runner {
         Fail(ctx + what + ": rows/checksum diverge from the oracle");
       }
       FoldOutcome(4, Status::OK(), result->rows, result->output_checksum);
+      if (serial != nullptr) {
+        ++stats.invariance_checks;
+        const ExecCounters& c = exec_stats.counters();
+        if (c.tuples_examined != serial->tuples_examined ||
+            c.pages_parsed != serial->pages_parsed) {
+          Fail(ctx + what + ": cached logical work diverges from serial (" +
+               std::to_string(c.tuples_examined) + "/" +
+               std::to_string(c.pages_parsed) + " vs " +
+               std::to_string(serial->tuples_examined) + "/" +
+               std::to_string(serial->pages_parsed) + ")");
+        }
+        if (c.io_bytes_read + c.io_bytes_from_cache !=
+            serial->io_bytes_read) {
+          Fail(ctx + what + ": backend+cache bytes (" +
+               std::to_string(c.io_bytes_read) + "+" +
+               std::to_string(c.io_bytes_from_cache) +
+               ") != serial backend bytes " +
+               std::to_string(serial->io_bytes_read));
+        }
+        if (pass == 1 && c.io_bytes_read != 0) {
+          Fail(ctx + what + ": warm pass read " +
+               std::to_string(c.io_bytes_read) + " bytes from the backend");
+        }
+        stats.state_hash = FoldU64(stats.state_hash, c.io_bytes_read);
+        stats.state_hash = FoldU64(stats.state_hash, c.io_bytes_from_cache);
+      }
       if (pass == 0) opens_after_cold = tracing.total_opens();
     }
     if (tracing.total_opens() != opens_after_cold) {
@@ -508,8 +542,8 @@ struct Runner {
   }
 
   void RunParallelClean(const OpenTable& table, const Query& query,
-                        const ReferenceResult& oracle,
-                        const std::string& ctx) {
+                        const ReferenceResult& oracle, const std::string& ctx,
+                        const ExecCounters* serial) {
     FileBackend file_backend;
     ParallelScanPlan plan;
     plan.table = &table;
@@ -530,6 +564,21 @@ struct Runner {
     if (result->result.rows != oracle.rows ||
         result->result.output_checksum != oracle.output_checksum) {
       Fail(ctx + ": parallel rows/checksum diverge from the oracle");
+    }
+    // Stats invariance: morsel parallelism never changes how many rows
+    // the scan logically examines. (Byte counts can legitimately grow by
+    // boundary fragments on multi-file layouts, so only the logical row
+    // count is pinned here.)
+    if (serial != nullptr) {
+      ++stats.invariance_checks;
+      if (result->counters.tuples_examined != serial->tuples_examined) {
+        Fail(ctx + ": parallel examined " +
+             std::to_string(result->counters.tuples_examined) +
+             " tuples, serial examined " +
+             std::to_string(serial->tuples_examined));
+      }
+      stats.state_hash =
+          FoldU64(stats.state_hash, result->counters.tuples_examined);
     }
     FoldOutcome(2, Status::OK(), result->result.rows,
                 result->result.output_checksum);
@@ -647,10 +696,13 @@ struct Runner {
 
         const std::string ctx = "seed=" + std::to_string(options.seed) +
                                 " iter=" + std::to_string(iter) + " " + name;
+        ExecCounters serial_counters;
         RunSerialClean(table, query, oracle, ctx + " serial",
-                       /*early_mat=*/false);
-        RunParallelClean(table, query, oracle, ctx + " parallel");
-        RunCachedClean(table, query, oracle, ctx + " cached");
+                       /*early_mat=*/false, &serial_counters);
+        RunParallelClean(table, query, oracle, ctx + " parallel",
+                         &serial_counters);
+        RunCachedClean(table, query, oracle, ctx + " cached",
+                       &serial_counters);
         if (layouts[l] == Layout::kColumn) {
           RunSerialClean(table, query, oracle, ctx + " early-mat",
                          /*early_mat=*/true);

@@ -38,6 +38,7 @@ struct FuzzStats {
   uint64_t fault_errors = 0;      ///< fault runs -> clean Status error
   uint64_t fault_successes = 0;   ///< fault runs -> ok, matched the oracle
   uint64_t injected_faults = 0;   ///< faults the backends actually fired
+  uint64_t invariance_checks = 0; ///< stats-invariance cross-checks performed
   uint64_t mismatches = 0;        ///< MUST be zero
   /// Order-sensitive FNV-1a digest of every dataset and every outcome
   /// (status codes, row counts, output checksums -- no messages or

@@ -34,6 +34,9 @@ TEST(FuzzTest, SmokeMatrixAgainstOracle) {
   // (cold+warm clean, faulted cold + clean warm over one cache).
   EXPECT_GE(stats->clean_runs, 12u * 6u * 4u);
   EXPECT_EQ(stats->fault_runs, 12u * 6u * 4u);
+  // The stats-invariance axis ran for every table: one parallel check
+  // plus two cached passes against the serial baseline.
+  EXPECT_EQ(stats->invariance_checks, 12u * 6u * 3u);
   // Faults fired, and the engine survived them both ways: clean Status
   // errors and fully correct answers -- never silently wrong (that would
   // be a mismatch above).

@@ -1,0 +1,292 @@
+// Metrics registry and trace-span unit tests (DESIGN.md
+// "Observability"): counter monotonicity under concurrent writers,
+// histogram bucket boundary semantics, registry snapshots taken while a
+// thread pool increments (the TSan target), and span-tree nesting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <latch>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/exec_stats.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "test_util.h"
+
+namespace rodb::obs {
+namespace {
+
+TEST(CounterTest, AddAccumulatesAndIsMonotonic) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 1u);
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    c.Add(static_cast<uint64_t>(i) % 3);
+    const uint64_t now = c.Value();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(CounterTest, ConcurrentAddsFromPoolSumExactly) {
+  // Each worker hammers the same counter; shard indexing must neither
+  // lose nor double-count updates.
+  Counter c;
+  constexpr int kTasks = 16;
+  constexpr int kAddsPerTask = 10000;
+  ThreadPool pool(4);
+  std::latch done(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&c, &done] {
+      for (int i = 0; i < kAddsPerTask; ++i) c.Increment();
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(100);
+  EXPECT_EQ(g.Value(), 100);
+  g.Add(-150);
+  EXPECT_EQ(g.Value(), -50);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  // Bucket i counts samples <= bounds[i]; the final implicit bucket
+  // catches overflow.
+  Histogram h({10, 100, 1000});
+  h.Record(0);     // bucket 0
+  h.Record(10);    // bucket 0 (== bound is inside)
+  h.Record(11);    // bucket 1
+  h.Record(100);   // bucket 1
+  h.Record(101);   // bucket 2
+  h.Record(1000);  // bucket 2
+  h.Record(1001);  // overflow
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.TotalCount(), 7u);
+  EXPECT_EQ(h.Sum(), 0u + 10 + 11 + 100 + 101 + 1000 + 1001);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const std::vector<uint64_t> bounds = Histogram::ExponentialBounds(1, 4.0, 5);
+  EXPECT_EQ(bounds, (std::vector<uint64_t>{1, 4, 16, 64, 256}));
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSnapshotsSorted) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("zz.counter");
+  Gauge* g = reg.GetGauge("aa.gauge");
+  Histogram* h = reg.GetHistogram("mm.hist", {8, 64});
+  EXPECT_EQ(reg.GetCounter("zz.counter"), c);
+  EXPECT_EQ(reg.GetGauge("aa.gauge"), g);
+  EXPECT_EQ(reg.GetHistogram("mm.hist", {}), h);  // bounds ignored later
+  c->Add(7);
+  g->Set(-3);
+  h->Record(9);
+
+  const std::vector<MetricSample> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "aa.gauge");
+  EXPECT_EQ(snap[0].gauge_value, -3);
+  EXPECT_EQ(snap[1].name, "mm.hist");
+  ASSERT_EQ(snap[1].histogram_counts.size(), 3u);
+  EXPECT_EQ(snap[1].histogram_counts[1], 1u);
+  EXPECT_EQ(snap[2].name, "zz.counter");
+  EXPECT_EQ(snap[2].counter_value, 7u);
+
+  const std::string text = reg.ExportText();
+  EXPECT_NE(text.find("zz.counter 7"), std::string::npos);
+  EXPECT_NE(text.find("aa.gauge -3"), std::string::npos);
+  EXPECT_NE(text.find("le=\"64\""), std::string::npos);
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"zz.counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"aa.gauge\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[8,64]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileConcurrentlyIncrementing) {
+  // The TSan workhorse: snapshots race with wait-free writers and must
+  // observe monotonically non-decreasing counter values that land on the
+  // exact total once the writers quiesce.
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hot.counter");
+  Histogram* h = reg.GetHistogram("hot.hist", {16, 256});
+  constexpr int kTasks = 8;
+  constexpr int kAddsPerTask = 20000;
+  ThreadPool pool(4);
+  std::latch done(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&] {
+      for (int i = 0; i < kAddsPerTask; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(i) % 512);
+      }
+      done.count_down();
+    });
+  }
+  // Race snapshots against the writers: every cut must be monotonic.
+  uint64_t last = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    for (const MetricSample& s : reg.Snapshot()) {
+      if (s.name == "hot.counter") {
+        EXPECT_GE(s.counter_value, last);
+        last = s.counter_value;
+      }
+    }
+  }
+  done.wait();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(h->TotalCount(), static_cast<uint64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST(QueryTraceTest, SpanTreeNestsPipelinePhases) {
+  // Simulate a serial filter+project query's timer structure by hand and
+  // check the exported tree: query > project > filter > scan > io, with
+  // self times never exceeding inclusive times.
+  QueryTrace trace;
+  {
+    SpanTimer query(&trace, TracePhase::kQuery);
+    {
+      SpanTimer open(&trace, TracePhase::kOpen);
+    }
+    for (int block = 0; block < 3; ++block) {
+      SpanTimer project(&trace, TracePhase::kProject);
+      SpanTimer filter(&trace, TracePhase::kFilter);
+      SpanTimer scan(&trace, TracePhase::kScan);
+      SpanTimer io(&trace, TracePhase::kIo);
+    }
+  }
+  const std::vector<SpanNode> spans = trace.Spans();
+  auto depth_of = [&spans](TracePhase p) {
+    for (const SpanNode& n : spans) {
+      if (n.phase == p) return n.depth;
+    }
+    return -1;
+  };
+  EXPECT_EQ(depth_of(TracePhase::kQuery), 0);
+  EXPECT_EQ(depth_of(TracePhase::kOpen), 1);
+  EXPECT_EQ(depth_of(TracePhase::kProject), 1);
+  EXPECT_EQ(depth_of(TracePhase::kFilter), 2);
+  EXPECT_EQ(depth_of(TracePhase::kScan), 3);
+  EXPECT_EQ(depth_of(TracePhase::kIo), 4);
+  for (const SpanNode& n : spans) {
+    EXPECT_LE(n.self_nanos, n.inclusive_nanos) << PhaseName(n.phase);
+    if (n.phase == TracePhase::kScan) {
+      EXPECT_EQ(n.calls, 3u);
+    }
+  }
+  // Parents accumulate at least their timed children's nanos.
+  EXPECT_GE(trace.PhaseNanos(TracePhase::kQuery),
+            trace.PhaseNanos(TracePhase::kProject));
+  EXPECT_GE(trace.PhaseNanos(TracePhase::kProject),
+            trace.PhaseNanos(TracePhase::kFilter));
+  EXPECT_GE(trace.PhaseNanos(TracePhase::kFilter),
+            trace.PhaseNanos(TracePhase::kScan));
+}
+
+TEST(QueryTraceTest, ActivationSequenceIsCompletionOrder) {
+  // SpanTimer stamps at destruction, so activation order is completion
+  // order: innermost first, the enclosing query span last.
+  QueryTrace trace;
+  {
+    SpanTimer query(&trace, TracePhase::kQuery);
+    {
+      SpanTimer open(&trace, TracePhase::kOpen);
+    }
+    {
+      SpanTimer scan(&trace, TracePhase::kScan);
+      SpanTimer io(&trace, TracePhase::kIo);
+    }
+  }
+  const std::vector<TracePhase> seq = trace.ActivationSequence();
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0], TracePhase::kOpen);
+  EXPECT_EQ(seq[1], TracePhase::kIo);
+  EXPECT_EQ(seq[2], TracePhase::kScan);
+  EXPECT_EQ(seq[3], TracePhase::kQuery);
+  EXPECT_EQ(trace.ActivationOrder(TracePhase::kFilter), 0u);
+}
+
+TEST(QueryTraceTest, FinalizeAttachesCountersAndExportsRender) {
+  QueryTrace trace;
+  {
+    SpanTimer query(&trace, TracePhase::kQuery);
+    SpanTimer scan(&trace, TracePhase::kScan);
+  }
+  ExecCounters c;
+  c.tuples_examined = 1234;
+  c.pages_parsed = 56;
+  c.predicate_evals = 78;
+  c.io_bytes_read = 4096;
+  trace.FinalizeFromCounters(c);
+
+  // Counter-only phases (filter never had a timer) still show up,
+  // hanging off the scan span.
+  EXPECT_TRUE(trace.Present(TracePhase::kFilter));
+  const std::vector<SpanNode> spans = trace.Spans();
+  bool saw_rows = false;
+  for (const SpanNode& n : spans) {
+    if (n.phase != TracePhase::kScan) continue;
+    for (const auto& [name, value] : n.counters) {
+      if (name == "rows") {
+        EXPECT_EQ(value, 1234u);
+        saw_rows = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_rows);
+
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("rows=1234"), std::string::npos);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"phase\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":1234"), std::string::npos);
+  // Balanced nesting: every object and array closes.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(QueryTraceTest, ConcurrentMorselTimersAreSafe) {
+  // Parallel workers time their own kMorsel spans against one shared
+  // trace; AddPhaseNanos must stay wait-free-correct under contention.
+  QueryTrace trace;
+  constexpr int kTasks = 12;
+  ThreadPool pool(4);
+  std::latch done(kTasks);
+  {
+    SpanTimer query(&trace, TracePhase::kQuery);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.Submit([&trace, &done] {
+        {
+          SpanTimer morsel(&trace, TracePhase::kMorsel);
+        }
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+  EXPECT_EQ(trace.PhaseCalls(TracePhase::kMorsel),
+            static_cast<uint64_t>(kTasks));
+  EXPECT_GT(trace.ActivationOrder(TracePhase::kMorsel), 0u);
+  EXPECT_GT(trace.ActivationOrder(TracePhase::kQuery),
+            trace.ActivationOrder(TracePhase::kMorsel));
+}
+
+}  // namespace
+}  // namespace rodb::obs

@@ -187,11 +187,22 @@ TEST_P(ScannerEquivalenceTest, AllScannersAgree) {
 
     // Cached-backend axis: every layout must produce identical results
     // when the scan populates a cold BlockCache (pass 0) and again when
-    // it is served warm from that cache (pass 1).
+    // it is served warm from that cache (pass 1). Stats invariance: the
+    // cache may move bytes from the backend column to the cache column,
+    // but the logical work (tuples examined, pages parsed) and the byte
+    // total must equal the uncached run's, and a warm pass must leave
+    // the backend untouched.
+    row_stats.FoldIo();
+    col_stats.FoldIo();
+    pax_stats.FoldIo();
+    const ExecCounters* uncached[] = {&row_stats.counters(),
+                                      &col_stats.counters(),
+                                      &pax_stats.counters()};
     BlockCache cache(64ULL << 20, 4);
     ScanSpec cached_spec = spec;
     cached_spec.read.cache = &cache;
     for (int pass = 0; pass < 2; ++pass) {
+      size_t ti = 0;
       for (const OpenTable* table :
            {&row_table, &col_table, &pax_table}) {
         ExecStats stats;
@@ -200,6 +211,19 @@ TEST_P(ScannerEquivalenceTest, AllScannersAgree) {
         ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scan.get()));
         ASSERT_EQ(tuples, row_tuples)
             << "query " << q << " cached pass " << pass;
+        stats.FoldIo();
+        const ExecCounters& c = stats.counters();
+        const ExecCounters& u = *uncached[ti++];
+        EXPECT_EQ(c.tuples_examined, u.tuples_examined)
+            << "query " << q << " cached pass " << pass;
+        EXPECT_EQ(c.pages_parsed, u.pages_parsed)
+            << "query " << q << " cached pass " << pass;
+        EXPECT_EQ(c.io_bytes_read + c.io_bytes_from_cache, u.io_bytes_read)
+            << "query " << q << " cached pass " << pass;
+        if (pass == 1) {
+          EXPECT_EQ(c.io_bytes_read, 0u)
+              << "query " << q << " warm pass hit the backend";
+        }
       }
     }
     EXPECT_GT(cache.stats().hits, 0u) << "query " << q;
@@ -327,6 +351,36 @@ TEST(ParallelEquivalenceTest, EveryLayoutAndCodecMatchesSerialChecksum) {
             << rodb::testing::LayoutSuffix(layout) << " k=" << k;
         EXPECT_EQ(out.result.output_checksum, serial.output_checksum)
             << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+        // Stats invariance: parallelism is an execution strategy, not a
+        // different query, so the logical row count is always identical
+        // and single-file layouts partition bytes and pages exactly. A
+        // column morsel boundary is row-aligned, but each column file
+        // has its own page capacity and I/O-unit phase, so every one of
+        // the k-1 interior splits may re-parse at most one page and
+        // re-read at most one boundary unit per pipeline file.
+        EXPECT_EQ(out.counters.tuples_examined,
+                  stats.counters().tuples_examined)
+            << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+        const uint64_t serial_pages = stats.counters().pages_parsed;
+        const uint64_t serial_bytes = stats.counters().io_bytes_read;
+        if (layout == Layout::kColumn && k > 1) {
+          const uint64_t splits = static_cast<uint64_t>(k - 1);
+          const uint64_t files = ScanPipelineAttrs(spec).size();
+          EXPECT_GE(out.counters.pages_parsed, serial_pages)
+              << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+          EXPECT_LE(out.counters.pages_parsed, serial_pages + splits * files)
+              << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+          EXPECT_GE(out.counters.io_bytes_read, serial_bytes)
+              << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+          EXPECT_LE(out.counters.io_bytes_read,
+                    serial_bytes + splits * files * spec.read.io_unit_bytes)
+              << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+        } else {
+          EXPECT_EQ(out.counters.pages_parsed, serial_pages)
+              << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+          EXPECT_EQ(out.counters.io_bytes_read, serial_bytes)
+              << rodb::testing::LayoutSuffix(layout) << " k=" << k;
+        }
       }
     }
   }

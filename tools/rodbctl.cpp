@@ -6,9 +6,10 @@
 //       schema, compression specs, per-file page counts
 //   rodbctl verify <dir> <table>
 //       re-read every page of every file with checksum verification
-//   rodbctl scan <dir> <table> [limit [attr op value]]
+//   rodbctl scan <dir> <table> [limit [attr op value]] [--trace]
 //       print tuples (optionally filtered by one predicate); `op` is one
-//       of = != < <= > >=
+//       of = != < <= > >=; --trace drains the whole scan and prints the
+//       span tree plus the predicted-vs-measured model comparison
 //   rodbctl advise <dir> <table>
 //       run the compression advisor over a sample of the stored data
 
@@ -25,10 +26,14 @@
 #include "common/bytes.h"
 #include "common/file_util.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "engine/executor.h"
 #include "engine/plan_builder.h"
 #include "io/block_cache.h"
 #include "io/file_backend.h"
+#include "obs/model_comparison.h"
+#include "obs/scan_physics.h"
+#include "obs/span.h"
 #include "storage/catalog.h"
 #include "storage/table_files.h"
 #include "wos/merge.h"
@@ -168,7 +173,7 @@ void PrintValue(const AttributeDesc& attr, const uint8_t* value) {
 
 Status CmdScan(const std::string& dir, const std::string& name,
                uint64_t limit, const char* where_attr, const char* where_op,
-               const char* where_value, int cache_mb) {
+               const char* where_value, int cache_mb, bool trace) {
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   const Schema& schema = table.schema();
   std::unique_ptr<BlockCache> cache;
@@ -213,25 +218,44 @@ Status CmdScan(const std::string& dir, const std::string& name,
   }
   FileBackend backend;
   ExecStats stats;
+  obs::QueryTrace qtrace;
+  if (trace) stats.set_trace(&qtrace);
   RODB_ASSIGN_OR_RETURN(OperatorPtr plan,
                         PlanBuilder::Scan(&table, spec, &backend, &stats)
                             .Build());
-  RODB_RETURN_IF_ERROR(plan->Open());
+  IntervalTimer timer;
   uint64_t printed = 0;
-  while (printed < limit) {
-    RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
-    if (block == nullptr) break;
-    for (uint32_t i = 0; i < block->size() && printed < limit; ++i) {
-      std::printf("[%6llu] ", static_cast<unsigned long long>(printed));
-      for (size_t a = 0; a < schema.num_attributes(); ++a) {
-        if (a > 0) std::printf("  ");
-        PrintValue(schema.attribute(a), block->attr(i, a));
-      }
-      std::printf("\n");
-      ++printed;
+  {
+    // Mirror Execute()'s span structure so the manual pull loop below
+    // produces the same trace shape: open under the query span, then the
+    // operator pulls (which time their own phases).
+    obs::SpanTimer query_span(stats.trace(), obs::TracePhase::kQuery);
+    {
+      obs::SpanTimer open_span(stats.trace(), obs::TracePhase::kOpen);
+      RODB_RETURN_IF_ERROR(plan->Open());
     }
+    bool done = false;
+    while (!done) {
+      RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
+      if (block == nullptr) break;
+      for (uint32_t i = 0; i < block->size() && printed < limit; ++i) {
+        std::printf("[%6llu] ", static_cast<unsigned long long>(printed));
+        for (size_t a = 0; a < schema.num_attributes(); ++a) {
+          if (a > 0) std::printf("  ");
+          PrintValue(schema.attribute(a), block->attr(i, a));
+        }
+        std::printf("\n");
+        ++printed;
+      }
+      // Without --trace, stop pulling once the limit is shown; a traced
+      // run drains the scan so the measured counters and the model both
+      // cover the whole table.
+      done = printed >= limit && !trace;
+    }
+    plan->Close();
+    stats.FoldIo();
   }
-  plan->Close();
+  const MeasuredInterval wall = timer.Lap();
   std::printf("(%llu tuples shown)\n",
               static_cast<unsigned long long>(printed));
   if (cache != nullptr) {
@@ -245,6 +269,23 @@ Status CmdScan(const std::string& dir, const std::string& name,
                     stats.counters().io_bytes_from_cache),
                 static_cast<unsigned long long>(
                     stats.counters().io_bytes_read));
+  }
+  if (trace) {
+    qtrace.FinalizeFromCounters(stats.counters());
+    std::printf("\ntrace:\n%s", qtrace.ToText().c_str());
+    const auto physics = obs::PredictScanPhysics(table, spec);
+    if (physics.ok()) {
+      const HardwareConfig hw = HardwareConfig::Paper2006();
+      const ModeledTiming timing = ModelQueryTiming(
+          stats.counters(), hw, spec.read.prefetch_depth,
+          CacheAdjustedStreams(ScanStreams(table, spec), stats.counters()));
+      const obs::ModelComparison cmp = obs::BuildModelComparison(
+          *physics, stats.counters(), qtrace, timing, wall.wall_seconds, hw);
+      std::printf("\nmodel vs measured:\n%s", cmp.ToText().c_str());
+    } else {
+      std::printf("\nmodel comparison unavailable: %s\n",
+                  physics.status().ToString().c_str());
+    }
   }
   return Status::OK();
 }
@@ -281,7 +322,7 @@ void Usage() {
                "  rodbctl describe <dir> <table>\n"
                "  rodbctl verify <dir> <table>\n"
                "  rodbctl scan <dir> <table> [limit [attr op value]]"
-               " [--cache-mb=N]\n"
+               " [--cache-mb=N] [--trace]\n"
                "  rodbctl advise <dir> <table>\n");
 }
 
@@ -316,9 +357,10 @@ int main(int argc, char** argv) {
     return s.ok() ? 0 : Fail(s);
   }
   if (cmd == "scan") {
-    // Split out --cache-mb=N (anywhere after <table>) from the
-    // positional [limit [attr op value]] arguments.
+    // Split out --cache-mb=N and --trace (anywhere after <table>) from
+    // the positional [limit [attr op value]] arguments.
     int cache_mb = 0;
+    bool trace = false;
     std::vector<const char*> pos;
     for (int i = 4; i < argc; ++i) {
       if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
@@ -328,6 +370,8 @@ int main(int argc, char** argv) {
                        argv[i] + 11);
           return 2;
         }
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        trace = true;
       } else {
         pos.push_back(argv[i]);
       }
@@ -337,7 +381,8 @@ int main(int argc, char** argv) {
     const char* attr = pos.size() > 3 ? pos[1] : nullptr;
     const char* op = pos.size() > 3 ? pos[2] : nullptr;
     const char* value = pos.size() > 3 ? pos[3] : nullptr;
-    const Status s = CmdScan(dir, table, limit, attr, op, value, cache_mb);
+    const Status s =
+        CmdScan(dir, table, limit, attr, op, value, cache_mb, trace);
     return s.ok() ? 0 : Fail(s);
   }
   Usage();

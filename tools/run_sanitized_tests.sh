@@ -21,9 +21,10 @@ FUZZ_ITERATIONS="${2:-200}"
 
 # block_cache_test's concurrent-reader cases and the fuzz harness's
 # cached axis (cold/warm passes over one shared BlockCache) both stress
-# the per-shard locking under TSan.
+# the per-shard locking under TSan; obs_test races registry snapshots
+# against sharded-counter increments and morsel span timers.
 TSAN_TESTS=(parallel_executor_test scanner_equivalence_test
-            block_cache_test fuzz_test)
+            block_cache_test fuzz_test obs_test)
 
 status=0
 

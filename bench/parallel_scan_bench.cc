@@ -13,7 +13,11 @@
 // scan is expected >=2x.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -22,6 +26,7 @@
 #include "common/macros.h"
 #include "engine/parallel_executor.h"
 #include "engine/plan_builder.h"
+#include "engine/query_context.h"
 #include "io/mem_backend.h"
 #include "obs/model_comparison.h"
 #include "obs/scan_physics.h"
@@ -58,8 +63,36 @@ double ModelElapsed(const ExecCounters& counters, const OpenTable& table,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Env env = Env::FromEnv();
+  // Resilience knobs: run every parallel execution under a QueryContext.
+  // Off by default so the bench's numbers are unchanged; with a deadline
+  // set, a run that overruns it fails with DeadlineExceeded (which
+  // RODB_CHECK turns into a loud abort -- the point of the flag is to
+  // demonstrate the bound, not to paper over it).
+  int deadline_ms = 0, max_retries = 0, mem_budget_mb = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--max-retries=", 14) == 0) {
+      max_retries = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
+      mem_budget_mb = std::atoi(argv[i] + 16);
+    } else {
+      std::fprintf(stderr,
+                   "usage: parallel_scan_bench [--deadline-ms=N]"
+                   " [--max-retries=N] [--mem-budget-mb=N]\n");
+      return 2;
+    }
+  }
+  QueryContext ctx;
+  if (max_retries > 0) {
+    ctx.set_retry_policy(RetryPolicy::BoundedBackoff(max_retries));
+  }
+  if (mem_budget_mb > 0) {
+    ctx.set_memory_budget(std::make_shared<MemoryBudget>(
+        static_cast<uint64_t>(mem_budget_mb) << 20));
+  }
   std::fprintf(stderr,
                "parallel_scan_bench: %llu tuples, %u hardware threads\n",
                static_cast<unsigned long long>(env.tuples),
@@ -111,7 +144,16 @@ int main() {
         // FinalizeFromCounters expects one query's worth of data.
         obs::QueryTrace trace;
         plan.trace = &trace;
+        // Per-run context copy so --deadline-ms bounds each execution
+        // rather than the whole bench.
+        QueryContext run_ctx = ctx;
+        if (deadline_ms > 0) {
+          run_ctx.set_deadline(std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(deadline_ms));
+        }
+        plan.context = &run_ctx;
         auto out = ParallelExecute(plan, threads);
+        plan.context = nullptr;
         RODB_CHECK(out.ok());
         RODB_CHECK(out->result.rows == serial->rows);
         best = std::min(best, out->result.measured.wall_seconds);

@@ -1,0 +1,47 @@
+#ifndef RODB_COMMON_SCOPE_GUARD_H_
+#define RODB_COMMON_SCOPE_GUARD_H_
+
+#include <utility>
+
+namespace rodb {
+
+/// Runs a callable when the guard leaves scope, unless Dismiss()ed.
+///
+/// The engine's error paths return early from deep inside pull loops
+/// (RODB_RETURN_IF_ERROR at every page boundary), so cleanup that must
+/// happen on *every* exit — closing an operator tree so its scanners drop
+/// block-cache pins, folding pending IoStats, joining outstanding work —
+/// belongs in a guard at the top of the function, not after the loop.
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F fn) : fn_(std::move(fn)) {}
+  ~ScopeGuard() {
+    if (armed_) fn_();
+  }
+
+  ScopeGuard(ScopeGuard&& other) noexcept
+      : fn_(std::move(other.fn_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(ScopeGuard&&) = delete;
+
+  /// Disarms the guard; the callable will not run.
+  void Dismiss() { armed_ = false; }
+
+ private:
+  F fn_;
+  bool armed_ = true;
+};
+
+/// `auto guard = MakeScopeGuard([&] { ... });`
+template <typename F>
+ScopeGuard<F> MakeScopeGuard(F fn) {
+  return ScopeGuard<F>(std::move(fn));
+}
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_SCOPE_GUARD_H_

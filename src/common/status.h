@@ -20,10 +20,24 @@ enum class StatusCode : uint8_t {
   kNotSupported,
   kResourceExhausted,
   kInternal,
+  /// The query was cancelled cooperatively (CancellationToken fired).
+  kCancelled,
+  /// The query ran past its deadline (QueryContext deadline).
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode ("Ok", "IoError", ...).
 std::string_view StatusCodeName(StatusCode code);
+
+/// True for failures that a bounded retry can reasonably expect to clear:
+/// the operation itself may succeed if re-issued (a flaky read, a full
+/// admission queue). Corruption, cancellation and deadline expiry are
+/// permanent for the current attempt -- retrying cannot help -- and
+/// programming errors (InvalidArgument & co) must surface immediately.
+/// This is the classification RetryPolicy / RetryingBackend use.
+inline bool IsTransient(StatusCode code) {
+  return code == StatusCode::kIoError || code == StatusCode::kResourceExhausted;
+}
 
 /// RocksDB-style status object: a code plus an optional message.
 ///
@@ -70,6 +84,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +101,15 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  /// See rodb::IsTransient(StatusCode).
+  bool IsTransient() const { return ::rodb::IsTransient(code_); }
 
   /// "Ok" for OK statuses, "<CodeName>: <message>" otherwise.
   std::string ToString() const;

@@ -29,6 +29,12 @@ class ThreadPool {
   /// Enqueues one task; never blocks. Tasks start in FIFO order.
   void Submit(std::function<void()> task);
 
+  /// Tasks submitted but not yet started (running tasks excluded).
+  /// Diagnostics: the resilience tests assert the shared pool's queue
+  /// drains back to zero after aborted parallel runs — ParallelExecute
+  /// must never return leaving its morsels queued.
+  size_t QueueDepth() const;
+
   /// Process-wide pool sized to the hardware concurrency, created on
   /// first use and deliberately never destroyed (joining workers from a
   /// static destructor is a shutdown hazard).
@@ -37,7 +43,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;

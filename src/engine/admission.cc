@@ -1,0 +1,157 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace rodb {
+
+namespace {
+
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* queue_rejections;
+  obs::Counter* budget_rejections;
+  obs::Counter* wait_aborts;
+  obs::Gauge* running;
+  obs::Gauge* queued;
+};
+
+const AdmissionMetrics& Metrics() {
+  static AdmissionMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    return AdmissionMetrics{
+        reg.GetCounter("rodb.resilience.admission.admitted"),
+        reg.GetCounter("rodb.resilience.admission.queue_rejections"),
+        reg.GetCounter("rodb.resilience.admission.budget_rejections"),
+        reg.GetCounter("rodb.resilience.admission.wait_aborts"),
+        reg.GetGauge("rodb.resilience.admission.running"),
+        reg.GetGauge("rodb.resilience.admission.queued")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+AdmissionTicket::AdmissionTicket(AdmissionTicket&& other) noexcept
+    : controller_(other.controller_),
+      reservation_(std::move(other.reservation_)) {
+  other.controller_ = nullptr;
+}
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    reservation_ = std::move(other.reservation_);
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() { Release(); }
+
+void AdmissionTicket::Release() {
+  // Free the memory before waking waiters so the next Admit() sees both
+  // the slot and the bytes.
+  reservation_.Release();
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  options_.max_concurrent = std::max(options_.max_concurrent, 1);
+  options_.max_queue = std::max(options_.max_queue, 0);
+  if (options_.memory_budget_bytes > 0) {
+    budget_ = std::make_shared<MemoryBudget>(options_.memory_budget_bytes);
+  }
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(uint64_t working_set_bytes,
+                                                   const QueryContext& ctx) {
+  if (budget_ != nullptr && working_set_bytes > budget_->capacity_bytes()) {
+    // Could never fit; queueing would wait forever.
+    Metrics().budget_rejections->Increment();
+    return Status::ResourceExhausted("working set exceeds the global budget");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Admission needs a free slot AND the up-front bytes; either can be
+  // what a waiter is queued for. An empty ticket means "not yet".
+  auto try_admit = [&]() -> AdmissionTicket {
+    if (running_ >= options_.max_concurrent) return AdmissionTicket();
+    MemoryReservation reservation;
+    if (budget_ != nullptr && working_set_bytes > 0) {
+      if (!budget_->Reserve(working_set_bytes).ok()) {
+        return AdmissionTicket();  // bytes still held by running queries
+      }
+      reservation = MemoryReservation(budget_.get(), working_set_bytes);
+    }
+    ++running_;
+    Metrics().admitted->Increment();
+    Metrics().running->Set(running_);
+    return AdmissionTicket(this, std::move(reservation));
+  };
+
+  {
+    AdmissionTicket first = try_admit();
+    if (first.admitted()) return first;
+  }
+
+  if (queued_ >= options_.max_queue) {
+    Metrics().queue_rejections->Increment();
+    return Status::ResourceExhausted("admission queue full");
+  }
+
+  ++queued_;
+  Metrics().queued->Set(queued_);
+  auto dequeue = [&] {
+    --queued_;
+    Metrics().queued->Set(queued_);
+  };
+
+  // Wait in bounded slices: a queued query still observes cancellation
+  // and its deadline even if no slot ever frees.
+  constexpr auto kSlice = std::chrono::milliseconds(5);
+  for (;;) {
+    Status alive = ctx.CheckAlive();
+    if (!alive.ok()) {
+      dequeue();
+      Metrics().wait_aborts->Increment();
+      return alive;
+    }
+    AdmissionTicket ticket = try_admit();
+    if (ticket.admitted()) {
+      dequeue();
+      return ticket;
+    }
+    auto wake = std::chrono::steady_clock::now() + kSlice;
+    if (ctx.has_deadline()) wake = std::min(wake, ctx.deadline());
+    slot_free_.wait_until(lock, wake);
+  }
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    Metrics().running->Set(running_);
+  }
+  slot_free_.notify_all();
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace rodb

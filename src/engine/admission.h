@@ -1,0 +1,102 @@
+#ifndef RODB_ENGINE_ADMISSION_H_
+#define RODB_ENGINE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/result.h"
+#include "engine/query_context.h"
+
+namespace rodb {
+
+/// Limits the AdmissionController enforces (docs/RESILIENCE.md).
+struct AdmissionOptions {
+  /// Queries allowed to run at once. Must be >= 1.
+  int max_concurrent = 8;
+  /// Queries allowed to wait for a slot. A full queue rejects new
+  /// arrivals immediately with ResourceExhausted — bounded queueing is
+  /// the whole point: under overload the controller sheds load instead
+  /// of accumulating waiters until memory or latency blows up.
+  int max_queue = 16;
+  /// Global memory budget shared by every admitted query; 0 = unlimited.
+  /// Admit() reserves the query's declared working-set bytes up front
+  /// and the returned context carries the shared budget, so per-query
+  /// allocations (worker output buffers, shared-scan windows) debit the
+  /// same pool.
+  uint64_t memory_budget_bytes = 0;
+};
+
+class AdmissionController;
+
+/// RAII admission: holding a ticket is holding a run slot (plus the
+/// up-front memory reservation). Movable; destroying it releases the
+/// slot and wakes one waiter, so an early error return cannot strand
+/// capacity.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept;
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket();
+
+  bool admitted() const { return controller_ != nullptr; }
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller,
+                  MemoryReservation reservation)
+      : controller_(controller), reservation_(std::move(reservation)) {}
+
+  AdmissionController* controller_ = nullptr;
+  MemoryReservation reservation_;
+};
+
+/// Gate in front of query execution: a concurrent-query cap, a bounded
+/// wait queue and a global memory budget.
+///
+/// Admit() returns a ticket once a slot (and the declared memory) is
+/// available, waiting in bounded slices so a queued query still honors
+/// its deadline and cancellation; queue overflow fails fast with
+/// ResourceExhausted. Emits rodb.resilience.admission.* metrics.
+/// Thread-safe; the controller must outlive its tickets.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Blocks until admitted, the queue is full (ResourceExhausted), or
+  /// `ctx` dies while waiting (its Cancelled/DeadlineExceeded status).
+  /// `working_set_bytes` is reserved against the global budget for the
+  /// ticket's lifetime; a request larger than the whole budget is
+  /// rejected immediately rather than queued forever.
+  Result<AdmissionTicket> Admit(uint64_t working_set_bytes,
+                                const QueryContext& ctx);
+
+  /// The shared budget admitted queries draw from (null if unlimited);
+  /// attach it to the query's context so downstream reservations debit
+  /// the same pool.
+  std::shared_ptr<MemoryBudget> memory_budget() const { return budget_; }
+
+  int running() const;
+  int queued() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  friend class AdmissionTicket;
+  void ReleaseSlot();
+
+  AdmissionOptions options_;
+  std::shared_ptr<MemoryBudget> budget_;  ///< null when unlimited
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int running_ = 0;
+  int queued_ = 0;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_ENGINE_ADMISSION_H_

@@ -63,8 +63,8 @@ Result<OperatorPtr> ColumnScanner::Make(const OpenTable* table, ScanSpec spec,
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<ColumnScanner> scanner(new ColumnScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
-  scanner->backend_ = MaybeCachingBackend(backend, scanner->spec_,
-                                          &scanner->owned_backend_);
+  scanner->backend_ = ScanBackendStack(backend, scanner->spec_, stats,
+                                       &scanner->owned_backends_);
   const ScanSpec& s = scanner->spec_;
 
   // Pipeline order: one node per distinct predicate attribute (in
@@ -215,6 +215,9 @@ Status ColumnScanner::AdvanceNodePage(Node& node) {
     node.page.reset();
   }
   while (true) {
+    // Page-boundary liveness check: a cancelled or expired query stops
+    // within one page's worth of work.
+    RODB_RETURN_IF_ERROR(stats_->CheckAlive());
     if (node.page_in_view >= node.pages_in_view) {
       {
         obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);

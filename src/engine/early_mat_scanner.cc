@@ -56,8 +56,8 @@ Result<OperatorPtr> EarlyMatColumnScanner::Make(const OpenTable* table,
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<EarlyMatColumnScanner> scanner(new EarlyMatColumnScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
-  scanner->backend_ = MaybeCachingBackend(backend, scanner->spec_,
-                                          &scanner->owned_backend_);
+  scanner->backend_ = ScanBackendStack(backend, scanner->spec_, stats,
+                                       &scanner->owned_backends_);
   const ScanSpec& s = scanner->spec_;
   int max_width = 1;
   for (size_t attr : ScanPipelineAttrs(s)) {
@@ -119,6 +119,9 @@ void EarlyMatColumnScanner::CountDecode(const Cursor& cursor, uint64_t n) {
 
 Status EarlyMatColumnScanner::AdvancePage(Cursor& cursor) {
   while (true) {
+    // Page-boundary liveness check: a cancelled or expired query stops
+    // within one page's worth of work.
+    RODB_RETURN_IF_ERROR(stats_->CheckAlive());
     if (cursor.page_in_view >= cursor.pages_in_view) {
       {
         obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);

@@ -1,6 +1,7 @@
 #ifndef RODB_ENGINE_EXEC_STATS_H_
 #define RODB_ENGINE_EXEC_STATS_H_
 
+#include "engine/query_context.h"
 #include "hwmodel/cpu_model.h"
 #include "io/io.h"
 #include "obs/metrics.h"
@@ -25,6 +26,18 @@ class ExecStats {
   /// disables span timing entirely; operators must tolerate both.
   obs::QueryTrace* trace() { return trace_; }
   void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+
+  /// Optional query lifecycle context (engine/query_context.h), not
+  /// owned. Scanners and operators call CheckAlive() at page/morsel
+  /// boundaries; null (the default) means "runs forever, never
+  /// cancelled" so existing call sites keep working unchanged.
+  const QueryContext* context() const { return context_; }
+  void set_context(const QueryContext* context) { context_ = context; }
+
+  /// OK when no context is attached or the context says to keep going.
+  Status CheckAlive() const {
+    return context_ == nullptr ? Status::OK() : context_->CheckAlive();
+  }
 
   /// Adds the accumulated I/O statistics into the counters (idempotent:
   /// uses and clears the pending I/O record) and mirrors the same delta
@@ -75,6 +88,7 @@ class ExecStats {
   ExecCounters counters_;
   IoStats io_;
   obs::QueryTrace* trace_ = nullptr;
+  const QueryContext* context_ = nullptr;
 };
 
 }  // namespace rodb

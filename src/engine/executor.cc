@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/scope_guard.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -51,9 +52,17 @@ Result<ExecutionResult> Execute(Operator* root, ExecStats* stats) {
       obs::SpanTimer open_span(trace, obs::TracePhase::kOpen);
       RODB_RETURN_IF_ERROR(root->Open());
     }
+    // Close on every exit, error returns included: Close() walks the
+    // operator tree releasing streams (and with them block-cache pins),
+    // and the pending I/O record must be folded or it is lost.
+    auto close_guard = MakeScopeGuard([&] {
+      root->Close();
+      stats->FoldIo();
+    });
     uint64_t checksum = kFnv1aSeed;
     const int width = root->output_layout().tuple_width;
     while (true) {
+      RODB_RETURN_IF_ERROR(stats->CheckAlive());
       RODB_ASSIGN_OR_RETURN(TupleBlock * block, root->Next());
       if (block == nullptr) break;
       if (block->empty()) continue;
@@ -63,8 +72,6 @@ Result<ExecutionResult> Execute(Operator* root, ExecStats* stats) {
                              static_cast<size_t>(block->size()) *
                                  static_cast<size_t>(width));
     }
-    root->Close();
-    stats->FoldIo();
     result.output_checksum = checksum;
   }
   result.measured = timer.Lap();

@@ -11,6 +11,7 @@
 
 #include "common/bytes.h"
 #include "common/macros.h"
+#include "common/scope_guard.h"
 #include "common/stopwatch.h"
 #include "engine/exec_stats.h"
 #include "engine/plan_builder.h"
@@ -85,6 +86,9 @@ struct WorkerState {
   /// production order (FNV-1a is chained, not combinable, so the merge
   /// re-hashes these buffers in morsel order).
   std::vector<uint8_t> bytes;
+  /// Budget holds backing `bytes` (one per emitted block); released when
+  /// the worker is destroyed, after the merge has consumed the buffers.
+  std::vector<MemoryReservation> reservations;
   uint64_t rows = 0;
   uint64_t blocks = 0;
   /// Aggregating pipelines: partial groups, keyed by group key.
@@ -136,8 +140,17 @@ void CollectPartials(const AggPlan& orig, const TupleBlock& block,
 /// output bytes or partial aggregates into worker-local state.
 Status DriveWorker(Operator* root, const AggPlan* orig_agg, WorkerState* w) {
   RODB_RETURN_IF_ERROR(root->Open());
+  // Close on every exit, error returns included: Close() releases the
+  // worker's streams (and with them block-cache pins), and the pending
+  // I/O record must be folded or it is lost.
+  auto close_guard = MakeScopeGuard([&] {
+    root->Close();
+    w->stats.FoldIo();
+  });
+  const QueryContext* ctx = w->stats.context();
   const int width = root->output_layout().tuple_width;
   while (true) {
+    RODB_RETURN_IF_ERROR(w->stats.CheckAlive());
     RODB_ASSIGN_OR_RETURN(TupleBlock * block, root->Next());
     if (block == nullptr) break;
     if (block->empty()) continue;
@@ -146,14 +159,19 @@ Status DriveWorker(Operator* root, const AggPlan* orig_agg, WorkerState* w) {
     if (orig_agg != nullptr) {
       CollectPartials(*orig_agg, *block, w);
     } else {
+      const size_t chunk = static_cast<size_t>(block->size()) *
+                           static_cast<size_t>(width);
+      if (ctx != nullptr) {
+        // The buffered output bytes are this worker's working set; a
+        // budget overflow fails the query here instead of OOM-ing.
+        RODB_ASSIGN_OR_RETURN(MemoryReservation r,
+                              ctx->ReserveMemory(chunk));
+        w->reservations.push_back(std::move(r));
+      }
       const uint8_t* data = block->tuple(0);
-      w->bytes.insert(w->bytes.end(), data,
-                      data + static_cast<size_t>(block->size()) *
-                                 static_cast<size_t>(width));
+      w->bytes.insert(w->bytes.end(), data, data + chunk);
     }
   }
-  root->Close();
-  w->stats.FoldIo();
   return Status::OK();
 }
 
@@ -322,6 +340,7 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
     // Serial fallback: identical to Execute over the unmodified plan.
     ExecStats stats;
     stats.set_trace(plan.trace);
+    stats.set_context(plan.context);
     RODB_ASSIGN_OR_RETURN(OperatorPtr root,
                           BuildWorkerPlan(plan, morsels[0], plan.agg, &stats));
     RODB_ASSIGN_OR_RETURN(out.result, Execute(root.get(), &stats));
@@ -339,9 +358,16 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
   const AggPlan worker_agg =
       plan.agg != nullptr ? WorkerAggPlan(*plan.agg) : AggPlan{};
   std::vector<WorkerState> workers(morsels.size());
+  // Workers run under a child of the caller's context: a failing worker
+  // cancels the run (its siblings stop at their next page boundary)
+  // without setting the caller's token, and the caller cancelling or the
+  // deadline expiring is observed through the parent chain.
+  QueryContext run_ctx =
+      plan.context != nullptr ? plan.context->Child() : QueryContext();
   std::vector<OperatorPtr> roots;
   roots.reserve(morsels.size());
   for (size_t i = 0; i < morsels.size(); ++i) {
+    workers[i].stats.set_context(&run_ctx);
     RODB_ASSIGN_OR_RETURN(
         OperatorPtr root,
         BuildWorkerPlan(plan, morsels[i],
@@ -365,7 +391,8 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
   for (size_t i = 0; i < morsels.size(); ++i) {
     Operator* root = roots[i].get();
     WorkerState* w = &workers[i];
-    pool->Submit([root, orig_agg, w, trace, &done] {
+    const QueryContext* rc = &run_ctx;
+    pool->Submit([root, orig_agg, w, trace, rc, &done] {
       {
         // AddPhaseNanos is wait-free, so worker threads may time their
         // own morsel even though their counters stay worker-local. The
@@ -374,13 +401,26 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
         obs::SpanTimer morsel_span(trace, obs::TracePhase::kMorsel);
         w->status = DriveWorker(root, orig_agg, w);
       }
+      // A failed morsel stops its siblings promptly: their next page-
+      // boundary CheckAlive observes the run context's cancellation.
+      if (!w->status.ok()) rc->Cancel();
       done.count_down();
     });
   }
   done.wait();
 
-  for (const WorkerState& w : workers) {
-    RODB_RETURN_IF_ERROR(w.status);
+  // Surface the root cause, not the collateral: when one worker fails,
+  // its siblings die with kCancelled from the sibling-cancel above, so a
+  // real error (corruption, I/O giveup, deadline) wins over kCancelled.
+  // All-kCancelled means the caller itself cancelled.
+  {
+    const Status* first_error = nullptr;
+    for (const WorkerState& w : workers) {
+      if (w.status.ok()) continue;
+      if (first_error == nullptr) first_error = &w.status;
+      if (!w.status.IsCancelled()) return w.status;
+    }
+    if (first_error != nullptr) return *first_error;
   }
 
   // --- merge ---

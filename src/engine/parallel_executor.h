@@ -41,6 +41,12 @@ struct ParallelScanPlan {
   /// the merge, and the finalized counters — workers keep their own
   /// untraced ExecStats so the single-writer I/O contract holds.
   obs::QueryTrace* trace = nullptr;
+  /// Optional query lifecycle context (borrowed; engine/query_context.h).
+  /// Workers run under a derived child context, so a failing worker
+  /// cancels its siblings without ever cancelling the caller's token;
+  /// deadline, memory budget and retry policy pass through unchanged.
+  /// Null = run to completion.
+  const QueryContext* context = nullptr;
 };
 
 /// What a parallel execution produced.

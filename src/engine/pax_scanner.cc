@@ -46,8 +46,8 @@ Result<OperatorPtr> PaxScanner::Make(const OpenTable* table, ScanSpec spec,
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<PaxScanner> scanner(new PaxScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
-  scanner->backend_ = MaybeCachingBackend(backend, scanner->spec_,
-                                          &scanner->owned_backend_);
+  scanner->backend_ = ScanBackendStack(backend, scanner->spec_, stats,
+                                       &scanner->owned_backends_);
   const ScanSpec& s = scanner->spec_;
   int max_width = 1;
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
@@ -153,6 +153,9 @@ Status PaxScanner::AdvancePage() {
   const Schema& schema = table_->schema();
   ExecCounters& c = stats_->counters();
   while (true) {
+    // Page-boundary liveness check: a cancelled or expired query stops
+    // within one page's worth of work.
+    RODB_RETURN_IF_ERROR(stats_->CheckAlive());
     if (page_in_view_ >= pages_in_view_) {
       {
         obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);

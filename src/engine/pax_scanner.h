@@ -55,7 +55,7 @@ class PaxScanner final : public Operator {
   IoBackend* backend_;
   /// CachingBackend wrapped around the borrowed backend when the spec
   /// carries a block cache (backend_ then points at it).
-  std::unique_ptr<IoBackend> owned_backend_;
+  std::vector<std::unique_ptr<IoBackend>> owned_backends_;
   ExecStats* stats_;
   TupleBlock block_;
 

@@ -1,0 +1,44 @@
+#include "engine/query_context.h"
+
+#include "obs/metrics.h"
+
+namespace rodb {
+
+namespace {
+
+void ReportOnce(const std::shared_ptr<std::atomic<bool>>& reported,
+                const char* metric) {
+  bool expected = false;
+  if (reported != nullptr &&
+      reported->compare_exchange_strong(expected, true)) {
+    obs::MetricsRegistry::Default().GetCounter(metric)->Increment();
+  }
+}
+
+}  // namespace
+
+Status QueryContext::CheckAlive() const {
+  if (token_.IsCancelled()) {
+    ReportOnce(reported_, "rodb.resilience.cancelled");
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    ReportOnce(reported_, "rodb.resilience.deadline_exceeded");
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+Result<MemoryReservation> QueryContext::ReserveMemory(uint64_t bytes) const {
+  if (budget_ == nullptr) return MemoryReservation();
+  Status s = budget_->Reserve(bytes);
+  if (!s.ok()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("rodb.resilience.budget_rejections")
+        ->Increment();
+    return s;
+  }
+  return MemoryReservation(budget_.get(), bytes);
+}
+
+}  // namespace rodb

@@ -43,8 +43,8 @@ Result<OperatorPtr> RowScanner::Make(const OpenTable* table, ScanSpec spec,
   BlockLayout layout = BlockLayout::FromSchema(schema, spec.projection);
   std::unique_ptr<RowScanner> scanner(new RowScanner(
       table, std::move(spec), backend, stats, std::move(layout)));
-  scanner->backend_ = MaybeCachingBackend(backend, scanner->spec_,
-                                          &scanner->owned_backend_);
+  scanner->backend_ = ScanBackendStack(backend, scanner->spec_, stats,
+                                       &scanner->owned_backends_);
   RODB_ASSIGN_OR_RETURN(scanner->codec_bundle_, table->MakeRowCodec());
   scanner->scratch_.resize(
       static_cast<size_t>(schema.raw_tuple_width()));
@@ -94,6 +94,9 @@ Status RowScanner::Open() {
 
 Status RowScanner::AdvancePage() {
   while (true) {
+    // Page-boundary liveness check: a cancelled or expired query stops
+    // within one page's worth of work.
+    RODB_RETURN_IF_ERROR(stats_->CheckAlive());
     if (page_in_view_ >= pages_in_view_) {
       {
         obs::SpanTimer io_span(stats_->trace(), obs::TracePhase::kIo);

@@ -2,34 +2,52 @@
 #define RODB_ENGINE_SCANNER_IO_H_
 
 #include <memory>
+#include <vector>
 
 #include "engine/exec_stats.h"
 #include "engine/scan_spec.h"
 #include "io/block_cache.h"
+#include "io/retry_backend.h"
 #include "storage/catalog.h"
 
 namespace rodb {
 
-/// Routes a scanner's reads through a CachingBackend when the spec asks
-/// for one (spec.read.cache). The decorator is stored in `owned` so its
-/// lifetime matches the scanner's; without a cache the borrowed backend
-/// is returned untouched.
-inline IoBackend* MaybeCachingBackend(IoBackend* backend, const ScanSpec& spec,
-                                      std::unique_ptr<IoBackend>* owned) {
-  if (spec.read.cache == nullptr) return backend;
-  *owned = std::make_unique<CachingBackend>(backend, spec.read.cache);
-  return owned->get();
+/// Decorates a scanner's backend with the per-query resilience stack, in
+/// the canonical order engine -> Caching -> Retrying -> inner: transient
+/// failures are retried below the cache (a miss that recovers fills the
+/// cache normally; hits never pay retry bookkeeping), and the retry loop
+/// observes the query's cancellation/deadline through the context's
+/// AliveCheck. The decorators are stored in `owned` so their lifetime
+/// matches the scanner's; with no cache and no retry policy the borrowed
+/// backend is returned untouched.
+inline IoBackend* ScanBackendStack(
+    IoBackend* backend, const ScanSpec& spec, ExecStats* stats,
+    std::vector<std::unique_ptr<IoBackend>>* owned) {
+  const QueryContext* ctx = stats->context();
+  if (ctx != nullptr && ctx->retry_policy().enabled()) {
+    owned->push_back(std::make_unique<RetryingBackend>(
+        backend, ctx->retry_policy(), ctx->MakeAliveCheck()));
+    backend = owned->back().get();
+  }
+  if (spec.read.cache != nullptr) {
+    owned->push_back(std::make_unique<CachingBackend>(backend,
+                                                      spec.read.cache));
+    backend = owned->back().get();
+  }
+  return backend;
 }
 
 /// Stream options for one of a scan's files: the spec's ReadOptions with
 /// the stats sink swapped for the scanner's own ExecStats record (the
-/// IoStats single-writer contract; see io/io.h) and the file identity
-/// filled in for cache keying.
+/// IoStats single-writer contract; see io/io.h), the per-query trace
+/// threaded through for decorator spans (io.retry), and the file
+/// identity filled in for cache keying.
 inline IoOptions ScanStreamOptions(const ScanSpec& spec, ExecStats* stats,
                                    const OpenTable& table, size_t attr) {
   IoOptions options;
   options.read = spec.read;
   options.read.stats = stats->io_stats();
+  options.read.trace = stats->trace();
   options.file_id = table.FileId(attr);
   return options;
 }

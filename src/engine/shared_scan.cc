@@ -72,6 +72,11 @@ OperatorPtr SharedScan::AddConsumer() {
 Result<TupleBlock*> SharedScan::State::Fetch(uint64_t seq) {
   RODB_CHECK(seq >= window_start);
   while (seq >= window_start + window.size()) {
+    if (context != nullptr) {
+      // One cancellation/deadline stops every consumer of the shared
+      // stream at its next fetch.
+      RODB_RETURN_IF_ERROR(context->CheckAlive());
+    }
     if (exhausted) return static_cast<TupleBlock*>(nullptr);
     if (max_lag != 0 && window.size() >= max_lag) {
       return Status::ResourceExhausted(
@@ -84,8 +89,18 @@ Result<TupleBlock*> SharedScan::State::Fetch(uint64_t seq) {
       exhausted = true;
       return static_cast<TupleBlock*>(nullptr);
     }
-    // The source reuses its block; buffer a copy for the window.
+    // The source reuses its block; buffer a copy for the window. The
+    // copy is the shared scan's working set: debit it from the query's
+    // budget so a lagging consumer cannot buffer unboundedly.
+    MemoryReservation reservation;
+    if (context != nullptr) {
+      const uint64_t bytes =
+          static_cast<uint64_t>((*next)->size()) *
+          static_cast<uint64_t>((*next)->layout().tuple_width);
+      RODB_ASSIGN_OR_RETURN(reservation, context->ReserveMemory(bytes));
+    }
     window.push_back(std::make_unique<TupleBlock>(**next));
+    window_reservations.push_back(std::move(reservation));
     static obs::Counter* buffered =
         obs::MetricsRegistry::Default().GetCounter(
             "rodb.sharedscan.buffered_blocks");
@@ -102,6 +117,7 @@ void SharedScan::State::Retire() {
   while (!window.empty() && min_next != UINT64_MAX &&
          window_start + 1 < min_next) {
     window.pop_front();
+    window_reservations.pop_front();
     ++window_start;
   }
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/operator.h"
+#include "engine/query_context.h"
 
 namespace rodb {
 
@@ -32,6 +33,15 @@ class SharedScan {
   /// Next() on any of them.
   OperatorPtr AddConsumer();
 
+  /// Attaches a query lifecycle context (borrowed, must outlive the
+  /// consumers): every Fetch checks it — one cancellation stops all
+  /// consumers — and window growth debits its memory budget, so a
+  /// lagging consumer fails with ResourceExhausted when the buffered
+  /// blocks would exceed the query's bytes, not just max_lag_blocks.
+  void set_context(const QueryContext* context) {
+    state_->context = context;
+  }
+
   size_t num_consumers() const { return state_->consumer_next.size(); }
   /// Blocks currently buffered (diagnostics / tests).
   size_t window_size() const { return state_->window.size(); }
@@ -43,8 +53,11 @@ class SharedScan {
     bool opened = false;
     bool exhausted = false;
     bool started = false;
+    const QueryContext* context = nullptr;  ///< borrowed; may be null
     uint64_t window_start = 0;  ///< sequence number of window.front()
     std::deque<std::unique_ptr<TupleBlock>> window;
+    /// Budget holds for the buffered copies, retired with their blocks.
+    std::deque<MemoryReservation> window_reservations;
     std::vector<uint64_t> consumer_next;  ///< next sequence per consumer
     size_t open_consumers = 0;
 

@@ -154,6 +154,21 @@ BlockCache::Stats BlockCache::stats() const {
   return s;
 }
 
+uint64_t BlockCache::ExternalPins() const {
+  uint64_t pinned = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& entry : shard->lru) {
+      // use_count == 1 is the cache's own reference; anything above it
+      // is a handle still held by a reader. Racy in principle (readers
+      // may pin/unpin concurrently) but exact once they have quiesced,
+      // which is when the leak audit runs.
+      if (entry.block.use_count() > 1) ++pinned;
+    }
+  }
+  return pinned;
+}
+
 /// The stream side of the decorator. Serves one logical I/O unit per
 /// Next(): a cache hit pins the cached block and hands out a view into
 /// it; a miss (re)opens the inner stream at the current offset, copies

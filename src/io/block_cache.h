@@ -86,6 +86,14 @@ class BlockCache {
   Stats stats() const;
   uint64_t capacity_bytes() const { return capacity_bytes_; }
 
+  /// Number of cached blocks currently pinned outside the cache, i.e.
+  /// entries whose handle use_count exceeds the cache's own reference.
+  /// Zero once every reader has released its handles — the leak-audit
+  /// invariant the resilience tests assert after forced mid-scan
+  /// failures (a leaked pin means an error path kept a stream or view
+  /// alive past Close()). O(entries); diagnostics only.
+  uint64_t ExternalPins() const;
+
  private:
   struct Key {
     uint64_t file_id;

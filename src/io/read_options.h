@@ -9,6 +9,10 @@ namespace rodb {
 class BlockCache;
 struct IoStats;
 
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 /// The knobs every read path shares, owned in exactly one place.
 ///
 /// Before this struct existed the same fields were declared twice --
@@ -38,6 +42,11 @@ struct ReadOptions {
   /// and substitute their own ExecStats record, preserving the IoStats
   /// single-writer contract under morsel parallelism (io/io.h).
   IoStats* stats = nullptr;
+  /// Optional per-query trace (not owned). Decorators that spend time
+  /// below the engine — today the RetryingBackend's backoff/re-issue
+  /// loop — record their spans here (TracePhase::kIoRetry). Scanners
+  /// populate it from ExecStats::trace() alongside `stats`.
+  obs::QueryTrace* trace = nullptr;
 };
 
 }  // namespace rodb

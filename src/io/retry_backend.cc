@@ -1,0 +1,141 @@
+#include "io/retry_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace rodb {
+
+namespace {
+
+/// Same basename-only stream identity as the fault injector's StreamSeed
+/// (io/fault_injection.cc): fresh temp directories must not change the
+/// jitter sequence a given stream draws.
+uint64_t JitterSeed(uint64_t seed, const std::string& path, uint64_t offset) {
+  const size_t slash = path.find_last_of('/');
+  const size_t start = slash == std::string::npos ? 0 : slash + 1;
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = start; i < path.size(); ++i) {
+    h ^= static_cast<uint8_t>(path[i]);
+    h *= 1099511628211ULL;
+  }
+  h ^= seed + 0x51afd7ed558ccd25ULL;
+  h *= 1099511628211ULL;
+  h ^= offset + 1;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+struct RetryMetrics {
+  obs::Counter* attempts;
+  obs::Counter* successes;
+  obs::Counter* giveups;
+  obs::Counter* abandoned;
+};
+
+const RetryMetrics& Metrics() {
+  static RetryMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    return RetryMetrics{reg.GetCounter("rodb.resilience.retry.attempts"),
+                        reg.GetCounter("rodb.resilience.retry.successes"),
+                        reg.GetCounter("rodb.resilience.retry.giveups"),
+                        reg.GetCounter("rodb.resilience.retry.abandoned")};
+  }();
+  return m;
+}
+
+/// Backoff before 0-based retry `k`: exponential base, jittered down to
+/// at most half to decorrelate streams, zero if the policy asks for none.
+uint64_t BackoffMicros(const RetryPolicy& policy, int k, Random* jitter) {
+  if (policy.initial_backoff_micros == 0) return 0;
+  uint64_t base = policy.initial_backoff_micros;
+  for (int i = 0; i < k && base < policy.max_backoff_micros; ++i) base *= 2;
+  base = std::min(base, policy.max_backoff_micros);
+  const uint64_t half = base / 2;
+  return half + jitter->Uniform(base - half + 1);
+}
+
+}  // namespace
+
+template <typename T>
+Result<T> RetryingBackend::RunWithRetries(
+    const std::function<Result<T>()>& op, Random* jitter,
+    obs::QueryTrace* trace) {
+  Result<T> result = op();
+  if (result.ok() || !result.status().IsTransient() || !policy_.enabled()) {
+    return result;
+  }
+  for (int k = 0; k < policy_.max_retries; ++k) {
+    obs::SpanTimer timer(trace, obs::TracePhase::kIoRetry);
+    if (alive_) {
+      Status alive = alive_();
+      if (!alive.ok()) {
+        // The query died while we were failing; surface its status, not
+        // the transient error, so cancellation is reported as such.
+        abandoned_.fetch_add(1);
+        Metrics().abandoned->Increment();
+        return alive;
+      }
+    }
+    const uint64_t backoff = BackoffMicros(policy_, k, jitter);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+    attempts_.fetch_add(1);
+    Metrics().attempts->Increment();
+    result = op();
+    if (result.ok()) {
+      successes_.fetch_add(1);
+      Metrics().successes->Increment();
+      return result;
+    }
+    if (!result.status().IsTransient()) return result;
+  }
+  giveups_.fetch_add(1);
+  Metrics().giveups->Increment();
+  return result;
+}
+
+class RetryingBackend::RetryStream final : public SequentialStream {
+ public:
+  RetryStream(std::unique_ptr<SequentialStream> inner, RetryingBackend* owner,
+              uint64_t jitter_seed, obs::QueryTrace* trace)
+      : inner_(std::move(inner)),
+        owner_(owner),
+        jitter_(jitter_seed),
+        trace_(trace) {}
+
+  Result<IoView> Next() override {
+    return owner_->RunWithRetries<IoView>([this] { return inner_->Next(); },
+                                          &jitter_, trace_);
+  }
+
+  uint64_t file_size() const override { return inner_->file_size(); }
+
+ private:
+  std::unique_ptr<SequentialStream> inner_;
+  RetryingBackend* owner_;
+  Random jitter_;
+  obs::QueryTrace* trace_;
+};
+
+Result<std::unique_ptr<SequentialStream>> RetryingBackend::OpenStream(
+    const std::string& path, const IoOptions& options) {
+  Random jitter(JitterSeed(policy_.seed, path, options.start_offset));
+  RODB_ASSIGN_OR_RETURN(
+      std::unique_ptr<SequentialStream> inner,
+      (RunWithRetries<std::unique_ptr<SequentialStream>>(
+          [&] { return inner_->OpenStream(path, options); }, &jitter,
+          options.read.trace)));
+  return std::unique_ptr<SequentialStream>(
+      new RetryStream(std::move(inner), this,
+                      JitterSeed(policy_.seed ^ 0xa24baed4963ee407ULL, path,
+                                 options.start_offset),
+                      options.read.trace));
+}
+
+}  // namespace rodb

@@ -1,0 +1,117 @@
+#ifndef RODB_IO_RETRY_BACKEND_H_
+#define RODB_IO_RETRY_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "io/io.h"
+
+namespace rodb {
+
+/// How transient I/O failures are retried (docs/RESILIENCE.md).
+///
+/// The classifier is IsTransient(StatusCode) in common/status.h: IoError
+/// and ResourceExhausted are retryable; corruption, cancellation and
+/// deadline expiry are not. Backoff between attempts is exponential with
+/// deterministically seeded jitter — the same (policy, stream) pair
+/// backs off identically on every run, so retrying composes with the
+/// FaultInjection decorator without breaking the fuzzer's
+/// reproduce-from-seed contract.
+struct RetryPolicy {
+  /// Retries per failing call (so a call is issued at most
+  /// 1 + max_retries times). 0 disables retrying entirely.
+  int max_retries = 0;
+
+  /// Backoff before retry k (0-based) is drawn uniformly from
+  /// [base/2, base] where base = min(initial << k, max); a computed
+  /// backoff of zero skips the sleep, which is how tests and fuzz runs
+  /// retry at full speed (initial_backoff_micros = 0).
+  uint64_t initial_backoff_micros = 0;
+  uint64_t max_backoff_micros = 100 * 1000;
+
+  /// Seed for the jitter PRNG; mixed with the stream identity so
+  /// distinct streams draw independent (but reproducible) jitter.
+  uint64_t seed = 1;
+
+  bool enabled() const { return max_retries > 0; }
+
+  /// Policy used by rodbctl / benches for --max-retries=N: N retries
+  /// with 100us..100ms exponential backoff.
+  static RetryPolicy BoundedBackoff(int max_retries) {
+    RetryPolicy p;
+    p.max_retries = max_retries;
+    p.initial_backoff_micros = 100;
+    return p;
+  }
+};
+
+/// Pre-sleep callback: returns non-OK to abandon the retry loop (the
+/// query was cancelled or ran out of deadline while backing off). The io
+/// layer cannot see engine/query_context.h — layering runs the other way
+/// — so the engine hands its liveness check down as a closure.
+using AliveCheck = std::function<Status()>;
+
+/// IoBackend decorator that retries transient failures of the inner
+/// backend — both OpenStream and per-unit Next() — under a RetryPolicy.
+///
+/// Composition order matters and is: engine -> Caching -> Retrying ->
+/// FaultInjecting/Tracing -> File/Mem. Placed directly above the fault
+/// injector, every injected transient error is either retried (and the
+/// re-issued read sees the same bytes, because injected errors do not
+/// consume the inner read) or given up on, which is what makes the fuzz
+/// campaign's counter reconciliation exact:
+///   injected_errors == attempts() + giveups().
+///
+/// Thread-safe like the other decorators: concurrent OpenStream calls are
+/// fine and each stream owns its jitter PRNG; the totals are atomics.
+/// Emits rodb.resilience.retry.* metrics and, when the stream's
+/// ReadOptions carry a QueryTrace, io.retry spans per re-issue.
+class RetryingBackend : public IoBackend {
+ public:
+  /// `inner` is borrowed and must outlive this. `alive` may be empty
+  /// (never gives up early); it is shared by all streams of this backend
+  /// and must therefore be safe to call from any stream's thread.
+  RetryingBackend(IoBackend* inner, RetryPolicy policy,
+                  AliveCheck alive = nullptr)
+      : inner_(inner), policy_(policy), alive_(std::move(alive)) {}
+
+  Result<std::unique_ptr<SequentialStream>> OpenStream(
+      const std::string& path, const IoOptions& options) override;
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Totals across all streams of this backend.
+  /// Re-issues after a transient failure (one per failed attempt that
+  /// was retried).
+  uint64_t attempts() const { return attempts_.load(); }
+  /// Calls that ultimately succeeded after at least one retry.
+  uint64_t successes() const { return successes_.load(); }
+  /// Calls that exhausted max_retries (the last error is surfaced).
+  uint64_t giveups() const { return giveups_.load(); }
+  /// Retry loops abandoned because the AliveCheck failed mid-backoff.
+  uint64_t abandoned() const { return abandoned_.load(); }
+
+ private:
+  class RetryStream;
+  friend class RetryStream;
+
+  /// Runs `op` with retries; `kind` labels the trace/metric attribution.
+  template <typename T>
+  Result<T> RunWithRetries(const std::function<Result<T>()>& op,
+                           Random* jitter, obs::QueryTrace* trace);
+
+  IoBackend* inner_;
+  RetryPolicy policy_;
+  AliveCheck alive_;
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> successes_{0};
+  std::atomic<uint64_t> giveups_{0};
+  std::atomic<uint64_t> abandoned_{0};
+};
+
+}  // namespace rodb
+
+#endif  // RODB_IO_RETRY_BACKEND_H_

@@ -18,6 +18,7 @@ const char* PhaseName(TracePhase phase) {
     case TracePhase::kSort:      return "sort";
     case TracePhase::kMerge:     return "merge";
     case TracePhase::kMorsel:    return "morsel";
+    case TracePhase::kIoRetry:   return "io.retry";
   }
   return "?";
 }
@@ -138,6 +139,11 @@ std::vector<SpanNode> QueryTrace::Spans() const {
   // timed at the executor around the whole pipeline's Open() and stays a
   // direct child of the query.
   parent[Index(TracePhase::kIo)] = scan_or_query;
+  // Retry time is spent inside the io span's blocking Next() calls. When
+  // a stream is driven outside any scanner (no io span), fall back to the
+  // same anchor the io span itself would use so the node is not orphaned.
+  parent[Index(TracePhase::kIoRetry)] =
+      Present(TracePhase::kIo) ? TracePhase::kIo : scan_or_query;
   for (TracePhase p :
        {TracePhase::kOpen, TracePhase::kDecode, TracePhase::kFilter,
         TracePhase::kProject}) {

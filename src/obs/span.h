@@ -38,9 +38,10 @@ enum class TracePhase : uint8_t {
   kSort,         ///< sort / top-n Next
   kMerge,        ///< parallel executor's merge of worker partials
   kMorsel,       ///< summed per-worker wall time (parallel runs)
+  kIoRetry,      ///< backoff + re-issue of transient I/O failures
 };
 inline constexpr size_t kNumTracePhases =
-    static_cast<size_t>(TracePhase::kMorsel) + 1;
+    static_cast<size_t>(TracePhase::kIoRetry) + 1;
 
 /// Stable lowercase name ("scan", "io", ...).
 const char* PhaseName(TracePhase phase);

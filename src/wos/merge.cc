@@ -15,8 +15,12 @@ namespace rodb {
 
 namespace {
 
+Status CheckAlive(const QueryContext* context) {
+  return context == nullptr ? Status::OK() : context->CheckAlive();
+}
+
 Result<std::vector<std::vector<uint8_t>>> ReadRowTable(
-    const OpenTable& table) {
+    const OpenTable& table, const QueryContext* context) {
   const TableMeta& meta = table.meta();
   RODB_ASSIGN_OR_RETURN(std::string file, ReadFileToString(table.FilePath(0)));
   if (file.size() != meta.file_bytes[0]) {
@@ -28,6 +32,7 @@ Result<std::vector<std::vector<uint8_t>>> ReadRowTable(
   tuples.reserve(meta.num_tuples);
   const size_t width = static_cast<size_t>(meta.schema.raw_tuple_width());
   for (uint64_t p = 0; p < meta.file_pages[0]; ++p) {
+    RODB_RETURN_IF_ERROR(CheckAlive(context));
     const uint8_t* page =
         reinterpret_cast<const uint8_t*>(file.data()) + p * meta.page_size;
     RODB_ASSIGN_OR_RETURN(
@@ -44,7 +49,7 @@ Result<std::vector<std::vector<uint8_t>>> ReadRowTable(
 }
 
 Result<std::vector<std::vector<uint8_t>>> ReadColumnTable(
-    const OpenTable& table) {
+    const OpenTable& table, const QueryContext* context) {
   const TableMeta& meta = table.meta();
   const size_t width = static_cast<size_t>(meta.schema.raw_tuple_width());
   std::vector<std::vector<uint8_t>> tuples(
@@ -60,6 +65,7 @@ Result<std::vector<std::vector<uint8_t>>> ReadColumnTable(
     const int offset = meta.schema.attr_offset(attr);
     uint64_t row = 0;
     for (uint64_t p = 0; p < meta.file_pages[attr]; ++p) {
+      RODB_RETURN_IF_ERROR(CheckAlive(context));
       const uint8_t* page =
           reinterpret_cast<const uint8_t*>(file.data()) + p * meta.page_size;
       RODB_ASSIGN_OR_RETURN(
@@ -81,7 +87,7 @@ Result<std::vector<std::vector<uint8_t>>> ReadColumnTable(
 }
 
 Result<std::vector<std::vector<uint8_t>>> ReadPaxTable(
-    const OpenTable& table) {
+    const OpenTable& table, const QueryContext* context) {
   const TableMeta& meta = table.meta();
   RODB_ASSIGN_OR_RETURN(std::string file, ReadFileToString(table.FilePath(0)));
   if (file.size() != meta.file_bytes[0]) {
@@ -98,6 +104,7 @@ Result<std::vector<std::vector<uint8_t>>> ReadPaxTable(
   std::vector<std::vector<uint8_t>> tuples;
   tuples.reserve(meta.num_tuples);
   for (uint64_t p = 0; p < meta.file_pages[0]; ++p) {
+    RODB_RETURN_IF_ERROR(CheckAlive(context));
     const uint8_t* page =
         reinterpret_cast<const uint8_t*>(file.data()) + p * meta.page_size;
     RODB_ASSIGN_OR_RETURN(
@@ -119,16 +126,16 @@ Result<std::vector<std::vector<uint8_t>>> ReadPaxTable(
 }  // namespace
 
 Result<std::vector<std::vector<uint8_t>>> ReadAllTuples(
-    const OpenTable& table) {
+    const OpenTable& table, const QueryContext* context) {
   switch (table.meta().layout) {
     case Layout::kRow:
-      return ReadRowTable(table);
+      return ReadRowTable(table, context);
     case Layout::kPax:
-      return ReadPaxTable(table);
+      return ReadPaxTable(table, context);
     case Layout::kColumn:
       break;
   }
-  return ReadColumnTable(table);
+  return ReadColumnTable(table, context);
 }
 
 Result<TableMeta> MergeIntoReadStore(const std::string& dir,
@@ -162,7 +169,8 @@ Result<TableMeta> MergeIntoReadStore(const std::string& dir,
       return Status::InvalidArgument(
           "write store schema does not match read store");
     }
-    RODB_ASSIGN_OR_RETURN(old_tuples, ReadAllTuples(old_table));
+    RODB_ASSIGN_OR_RETURN(old_tuples,
+                          ReadAllTuples(old_table, options.context));
   }
 
   RODB_ASSIGN_OR_RETURN(
@@ -175,7 +183,13 @@ Result<TableMeta> MergeIntoReadStore(const std::string& dir,
   const uint64_t wn = wos->size();
   // Linear two-way merge: both runs are sorted on the clustering key; the
   // read store wins ties so older facts stay ahead of compensations.
+  uint64_t appended = 0;
   while (oi < old_tuples.size() || wi < wn) {
+    // Liveness check every few thousand tuples; cheap against the page
+    // encode each tuple pays, frequent enough to stop promptly.
+    if ((appended++ & 0xFFF) == 0) {
+      RODB_RETURN_IF_ERROR(CheckAlive(options.context));
+    }
     const uint8_t* next;
     if (oi >= old_tuples.size()) {
       next = wos->tuple(wi++);

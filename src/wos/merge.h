@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/query_context.h"
 #include "storage/catalog.h"
 #include "storage/page.h"
 #include "wos/write_store.h"
@@ -16,13 +17,19 @@ struct MergeOptions {
   int sort_attr = 0;
   Layout layout = Layout::kRow;
   size_t page_size = kDefaultPageSize;
+  /// Optional lifecycle context (borrowed): the merge checks it at page
+  /// boundaries while re-reading the old store and every few thousand
+  /// appended tuples, so a long merge can be cancelled or deadlined
+  /// instead of holding the store hostage. Null = run to completion.
+  const QueryContext* context = nullptr;
 };
 
 /// Materializes every tuple of a stored table back into raw form (used by
 /// the merge to re-write the read store; tables are read page by page,
-/// column files in lockstep).
+/// column files in lockstep). A non-null `context` is checked at page
+/// boundaries.
 Result<std::vector<std::vector<uint8_t>>> ReadAllTuples(
-    const OpenTable& table);
+    const OpenTable& table, const QueryContext* context = nullptr);
 
 /// The "merge" arrow of Figure 1: combines the existing read store table
 /// `old_name` (may be empty for a first load) with the sorted contents of

@@ -1,0 +1,197 @@
+// AdmissionController tests: the concurrent-query cap, the bounded wait
+// queue (overflow sheds load with ResourceExhausted), the global memory
+// budget, and queued waiters honoring their deadline/cancellation.
+
+#include "engine/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+AdmissionOptions SmallOptions(int max_concurrent, int max_queue,
+                              uint64_t budget_bytes = 0) {
+  AdmissionOptions options;
+  options.max_concurrent = max_concurrent;
+  options.max_queue = max_queue;
+  options.memory_budget_bytes = budget_bytes;
+  return options;
+}
+
+TEST(AdmissionTest, AdmitsUpToTheCap) {
+  AdmissionController controller(SmallOptions(2, 0));
+  QueryContext ctx;
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket a, controller.Admit(0, ctx));
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket b, controller.Admit(0, ctx));
+  EXPECT_TRUE(a.admitted());
+  EXPECT_TRUE(b.admitted());
+  EXPECT_EQ(controller.running(), 2);
+  // Cap reached and no queue: the third query is shed immediately.
+  auto c = controller.Admit(0, ctx);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+
+  a.Release();
+  EXPECT_EQ(controller.running(), 1);
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket d, controller.Admit(0, ctx));
+  EXPECT_TRUE(d.admitted());
+}
+
+TEST(AdmissionTest, TicketReleasesOnDestruction) {
+  AdmissionController controller(SmallOptions(1, 0));
+  QueryContext ctx;
+  {
+    ASSERT_OK_AND_ASSIGN(AdmissionTicket t, controller.Admit(0, ctx));
+    EXPECT_EQ(controller.running(), 1);
+  }
+  EXPECT_EQ(controller.running(), 0);
+  // Moved-from tickets must not double-release.
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket t, controller.Admit(0, ctx));
+  AdmissionTicket moved = std::move(t);
+  moved.Release();
+  EXPECT_EQ(controller.running(), 0);
+}
+
+TEST(AdmissionTest, QueuedQueryRunsWhenSlotFrees) {
+  AdmissionController controller(SmallOptions(1, 4));
+  QueryContext ctx;
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket first, controller.Admit(0, ctx));
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto t = controller.Admit(0, ctx);
+    EXPECT_OK(t.status());
+    admitted.store(true);
+  });
+  // The waiter is parked in the queue, not admitted.
+  while (controller.queued() == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+  first.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(controller.queued(), 0);
+}
+
+TEST(AdmissionTest, FullQueueRejectsImmediately) {
+  AdmissionController controller(SmallOptions(1, 1));
+  QueryContext ctx;
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket running, controller.Admit(0, ctx));
+  // Park one waiter to fill the queue.
+  std::thread waiter([&] {
+    auto t = controller.Admit(0, ctx);
+    EXPECT_OK(t.status());
+  });
+  while (controller.queued() == 0) std::this_thread::yield();
+  // Queue full: overload is shed, not buffered.
+  auto overflow = controller.Admit(0, ctx);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  running.Release();
+  waiter.join();
+}
+
+TEST(AdmissionTest, CancelledWhileQueuedAborts) {
+  AdmissionController controller(SmallOptions(1, 4));
+  QueryContext running_ctx;
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket running,
+                       controller.Admit(0, running_ctx));
+  QueryContext waiting_ctx;
+  std::thread canceller([&] {
+    while (controller.queued() == 0) std::this_thread::yield();
+    waiting_ctx.Cancel();
+  });
+  auto t = controller.Admit(0, waiting_ctx);
+  canceller.join();
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(controller.queued(), 0);  // the waiter dequeued itself
+}
+
+TEST(AdmissionTest, DeadlineWhileQueuedAborts) {
+  AdmissionController controller(SmallOptions(1, 4));
+  QueryContext running_ctx;
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket running,
+                       controller.Admit(0, running_ctx));
+  QueryContext waiting_ctx =
+      QueryContext::WithTimeout(std::chrono::milliseconds(30));
+  const auto start = std::chrono::steady_clock::now();
+  auto t = controller.Admit(0, waiting_ctx);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kDeadlineExceeded);
+  // It waited about one deadline, not forever (generous bound: CI).
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+  EXPECT_EQ(controller.queued(), 0);
+}
+
+TEST(AdmissionTest, WorkingSetLargerThanBudgetRejected) {
+  AdmissionController controller(SmallOptions(4, 4, /*budget_bytes=*/1024));
+  QueryContext ctx;
+  // Could never be satisfied: rejected now, not queued forever.
+  auto t = controller.Admit(4096, ctx);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(controller.running(), 0);
+}
+
+TEST(AdmissionTest, WorkingSetsShareTheGlobalBudget) {
+  AdmissionController controller(SmallOptions(4, 0, /*budget_bytes=*/1000));
+  QueryContext ctx;
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket a, controller.Admit(600, ctx));
+  EXPECT_EQ(controller.memory_budget()->used_bytes(), 600u);
+  // Slot available but memory is not: shed.
+  auto b = controller.Admit(600, ctx);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+  a.Release();
+  EXPECT_EQ(controller.memory_budget()->used_bytes(), 0u);
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket c, controller.Admit(600, ctx));
+  EXPECT_TRUE(c.admitted());
+}
+
+TEST(AdmissionTest, BudgetIsSharableWithQueryContexts) {
+  AdmissionController controller(SmallOptions(2, 0, /*budget_bytes=*/4096));
+  QueryContext ctx;
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket t, controller.Admit(1024, ctx));
+  // The admitted query's own allocations debit the same pool.
+  ctx.set_memory_budget(controller.memory_budget());
+  ASSERT_OK_AND_ASSIGN(MemoryReservation r, ctx.ReserveMemory(2048));
+  EXPECT_EQ(controller.memory_budget()->used_bytes(), 1024u + 2048u);
+  auto too_much = ctx.ReserveMemory(2048);
+  ASSERT_FALSE(too_much.ok());
+  EXPECT_EQ(too_much.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionTest, ManyThreadsDrainCleanly) {
+  // Stress the slot accounting: 16 threads contending for 3 slots with a
+  // deep queue; every admit must eventually succeed and the controller
+  // must end idle.
+  AdmissionController controller(SmallOptions(3, 16));
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&] {
+      QueryContext ctx;
+      auto t = controller.Admit(0, ctx);
+      EXPECT_OK(t.status());
+      if (t.ok()) {
+        ++admitted;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(admitted.load(), 16);
+  EXPECT_EQ(controller.running(), 0);
+  EXPECT_EQ(controller.queued(), 0);
+}
+
+}  // namespace
+}  // namespace rodb

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "common/bytes.h"
 #include "common/macros.h"
 #include "common/random.h"
@@ -16,10 +18,12 @@
 #include "engine/open_scanner.h"
 #include "engine/parallel_executor.h"
 #include "engine/plan_builder.h"
+#include "engine/query_context.h"
 #include "engine/reference_eval.h"
 #include "io/block_cache.h"
 #include "io/fault_injection.h"
 #include "io/file_backend.h"
+#include "io/retry_backend.h"
 #include "storage/catalog.h"
 #include "storage/table_files.h"
 
@@ -647,7 +651,167 @@ struct Runner {
     } else {
       ++stats.fault_errors;
     }
-    FoldOutcome(3, status, rows, checksum);
+    if (parallel) {
+      // Whether a parallel faulted run fails is deterministic
+      // (cancellation only ever starts after a worker's own seeded
+      // fault fires), but WHICH worker's error wins the race is not:
+      // a sibling may be cancelled before or after reaching its own
+      // fault, so the surfaced code can flip between e.g. IoError and
+      // Corruption across runs. Fold only the stable classification.
+      FoldOutcome(3, status.ok() ? Status::OK() : Status::IoError("faulted"),
+                  rows, checksum);
+    } else {
+      FoldOutcome(3, status, rows, checksum);
+    }
+  }
+
+  /// The resilience axis: the same (table, query) under a QueryContext.
+  /// Three deterministic configurations are folded into the state hash
+  /// (their outcomes are pure functions of the options: a seeded
+  /// transient-fault run healed by bounded retries, a pre-cancelled
+  /// context, an already-expired deadline); a fourth races a tiny live
+  /// deadline against real parallel execution and asserts only the
+  /// classification contract -- the exact answer or a clean
+  /// Cancelled/DeadlineExceeded/IoError, never a hang or a silent
+  /// truncation.
+  void RunResilience(const OpenTable& table, const Query& query,
+                     const ReferenceResult& oracle, const std::string& ctx,
+                     uint64_t seed) {
+    FileBackend file_backend;
+
+    // (a) transient faults healed by bounded retries, reconciled exactly
+    // against the injector's log: every injected error was either
+    // re-issued or given up on.
+    {
+      FaultSpec fault_spec;
+      fault_spec.seed = seed;
+      fault_spec.error_probability = 0.05;
+      FaultInjectingBackend faulty(&file_backend, fault_spec);
+      RetryPolicy policy;
+      policy.max_retries = 3;
+      policy.initial_backoff_micros = 0;  // retry at full speed
+      policy.seed = seed;
+      RetryingBackend retrying(&faulty, policy);
+      ExecStats exec_stats;
+      auto plan = BuildSerialPlan(table, query, &retrying, &exec_stats,
+                                  /*faulted=*/true, /*early_mat=*/false);
+      if (!plan.ok()) {
+        Fail(ctx + ": retry-run plan build failed: " +
+             plan.status().ToString());
+        return;
+      }
+      auto result = Execute(plan->get(), &exec_stats);
+      ++stats.resilience_runs;
+      stats.retry_injected += faulty.injected_errors();
+      stats.retry_attempts += retrying.attempts();
+      stats.retry_giveups += retrying.giveups();
+      if (faulty.injected_errors() !=
+          retrying.attempts() + retrying.giveups()) {
+        Fail(ctx + ": retry ledger does not reconcile (injected " +
+             std::to_string(faulty.injected_errors()) + " != attempts " +
+             std::to_string(retrying.attempts()) + " + giveups " +
+             std::to_string(retrying.giveups()) + ")");
+      }
+      uint64_t rows = 0;
+      uint64_t checksum = 0;
+      if (result.ok()) {
+        rows = result->rows;
+        checksum = result->output_checksum;
+        if (rows != oracle.rows || checksum != oracle.output_checksum) {
+          Fail(ctx + ": SILENTLY WRONG after retries (rows " +
+               std::to_string(rows) + " vs " + std::to_string(oracle.rows) +
+               ")");
+        }
+      } else if (result.status().code() != StatusCode::kIoError) {
+        // Only transient errors are injected, so the one legal failure
+        // is the retry layer giving up and surfacing IoError.
+        Fail(ctx + ": retry run failed with unexpected status: " +
+             result.status().ToString());
+      }
+      FoldOutcome(6, result.status(), rows, checksum);
+    }
+
+    // (b) pre-cancelled context: deterministically kCancelled, at most
+    // one page of work in.
+    {
+      QueryContext qctx;
+      qctx.Cancel();
+      ExecStats exec_stats;
+      exec_stats.set_context(&qctx);
+      auto plan = BuildSerialPlan(table, query, &file_backend, &exec_stats,
+                                  /*faulted=*/false, /*early_mat=*/false);
+      if (!plan.ok()) {
+        Fail(ctx + ": cancelled-run plan build failed: " +
+             plan.status().ToString());
+        return;
+      }
+      auto result = Execute(plan->get(), &exec_stats);
+      ++stats.resilience_runs;
+      if (!result.ok() && result.status().IsCancelled()) {
+        ++stats.cancelled_runs;
+      } else {
+        Fail(ctx + ": pre-cancelled query returned " +
+             result.status().ToString());
+      }
+      FoldOutcome(7, result.status(), 0, 0);
+    }
+
+    // (c) already-expired deadline: deterministically kDeadlineExceeded.
+    {
+      QueryContext qctx;
+      qctx.set_deadline(std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1));
+      ExecStats exec_stats;
+      exec_stats.set_context(&qctx);
+      auto plan = BuildSerialPlan(table, query, &file_backend, &exec_stats,
+                                  /*faulted=*/false, /*early_mat=*/false);
+      if (!plan.ok()) {
+        Fail(ctx + ": deadline-run plan build failed: " +
+             plan.status().ToString());
+        return;
+      }
+      auto result = Execute(plan->get(), &exec_stats);
+      ++stats.resilience_runs;
+      if (!result.ok() && result.status().IsDeadlineExceeded()) {
+        ++stats.deadline_runs;
+      } else {
+        Fail(ctx + ": expired-deadline query returned " +
+             result.status().ToString());
+      }
+      FoldOutcome(8, result.status(), 0, 0);
+    }
+
+    // (d) a live sub-millisecond deadline racing real parallel
+    // execution. Timing-dependent, so the outcome is NOT folded into the
+    // state hash; the contract is classification only.
+    {
+      Random rng(Mix(seed, 77));
+      QueryContext qctx = QueryContext::WithTimeout(
+          std::chrono::microseconds(rng.Uniform(800)));
+      ParallelScanPlan plan;
+      plan.table = &table;
+      plan.spec = query.spec;
+      plan.backend = &file_backend;
+      if (query.has_agg) {
+        plan.agg = &query.agg;
+        plan.use_sort_aggregate = true;
+      }
+      plan.context = &qctx;
+      auto result = ParallelExecute(plan, options.parallelism);
+      ++stats.resilience_runs;
+      ++stats.live_deadline_runs;
+      if (result.ok()) {
+        if (result->result.rows != oracle.rows ||
+            result->result.output_checksum != oracle.output_checksum) {
+          Fail(ctx + ": live-deadline run beat the clock but diverged "
+                     "from the oracle");
+        }
+      } else if (!result.status().IsDeadlineExceeded() &&
+                 !result.status().IsCancelled()) {
+        Fail(ctx + ": live-deadline run failed with unexpected status: " +
+             result.status().ToString());
+      }
+    }
   }
 
   Status RunIteration(uint64_t iter) {
@@ -713,6 +877,8 @@ struct Runner {
                    Mix(iter_seed, 101 + 2 * (compressed * 3 + l)), true);
         RunCachedFaulted(table, query, oracle, ctx + " cached-fault",
                          Mix(iter_seed, 700 + 2 * (compressed * 3 + l)));
+        RunResilience(table, query, oracle, ctx + " resilience",
+                      Mix(iter_seed, 900 + compressed * 3 + l));
       }
     }
     std::filesystem::remove_all(dir, ec);
@@ -760,6 +926,11 @@ Result<FuzzStats> RunFuzz(const FuzzOptions& options) {
              " correct answers), " +
              std::to_string(runner.stats.injected_faults) +
              " faults injected, " +
+             std::to_string(runner.stats.resilience_runs) +
+             " resilience runs (retry ledger " +
+             std::to_string(runner.stats.retry_injected) + " injected = " +
+             std::to_string(runner.stats.retry_attempts) + " attempts + " +
+             std::to_string(runner.stats.retry_giveups) + " giveups), " +
              std::to_string(runner.stats.mismatches) + " mismatches");
   return runner.stats;
 }

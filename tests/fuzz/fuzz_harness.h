@@ -37,8 +37,27 @@ struct FuzzStats {
   uint64_t fault_runs = 0;        ///< runs against the fault-injecting I/O
   uint64_t fault_errors = 0;      ///< fault runs -> clean Status error
   uint64_t fault_successes = 0;   ///< fault runs -> ok, matched the oracle
-  uint64_t injected_faults = 0;   ///< faults the backends actually fired
+  /// Faults the backends actually fired. Outcome-deterministic but not
+  /// volume-deterministic: in parallel faulted runs a failing worker
+  /// cancels its siblings, which stop after a timing-dependent number
+  /// of draws (each per-stream sequence is still seeded).
+  uint64_t injected_faults = 0;
   uint64_t invariance_checks = 0; ///< stats-invariance cross-checks performed
+  /// Resilience axis: every run executes under a QueryContext (deadline,
+  /// cancellation, bounded retries) and must either match the oracle or
+  /// fail with Cancelled / DeadlineExceeded / IoError -- never hang,
+  /// crash or silently truncate.
+  uint64_t resilience_runs = 0;
+  uint64_t cancelled_runs = 0;    ///< pre-cancelled ctx -> kCancelled
+  uint64_t deadline_runs = 0;     ///< expired deadline -> kDeadlineExceeded
+  uint64_t live_deadline_runs = 0;///< racing a real deadline (not folded)
+  /// Retry reconciliation against the injected-fault log: with the retry
+  /// layer directly above the injector, every injected transient error is
+  /// re-issued or given up on, exactly:
+  ///   retry_injected == retry_attempts + retry_giveups.
+  uint64_t retry_injected = 0;
+  uint64_t retry_attempts = 0;
+  uint64_t retry_giveups = 0;
   uint64_t mismatches = 0;        ///< MUST be zero
   /// Order-sensitive FNV-1a digest of every dataset and every outcome
   /// (status codes, row counts, output checksums -- no messages or

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace rodb::fuzz {
 namespace {
 
@@ -22,6 +24,11 @@ FuzzOptions SmokeOptions(uint64_t seed, int iterations) {
 }
 
 TEST(FuzzTest, SmokeMatrixAgainstOracle) {
+  auto& reg = obs::MetricsRegistry::Default();
+  const uint64_t retry_attempts_before =
+      reg.GetCounter("rodb.resilience.retry.attempts")->Value();
+  const uint64_t retry_giveups_before =
+      reg.GetCounter("rodb.resilience.retry.giveups")->Value();
   auto stats = RunFuzz(SmokeOptions(/*seed=*/1, /*iterations=*/12));
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   for (const std::string& failure : stats->failures) {
@@ -44,6 +51,25 @@ TEST(FuzzTest, SmokeMatrixAgainstOracle) {
   EXPECT_GT(stats->fault_errors, 0u);
   EXPECT_EQ(stats->fault_errors + stats->fault_successes,
             stats->fault_runs);
+  // The resilience axis ran for every table: a retry-healed fault run, a
+  // pre-cancelled context, an expired deadline and a live deadline race.
+  EXPECT_EQ(stats->resilience_runs, 12u * 6u * 4u);
+  EXPECT_EQ(stats->cancelled_runs, 12u * 6u);
+  EXPECT_EQ(stats->deadline_runs, 12u * 6u);
+  EXPECT_EQ(stats->live_deadline_runs, 12u * 6u);
+  // Retry ledger: transient faults fired and every one is accounted for
+  // -- re-issued or given up on, nothing lost, nothing double-counted.
+  EXPECT_GT(stats->retry_injected, 0u);
+  EXPECT_EQ(stats->retry_injected,
+            stats->retry_attempts + stats->retry_giveups);
+  // And the process-wide rodb.resilience.* counters tell the same story
+  // as the harness's own ledger.
+  EXPECT_EQ(reg.GetCounter("rodb.resilience.retry.attempts")->Value() -
+                retry_attempts_before,
+            stats->retry_attempts);
+  EXPECT_EQ(reg.GetCounter("rodb.resilience.retry.giveups")->Value() -
+                retry_giveups_before,
+            stats->retry_giveups);
 }
 
 TEST(FuzzTest, SameSeedIsByteIdentical) {
@@ -58,9 +84,21 @@ TEST(FuzzTest, SameSeedIsByteIdentical) {
   EXPECT_EQ(first->mismatches, 0u);
   EXPECT_EQ(second->mismatches, 0u);
   EXPECT_EQ(first->state_hash, second->state_hash);
-  EXPECT_EQ(first->injected_faults, second->injected_faults);
+  // Fault *outcomes* are deterministic; the injected-fault volume is
+  // not quite: in parallel faulted runs a failing worker cancels its
+  // siblings, which then stop at timing-dependent morsel boundaries
+  // after a timing-dependent number of (deterministic per-stream)
+  // fault draws. Whether the run errors is unaffected -- cancellation
+  // only ever starts after a genuine failure.
+  EXPECT_GT(first->injected_faults, 0u);
+  EXPECT_GT(second->injected_faults, 0u);
   EXPECT_EQ(first->fault_errors, second->fault_errors);
   EXPECT_EQ(first->fault_successes, second->fault_successes);
+  // The deterministic resilience configurations replay exactly too: the
+  // same transient faults are injected and the same retries fire.
+  EXPECT_EQ(first->retry_injected, second->retry_injected);
+  EXPECT_EQ(first->retry_attempts, second->retry_attempts);
+  EXPECT_EQ(first->retry_giveups, second->retry_giveups);
 }
 
 TEST(FuzzTest, DifferentSeedsDiverge) {

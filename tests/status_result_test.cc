@@ -34,6 +34,32 @@ TEST(StatusTest, AllFactoryCodesMatch) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, ResilienceCodePredicates) {
+  EXPECT_TRUE(Status::Cancelled("stop").IsCancelled());
+  EXPECT_FALSE(Status::Cancelled("stop").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::DeadlineExceeded("late").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::DeadlineExceeded("late").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("full").IsResourceExhausted());
+}
+
+TEST(StatusTest, TransientClassification) {
+  // Transient: a bounded retry may clear these.
+  EXPECT_TRUE(IsTransient(StatusCode::kIoError));
+  EXPECT_TRUE(IsTransient(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(Status::IoError("flaky").IsTransient());
+  // Permanent for the current attempt: retrying cannot help.
+  EXPECT_FALSE(IsTransient(StatusCode::kCorruption));
+  EXPECT_FALSE(IsTransient(StatusCode::kCancelled));
+  EXPECT_FALSE(IsTransient(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsTransient(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransient(StatusCode::kNotFound));
+  EXPECT_FALSE(IsTransient(StatusCode::kOk));
+  EXPECT_FALSE(Status::Corruption("bits").IsTransient());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -46,6 +72,9 @@ TEST(StatusCodeNameTest, NamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "Ok");
   EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
   EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -3,7 +3,9 @@
 // Per iteration: generate a random schema / codec assignment / dataset /
 // query, materialize it as row, column and PAX tables (compressed and
 // uncompressed), and cross-check every scanner x {serial, parallel} x
-// {clean I/O, fault-injected I/O} against the reference oracle. Exit
+// {clean I/O, fault-injected I/O} against the reference oracle, plus the
+// resilience axis: retry-healed transient faults (with an exact
+// injected-vs-retried ledger), cancelled and deadlined contexts. Exit
 // status 0 means zero mismatches; any failure reproduces from --seed.
 //
 //   rodb_fuzz --iterations=200 --seed=1

@@ -9,11 +9,16 @@
 //   rodbctl scan <dir> <table> [limit [attr op value]] [--trace]
 //       print tuples (optionally filtered by one predicate); `op` is one
 //       of = != < <= > >=; --trace drains the whole scan and prints the
-//       span tree plus the predicted-vs-measured model comparison
+//       span tree plus the predicted-vs-measured model comparison.
+//       --deadline-ms / --max-retries / --mem-budget-mb run the scan
+//       under a QueryContext: it stops with DeadlineExceeded past the
+//       deadline, retries transient I/O errors with bounded backoff,
+//       and fails with ResourceExhausted past the memory budget.
 //   rodbctl advise <dir> <table>
 //       run the compression advisor over a sample of the stored data
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +34,7 @@
 #include "common/stopwatch.h"
 #include "engine/executor.h"
 #include "engine/plan_builder.h"
+#include "engine/query_context.h"
 #include "io/block_cache.h"
 #include "io/file_backend.h"
 #include "obs/model_comparison.h"
@@ -171,9 +177,17 @@ void PrintValue(const AttributeDesc& attr, const uint8_t* value) {
   std::printf("\"%.*s\"", attr.width, reinterpret_cast<const char*>(value));
 }
 
+/// Per-scan resilience knobs (see docs/RESILIENCE.md). Zero = off.
+struct ResilienceFlags {
+  int deadline_ms = 0;
+  int max_retries = 0;
+  int mem_budget_mb = 0;
+};
+
 Status CmdScan(const std::string& dir, const std::string& name,
                uint64_t limit, const char* where_attr, const char* where_op,
-               const char* where_value, int cache_mb, bool trace) {
+               const char* where_value, int cache_mb, bool trace,
+               const ResilienceFlags& resilience) {
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   const Schema& schema = table.schema();
   std::unique_ptr<BlockCache> cache;
@@ -220,6 +234,20 @@ Status CmdScan(const std::string& dir, const std::string& name,
   ExecStats stats;
   obs::QueryTrace qtrace;
   if (trace) stats.set_trace(&qtrace);
+  QueryContext ctx;
+  if (resilience.deadline_ms > 0) {
+    ctx.set_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(resilience.deadline_ms));
+  }
+  if (resilience.max_retries > 0) {
+    ctx.set_retry_policy(
+        RetryPolicy::BoundedBackoff(resilience.max_retries));
+  }
+  if (resilience.mem_budget_mb > 0) {
+    ctx.set_memory_budget(std::make_shared<MemoryBudget>(
+        static_cast<uint64_t>(resilience.mem_budget_mb) << 20));
+  }
+  stats.set_context(&ctx);
   RODB_ASSIGN_OR_RETURN(OperatorPtr plan,
                         PlanBuilder::Scan(&table, spec, &backend, &stats)
                             .Build());
@@ -236,6 +264,7 @@ Status CmdScan(const std::string& dir, const std::string& name,
     }
     bool done = false;
     while (!done) {
+      RODB_RETURN_IF_ERROR(stats.CheckAlive());
       RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
       if (block == nullptr) break;
       for (uint32_t i = 0; i < block->size() && printed < limit; ++i) {
@@ -323,6 +352,8 @@ void Usage() {
                "  rodbctl verify <dir> <table>\n"
                "  rodbctl scan <dir> <table> [limit [attr op value]]"
                " [--cache-mb=N] [--trace]\n"
+               "              [--deadline-ms=N] [--max-retries=N]"
+               " [--mem-budget-mb=N]\n"
                "  rodbctl advise <dir> <table>\n");
 }
 
@@ -361,16 +392,32 @@ int main(int argc, char** argv) {
     // the positional [limit [attr op value]] arguments.
     int cache_mb = 0;
     bool trace = false;
+    ResilienceFlags resilience;
+    // Positive-integer --flag=N parser shared by the resilience knobs.
+    const auto parse_int_flag = [](const char* arg, const char* flag,
+                                   int* out) {
+      const size_t n = std::strlen(flag);
+      if (std::strncmp(arg, flag, n) != 0) return false;
+      *out = std::atoi(arg + n);
+      if (*out <= 0) {
+        std::fprintf(stderr, "rodbctl: bad %.*s value: %s\n",
+                     static_cast<int>(n - 1), flag, arg + n);
+        std::exit(2);
+      }
+      return true;
+    };
     std::vector<const char*> pos;
     for (int i = 4; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
-        cache_mb = std::atoi(argv[i] + 11);
-        if (cache_mb <= 0) {
-          std::fprintf(stderr, "rodbctl: bad --cache-mb value: %s\n",
-                       argv[i] + 11);
-          return 2;
-        }
-      } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (parse_int_flag(argv[i], "--cache-mb=", &cache_mb) ||
+          parse_int_flag(argv[i], "--deadline-ms=",
+                         &resilience.deadline_ms) ||
+          parse_int_flag(argv[i], "--max-retries=",
+                         &resilience.max_retries) ||
+          parse_int_flag(argv[i], "--mem-budget-mb=",
+                         &resilience.mem_budget_mb)) {
+        continue;
+      }
+      if (std::strcmp(argv[i], "--trace") == 0) {
         trace = true;
       } else {
         pos.push_back(argv[i]);
@@ -381,8 +428,8 @@ int main(int argc, char** argv) {
     const char* attr = pos.size() > 3 ? pos[1] : nullptr;
     const char* op = pos.size() > 3 ? pos[2] : nullptr;
     const char* value = pos.size() > 3 ? pos[3] : nullptr;
-    const Status s =
-        CmdScan(dir, table, limit, attr, op, value, cache_mb, trace);
+    const Status s = CmdScan(dir, table, limit, attr, op, value, cache_mb,
+                             trace, resilience);
     return s.ok() ? 0 : Fail(s);
   }
   Usage();

@@ -22,9 +22,15 @@ FUZZ_ITERATIONS="${2:-200}"
 # block_cache_test's concurrent-reader cases and the fuzz harness's
 # cached axis (cold/warm passes over one shared BlockCache) both stress
 # the per-shard locking under TSan; obs_test races registry snapshots
-# against sharded-counter increments and morsel span timers.
+# against sharded-counter increments and morsel span timers. The
+# resilience suites race cancellation/deadline flags against running
+# workers, retry loops against fault injection, and admission
+# queue/budget handoffs across threads; robustness_sweep_test drives
+# the whole matrix under injected faults.
 TSAN_TESTS=(parallel_executor_test scanner_equivalence_test
-            block_cache_test fuzz_test obs_test)
+            block_cache_test fuzz_test obs_test
+            resilience_test retry_backend_test admission_test
+            robustness_sweep_test)
 
 status=0
 

@@ -54,5 +54,41 @@ int main() {
   std::printf("  wide tuples, I/O bound: speedup(32B, cpdb 144) = %.2f "
               "(-> 2 at 50%% projection)  %s\n",
               at(32, 144), at(32, 144) > 1.6 ? "OK" : "MISMATCH");
+
+  // Before/after the vectorized scan kernels (src/kernels/): the same
+  // grid with the column system's deepest node costed through the batched
+  // selection-mask kernels. Rows stay scalar, so the CPU-bound corner of
+  // the plot shifts in the columns' favor.
+  ContourParams vparams = params;
+  vparams.vectorized = true;
+  const auto vcells = GenerateSpeedupContour(vparams);
+
+  std::printf("\nwith vectorized column scan kernels:\n%-18s",
+              "cpdb \\ width");
+  for (double w : vparams.tuple_widths) std::printf("%7.0fB", w);
+  std::printf("\n");
+  i = 0;
+  for (double cpdb : vparams.cpdbs) {
+    std::printf("%-18.0f", cpdb);
+    for (size_t k = 0; k < vparams.tuple_widths.size(); ++k) {
+      std::printf("%8.2f", vcells[i++].speedup);
+    }
+    std::printf("\n");
+  }
+
+  const auto emit_json = [](const char* mode,
+                            const std::vector<ContourCell>& grid) {
+    std::printf("JSON {\"figure\":\"fig02\",\"mode\":\"%s\",\"cells\":[",
+                mode);
+    for (size_t k = 0; k < grid.size(); ++k) {
+      std::printf("%s{\"width\":%.0f,\"cpdb\":%.0f,\"speedup\":%.4f}",
+                  k == 0 ? "" : ",", grid[k].tuple_width, grid[k].cpdb,
+                  grid[k].speedup);
+    }
+    std::printf("]}\n");
+  };
+  std::printf("\n");
+  emit_json("scalar", cells);
+  emit_json("vectorized", vcells);
   return 0;
 }

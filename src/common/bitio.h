@@ -70,6 +70,13 @@ class BitReader {
   size_t bit_pos() const { return bit_pos_; }
   bool overrun() const { return overrun_; }
 
+  /// Raw buffer access for the batched scan kernels (src/kernels/), which
+  /// load whole 64-bit windows instead of going through Get(). The kernels
+  /// stay within [data(), data() + size_bits()/8) and re-position the
+  /// reader with SeekToBit() when done.
+  const uint8_t* data() const { return buffer_; }
+  size_t size_bits() const { return size_bits_; }
+
  private:
   const uint8_t* buffer_;
   size_t size_bits_;

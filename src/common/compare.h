@@ -1,0 +1,30 @@
+#ifndef RODB_COMMON_COMPARE_H_
+#define RODB_COMMON_COMPARE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rodb {
+
+/// The SARGable comparison operators of the paper's scan queries
+/// (Section 2.2.3). Lives in common/ because both the engine's Predicate
+/// and the compression layer's packed-scan kernels speak it: kernels bind
+/// (op, operand) pairs into code-domain ranges and evaluate them on
+/// compressed data without ever seeing engine types.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+inline std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace rodb
+
+#endif  // RODB_COMMON_COMPARE_H_

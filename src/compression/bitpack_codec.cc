@@ -28,6 +28,37 @@ void NoneCodec::DecodeValue(BitReader* reader, uint8_t* out) {
   }
 }
 
+void NoneCodec::DecodeBatch(BitReader* reader, size_t n, uint8_t* out) {
+  if ((reader->bit_pos() & 7) == 0) {
+    reader->GetBytes(out, n * static_cast<size_t>(raw_width_));
+    return;
+  }
+  AttributeCodec::DecodeBatch(reader, n, out);
+}
+
+bool NoneCodec::BindPredicate(CompareOp op, const uint8_t* operand,
+                              size_t operand_len, bool is_text,
+                              kernels::PackedPredicate* out) const {
+  if (is_text || raw_width_ != 4 || operand_len != 4) return false;
+  // Signed int32 order over the raw stored word: flip the sign bit.
+  const uint32_t key = LoadLE32(operand) ^ 0x80000000u;
+  *out = kernels::PackedPredicate::Range(op, static_cast<int64_t>(key),
+                                         0xFFFFFFFFu, 0x80000000u);
+  return true;
+}
+
+void NoneCodec::ScanBatch(BitReader* reader, size_t n,
+                          const kernels::PackedPredicate& pred,
+                          kernels::BitVector* sel, size_t base) {
+  kernels::ScanPacked(reader->data(), reader->size_bits(), reader->bit_pos(),
+                      32, n, pred, sel, base);
+  reader->Skip(n * 32);
+}
+
+uint32_t NoneCodec::DecodeScanKey(BitReader* reader) {
+  return static_cast<uint32_t>(reader->Get(32));
+}
+
 // --- BitPackCodec ---
 
 bool BitPackCodec::EncodeValue(const uint8_t* raw, BitWriter* writer) {
@@ -41,6 +72,44 @@ bool BitPackCodec::EncodeValue(const uint8_t* raw, BitWriter* writer) {
 
 void BitPackCodec::DecodeValue(BitReader* reader, uint8_t* out) {
   StoreLE32s(out, static_cast<int32_t>(reader->Get(bits_)));
+}
+
+void BitPackCodec::DecodeBatch(BitReader* reader, size_t n, uint8_t* out) {
+  uint32_t tmp[256];
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = n - done < 256 ? n - done : 256;
+    kernels::UnpackBits(reader->data(), reader->size_bits(),
+                        reader->bit_pos(), bits_, chunk, tmp);
+    reader->Skip(chunk * static_cast<size_t>(bits_));
+    for (size_t i = 0; i < chunk; ++i) {
+      StoreLE32s(out + (done + i) * 4, static_cast<int32_t>(tmp[i]));
+    }
+    done += chunk;
+  }
+}
+
+bool BitPackCodec::BindPredicate(CompareOp op, const uint8_t* operand,
+                                 size_t operand_len, bool is_text,
+                                 kernels::PackedPredicate* out) const {
+  if (is_text || operand_len != 4) return false;
+  // Stored values are non-negative, so the packed code IS the value and
+  // unsigned code order matches signed value order.
+  *out = kernels::PackedPredicate::Range(
+      op, static_cast<int64_t>(LoadLE32s(operand)), CodeDomainMax(bits_), 0);
+  return true;
+}
+
+void BitPackCodec::ScanBatch(BitReader* reader, size_t n,
+                             const kernels::PackedPredicate& pred,
+                             kernels::BitVector* sel, size_t base) {
+  kernels::ScanPacked(reader->data(), reader->size_bits(), reader->bit_pos(),
+                      bits_, n, pred, sel, base);
+  reader->Skip(n * static_cast<size_t>(bits_));
+}
+
+uint32_t BitPackCodec::DecodeScanKey(BitReader* reader) {
+  return static_cast<uint32_t>(reader->Get(bits_));
 }
 
 // --- DictCodec ---
@@ -62,6 +131,77 @@ void DictCodec::DecodeValue(BitReader* reader, uint8_t* out) {
     return;
   }
   std::memcpy(out, entry, static_cast<size_t>(raw_width_));
+}
+
+void DictCodec::DecodeBatch(BitReader* reader, size_t n, uint8_t* out) {
+  const size_t width = static_cast<size_t>(raw_width_);
+  uint32_t codes[256];
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = n - done < 256 ? n - done : 256;
+    kernels::UnpackBits(reader->data(), reader->size_bits(),
+                        reader->bit_pos(), bits_, chunk, codes);
+    reader->Skip(chunk * static_cast<size_t>(bits_));
+    for (size_t i = 0; i < chunk; ++i) {
+      uint8_t* dst = out + (done + i) * width;
+      const uint8_t* entry = dict_->Decode(codes[i]);
+      if (entry == nullptr) {
+        std::memset(dst, 0, width);
+      } else {
+        std::memcpy(dst, entry, width);
+      }
+    }
+    done += chunk;
+  }
+}
+
+bool DictCodec::BindPredicate(CompareOp op, const uint8_t* operand,
+                              size_t operand_len, bool is_text,
+                              kernels::PackedPredicate* out) const {
+  // A bitmap over the full code domain; cap the bitmap at 64Ki entries.
+  if (bits_ > 16) return false;
+  if (is_text) {
+    if (operand_len > static_cast<size_t>(raw_width_)) return false;
+  } else {
+    if (operand_len != 4 || raw_width_ != 4) return false;
+  }
+  const uint32_t domain = CodeDomainMax(bits_) + 1;
+  out->mode = kernels::PackedPredicate::Mode::kBitmap;
+  out->negate = false;
+  out->empty = false;
+  out->bitmap_bits = domain;
+  out->bitmap.assign((domain + 63) / 64, 0);
+  // Codes past the dictionary decode to a zeroed value (see DecodeValue);
+  // evaluating the predicate against zeros keeps the kernel bit-for-bit
+  // equal to the scalar path even on corrupt pages.
+  const std::vector<uint8_t> zeros(static_cast<size_t>(raw_width_), 0);
+  for (uint32_t code = 0; code < domain; ++code) {
+    const uint8_t* entry = dict_->Decode(code);
+    if (entry == nullptr) entry = zeros.data();
+    bool match;
+    if (is_text) {
+      const int c = std::memcmp(entry, operand, operand_len);
+      match = EvalCompare(op, c < 0, c == 0);
+    } else {
+      const int32_t v = LoadLE32s(entry);
+      const int32_t o = LoadLE32s(operand);
+      match = EvalCompare(op, v < o, v == o);
+    }
+    if (match) out->bitmap[code / 64] |= uint64_t{1} << (code % 64);
+  }
+  return true;
+}
+
+void DictCodec::ScanBatch(BitReader* reader, size_t n,
+                          const kernels::PackedPredicate& pred,
+                          kernels::BitVector* sel, size_t base) {
+  kernels::ScanPacked(reader->data(), reader->size_bits(), reader->bit_pos(),
+                      bits_, n, pred, sel, base);
+  reader->Skip(n * static_cast<size_t>(bits_));
+}
+
+uint32_t DictCodec::DecodeScanKey(BitReader* reader) {
+  return static_cast<uint32_t>(reader->Get(bits_));
 }
 
 // --- CharPackCodec ---

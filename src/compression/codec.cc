@@ -1,9 +1,60 @@
 #include "compression/codec.h"
 
+#include "common/macros.h"
 #include "compression/codecs_internal.h"
 #include "compression/dictionary.h"
 
 namespace rodb {
+
+uint32_t AttributeCodec::DecodeCode(BitReader* reader) {
+  (void)reader;
+  // A codec claiming SupportsCodeDecoding() must override this; silently
+  // skipping bits and returning code 0 would feed garbage codes into
+  // compressed evaluation.
+  RODB_CHECK(false && "DecodeCode called on a codec without code support");
+  return 0;
+}
+
+uint32_t AttributeCodec::DecodeScanKey(BitReader* reader) {
+  (void)reader;
+  // Reachable only if a codec returns true from BindPredicate without
+  // overriding the scan-key decode: a codec bug, not a data error.
+  RODB_CHECK(false && "DecodeScanKey called on a codec without kernels");
+  return 0;
+}
+
+void AttributeCodec::DecodeBatch(BitReader* reader, size_t n, uint8_t* out) {
+  const size_t width = static_cast<size_t>(raw_width());
+  for (size_t i = 0; i < n; ++i) DecodeValue(reader, out + i * width);
+}
+
+bool AttributeCodec::BindPredicate(CompareOp op, const uint8_t* operand,
+                                   size_t operand_len, bool is_text,
+                                   kernels::PackedPredicate* out) const {
+  (void)op;
+  (void)operand;
+  (void)operand_len;
+  (void)is_text;
+  (void)out;
+  return false;
+}
+
+void AttributeCodec::ScanBatch(BitReader* reader, size_t n,
+                               const kernels::PackedPredicate& pred,
+                               kernels::BitVector* sel, size_t base) {
+  // Scalar reference: one key at a time through the scalar oracle. The
+  // concrete codecs override this with the word-at-a-time kernels; this
+  // default is what the equivalence tests diff them against.
+  uint64_t* words = sel->words() + base / 64;
+  for (size_t done = 0; done < n; done += 64) {
+    const size_t count = n - done < 64 ? n - done : 64;
+    uint64_t word = 0;
+    for (size_t i = 0; i < count; ++i) {
+      word |= static_cast<uint64_t>(pred.Matches(DecodeScanKey(reader))) << i;
+    }
+    words[done / 64] = word;
+  }
+}
 
 std::string_view CompressionKindName(CompressionKind kind) {
   switch (kind) {

@@ -6,8 +6,10 @@
 #include <string_view>
 
 #include "common/bitio.h"
+#include "common/compare.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "kernels/scan_kernels.h"
 
 namespace rodb {
 
@@ -106,11 +108,47 @@ class AttributeCodec {
   /// codec has no code representation.
   virtual bool SupportsCodeDecoding() const { return false; }
   /// Reads the next value's code without materializing it. Only valid
-  /// when SupportsCodeDecoding().
-  virtual uint32_t DecodeCode(BitReader* reader) {
-    reader->Skip(static_cast<size_t>(encoded_bits()));
-    return 0;
-  }
+  /// when SupportsCodeDecoding(); the base implementation aborts so a
+  /// codec claiming code support can never fall through to garbage codes.
+  virtual uint32_t DecodeCode(BitReader* reader);
+
+  // --- Batched kernels (src/kernels/) ------------------------------------
+  // The scan hot path works in batches instead of one virtual call per
+  // value: DecodeBatch materializes n values, BindPredicate canonicalizes
+  // a SARGable predicate into the codec's packed key domain, and ScanBatch
+  // evaluates the bound predicate over n packed values into a selection
+  // mask without materializing anything.
+
+  /// Decodes `n` values into out (n * raw_width() bytes). The default
+  /// loops DecodeValue; codecs override with word-at-a-time unpacking.
+  virtual void DecodeBatch(BitReader* reader, size_t n, uint8_t* out);
+
+  /// Binds (op, operand) for direct evaluation on this codec's packed
+  /// representation. Returns false when the combination cannot run packed
+  /// (the caller falls back to decode-then-filter). `is_text` selects
+  /// Predicate's text semantics: byte-wise comparison over the operand's
+  /// `operand_len` bytes (prefix compare when shorter than the value).
+  /// Page-meta codecs (FOR) bind relative to the current page: call after
+  /// BeginDecode and re-bind per page.
+  virtual bool BindPredicate(CompareOp op, const uint8_t* operand,
+                             size_t operand_len, bool is_text,
+                             kernels::PackedPredicate* out) const;
+
+  /// Evaluates a bound predicate over the next `n` packed values,
+  /// overwriting bits [base, base + n) of `sel` (base % 64 == 0, whole
+  /// words are written) and advancing the reader past the n values. Only
+  /// valid after BindPredicate returned true. The default decodes scan
+  /// keys one by one and applies the scalar oracle; codecs override with
+  /// the kernels in src/kernels/.
+  virtual void ScanBatch(BitReader* reader, size_t n,
+                         const kernels::PackedPredicate& pred,
+                         kernels::BitVector* sel, size_t base);
+
+ protected:
+  /// Reads the next value's packed comparison key -- the domain
+  /// BindPredicate's output lives in. Backs the default ScanBatch; only
+  /// codecs that can bind predicates need it.
+  virtual uint32_t DecodeScanKey(BitReader* reader);
 };
 
 /// Creates the codec for an attribute. `raw_width` is the decoded value

@@ -11,6 +11,26 @@
 
 namespace rodb::internal {
 
+/// Predicate::Eval's comparison table, replicated for code-domain bitmap
+/// building (the compression layer cannot depend on engine/Predicate, but
+/// the bitmap must reproduce its semantics bit-for-bit).
+inline bool EvalCompare(CompareOp op, bool lt, bool eq) {
+  switch (op) {
+    case CompareOp::kEq: return eq;
+    case CompareOp::kNe: return !eq;
+    case CompareOp::kLt: return lt;
+    case CompareOp::kLe: return lt || eq;
+    case CompareOp::kGt: return !lt && !eq;
+    case CompareOp::kGe: return !lt;
+  }
+  return false;
+}
+
+/// Largest key representable in `bits` packed bits.
+inline uint32_t CodeDomainMax(int bits) {
+  return bits >= 32 ? 0xFFFFFFFFu : (uint32_t{1} << bits) - 1;
+}
+
 /// Identity codec: raw fixed-width bytes.
 class NoneCodec final : public AttributeCodec {
  public:
@@ -20,6 +40,18 @@ class NoneCodec final : public AttributeCodec {
   int raw_width() const override { return raw_width_; }
   bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
   void DecodeValue(BitReader* reader, uint8_t* out) override;
+  void DecodeBatch(BitReader* reader, size_t n, uint8_t* out) override;
+  /// int32 attributes only: key = raw little-endian word, sign-flipped by
+  /// the predicate's xor_mask to order signed values.
+  bool BindPredicate(CompareOp op, const uint8_t* operand, size_t operand_len,
+                     bool is_text,
+                     kernels::PackedPredicate* out) const override;
+  void ScanBatch(BitReader* reader, size_t n,
+                 const kernels::PackedPredicate& pred,
+                 kernels::BitVector* sel, size_t base) override;
+
+ protected:
+  uint32_t DecodeScanKey(BitReader* reader) override;
 
  private:
   int raw_width_;
@@ -34,6 +66,17 @@ class BitPackCodec final : public AttributeCodec {
   int raw_width() const override { return 4; }
   bool EncodeValue(const uint8_t* raw, BitWriter* writer) override;
   void DecodeValue(BitReader* reader, uint8_t* out) override;
+  void DecodeBatch(BitReader* reader, size_t n, uint8_t* out) override;
+  /// Key = the packed code itself (encoded values are non-negative).
+  bool BindPredicate(CompareOp op, const uint8_t* operand, size_t operand_len,
+                     bool is_text,
+                     kernels::PackedPredicate* out) const override;
+  void ScanBatch(BitReader* reader, size_t n,
+                 const kernels::PackedPredicate& pred,
+                 kernels::BitVector* sel, size_t base) override;
+
+ protected:
+  uint32_t DecodeScanKey(BitReader* reader) override;
 
  private:
   int bits_;
@@ -54,6 +97,19 @@ class DictCodec final : public AttributeCodec {
   uint32_t DecodeCode(BitReader* reader) override {
     return static_cast<uint32_t>(reader->Get(bits_));
   }
+  void DecodeBatch(BitReader* reader, size_t n, uint8_t* out) override;
+  /// Rewrites ANY comparison -- ordered and prefix included -- into a
+  /// per-code match bitmap by evaluating the predicate once per
+  /// dictionary entry, so filtering never materializes values.
+  bool BindPredicate(CompareOp op, const uint8_t* operand, size_t operand_len,
+                     bool is_text,
+                     kernels::PackedPredicate* out) const override;
+  void ScanBatch(BitReader* reader, size_t n,
+                 const kernels::PackedPredicate& pred,
+                 kernels::BitVector* sel, size_t base) override;
+
+ protected:
+  uint32_t DecodeScanKey(BitReader* reader) override;
 
  private:
   int bits_;
@@ -74,6 +130,18 @@ class ForCodec final : public AttributeCodec {
   void FinishPage(CodecPageMeta* meta) override;
   void BeginDecode(const CodecPageMeta& meta) override;
   void DecodeValue(BitReader* reader, uint8_t* out) override;
+  void DecodeBatch(BitReader* reader, size_t n, uint8_t* out) override;
+  /// Key = the stored diff; the operand shifts by the page base, so the
+  /// binding is per page (re-bind after BeginDecode).
+  bool BindPredicate(CompareOp op, const uint8_t* operand, size_t operand_len,
+                     bool is_text,
+                     kernels::PackedPredicate* out) const override;
+  void ScanBatch(BitReader* reader, size_t n,
+                 const kernels::PackedPredicate& pred,
+                 kernels::BitVector* sel, size_t base) override;
+
+ protected:
+  uint32_t DecodeScanKey(BitReader* reader) override;
 
  private:
   int bits_;
@@ -96,6 +164,21 @@ class ForDeltaCodec final : public AttributeCodec {
   void BeginDecode(const CodecPageMeta& meta) override;
   void DecodeValue(BitReader* reader, uint8_t* out) override;
   void SkipValue(BitReader* reader) override;
+  /// Batch-unpacks the zig-zag codes word-at-a-time, then runs the
+  /// (inherently sequential) prefix sum over plain integers.
+  void DecodeBatch(BitReader* reader, size_t n, uint8_t* out) override;
+  /// Key = the decoded int32 value (sign-flipped via xor_mask): FOR-delta
+  /// cannot compare without decoding, but the compare itself vectorizes
+  /// over the decoded batch.
+  bool BindPredicate(CompareOp op, const uint8_t* operand, size_t operand_len,
+                     bool is_text,
+                     kernels::PackedPredicate* out) const override;
+  void ScanBatch(BitReader* reader, size_t n,
+                 const kernels::PackedPredicate& pred,
+                 kernels::BitVector* sel, size_t base) override;
+
+ protected:
+  uint32_t DecodeScanKey(BitReader* reader) override;
 
  private:
   int bits_;

@@ -33,6 +33,46 @@ void ForCodec::DecodeValue(BitReader* reader, uint8_t* out) {
   StoreLE32s(out, static_cast<int32_t>(base_ + diff));
 }
 
+void ForCodec::DecodeBatch(BitReader* reader, size_t n, uint8_t* out) {
+  uint32_t diffs[256];
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = n - done < 256 ? n - done : 256;
+    kernels::UnpackBits(reader->data(), reader->size_bits(),
+                        reader->bit_pos(), bits_, chunk, diffs);
+    reader->Skip(chunk * static_cast<size_t>(bits_));
+    for (size_t i = 0; i < chunk; ++i) {
+      StoreLE32s(out + (done + i) * 4,
+                 static_cast<int32_t>(base_ + static_cast<int64_t>(diffs[i])));
+    }
+    done += chunk;
+  }
+}
+
+bool ForCodec::BindPredicate(CompareOp op, const uint8_t* operand,
+                             size_t operand_len, bool is_text,
+                             kernels::PackedPredicate* out) const {
+  if (is_text || operand_len != 4) return false;
+  // Key = the stored non-negative diff; value order equals diff order
+  // within a page, so the operand shifts by the page base. Values below
+  // the base (key < 0) or past the diff domain clamp inside Range().
+  const int64_t key = static_cast<int64_t>(LoadLE32s(operand)) - base_;
+  *out = kernels::PackedPredicate::Range(op, key, CodeDomainMax(bits_), 0);
+  return true;
+}
+
+void ForCodec::ScanBatch(BitReader* reader, size_t n,
+                         const kernels::PackedPredicate& pred,
+                         kernels::BitVector* sel, size_t base) {
+  kernels::ScanPacked(reader->data(), reader->size_bits(), reader->bit_pos(),
+                      bits_, n, pred, sel, base);
+  reader->Skip(n * static_cast<size_t>(bits_));
+}
+
+uint32_t ForCodec::DecodeScanKey(BitReader* reader) {
+  return static_cast<uint32_t>(reader->Get(bits_));
+}
+
 // --- ForDeltaCodec ---
 
 void ForDeltaCodec::BeginPage() {
@@ -74,6 +114,61 @@ void ForDeltaCodec::SkipValue(BitReader* reader) {
   // Cannot skip: the running value must be maintained (Section 4.4).
   const int64_t delta = ZigZagDecode(reader->Get(bits_));
   prev_decode_ += delta;
+}
+
+void ForDeltaCodec::DecodeBatch(BitReader* reader, size_t n, uint8_t* out) {
+  uint32_t zz[256];
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = n - done < 256 ? n - done : 256;
+    kernels::UnpackBits(reader->data(), reader->size_bits(),
+                        reader->bit_pos(), bits_, chunk, zz);
+    reader->Skip(chunk * static_cast<size_t>(bits_));
+    for (size_t i = 0; i < chunk; ++i) {
+      prev_decode_ += ZigZagDecode(zz[i]);
+      StoreLE32s(out + (done + i) * 4, static_cast<int32_t>(prev_decode_));
+    }
+    done += chunk;
+  }
+}
+
+bool ForDeltaCodec::BindPredicate(CompareOp op, const uint8_t* operand,
+                                  size_t operand_len, bool is_text,
+                                  kernels::PackedPredicate* out) const {
+  if (is_text || operand_len != 4) return false;
+  // Key = the decoded int32 value, sign-flipped into unsigned order.
+  const uint32_t key =
+      static_cast<uint32_t>(LoadLE32s(operand)) ^ 0x80000000u;
+  *out = kernels::PackedPredicate::Range(op, static_cast<int64_t>(key),
+                                         0xFFFFFFFFu, 0x80000000u);
+  return true;
+}
+
+void ForDeltaCodec::ScanBatch(BitReader* reader, size_t n,
+                              const kernels::PackedPredicate& pred,
+                              kernels::BitVector* sel, size_t base) {
+  // Decode is mandatory (prefix sum), but the compare over the decoded
+  // keys still vectorizes.
+  uint32_t zz[256];
+  uint32_t keys[256];
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = n - done < 256 ? n - done : 256;
+    kernels::UnpackBits(reader->data(), reader->size_bits(),
+                        reader->bit_pos(), bits_, chunk, zz);
+    reader->Skip(chunk * static_cast<size_t>(bits_));
+    for (size_t i = 0; i < chunk; ++i) {
+      prev_decode_ += ZigZagDecode(zz[i]);
+      keys[i] = static_cast<uint32_t>(static_cast<int32_t>(prev_decode_));
+    }
+    kernels::ScanKeys(keys, chunk, pred, sel, base + done);
+    done += chunk;
+  }
+}
+
+uint32_t ForDeltaCodec::DecodeScanKey(BitReader* reader) {
+  prev_decode_ += ZigZagDecode(reader->Get(bits_));
+  return static_cast<uint32_t>(static_cast<int32_t>(prev_decode_));
 }
 
 }  // namespace rodb::internal

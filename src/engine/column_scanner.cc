@@ -134,6 +134,14 @@ Result<OperatorPtr> ColumnScanner::Make(const OpenTable* table, ScanSpec spec,
         node.dict = dict;
       }
     }
+    // Vectorized kernel path (ScanSpec::vectorized): the deepest node
+    // filters whole pages into a selection mask. Dictionary predicates run
+    // in the code domain -- that is compressed evaluation, so they keep
+    // the compressed_eval gate.
+    if (k == 0 && !node.preds.empty() && s.vectorized &&
+        (node.codec_kind != CompressionKind::kDict || s.compressed_eval)) {
+      node.try_kernel = true;
+    }
     max_value_width = std::max(max_value_width, node.value_width);
     if (node.out_col >= 0) filled += node.value_width;
     node.filled_bytes = filled;
@@ -324,6 +332,140 @@ bool ColumnScanner::EvalCodePreds(const Node& node, uint32_t code) {
   return true;
 }
 
+bool ColumnScanner::BindNodePreds(Node& node) {
+  // Binding is page-invariant except for FOR, whose key domain shifts with
+  // the per-page base -- re-bind those on every page.
+  if (!node.packed_preds.empty() &&
+      node.codec_kind != CompressionKind::kFor) {
+    return true;
+  }
+  node.packed_preds.clear();
+  node.packed_preds.reserve(node.preds.size());
+  for (const Predicate& pred : node.preds) {
+    kernels::PackedPredicate packed;
+    bool ok;
+    if (pred.is_text()) {
+      ok = node.codec->BindPredicate(
+          pred.op(),
+          reinterpret_cast<const uint8_t*>(pred.text_operand().data()),
+          pred.text_operand().size(), /*is_text=*/true, &packed);
+    } else {
+      uint8_t operand[4];
+      StoreLE32s(operand, pred.int_operand());
+      ok = node.codec->BindPredicate(pred.op(), operand, sizeof(operand),
+                                     /*is_text=*/false, &packed);
+    }
+    if (!ok) {
+      // Bindability does not depend on the page; stop probing.
+      node.packed_preds.clear();
+      node.try_kernel = false;
+      return false;
+    }
+    node.packed_preds.push_back(std::move(packed));
+  }
+  return true;
+}
+
+void ColumnScanner::BuildPageMask(Node& node) {
+  ExecCounters& c = stats_->counters();
+  const uint32_t count = node.page->count();
+  const uint64_t limit =
+      std::min<uint64_t>(count, end_row_ - node.page_start_pos);
+  c.tuples_examined += limit;
+  node.page_mask.Reset(limit);
+  if (node.codec_kind == CompressionKind::kForDelta) {
+    // Delta pages are sequentially dependent: decode once, then run the
+    // vectorized compare over the materialized keys.
+    node.batch_scratch.resize(limit * static_cast<size_t>(node.value_width));
+    node.page->DecodeBatch(limit, node.batch_scratch.data());
+    CountDecode(node, limit);
+    uint32_t keys[256];
+    for (size_t p = 0; p < node.packed_preds.size(); ++p) {
+      kernels::BitVector* sel = &node.page_mask;
+      if (p > 0) {
+        node.pass_mask.Reset(limit);
+        sel = &node.pass_mask;
+      }
+      for (uint64_t done = 0; done < limit; done += 256) {
+        const size_t n =
+            static_cast<size_t>(std::min<uint64_t>(256, limit - done));
+        for (size_t i = 0; i < n; ++i) {
+          keys[i] = LoadLE32(node.batch_scratch.data() + (done + i) * 4);
+        }
+        kernels::ScanKeys(keys, n, node.packed_preds[p], sel, done);
+      }
+      c.kernel_batches += 1;
+      c.values_scanned_vectorized += limit;
+      if (p > 0) node.page_mask.AndWith(node.pass_mask);
+    }
+  } else {
+    for (size_t p = 0; p < node.packed_preds.size(); ++p) {
+      kernels::BitVector* sel = &node.page_mask;
+      if (p > 0) {
+        node.pass_mask.Reset(limit);
+        sel = &node.pass_mask;
+        node.page->Rewind();
+      }
+      node.page->ScanNext(limit, node.packed_preds[p], sel, 0);
+      c.kernel_batches += 1;
+      c.values_scanned_vectorized += limit;
+      if (node.codec_kind == CompressionKind::kDict && p == 0) {
+        // The first pass reads every code; later passes re-scan the same
+        // stream and are charged only the kernel work.
+        c.values_code_reads += limit;
+      }
+      if (p > 0) node.page_mask.AndWith(node.pass_mask);
+    }
+    // Leave the decode cursor at value 0 so EmitFromMask can materialize
+    // survivors with skip + decode.
+    node.page->Rewind();
+  }
+  node.touched_in_page = limit;
+  c.mask_skipped_values += limit - node.page_mask.Popcount();
+  node.mask_valid = true;
+  node.mask_limit = limit;
+  node.mask_next = 0;
+}
+
+void ColumnScanner::EmitFromMask(Node& node, TupleBlock& out) {
+  ExecCounters& c = stats_->counters();
+  uint8_t* value = value_scratch_.data();
+  const uint64_t* words = node.page_mask.words();
+  while (!out.full() && node.mask_next < node.mask_limit) {
+    const size_t w = static_cast<size_t>(node.mask_next >> 6);
+    const uint64_t word = words[w] >> (node.mask_next & 63);
+    if (word == 0) {
+      // Whole remaining word is dead: jump to the next word boundary.
+      node.mask_next = (static_cast<uint64_t>(w) + 1) * 64;
+      continue;
+    }
+    const uint64_t idx =
+        node.mask_next + static_cast<uint64_t>(__builtin_ctzll(word));
+    uint8_t* slot = out.AppendSlot();
+    out.set_position(out.size() - 1, node.page_start_pos + idx);
+    if (node.out_col >= 0) {
+      if (node.codec_kind == CompressionKind::kForDelta) {
+        // The page is already materialized in batch_scratch.
+        std::memcpy(value,
+                    node.batch_scratch.data() +
+                        idx * static_cast<size_t>(node.value_width),
+                    static_cast<size_t>(node.value_width));
+      } else {
+        const uint64_t gap = idx - node.consumed_in_page;
+        if (gap > 0) node.page->SkipValues(gap);
+        node.page->DecodeNext(value);
+        node.consumed_in_page = idx + 1;
+        CountDecode(node, 1);
+      }
+      std::memcpy(slot + layout_.offsets[static_cast<size_t>(node.out_col)],
+                  value, static_cast<size_t>(node.value_width));
+      c.values_copied += 1;
+      c.bytes_copied += static_cast<uint64_t>(node.value_width);
+    }
+    node.mask_next = idx + 1;
+  }
+}
+
 Status ColumnScanner::ProduceBase(Node& node) {
   ExecCounters& c = stats_->counters();
   TupleBlock& out = *node.out_block;
@@ -337,6 +479,19 @@ Status ColumnScanner::ProduceBase(Node& node) {
   }
   uint8_t* value = value_scratch_.data();
   while (!out.full()) {
+    if (node.mask_valid) {
+      EmitFromMask(node, out);
+      if (node.mask_next >= node.mask_limit) {
+        node.mask_valid = false;
+        if (node.mask_limit < node.page->count()) {
+          // The scan range ends inside this page.
+          node.eof = true;
+          break;
+        }
+        node.consumed_in_page = node.page->count();
+      }
+      continue;
+    }
     if (!node.page.has_value() ||
         node.consumed_in_page >= node.page->count()) {
       RODB_RETURN_IF_ERROR(AdvanceNodePage(node));
@@ -351,6 +506,14 @@ Status ColumnScanner::ProduceBase(Node& node) {
         }
         break;
       }
+    }
+    // Kernel path: filter the whole page into a selection mask, then emit
+    // survivors. Pages entered mid-way (unaligned morsel start) and
+    // unbindable predicates fall back to the scalar loop below.
+    if (node.try_kernel && node.consumed_in_page == 0 &&
+        node.page_start_pos < end_row_ && BindNodePreds(node)) {
+      BuildPageMask(node);
+      continue;
     }
     const uint64_t pos = node.page_start_pos + node.consumed_in_page;
     if (pos >= end_row_) {

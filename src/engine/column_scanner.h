@@ -70,6 +70,20 @@ class ColumnScanner final : public Operator {
     bool use_codes = false;
     const Dictionary* dict = nullptr;
 
+    /// Vectorized kernel state (ScanSpec::vectorized, base node only):
+    /// the page's selection mask, computed with one ScanBatch pass per
+    /// predicate and consumed incrementally as output blocks fill.
+    bool try_kernel = false;
+    std::vector<kernels::PackedPredicate> packed_preds;
+    kernels::BitVector page_mask;
+    kernels::BitVector pass_mask;  ///< scratch for 2nd..nth predicate
+    bool mask_valid = false;
+    uint64_t mask_limit = 0;       ///< values covered by the mask
+    uint64_t mask_next = 0;        ///< next in-page index to deliver
+    /// FOR-delta only: the page decoded once up front (DecodeBatch), so
+    /// the mask pass compares plain keys and emission is a memcpy.
+    std::vector<uint8_t> batch_scratch;
+
     /// Output block for predicate nodes and the deepest node; projection-
     /// only nodes fill the incoming block in place.
     std::unique_ptr<TupleBlock> out_block;
@@ -94,6 +108,17 @@ class ColumnScanner final : public Operator {
   /// Evaluates a node's code predicates against `code`.
   bool EvalCodePreds(const Node& node, uint32_t code);
   void CountDecode(const Node& node, uint64_t n);
+
+  /// Binds the node's predicates into packed form for the current page
+  /// (FOR bindings depend on the page base and re-bind per page). Returns
+  /// false when any predicate cannot run packed -- scalar fallback.
+  bool BindNodePreds(Node& node);
+  /// Evaluates the node's packed predicates over the freshly opened page
+  /// into node.page_mask; leaves the page reader rewound to value 0.
+  void BuildPageMask(Node& node);
+  /// Copies mask survivors into `out` until the block fills or the mask
+  /// is exhausted, decoding only projected survivors.
+  void EmitFromMask(Node& node, TupleBlock& out);
 
   /// Runs the deepest node: fills its out_block with qualifying
   /// {position, value} pairs.

@@ -51,6 +51,7 @@ class ExecStats {
     counters_.io_cache_misses += io_.cache_misses;
     MirrorIoToRegistry(io_);
     io_ = IoStats{};
+    MirrorVectorizedToRegistry();
   }
 
   /// Memory-pattern helpers (see DESIGN.md substitution #2). A scanner
@@ -85,8 +86,30 @@ class ExecStats {
     cache_misses->Add(io.cache_misses);
   }
 
+  /// Vectorized kernel counters accumulate straight into counters_, so
+  /// mirroring keeps a high-water mark and publishes only the delta --
+  /// FoldIo stays idempotent when called at both EOF and Close.
+  void MirrorVectorizedToRegistry() {
+    auto& reg = obs::MetricsRegistry::Default();
+    static obs::Counter* batches =
+        reg.GetCounter("rodb.scan.vectorized.batches");
+    static obs::Counter* values =
+        reg.GetCounter("rodb.scan.vectorized.values");
+    static obs::Counter* skipped =
+        reg.GetCounter("rodb.scan.vectorized.mask_skipped_values");
+    batches->Add(counters_.kernel_batches - mirrored_kernel_batches_);
+    values->Add(counters_.values_scanned_vectorized - mirrored_kernel_values_);
+    skipped->Add(counters_.mask_skipped_values - mirrored_mask_skipped_);
+    mirrored_kernel_batches_ = counters_.kernel_batches;
+    mirrored_kernel_values_ = counters_.values_scanned_vectorized;
+    mirrored_mask_skipped_ = counters_.mask_skipped_values;
+  }
+
   ExecCounters counters_;
   IoStats io_;
+  uint64_t mirrored_kernel_batches_ = 0;
+  uint64_t mirrored_kernel_values_ = 0;
+  uint64_t mirrored_mask_skipped_ = 0;
   obs::QueryTrace* trace_ = nullptr;
   const QueryContext* context_ = nullptr;
 };

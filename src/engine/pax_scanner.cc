@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "common/bytes.h"
 #include "common/macros.h"
 #include "engine/scanner_io.h"
 #include "obs/span.h"
@@ -71,6 +73,17 @@ Result<OperatorPtr> PaxScanner::Make(const OpenTable* table, ScanSpec spec,
       scanner->pred_nodes_.push_back({attr, {pred}});
     } else {
       it->second.push_back(pred);
+    }
+  }
+  // Vectorized kernel eval (ScanSpec::vectorized). Dictionary predicates
+  // run in the code domain, which is compressed evaluation, so a dict
+  // predicate attribute keeps the compressed_eval gate.
+  scanner->try_kernel_ = s.vectorized && !scanner->pred_nodes_.empty();
+  for (const auto& [attr, preds] : scanner->pred_nodes_) {
+    (void)preds;
+    if (scanner->eval_raw_[attr]->kind() == CompressionKind::kDict &&
+        !s.compressed_eval) {
+      scanner->try_kernel_ = false;
     }
   }
   RODB_ASSIGN_OR_RETURN(
@@ -143,6 +156,124 @@ void PaxScanner::AccountPage() {
   }
 }
 
+bool PaxScanner::BindEvalPreds() {
+  // Binding is page-invariant except for FOR, whose key domain shifts with
+  // the per-page base -- re-bind those on every page.
+  const bool first = bound_preds_.empty();
+  if (first) bound_preds_.resize(pred_nodes_.size());
+  for (size_t n = 0; n < pred_nodes_.size(); ++n) {
+    const size_t attr = pred_nodes_[n].first;
+    const AttributeCodec* codec = eval_raw_[attr];
+    if (!first && codec->kind() != CompressionKind::kFor) continue;
+    bound_preds_[n].clear();
+    for (const Predicate& pred : pred_nodes_[n].second) {
+      kernels::PackedPredicate packed;
+      bool ok;
+      if (pred.is_text()) {
+        ok = codec->BindPredicate(
+            pred.op(),
+            reinterpret_cast<const uint8_t*>(pred.text_operand().data()),
+            pred.text_operand().size(), /*is_text=*/true, &packed);
+      } else {
+        uint8_t operand[4];
+        StoreLE32s(operand, pred.int_operand());
+        ok = codec->BindPredicate(pred.op(), operand, sizeof(operand),
+                                  /*is_text=*/false, &packed);
+      }
+      if (!ok) {
+        // Bindability does not depend on the page; stop probing.
+        kernel_bind_failed_ = true;
+        bound_preds_.clear();
+        return false;
+      }
+      bound_preds_[n].push_back(std::move(packed));
+    }
+  }
+  return true;
+}
+
+bool PaxScanner::TryKernelEval() {
+  if (!try_kernel_ || kernel_bind_failed_ || !BindEvalPreds()) return false;
+  ExecCounters& c = stats_->counters();
+  c.tuples_examined += page_count_;
+  uint32_t keys[256];
+  for (size_t n = 0; n < pred_nodes_.size(); ++n) {
+    const size_t attr = pred_nodes_[n].first;
+    const CompressionKind kind = eval_raw_[attr]->kind();
+    const bool delta = kind == CompressionKind::kForDelta;
+    if (delta) {
+      // Delta minipages are sequentially dependent: decode once, compare
+      // the materialized keys (word skipping cannot save the decode).
+      const size_t width =
+          static_cast<size_t>(table_->schema().attribute(attr).width);
+      batch_scratch_.resize(static_cast<size_t>(page_count_) * width);
+      eval_reader_->DecodeBatch(attr, page_count_, batch_scratch_.data());
+      CountDecode(kind, page_count_);
+    }
+    for (size_t p = 0; p < bound_preds_[n].size(); ++p) {
+      const kernels::PackedPredicate& pred = bound_preds_[n][p];
+      const bool first_mask = n == 0 && p == 0;
+      kernels::BitVector* sel = first_mask ? &page_mask_ : &pass_mask_;
+      sel->Reset(page_count_);
+      if (delta) {
+        for (uint32_t done = 0; done < page_count_; done += 256) {
+          const size_t cnt = std::min<uint32_t>(256, page_count_ - done);
+          for (size_t i = 0; i < cnt; ++i) {
+            keys[i] = LoadLE32(batch_scratch_.data() + (done + i) * 4);
+          }
+          kernels::ScanKeys(keys, cnt, pred, sel, done);
+        }
+        c.kernel_batches += 1;
+        c.values_scanned_vectorized += page_count_;
+        if (p == 0) touched_[attr] += page_count_;
+      } else if (n == 0 || p > 0) {
+        // Full minipage sweep: the deepest node streams everything; an
+        // additional predicate on an already-swept attribute re-scans it.
+        if (p > 0) eval_reader_->Rewind(attr);
+        eval_reader_->ScanNext(attr, page_count_, pred, sel, 0);
+        c.kernel_batches += 1;
+        c.values_scanned_vectorized += page_count_;
+        if (p == 0) {
+          touched_[attr] += page_count_;
+          if (kind == CompressionKind::kDict) {
+            c.values_code_reads += page_count_;
+          }
+        }
+      } else {
+        // Later node, first predicate: whole dead words of the running
+        // mask are skipped without touching their values.
+        uint64_t cursor = 0;
+        uint64_t scanned = 0;
+        const uint64_t* mask_words = page_mask_.words();
+        for (size_t w = 0; w < page_mask_.num_words(); ++w) {
+          const uint64_t word_base = static_cast<uint64_t>(w) * 64;
+          const uint64_t wcount =
+              std::min<uint64_t>(64, page_count_ - word_base);
+          if (mask_words[w] == 0) {
+            c.mask_skipped_values += wcount;
+            continue;
+          }
+          if (word_base > cursor) {
+            eval_reader_->SkipValues(attr, word_base - cursor);
+          }
+          eval_reader_->ScanNext(attr, wcount, pred, sel, word_base);
+          cursor = word_base + wcount;
+          scanned += wcount;
+        }
+        c.kernel_batches += 1;
+        c.values_scanned_vectorized += scanned;
+        touched_[attr] += scanned;
+        if (kind == CompressionKind::kDict) c.values_code_reads += scanned;
+      }
+      if (!first_mask) page_mask_.AndWith(pass_mask_);
+    }
+  }
+  positions_.clear();
+  page_mask_.ForEachSet(
+      [this](size_t i) { positions_.push_back(static_cast<uint32_t>(i)); });
+  return true;
+}
+
 Status PaxScanner::AdvancePage() {
   AccountPage();
   if (eval_reader_.has_value()) {
@@ -202,7 +333,7 @@ Status PaxScanner::AdvancePage() {
     if (pred_nodes_.empty()) {
       for (uint32_t i = 0; i < page_count_; ++i) positions_.push_back(i);
       c.tuples_examined += page_count_;
-    } else {
+    } else if (!TryKernelEval()) {
       // Deepest node: stream the whole minipage.
       {
         const auto& [attr, preds] = pred_nodes_.front();

@@ -43,6 +43,13 @@ class PaxScanner final : public Operator {
 
   /// Loads the next page, runs the evaluation pass, fills positions_.
   Status AdvancePage();
+  /// Binds every predicate node's predicates into packed form for the
+  /// current page (FOR re-binds per page). False -> scalar fallback.
+  bool BindEvalPreds();
+  /// Kernel evaluation pass: per predicate node one masked ScanNext sweep
+  /// over its minipage; later nodes skip whole dead mask words. Returns
+  /// false (having touched nothing) when kernels cannot run this page.
+  bool TryKernelEval();
   /// At stream EOF: the pages/tuples actually delivered must match what
   /// the catalog promised for the scanned range -- a file truncated
   /// underneath the scan must fail, not silently return fewer rows.
@@ -86,6 +93,15 @@ class PaxScanner final : public Operator {
   std::vector<uint8_t> value_scratch_;
   bool eof_ = false;
   bool opened_ = false;
+
+  /// Vectorized kernel eval state (ScanSpec::vectorized): the bound packed
+  /// predicates per pred node, plus reusable mask/decode scratch.
+  bool try_kernel_ = false;
+  bool kernel_bind_failed_ = false;
+  std::vector<std::vector<kernels::PackedPredicate>> bound_preds_;
+  kernels::BitVector page_mask_;
+  kernels::BitVector pass_mask_;
+  std::vector<uint8_t> batch_scratch_;  ///< FOR-delta minipage decode
 };
 
 }  // namespace rodb

@@ -6,24 +6,6 @@
 
 namespace rodb {
 
-std::string_view CompareOpName(CompareOp op) {
-  switch (op) {
-    case CompareOp::kEq:
-      return "=";
-    case CompareOp::kNe:
-      return "!=";
-    case CompareOp::kLt:
-      return "<";
-    case CompareOp::kLe:
-      return "<=";
-    case CompareOp::kGt:
-      return ">";
-    case CompareOp::kGe:
-      return ">=";
-  }
-  return "?";
-}
-
 Predicate Predicate::Int32(int attr_index, CompareOp op, int32_t operand) {
   Predicate p;
   p.attr_index_ = attr_index;

@@ -4,13 +4,10 @@
 #include <cstdint>
 #include <string>
 
+#include "common/compare.h"
 #include "storage/schema.h"
 
 namespace rodb {
-
-enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
-
-std::string_view CompareOpName(CompareOp op);
 
 /// A SARGable comparison of one attribute against a constant -- the only
 /// predicate form the paper's scanners apply (Section 2.2.3). Evaluation

@@ -40,6 +40,15 @@ struct ScanSpec {
   /// the column-store advantage the paper's conclusion cites). Currently
   /// honored by the pipelined ColumnScanner.
   bool compressed_eval = true;
+  /// Run SARGable predicates through the batched scan kernels
+  /// (src/kernels/): whole pages are filtered into a selection mask
+  /// without materializing values, and later predicates skip masked-out
+  /// words entirely. Predicates a codec cannot bind (and pages entered
+  /// mid-way by an unaligned morsel) fall back to the scalar path; set
+  /// false to force value-at-a-time evaluation everywhere. Dictionary
+  /// predicates additionally require `compressed_eval` (the kernel
+  /// compares codes, which IS compressed evaluation).
+  bool vectorized = true;
 
   // --- Deprecated-alias shim (one release) -------------------------------
   // The fields below used to live directly on ScanSpec, duplicating

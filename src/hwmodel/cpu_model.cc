@@ -21,6 +21,9 @@ ExecCounters& ExecCounters::operator+=(const ExecCounters& o) {
   hash_ops += o.hash_ops;
   sort_comparisons += o.sort_comparisons;
   join_comparisons += o.join_comparisons;
+  kernel_batches += o.kernel_batches;
+  values_scanned_vectorized += o.values_scanned_vectorized;
+  mask_skipped_values += o.mask_skipped_values;
   seq_bytes_touched += o.seq_bytes_touched;
   random_line_accesses += o.random_line_accesses;
   l1_lines_touched += o.l1_lines_touched;
@@ -53,6 +56,9 @@ double CpuModel::UserUops(const ExecCounters& c) const {
   uops += static_cast<double>(c.hash_ops) * m.uops_hash_op;
   uops += static_cast<double>(c.sort_comparisons) * m.uops_sort_comparison;
   uops += static_cast<double>(c.join_comparisons) * m.uops_join_comparison;
+  uops += static_cast<double>(c.kernel_batches) * m.uops_kernel_batch;
+  uops += static_cast<double>(c.values_scanned_vectorized) *
+          m.uops_scan_vectorized;
   return uops;
 }
 

@@ -36,6 +36,13 @@ struct ExecCounters {
   uint64_t sort_comparisons = 0;
   uint64_t join_comparisons = 0;
 
+  // --- vectorized scan kernels (src/kernels/) ---
+  uint64_t kernel_batches = 0;            ///< ScanBatch/DecodeBatch calls
+  uint64_t values_scanned_vectorized = 0; ///< values filtered in kernels
+  /// Values later predicate passes never touched because the selection
+  /// mask was already all-zero for their word.
+  uint64_t mask_skipped_values = 0;
+
   // --- memory access pattern ---
   uint64_t seq_bytes_touched = 0;      ///< sequentially streamed bytes
   uint64_t random_line_accesses = 0;   ///< non-prefetchable line misses
@@ -82,6 +89,12 @@ struct CostModel {
   double uops_hash_op = 150;
   double uops_sort_comparison = 80;
   double uops_join_comparison = 50;
+  /// Vectorized kernel work: fixed batch setup cost plus a small per-value
+  /// cost -- roughly one load+shift+compare per value in the scalar word
+  /// kernel, amortized to a fraction of that under AVX2. Compare with
+  /// uops_predicate + uops_decode_* to see the modeled speedup.
+  double uops_kernel_batch = 40;
+  double uops_scan_vectorized = 5;
   // kernel-mode cycles for the I/O path (per byte moved and per request).
   // Calibrated so a full LINEITEM scan (9.5GB, 3 disks) spends ~3.3s in
   // system mode, matching the tall dark bars of Figure 6.

@@ -1,0 +1,44 @@
+#include "kernels/bitvector.h"
+
+#include <algorithm>
+
+namespace rodb::kernels {
+
+void BitVector::Reset(size_t size) {
+  size_ = size;
+  const size_t words = (size + 63) / 64;
+  if (words_.size() < words) words_.resize(words);
+  words_.resize(words);
+  std::fill(words_.begin(), words_.end(), uint64_t{0});
+}
+
+void BitVector::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  ClearTailBits();
+}
+
+void BitVector::ClearAll() {
+  std::fill(words_.begin(), words_.end(), uint64_t{0});
+}
+
+size_t BitVector::Popcount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  const size_t words = std::min(words_.size(), other.words_.size());
+  for (size_t w = 0; w < words; ++w) words_[w] &= other.words_[w];
+  for (size_t w = words; w < words_.size(); ++w) words_[w] = 0;
+}
+
+void BitVector::ClearTailBits() {
+  if (words_.empty()) return;
+  const size_t tail = size_ & 63;
+  if (tail != 0) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace rodb::kernels

@@ -1,0 +1,82 @@
+#ifndef RODB_KERNELS_BITVECTOR_H_
+#define RODB_KERNELS_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rodb::kernels {
+
+/// Fixed-size selection mask produced by the packed-scan kernels: bit i is
+/// set when value i of the scanned batch qualifies. Scan pipelines AND the
+/// masks of conjunctive predicates together and then materialize only the
+/// surviving positions; a whole zero word lets later columns skip 64
+/// values without touching them.
+///
+/// Storage is uint64 words, bit i living at words()[i / 64] bit (i % 64).
+/// Bits past size() in the last word are kept zero by every mutator so
+/// Popcount() and word-granular iteration never need a tail special case.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t size) { Reset(size); }
+
+  /// Resizes to `size` bits, all clear. Reuses capacity across pages.
+  void Reset(size_t size);
+
+  size_t size() const { return size_; }
+  size_t num_words() const { return words_.size(); }
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets every bit in [0, size()).
+  void SetAll();
+  /// Clears every bit.
+  void ClearAll();
+
+  /// Number of set bits.
+  size_t Popcount() const;
+
+  /// In-place conjunction with `other` (sizes must match).
+  void AndWith(const BitVector& other);
+
+  /// Zeroes any bits at positions >= size() in the last word. Kernels that
+  /// write whole words call this once after the batch.
+  void ClearTailBits();
+
+  /// Fraction of set bits, 0 when empty.
+  double Density() const {
+    return size_ == 0 ? 0.0
+                      : static_cast<double>(Popcount()) /
+                            static_cast<double>(size_);
+  }
+
+  /// Calls fn(position) for every set bit in ascending order. ctz-driven:
+  /// cost is proportional to the popcount plus one test per word, so a
+  /// sparse mask over a large page is nearly free.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rodb::kernels
+
+#endif  // RODB_KERNELS_BITVECTOR_H_

@@ -1,0 +1,249 @@
+#include "kernels/scan_kernels.h"
+
+#include <cstring>
+
+namespace rodb::kernels {
+
+#ifdef RODB_ENABLE_AVX2
+namespace avx2 {
+// Defined in scan_kernels_avx2.cc (compiled with -mavx2). Each returns the
+// number of values it handled from the front of the batch; the caller
+// finishes the tail with the scalar path.
+size_t ScanPackedRangeAvx2(const uint8_t* buffer, size_t buffer_bits,
+                           size_t bit_offset, int bits, size_t n,
+                           uint32_t xor_mask, uint32_t lo, uint32_t len,
+                           uint64_t* out_words);
+size_t ScanKeysRangeAvx2(const uint32_t* keys, size_t n, uint32_t xor_mask,
+                         uint32_t lo, uint32_t len, uint64_t* out_words);
+size_t UnpackBitsAvx2(const uint8_t* buffer, size_t buffer_bits,
+                      size_t bit_offset, int bits, size_t n, uint32_t* out);
+}  // namespace avx2
+#endif
+
+namespace {
+
+bool g_force_scalar = false;
+
+bool CpuHasAvx2() {
+#if defined(RODB_ENABLE_AVX2) && defined(__GNUC__)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+/// Loads a 64-bit little-endian window whose low `bits_needed` bits (after
+/// shifting out bit_offset % 8) are the packed value. Stays within
+/// buffer_bits: the tail is assembled byte-by-byte into a zero-padded word
+/// so reading the last value never touches memory past the buffer.
+inline uint64_t Window(const uint8_t* buffer, size_t buffer_bytes,
+                       size_t bit_offset) {
+  const size_t byte = bit_offset >> 3;
+  uint64_t w = 0;
+  if (byte + 8 <= buffer_bytes) {
+    std::memcpy(&w, buffer + byte, 8);
+  } else if (byte < buffer_bytes) {
+    std::memcpy(&w, buffer + byte, buffer_bytes - byte);
+  }
+  return w >> (bit_offset & 7);
+}
+
+inline uint32_t WidthMask(int bits) {
+  return bits >= 32 ? 0xFFFFFFFFu : (uint32_t{1} << bits) - 1;
+}
+
+/// Scalar range scan over one word's worth of packed values: one unaligned
+/// 64-bit load + shift + mask per value (bits <= 32, so shift-in-byte (<=7)
+/// plus width (<=32) always fits one window), one subtract-compare for the
+/// whole interval test.
+uint64_t ScanWordRange(const uint8_t* buffer, size_t buffer_bytes,
+                       size_t bit_offset, int bits, size_t count,
+                       uint32_t xor_mask, uint32_t lo, uint32_t len) {
+  const uint32_t mask = WidthMask(bits);
+  uint64_t word = 0;
+  size_t off = bit_offset;
+  for (size_t i = 0; i < count; ++i, off += static_cast<size_t>(bits)) {
+    const uint32_t key =
+        static_cast<uint32_t>(Window(buffer, buffer_bytes, off)) & mask;
+    word |= static_cast<uint64_t>((key ^ xor_mask) - lo <= len) << i;
+  }
+  return word;
+}
+
+uint64_t ScanWordBitmap(const uint8_t* buffer, size_t buffer_bytes,
+                        size_t bit_offset, int bits, size_t count,
+                        const PackedPredicate& pred) {
+  const uint32_t mask = WidthMask(bits);
+  uint64_t word = 0;
+  size_t off = bit_offset;
+  for (size_t i = 0; i < count; ++i, off += static_cast<size_t>(bits)) {
+    const uint32_t key =
+        static_cast<uint32_t>(Window(buffer, buffer_bytes, off)) & mask;
+    const bool in = key < pred.bitmap_bits &&
+                    ((pred.bitmap[key >> 6] >> (key & 63)) & 1) != 0;
+    word |= static_cast<uint64_t>(in) << i;
+  }
+  return word;
+}
+
+inline uint64_t NegateWord(uint64_t word, size_t count) {
+  const uint64_t live =
+      count >= 64 ? ~uint64_t{0} : (uint64_t{1} << count) - 1;
+  return ~word & live;
+}
+
+}  // namespace
+
+PackedPredicate PackedPredicate::Range(CompareOp op, int64_t key,
+                                       uint32_t domain_max,
+                                       uint32_t xor_mask) {
+  PackedPredicate p;
+  p.mode = Mode::kRange;
+  p.xor_mask = xor_mask;
+  // Fold kLt/kGt into their inclusive forms, then clamp to the domain.
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(domain_max);
+  switch (op) {
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      lo = hi = key;
+      p.negate = op == CompareOp::kNe;
+      break;
+    case CompareOp::kLt:
+      hi = key - 1;
+      break;
+    case CompareOp::kLe:
+      hi = key;
+      break;
+    case CompareOp::kGt:
+      lo = key + 1;
+      break;
+    case CompareOp::kGe:
+      lo = key;
+      break;
+  }
+  lo = lo < 0 ? 0 : lo;
+  hi = hi > static_cast<int64_t>(domain_max) ? static_cast<int64_t>(domain_max)
+                                             : hi;
+  if (lo > hi) {
+    // The interval clamped away (operand outside the representable
+    // domain): matches nothing, negate still applies.
+    p.empty = true;
+    return p;
+  }
+  p.lo = static_cast<uint32_t>(lo);
+  p.len = static_cast<uint32_t>(hi - lo);
+  return p;
+}
+
+bool Avx2Enabled() { return CpuHasAvx2() && !g_force_scalar; }
+
+std::string_view ActiveKernelIsa() {
+  return Avx2Enabled() ? "avx2" : "scalar";
+}
+
+void SetForceScalarKernels(bool force) { g_force_scalar = force; }
+
+void UnpackBits(const uint8_t* buffer, size_t buffer_bits, size_t bit_offset,
+                int bits, size_t n, uint32_t* out) {
+  const size_t buffer_bytes = buffer_bits / 8;
+  size_t i = 0;
+#ifdef RODB_ENABLE_AVX2
+  if (Avx2Enabled()) {
+    i = avx2::UnpackBitsAvx2(buffer, buffer_bits, bit_offset, bits, n, out);
+  }
+#endif
+  const uint32_t mask = WidthMask(bits);
+  size_t off = bit_offset + i * static_cast<size_t>(bits);
+  for (; i < n; ++i, off += static_cast<size_t>(bits)) {
+    out[i] = static_cast<uint32_t>(Window(buffer, buffer_bytes, off)) & mask;
+  }
+}
+
+void ScanPacked(const uint8_t* buffer, size_t buffer_bits, size_t bit_offset,
+                int bits, size_t n, const PackedPredicate& pred,
+                BitVector* sel, size_t base) {
+  uint64_t* out = sel->words() + base / 64;
+  const size_t buffer_bytes = buffer_bits / 8;
+  if (pred.mode == PackedPredicate::Mode::kRange && pred.empty) {
+    // Nothing can match: the mask is all-negate without reading data.
+    for (size_t done = 0; done < n; done += 64) {
+      const size_t count = n - done < 64 ? n - done : 64;
+      *out++ = pred.negate ? NegateWord(0, count) : 0;
+    }
+    return;
+  }
+  size_t done = 0;
+#ifdef RODB_ENABLE_AVX2
+  if (pred.mode == PackedPredicate::Mode::kRange && Avx2Enabled()) {
+    done = avx2::ScanPackedRangeAvx2(buffer, buffer_bits, bit_offset, bits, n,
+                                     pred.xor_mask, pred.lo, pred.len, out);
+    // The AVX2 kernel fills whole 64-value words; negate below.
+  }
+#endif
+  for (; done < n; done += 64) {
+    const size_t count = n - done < 64 ? n - done : 64;
+    const size_t off = bit_offset + done * static_cast<size_t>(bits);
+    out[done / 64] =
+        pred.mode == PackedPredicate::Mode::kRange
+            ? ScanWordRange(buffer, buffer_bytes, off, bits, count,
+                            pred.xor_mask, pred.lo, pred.len)
+            : ScanWordBitmap(buffer, buffer_bytes, off, bits, count, pred);
+  }
+  if (pred.negate) {
+    size_t at = 0;
+    for (size_t w = 0; at < n; ++w, at += 64) {
+      const size_t count = n - at < 64 ? n - at : 64;
+      out[w] = NegateWord(out[w], count);
+    }
+  }
+}
+
+void ScanKeys(const uint32_t* keys, size_t n, const PackedPredicate& pred,
+              BitVector* sel, size_t base) {
+  uint64_t* out = sel->words() + base / 64;
+  size_t done = 0;
+  if (pred.mode == PackedPredicate::Mode::kRange && !pred.empty) {
+#ifdef RODB_ENABLE_AVX2
+    if (Avx2Enabled()) {
+      done = avx2::ScanKeysRangeAvx2(keys, n, pred.xor_mask, pred.lo,
+                                     pred.len, out);
+    }
+#endif
+    for (; done < n; done += 64) {
+      const size_t count = n - done < 64 ? n - done : 64;
+      uint64_t word = 0;
+      for (size_t i = 0; i < count; ++i) {
+        word |= static_cast<uint64_t>((keys[done + i] ^ pred.xor_mask) -
+                                          pred.lo <=
+                                      pred.len)
+                << i;
+      }
+      out[done / 64] = word;
+    }
+  } else {
+    for (; done < n; done += 64) {
+      const size_t count = n - done < 64 ? n - done : 64;
+      uint64_t word = 0;
+      if (pred.mode == PackedPredicate::Mode::kBitmap) {
+        for (size_t i = 0; i < count; ++i) {
+          const uint32_t key = keys[done + i];
+          const bool in = key < pred.bitmap_bits &&
+                          ((pred.bitmap[key >> 6] >> (key & 63)) & 1) != 0;
+          word |= static_cast<uint64_t>(in) << i;
+        }
+      }
+      out[done / 64] = word;
+    }
+  }
+  if (pred.negate) {
+    size_t at = 0;
+    for (size_t w = 0; at < n; ++w, at += 64) {
+      const size_t count = n - at < 64 ? n - at : 64;
+      out[w] = NegateWord(out[w], count);
+    }
+  }
+}
+
+}  // namespace rodb::kernels

@@ -1,0 +1,94 @@
+#ifndef RODB_KERNELS_SCAN_KERNELS_H_
+#define RODB_KERNELS_SCAN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/compare.h"
+#include "kernels/bitvector.h"
+
+namespace rodb::kernels {
+
+/// A SARGable predicate bound into the key domain of one codec's packed
+/// representation, ready for batched evaluation without decompression.
+///
+/// Codecs canonicalize (CompareOp, operand) into one of two forms:
+///  - kRange: an inclusive unsigned interval [lo, lo+len] over
+///    key ^ xor_mask. Every ordered comparison reduces to one interval
+///    (kLt X -> [0, X-1], kGe X -> [X, max], ...); xor_mask = 0x80000000
+///    maps signed value domains (kNone int32, FOR-delta) onto unsigned
+///    order, and 0 leaves unsigned code domains (bit-pack, dict codes,
+///    FOR diffs) untouched.
+///  - kBitmap: one match bit per dictionary code, built by evaluating the
+///    original predicate once per dictionary entry. This is what lets
+///    *ordered* and prefix predicates on dictionary columns run in the
+///    code domain even though codes are assigned in first-seen order.
+///
+/// kNe is a range with `negate`; an operand outside the representable
+/// domain becomes `empty` (matches nothing; negate still applies).
+struct PackedPredicate {
+  enum class Mode : uint8_t { kRange, kBitmap };
+  Mode mode = Mode::kRange;
+  bool negate = false;    ///< invert the match (kNe)
+  bool empty = false;     ///< kRange: interval is empty, nothing matches
+  uint32_t xor_mask = 0;  ///< applied to keys before the range compare
+  uint32_t lo = 0;        ///< inclusive lower bound on key ^ xor_mask
+  uint32_t len = 0;       ///< interval length: hi == lo + len (inclusive)
+  /// kBitmap: bit c = predicate holds for code c. Codes at or past
+  /// `bitmap_bits` never match (callers size the bitmap to the full code
+  /// domain so out-of-dictionary codes get the same all-zeros-value
+  /// semantics as the scalar decoder).
+  std::vector<uint64_t> bitmap;
+  size_t bitmap_bits = 0;
+
+  /// Scalar oracle for one key; the batch kernels must agree bit-for-bit.
+  bool Matches(uint32_t key) const {
+    bool in;
+    if (mode == Mode::kBitmap) {
+      in = key < bitmap_bits && ((bitmap[key >> 6] >> (key & 63)) & 1) != 0;
+    } else {
+      in = !empty && (key ^ xor_mask) - lo <= len;
+    }
+    return in != negate;
+  }
+
+  /// Builds the canonical range for `op` against a (possibly
+  /// out-of-domain) operand key over the domain [0, domain_max] of
+  /// key ^ xor_mask. `key` is the operand already mapped by xor_mask.
+  static PackedPredicate Range(CompareOp op, int64_t key, uint32_t domain_max,
+                               uint32_t xor_mask);
+};
+
+/// True when the AVX2 kernels are compiled in (RODB_ENABLE_AVX2), the CPU
+/// reports AVX2, and no test hook forced them off.
+bool Avx2Enabled();
+/// "avx2" or "scalar" -- what ScanPacked will actually dispatch to.
+std::string_view ActiveKernelIsa();
+/// Test hook: force the scalar paths so equivalence tests can diff the
+/// two implementations on the same machine. Not thread safe; tests only.
+void SetForceScalarKernels(bool force);
+
+/// Unpacks `n` fixed-width values (`bits` in [1, 32], LSB-first) starting
+/// at `bit_offset` into out[0..n). `buffer_bits` bounds the readable
+/// buffer; the kernels load 64-bit windows but never past the buffer.
+void UnpackBits(const uint8_t* buffer, size_t buffer_bits, size_t bit_offset,
+                int bits, size_t n, uint32_t* out);
+
+/// Evaluates `pred` over `n` packed keys starting at `bit_offset` and
+/// writes the resulting selection bits into sel bits [base, base + n).
+/// `base` must be a multiple of 64; whole words of sel covering the range
+/// are overwritten (bits past base + n in the last word are zeroed).
+void ScanPacked(const uint8_t* buffer, size_t buffer_bits, size_t bit_offset,
+                int bits, size_t n, const PackedPredicate& pred,
+                BitVector* sel, size_t base);
+
+/// Same, over already-materialized uint32 keys (the FOR-delta path:
+/// sequential decode first, vectorized compare second).
+void ScanKeys(const uint32_t* keys, size_t n, const PackedPredicate& pred,
+              BitVector* sel, size_t base);
+
+}  // namespace rodb::kernels
+
+#endif  // RODB_KERNELS_SCAN_KERNELS_H_

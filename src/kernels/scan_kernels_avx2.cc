@@ -1,0 +1,179 @@
+// AVX2 kernels, compiled with -mavx2 only when RODB_ENABLE_AVX2 is set.
+// Callers dispatch at runtime (kernels::Avx2Enabled), so this TU may be
+// built on machines that cannot execute it.
+//
+// Layout exploited here: values are fixed-width (`bits` <= 32), LSB-first
+// in a dense stream, so 8 consecutive values span exactly `bits` bytes and
+// lane i's byte offset and in-byte shift are CONSTANT across groups:
+//   value (8j + i) starts at bit  o0 + (8j + i) * bits
+//                  = byte  floor((o0 + i*bits) / 8) + j*bits,
+//                    shift (o0 + i*bits) % 8.
+// One dword gather + variable shift + mask therefore unpacks 8 values at
+// a time for bits <= 25 (shift <= 7 plus width <= 25 fits a dword load).
+//
+// The unsigned interval test (key ^ xor_mask) - lo <= len maps onto the
+// signed-only AVX2 compare via the usual sign-flip: a <=u b equals
+// (a ^ 0x80000000) <=s (b ^ 0x80000000).
+
+#ifdef RODB_ENABLE_AVX2
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rodb::kernels::avx2 {
+
+namespace {
+
+constexpr uint32_t kSign = 0x80000000u;
+
+struct LaneSetup {
+  __m256i byte_off;   ///< per-lane byte offset of group 0
+  __m256i shift;      ///< per-lane in-byte shift
+  __m256i width_mask; ///< low `bits` ones
+  size_t groups;      ///< full 8-value groups safe to gather
+};
+
+LaneSetup MakeLanes(size_t buffer_bits, size_t bit_offset, int bits,
+                    size_t n) {
+  alignas(32) int32_t off[8];
+  alignas(32) int32_t sh[8];
+  size_t max_lane_byte = 0;
+  for (int i = 0; i < 8; ++i) {
+    const size_t a = bit_offset + static_cast<size_t>(i * bits);
+    off[i] = static_cast<int32_t>(a >> 3);
+    sh[i] = static_cast<int32_t>(a & 7);
+    max_lane_byte = a >> 3;
+  }
+  LaneSetup s;
+  s.byte_off = _mm256_load_si256(reinterpret_cast<const __m256i*>(off));
+  s.shift = _mm256_load_si256(reinterpret_cast<const __m256i*>(sh));
+  s.width_mask = _mm256_set1_epi32(
+      bits >= 32 ? -1 : static_cast<int32_t>((uint32_t{1} << bits) - 1));
+  // Gathers read 4 bytes at lane_byte + j*bits; stop before any read
+  // would cross the end of the buffer.
+  const size_t buffer_bytes = buffer_bits / 8;
+  size_t groups = n / 8;
+  if (buffer_bytes < max_lane_byte + 4) {
+    groups = 0;
+  } else {
+    const size_t budget = (buffer_bytes - max_lane_byte - 4) /
+                          static_cast<size_t>(bits);
+    if (groups > budget + 1) groups = budget + 1;
+  }
+  s.groups = groups;
+  return s;
+}
+
+/// In-range compare of 8 keys; returns an 8-bit mask (lane i -> bit i).
+inline uint32_t RangeMask8(__m256i keys, __m256i vxor, __m256i vlo,
+                           __m256i vlen_s) {
+  const __m256i t = _mm256_sub_epi32(_mm256_xor_si256(keys, vxor), vlo);
+  const __m256i t_s = _mm256_xor_si256(t, _mm256_set1_epi32(
+                                              static_cast<int32_t>(kSign)));
+  // in-range = !(t >s len), collected from sign bits.
+  const __m256i gt = _mm256_cmpgt_epi32(t_s, vlen_s);
+  return static_cast<uint32_t>(
+             _mm256_movemask_ps(_mm256_castsi256_ps(gt))) ^
+         0xFFu;
+}
+
+}  // namespace
+
+size_t UnpackBitsAvx2(const uint8_t* buffer, size_t buffer_bits,
+                      size_t bit_offset, int bits, size_t n, uint32_t* out) {
+  if (bits > 25) {
+    if (bits == 32 && (bit_offset & 7) == 0) {
+      const size_t groups = n / 8;
+      const uint8_t* src = buffer + (bit_offset >> 3);
+      for (size_t j = 0; j < groups; ++j) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + j * 32));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j * 8), v);
+      }
+      return groups * 8;
+    }
+    return 0;
+  }
+  const LaneSetup s = MakeLanes(buffer_bits, bit_offset, bits, n);
+  for (size_t j = 0; j < s.groups; ++j) {
+    const __m256i idx = _mm256_add_epi32(
+        s.byte_off, _mm256_set1_epi32(static_cast<int32_t>(j * bits)));
+    const __m256i g = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(buffer), idx, 1);
+    const __m256i v =
+        _mm256_and_si256(_mm256_srlv_epi32(g, s.shift), s.width_mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j * 8), v);
+  }
+  return s.groups * 8;
+}
+
+size_t ScanPackedRangeAvx2(const uint8_t* buffer, size_t buffer_bits,
+                           size_t bit_offset, int bits, size_t n,
+                           uint32_t xor_mask, uint32_t lo, uint32_t len,
+                           uint64_t* out_words) {
+  const __m256i vxor = _mm256_set1_epi32(static_cast<int32_t>(xor_mask));
+  const __m256i vlo = _mm256_set1_epi32(static_cast<int32_t>(lo));
+  const __m256i vlen_s =
+      _mm256_set1_epi32(static_cast<int32_t>(len ^ kSign));
+
+  const bool contiguous32 = bits == 32 && (bit_offset & 7) == 0;
+  if (bits > 25 && !contiguous32) return 0;
+
+  LaneSetup s{};
+  if (!contiguous32) {
+    s = MakeLanes(buffer_bits, bit_offset, bits, n);
+  } else {
+    s.groups = n / 8;
+  }
+  // Emit whole 64-value words only; the scalar caller owns the tail.
+  const size_t words = (s.groups * 8) / 64;
+  const uint8_t* src32 = buffer + (bit_offset >> 3);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word = 0;
+    for (size_t k = 0; k < 8; ++k) {
+      const size_t j = w * 8 + k;
+      __m256i keys;
+      if (contiguous32) {
+        keys = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src32 + j * 32));
+      } else {
+        const __m256i idx = _mm256_add_epi32(
+            s.byte_off, _mm256_set1_epi32(static_cast<int32_t>(j * bits)));
+        const __m256i g = _mm256_i32gather_epi32(
+            reinterpret_cast<const int*>(buffer), idx, 1);
+        keys = _mm256_and_si256(_mm256_srlv_epi32(g, s.shift), s.width_mask);
+      }
+      word |= static_cast<uint64_t>(RangeMask8(keys, vxor, vlo, vlen_s))
+              << (k * 8);
+    }
+    out_words[w] = word;
+  }
+  return words * 64;
+}
+
+size_t ScanKeysRangeAvx2(const uint32_t* keys, size_t n, uint32_t xor_mask,
+                         uint32_t lo, uint32_t len, uint64_t* out_words) {
+  const __m256i vxor = _mm256_set1_epi32(static_cast<int32_t>(xor_mask));
+  const __m256i vlo = _mm256_set1_epi32(static_cast<int32_t>(lo));
+  const __m256i vlen_s =
+      _mm256_set1_epi32(static_cast<int32_t>(len ^ kSign));
+  const size_t words = n / 64;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word = 0;
+    for (size_t k = 0; k < 8; ++k) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys + w * 64 + k * 8));
+      word |= static_cast<uint64_t>(RangeMask8(v, vxor, vlo, vlen_s))
+              << (k * 8);
+    }
+    out_words[w] = word;
+  }
+  return words * 64;
+}
+
+}  // namespace rodb::kernels::avx2
+
+#endif  // RODB_ENABLE_AVX2

@@ -48,7 +48,7 @@ SystemInputs ColumnScanInputs(double width, double selectivity,
                               double projection_fraction,
                               const HardwareConfig& hw,
                               const CostModel& costs,
-                              double column_node_factor) {
+                              double column_node_factor, bool vectorized) {
   SystemInputs in;
   const double ncols = std::max(1.0, width / 4.0);
   const double selected_cols = std::max(1.0, std::round(
@@ -56,12 +56,24 @@ SystemInputs ColumnScanInputs(double width, double selectivity,
   const double selected_bytes = selected_cols * 4.0;
   in.disk_bytes_per_tuple = selected_bytes;
 
-  // Deepest node: examines every value of the predicate column.
-  double uops = (costs.uops_tuple_examined * column_node_factor +
-                 costs.uops_predicate) +
-                AmortizedOverheads(4.0, 100.0, costs) +
-                selectivity * (costs.uops_value_copy +
-                               4.0 * costs.uops_byte_copied);
+  // Deepest node: examines every value of the predicate column -- either
+  // through the value-at-a-time loop or, vectorized, through one masked
+  // kernel pass per page plus a per-survivor emit step.
+  double uops;
+  if (vectorized) {
+    const double tuples_per_page = std::max(1.0, 4076.0 / 4.0);
+    uops = costs.uops_scan_vectorized +
+           costs.uops_kernel_batch / tuples_per_page +
+           AmortizedOverheads(4.0, 100.0, costs) +
+           selectivity * (costs.uops_value_copy +
+                          4.0 * costs.uops_byte_copied);
+  } else {
+    uops = (costs.uops_tuple_examined * column_node_factor +
+            costs.uops_predicate) +
+           AmortizedOverheads(4.0, 100.0, costs) +
+           selectivity * (costs.uops_value_copy +
+                          4.0 * costs.uops_byte_copied);
+  }
   // Inner nodes: driven by qualifying positions only (Figure 4).
   const double inner_nodes = selected_cols - 1.0;
   uops += inner_nodes * selectivity *
@@ -98,7 +110,7 @@ std::vector<ContourCell> GenerateSpeedupContour(const ContourParams& params) {
                         params.projection_fraction, hw, params.costs);
       const SystemInputs cols = ColumnScanInputs(
           width, params.selectivity, params.projection_fraction, hw,
-          params.costs, params.column_node_factor);
+          params.costs, params.column_node_factor, params.vectorized);
       cell.speedup = model.Speedup(cols, rows);
       cell.row_io_bound = model.IsIoBound(rows);
       cell.column_io_bound = model.IsIoBound(cols);

@@ -22,6 +22,12 @@ struct ContourParams {
   /// paper's value-iterator-driven scan nodes cost more per value than
   /// the row scanner costs per narrow tuple.
   double column_node_factor = 1.8;
+  /// Cost the column system's deepest node through the batched kernels of
+  /// src/kernels/ (selection-mask scan: uops_kernel_batch per page plus
+  /// uops_scan_vectorized per value) instead of the value-at-a-time loop.
+  /// The row system keeps its scalar loop either way -- this sweeps the
+  /// "after" grid of the vectorization before/after comparison.
+  bool vectorized = false;
 };
 
 struct ContourCell {
@@ -39,12 +45,14 @@ SystemInputs RowScanInputs(double width, double selectivity,
                            const HardwareConfig& hw, const CostModel& costs);
 
 /// Analytical inputs for the equivalent pipelined column scan. Attributes
-/// are modeled as 4-byte columns (width / 4 of them).
+/// are modeled as 4-byte columns (width / 4 of them). `vectorized` costs
+/// the deepest node's filtering through the batched scan kernels.
 SystemInputs ColumnScanInputs(double width, double selectivity,
                               double projection_fraction,
                               const HardwareConfig& hw,
                               const CostModel& costs,
-                              double column_node_factor);
+                              double column_node_factor,
+                              bool vectorized = false);
 
 /// Sweeps the grid; cells are emitted row-major (cpdb outer, width inner).
 std::vector<ContourCell> GenerateSpeedupContour(const ContourParams& params);

@@ -125,7 +125,24 @@ ModelComparison BuildModelComparison(const ScanPhysics& physics,
   phase(TracePhase::kFilter,
         UopSeconds(hw, costs,
                    static_cast<double>(c.predicate_evals) *
-                       costs.uops_predicate));
+                           costs.uops_predicate +
+                       static_cast<double>(c.kernel_batches) *
+                           costs.uops_kernel_batch +
+                       static_cast<double>(c.values_scanned_vectorized) *
+                           costs.uops_scan_vectorized));
+  // Scalar-vs-vectorized attribution of the kernel passes that actually
+  // ran: the vectorized charge next to what value-at-a-time evaluation of
+  // the same values would have cost.
+  out.filter_vectorized_seconds =
+      UopSeconds(hw, costs,
+                 static_cast<double>(c.kernel_batches) *
+                         costs.uops_kernel_batch +
+                     static_cast<double>(c.values_scanned_vectorized) *
+                         costs.uops_scan_vectorized);
+  out.filter_scalar_equiv_seconds =
+      UopSeconds(hw, costs,
+                 static_cast<double>(c.values_scanned_vectorized) *
+                     costs.uops_predicate);
   phase(TracePhase::kProject,
         UopSeconds(hw, costs,
                    static_cast<double>(c.values_copied) *
@@ -167,6 +184,15 @@ std::string ModelComparison::ToText() const {
                   p.measured_seconds * 1e3);
     out += buf;
   }
+  if (filter_vectorized_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  filter (modeled): vectorized %.3f ms vs scalar-equiv "
+                  "%.3f ms (%.1fx)\n",
+                  filter_vectorized_seconds * 1e3,
+                  filter_scalar_equiv_seconds * 1e3,
+                  filter_scalar_equiv_seconds / filter_vectorized_seconds);
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "  modeled elapsed %.3f ms (%s-bound), measured wall "
                 "%.3f ms\n",
@@ -205,10 +231,13 @@ std::string ModelComparison::ToJson() const {
   std::snprintf(buf, sizeof(buf),
                 "],\"predicted_elapsed_seconds\":%.9f,"
                 "\"predicted_io_bound\":%s,"
-                "\"measured_wall_seconds\":%.9f}",
+                "\"measured_wall_seconds\":%.9f,"
+                "\"filter_vectorized_seconds\":%.9f,"
+                "\"filter_scalar_equiv_seconds\":%.9f}",
                 predicted_elapsed_seconds,
                 predicted_io_bound ? "true" : "false",
-                measured_wall_seconds);
+                measured_wall_seconds, filter_vectorized_seconds,
+                filter_scalar_equiv_seconds);
   out += buf;
   return out;
 }

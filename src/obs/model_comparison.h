@@ -43,6 +43,11 @@ struct ModelComparison {
   double predicted_elapsed_seconds = 0.0;
   double measured_wall_seconds = 0.0;
   bool predicted_io_bound = false;
+  /// Modeled cost of the run's filtering work both ways (src/kernels/):
+  /// what the kernel passes were charged vs what the same values would
+  /// have cost value-at-a-time. Both zero when nothing ran vectorized.
+  double filter_vectorized_seconds = 0.0;
+  double filter_scalar_equiv_seconds = 0.0;
 
   /// Largest counter rel_error — zero when the physics matched exactly.
   double MaxCountError() const;

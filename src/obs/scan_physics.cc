@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hwmodel/cpu_model.h"
+
 namespace rodb::obs {
 
 namespace {
@@ -138,6 +140,28 @@ Result<ScanPhysics> PredictScanPhysics(const OpenTable& table,
     physics.pages_parsed += f.pages;
   }
   return physics;
+}
+
+double PredictFilterCpuSeconds(const ScanPhysics& physics,
+                               size_t num_predicates,
+                               const HardwareConfig& hw, ScanCostMode mode) {
+  const CostModel costs = CostModel::Default();
+  const double passes =
+      static_cast<double>(physics.tuples_examined) *
+      static_cast<double>(num_predicates);
+  double uops;
+  if (mode == ScanCostMode::kScalar) {
+    uops = passes * costs.uops_predicate;
+  } else {
+    // One kernel batch per page per predicate pass; the per-value cost is
+    // the word-at-a-time compare instead of a full predicate call.
+    const double batches =
+        static_cast<double>(physics.pages_parsed) *
+        static_cast<double>(num_predicates);
+    uops = batches * costs.uops_kernel_batch +
+           passes * costs.uops_scan_vectorized;
+  }
+  return hw.UopSeconds(uops) * (1.0 + costs.rest_fraction);
 }
 
 }  // namespace rodb::obs

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "engine/open_scanner.h"
 #include "engine/scan_spec.h"
+#include "hwmodel/hardware_config.h"
 #include "storage/catalog.h"
 
 namespace rodb::obs {
@@ -80,6 +81,22 @@ Result<ScanPhysics> PredictScanPhysics(
     const OpenTable& table, const ScanSpec& spec,
     ScannerImpl impl = ScannerImpl::kAuto,
     const ScanPhysicsHints& hints = ScanPhysicsHints{});
+
+/// How predicate evaluation is costed by PredictFilterCpuSeconds:
+/// value-at-a-time (one uops_predicate per examined value) or through the
+/// batched kernels of src/kernels/ (one uops_kernel_batch per page pass
+/// plus uops_scan_vectorized per value).
+enum class ScanCostMode { kScalar, kVectorized };
+
+/// Modeled user-CPU seconds the scan's *filtering* work costs under
+/// `mode`, derived from the predicted physics: tuples_examined values
+/// flow through `num_predicates` conjunctive passes. Decode and I/O costs
+/// are unchanged by the mode and deliberately excluded -- this isolates
+/// the term the vectorized kernels actually change, so benches can print
+/// a modeled before/after next to the measured one.
+double PredictFilterCpuSeconds(const ScanPhysics& physics,
+                               size_t num_predicates,
+                               const HardwareConfig& hw, ScanCostMode mode);
 
 }  // namespace rodb::obs
 

@@ -65,8 +65,11 @@ void QueryTrace::FinalizeFromCounters(const ExecCounters& c) {
   Put(decode, "fordelta", c.values_decoded_fordelta);
   Put(decode, "positions", c.positions_processed);
 
-  Put(&counters_[Index(TracePhase::kFilter)], "predicate_evals",
-      c.predicate_evals);
+  auto* filter = &counters_[Index(TracePhase::kFilter)];
+  Put(filter, "predicate_evals", c.predicate_evals);
+  Put(filter, "vectorized_batches", c.kernel_batches);
+  Put(filter, "vectorized_values", c.values_scanned_vectorized);
+  Put(filter, "mask_skipped_values", c.mask_skipped_values);
 
   auto* project = &counters_[Index(TracePhase::kProject)];
   Put(project, "values_copied", c.values_copied);

@@ -69,8 +69,9 @@ Result<ColumnPageReader> ColumnPageReader::Open(const uint8_t* page,
   if (need > view.payload_bits()) {
     return Status::Corruption("column page count overflows payload");
   }
-  codec->BeginDecode(want_meta == 1 ? view.meta(0) : CodecPageMeta{});
-  return ColumnPageReader(view, codec);
+  const CodecPageMeta meta = want_meta == 1 ? view.meta(0) : CodecPageMeta{};
+  codec->BeginDecode(meta);
+  return ColumnPageReader(view, codec, meta);
 }
 
 }  // namespace rodb

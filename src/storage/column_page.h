@@ -67,12 +67,35 @@ class ColumnPageReader {
     reader_.Skip(n * static_cast<uint64_t>(codec_->encoded_bits()));
   }
 
+  // --- Batched kernel hooks (src/kernels/) -------------------------------
+
+  /// Evaluates a bound predicate over the next `n` values into bits
+  /// [base, base + n) of `sel` without materializing them.
+  void ScanNext(size_t n, const kernels::PackedPredicate& pred,
+                kernels::BitVector* sel, size_t base) {
+    codec_->ScanBatch(&reader_, n, pred, sel, base);
+  }
+  /// Decodes the next `n` values into `out` (n * raw_width() bytes).
+  void DecodeBatch(size_t n, uint8_t* out) {
+    codec_->DecodeBatch(&reader_, n, out);
+  }
+  /// Repositions to the first value of the page and re-runs BeginDecode,
+  /// so a second pass (materializing mask survivors after a scan pass)
+  /// can re-read the page.
+  void Rewind() {
+    reader_.SeekToBit(0);
+    codec_->BeginDecode(meta_);
+  }
+  AttributeCodec* codec() const { return codec_; }
+
  private:
-  ColumnPageReader(PageView view, AttributeCodec* codec)
-      : view_(view), codec_(codec), reader_(view_.payload_reader()) {}
+  ColumnPageReader(PageView view, AttributeCodec* codec, CodecPageMeta meta)
+      : view_(view), codec_(codec), meta_(meta),
+        reader_(view_.payload_reader()) {}
 
   PageView view_;
   AttributeCodec* codec_;
+  CodecPageMeta meta_;
   BitReader reader_;
 };
 

@@ -145,19 +145,20 @@ Result<PaxPageReader> PaxPageReader::Open(
     return Status::Corruption("PAX page meta count mismatch");
   }
   std::vector<BitReader> readers;
+  std::vector<CodecPageMeta> metas;
   readers.reserve(codecs.size());
+  metas.reserve(codecs.size());
   int meta_index = 0;
   for (size_t a = 0; a < codecs.size(); ++a) {
     readers.emplace_back(
         page + kPageHeaderBytes + geometry.minipage_offsets[a],
         geometry.minipage_bytes[a]);
-    if (CodecNeedsPageMeta(codecs[a]->kind())) {
-      codecs[a]->BeginDecode(view.meta(meta_index++));
-    } else {
-      codecs[a]->BeginDecode(CodecPageMeta{});
-    }
+    metas.push_back(CodecNeedsPageMeta(codecs[a]->kind())
+                        ? view.meta(meta_index++)
+                        : CodecPageMeta{});
+    codecs[a]->BeginDecode(metas.back());
   }
-  return PaxPageReader(view, codecs, std::move(readers));
+  return PaxPageReader(view, codecs, std::move(readers), std::move(metas));
 }
 
 void PaxPageReader::SkipValues(size_t attr, uint64_t n) {

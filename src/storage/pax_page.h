@@ -91,14 +91,37 @@ class PaxPageReader {
   /// Skips `n` values of attribute `attr` (FOR-delta pays the decode).
   void SkipValues(size_t attr, uint64_t n);
 
+  // --- Batched kernel hooks (src/kernels/) -------------------------------
+
+  /// Evaluates a bound predicate over attribute `attr`'s next `n` values
+  /// into bits [base, base + n) of `sel` without materializing them.
+  void ScanNext(size_t attr, size_t n, const kernels::PackedPredicate& pred,
+                kernels::BitVector* sel, size_t base) {
+    codecs_[attr]->ScanBatch(&readers_[attr], n, pred, sel, base);
+  }
+  /// Decodes attribute `attr`'s next `n` values into `out`.
+  void DecodeBatch(size_t attr, size_t n, uint8_t* out) {
+    codecs_[attr]->DecodeBatch(&readers_[attr], n, out);
+  }
+  /// Repositions attribute `attr` to its first value and re-runs
+  /// BeginDecode so a second pass over the minipage can re-read it.
+  void Rewind(size_t attr) {
+    readers_[attr].SeekToBit(0);
+    codecs_[attr]->BeginDecode(metas_[attr]);
+  }
+  AttributeCodec* codec(size_t attr) const { return codecs_[attr]; }
+
  private:
   PaxPageReader(PageView view, std::vector<AttributeCodec*> codecs,
-                std::vector<BitReader> readers)
-      : view_(view), codecs_(std::move(codecs)), readers_(std::move(readers)) {}
+                std::vector<BitReader> readers,
+                std::vector<CodecPageMeta> metas)
+      : view_(view), codecs_(std::move(codecs)), readers_(std::move(readers)),
+        metas_(std::move(metas)) {}
 
   PageView view_;
   std::vector<AttributeCodec*> codecs_;
   std::vector<BitReader> readers_;
+  std::vector<CodecPageMeta> metas_;  ///< per attribute, default if none
 };
 
 }  // namespace rodb

@@ -136,8 +136,11 @@ TEST_F(CompressedEvalTest, OperandNotInDictionary) {
   EXPECT_EQ(out_ne.size(), 5000u);
 }
 
-TEST_F(CompressedEvalTest, IneligiblePredicatesFallBack) {
-  // Range ops and short (prefix) operands cannot run on codes.
+TEST_F(CompressedEvalTest, RangeAndPrefixPredicatesRunOnCodes) {
+  // Range ops and short (prefix) operands are beyond the scalar equality
+  // pushdown, but the vectorized kernels rewrite any CompareOp into a
+  // bitmap over the code domain -- so they still run on codes, and must
+  // produce the same tuples as the value-at-a-time fallback.
   for (auto pred : {Predicate::Text(1, CompareOp::kLt, "MAIL"),
                     Predicate::Text(1, CompareOp::kEq, "RA")}) {
     ScanSpec spec = Spec(true);
@@ -145,9 +148,23 @@ TEST_F(CompressedEvalTest, IneligiblePredicatesFallBack) {
     ExecStats stats;
     ASSERT_OK_AND_ASSIGN(
         auto scan, ColumnScanner::Make(&table_, spec, &backend_, &stats));
-    ASSERT_OK(CollectTuples(scan.get()).status());
-    EXPECT_EQ(stats.counters().values_code_reads, 0u)
-        << "pred should have fallen back";
+    ASSERT_OK_AND_ASSIGN(auto out, CollectTuples(scan.get()));
+    EXPECT_EQ(stats.counters().values_code_reads, 5000u)
+        << "kernel should evaluate the predicate on codes";
+
+    // Scalar engine (vectorized off): these predicates are ineligible for
+    // the equality pushdown and fall back to materialized evaluation.
+    ScanSpec scalar = Spec(true);
+    scalar.vectorized = false;
+    scalar.predicates = {pred};
+    ExecStats sstats;
+    ASSERT_OK_AND_ASSIGN(auto sscan, ColumnScanner::Make(&table_, scalar,
+                                                         &backend_, &sstats));
+    ASSERT_OK_AND_ASSIGN(auto sout, CollectTuples(sscan.get()));
+    EXPECT_EQ(sstats.counters().values_code_reads, 0u)
+        << "scalar pred should have fallen back";
+    EXPECT_EQ(out, sout);
+    EXPECT_FALSE(out.empty());
   }
 }
 

@@ -248,6 +248,11 @@ Query GenerateQuery(Random& rng, const Dataset& dataset) {
   query.spec.read.io_unit_bytes = dataset.io_unit;
   query.spec.block_tuples = 16 + static_cast<uint32_t>(rng.Uniform(140));
 
+  // Vectorized-kernel axis: half the queries take the batched selection-
+  // mask kernels, half the value-at-a-time engine. Results, faults and
+  // resilience behavior must be identical either way.
+  query.spec.vectorized = rng.Bernoulli(0.5);
+
   // Half the queries aggregate on top of the scan. Group/input columns
   // address the scan's output layout and must be int32.
   if (rng.Bernoulli(0.5)) {
@@ -821,6 +826,11 @@ struct Runner {
         Dataset dataset,
         GenerateDataset(rng, options.min_tuples, options.max_tuples));
     const Query query = GenerateQuery(rng, dataset);
+    if (query.spec.vectorized) {
+      ++stats.vectorized_queries;
+    } else {
+      ++stats.scalar_queries;
+    }
     stats.state_hash = FoldU64(stats.state_hash, dataset.bytes_hash);
 
     // The oracle answers once for the whole iteration: layouts and codecs

@@ -43,6 +43,11 @@ struct FuzzStats {
   /// of draws (each per-stream sequence is still seeded).
   uint64_t injected_faults = 0;
   uint64_t invariance_checks = 0; ///< stats-invariance cross-checks performed
+  /// Vectorized-kernel axis: each query randomly runs either the batched
+  /// selection-mask kernels (spec.vectorized) or the value-at-a-time
+  /// engine; both sides must match the oracle exactly.
+  uint64_t vectorized_queries = 0;
+  uint64_t scalar_queries = 0;
   /// Resilience axis: every run executes under a QueryContext (deadline,
   /// cancellation, bounded retries) and must either match the oracle or
   /// fail with Cancelled / DeadlineExceeded / IoError -- never hang,

@@ -44,6 +44,11 @@ TEST(FuzzTest, SmokeMatrixAgainstOracle) {
   // The stats-invariance axis ran for every table: one parallel check
   // plus two cached passes against the serial baseline.
   EXPECT_EQ(stats->invariance_checks, 12u * 6u * 3u);
+  // Both sides of the vectorized-kernel axis were exercised.
+  EXPECT_GT(stats->vectorized_queries, 0u);
+  EXPECT_GT(stats->scalar_queries, 0u);
+  EXPECT_EQ(stats->vectorized_queries + stats->scalar_queries,
+            stats->iterations);
   // Faults fired, and the engine survived them both ways: clean Status
   // errors and fully correct answers -- never silently wrong (that would
   // be a mismatch above).

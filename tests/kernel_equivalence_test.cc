@@ -1,0 +1,388 @@
+// Equivalence sweep for the vectorized scan kernels (src/kernels/): the
+// word-at-a-time ScanPacked/ScanKeys paths and every codec's ScanBatch
+// override must agree bit-for-bit with the scalar oracle
+// (PackedPredicate::Matches / the base-class decode-one-key loop) across
+// CompareOps, bit widths 1..32, ragged batch tails (n % 64 != 0), and
+// unaligned bit offsets. When AVX2 is live, the AVX2 and forced-scalar
+// kernels are additionally diffed word by word.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "common/bitio.h"
+#include "common/bytes.h"
+#include "compression/codec.h"
+#include "compression/dictionary.h"
+#include "kernels/scan_kernels.h"
+
+namespace rodb {
+namespace {
+
+using kernels::BitVector;
+using kernels::PackedPredicate;
+
+constexpr CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                 CompareOp::kLt, CompareOp::kLe,
+                                 CompareOp::kGt, CompareOp::kGe};
+
+// Word-multiple and ragged-tail batch sizes.
+constexpr size_t kBatchSizes[] = {1, 63, 64, 65, 193};
+
+uint32_t DomainMax(int bits) {
+  return bits >= 32 ? 0xFFFFFFFFu : (uint32_t{1} << bits) - 1;
+}
+
+std::vector<uint32_t> RandomKeys(std::mt19937* rng, int bits, size_t n) {
+  std::uniform_int_distribution<uint32_t> dist(0, DomainMax(bits));
+  std::vector<uint32_t> keys(n);
+  for (auto& k : keys) k = dist(*rng);
+  return keys;
+}
+
+/// Packs `keys` at `bits` each after `offset_bits` of junk (the kernels
+/// must handle pages whose value stream starts mid-byte).
+std::vector<uint8_t> Pack(const std::vector<uint32_t>& keys, int bits,
+                          size_t offset_bits) {
+  std::vector<uint8_t> buf((offset_bits + keys.size() * bits) / 8 + 16, 0xAA);
+  BitWriter w(buf.data(), buf.size());
+  for (size_t i = 0; i < offset_bits; ++i) w.Put(1, 1);
+  for (uint32_t k : keys) w.Put(k, bits);
+  buf.resize(w.bytes_used());
+  return buf;
+}
+
+/// Checks sel bits [base, base + n) against the scalar oracle and every
+/// bit of the written words past base + n against zero.
+void ExpectMaskMatchesOracle(const BitVector& sel,
+                             const std::vector<uint32_t>& keys,
+                             const PackedPredicate& pred, size_t base) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(sel.Test(base + i), pred.Matches(keys[i]))
+        << "key " << keys[i] << " at " << i;
+  }
+  const size_t end = base + keys.size();
+  if (end % 64 != 0) {
+    const uint64_t tail = sel.words()[end / 64] >> (end % 64);
+    EXPECT_EQ(tail, 0u) << "tail bits past " << end << " must stay zero";
+  }
+}
+
+/// Restores the dispatch hook even when an assertion bails out early.
+struct ForceScalarGuard {
+  explicit ForceScalarGuard(bool force) {
+    kernels::SetForceScalarKernels(force);
+  }
+  ~ForceScalarGuard() { kernels::SetForceScalarKernels(false); }
+};
+
+TEST(KernelEquivalenceTest, RangePredicatesAllWidthsAndTails) {
+  std::mt19937 rng(20060912);
+  for (int bits = 1; bits <= 32; ++bits) {
+    const uint32_t domain = DomainMax(bits);
+    for (size_t n : kBatchSizes) {
+      const auto keys = RandomKeys(&rng, bits, n);
+      const size_t offset = (bits * 7) % 13;  // unaligned starts
+      const auto buf = Pack(keys, bits, offset);
+      // Operands: inside the domain, at both edges, and past the domain
+      // (kRange's `empty` canonicalization).
+      const int64_t operands[] = {0, domain, keys[n / 2],
+                                  static_cast<int64_t>(domain) + 1, -1};
+      for (int64_t operand : operands) {
+        for (CompareOp op : kAllOps) {
+          const PackedPredicate pred =
+              PackedPredicate::Range(op, operand, domain, 0);
+          BitVector sel(n);
+          kernels::ScanPacked(buf.data(), buf.size() * 8, offset, bits, n,
+                              pred, &sel, 0);
+          ExpectMaskMatchesOracle(sel, keys, pred, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SignedDomainUsesXorMask) {
+  // kNone/FOR-delta keys are signed int32 mapped to unsigned order with
+  // xor_mask = 0x80000000; the kernel result must equal a plain signed
+  // comparison.
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int64_t> dist(INT32_MIN, INT32_MAX);
+  const size_t n = 193;
+  std::vector<uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<uint32_t>(dist(rng));
+  const auto buf = Pack(keys, 32, 0);
+  const int32_t operand = static_cast<int32_t>(dist(rng));
+  for (CompareOp op : kAllOps) {
+    const PackedPredicate pred = PackedPredicate::Range(
+        op, static_cast<int64_t>(static_cast<uint32_t>(operand) ^ 0x80000000u),
+        0xFFFFFFFFu, 0x80000000u);
+    BitVector sel(n);
+    kernels::ScanPacked(buf.data(), buf.size() * 8, 0, 32, n, pred, &sel, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t v = static_cast<int32_t>(keys[i]);
+      bool expect = false;
+      switch (op) {
+        case CompareOp::kEq: expect = v == operand; break;
+        case CompareOp::kNe: expect = v != operand; break;
+        case CompareOp::kLt: expect = v < operand; break;
+        case CompareOp::kLe: expect = v <= operand; break;
+        case CompareOp::kGt: expect = v > operand; break;
+        case CompareOp::kGe: expect = v >= operand; break;
+      }
+      ASSERT_EQ(sel.Test(i), expect) << "value " << v << " op "
+                                     << static_cast<int>(op);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, BitmapPredicates) {
+  std::mt19937 rng(7);
+  for (int bits = 1; bits <= 12; ++bits) {
+    const uint32_t domain = DomainMax(bits);
+    for (size_t n : kBatchSizes) {
+      const auto keys = RandomKeys(&rng, bits, n);
+      const auto buf = Pack(keys, bits, 3);
+      PackedPredicate pred;
+      pred.mode = PackedPredicate::Mode::kBitmap;
+      pred.bitmap_bits = static_cast<size_t>(domain) + 1;
+      pred.bitmap.assign((pred.bitmap_bits + 63) / 64, 0);
+      for (size_t c = 0; c <= domain; ++c) {
+        if (rng() & 1) pred.bitmap[c / 64] |= uint64_t{1} << (c % 64);
+      }
+      for (bool negate : {false, true}) {
+        pred.negate = negate;
+        BitVector sel(n);
+        kernels::ScanPacked(buf.data(), buf.size() * 8, 3, bits, n, pred,
+                            &sel, 0);
+        ExpectMaskMatchesOracle(sel, keys, pred, 0);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ScanKeysMatchesOracleAndHonorsBase) {
+  std::mt19937 rng(11);
+  for (size_t n : kBatchSizes) {
+    const auto keys = RandomKeys(&rng, 32, n);
+    for (CompareOp op : kAllOps) {
+      const PackedPredicate pred =
+          PackedPredicate::Range(op, keys[0], 0xFFFFFFFFu, 0);
+      for (size_t base : {size_t{0}, size_t{64}}) {
+        BitVector sel(base + n);
+        kernels::ScanKeys(keys.data(), n, pred, &sel, base);
+        ExpectMaskMatchesOracle(sel, keys, pred, base);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, Avx2AndScalarKernelsAreBitIdentical) {
+  if (!kernels::Avx2Enabled()) {
+    GTEST_SKIP() << "AVX2 kernels not active (" << kernels::ActiveKernelIsa()
+                 << " build/CPU); nothing to diff";
+  }
+  std::mt19937 rng(123);
+  for (int bits = 1; bits <= 32; ++bits) {
+    const uint32_t domain = DomainMax(bits);
+    for (size_t n : {size_t{65}, size_t{193}}) {
+      const auto keys = RandomKeys(&rng, bits, n);
+      const auto buf = Pack(keys, bits, 5);
+      for (CompareOp op : kAllOps) {
+        const PackedPredicate pred =
+            PackedPredicate::Range(op, keys[n / 3], domain, 0);
+        BitVector vec(n);
+        kernels::ScanPacked(buf.data(), buf.size() * 8, 5, bits, n, pred,
+                            &vec, 0);
+        BitVector scal(n);
+        {
+          ForceScalarGuard guard(true);
+          ASSERT_EQ(kernels::ActiveKernelIsa(), "scalar");
+          kernels::ScanPacked(buf.data(), buf.size() * 8, 5, bits, n, pred,
+                              &scal, 0);
+        }
+        for (size_t w = 0; w < vec.num_words(); ++w) {
+          ASSERT_EQ(vec.words()[w], scal.words()[w])
+              << "bits=" << bits << " n=" << n << " word=" << w;
+        }
+      }
+    }
+  }
+}
+
+// --- codec-level: overridden ScanBatch vs the base-class scalar loop ---
+
+struct CodecCase {
+  const char* name;
+  CodecSpec spec;
+  int raw_width;
+};
+
+/// Values every codec in the sweep can represent on one page.
+std::vector<int32_t> CodecValues(std::mt19937* rng, const CodecSpec& spec,
+                                 size_t n) {
+  std::vector<int32_t> vals(n);
+  if (spec.kind == CompressionKind::kForDelta) {
+    // Zig-zag deltas must fit `bits`: a short random walk.
+    std::uniform_int_distribution<int32_t> step(-60, 60);
+    int32_t v = 1000;
+    for (auto& x : vals) {
+      v += step(*rng);
+      x = v;
+    }
+  } else if (spec.kind == CompressionKind::kFor) {
+    // Diffs from the page base (first value) must be non-negative and
+    // fit `bits`.
+    std::uniform_int_distribution<int32_t> diff(
+        0, static_cast<int32_t>(DomainMax(spec.bits)));
+    for (auto& x : vals) x = 5000 + diff(*rng);
+    vals[0] = 5000;
+  } else if (spec.kind == CompressionKind::kBitPack ||
+             spec.kind == CompressionKind::kDict) {
+    const uint32_t cap = spec.kind == CompressionKind::kDict
+                             ? DomainMax(spec.bits)
+                             : DomainMax(spec.bits > 30 ? 30 : spec.bits);
+    std::uniform_int_distribution<uint32_t> dist(0, cap);
+    for (auto& x : vals) x = static_cast<int32_t>(dist(*rng));
+  } else {
+    std::uniform_int_distribution<int64_t> dist(INT32_MIN, INT32_MAX);
+    for (auto& x : vals) x = static_cast<int32_t>(dist(*rng));
+  }
+  return vals;
+}
+
+TEST(KernelEquivalenceTest, CodecScanBatchMatchesScalarDefault) {
+  const CodecCase cases[] = {
+      {"none_int32", CodecSpec::None(), 4},
+      {"pack1", CodecSpec::BitPack(1), 4},
+      {"pack5", CodecSpec::BitPack(5), 4},
+      {"pack14", CodecSpec::BitPack(14), 4},
+      {"pack30", CodecSpec::BitPack(30), 4},
+      {"for16", CodecSpec::For(16), 4},
+      {"fordelta8", CodecSpec::ForDelta(8), 4},
+      {"dict6_int", CodecSpec::Dict(6), 4},
+  };
+  std::mt19937 rng(314159);
+  for (const CodecCase& tc : cases) {
+    SCOPED_TRACE(tc.name);
+    Dictionary dict(tc.raw_width);
+    auto codec = MakeCodec(tc.spec, tc.raw_width, &dict);
+    ASSERT_TRUE(codec.ok());
+    for (size_t n : {size_t{64}, size_t{193}}) {
+      const auto vals = CodecValues(&rng, tc.spec, n);
+      std::vector<uint8_t> buf(n * 8 + 64, 0);
+      BitWriter writer(buf.data(), buf.size());
+      (*codec)->BeginPage();
+      for (int32_t v : vals) {
+        uint8_t raw[4];
+        StoreLE32s(raw, v);
+        ASSERT_TRUE((*codec)->EncodeValue(raw, &writer));
+      }
+      CodecPageMeta meta;
+      (*codec)->FinishPage(&meta);
+      const size_t page_bits = writer.bit_pos();
+
+      for (CompareOp op : kAllOps) {
+        uint8_t operand[4];
+        StoreLE32s(operand, vals[n / 2]);
+        // Vectorized override.
+        (*codec)->BeginDecode(meta);
+        PackedPredicate pred;
+        if (!(*codec)->BindPredicate(op, operand, 4, false, &pred)) continue;
+        BitReader r1(buf.data(), (page_bits + 7) / 8);
+        BitVector vec(n);
+        (*codec)->ScanBatch(&r1, n, pred, &vec, 0);
+        EXPECT_EQ(r1.bit_pos(),
+                  n * static_cast<size_t>((*codec)->encoded_bits()));
+
+        // Scalar oracle: the base-class decode-one-key loop over the same
+        // bound predicate.
+        (*codec)->BeginDecode(meta);
+        PackedPredicate pred2;
+        ASSERT_TRUE((*codec)->BindPredicate(op, operand, 4, false, &pred2));
+        BitReader r2(buf.data(), (page_bits + 7) / 8);
+        BitVector scal(n);
+        (*codec)->AttributeCodec::ScanBatch(&r2, n, pred2, &scal, 0);
+
+        for (size_t w = 0; w < vec.num_words(); ++w) {
+          ASSERT_EQ(vec.words()[w], scal.words()[w])
+              << "op " << static_cast<int>(op) << " n=" << n << " word " << w;
+        }
+        // Both must agree with a direct evaluation on the raw values.
+        const int32_t o = vals[n / 2];
+        for (size_t i = 0; i < n; ++i) {
+          const int32_t v = vals[i];
+          bool expect = false;
+          switch (op) {
+            case CompareOp::kEq: expect = v == o; break;
+            case CompareOp::kNe: expect = v != o; break;
+            case CompareOp::kLt: expect = v < o; break;
+            case CompareOp::kLe: expect = v <= o; break;
+            case CompareOp::kGt: expect = v > o; break;
+            case CompareOp::kGe: expect = v >= o; break;
+          }
+          ASSERT_EQ(vec.Test(i), expect)
+              << "value " << v << " op " << static_cast<int>(op);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, DictTextPrefixBitmapMatchesScalar) {
+  // Text dictionary with ordered and prefix operands -- the bitmap
+  // rewrite that lets ineligible-for-equality predicates still run on
+  // codes.
+  Dictionary dict(4);
+  auto codec = MakeCodec(CodecSpec::Dict(3), 4, &dict);
+  ASSERT_TRUE(codec.ok());
+  const char* modes[] = {"AIR ", "RAIL", "SHIP", "MAIL", "FOB "};
+  const size_t n = 193;
+  std::vector<uint8_t> buf(n * 2 + 64, 0);
+  BitWriter writer(buf.data(), buf.size());
+  (*codec)->BeginPage();
+  std::vector<std::string> vals;
+  for (size_t i = 0; i < n; ++i) {
+    vals.push_back(modes[i % 5]);
+    ASSERT_TRUE((*codec)->EncodeValue(
+        reinterpret_cast<const uint8_t*>(vals.back().data()), &writer));
+  }
+  CodecPageMeta meta;
+  (*codec)->FinishPage(&meta);
+
+  struct { const char* operand; size_t len; } operands[] = {
+      {"MAIL", 4}, {"RA", 2}, {"ZZZZ", 4}};
+  for (const auto& od : operands) {
+    for (CompareOp op : kAllOps) {
+      (*codec)->BeginDecode(meta);
+      PackedPredicate pred;
+      ASSERT_TRUE((*codec)->BindPredicate(
+          op, reinterpret_cast<const uint8_t*>(od.operand), od.len, true,
+          &pred));
+      EXPECT_EQ(pred.mode, PackedPredicate::Mode::kBitmap);
+      BitReader reader(buf.data(), writer.bytes_used());
+      BitVector sel(n);
+      (*codec)->ScanBatch(&reader, n, pred, &sel, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const int c = std::memcmp(vals[i].data(), od.operand, od.len);
+        bool expect = false;
+        switch (op) {
+          case CompareOp::kEq: expect = c == 0; break;
+          case CompareOp::kNe: expect = c != 0; break;
+          case CompareOp::kLt: expect = c < 0; break;
+          case CompareOp::kLe: expect = c <= 0; break;
+          case CompareOp::kGt: expect = c > 0; break;
+          case CompareOp::kGe: expect = c >= 0; break;
+        }
+        ASSERT_EQ(sel.Test(i), expect)
+            << vals[i] << " vs " << od.operand << " op "
+            << static_cast<int>(op);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rodb

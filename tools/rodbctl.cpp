@@ -37,6 +37,7 @@
 #include "engine/query_context.h"
 #include "io/block_cache.h"
 #include "io/file_backend.h"
+#include "kernels/scan_kernels.h"
 #include "obs/model_comparison.h"
 #include "obs/scan_physics.h"
 #include "obs/span.h"
@@ -302,6 +303,16 @@ Status CmdScan(const std::string& dir, const std::string& name,
   if (trace) {
     qtrace.FinalizeFromCounters(stats.counters());
     std::printf("\ntrace:\n%s", qtrace.ToText().c_str());
+    const ExecCounters& cc = stats.counters();
+    if (cc.kernel_batches > 0) {
+      std::printf("vectorized: isa=%s batches=%llu values=%llu "
+                  "mask_skipped=%llu\n",
+                  std::string(kernels::ActiveKernelIsa()).c_str(),
+                  static_cast<unsigned long long>(cc.kernel_batches),
+                  static_cast<unsigned long long>(
+                      cc.values_scanned_vectorized),
+                  static_cast<unsigned long long>(cc.mask_skipped_values));
+    }
     const auto physics = obs::PredictScanPhysics(table, spec);
     if (physics.ok()) {
       const HardwareConfig hw = HardwareConfig::Paper2006();

@@ -173,6 +173,27 @@ Status ColumnScanner::Open() {
   }
   const bool ranged = start > 0 || end_row_ < total;
   const size_t page_size = table_->meta().page_size;
+  plan_ = BuildPrunePlan(*table_, spec_);
+  plan_.AddCountersTo(&stats_->counters());
+  if (plan_.active) {
+    // One gapped stream per pipeline node, carrying only the page runs
+    // the plan retained for that node's file.
+    RODB_CHECK(plan_.nodes.size() == nodes_.size());
+    for (size_t k = 0; k < nodes_.size(); ++k) {
+      Node& node = nodes_[k];
+      node.prune = &plan_.nodes[k];
+      IoOptions options =
+          ScanStreamOptions(spec_, stats_, *table_, node.attr);
+      RODB_ASSIGN_OR_RETURN(
+          node.stream,
+          OpenMultiRunStream(backend_, table_->FilePath(node.attr), options,
+                             ByteRunsForPages(node.prune->page_runs,
+                                              page_size,
+                                              table_->FileBytes(node.attr)),
+                             table_->FileBytes(node.attr)));
+    }
+    return Status::OK();
+  }
   for (Node& node : nodes_) {
     IoOptions options = ScanStreamOptions(spec_, stats_, *table_, node.attr);
     if (ranged) {
@@ -241,6 +262,14 @@ Status ColumnScanner::AdvanceNodePage(Node& node) {
         return Status::Corruption("I/O unit smaller than one page");
       }
     }
+    if (node.prune != nullptr) {
+      // Views from a pruned (gapped) stream carry their absolute file
+      // offset; recover the page's first value position from it.
+      const uint64_t file_page =
+          node.view.file_offset / table_->meta().page_size +
+          node.page_in_view;
+      node.page_start_pos = file_page * node.prune->vpp;
+    }
     const uint8_t* page_data =
         node.view.data + node.page_in_view * table_->meta().page_size;
     ++node.page_in_view;
@@ -250,6 +279,7 @@ Status ColumnScanner::AdvanceNodePage(Node& node) {
                                                  node.codec.get(),
                                                  spec_.read.verify_checksums));
     stats_->counters().pages_parsed += 1;
+    node.pages_read += 1;
     node.page.emplace(reader);
     node.consumed_in_page = 0;
     node.touched_in_page = 0;
@@ -288,6 +318,13 @@ Status ColumnScanner::SeekTo(Node& node, uint64_t pos) {
   if (node.eof) {
     return Status::Corruption("column " + std::to_string(node.attr) +
                               " shorter than the driving position stream");
+  }
+  if (pos < node.page_start_pos) {
+    // Only reachable on a pruned stream, when the seek target fell inside
+    // a skipped gap (e.g. a morsel's first_row on a pruned page): the
+    // fetched page starts past it and nothing needs skipping.
+    RODB_CHECK(node.prune != nullptr);
+    return Status::OK();
   }
   const uint64_t target_in_page = pos - node.page_start_pos;
   RODB_CHECK(target_in_page >= node.consumed_in_page);
@@ -496,6 +533,17 @@ Status ColumnScanner::ProduceBase(Node& node) {
         node.consumed_in_page >= node.page->count()) {
       RODB_RETURN_IF_ERROR(AdvanceNodePage(node));
       if (node.eof) {
+        if (node.prune != nullptr) {
+          // A pruned stream ends after the last retained page, not at
+          // end_row_; completeness means every retained page arrived.
+          if (node.pages_read != node.prune->pages) {
+            return Status::Corruption(
+                "pruned column " + std::to_string(node.attr) + " scan read " +
+                std::to_string(node.pages_read) + " of " +
+                std::to_string(node.prune->pages) + " retained pages");
+          }
+          break;
+        }
         // The stream must not end before the scanned position range does:
         // a truncated column file has to fail, not return fewer rows.
         if (node.page_start_pos < end_row_) {
@@ -583,6 +631,13 @@ Result<TupleBlock*> ColumnScanner::ProcessNode(Node& node, TupleBlock* in) {
   TupleBlock& out = *node.out_block;
   out.Clear();
   for (uint32_t i = 0; i < in->size(); ++i) {
+    if (node.prune != nullptr &&
+        !RunsContain(node.prune->accept, in->position(i))) {
+      // The position's page was zone-proven predicate-free (and never
+      // fetched): reject without touching the stream.
+      c.prune_zone_rejects += 1;
+      continue;
+    }
     bool pass = true;
     bool have_value = false;
     if (node.use_codes) {

@@ -8,6 +8,7 @@
 #include "engine/exec_stats.h"
 #include "engine/operator.h"
 #include "engine/scan_spec.h"
+#include "engine/zone_pruner.h"
 #include "io/io.h"
 #include "compression/dictionary.h"
 #include "storage/catalog.h"
@@ -58,6 +59,14 @@ class ColumnScanner final : public Operator {
     uint64_t consumed_in_page = 0;
     uint64_t touched_in_page = 0;
     bool eof = false;
+
+    /// This node's slice of the scan's prune plan (null when pruning is
+    /// inactive). The stream then carries only prune->page_runs;
+    /// page_start_pos is recovered from each view's file offset, and
+    /// ProcessNode zone-rejects positions outside prune->accept without
+    /// touching the stream.
+    const NodePrunePlan* prune = nullptr;
+    uint64_t pages_read = 0;  ///< pages delivered (pruned completeness check)
 
     /// Compressed-eval fast path: =/!= predicates on dictionary columns
     /// compare codes and materialize values only when needed.
@@ -143,6 +152,9 @@ class ColumnScanner final : public Operator {
   uint64_t end_row_ = UINT64_MAX;
   /// Whether the deepest node has skipped ahead to spec_.range.first_row().
   bool base_positioned_ = false;
+  /// Zone-map prune plan; nodes_[k].prune points into plan_.nodes when
+  /// active.
+  PrunePlan plan_;
 };
 
 }  // namespace rodb

@@ -85,9 +85,25 @@ Result<OperatorPtr> EarlyMatColumnScanner::Make(const OpenTable* table,
 
 Status EarlyMatColumnScanner::Open() {
   if (opened_) return Status::OK();
+  plan_ = BuildPrunePlan(*table_, spec_);
+  plan_.AddCountersTo(&stats_->counters());
   for (Cursor& cursor : cursors_) {
     const IoOptions options =
         ScanStreamOptions(spec_, stats_, *table_, cursor.attr);
+    if (plan_.active) {
+      // Lockstep iteration only visits the surviving positions, so every
+      // cursor streams exactly the pages of its file overlapping them.
+      cursor.vpp = table_->meta().PageValues(cursor.attr);
+      RODB_ASSIGN_OR_RETURN(
+          cursor.stream,
+          OpenMultiRunStream(
+              backend_, table_->FilePath(cursor.attr), options,
+              ByteRunsForPages(PageRunsForPositions(plan_.global, cursor.vpp),
+                               table_->meta().page_size,
+                               table_->FileBytes(cursor.attr)),
+              table_->FileBytes(cursor.attr)));
+      continue;
+    }
     RODB_ASSIGN_OR_RETURN(
         cursor.stream,
         backend_->OpenStream(table_->FilePath(cursor.attr), options));
@@ -137,6 +153,14 @@ Status EarlyMatColumnScanner::AdvancePage(Cursor& cursor) {
         return Status::Corruption("I/O unit smaller than one page");
       }
     }
+    if (plan_.active) {
+      // Views from a pruned (gapped) stream carry their absolute file
+      // offset; recover the page's first value position from it.
+      const uint64_t file_page =
+          cursor.view.file_offset / table_->meta().page_size +
+          cursor.page_in_view;
+      cursor.page_start_pos = file_page * cursor.vpp;
+    }
     const uint8_t* page_data =
         cursor.view.data + cursor.page_in_view * table_->meta().page_size;
     ++cursor.page_in_view;
@@ -163,11 +187,90 @@ Status EarlyMatColumnScanner::EnsureValue(Cursor& cursor) {
   return Status::OK();
 }
 
+Status EarlyMatColumnScanner::SeekCursor(Cursor& cursor, uint64_t pos) {
+  while (!cursor.eof &&
+         (!cursor.page.has_value() ||
+          pos >= cursor.page_start_pos + cursor.page->count())) {
+    RODB_RETURN_IF_ERROR(AdvancePage(cursor));
+  }
+  if (cursor.eof) {
+    return Status::Corruption(
+        "pruned column " + std::to_string(cursor.attr) +
+        " ended before surviving position " + std::to_string(pos));
+  }
+  RODB_CHECK(pos >= cursor.page_start_pos);
+  const uint64_t in_page = pos - cursor.page_start_pos;
+  RODB_CHECK(in_page >= cursor.consumed_in_page);
+  const uint64_t skip = in_page - cursor.consumed_in_page;
+  if (skip > 0) {
+    cursor.page->SkipValues(skip);
+    cursor.consumed_in_page += skip;
+    // FOR-delta decodes everything it passes over.
+    if (cursor.kind == CompressionKind::kForDelta) CountDecode(cursor, skip);
+  }
+  return Status::OK();
+}
+
+Result<TupleBlock*> EarlyMatColumnScanner::NextPruned() {
+  ExecCounters& c = stats_->counters();
+  const BlockLayout& layout = block_.layout();
+  uint8_t* value = value_scratch_.data();
+  block_.Clear();
+  while (!block_.full() && run_idx_ < plan_.global.size()) {
+    const Run& run = plan_.global[run_idx_];
+    if (next_position_ < run.begin) next_position_ = run.begin;
+    if (next_position_ >= run.end) {
+      ++run_idx_;
+      continue;
+    }
+    RODB_RETURN_IF_ERROR(stats_->CheckAlive());
+    const uint64_t position = next_position_++;
+    c.tuples_examined += 1;
+    bool pass = true;
+    // Values are written directly into the next (not yet appended) slot;
+    // the slot only becomes part of the block if the row qualifies.
+    uint8_t* slot = block_.tuple(block_.size());
+    for (Cursor& cursor : cursors_) {
+      RODB_RETURN_IF_ERROR(SeekCursor(cursor, position));
+      cursor.page->DecodeNext(value);
+      cursor.consumed_in_page += 1;
+      CountDecode(cursor, 1);
+      if (pass) {
+        for (const Predicate& pred : cursor.preds) {
+          c.predicate_evals += 1;
+          if (!pred.Eval(value)) {
+            pass = false;
+            break;
+          }
+        }
+      }
+      if (pass && cursor.out_col >= 0) {
+        std::memcpy(
+            slot + layout.offsets[static_cast<size_t>(cursor.out_col)],
+            value, static_cast<size_t>(cursor.width));
+        c.values_copied += 1;
+        c.bytes_copied += static_cast<uint64_t>(cursor.width);
+      }
+    }
+    if (pass) {
+      block_.AppendSlot();  // slot was filled in place
+      block_.set_position(block_.size() - 1, position);
+    }
+  }
+  if (block_.empty()) {
+    stats_->FoldIo();
+    return static_cast<TupleBlock*>(nullptr);
+  }
+  c.blocks_emitted += 1;
+  return &block_;
+}
+
 Result<TupleBlock*> EarlyMatColumnScanner::Next() {
   if (!opened_) {
     return Status::InvalidArgument("EarlyMatColumnScanner not opened");
   }
   obs::SpanTimer scan_span(stats_->trace(), obs::TracePhase::kScan);
+  if (plan_.active) return NextPruned();
   ExecCounters& c = stats_->counters();
   const BlockLayout& layout = block_.layout();
   uint8_t* value = value_scratch_.data();

@@ -8,6 +8,7 @@
 #include "engine/exec_stats.h"
 #include "engine/operator.h"
 #include "engine/scan_spec.h"
+#include "engine/zone_pruner.h"
 #include "io/io.h"
 #include "storage/catalog.h"
 #include "storage/column_page.h"
@@ -56,6 +57,11 @@ class EarlyMatColumnScanner final : public Operator {
     std::optional<ColumnPageReader> page;
     uint64_t consumed_in_page = 0;
     bool eof = false;
+    /// Pruned scans only: absolute position of the current page's first
+    /// value (recovered from the view's file offset) and the file's
+    /// values per full page.
+    uint64_t page_start_pos = 0;
+    uint32_t vpp = 0;
   };
 
   EarlyMatColumnScanner(const OpenTable* table, ScanSpec spec,
@@ -65,6 +71,12 @@ class EarlyMatColumnScanner final : public Operator {
   Status AdvancePage(Cursor& cursor);
   /// Ensures the cursor has a value available; sets eof at end.
   Status EnsureValue(Cursor& cursor);
+  /// Pruned scans: positions the cursor at absolute position `pos`
+  /// (advancing pages and skipping within the page as needed).
+  Status SeekCursor(Cursor& cursor, uint64_t pos);
+  /// Pruned scans: lockstep iteration over the plan's surviving position
+  /// runs instead of 0..num_tuples.
+  Result<TupleBlock*> NextPruned();
   void CountDecode(const Cursor& cursor, uint64_t n);
 
   const OpenTable* table_;
@@ -79,6 +91,11 @@ class EarlyMatColumnScanner final : public Operator {
   std::vector<uint8_t> value_scratch_;
   uint64_t next_position_ = 0;
   bool opened_ = false;
+  /// Zone-map prune plan. When active every cursor streams only the pages
+  /// overlapping plan_.global and iteration walks those position runs;
+  /// positions outside them are zone-proven to fail a predicate.
+  PrunePlan plan_;
+  size_t run_idx_ = 0;  ///< current run in plan_.global (pruned scans)
 };
 
 }  // namespace rodb

@@ -52,6 +52,7 @@ class ExecStats {
     MirrorIoToRegistry(io_);
     io_ = IoStats{};
     MirrorVectorizedToRegistry();
+    MirrorPruningToRegistry();
   }
 
   /// Memory-pattern helpers (see DESIGN.md substitution #2). A scanner
@@ -105,11 +106,46 @@ class ExecStats {
     mirrored_mask_skipped_ = counters_.mask_skipped_values;
   }
 
+  /// Zone-map pruning counters use the same high-water scheme as the
+  /// vectorized kernel counters above.
+  void MirrorPruningToRegistry() {
+    auto& reg = obs::MetricsRegistry::Default();
+    static obs::Counter* plans = reg.GetCounter("rodb.scan.pruning.plans");
+    static obs::Counter* declined =
+        reg.GetCounter("rodb.scan.pruning.declined");
+    static obs::Counter* pruned =
+        reg.GetCounter("rodb.scan.pruning.pages_pruned");
+    static obs::Counter* retained =
+        reg.GetCounter("rodb.scan.pruning.pages_retained");
+    static obs::Counter* rejects =
+        reg.GetCounter("rodb.scan.pruning.zone_rejects");
+    static obs::Counter* corrupt =
+        reg.GetCounter("rodb.scan.pruning.synopsis_corrupt");
+    plans->Add(counters_.prune_plans - mirrored_prune_plans_);
+    declined->Add(counters_.prune_declined - mirrored_prune_declined_);
+    pruned->Add(counters_.pages_pruned - mirrored_pages_pruned_);
+    retained->Add(counters_.pages_retained - mirrored_pages_retained_);
+    rejects->Add(counters_.prune_zone_rejects - mirrored_zone_rejects_);
+    corrupt->Add(counters_.synopsis_corrupt - mirrored_synopsis_corrupt_);
+    mirrored_prune_plans_ = counters_.prune_plans;
+    mirrored_prune_declined_ = counters_.prune_declined;
+    mirrored_pages_pruned_ = counters_.pages_pruned;
+    mirrored_pages_retained_ = counters_.pages_retained;
+    mirrored_zone_rejects_ = counters_.prune_zone_rejects;
+    mirrored_synopsis_corrupt_ = counters_.synopsis_corrupt;
+  }
+
   ExecCounters counters_;
   IoStats io_;
   uint64_t mirrored_kernel_batches_ = 0;
   uint64_t mirrored_kernel_values_ = 0;
   uint64_t mirrored_mask_skipped_ = 0;
+  uint64_t mirrored_prune_plans_ = 0;
+  uint64_t mirrored_prune_declined_ = 0;
+  uint64_t mirrored_pages_pruned_ = 0;
+  uint64_t mirrored_pages_retained_ = 0;
+  uint64_t mirrored_zone_rejects_ = 0;
+  uint64_t mirrored_synopsis_corrupt_ = 0;
   obs::QueryTrace* trace_ = nullptr;
   const QueryContext* context_ = nullptr;
 };

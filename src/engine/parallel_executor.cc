@@ -15,6 +15,7 @@
 #include "common/stopwatch.h"
 #include "engine/exec_stats.h"
 #include "engine/plan_builder.h"
+#include "engine/zone_pruner.h"
 #include "obs/metrics.h"
 #include "storage/table_files.h"
 
@@ -220,8 +221,10 @@ void EmitMergedAggregate(const AggPlan& orig,
 
 /// Serial-stream I/O equivalents for the normalized counters: one stream
 /// per file the scan reads, each requesting the whole file in I/O units.
+/// Under an active prune plan a serial scan opens one stream per retained
+/// byte run instead, so the equivalents are computed per run.
 void NormalizeIoCounters(const OpenTable& table, const ScanSpec& spec,
-                         ExecCounters* c) {
+                         const PrunePlan& prune, ExecCounters* c) {
   uint64_t requests = 0;
   uint64_t files = 0;
   const size_t unit = spec.read.io_unit_bytes;
@@ -229,7 +232,21 @@ void NormalizeIoCounters(const OpenTable& table, const ScanSpec& spec,
     files += 1;
     requests += (bytes + unit - 1) / unit;
   };
-  if (table.meta().layout != Layout::kColumn) {
+  auto add_runs = [&](const std::vector<Run>& page_runs, uint64_t bytes) {
+    for (const ByteRun& r :
+         ByteRunsForPages(page_runs, table.meta().page_size, bytes)) {
+      add_file(r.length);
+    }
+  };
+  if (prune.active) {
+    if (table.meta().layout != Layout::kColumn) {
+      add_runs(prune.nodes[0].page_runs, table.FileBytes(0));
+    } else {
+      for (const NodePrunePlan& node : prune.nodes) {
+        add_runs(node.page_runs, table.FileBytes(node.attr));
+      }
+    }
+  } else if (table.meta().layout != Layout::kColumn) {
     add_file(table.FileBytes(0));
   } else {
     for (size_t attr : ScanPipelineAttrs(spec)) {
@@ -331,8 +348,38 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
     return Status::InvalidArgument("ParallelExecute: null dependency");
   }
   IntervalTimer timer;
-  const std::vector<ScanSpec> morsels =
+  std::vector<ScanSpec> morsels =
       PlanMorsels(*plan.table, plan.spec, parallelism);
+  // Morsel-level data skipping: carve away morsels whose whole position
+  // range was zone-pruned (their workers would open streams just to read
+  // nothing). Each surviving worker re-plans pruning clipped to its own
+  // range, so the plan here is only consulted for overlap.
+  const PrunePlan whole_prune = BuildPrunePlan(*plan.table, plan.spec);
+  if (whole_prune.active && morsels.size() > 1) {
+    const TableMeta& meta = plan.table->meta();
+    std::vector<ScanSpec> kept;
+    for (ScanSpec& m : morsels) {
+      uint64_t lo = 0;
+      uint64_t hi = meta.num_tuples;
+      if (m.range.unit == ScanRange::Unit::kPages) {
+        const uint64_t vpp = meta.PageValues(0);
+        const uint64_t np =
+            std::min(m.range.num_pages(), meta.file_pages[0]);
+        lo = m.range.first_page() * vpp;
+        hi = std::min(hi, lo + np * vpp);
+      } else if (m.range.unit == ScanRange::Unit::kRows) {
+        lo = std::min(m.range.first_row(), hi);
+        hi = lo + std::min(m.range.num_rows(), hi - lo);
+      }
+      if (!IntersectRuns(whole_prune.global, {Run{lo, hi}}).empty()) {
+        kept.push_back(std::move(m));
+      }
+    }
+    // Keep one morsel even when everything was pruned: the scan still has
+    // to run (and report) an empty, well-formed result.
+    if (kept.empty()) kept.push_back(std::move(morsels.front()));
+    morsels = std::move(kept);
+  }
   ParallelResult out;
   out.morsels = static_cast<int>(morsels.size());
 
@@ -464,7 +511,7 @@ Result<ParallelResult> ParallelExecute(const ParallelScanPlan& plan,
   // never partition-exact (boundary fragments, k streams per file) and
   // are normalized to the serial equivalents so ModelQueryTiming is
   // parallelism-invariant.
-  NormalizeIoCounters(*plan.table, plan.spec, &out.counters);
+  NormalizeIoCounters(*plan.table, plan.spec, whole_prune, &out.counters);
   if (trace != nullptr) trace->FinalizeFromCounters(out.counters);
   {
     static obs::Counter* morsel_count =

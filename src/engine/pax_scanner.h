@@ -8,6 +8,7 @@
 #include "engine/exec_stats.h"
 #include "engine/operator.h"
 #include "engine/scan_spec.h"
+#include "engine/zone_pruner.h"
 #include "io/io.h"
 #include "storage/catalog.h"
 #include "storage/pax_page.h"
@@ -102,6 +103,11 @@ class PaxScanner final : public Operator {
   kernels::BitVector page_mask_;
   kernels::BitVector pass_mask_;
   std::vector<uint8_t> batch_scratch_;  ///< FOR-delta minipage decode
+
+  /// Zone-map prune plan (inactive unless spec.prune found skippable
+  /// pages). When active the stream only carries the retained page runs
+  /// and page_start_pos_ is recovered from each view's file offset.
+  PrunePlan plan_;
 };
 
 }  // namespace rodb

@@ -77,7 +77,22 @@ Result<OperatorPtr> RowScanner::Make(const OpenTable* table, ScanSpec spec,
 
 Status RowScanner::Open() {
   if (opened_) return Status::OK();
+  plan_ = BuildPrunePlan(*table_, spec_);
+  plan_.AddCountersTo(&stats_->counters());
   IoOptions options = ScanStreamOptions(spec_, stats_, *table_, 0);
+  if (plan_.active) {
+    // Stream only the retained page runs; positions are recovered from
+    // each view's absolute file offset in AdvancePage.
+    RODB_ASSIGN_OR_RETURN(
+        stream_,
+        OpenMultiRunStream(backend_, table_->FilePath(0), options,
+                           ByteRunsForPages(plan_.nodes[0].page_runs,
+                                            table_->meta().page_size,
+                                            table_->FileBytes(0)),
+                           table_->FileBytes(0)));
+    opened_ = true;
+    return Status::OK();
+  }
   options.start_offset = spec_.range.first_page() * table_->meta().page_size;
   if (spec_.range.num_pages() != UINT64_MAX) {
     options.length = spec_.range.num_pages() * table_->meta().page_size;
@@ -112,6 +127,13 @@ Status RowScanner::AdvancePage() {
         return Status::Corruption("I/O unit smaller than one page");
       }
     }
+    if (plan_.active) {
+      // Views from a pruned (gapped) stream carry their absolute file
+      // offset; recover the page's first tuple position from it.
+      const uint64_t file_page =
+          view_.file_offset / table_->meta().page_size + page_in_view_;
+      next_position_ = file_page * table_->meta().PageValues(0);
+    }
     const uint8_t* page_data =
         view_.data + page_in_view_ * table_->meta().page_size;
     ++page_in_view_;
@@ -135,6 +157,16 @@ Status RowScanner::AdvancePage() {
 
 Status RowScanner::CheckScanComplete() const {
   const TableMeta& meta = table_->meta();
+  if (plan_.active) {
+    // A pruned stream must deliver exactly the retained pages; the
+    // whole-table tuple count check no longer applies.
+    if (pages_scanned_ != plan_.nodes[0].pages) {
+      return Status::Corruption(
+          "pruned row scan read " + std::to_string(pages_scanned_) + " of " +
+          std::to_string(plan_.nodes[0].pages) + " retained pages");
+    }
+    return Status::OK();
+  }
   const uint64_t total_pages = meta.file_pages.empty() ? 0
                                                        : meta.file_pages[0];
   const uint64_t first_page = spec_.range.first_page();

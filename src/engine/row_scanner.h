@@ -8,6 +8,7 @@
 #include "engine/exec_stats.h"
 #include "engine/operator.h"
 #include "engine/scan_spec.h"
+#include "engine/zone_pruner.h"
 #include "io/io.h"
 #include "storage/catalog.h"
 #include "storage/row_page.h"
@@ -71,6 +72,11 @@ class RowScanner final : public Operator {
   std::vector<uint8_t> scratch_;          ///< decoded tuple (compressed path)
   ExecCounters per_tuple_decode_;         ///< decode counters per tuple
   int projected_bytes_ = 0;               ///< bytes copied per emitted tuple
+
+  /// Zone-map prune plan (inactive unless spec.prune found skippable
+  /// pages). When active the stream only carries the retained page runs
+  /// and tuple positions are recovered from each view's file offset.
+  PrunePlan plan_;
 };
 
 }  // namespace rodb

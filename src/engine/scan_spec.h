@@ -49,6 +49,15 @@ struct ScanSpec {
   /// predicates additionally require `compressed_eval` (the kernel
   /// compares codes, which IS compressed evaluation).
   bool vectorized = true;
+  /// Consult the table's zone-map synopsis (storage/synopsis.h) through
+  /// engine/zone_pruner.h and skip whole pages -- before their I/O is
+  /// ever issued -- whose min/max zones (or dictionary presence bitmaps)
+  /// prove no tuple can satisfy the predicate conjunction. Pruned and
+  /// unpruned scans return identical tuples; only the I/O and parse
+  /// counters shrink. Off by default: tables without a (valid) synopsis,
+  /// predicate-free scans, kCharPack predicate columns and non-uniform
+  /// page files all decline pruning and scan normally anyway.
+  bool prune = false;
 
   // --- Deprecated-alias shim (one release) -------------------------------
   // The fields below used to live directly on ScanSpec, duplicating

@@ -24,6 +24,12 @@ ExecCounters& ExecCounters::operator+=(const ExecCounters& o) {
   kernel_batches += o.kernel_batches;
   values_scanned_vectorized += o.values_scanned_vectorized;
   mask_skipped_values += o.mask_skipped_values;
+  prune_plans += o.prune_plans;
+  prune_declined += o.prune_declined;
+  pages_pruned += o.pages_pruned;
+  pages_retained += o.pages_retained;
+  prune_zone_rejects += o.prune_zone_rejects;
+  synopsis_corrupt += o.synopsis_corrupt;
   seq_bytes_touched += o.seq_bytes_touched;
   random_line_accesses += o.random_line_accesses;
   l1_lines_touched += o.l1_lines_touched;

@@ -43,6 +43,18 @@ struct ExecCounters {
   /// mask was already all-zero for their word.
   uint64_t mask_skipped_values = 0;
 
+  // --- zone-map pruning (engine/zone_pruner.h) ---
+  uint64_t prune_plans = 0;     ///< scans that ran with an active plan
+  uint64_t prune_declined = 0;  ///< prune requested but declined (no/stale
+                                ///< synopsis, kCharPack predicate, ...)
+  uint64_t pages_pruned = 0;    ///< pages skipped before their I/O
+  uint64_t pages_retained = 0;  ///< pages an active plan kept
+  /// Column pipeline positions rejected by an inner node's zone without
+  /// fetching that node's page.
+  uint64_t prune_zone_rejects = 0;
+  /// Synopsis sidecars rejected at open (CRC/staleness failure).
+  uint64_t synopsis_corrupt = 0;
+
   // --- memory access pattern ---
   uint64_t seq_bytes_touched = 0;      ///< sequentially streamed bytes
   uint64_t random_line_accesses = 0;   ///< non-prefetchable line misses

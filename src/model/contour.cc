@@ -20,27 +20,32 @@ double AmortizedOverheads(double bytes_per_tuple, double tuples_per_block,
 
 SystemInputs RowScanInputs(double width, double selectivity,
                            double projection_fraction,
-                           const HardwareConfig& hw, const CostModel& costs) {
+                           const HardwareConfig& hw, const CostModel& costs,
+                           double prune_surviving_fraction) {
   SystemInputs in;
+  const double surviving = prune_surviving_fraction;
   const double ncols = std::max(1.0, width / 4.0);
   const double selected_cols = std::max(1.0, std::round(
       ncols * projection_fraction));
   const double selected_bytes = selected_cols * 4.0;
-  in.disk_bytes_per_tuple = width;  // rows read everything
+  // Rows read everything -- everything the prune plan retained.
+  in.disk_bytes_per_tuple = width * surviving;
 
-  double uops = costs.uops_tuple_examined + costs.uops_predicate +
-                AmortizedOverheads(width, 100.0, costs);
-  // Qualifying tuples are projected and copied into the output block.
+  // Only tuples in retained pages are examined; qualifying tuples (all in
+  // retained pages) are projected and copied regardless of pruning.
+  double uops = surviving * (costs.uops_tuple_examined +
+                             costs.uops_predicate +
+                             AmortizedOverheads(width, 100.0, costs));
   uops += selectivity * (selected_cols * costs.uops_value_copy +
                          selected_bytes * costs.uops_byte_copied);
   in.scan.user_cycles_per_tuple =
       uops / hw.uops_per_cycle * (1.0 + costs.rest_fraction);
   in.scan.system_cycles_per_tuple =
-      width * costs.sys_cycles_per_io_byte +
-      width / static_cast<double>(hw.io_unit_bytes) *
-          costs.sys_cycles_per_io_request;
-  // The row scanner streams the whole relation through the cache.
-  in.scan.mem_bytes_per_tuple = width;
+      surviving * (width * costs.sys_cycles_per_io_byte +
+                   width / static_cast<double>(hw.io_unit_bytes) *
+                       costs.sys_cycles_per_io_request);
+  // The row scanner streams the retained pages through the cache.
+  in.scan.mem_bytes_per_tuple = width * surviving;
   return in;
 }
 
@@ -48,33 +53,36 @@ SystemInputs ColumnScanInputs(double width, double selectivity,
                               double projection_fraction,
                               const HardwareConfig& hw,
                               const CostModel& costs,
-                              double column_node_factor, bool vectorized) {
+                              double column_node_factor, bool vectorized,
+                              double prune_surviving_fraction) {
   SystemInputs in;
+  const double surviving = prune_surviving_fraction;
   const double ncols = std::max(1.0, width / 4.0);
   const double selected_cols = std::max(1.0, std::round(
       ncols * projection_fraction));
   const double selected_bytes = selected_cols * 4.0;
-  in.disk_bytes_per_tuple = selected_bytes;
+  in.disk_bytes_per_tuple = selected_bytes * surviving;
 
-  // Deepest node: examines every value of the predicate column -- either
-  // through the value-at-a-time loop or, vectorized, through one masked
-  // kernel pass per page plus a per-survivor emit step.
+  // Deepest node: examines every value of the predicate column's retained
+  // pages -- either through the value-at-a-time loop or, vectorized,
+  // through one masked kernel pass per page plus a per-survivor emit step.
   double uops;
   if (vectorized) {
     const double tuples_per_page = std::max(1.0, 4076.0 / 4.0);
-    uops = costs.uops_scan_vectorized +
-           costs.uops_kernel_batch / tuples_per_page +
-           AmortizedOverheads(4.0, 100.0, costs) +
+    uops = surviving * (costs.uops_scan_vectorized +
+                        costs.uops_kernel_batch / tuples_per_page +
+                        AmortizedOverheads(4.0, 100.0, costs)) +
            selectivity * (costs.uops_value_copy +
                           4.0 * costs.uops_byte_copied);
   } else {
-    uops = (costs.uops_tuple_examined * column_node_factor +
-            costs.uops_predicate) +
-           AmortizedOverheads(4.0, 100.0, costs) +
+    uops = surviving * (costs.uops_tuple_examined * column_node_factor +
+                        costs.uops_predicate +
+                        AmortizedOverheads(4.0, 100.0, costs)) +
            selectivity * (costs.uops_value_copy +
                           4.0 * costs.uops_byte_copied);
   }
-  // Inner nodes: driven by qualifying positions only (Figure 4).
+  // Inner nodes: driven by qualifying positions only (Figure 4), which
+  // pruning never removes.
   const double inner_nodes = selected_cols - 1.0;
   uops += inner_nodes * selectivity *
           (costs.uops_position * column_node_factor + costs.uops_value_copy +
@@ -87,11 +95,11 @@ SystemInputs ColumnScanInputs(double width, double selectivity,
   in.scan.user_cycles_per_tuple +=
       sparse * inner_nodes * selectivity * hw.random_miss_cycles;
   in.scan.system_cycles_per_tuple =
-      selected_bytes * costs.sys_cycles_per_io_byte +
-      selected_bytes / static_cast<double>(hw.io_unit_bytes) *
-          costs.sys_cycles_per_io_request;
+      surviving * (selected_bytes * costs.sys_cycles_per_io_byte +
+                   selected_bytes / static_cast<double>(hw.io_unit_bytes) *
+                       costs.sys_cycles_per_io_request);
   in.scan.mem_bytes_per_tuple =
-      4.0 + (1.0 - sparse) * (selected_bytes - 4.0);
+      surviving * (4.0 + (1.0 - sparse) * (selected_bytes - 4.0));
   return in;
 }
 
@@ -105,12 +113,13 @@ std::vector<ContourCell> GenerateSpeedupContour(const ContourParams& params) {
       ContourCell cell;
       cell.tuple_width = width;
       cell.cpdb = cpdb;
-      const SystemInputs rows =
-          RowScanInputs(width, params.selectivity,
-                        params.projection_fraction, hw, params.costs);
+      const SystemInputs rows = RowScanInputs(
+          width, params.selectivity, params.projection_fraction, hw,
+          params.costs, params.prune_surviving_fraction);
       const SystemInputs cols = ColumnScanInputs(
           width, params.selectivity, params.projection_fraction, hw,
-          params.costs, params.column_node_factor, params.vectorized);
+          params.costs, params.column_node_factor, params.vectorized,
+          params.prune_surviving_fraction);
       cell.speedup = model.Speedup(cols, rows);
       cell.row_io_bound = model.IsIoBound(rows);
       cell.column_io_bound = model.IsIoBound(cols);

@@ -28,6 +28,13 @@ struct ContourParams {
   /// The row system keeps its scalar loop either way -- this sweeps the
   /// "after" grid of the vectorization before/after comparison.
   bool vectorized = false;
+  /// Pruned-I/O mode: fraction of each file's pages a zone-map prune plan
+  /// retains (1.0 = pruning off or ineffective). Both systems fetch,
+  /// parse and examine only the surviving pages, while per-qualifying-
+  /// tuple work is unchanged -- the qualifying tuples all live in
+  /// retained pages, so pruning shifts the I/O-bound frontier without
+  /// touching the output costs.
+  double prune_surviving_fraction = 1.0;
 };
 
 struct ContourCell {
@@ -40,9 +47,12 @@ struct ContourCell {
 
 /// Analytical inputs for a row scan of `width`-byte tuples with the given
 /// selectivity/projection, derived from the engine's cost constants.
+/// `prune_surviving_fraction` scales the fetched/examined pages (see
+/// ContourParams).
 SystemInputs RowScanInputs(double width, double selectivity,
                            double projection_fraction,
-                           const HardwareConfig& hw, const CostModel& costs);
+                           const HardwareConfig& hw, const CostModel& costs,
+                           double prune_surviving_fraction = 1.0);
 
 /// Analytical inputs for the equivalent pipelined column scan. Attributes
 /// are modeled as 4-byte columns (width / 4 of them). `vectorized` costs
@@ -52,7 +62,8 @@ SystemInputs ColumnScanInputs(double width, double selectivity,
                               const HardwareConfig& hw,
                               const CostModel& costs,
                               double column_node_factor,
-                              bool vectorized = false);
+                              bool vectorized = false,
+                              double prune_surviving_fraction = 1.0);
 
 /// Sweeps the grid; cells are emitted row-major (cpdb outer, width inner).
 std::vector<ContourCell> GenerateSpeedupContour(const ContourParams& params);

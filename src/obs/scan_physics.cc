@@ -32,6 +32,28 @@ FilePhysics FullFile(const TableMeta& meta, size_t attr, size_t file,
   return f;
 }
 
+/// Physics of one file restricted to its prune plan's page runs. The
+/// pruned stream opens one backend stream per contiguous byte run, and
+/// each run delivers its own unit-aligned views, so opens and units are
+/// per-run, not per-file.
+FilePhysics PrunedFile(const TableMeta& meta, const NodePrunePlan& node,
+                       uint64_t unit, uint64_t* opens) {
+  FilePhysics f;
+  f.attr = node.attr;
+  f.pages = node.pages;
+  const uint64_t file_bytes = meta.file_bytes[node.file];
+  for (const Run& r : node.page_runs) {
+    const uint64_t offset = r.begin * meta.page_size;
+    if (offset >= file_bytes) continue;
+    const uint64_t length =
+        std::min((r.end - r.begin) * meta.page_size, file_bytes - offset);
+    f.bytes += length;
+    f.io_units += UnitsFor(length, unit);
+    *opens += 1;
+  }
+  return f;
+}
+
 }  // namespace
 
 IoPhysics ScanPhysics::Uncached() const {
@@ -65,7 +87,8 @@ IoPhysics ScanPhysics::Warm() const {
 Result<ScanPhysics> PredictScanPhysics(const OpenTable& table,
                                        const ScanSpec& spec,
                                        ScannerImpl impl,
-                                       const ScanPhysicsHints& hints) {
+                                       const ScanPhysicsHints& hints,
+                                       const PrunePlan* prune) {
   if (!spec.range.is_all()) {
     return Status::NotSupported(
         "PredictScanPhysics: only full-table ranges are modeled");
@@ -78,6 +101,36 @@ Result<ScanPhysics> PredictScanPhysics(const OpenTable& table,
 
   ScanPhysics physics;
   physics.tuples_examined = meta.num_tuples;
+
+  if (prune != nullptr && prune->active) {
+    if (impl == ScannerImpl::kEarlyMat) {
+      return Status::NotSupported(
+          "PredictScanPhysics: pruned early-materialized scans stream "
+          "per-cursor runs this model does not cover");
+    }
+    // Pruned-I/O mode: every scanner fetches exactly its node's retained
+    // page runs, and the driving file's fetched pages bound the scanner
+    // loop, so every count stays exact.
+    uint64_t opens = 0;
+    for (const NodePrunePlan& node : prune->nodes) {
+      physics.files.push_back(PrunedFile(meta, node, unit, &opens));
+    }
+    const NodePrunePlan& base = prune->nodes.front();
+    physics.tuples_examined = 0;
+    for (const Run& r : base.page_runs) {
+      const uint64_t begin = r.begin * base.vpp;
+      const uint64_t end =
+          std::min(r.end * static_cast<uint64_t>(base.vpp), meta.num_tuples);
+      if (end > begin) physics.tuples_examined += end - begin;
+    }
+    physics.files_opened = opens;
+    for (const FilePhysics& f : physics.files) {
+      physics.bytes_read += f.bytes;
+      physics.io_units += f.io_units;
+      physics.pages_parsed += f.pages;
+    }
+    return physics;
+  }
 
   if (meta.layout != Layout::kColumn) {
     if (impl == ScannerImpl::kEarlyMat) {

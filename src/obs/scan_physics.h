@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "engine/open_scanner.h"
 #include "engine/scan_spec.h"
+#include "engine/zone_pruner.h"
 #include "hwmodel/hardware_config.h"
 #include "storage/catalog.h"
 
@@ -77,10 +78,20 @@ struct ScanPhysicsHints {
 /// implementation `impl`. Only full-table ranges are supported
 /// (NotSupported otherwise); column predictions additionally require
 /// uniform PageValues for files whose reach is bounded by a hint.
+///
+/// `prune` is the scan's zone-map plan (engine/zone_pruner.h); the caller
+/// builds it so this layer stays link-independent of the pruner. An
+/// active plan switches the prediction to pruned-I/O mode: each file
+/// streams only the plan's retained page runs, one backend stream (and
+/// so one open) per contiguous byte run, and tuples_examined counts just
+/// the positions the driving file's fetched pages span. Null or inactive
+/// plans predict the full scan. Pruned early-materialized scans stream
+/// per-cursor runs this model does not cover (NotSupported).
 Result<ScanPhysics> PredictScanPhysics(
     const OpenTable& table, const ScanSpec& spec,
     ScannerImpl impl = ScannerImpl::kAuto,
-    const ScanPhysicsHints& hints = ScanPhysicsHints{});
+    const ScanPhysicsHints& hints = ScanPhysicsHints{},
+    const PrunePlan* prune = nullptr);
 
 /// How predicate evaluation is costed by PredictFilterCpuSeconds:
 /// value-at-a-time (one uops_predicate per examined value) or through the

@@ -56,6 +56,12 @@ void QueryTrace::FinalizeFromCounters(const ExecCounters& c) {
   Put(scan, "pages", c.pages_parsed);
   Put(scan, "blocks", c.blocks_emitted);
   Put(scan, "seq_bytes", c.seq_bytes_touched);
+  Put(scan, "prune_plans", c.prune_plans);
+  Put(scan, "prune_declined", c.prune_declined);
+  Put(scan, "pages_pruned", c.pages_pruned);
+  Put(scan, "pages_retained", c.pages_retained);
+  Put(scan, "prune_zone_rejects", c.prune_zone_rejects);
+  Put(scan, "synopsis_corrupt", c.synopsis_corrupt);
 
   auto* decode = &counters_[Index(TracePhase::kDecode)];
   Put(decode, "bitpack", c.values_decoded_bitpack);

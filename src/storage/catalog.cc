@@ -52,6 +52,15 @@ Status Catalog::SaveTableMeta(const std::string& dir, const TableMeta& meta) {
                   meta.file_page_values[i]);
     out += line;
   }
+  std::snprintf(line, sizeof(line), "zones %zu\n",
+                meta.zone_aggregates.size());
+  out += line;
+  for (size_t i = 0; i < meta.zone_aggregates.size(); ++i) {
+    const ZoneAggregate& z = meta.zone_aggregates[i];
+    std::snprintf(line, sizeof(line), "zone %zu %d %u %u\n", i,
+                  z.valid ? 1 : 0, z.min_key, z.max_key);
+    out += line;
+  }
   return WriteStringToFile(TablePaths::MetaFile(dir, meta.name), out);
 }
 
@@ -158,6 +167,25 @@ Result<TableMeta> Catalog::LoadTableMeta(const std::string& dir,
       meta.file_page_values[idx] = values;
     }
   }
+  // Optional table-level zone aggregates (absent before zone maps).
+  size_t n_zones = 0;
+  if (in >> key >> n_zones) {
+    if (key != "zones" || n_zones > meta.schema.num_attributes()) {
+      return Status::Corruption("meta: bad zones line");
+    }
+    meta.zone_aggregates.resize(meta.schema.num_attributes());
+    for (size_t i = 0; i < n_zones; ++i) {
+      size_t idx = 0;
+      int valid = 0;
+      ZoneAggregate z;
+      if (!(in >> key >> idx >> valid >> z.min_key >> z.max_key) ||
+          key != "zone" || idx >= meta.zone_aggregates.size()) {
+        return Status::Corruption("meta: bad zone line");
+      }
+      z.valid = valid != 0;
+      meta.zone_aggregates[idx] = z;
+    }
+  }
   return meta;
 }
 
@@ -238,6 +266,25 @@ Result<OpenTable> OpenTable::Open(const std::string& dir,
                                   schema.attribute(i).name);
       }
       table.dicts_[i] = std::make_unique<Dictionary>(std::move(dict));
+    }
+  }
+  // Zone-map sidecar: optional (older tables have none), and defensive --
+  // a sidecar that fails its CRC or does not match this catalog entry is
+  // dropped and remembered as corrupt so scans degrade to full scans
+  // instead of trusting a summary that could hide rows.
+  const std::string zmap_path = SynopsisPath(dir, name);
+  if (FileExists(zmap_path)) {
+    auto blob = ReadFileToString(zmap_path);
+    if (blob.ok()) {
+      auto syn = TableSynopsis::ParseFrom(*blob);
+      if (syn.ok() && syn->MatchesMeta(table.meta_)) {
+        table.synopsis_ =
+            std::make_shared<const TableSynopsis>(std::move(*syn));
+      } else {
+        table.synopsis_corrupt_ = true;
+      }
+    } else {
+      table.synopsis_corrupt_ = true;
     }
   }
   return table;

@@ -9,6 +9,7 @@
 #include "compression/dictionary.h"
 #include "compression/row_codec.h"
 #include "storage/schema.h"
+#include "storage/synopsis.h"
 
 namespace rodb {
 
@@ -23,6 +24,16 @@ struct ColumnStats {
   int32_t min = 0;
   int32_t max = 0;
   uint64_t ndv = 0;  ///< distinct values, saturating at kNdvCap + 1
+};
+
+/// Table-level zone aggregate for one attribute: the per-file synopsis
+/// aggregates (storage/synopsis.h) folded into the catalog entry, in the
+/// unsigned key domain. Lets the pruner reject a predicate against the
+/// whole table without touching the sidecar.
+struct ZoneAggregate {
+  bool valid = false;
+  uint32_t min_key = 0;
+  uint32_t max_key = 0;
 };
 
 /// Catalog entry for one stored table.
@@ -51,6 +62,10 @@ struct TableMeta {
   std::vector<uint64_t> file_ids;
   /// One entry per attribute (valid only for int32 attributes).
   std::vector<ColumnStats> column_stats;
+  /// One entry per attribute; empty for metas written before zone maps
+  /// existed (pruning then falls back to the sidecar alone, or to "never
+  /// prune" when that is missing too).
+  std::vector<ZoneAggregate> zone_aggregates;
 
   uint64_t TotalBytes() const {
     uint64_t total = 0;
@@ -96,6 +111,14 @@ class OpenTable {
   /// Dictionary for attribute `attr` (nullptr unless kDict).
   Dictionary* dict(size_t attr) const { return dicts_[attr].get(); }
 
+  /// Zone-map synopsis loaded from the `<name>.zmap` sidecar, or nullptr
+  /// when the table has none (pre-synopsis tables, or a sidecar that
+  /// failed its CRC/staleness checks -- see synopsis_corrupt()).
+  const TableSynopsis* synopsis() const { return synopsis_.get(); }
+  /// True when a sidecar was present but rejected (corrupt or stale):
+  /// scans must degrade to unpruned full scans, never trust it.
+  bool synopsis_corrupt() const { return synopsis_corrupt_; }
+
   /// Fresh stateful codec for one attribute.
   Result<std::unique_ptr<AttributeCodec>> MakeAttrCodec(size_t attr) const;
 
@@ -115,6 +138,8 @@ class OpenTable {
   std::string dir_;
   TableMeta meta_;
   std::vector<std::unique_ptr<Dictionary>> dicts_;
+  std::shared_ptr<const TableSynopsis> synopsis_;
+  bool synopsis_corrupt_ = false;
 };
 
 }  // namespace rodb

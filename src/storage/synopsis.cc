@@ -1,0 +1,153 @@
+#include "storage/synopsis.h"
+
+#include "common/crc32.h"
+#include "storage/catalog.h"
+
+namespace rodb {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'Z', 'M', '1'};
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  StoreLE32(buf, v);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  StoreLE64(buf, v);
+  out->append(buf, 8);
+}
+
+/// Bounds-checked little-endian reader over the sidecar blob.
+class Reader {
+ public:
+  explicit Reader(std::string_view blob) : blob_(blob) {}
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > blob_.size()) return false;
+    *v = LoadLE32(blob_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > blob_.size()) return false;
+    *v = LoadLE64(blob_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view blob_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SynopsisPath(const std::string& dir, const std::string& name) {
+  return dir + "/" + name + ".zmap";
+}
+
+void TableSynopsis::AppendTo(std::string* out) const {
+  const size_t start = out->size();
+  out->append(kMagic, sizeof(kMagic));
+  PutU64(out, num_tuples);
+  PutU32(out, static_cast<uint32_t>(files.size()));
+  for (const FileSynopsis& file : files) {
+    PutU64(out, file.file_pages);
+    PutU32(out, static_cast<uint32_t>(file.attrs.size()));
+    for (const AttrSynopsis& a : file.attrs) {
+      PutU32(out, a.attr);
+      PutU32(out, a.bitmap_bits);
+      PutU32(out, a.aggregate.min_key);
+      PutU32(out, a.aggregate.max_key);
+      PutU32(out, a.aggregate.null_count);
+      PutU32(out, a.aggregate.has_values ? 1 : 0);
+      PutU32(out, static_cast<uint32_t>(a.pages.size()));
+      for (const ZoneEntry& z : a.pages) {
+        PutU32(out, z.min_key);
+        PutU32(out, z.max_key);
+        PutU32(out, z.null_count);
+        PutU32(out, z.has_values ? 1 : 0);
+      }
+      for (uint64_t word : a.bitmap_words) PutU64(out, word);
+    }
+  }
+  PutU32(out, Crc32(out->data() + start, out->size() - start));
+}
+
+Result<TableSynopsis> TableSynopsis::ParseFrom(std::string_view blob) {
+  if (blob.size() < sizeof(kMagic) + 4 ||
+      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("synopsis: bad magic");
+  }
+  const size_t body = blob.size() - 4;
+  const uint32_t want_crc = LoadLE32(blob.data() + body);
+  if (Crc32(blob.data(), body) != want_crc) {
+    return Status::Corruption("synopsis: CRC mismatch");
+  }
+  Reader in(blob.substr(sizeof(kMagic), body - sizeof(kMagic)));
+  TableSynopsis syn;
+  uint32_t n_files = 0;
+  if (!in.U64(&syn.num_tuples) || !in.U32(&n_files)) {
+    return Status::Corruption("synopsis: truncated header");
+  }
+  // Caps keep a corrupted count field from turning into a giant
+  // allocation before the (already-passed) CRC would have caught it.
+  if (n_files > 4096) return Status::Corruption("synopsis: file count");
+  syn.files.resize(n_files);
+  for (FileSynopsis& file : syn.files) {
+    uint32_t n_attrs = 0;
+    if (!in.U64(&file.file_pages) || !in.U32(&n_attrs)) {
+      return Status::Corruption("synopsis: truncated file header");
+    }
+    if (n_attrs > 4096) return Status::Corruption("synopsis: attr count");
+    file.attrs.resize(n_attrs);
+    for (AttrSynopsis& a : file.attrs) {
+      uint32_t agg_has = 0, n_pages = 0;
+      if (!in.U32(&a.attr) || !in.U32(&a.bitmap_bits) ||
+          !in.U32(&a.aggregate.min_key) || !in.U32(&a.aggregate.max_key) ||
+          !in.U32(&a.aggregate.null_count) || !in.U32(&agg_has) ||
+          !in.U32(&n_pages)) {
+        return Status::Corruption("synopsis: truncated attr header");
+      }
+      a.aggregate.has_values = agg_has != 0;
+      if (a.bitmap_bits > kSynopsisDictBitmapCap) {
+        return Status::Corruption("synopsis: bitmap width");
+      }
+      if (n_pages != file.file_pages) {
+        return Status::Corruption("synopsis: page count mismatch");
+      }
+      a.pages.resize(n_pages);
+      for (ZoneEntry& z : a.pages) {
+        uint32_t has = 0;
+        if (!in.U32(&z.min_key) || !in.U32(&z.max_key) ||
+            !in.U32(&z.null_count) || !in.U32(&has)) {
+          return Status::Corruption("synopsis: truncated zone");
+        }
+        z.has_values = has != 0;
+      }
+      a.bitmap_words.resize(a.WordsPerPage() * n_pages);
+      for (uint64_t& word : a.bitmap_words) {
+        if (!in.U64(&word)) {
+          return Status::Corruption("synopsis: truncated bitmap");
+        }
+      }
+    }
+  }
+  return syn;
+}
+
+bool TableSynopsis::MatchesMeta(const TableMeta& meta) const {
+  if (num_tuples != meta.num_tuples) return false;
+  if (files.size() != meta.file_pages.size()) return false;
+  for (size_t f = 0; f < files.size(); ++f) {
+    if (files[f].file_pages != meta.file_pages[f]) return false;
+  }
+  return true;
+}
+
+}  // namespace rodb

@@ -1,0 +1,146 @@
+#ifndef RODB_STORAGE_SYNOPSIS_H_
+#define RODB_STORAGE_SYNOPSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace rodb {
+
+struct TableMeta;
+
+/// Zone-map synopses: per-page and per-file min/max summaries of every
+/// attribute, written by the bulk loader at seal time into a `<name>.zmap`
+/// sidecar and used by engine/zone_pruner.h to skip whole I/O units whose
+/// pages cannot contain a qualifying tuple (the data-skipping extension;
+/// see DESIGN.md 5g). Tables written before this sidecar existed simply
+/// have no synopsis and are never pruned.
+///
+/// All bounds live in a single unsigned 32-bit *key domain* so one
+/// comparison form covers every attribute type and codec (the same trick
+/// PackedPredicate uses for compressed-domain evaluation):
+///  - int32 attributes map through ZoneKeyInt32 (sign-bit flip), making
+///    unsigned key order equal signed value order;
+///  - fixed-text attributes map their first min(4, width) bytes
+///    big-endian, making unsigned key order equal memcmp prefix order.
+/// Keys are computed from the *raw* (decoded) values as they stream
+/// through the loader, so the summaries are codec-independent: FOR bases,
+/// delta wrap-around and dictionary codes never touch them.
+
+/// Order-preserving key for a signed 32-bit value.
+inline uint32_t ZoneKeyInt32(int32_t v) {
+  return static_cast<uint32_t>(v) ^ 0x80000000u;
+}
+
+/// Number of leading bytes of a text attribute captured by its key.
+inline int ZoneKeyTextPrefix(int width) { return width < 4 ? width : 4; }
+
+/// Order-preserving key for a fixed-width text value: the first
+/// min(4, width) bytes packed big-endian (missing low bytes read as 0,
+/// which keeps prefix order intact).
+inline uint32_t ZoneKeyText(const uint8_t* value, int width) {
+  uint32_t key = 0;
+  const int m = ZoneKeyTextPrefix(width);
+  for (int i = 0; i < 4; ++i) {
+    key = (key << 8) | (i < m ? value[i] : 0);
+  }
+  return key;
+}
+
+/// Key of one raw attribute value under `attr`'s type.
+inline uint32_t ZoneKeyValue(const AttributeDesc& attr, const uint8_t* value) {
+  if (attr.type == AttrType::kInt32) return ZoneKeyInt32(LoadLE32s(value));
+  return ZoneKeyText(value, attr.width);
+}
+
+/// Min/max (in the key domain) of one page or one whole file. null_count
+/// is part of the on-disk format for forward compatibility; the bulk
+/// loader has no null representation, so it is always written as 0.
+struct ZoneEntry {
+  uint32_t min_key = 0xFFFFFFFFu;
+  uint32_t max_key = 0;
+  uint32_t null_count = 0;
+  bool has_values = false;
+
+  void Add(uint32_t key) {
+    if (!has_values) {
+      has_values = true;
+      min_key = max_key = key;
+      return;
+    }
+    if (key < min_key) min_key = key;
+    if (key > max_key) max_key = key;
+  }
+};
+
+/// Synopsis of one attribute within one physical file: the per-file
+/// aggregate zone, one zone per page, and (for kDict attributes whose
+/// dictionary is small enough) a per-page presence bitmap over the
+/// dictionary's code domain.
+struct AttrSynopsis {
+  uint32_t attr = 0;
+  ZoneEntry aggregate;
+  std::vector<ZoneEntry> pages;
+  /// kDict only: bits per page-bitmap (the dictionary size at seal time),
+  /// or 0 when no bitmaps were recorded. Bit c of page p's bitmap is set
+  /// iff code c occurs in page p.
+  uint32_t bitmap_bits = 0;
+  std::vector<uint64_t> bitmap_words;  ///< pages * WordsPerPage()
+
+  size_t WordsPerPage() const { return (bitmap_bits + 63) / 64; }
+  const uint64_t* PageBitmap(size_t page) const {
+    return bitmap_words.data() + page * WordsPerPage();
+  }
+  bool PageHasCode(size_t page, uint32_t code) const {
+    if (code >= bitmap_bits) return false;
+    return (PageBitmap(page)[code / 64] >> (code % 64)) & 1;
+  }
+};
+
+/// Synopses of every attribute stored in one physical file (all
+/// attributes for row/PAX files, one for a column file).
+struct FileSynopsis {
+  uint64_t file_pages = 0;  ///< echo of the catalog page count (staleness)
+  std::vector<AttrSynopsis> attrs;
+
+  const AttrSynopsis* Find(size_t attr) const {
+    for (const AttrSynopsis& a : attrs) {
+      if (a.attr == attr) return &a;
+    }
+    return nullptr;
+  }
+};
+
+/// The whole table's synopsis sidecar.
+struct TableSynopsis {
+  uint64_t num_tuples = 0;  ///< echo of the catalog cardinality (staleness)
+  std::vector<FileSynopsis> files;
+
+  /// Serializes with a leading magic and a trailing CRC-32 over
+  /// everything before it.
+  void AppendTo(std::string* out) const;
+  /// Parses and CRC-checks a sidecar blob; Corruption on any mismatch.
+  static Result<TableSynopsis> ParseFrom(std::string_view blob);
+
+  /// True when the echoes match the catalog entry the synopsis shipped
+  /// with -- a synopsis left behind by an older load of the same table
+  /// name fails this and must be ignored.
+  bool MatchesMeta(const TableMeta& meta) const;
+};
+
+/// Sidecar path: `<dir>/<name>.zmap`.
+std::string SynopsisPath(const std::string& dir, const std::string& name);
+
+/// Presence bitmaps are only recorded for dictionaries at most this many
+/// codes wide; larger dictionaries fall back to min/max zones alone.
+inline constexpr uint32_t kSynopsisDictBitmapCap = 1024;
+
+}  // namespace rodb
+
+#endif  // RODB_STORAGE_SYNOPSIS_H_

@@ -95,6 +95,18 @@ Status TableWriter::Init() {
       dicts_[i] = std::make_unique<Dictionary>(attr.width);
     }
   }
+  const size_t n_files = layout_ == Layout::kColumn ? n : 1;
+  zone_accums_.resize(n_files);
+  for (size_t f = 0; f < n_files; ++f) {
+    const size_t slots = layout_ == Layout::kColumn ? 1 : n;
+    zone_accums_[f].resize(slots);
+    for (size_t s = 0; s < slots; ++s) {
+      ZoneAccum& acc = zone_accums_[f][s];
+      acc.attr = layout_ == Layout::kColumn ? f : s;
+      acc.want_bitmap =
+          schema_.attribute(acc.attr).codec.kind == CompressionKind::kDict;
+    }
+  }
   if (layout_ == Layout::kRow) {
     if (schema_.is_compressed()) {
       std::vector<AttributeCodec*> raw_codecs;
@@ -152,6 +164,20 @@ Status TableWriter::Init() {
 }
 
 void TableWriter::NotePageFlush(size_t file, uint32_t count) {
+  // Seal the pending zone of every attribute stored in this file: the
+  // accumulators hold exactly the values of the page being flushed.
+  for (ZoneAccum& acc : zone_accums_[file]) {
+    acc.pages.push_back(acc.zone);
+    if (acc.zone.has_values) {
+      acc.aggregate.Add(acc.zone.min_key);
+      acc.aggregate.Add(acc.zone.max_key);
+    }
+    if (acc.want_bitmap) {
+      acc.page_codes.push_back(std::move(acc.cur_codes));
+      acc.cur_codes.clear();
+    }
+    acc.zone = ZoneEntry{};
+  }
   if (page_values_.size() <= file) {
     page_values_.resize(file + 1, 0);
     page_values_uniform_.resize(file + 1, true);
@@ -160,13 +186,77 @@ void TableWriter::NotePageFlush(size_t file, uint32_t count) {
     page_values_[file] = count;
     return;
   }
-  // The trailing partial page flushed by Finish() may hold a different
+  // The trailing partial page flushed by Finish() may hold a *smaller*
   // count without breaking uniformity: scans only ever enter it at its
-  // true start position. Any other mismatch (a codec ended a page early)
-  // makes position -> page arithmetic unsound for this file.
-  if (!final_flush_ && count != page_values_[file]) {
+  // true start position. Any other mismatch makes position -> page
+  // arithmetic unsound for this file — including a final page holding
+  // MORE values than the established stride, which happens when a codec
+  // sealed an earlier page short (e.g. a frame-of-reference rebase) and
+  // the remainder packed tighter.
+  if (count != page_values_[file] &&
+      (!final_flush_ || count > page_values_[file])) {
     page_values_uniform_[file] = false;
   }
+}
+
+void TableWriter::AccumulateZoneTuple(const uint8_t* raw_tuple) {
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    AccumulateZoneValue(
+        0, i, raw_tuple + static_cast<size_t>(schema_.attr_offset(i)));
+  }
+}
+
+void TableWriter::AccumulateZoneValue(size_t file, size_t attr,
+                                      const uint8_t* value) {
+  const size_t slot = layout_ == Layout::kColumn ? 0 : attr;
+  ZoneAccum& acc = zone_accums_[file][slot];
+  acc.zone.Add(ZoneKeyValue(schema_.attribute(attr), value));
+  if (!acc.want_bitmap || acc.bitmap_overflow) return;
+  // The builder's codec inserted the value while encoding it, so the
+  // lookup cannot miss.
+  auto code = dicts_[attr]->Encode(value);
+  if (!code.ok() || *code >= kSynopsisDictBitmapCap) {
+    acc.bitmap_overflow = true;
+    return;
+  }
+  const size_t word = *code / 64;
+  if (acc.cur_codes.size() <= word) acc.cur_codes.resize(word + 1, 0);
+  acc.cur_codes[word] |= uint64_t{1} << (*code % 64);
+}
+
+Status TableWriter::WriteSynopsis(const TableMeta& meta) {
+  TableSynopsis syn;
+  syn.num_tuples = num_tuples_;
+  syn.files.resize(zone_accums_.size());
+  for (size_t f = 0; f < zone_accums_.size(); ++f) {
+    FileSynopsis& file = syn.files[f];
+    file.file_pages = meta.file_pages[f];
+    for (ZoneAccum& acc : zone_accums_[f]) {
+      AttrSynopsis out;
+      out.attr = static_cast<uint32_t>(acc.attr);
+      out.aggregate = acc.aggregate;
+      out.pages = std::move(acc.pages);
+      if (out.pages.size() != file.file_pages) {
+        return Status::Internal("synopsis page count out of step");
+      }
+      const uint32_t dict_size =
+          acc.want_bitmap ? dicts_[acc.attr]->size() : 0;
+      if (acc.want_bitmap && !acc.bitmap_overflow &&
+          dict_size <= kSynopsisDictBitmapCap) {
+        out.bitmap_bits = dict_size;
+        const size_t words = out.WordsPerPage();
+        out.bitmap_words.assign(words * out.pages.size(), 0);
+        for (size_t p = 0; p < acc.page_codes.size(); ++p) {
+          std::copy(acc.page_codes[p].begin(), acc.page_codes[p].end(),
+                    out.bitmap_words.begin() + p * words);
+        }
+      }
+      file.attrs.push_back(std::move(out));
+    }
+  }
+  std::string blob;
+  syn.AppendTo(&blob);
+  return WriteStringToFile(SynopsisPath(dir_, name_), blob);
 }
 
 Status TableWriter::FlushRowPage() {
@@ -244,6 +334,7 @@ Status TableWriter::Append(const uint8_t* raw_tuple) {
           "tuple " + std::to_string(num_tuples_) +
           " not encodable under the schema's compression");
     }
+    AccumulateZoneTuple(raw_tuple);
     ++num_tuples_;
     return Status::OK();
   }
@@ -258,6 +349,7 @@ Status TableWriter::Append(const uint8_t* raw_tuple) {
           "tuple " + std::to_string(num_tuples_) +
           " not encodable under the schema's compression");
     }
+    AccumulateZoneTuple(raw_tuple);
     ++num_tuples_;
     return Status::OK();
   }
@@ -274,6 +366,7 @@ Status TableWriter::Append(const uint8_t* raw_tuple) {
           "value of attribute " + schema_.attribute(i).name + " in tuple " +
           std::to_string(num_tuples_) + " not encodable");
     }
+    AccumulateZoneValue(i, i, value);
   }
   ++num_tuples_;
   return Status::OK();
@@ -328,6 +421,23 @@ Status TableWriter::Finish() {
   if (!dict_blob.empty()) {
     RODB_RETURN_IF_ERROR(
         WriteStringToFile(TablePaths::DictFile(dir_, name_), dict_blob));
+  }
+  // Zone-map sidecar, then table-level aggregates into the catalog entry.
+  RODB_RETURN_IF_ERROR(WriteSynopsis(meta));
+  meta.zone_aggregates.resize(schema_.num_attributes());
+  for (const auto& file_accums : zone_accums_) {
+    for (const ZoneAccum& acc : file_accums) {
+      ZoneAggregate& agg = meta.zone_aggregates[acc.attr];
+      if (!acc.aggregate.has_values) continue;
+      if (!agg.valid) {
+        agg.valid = true;
+        agg.min_key = acc.aggregate.min_key;
+        agg.max_key = acc.aggregate.max_key;
+      } else {
+        agg.min_key = std::min(agg.min_key, acc.aggregate.min_key);
+        agg.max_key = std::max(agg.max_key, acc.aggregate.max_key);
+      }
+    }
   }
   return Catalog::SaveTableMeta(dir_, meta);
 }

@@ -15,6 +15,7 @@
 #include "storage/row_page.h"
 #include "storage/catalog.h"
 #include "storage/schema.h"
+#include "storage/synopsis.h"
 
 namespace rodb {
 
@@ -86,8 +87,17 @@ class TableWriter {
   Status FlushPaxPage();
   void CollectStats(const uint8_t* raw_tuple);
   /// Records a flushed page's value count for the uniform-pages catalog
-  /// field (`file` is 0 for row/PAX, the attribute index for columns).
+  /// field (`file` is 0 for row/PAX, the attribute index for columns) and
+  /// seals the pending zone-map accumulators for that file's page.
   void NotePageFlush(size_t file, uint32_t count);
+
+  /// Zone-map synopsis accumulation (storage/synopsis.h). Values are
+  /// keyed *after* a successful builder append, so a kPageFull flush in
+  /// the middle of Append() seals the old page's zones before the
+  /// retried tuple lands in the new page.
+  void AccumulateZoneTuple(const uint8_t* raw_tuple);
+  void AccumulateZoneValue(size_t file, size_t attr, const uint8_t* value);
+  Status WriteSynopsis(const TableMeta& meta);
 
   std::string dir_;
   std::string name_;
@@ -111,6 +121,21 @@ class TableWriter {
   // Per-attribute statistics collected during the load (int32 attrs).
   std::vector<ColumnStats> stats_;
   std::vector<std::unordered_set<int32_t>> distinct_;
+
+  /// One zone accumulator per (physical file, attribute stored in it):
+  /// row/PAX file 0 carries every attribute, column file i carries
+  /// attribute i. Sealed per page by NotePageFlush.
+  struct ZoneAccum {
+    size_t attr = 0;
+    ZoneEntry zone;       ///< values appended since the last page seal
+    ZoneEntry aggregate;  ///< whole-file running zone
+    std::vector<ZoneEntry> pages;
+    bool want_bitmap = false;     ///< kDict attribute
+    bool bitmap_overflow = false; ///< dictionary outgrew the bitmap cap
+    std::vector<uint64_t> cur_codes;  ///< current page's code presence
+    std::vector<std::vector<uint64_t>> page_codes;
+  };
+  std::vector<std::vector<ZoneAccum>> zone_accums_;  ///< [file][slot]
 
   // Row layout state.
   std::vector<std::unique_ptr<AttributeCodec>> row_attr_codecs_;

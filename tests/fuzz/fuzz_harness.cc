@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,6 +13,7 @@
 #include <chrono>
 
 #include "common/bytes.h"
+#include "common/file_util.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "engine/executor.h"
@@ -20,11 +22,13 @@
 #include "engine/plan_builder.h"
 #include "engine/query_context.h"
 #include "engine/reference_eval.h"
+#include "engine/zone_pruner.h"
 #include "io/block_cache.h"
 #include "io/fault_injection.h"
 #include "io/file_backend.h"
 #include "io/retry_backend.h"
 #include "storage/catalog.h"
+#include "storage/synopsis.h"
 #include "storage/table_files.h"
 
 namespace rodb::fuzz {
@@ -211,7 +215,7 @@ Result<Dataset> GenerateDataset(Random& rng, uint32_t min_tuples,
   return dataset;
 }
 
-Query GenerateQuery(Random& rng, const Dataset& dataset) {
+Query GenerateQuery(Random& rng, const Dataset& dataset, int force_prune) {
   const Schema& schema = dataset.plain;
   const size_t num_attrs = schema.num_attributes();
   Query query;
@@ -252,6 +256,13 @@ Query GenerateQuery(Random& rng, const Dataset& dataset) {
   // mask kernels, half the value-at-a-time engine. Results, faults and
   // resilience behavior must be identical either way.
   query.spec.vectorized = rng.Bernoulli(0.5);
+
+  // Zone-map pruning axis: half the queries ask the scanners to skip
+  // pages their synopses rule out. The draw is consumed even when
+  // force_prune pins the flag, so every other random choice -- datasets,
+  // predicates, fault seeds -- is identical across the CI prune matrix.
+  const bool prune_draw = rng.Bernoulli(0.5);
+  query.spec.prune = force_prune < 0 ? prune_draw : force_prune != 0;
 
   // Half the queries aggregate on top of the scan. Group/input columns
   // address the scan's output layout and must be int32.
@@ -390,14 +401,50 @@ struct Runner {
              std::to_string(oracle.tuples.size()) + " rows)");
       }
       FoldOutcome(1, Status::OK(), out->size(), oracle.output_checksum);
-      // The scan must have opened exactly the files its pipeline needs.
-      const uint64_t expected_opens =
-          table.meta().layout == Layout::kColumn
-              ? ScanPipelineAttrs(query.spec).size()
-              : 1;
-      if (tracing.total_opens() != expected_opens) {
-        Fail(ctx + ": opened " + std::to_string(tracing.total_opens()) +
-             " streams, expected " + std::to_string(expected_opens));
+      // The scan must have opened exactly the files its pipeline needs --
+      // or, when an active prune plan carved them up, one stream per
+      // retained byte run at most (inner column nodes pull their runs
+      // lazily, so trailing runs no qualifying position reaches may never
+      // be opened; the driving node always drains all of its runs).
+      const PrunePlan prune_plan = BuildPrunePlan(table, query.spec);
+      if (prune_plan.active) {
+        uint64_t max_opens = 0;
+        uint64_t min_opens = 0;
+        if (early_mat) {
+          // Early materialization drives every cursor over the *global*
+          // survivor set, not its own node's zones: an empty intersection
+          // of all predicate nodes opens nothing at all, and each cursor
+          // opens at most one stream per retained run of its file.
+          for (size_t attr : ScanPipelineAttrs(query.spec)) {
+            const size_t runs =
+                PageRunsForPositions(prune_plan.global,
+                                     table.meta().PageValues(attr))
+                    .size();
+            max_opens += runs;
+            if (runs > 0) min_opens += 1;
+          }
+        } else {
+          for (const NodePrunePlan& node : prune_plan.nodes) {
+            max_opens += node.page_runs.size();
+          }
+          min_opens = prune_plan.nodes.front().page_runs.size();
+        }
+        if (tracing.total_opens() < min_opens ||
+            tracing.total_opens() > max_opens) {
+          Fail(ctx + ": pruned scan opened " +
+               std::to_string(tracing.total_opens()) +
+               " streams, expected between " + std::to_string(min_opens) +
+               " and " + std::to_string(max_opens));
+        }
+      } else {
+        const uint64_t expected_opens =
+            table.meta().layout == Layout::kColumn
+                ? ScanPipelineAttrs(query.spec).size()
+                : 1;
+        if (tracing.total_opens() != expected_opens) {
+          Fail(ctx + ": opened " + std::to_string(tracing.total_opens()) +
+               " streams, expected " + std::to_string(expected_opens));
+        }
       }
     }
     // Independent full-pipeline run through Execute(), checking the
@@ -490,7 +537,10 @@ struct Runner {
            std::to_string(tracing.total_opens()) + " vs " +
            std::to_string(opens_after_cold) + " after cold)");
     }
-    if (cache.stats().hits == 0) {
+    // A pruned scan can legitimately read zero bytes (every page
+    // zone-proven predicate-free), leaving the warm pass nothing to hit;
+    // only demand hits when the cold pass actually populated the cache.
+    if (cache.stats().inserted_bytes > 0 && cache.stats().hits == 0) {
       Fail(ctx + ": warm cached run never hit the cache");
     }
   }
@@ -577,14 +627,25 @@ struct Runner {
     // Stats invariance: morsel parallelism never changes how many rows
     // the scan logically examines. (Byte counts can legitimately grow by
     // boundary fragments on multi-file layouts, so only the logical row
-    // count is pinned here.)
+    // count is pinned here.) Under an active prune plan the equality
+    // relaxes to <=: ParallelExecute drops whole morsels outside the
+    // *intersection* of every predicate's zone-accept runs, while the
+    // serial column pipeline's driving node still drains pages retained
+    // by its own zones alone -- so multi-predicate column scans can
+    // legitimately examine fewer tuples in parallel, never more.
     if (serial != nullptr) {
       ++stats.invariance_checks;
-      if (result->counters.tuples_examined != serial->tuples_examined) {
+      const PrunePlan prune_plan = BuildPrunePlan(table, query.spec);
+      const bool diverged =
+          prune_plan.active
+              ? result->counters.tuples_examined > serial->tuples_examined
+              : result->counters.tuples_examined != serial->tuples_examined;
+      if (diverged) {
         Fail(ctx + ": parallel examined " +
              std::to_string(result->counters.tuples_examined) +
              " tuples, serial examined " +
-             std::to_string(serial->tuples_examined));
+             std::to_string(serial->tuples_examined) +
+             (prune_plan.active ? " (prune plan active)" : ""));
       }
       stats.state_hash =
           FoldU64(stats.state_hash, result->counters.tuples_examined);
@@ -819,17 +880,105 @@ struct Runner {
     }
   }
 
+  /// Corrupted-synopsis run: damages the table's .zmap sidecar (random
+  /// bit flip or truncation), reopens the table -- which must reject the
+  /// sidecar -- and executes the query with pruning forced on. The legal
+  /// outcomes are the exact oracle answer (full-scan degradation) or a
+  /// clean Corruption error; silent row loss is the bug class this axis
+  /// exists to catch. Runs last for its table: the sidecar stays damaged.
+  void RunCorruptSynopsis(const std::string& dir, const std::string& name,
+                          const Query& query, const ReferenceResult& oracle,
+                          const std::string& ctx, uint64_t seed) {
+    const std::string path = SynopsisPath(dir, name);
+    auto blob = ReadFileToString(path);
+    if (!blob.ok()) {
+      Fail(ctx + ": cannot read synopsis sidecar: " +
+           blob.status().ToString());
+      return;
+    }
+    std::string bytes = std::move(blob).value();
+    if (bytes.empty()) {
+      Fail(ctx + ": synopsis sidecar is empty");
+      return;
+    }
+    Random rng(seed);
+    if (rng.Bernoulli(0.5)) {
+      const size_t pos = rng.Uniform(bytes.size());
+      bytes[pos] = static_cast<char>(
+          bytes[pos] ^ static_cast<char>(1u << rng.Uniform(8)));
+    } else {
+      bytes.resize(rng.Uniform(bytes.size()));  // truncate (possibly to 0)
+    }
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!f) {
+        Fail(ctx + ": cannot rewrite synopsis sidecar");
+        return;
+      }
+    }
+    auto reopened = OpenTable::Open(dir, name);
+    if (!reopened.ok()) {
+      Fail(ctx + ": corrupt sidecar broke table open: " +
+           reopened.status().ToString());
+      FoldOutcome(9, reopened.status(), 0, 0);
+      return;
+    }
+    if (reopened->synopsis() != nullptr || !reopened->synopsis_corrupt()) {
+      Fail(ctx + ": damaged sidecar was not rejected at open");
+    }
+    Query pruned = query;
+    pruned.spec.prune = true;
+    FileBackend backend;
+    ExecStats exec_stats;
+    auto plan = BuildSerialPlan(*reopened, pruned, &backend, &exec_stats,
+                                /*faulted=*/false, /*early_mat=*/false);
+    if (!plan.ok()) {
+      Fail(ctx + ": corrupt-synopsis plan build failed: " +
+           plan.status().ToString());
+      return;
+    }
+    auto result = Execute(plan->get(), &exec_stats);
+    ++stats.synopsis_corrupt_runs;
+    uint64_t rows = 0;
+    uint64_t checksum = 0;
+    if (result.ok()) {
+      rows = result->rows;
+      checksum = result->output_checksum;
+      if (rows != oracle.rows || checksum != oracle.output_checksum) {
+        Fail(ctx + ": SILENT ROW LOSS under corrupted synopsis (rows " +
+             std::to_string(rows) + " vs " + std::to_string(oracle.rows) +
+             ")");
+      }
+    } else if (!result.status().IsCorruption()) {
+      Fail(ctx + ": corrupt-synopsis run failed with unexpected status: " +
+           result.status().ToString());
+    }
+    // A predicated scan that asked for pruning must have noticed the
+    // rejected sidecar (predicate-free scans decline before the check).
+    if (!pruned.spec.predicates.empty() && result.ok() &&
+        exec_stats.counters().synopsis_corrupt == 0) {
+      Fail(ctx + ": corrupt sidecar left no synopsis_corrupt counter");
+    }
+    FoldOutcome(9, result.status(), rows, checksum);
+  }
+
   Status RunIteration(uint64_t iter) {
     const uint64_t iter_seed = Mix(options.seed, iter);
     Random rng(iter_seed);
     RODB_ASSIGN_OR_RETURN(
         Dataset dataset,
         GenerateDataset(rng, options.min_tuples, options.max_tuples));
-    const Query query = GenerateQuery(rng, dataset);
+    const Query query = GenerateQuery(rng, dataset, options.force_prune);
     if (query.spec.vectorized) {
       ++stats.vectorized_queries;
     } else {
       ++stats.scalar_queries;
+    }
+    if (query.spec.prune) {
+      ++stats.pruned_queries;
+    } else {
+      ++stats.unpruned_queries;
     }
     stats.state_hash = FoldU64(stats.state_hash, dataset.bytes_hash);
 
@@ -889,6 +1038,10 @@ struct Runner {
                          Mix(iter_seed, 700 + 2 * (compressed * 3 + l)));
         RunResilience(table, query, oracle, ctx + " resilience",
                       Mix(iter_seed, 900 + compressed * 3 + l));
+        // Last for this table: leaves the sidecar damaged on purpose.
+        RunCorruptSynopsis(dir, name, query, oracle,
+                           ctx + " corrupt-synopsis",
+                           Mix(iter_seed, 1100 + compressed * 3 + l));
       }
     }
     std::filesystem::remove_all(dir, ec);

@@ -22,6 +22,12 @@ struct FuzzOptions {
   /// Tuples per generated dataset, drawn uniformly from this range.
   uint32_t min_tuples = 50;
   uint32_t max_tuples = 1200;
+  /// Zone-map pruning axis: -1 draws spec.prune per query (the default
+  /// differential mode), 0 forces every query unpruned, 1 forces every
+  /// query pruned. The CI matrix pins both extremes via RODB_PRUNE; the
+  /// per-query draw is consumed either way so datasets and queries stay
+  /// byte-identical across the three settings.
+  int force_prune = -1;
   /// Per-iteration progress lines (one-line summaries go here too).
   bool verbose = false;
   /// Where log output goes; null = silent.
@@ -48,6 +54,15 @@ struct FuzzStats {
   /// engine; both sides must match the oracle exactly.
   uint64_t vectorized_queries = 0;
   uint64_t scalar_queries = 0;
+  /// Zone-map pruning axis: each query randomly enables spec.prune (or is
+  /// pinned by FuzzOptions::force_prune); pruned runs must match the
+  /// oracle through every other axis -- faults and retries included.
+  uint64_t pruned_queries = 0;
+  uint64_t unpruned_queries = 0;
+  /// Corrupted-synopsis runs: the sidecar is bit-flipped or truncated,
+  /// the table reopened, and a pruned scan must degrade to the exact
+  /// full-scan answer (or a clean Corruption error) -- never lose rows.
+  uint64_t synopsis_corrupt_runs = 0;
   /// Resilience axis: every run executes under a QueryContext (deadline,
   /// cancellation, bounded retries) and must either match the oracle or
   /// fail with Cancelled / DeadlineExceeded / IoError -- never hang,

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "obs/metrics.h"
 
 namespace rodb::fuzz {
@@ -20,6 +23,12 @@ FuzzOptions SmokeOptions(uint64_t seed, int iterations) {
   options.parallelism = 3;
   options.min_tuples = 50;
   options.max_tuples = 600;
+  // CI prune matrix: RODB_PRUNE=0/1 pins the zone-map axis to one side
+  // (datasets and queries stay identical -- only spec.prune changes);
+  // unset leaves the per-query coin flip.
+  if (const char* env = std::getenv("RODB_PRUNE")) {
+    options.force_prune = std::strcmp(env, "0") == 0 ? 0 : 1;
+  }
   return options;
 }
 
@@ -49,6 +58,16 @@ TEST(FuzzTest, SmokeMatrixAgainstOracle) {
   EXPECT_GT(stats->scalar_queries, 0u);
   EXPECT_EQ(stats->vectorized_queries + stats->scalar_queries,
             stats->iterations);
+  // The zone-map pruning axis ran: every query drew (or was pinned to) a
+  // prune flag, and both sides appear unless the CI matrix pinned one.
+  EXPECT_EQ(stats->pruned_queries + stats->unpruned_queries,
+            stats->iterations);
+  if (std::getenv("RODB_PRUNE") == nullptr) {
+    EXPECT_GT(stats->pruned_queries, 0u);
+    EXPECT_GT(stats->unpruned_queries, 0u);
+  }
+  // Every table also survived a damaged synopsis sidecar.
+  EXPECT_EQ(stats->synopsis_corrupt_runs, 12u * 6u);
   // Faults fired, and the engine survived them both ways: clean Status
   // errors and fully correct answers -- never silently wrong (that would
   // be a mismatch above).

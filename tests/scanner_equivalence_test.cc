@@ -185,6 +185,34 @@ TEST_P(ScannerEquivalenceTest, AllScannersAgree) {
     ASSERT_EQ(pax_tuples, row_tuples) << "query " << q << " (pax)";
     ASSERT_EQ(early_tuples, row_tuples) << "query " << q << " (early mat)";
 
+    // Prune axis: the same four scanners with zone-map skipping enabled
+    // must still produce the identical tuple stream -- pruning is an I/O
+    // strategy, never a semantic change. (Random codecs exercise every
+    // decline path too: kCharPack predicates, non-uniform pages, ...)
+    ScanSpec pruned_spec = spec;
+    pruned_spec.prune = true;
+    {
+      size_t ti = 0;
+      for (const OpenTable* table : {&row_table, &col_table, &pax_table}) {
+        ExecStats stats;
+        ASSERT_OK_AND_ASSIGN(
+            auto scan, MakeScanner(table, pruned_spec, &backend, &stats));
+        ASSERT_OK_AND_ASSIGN(auto tuples, CollectTuples(scan.get()));
+        ASSERT_EQ(tuples, row_tuples)
+            << "query " << q << " pruned variant " << ti;
+        ++ti;
+      }
+      ExecStats early_pruned_stats;
+      ASSERT_OK_AND_ASSIGN(
+          auto early_pruned,
+          OpenScanner(col_table, pruned_spec, &backend, &early_pruned_stats,
+                      ScannerImpl::kEarlyMat));
+      ASSERT_OK_AND_ASSIGN(auto early_pruned_tuples,
+                           CollectTuples(early_pruned.get()));
+      ASSERT_EQ(early_pruned_tuples, row_tuples)
+          << "query " << q << " (early mat pruned)";
+    }
+
     // Cached-backend axis: every layout must produce identical results
     // when the scan populates a cold BlockCache (pass 0) and again when
     // it is served warm from that cache (pass 1). Stats invariance: the

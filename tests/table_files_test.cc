@@ -270,6 +270,40 @@ TEST(PageValuesTest, BulkLoadRecordsUniformCounts) {
   }
 }
 
+TEST(PageValuesTest, EarlySealedForPagesReportNonUniform) {
+  // A frame-of-reference rebase seals a page short of the page-size
+  // capacity, so a later page (including the final one) can hold MORE
+  // values than the first. Position -> page division is unsound for such
+  // a file; the catalog must report 0 ("non-uniform") so morsel carving
+  // falls back to serial and the zone pruner declines. Regression: the
+  // writer used to excuse any count mismatch on the final flush, leaving
+  // a stride of 10 for a 10+50 file and sending ranged scans past EOF.
+  testing::TempDir dir;
+  std::vector<AttributeDesc> attrs = {
+      AttributeDesc::Int32("v", CodecSpec::For(8)),
+  };
+  ASSERT_OK_AND_ASSIGN(Schema schema, Schema::Make(std::move(attrs)));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      TableWriter::Create(dir.path(), "t", schema, Layout::kColumn, 4096));
+  std::vector<uint8_t> t(4);
+  // Page 0: base 100000, 10 values in frame.
+  for (int i = 0; i < 10; ++i) {
+    StoreLE32s(t.data(), 100000 + i);
+    ASSERT_OK(writer->Append(t.data()));
+  }
+  // 50000 falls below the base: the codec rebases onto a fresh page,
+  // which then absorbs 50 values -- five times the first page's count.
+  for (int i = 0; i < 50; ++i) {
+    StoreLE32s(t.data(), 50000 + i);
+    ASSERT_OK(writer->Append(t.data()));
+  }
+  ASSERT_OK(writer->Finish());
+  ASSERT_OK_AND_ASSIGN(OpenTable table, OpenTable::Open(dir.path(), "t"));
+  ASSERT_EQ(table.meta().file_pages[0], 2u);
+  EXPECT_EQ(table.meta().PageValues(0), 0u);
+}
+
 TEST(PageValuesTest, MetaWithoutPagevalsSectionReportsUnknown) {
   // Metas written before the pagevals section existed load fine and
   // report 0 ("unknown") so partitioned scans fall back to serial.

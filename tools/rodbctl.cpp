@@ -10,10 +10,15 @@
 //       print tuples (optionally filtered by one predicate); `op` is one
 //       of = != < <= > >=; --trace drains the whole scan and prints the
 //       span tree plus the predicted-vs-measured model comparison.
+//       Predicated scans consult the table's zone-map synopsis and skip
+//       pages proven predicate-free before any I/O; --no-prune forces
+//       the full scan (output is identical either way).
 //       --deadline-ms / --max-retries / --mem-budget-mb run the scan
 //       under a QueryContext: it stops with DeadlineExceeded past the
 //       deadline, retries transient I/O errors with bounded backoff,
-//       and fails with ResourceExhausted past the memory budget.
+//       and fails with ResourceExhausted past the memory budget (the
+//       scan's post-prune working set is reserved up front via the
+//       admission controller).
 //   rodbctl advise <dir> <table>
 //       run the compression advisor over a sample of the stored data
 
@@ -32,9 +37,11 @@
 #include "common/file_util.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "engine/admission.h"
 #include "engine/executor.h"
 #include "engine/plan_builder.h"
 #include "engine/query_context.h"
+#include "engine/zone_pruner.h"
 #include "io/block_cache.h"
 #include "io/file_backend.h"
 #include "kernels/scan_kernels.h"
@@ -188,7 +195,7 @@ struct ResilienceFlags {
 Status CmdScan(const std::string& dir, const std::string& name,
                uint64_t limit, const char* where_attr, const char* where_op,
                const char* where_value, int cache_mb, bool trace,
-               const ResilienceFlags& resilience) {
+               bool no_prune, const ResilienceFlags& resilience) {
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   const Schema& schema = table.schema();
   std::unique_ptr<BlockCache> cache;
@@ -231,6 +238,9 @@ Status CmdScan(const std::string& dir, const std::string& name,
                            ? Predicate::Int32(attr, op, std::atoi(where_value))
                            : Predicate::Text(attr, op, where_value)};
   }
+  // Zone-map pruning defaults on for predicated scans; the synopsis layer
+  // makes the pruned scan return exactly the unpruned tuples.
+  spec.prune = !spec.predicates.empty() && !no_prune;
   FileBackend backend;
   ExecStats stats;
   obs::QueryTrace qtrace;
@@ -244,9 +254,21 @@ Status CmdScan(const std::string& dir, const std::string& name,
     ctx.set_retry_policy(
         RetryPolicy::BoundedBackoff(resilience.max_retries));
   }
+  // The memory budget is enforced through the admission controller: the
+  // scan's estimated working set -- shrunk by the zone-map prune plan
+  // when one applies -- is reserved up front, and the same budget backs
+  // the query's runtime reservations.
+  std::unique_ptr<AdmissionController> admission;
+  AdmissionTicket ticket;
   if (resilience.mem_budget_mb > 0) {
-    ctx.set_memory_budget(std::make_shared<MemoryBudget>(
-        static_cast<uint64_t>(resilience.mem_budget_mb) << 20));
+    AdmissionOptions admission_options;
+    admission_options.max_concurrent = 1;
+    admission_options.memory_budget_bytes =
+        static_cast<uint64_t>(resilience.mem_budget_mb) << 20;
+    admission = std::make_unique<AdmissionController>(admission_options);
+    ctx.set_memory_budget(admission->memory_budget());
+    const uint64_t working_set = EstimateScanWorkingSet(table, spec);
+    RODB_ASSIGN_OR_RETURN(ticket, admission->Admit(working_set, ctx));
   }
   stats.set_context(&ctx);
   RODB_ASSIGN_OR_RETURN(OperatorPtr plan,
@@ -313,7 +335,22 @@ Status CmdScan(const std::string& dir, const std::string& name,
                       cc.values_scanned_vectorized),
                   static_cast<unsigned long long>(cc.mask_skipped_values));
     }
-    const auto physics = obs::PredictScanPhysics(table, spec);
+    if (cc.prune_plans > 0 || cc.prune_declined > 0 ||
+        cc.synopsis_corrupt > 0) {
+      std::printf("pruning: plans=%llu declined=%llu pages_pruned=%llu "
+                  "pages_retained=%llu zone_rejects=%llu "
+                  "synopsis_corrupt=%llu\n",
+                  static_cast<unsigned long long>(cc.prune_plans),
+                  static_cast<unsigned long long>(cc.prune_declined),
+                  static_cast<unsigned long long>(cc.pages_pruned),
+                  static_cast<unsigned long long>(cc.pages_retained),
+                  static_cast<unsigned long long>(cc.prune_zone_rejects),
+                  static_cast<unsigned long long>(cc.synopsis_corrupt));
+    }
+    const PrunePlan prune_plan = BuildPrunePlan(table, spec);
+    const auto physics = obs::PredictScanPhysics(
+        table, spec, ScannerImpl::kAuto, obs::ScanPhysicsHints{},
+        &prune_plan);
     if (physics.ok()) {
       const HardwareConfig hw = HardwareConfig::Paper2006();
       const ModeledTiming timing = ModelQueryTiming(
@@ -363,8 +400,8 @@ void Usage() {
                "  rodbctl verify <dir> <table>\n"
                "  rodbctl scan <dir> <table> [limit [attr op value]]"
                " [--cache-mb=N] [--trace]\n"
-               "              [--deadline-ms=N] [--max-retries=N]"
-               " [--mem-budget-mb=N]\n"
+               "              [--no-prune] [--deadline-ms=N]"
+               " [--max-retries=N] [--mem-budget-mb=N]\n"
                "  rodbctl advise <dir> <table>\n");
 }
 
@@ -403,6 +440,7 @@ int main(int argc, char** argv) {
     // the positional [limit [attr op value]] arguments.
     int cache_mb = 0;
     bool trace = false;
+    bool no_prune = false;
     ResilienceFlags resilience;
     // Positive-integer --flag=N parser shared by the resilience knobs.
     const auto parse_int_flag = [](const char* arg, const char* flag,
@@ -430,6 +468,8 @@ int main(int argc, char** argv) {
       }
       if (std::strcmp(argv[i], "--trace") == 0) {
         trace = true;
+      } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+        no_prune = true;
       } else {
         pos.push_back(argv[i]);
       }
@@ -440,7 +480,7 @@ int main(int argc, char** argv) {
     const char* op = pos.size() > 3 ? pos[2] : nullptr;
     const char* value = pos.size() > 3 ? pos[3] : nullptr;
     const Status s = CmdScan(dir, table, limit, attr, op, value, cache_mb,
-                             trace, resilience);
+                             trace, no_prune, resilience);
     return s.ok() ? 0 : Fail(s);
   }
   Usage();

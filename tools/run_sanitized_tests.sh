@@ -26,11 +26,12 @@ FUZZ_ITERATIONS="${2:-200}"
 # resilience suites race cancellation/deadline flags against running
 # workers, retry loops against fault injection, and admission
 # queue/budget handoffs across threads; robustness_sweep_test drives
-# the whole matrix under injected faults.
+# the whole matrix under injected faults; zone_map_test's parallel
+# checksum cases race morsel workers over prune-filtered page ranges.
 TSAN_TESTS=(parallel_executor_test scanner_equivalence_test
             block_cache_test fuzz_test obs_test
             resilience_test retry_backend_test admission_test
-            robustness_sweep_test)
+            robustness_sweep_test zone_map_test)
 
 status=0
 

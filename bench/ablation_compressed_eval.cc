@@ -51,7 +51,8 @@ int main() {
       std::fprintf(stderr, "scan failed\n");
       return 1;
     }
-    RODB_CHECK(off_run->exec.output_checksum == on_run->exec.output_checksum);
+    RODB_CHECK(off_run->result.output_checksum ==
+               on_run->result.output_checksum);
     const auto off_t = ModelQueryTiming(off_run->paper_counters, hw, 48,
                                         off_run->paper_streams);
     const auto on_t = ModelQueryTiming(on_run->paper_counters, hw, 48,

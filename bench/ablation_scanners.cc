@@ -32,8 +32,11 @@ Result<ScanRun> RunEarlyMat(const std::string& dir, const std::string& name,
       auto scan, OpenScanner(table, spec, backend, &stats,
                        ScannerImpl::kEarlyMat));
   ScanRun run;
-  RODB_ASSIGN_OR_RETURN(run.exec, Execute(scan.get(), &stats));
-  run.rows = run.exec.rows;
+  RODB_ASSIGN_OR_RETURN(ExecutionResult exec, Execute(scan.get(), &stats));
+  run.result.rows = exec.rows;
+  run.result.output_checksum = exec.output_checksum;
+  run.result.wall_seconds = exec.measured.wall_seconds;
+  run.rows = exec.rows;
   run.counters = stats.counters();
   run.paper_counters = ScaleCounters(run.counters, scale);
   run.paper_streams = ScanStreams(table, spec);

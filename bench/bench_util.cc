@@ -5,8 +5,9 @@
 #include <filesystem>
 
 #include "common/macros.h"
-#include "engine/open_scanner.h"
 #include "obs/model_comparison.h"
+#include "obs/scan_physics.h"
+#include "server/query_engine.h"
 
 namespace rodb::bench {
 
@@ -38,18 +39,39 @@ tpch::LoadSpec Env::Spec(Layout layout, bool compressed,
   return spec;
 }
 
+QueryRequest RequestFromSpec(const std::string& name, const ScanSpec& spec) {
+  QueryRequest request;
+  request.table = name;
+  request.projection = spec.projection;
+  request.predicates = spec.predicates;
+  request.read = spec.read;
+  request.range = spec.range;
+  request.block_tuples = spec.block_tuples;
+  request.compressed_eval = spec.compressed_eval;
+  request.vectorized = spec.vectorized;
+  request.prune = spec.prune;
+  return request;
+}
+
 Result<ScanRun> RunScan(const std::string& dir, const std::string& name,
                         const ScanSpec& spec, double paper_scale,
                         IoBackend* backend, obs::QueryTrace* trace) {
+  // The table is opened locally only to feed the I/O model's stream
+  // list; the execution itself goes through the public facade.
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
-  ExecStats stats;
-  stats.set_trace(trace);
-  Result<OperatorPtr> scan = OpenScanner(table, spec, backend, &stats);
-  RODB_RETURN_IF_ERROR(scan.status());
+  EngineOptions options;
+  options.backend = backend;
+  // The figure benches measure the paper's one-scan-per-query model;
+  // circulating scans would pool the I/O the projections need per run.
+  options.scan_sharing = false;
+  QueryEngine engine(dir, options);
+  QueryRequest request = RequestFromSpec(name, spec);
+  request.mode = QueryMode::kExclusive;
+  request.trace = trace;
   ScanRun run;
-  RODB_ASSIGN_OR_RETURN(run.exec, Execute(scan->get(), &stats));
-  run.rows = run.exec.rows;
-  run.counters = stats.counters();
+  RODB_ASSIGN_OR_RETURN(run.result, engine.Execute(request));
+  run.rows = run.result.rows;
+  run.counters = run.result.counters;
   if (trace != nullptr) {
     const auto physics = obs::PredictScanPhysics(table, spec);
     if (physics.ok()) {
@@ -59,7 +81,7 @@ Result<ScanRun> RunScan(const std::string& dir, const std::string& name,
           CacheAdjustedStreams(ScanStreams(table, spec), run.counters));
       run.model_json =
           obs::BuildModelComparison(*physics, run.counters, *trace, timing,
-                                    run.exec.measured.wall_seconds, hw)
+                                    run.result.wall_seconds, hw)
               .ToJson();
     }
   }

@@ -8,6 +8,7 @@
 #include "engine/scan_spec.h"
 #include "io/file_backend.h"
 #include "obs/span.h"
+#include "server/query_request.h"
 #include "storage/catalog.h"
 #include "tpch/loader.h"
 #include "tpch/tpch_schema.h"
@@ -39,7 +40,7 @@ struct Env {
 
 /// One engine execution projected to paper scale.
 struct ScanRun {
-  ExecutionResult exec;           ///< host-measured run
+  QueryResult result;             ///< host-measured run
   ExecCounters counters;          ///< raw counters at local scale
   ExecCounters paper_counters;    ///< counters scaled to 60M tuples
   std::vector<StreamSpec> paper_streams;  ///< stream bytes at paper scale
@@ -50,10 +51,17 @@ struct ScanRun {
   std::string model_json;
 };
 
-/// Opens `name`, builds the layout-appropriate scanner, executes it, and
-/// returns counters/streams projected by `paper_scale`. When `trace` is
-/// non-null the run is traced and `model_json` carries the side-by-side
-/// predicted-vs-measured comparison for the benches' JSON output.
+/// Maps a ScanSpec onto the public QueryRequest (the benches describe
+/// experiments as specs; the engine wants requests).
+QueryRequest RequestFromSpec(const std::string& name, const ScanSpec& spec);
+
+/// Executes `spec` against `name` through the public
+/// QueryEngine::Execute facade -- in kExclusive mode, so the per-query
+/// counters carry the run's real I/O for the paper-scale projections --
+/// and returns counters/streams projected by `paper_scale`. When
+/// `trace` is non-null the run is traced and `model_json` carries the
+/// side-by-side predicted-vs-measured comparison for the benches' JSON
+/// output.
 Result<ScanRun> RunScan(const std::string& dir, const std::string& name,
                         const ScanSpec& spec, double paper_scale,
                         IoBackend* backend,

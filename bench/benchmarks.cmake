@@ -37,3 +37,4 @@ rodb_bench(memory_resident)
 rodb_bench(ablation_compressed_eval)
 rodb_bench(parallel_scan_bench)
 rodb_bench(block_cache_bench)
+rodb_bench(server_concurrency)

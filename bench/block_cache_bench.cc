@@ -55,8 +55,8 @@ int main() {
       RODB_CHECK(run.ok());
       const bool cold = std::string(pass) == "cold";
       if (cold) {
-        cold_checksum = run->exec.output_checksum;
-        cold_wall = run->exec.measured.wall_seconds;
+        cold_checksum = run->result.output_checksum;
+        cold_wall = run->result.wall_seconds;
       }
       const BlockCache::Stats cs = cache.stats();
       std::printf(
@@ -71,17 +71,17 @@ int main() {
           layout == Layout::kRow ? "row" : "column",
           static_cast<unsigned long long>(env.tuples), pass,
           static_cast<unsigned long long>(run->rows),
-          run->exec.measured.wall_seconds,
-          cold ? 1.0 : cold_wall / run->exec.measured.wall_seconds,
+          run->result.wall_seconds,
+          cold ? 1.0 : cold_wall / run->result.wall_seconds,
           static_cast<unsigned long long>(run->counters.io_bytes_read),
           static_cast<unsigned long long>(run->counters.io_bytes_from_cache),
           static_cast<unsigned long long>(cs.hits),
           static_cast<unsigned long long>(cs.misses), cs.hit_rate(),
           static_cast<unsigned long long>(cs.bytes_in_use),
-          static_cast<unsigned long long>(run->exec.output_checksum),
-          run->exec.output_checksum == cold_checksum ? "true" : "false",
+          static_cast<unsigned long long>(run->result.output_checksum),
+          run->result.output_checksum == cold_checksum ? "true" : "false",
           run->model_json.empty() ? "null" : run->model_json.c_str());
-      RODB_CHECK(run->exec.output_checksum == cold_checksum);
+      RODB_CHECK(run->result.output_checksum == cold_checksum);
       if (!cold) {
         // The whole point of the warm pass: zero backend traffic.
         RODB_CHECK(run->counters.io_bytes_read == 0);

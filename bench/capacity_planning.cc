@@ -66,7 +66,7 @@ int main() {
   RODB_CHECK(plan.ok());
   auto result = Execute(plan->get(), &dop_stats);
   RODB_CHECK(result.ok());
-  RODB_CHECK(result->output_checksum == serial->exec.output_checksum);
+  RODB_CHECK(result->output_checksum == serial->result.output_checksum);
 
   HardwareConfig dop4 = HardwareConfig::Paper2006();
   dop4.num_cpus = 4;

@@ -1,10 +1,11 @@
 // Morsel-driven parallel scan scaling (DESIGN.md "Parallel execution").
 //
 // Scans a memory-resident LINEITEM (row and column layouts) with 1..8
-// worker threads and reports wall-clock scaling as JSON lines, one
-// object per (layout, threads) point. Two invariants are checked and
-// reported per point:
-//   - output_checksum equals the serial Execute() checksum, and
+// worker threads through the public QueryEngine::Execute facade
+// (QueryRequest::parallelism picks the morsel plan) and reports
+// wall-clock scaling as JSON lines, one object per (layout, threads)
+// point. Two invariants are checked and reported per point:
+//   - output_checksum equals the serial execution's checksum, and
 //   - ModelQueryTiming on the merged+normalized counters equals the
 //     serial model numbers (parallelism changes wall clock, never the
 //     modeled Section-5 answer).
@@ -24,13 +25,11 @@
 #include "bench_util.h"
 #include "common/file_util.h"
 #include "common/macros.h"
-#include "engine/parallel_executor.h"
-#include "engine/plan_builder.h"
-#include "engine/query_context.h"
 #include "io/mem_backend.h"
 #include "obs/model_comparison.h"
 #include "obs/scan_physics.h"
 #include "obs/span.h"
+#include "server/query_engine.h"
 
 using namespace rodb;         // NOLINT
 using namespace rodb::bench;  // NOLINT
@@ -65,11 +64,12 @@ double ModelElapsed(const ExecCounters& counters, const OpenTable& table,
 
 int main(int argc, char** argv) {
   Env env = Env::FromEnv();
-  // Resilience knobs: run every parallel execution under a QueryContext.
-  // Off by default so the bench's numbers are unchanged; with a deadline
-  // set, a run that overruns it fails with DeadlineExceeded (which
-  // RODB_CHECK turns into a loud abort -- the point of the flag is to
-  // demonstrate the bound, not to paper over it).
+  // Resilience knobs: every execution already runs under the engine's
+  // QueryContext; these flags feed it. Off by default so the bench's
+  // numbers are unchanged; with a deadline set, a run that overruns it
+  // fails with DeadlineExceeded (which RODB_CHECK turns into a loud
+  // abort -- the point of the flag is to demonstrate the bound, not to
+  // paper over it).
   int deadline_ms = 0, max_retries = 0, mem_budget_mb = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
@@ -85,20 +85,21 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  QueryContext ctx;
-  if (max_retries > 0) {
-    ctx.set_retry_policy(RetryPolicy::BoundedBackoff(max_retries));
-  }
-  if (mem_budget_mb > 0) {
-    ctx.set_memory_budget(std::make_shared<MemoryBudget>(
-        static_cast<uint64_t>(mem_budget_mb) << 20));
-  }
   std::fprintf(stderr,
                "parallel_scan_bench: %llu tuples, %u hardware threads\n",
                static_cast<unsigned long long>(env.tuples),
                std::thread::hardware_concurrency());
 
   MemBackend mem;
+  EngineOptions engine_options;
+  engine_options.backend = &mem;
+  engine_options.scan_sharing = false;  // the paper's per-query model
+  if (mem_budget_mb > 0) {
+    engine_options.exclusive.memory_budget_bytes =
+        static_cast<uint64_t>(mem_budget_mb) << 20;
+  }
+  QueryEngine engine(env.data_dir, engine_options);
+
   for (Layout layout : {Layout::kRow, Layout::kColumn}) {
     auto meta = EnsureLineitem(env.Spec(layout, false));
     RODB_CHECK(meta.ok());
@@ -114,26 +115,25 @@ int main(int argc, char** argv) {
     const uint32_t vpp = table->meta().PageValues(0);
     if (vpp > 0) spec.block_tuples = vpp;
 
-    // Serial ground truth through the ordinary Execute() path.
-    ExecStats serial_stats;
-    auto root =
-        PlanBuilder::Scan(&*table, spec, &mem, &serial_stats).Build();
-    RODB_CHECK(root.ok());
-    auto serial = Execute(root->get(), &serial_stats);
+    QueryRequest request = RequestFromSpec(meta->name, spec);
+    request.mode = QueryMode::kExclusive;
+    request.max_retries = max_retries;
+    if (deadline_ms > 0) {
+      request.timeout = std::chrono::milliseconds(deadline_ms);
+    }
+
+    // Serial ground truth through the same facade.
+    auto serial = engine.Execute(request);
     RODB_CHECK(serial.ok());
     const double serial_model =
-        ModelElapsed(serial_stats.counters(), *table, spec);
-
-    ParallelScanPlan plan;
-    plan.table = &*table;
-    plan.spec = spec;
-    plan.backend = &mem;
+        ModelElapsed(serial->counters, *table, spec);
 
     const auto physics = obs::PredictScanPhysics(*table, spec);
     RODB_CHECK(physics.ok());
 
     double wall_1 = 0.0;
     for (int threads : {1, 2, 4, 8}) {
+      request.parallelism = threads;
       double best = 1e100;
       uint64_t checksum = 0;
       int morsels = 0;
@@ -143,21 +143,13 @@ int main(int argc, char** argv) {
         // Fresh trace per run: span nanos accumulate, and each run's
         // FinalizeFromCounters expects one query's worth of data.
         obs::QueryTrace trace;
-        plan.trace = &trace;
-        // Per-run context copy so --deadline-ms bounds each execution
-        // rather than the whole bench.
-        QueryContext run_ctx = ctx;
-        if (deadline_ms > 0) {
-          run_ctx.set_deadline(std::chrono::steady_clock::now() +
-                               std::chrono::milliseconds(deadline_ms));
-        }
-        plan.context = &run_ctx;
-        auto out = ParallelExecute(plan, threads);
-        plan.context = nullptr;
+        request.trace = &trace;
+        auto out = engine.Execute(request);
+        request.trace = nullptr;
         RODB_CHECK(out.ok());
-        RODB_CHECK(out->result.rows == serial->rows);
-        best = std::min(best, out->result.measured.wall_seconds);
-        checksum = out->result.output_checksum;
+        RODB_CHECK(out->rows == serial->rows);
+        best = std::min(best, out->wall_seconds);
+        checksum = out->output_checksum;
         morsels = out->morsels;
         model = ModelElapsed(out->counters, *table, spec);
         const HardwareConfig hw = HardwareConfig::Paper2006();
@@ -166,10 +158,9 @@ int main(int argc, char** argv) {
                 *physics, out->counters, trace,
                 ModelQueryTiming(out->counters, hw, spec.read.prefetch_depth,
                                  ScanStreams(*table, spec)),
-                out->result.measured.wall_seconds, hw)
+                out->wall_seconds, hw)
                 .ToJson();
       }
-      plan.trace = nullptr;
       if (threads == 1) wall_1 = best;
       std::printf(
           "{\"bench\":\"parallel_scan\",\"layout\":\"%s\","

@@ -10,9 +10,9 @@
 
 #include "common/macros.h"
 #include "common/bytes.h"
-#include "engine/executor.h"
-#include "engine/open_scanner.h"
-#include "io/file_backend.h"
+#include "server/query_engine.h"
+#include "storage/database.h"
+#include "storage/table_files.h"
 #include "wos/merge.h"
 #include "wos/write_store.h"
 
@@ -60,15 +60,13 @@ Status Run(const std::string& dir) {
   }
 
   // Query the final generation through the ordinary read path.
-  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, current));
-  FileBackend backend;
-  ExecStats stats;
-  ScanSpec spec;
-  spec.projection = {0, 1};
-  spec.predicates = {Predicate::Int32(1, CompareOp::kLt, 10)};
-  RODB_ASSIGN_OR_RETURN(auto scan,
-                        OpenScanner(table, spec, &backend, &stats));
-  RODB_ASSIGN_OR_RETURN(ExecutionResult result, Execute(scan.get(), &stats));
+  RODB_ASSIGN_OR_RETURN(Database db, Database::Open(dir));
+  QueryRequest query;
+  query.table = current;
+  query.projection = {0, 1};
+  query.predicates = {Predicate::Int32(1, CompareOp::kLt, 10)};
+  RODB_ASSIGN_OR_RETURN(QueryResult result, db.Execute(query));
+  RODB_ASSIGN_OR_RETURN(OpenTable table, db.OpenTableNamed(current));
   std::printf("\nscan of %s: %llu of %llu tuples qualify (amount < 10)\n",
               current.c_str(), static_cast<unsigned long long>(result.rows),
               static_cast<unsigned long long>(table.meta().num_tuples));

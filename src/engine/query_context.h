@@ -158,6 +158,9 @@ class QueryContext {
   std::chrono::steady_clock::time_point deadline() const { return deadline_; }
 
   const CancellationToken& token() const { return token_; }
+  /// Adopts a caller-held token (e.g. QueryRequest::cancel) so the
+  /// caller can cancel this query from another thread.
+  void set_token(CancellationToken token) { token_ = std::move(token); }
   void Cancel() const { token_.Cancel(); }
 
   /// Attaches a budget shared with every copy/child of this context.

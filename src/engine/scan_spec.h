@@ -58,26 +58,6 @@ struct ScanSpec {
   /// predicate-free scans, kCharPack predicate columns and non-uniform
   /// page files all decline pruning and scan normally anyway.
   bool prune = false;
-
-  // --- Deprecated-alias shim (one release) -------------------------------
-  // The fields below used to live directly on ScanSpec, duplicating
-  // IoOptions; they moved into `read` (ReadOptions) and `range`
-  // (ScanRange). These accessors keep old call sites compiling with a
-  // deprecation warning; they will be removed next release.
-  [[deprecated("use spec.read.io_unit_bytes")]]
-  size_t& io_unit_bytes() { return read.io_unit_bytes; }
-  [[deprecated("use spec.read.prefetch_depth")]]
-  int& prefetch_depth() { return read.prefetch_depth; }
-  [[deprecated("use spec.read.verify_checksums")]]
-  bool& verify_checksums() { return read.verify_checksums; }
-  [[deprecated("use spec.range = ScanRange::Pages(...)")]]
-  void set_page_range(uint64_t first_page, uint64_t num_pages) {
-    range = ScanRange::Pages(first_page, num_pages);
-  }
-  [[deprecated("use spec.range = ScanRange::Rows(...)")]]
-  void set_row_range(uint64_t first_row, uint64_t num_rows) {
-    range = ScanRange::Rows(first_row, num_rows);
-  }
 };
 
 /// The distinct table attributes a column scan must read, in pipeline

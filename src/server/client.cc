@@ -1,0 +1,135 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+#include "server/protocol.h"
+
+namespace rodb {
+
+namespace {
+
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryClient::~QueryClient() { Close(); }
+
+QueryClient::QueryClient(QueryClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status QueryClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::IoError("connect: " + std::string(std::strerror(errno)));
+    Close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<uint8_t>> QueryClient::RoundTrip(
+    uint8_t frame_type, const std::vector<uint8_t>& payload,
+    uint8_t* reply_type) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  const std::vector<uint8_t> frame =
+      EncodeFrame(static_cast<FrameType>(frame_type), payload);
+  if (!WriteAll(fd_, frame.data(), frame.size())) {
+    return Status::IoError("send: " + std::string(std::strerror(errno)));
+  }
+  FrameReader reader;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    FrameReader::Frame reply;
+    RODB_ASSIGN_OR_RETURN(bool have, reader.Next(&reply));
+    if (have) {
+      *reply_type = static_cast<uint8_t>(reply.type);
+      return std::move(reply.payload);
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Status::IoError("connection closed by server");
+    reader.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<QueryResult> QueryClient::Execute(const QueryRequest& request) {
+  uint8_t reply_type = 0;
+  RODB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      RoundTrip(static_cast<uint8_t>(FrameType::kQuery),
+                EncodeQueryRequest(request), &reply_type));
+  switch (static_cast<FrameType>(reply_type)) {
+    case FrameType::kResult:
+      return DecodeQueryResult(payload.data(), payload.size());
+    case FrameType::kError:
+      return DecodeError(payload.data(), payload.size());
+    default:
+      return Status::InvalidArgument("unexpected reply frame type");
+  }
+}
+
+Status QueryClient::Ping() {
+  uint8_t reply_type = 0;
+  RODB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      RoundTrip(static_cast<uint8_t>(FrameType::kPing), {}, &reply_type));
+  (void)payload;
+  if (static_cast<FrameType>(reply_type) != FrameType::kPong) {
+    return Status::InvalidArgument("unexpected reply to ping");
+  }
+  return Status::OK();
+}
+
+}  // namespace rodb

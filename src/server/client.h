@@ -1,0 +1,47 @@
+#ifndef RODB_SERVER_CLIENT_H_
+#define RODB_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "server/query_request.h"
+
+namespace rodb {
+
+/// Blocking client for the query server's length-prefixed protocol.
+/// One connection, one query at a time (request/response); a bench or
+/// driver that wants N concurrent queries opens N clients. Not
+/// thread-safe; confine each client to one thread.
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+  QueryClient(QueryClient&& other) noexcept;
+  QueryClient& operator=(QueryClient&& other) noexcept;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends the request and blocks for the result. A server-side error
+  /// status comes back as this call's status. Note the process-local
+  /// fields of QueryRequest (cancel token, trace) do not travel; close
+  /// the connection to abandon a query.
+  Result<QueryResult> Execute(const QueryRequest& request);
+
+  /// Round-trips a ping frame.
+  Status Ping();
+
+ private:
+  Result<std::vector<uint8_t>> RoundTrip(uint8_t frame_type,
+                                         const std::vector<uint8_t>& payload,
+                                         uint8_t* reply_type);
+
+  int fd_ = -1;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_SERVER_CLIENT_H_

@@ -1,0 +1,26 @@
+/// Database::Execute lives here, not in storage/database.cc: the
+/// storage layer cannot link the engine, so the facade's implementation
+/// rides in the server library and the symbols resolve through the
+/// rodb umbrella target.
+#include "server/query_engine.h"
+#include "storage/database.h"
+
+namespace rodb {
+
+Result<QueryResult> Database::Execute(const QueryRequest& request) {
+  if (engine_ == nullptr) {
+    // Lazy default engine. Not thread-safe against concurrent first
+    // calls -- configure (or issue one query) before sharing the
+    // handle; every call after that races only inside QueryEngine,
+    // which is built for it.
+    engine_ = std::make_shared<QueryEngine>(dir_);
+  }
+  return engine_->Execute(request);
+}
+
+void Database::ConfigureEngine(const EngineOptions& options) {
+  if (engine_ != nullptr) engine_->Shutdown();
+  engine_ = std::make_shared<QueryEngine>(dir_, options);
+}
+
+}  // namespace rodb

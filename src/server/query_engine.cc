@@ -1,0 +1,307 @@
+#include "server/query_engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/scope_guard.h"
+#include "common/stopwatch.h"
+#include "engine/executor.h"
+#include "engine/parallel_executor.h"
+#include "engine/plan_builder.h"
+#include "engine/scan_spec.h"
+#include "engine/zone_pruner.h"
+#include "io/file_backend.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace rodb {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter* queries;
+  obs::Counter* queries_shared;
+  obs::Counter* queries_exclusive;
+  obs::Counter* errors;
+  obs::Histogram* latency_us;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      EngineMetrics metrics;
+      metrics.queries = reg.GetCounter("rodb.server.queries");
+      metrics.queries_shared = reg.GetCounter("rodb.server.queries_shared");
+      metrics.queries_exclusive =
+          reg.GetCounter("rodb.server.queries_exclusive");
+      metrics.errors = reg.GetCounter("rodb.server.errors");
+      metrics.latency_us = reg.GetHistogram(
+          "rodb.server.query_latency_us",
+          obs::Histogram::ExponentialBounds(1, 4.0, 12));
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+QueryContext MakeContext(const QueryRequest& request) {
+  QueryContext ctx;
+  ctx.set_token(request.cancel);
+  if (request.timeout.count() > 0) {
+    ctx.set_deadline(std::chrono::steady_clock::now() + request.timeout);
+  }
+  if (request.max_retries > 0) {
+    ctx.set_retry_policy(RetryPolicy::BoundedBackoff(request.max_retries));
+  }
+  return ctx;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::string dir, EngineOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.backend != nullptr) {
+    backend_ = options_.backend;
+  } else {
+    owned_backend_ = std::make_unique<FileBackend>();
+    backend_ = owned_backend_.get();
+  }
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(options_.cache_bytes);
+  }
+  exclusive_admission_ =
+      std::make_unique<AdmissionController>(options_.exclusive);
+  shared_admission_ = std::make_unique<AdmissionController>(options_.shared);
+}
+
+QueryEngine::~QueryEngine() { Shutdown(); }
+
+void QueryEngine::Shutdown() {
+  std::map<std::string, std::shared_ptr<CirculatingScan>> scans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    scans.swap(scans_);
+  }
+  for (auto& [name, scan] : scans) scan->Stop();
+}
+
+CirculatingScan::Stats QueryEngine::SharedScanStats(
+    const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scans_.find(table);
+  return it == scans_.end() ? CirculatingScan::Stats{} : it->second->stats();
+}
+
+Result<std::shared_ptr<const OpenTable>> QueryEngine::GetTable(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second;
+  }
+  // Open outside the lock (touches the filesystem); last writer wins.
+  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir_, name));
+  auto shared = std::make_shared<const OpenTable>(std::move(table));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(name, shared);
+  return it->second;
+}
+
+std::shared_ptr<CirculatingScan> QueryEngine::GetScan(
+    const std::string& name, std::shared_ptr<const OpenTable> table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return nullptr;
+  auto it = scans_.find(name);
+  if (it != scans_.end()) return it->second;
+  CirculatingScan::Options scan_options;
+  scan_options.block_tuples = options_.shared_block_tuples;
+  scan_options.read = options_.shared_read;
+  scan_options.read.cache = cache_.get();
+  scan_options.max_pending = static_cast<size_t>(
+      options_.shared.max_concurrent + options_.shared.max_queue);
+  auto scan = std::make_shared<CirculatingScan>(std::move(table), backend_,
+                                                scan_options);
+  scans_.emplace(name, scan);
+  return scan;
+}
+
+Result<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
+  auto& metrics = EngineMetrics::Get();
+  IntervalTimer timer;
+  // -1 until mode resolution succeeds, so a request that dies before
+  // reaching an executor (unknown table, bad mode/range) still counts
+  // under queries/errors but neither per-mode split.
+  int shared = -1;
+  Result<QueryResult> result = ExecuteResolved(request, &shared);
+  metrics.queries->Increment();
+  if (shared == 1) metrics.queries_shared->Increment();
+  if (shared == 0) metrics.queries_exclusive->Increment();
+  if (!result.ok()) {
+    metrics.errors->Increment();
+    return result;
+  }
+  result->wall_seconds = timer.Lap().wall_seconds;
+  metrics.latency_us->Record(
+      static_cast<uint64_t>(result->wall_seconds * 1e6));
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteResolved(const QueryRequest& request,
+                                                 int* shared_out) {
+  RODB_ASSIGN_OR_RETURN(std::shared_ptr<const OpenTable> table,
+                        GetTable(request.table));
+  QueryContext ctx = MakeContext(request);
+
+  bool shared = false;
+  switch (request.mode) {
+    case QueryMode::kExclusive:
+      shared = false;
+      break;
+    case QueryMode::kShared:
+      if (!options_.scan_sharing) {
+        return Status::NotSupported("scan sharing disabled on this engine");
+      }
+      if (!request.range.is_all()) {
+        return Status::InvalidArgument(
+            "shared queries scan the whole table (range must be All)");
+      }
+      shared = true;
+      break;
+    case QueryMode::kAuto:
+      shared = options_.scan_sharing && request.range.is_all() &&
+               !request.ordered && request.parallelism <= 1 &&
+               request.trace == nullptr;
+      break;
+  }
+  *shared_out = shared ? 1 : 0;
+
+  return shared ? ExecuteShared(request, std::move(table), std::move(ctx))
+                : ExecuteExclusive(request, *table, std::move(ctx));
+}
+
+Result<QueryResult> QueryEngine::ExecuteShared(
+    const QueryRequest& request, std::shared_ptr<const OpenTable> table,
+    QueryContext ctx) {
+  // One shared-admission slot is held while attached; the controller's
+  // bounded queue sheds overload and its budget becomes the query's
+  // fair share for collected rows.
+  ctx.set_memory_budget(shared_admission_->memory_budget());
+  RODB_ASSIGN_OR_RETURN(AdmissionTicket ticket,
+                        shared_admission_->Admit(0, ctx));
+  std::shared_ptr<CirculatingScan> scan = GetScan(request.table, table);
+  if (scan == nullptr) {
+    return Status::Cancelled("engine shutting down");
+  }
+  return scan->Run(request, std::move(ctx));
+}
+
+Result<QueryResult> QueryEngine::ExecuteExclusive(const QueryRequest& request,
+                                                  const OpenTable& table,
+                                                  QueryContext ctx) {
+  ScanSpec spec;
+  spec.projection = request.projection;
+  if (spec.projection.empty()) {
+    for (size_t a = 0; a < table.schema().num_attributes(); ++a) {
+      spec.projection.push_back(static_cast<int>(a));
+    }
+  }
+  spec.predicates = request.predicates;
+  spec.read = request.read;
+  if (cache_ != nullptr) spec.read.cache = cache_.get();
+  spec.range = request.range;
+  if (request.block_tuples > 0) spec.block_tuples = request.block_tuples;
+  spec.compressed_eval = request.compressed_eval;
+  spec.vectorized = request.vectorized;
+  spec.prune = request.prune && !request.predicates.empty();
+
+  ctx.set_memory_budget(exclusive_admission_->memory_budget());
+  RODB_ASSIGN_OR_RETURN(
+      AdmissionTicket ticket,
+      exclusive_admission_->Admit(EstimateScanWorkingSet(table, spec), ctx));
+
+  QueryResult result;
+  result.row_layout = BlockLayout::FromSchema(table.schema(),
+                                              spec.projection);
+
+  if (request.parallelism > 1 && !request.collect_rows) {
+    ParallelScanPlan plan;
+    plan.table = &table;
+    plan.spec = spec;
+    plan.backend = backend_;
+    plan.trace = request.trace;
+    plan.context = &ctx;
+    RODB_ASSIGN_OR_RETURN(ParallelResult parallel,
+                          ParallelExecute(plan, request.parallelism));
+    result.rows = parallel.result.rows;
+    result.blocks = parallel.result.blocks;
+    result.output_checksum = parallel.result.output_checksum;
+    result.morsels = parallel.morsels;
+    // The morsel merge folds output buffers without re-walking tuples;
+    // the order-independent digest is a serial/shared-path feature.
+    result.row_digest = 0;
+    result.counters = parallel.counters;
+    return result;
+  }
+
+  ExecStats stats;
+  stats.set_context(&ctx);
+  stats.set_trace(request.trace);
+  RODB_ASSIGN_OR_RETURN(OperatorPtr plan, PlanBuilder::Scan(&table, spec,
+                                                            backend_, &stats)
+                                              .Build());
+  {
+    obs::SpanTimer query_span(stats.trace(), obs::TracePhase::kQuery);
+    {
+      obs::SpanTimer open_span(stats.trace(), obs::TracePhase::kOpen);
+      RODB_RETURN_IF_ERROR(plan->Open());
+    }
+    auto close_guard = MakeScopeGuard([&] {
+      plan->Close();
+      stats.FoldIo();
+    });
+    uint64_t checksum = kFnv1aSeed;
+    const int width = plan->output_layout().tuple_width;
+    std::vector<MemoryReservation> row_reservations;
+    uint64_t reserved_bytes = 0;
+    while (true) {
+      RODB_RETURN_IF_ERROR(stats.CheckAlive());
+      RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
+      if (block == nullptr) break;
+      if (block->empty()) continue;
+      result.blocks += 1;
+      const size_t block_bytes = static_cast<size_t>(block->size()) *
+                                 static_cast<size_t>(width);
+      checksum = Fnv1aExtend(checksum, block->tuple(0), block_bytes);
+      for (uint32_t i = 0; i < block->size(); ++i) {
+        result.row_digest += Fnv1aExtend(kFnv1aSeed, block->tuple(i),
+                                         static_cast<size_t>(width));
+        ++result.rows;
+        if (request.collect_rows &&
+            (request.limit_rows == 0 ||
+             result.rows_collected < request.limit_rows)) {
+          const uint64_t needed =
+              result.row_data.size() + static_cast<uint64_t>(width);
+          if (needed > reserved_bytes) {
+            constexpr uint64_t kChunk = 256 * 1024;
+            RODB_ASSIGN_OR_RETURN(MemoryReservation hold,
+                                  ctx.ReserveMemory(kChunk));
+            row_reservations.push_back(std::move(hold));
+            reserved_bytes += kChunk;
+          }
+          result.row_data.insert(result.row_data.end(), block->tuple(i),
+                                 block->tuple(i) + width);
+          ++result.rows_collected;
+        }
+      }
+    }
+    result.output_checksum = checksum;
+  }
+  if (request.trace != nullptr) {
+    request.trace->FinalizeFromCounters(stats.counters());
+  }
+  result.counters = stats.counters();
+  return result;
+}
+
+}  // namespace rodb

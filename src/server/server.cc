@@ -1,0 +1,224 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "server/protocol.h"
+
+namespace rodb {
+
+namespace {
+
+struct ConnMetrics {
+  obs::Counter* accepted;
+  obs::Counter* frames;
+  obs::Counter* protocol_errors;
+  obs::Gauge* connections;
+
+  static ConnMetrics& Get() {
+    static ConnMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      ConnMetrics metrics;
+      metrics.accepted = reg.GetCounter("rodb.server.connections_accepted");
+      metrics.frames = reg.GetCounter("rodb.server.frames");
+      metrics.protocol_errors = reg.GetCounter("rodb.server.protocol_errors");
+      metrics.connections = reg.GetGauge("rodb.server.connections");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+/// write() the whole buffer, riding out EINTR and partial writes.
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(std::string dir, ServerOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  engine_ = std::make_unique<QueryEngine>(dir_, options_.engine);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError("bind: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // shutdown() unblocks accept(); close() alone does not on all kernels.
+  // exchange() so the accept thread (which reads listen_fd_ for every
+  // accept call) never sees a half-closed descriptor twice.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock handlers parked in read() and fail in-flight queries.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (engine_ != nullptr) engine_->Shutdown();
+  std::vector<Handler> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers.swap(handlers_);
+  }
+  for (Handler& h : handlers) {
+    if (h.thread.joinable()) h.thread.join();
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  auto& metrics = ConnMetrics::Get();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or unrecoverable
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    metrics.accepted->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    ReapFinishedLocked();
+    Handler h;
+    h.done = std::make_shared<std::atomic<bool>>(false);
+    open_fds_.push_back(fd);
+    auto done = h.done;
+    h.thread = std::thread([this, fd, done] {
+      active_.fetch_add(1, std::memory_order_relaxed);
+      ConnMetrics::Get().connections->Add(1);
+      HandleConnection(fd);
+      ConnMetrics::Get().connections->Add(-1);
+      active_.fetch_sub(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                        open_fds_.end());
+      }
+      ::close(fd);
+      done->store(true, std::memory_order_release);
+    });
+    handlers_.push_back(std::move(h));
+  }
+}
+
+void QueryServer::ReapFinishedLocked() {
+  for (size_t i = 0; i < handlers_.size();) {
+    if (handlers_[i].done->load(std::memory_order_acquire)) {
+      handlers_[i].thread.join();
+      handlers_.erase(handlers_.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void QueryServer::HandleConnection(int fd) {
+  auto& metrics = ConnMetrics::Get();
+  FrameReader reader;
+  uint8_t buf[64 * 1024];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    FrameReader::Frame frame;
+    Result<bool> have = reader.Next(&frame);
+    if (!have.ok()) {
+      metrics.protocol_errors->Increment();
+      return;
+    }
+    if (!*have) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;  // peer closed (their cancel) or shutdown
+      }
+      reader.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    metrics.frames->Increment();
+    std::vector<uint8_t> reply;
+    switch (frame.type) {
+      case FrameType::kPing:
+        reply = EncodeFrame(FrameType::kPong, {});
+        break;
+      case FrameType::kQuery: {
+        Result<QueryRequest> request =
+            DecodeQueryRequest(frame.payload.data(), frame.payload.size());
+        if (!request.ok()) {
+          metrics.protocol_errors->Increment();
+          reply = EncodeFrame(FrameType::kError, EncodeError(request.status()));
+          break;
+        }
+        Result<QueryResult> result = engine_->Execute(*request);
+        reply = result.ok()
+                    ? EncodeFrame(FrameType::kResult, EncodeQueryResult(*result))
+                    : EncodeFrame(FrameType::kError, EncodeError(result.status()));
+        break;
+      }
+      default:
+        metrics.protocol_errors->Increment();
+        reply = EncodeFrame(
+            FrameType::kError,
+            EncodeError(Status::InvalidArgument("unexpected frame type")));
+        break;
+    }
+    if (!WriteAll(fd, reply.data(), reply.size())) return;
+  }
+}
+
+}  // namespace rodb

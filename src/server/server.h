@@ -1,0 +1,82 @@
+#ifndef RODB_SERVER_SERVER_H_
+#define RODB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/query_engine.h"
+
+namespace rodb {
+
+struct ServerOptions {
+  /// Listen address; loopback by default (the server speaks a trusted
+  /// binary protocol with no authentication).
+  std::string host = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Listen backlog; admission control proper happens in the engine.
+  int backlog = 1024;
+  EngineOptions engine;
+};
+
+/// TCP front end of the query engine: accepts connections, reads kQuery
+/// frames, runs them through QueryEngine::Execute and writes kResult /
+/// kError frames back. One handler thread per connection -- each query
+/// blocks its connection until done (the protocol is request/response),
+/// so concurrency = open connections, exactly the closed-loop client
+/// model the scan-sharing bench drives.
+class QueryServer {
+ public:
+  QueryServer(std::string dir, ServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens and starts the accept thread.
+  Status Start();
+  /// Closes the listener, wakes every connection and joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (after Start; useful with options.port == 0).
+  int port() const { return port_; }
+  QueryEngine& engine() { return *engine_; }
+  /// Connections currently open.
+  size_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void ReapFinishedLocked();
+
+  std::string dir_;
+  ServerOptions options_;
+  std::unique_ptr<QueryEngine> engine_;
+  /// Written by Stop() while AcceptLoop() reads it for accept().
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> active_{0};
+
+  std::mutex mu_;
+  std::thread accept_thread_;
+  /// Handler threads, with a parallel done-flag per slot so finished
+  /// entries can be reaped without joining live ones.
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Handler> handlers_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_SERVER_SERVER_H_

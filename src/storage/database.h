@@ -1,6 +1,7 @@
 #ifndef RODB_STORAGE_DATABASE_H_
 #define RODB_STORAGE_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,9 +9,19 @@
 
 namespace rodb {
 
+// The execution facade lives a layer up (src/server/); the types are
+// forward-declared so this header stays free of engine dependencies.
+// Database::Execute is implemented in server/database_exec.cc and
+// resolves through the rodb umbrella target.
+struct QueryRequest;
+struct QueryResult;
+struct EngineOptions;
+class QueryEngine;
+
 /// A database is a directory of bulk-loaded tables. This handle
 /// enumerates the catalog and opens/drops tables; loading goes through
-/// TableWriter (or the WOS merge), reading through the scanners.
+/// TableWriter (or the WOS merge), reading through Execute() (or, for
+/// code that needs raw operators, the scanners).
 class Database {
  public:
   /// Scans `dir` for catalog entries. The directory must exist.
@@ -30,9 +41,25 @@ class Database {
   /// Re-reads the directory (e.g. after an external load).
   Status Refresh();
 
+  /// Runs one query through the database's QueryEngine (created lazily
+  /// with default EngineOptions on first use; see ConfigureEngine).
+  /// This is the public read API: it subsumes hand-wiring OpenScanner +
+  /// Execute, ParallelExecute and SharedScan. Thread-safe; copies of
+  /// this Database share one engine.
+  Result<QueryResult> Execute(const QueryRequest& request);
+
+  /// Replaces the engine with one built from `options`. Call before the
+  /// first Execute (an existing engine is shut down and dropped).
+  void ConfigureEngine(const EngineOptions& options);
+
+  /// The engine backing Execute(), or null if none has been created.
+  QueryEngine* engine() const { return engine_.get(); }
+
  private:
   std::string dir_;
   std::vector<std::string> tables_;
+  /// Lazily created by Execute(); shared so Database stays copyable.
+  std::shared_ptr<QueryEngine> engine_;
 };
 
 }  // namespace rodb

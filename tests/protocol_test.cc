@@ -1,0 +1,307 @@
+// Wire protocol of the query server: frame encoding, request/result
+// round trips, incremental frame reassembly, and rejection of malformed
+// input (the decoder faces untrusted bytes from the network).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "server/protocol.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+QueryRequest FullRequest() {
+  QueryRequest request;
+  request.table = "lineitem_col";
+  request.projection = {2, 0, 5};
+  request.predicates = {
+      Predicate::Int32(1, CompareOp::kLt, -42),
+      Predicate::Text(3, CompareOp::kEq, "east    "),
+      Predicate::Int32(0, CompareOp::kGe, 1000),
+  };
+  request.mode = QueryMode::kShared;
+  request.block_tuples = 4096;
+  request.compressed_eval = false;
+  request.vectorized = false;
+  request.prune = false;
+  request.parallelism = 8;
+  request.ordered = true;
+  request.collect_rows = true;
+  request.limit_rows = 123456789;
+  request.timeout = std::chrono::milliseconds(2500);
+  request.max_retries = 3;
+  request.range = ScanRange::Rows(77, 99999);
+  return request;
+}
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  const QueryRequest request = FullRequest();
+  std::vector<uint8_t> wire = EncodeQueryRequest(request);
+  ASSERT_OK_AND_ASSIGN(QueryRequest decoded,
+                       DecodeQueryRequest(wire.data(), wire.size()));
+
+  EXPECT_EQ(decoded.table, request.table);
+  EXPECT_EQ(decoded.projection, request.projection);
+  ASSERT_EQ(decoded.predicates.size(), request.predicates.size());
+  for (size_t i = 0; i < request.predicates.size(); ++i) {
+    const Predicate& got = decoded.predicates[i];
+    const Predicate& want = request.predicates[i];
+    EXPECT_EQ(got.attr_index(), want.attr_index());
+    EXPECT_EQ(got.op(), want.op());
+    ASSERT_EQ(got.is_text(), want.is_text());
+    if (want.is_text()) {
+      EXPECT_EQ(got.text_operand(), want.text_operand());
+    } else {
+      EXPECT_EQ(got.int_operand(), want.int_operand());
+    }
+  }
+  EXPECT_EQ(decoded.mode, request.mode);
+  EXPECT_EQ(decoded.block_tuples, request.block_tuples);
+  EXPECT_EQ(decoded.compressed_eval, request.compressed_eval);
+  EXPECT_EQ(decoded.vectorized, request.vectorized);
+  EXPECT_EQ(decoded.prune, request.prune);
+  EXPECT_EQ(decoded.parallelism, request.parallelism);
+  EXPECT_EQ(decoded.ordered, request.ordered);
+  EXPECT_EQ(decoded.collect_rows, request.collect_rows);
+  EXPECT_EQ(decoded.limit_rows, request.limit_rows);
+  EXPECT_EQ(decoded.timeout, request.timeout);
+  EXPECT_EQ(decoded.max_retries, request.max_retries);
+  EXPECT_EQ(decoded.range.unit, request.range.unit);
+  EXPECT_EQ(decoded.range.first, request.range.first);
+  EXPECT_EQ(decoded.range.count, request.range.count);
+}
+
+TEST(ProtocolTest, DefaultRequestRoundTrip) {
+  QueryRequest request;
+  request.table = "t";
+  std::vector<uint8_t> wire = EncodeQueryRequest(request);
+  ASSERT_OK_AND_ASSIGN(QueryRequest decoded,
+                       DecodeQueryRequest(wire.data(), wire.size()));
+  EXPECT_EQ(decoded.table, "t");
+  EXPECT_TRUE(decoded.projection.empty());
+  EXPECT_TRUE(decoded.predicates.empty());
+  EXPECT_EQ(decoded.mode, QueryMode::kAuto);
+  EXPECT_EQ(decoded.block_tuples, 0u);
+  EXPECT_TRUE(decoded.range.is_all());
+  EXPECT_EQ(decoded.timeout.count(), 0);
+}
+
+TEST(ProtocolTest, QueryResultRoundTrip) {
+  QueryResult result;
+  result.rows = 6001215;
+  result.blocks = 5867;
+  result.output_checksum = 0xdeadbeefcafef00dull;
+  result.row_digest = 0x1234567890abcdefull;
+  result.shared = true;
+  result.attach_position = 524288;
+  result.attach_lap = 7;
+  result.morsels = 42;
+  result.wall_seconds = 1.75;
+  result.counters.tuples_examined = 1;
+  result.counters.predicate_evals = 2;
+  result.counters.values_copied = 3;
+  result.counters.bytes_copied = 4;
+  result.counters.pages_parsed = 5;
+  result.counters.blocks_emitted = 6;
+  result.counters.operator_tuples = 7;
+  result.counters.io_bytes_read = 8;
+  result.counters.io_requests = 9;
+  result.counters.io_bytes_from_cache = 10;
+  result.row_layout = BlockLayout::FromWidths({4, 8});
+  result.rows_collected = 2;
+  result.row_data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                     13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24};
+
+  std::vector<uint8_t> wire = EncodeQueryResult(result);
+  ASSERT_OK_AND_ASSIGN(QueryResult decoded,
+                       DecodeQueryResult(wire.data(), wire.size()));
+
+  EXPECT_EQ(decoded.rows, result.rows);
+  EXPECT_EQ(decoded.blocks, result.blocks);
+  EXPECT_EQ(decoded.output_checksum, result.output_checksum);
+  EXPECT_EQ(decoded.row_digest, result.row_digest);
+  EXPECT_EQ(decoded.shared, result.shared);
+  EXPECT_EQ(decoded.attach_position, result.attach_position);
+  EXPECT_EQ(decoded.attach_lap, result.attach_lap);
+  EXPECT_EQ(decoded.morsels, result.morsels);
+  EXPECT_EQ(decoded.wall_seconds, result.wall_seconds);
+  EXPECT_EQ(decoded.counters.tuples_examined, 1u);
+  EXPECT_EQ(decoded.counters.predicate_evals, 2u);
+  EXPECT_EQ(decoded.counters.values_copied, 3u);
+  EXPECT_EQ(decoded.counters.bytes_copied, 4u);
+  EXPECT_EQ(decoded.counters.pages_parsed, 5u);
+  EXPECT_EQ(decoded.counters.blocks_emitted, 6u);
+  EXPECT_EQ(decoded.counters.operator_tuples, 7u);
+  EXPECT_EQ(decoded.counters.io_bytes_read, 8u);
+  EXPECT_EQ(decoded.counters.io_requests, 9u);
+  EXPECT_EQ(decoded.counters.io_bytes_from_cache, 10u);
+  EXPECT_EQ(decoded.row_layout.widths, result.row_layout.widths);
+  EXPECT_EQ(decoded.row_layout.tuple_width, result.row_layout.tuple_width);
+  EXPECT_EQ(decoded.rows_collected, result.rows_collected);
+  EXPECT_EQ(decoded.row_data, result.row_data);
+}
+
+TEST(ProtocolTest, ErrorRoundTrip) {
+  Status original = Status::DeadlineExceeded("lap 3 boundary");
+  std::vector<uint8_t> wire = EncodeError(original);
+  Status decoded = DecodeError(wire.data(), wire.size());
+  EXPECT_EQ(decoded.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded.message(), "lap 3 boundary");
+}
+
+// --- frame reassembly ---
+
+TEST(ProtocolTest, FrameReaderReassemblesByteDribble) {
+  const QueryRequest request = FullRequest();
+  std::vector<uint8_t> frame =
+      EncodeFrame(FrameType::kQuery, EncodeQueryRequest(request));
+
+  FrameReader reader;
+  FrameReader::Frame out;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    // Before the last byte lands, Next must keep reporting "not yet".
+    ASSERT_OK_AND_ASSIGN(bool ready, reader.Next(&out));
+    ASSERT_FALSE(ready) << "frame complete after only " << i << " bytes";
+    reader.Feed(&frame[i], 1);
+  }
+  ASSERT_OK_AND_ASSIGN(bool ready, reader.Next(&out));
+  ASSERT_TRUE(ready);
+  EXPECT_EQ(out.type, FrameType::kQuery);
+  ASSERT_OK_AND_ASSIGN(QueryRequest decoded,
+                       DecodeQueryRequest(out.payload.data(),
+                                          out.payload.size()));
+  EXPECT_EQ(decoded.table, request.table);
+}
+
+TEST(ProtocolTest, FrameReaderHandlesBackToBackFrames) {
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest request;
+    request.table = "t" + std::to_string(i);
+    std::vector<uint8_t> frame =
+        EncodeFrame(FrameType::kQuery, EncodeQueryRequest(request));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  std::vector<uint8_t> ping = EncodeFrame(FrameType::kPing, {});
+  stream.insert(stream.end(), ping.begin(), ping.end());
+
+  FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  for (int i = 0; i < 3; ++i) {
+    FrameReader::Frame out;
+    ASSERT_OK_AND_ASSIGN(bool ready, reader.Next(&out));
+    ASSERT_TRUE(ready);
+    EXPECT_EQ(out.type, FrameType::kQuery);
+    ASSERT_OK_AND_ASSIGN(QueryRequest decoded,
+                         DecodeQueryRequest(out.payload.data(),
+                                            out.payload.size()));
+    EXPECT_EQ(decoded.table, "t" + std::to_string(i));
+  }
+  FrameReader::Frame out;
+  ASSERT_OK_AND_ASSIGN(bool ready, reader.Next(&out));
+  ASSERT_TRUE(ready);
+  EXPECT_EQ(out.type, FrameType::kPing);
+  EXPECT_TRUE(out.payload.empty());
+  ASSERT_OK_AND_ASSIGN(bool more, reader.Next(&out));
+  EXPECT_FALSE(more);
+}
+
+TEST(ProtocolTest, FrameReaderRejectsZeroLengthFrame) {
+  const uint8_t bytes[4] = {0, 0, 0, 0};
+  FrameReader reader;
+  reader.Feed(bytes, sizeof(bytes));
+  FrameReader::Frame out;
+  EXPECT_EQ(reader.Next(&out).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, FrameReaderRejectsOversizedFrame) {
+  uint8_t bytes[4];
+  StoreLE32(bytes, kMaxFrameBytes + 1);
+  FrameReader reader;
+  reader.Feed(bytes, sizeof(bytes));
+  FrameReader::Frame out;
+  EXPECT_EQ(reader.Next(&out).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- malformed payloads (decoder hardening) ---
+
+TEST(ProtocolTest, DecodeRejectsBadCompareOp) {
+  QueryRequest request;
+  request.table = "t";
+  request.predicates = {Predicate::Int32(0, CompareOp::kGe, 1)};
+  std::vector<uint8_t> wire = EncodeQueryRequest(request);
+  // The op byte follows table (4+1) + projection count (4) + predicate
+  // count (4) + attr index (4).
+  const size_t op_offset = 4 + 1 + 4 + 4 + 4;
+  ASSERT_EQ(wire[op_offset], static_cast<uint8_t>(CompareOp::kGe));
+  wire[op_offset] = static_cast<uint8_t>(CompareOp::kGe) + 1;
+  EXPECT_EQ(DecodeQueryRequest(wire.data(), wire.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, DecodeRejectsBadMode) {
+  QueryRequest request;
+  request.table = "t";
+  std::vector<uint8_t> wire = EncodeQueryRequest(request);
+  // Mode byte follows table (4+1) + empty projection (4) + empty
+  // predicates (4).
+  const size_t mode_offset = 4 + 1 + 4 + 4;
+  wire[mode_offset] = static_cast<uint8_t>(QueryMode::kShared) + 1;
+  EXPECT_EQ(DecodeQueryRequest(wire.data(), wire.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, DecodeRejectsBadRangeUnit) {
+  QueryRequest request;
+  request.table = "t";
+  std::vector<uint8_t> wire = EncodeQueryRequest(request);
+  // The range unit byte sits 17 bytes from the end (u8 + two u64s).
+  wire[wire.size() - 17] = 255;
+  EXPECT_EQ(DecodeQueryRequest(wire.data(), wire.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, DecodeRejectsTruncatedAndTrailingBytes) {
+  const QueryRequest request = FullRequest();
+  std::vector<uint8_t> wire = EncodeQueryRequest(request);
+  for (size_t cut : {wire.size() - 1, wire.size() / 2, size_t{3}}) {
+    EXPECT_FALSE(DecodeQueryRequest(wire.data(), cut).ok())
+        << "accepted a request truncated to " << cut << " bytes";
+  }
+  wire.push_back(0);
+  EXPECT_FALSE(DecodeQueryRequest(wire.data(), wire.size()).ok())
+      << "accepted trailing garbage";
+
+  QueryResult result;
+  result.rows = 10;
+  std::vector<uint8_t> result_wire = EncodeQueryResult(result);
+  EXPECT_FALSE(
+      DecodeQueryResult(result_wire.data(), result_wire.size() - 1).ok());
+  result_wire.push_back(0);
+  EXPECT_FALSE(
+      DecodeQueryResult(result_wire.data(), result_wire.size()).ok());
+}
+
+TEST(ProtocolTest, DecodeRejectsLyingRowDataLength) {
+  QueryResult result;
+  result.rows_collected = 1;
+  result.row_layout = BlockLayout::FromWidths({4});
+  result.row_data = {1, 2, 3, 4};
+  std::vector<uint8_t> wire = EncodeQueryResult(result);
+  // The row-data length (u64) sits just before the 4 data bytes; bump
+  // it so it promises more bytes than the payload holds.
+  const size_t len_offset = wire.size() - 4 - 8;
+  wire[len_offset] = 200;
+  EXPECT_FALSE(DecodeQueryResult(wire.data(), wire.size()).ok());
+}
+
+}  // namespace
+}  // namespace rodb

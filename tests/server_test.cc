@@ -1,0 +1,562 @@
+// The scan-sharing query server: QueryEngine routing, circulating-scan
+// attach semantics, lifecycle handling at window boundaries, and the
+// socket front end.
+//
+// The attach-semantics tests drive the circulation deterministically
+// with a gated backend: the scan cannot read I/O unit k+1 until the
+// test releases it, so a query enqueued while the gate is closed is
+// guaranteed to attach mid-flight (cursor > 0) and must still see
+// exactly one full circulation -- no missed pages, no duplicates.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <iterator>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "scan_test_util.h"
+#include "server/circulating_scan.h"
+#include "server/client.h"
+#include "server/query_engine.h"
+#include "server/server.h"
+#include "storage/database.h"
+#include "test_util.h"
+
+namespace rodb {
+namespace {
+
+using rodb::testing::LoadAllLayouts;
+using rodb::testing::TempDir;
+
+constexpr int kTupleWidth = 16;  // id:4 val:4 tag:8
+constexpr uint64_t kNumTuples = 6000;
+
+const char* kTags[] = {"east    ", "west    ", "north   ", "south   "};
+
+Result<Schema> TestSchema() {
+  return Schema::Make({
+      AttributeDesc::Int32("id"),
+      AttributeDesc::Int32("val"),
+      AttributeDesc::Text("tag", 8, CodecSpec::Dict(3)),
+  });
+}
+
+std::vector<std::vector<uint8_t>> TestTuples(uint64_t n = kNumTuples) {
+  std::vector<std::vector<uint8_t>> tuples;
+  tuples.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<uint8_t> t(kTupleWidth);
+    StoreLE32s(t.data(), static_cast<int32_t>(i));
+    StoreLE32s(t.data() + 4, static_cast<int32_t>((i * 7919) % 500));
+    std::memcpy(t.data() + 8, kTags[i % 4], 8);
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+/// Backend decorator that blocks stream reads until the test releases
+/// tickets: one ticket per I/O-unit Next() call. Lets a test freeze the
+/// circulating scan at a known point in its lap.
+class GateBackend : public IoBackend {
+ public:
+  explicit GateBackend(IoBackend* inner) : inner_(inner) {}
+
+  void Allow(uint64_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      allowed_ += n;
+    }
+    cv_.notify_all();
+  }
+  void AllowAll() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      unlimited_ = true;
+    }
+    cv_.notify_all();
+  }
+  uint64_t served() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return served_;
+  }
+  /// Blocks until the gated stream has consumed `n` tickets and is
+  /// (about to be) parked on the next one.
+  void WaitServed(uint64_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return served_ >= n; });
+  }
+
+  Result<std::unique_ptr<SequentialStream>> OpenStream(
+      const std::string& path, const IoOptions& options) override {
+    RODB_ASSIGN_OR_RETURN(std::unique_ptr<SequentialStream> inner,
+                          inner_->OpenStream(path, options));
+    return std::unique_ptr<SequentialStream>(
+        new GatedStream(this, std::move(inner)));
+  }
+
+ private:
+  struct GatedStream : SequentialStream {
+    GatedStream(GateBackend* gate, std::unique_ptr<SequentialStream> inner)
+        : gate(gate), inner(std::move(inner)) {}
+    Result<IoView> Next() override {
+      gate->TakeTicket();
+      return inner->Next();
+    }
+    uint64_t file_size() const override { return inner->file_size(); }
+    GateBackend* gate;
+    std::unique_ptr<SequentialStream> inner;
+  };
+
+  void TakeTicket() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return unlimited_ || served_ < allowed_; });
+    ++served_;
+    cv_.notify_all();
+  }
+
+  IoBackend* inner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t allowed_ = 0;
+  uint64_t served_ = 0;
+  bool unlimited_ = false;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(Schema schema, TestSchema());
+    ASSERT_OK(LoadAllLayouts(dir_.path(), "t", schema, TestTuples()));
+  }
+
+  EngineOptions SmallIoOptions() {
+    EngineOptions options;
+    options.shared_read.io_unit_bytes = 4096;
+    options.shared_block_tuples = 128;
+    return options;
+  }
+
+  TempDir dir_;
+};
+
+// --- mode routing and shared/exclusive equality ---
+
+TEST_F(ServerTest, AutoModeRoutesFullScansToSharedOnly) {
+  QueryEngine engine(dir_.path());
+  QueryRequest request;
+  request.table = "t_row";
+
+  ASSERT_OK_AND_ASSIGN(QueryResult full, engine.Execute(request));
+  EXPECT_TRUE(full.shared);
+
+  QueryRequest ranged = request;
+  ranged.table = "t_col";  // row ranges need the column layout
+  ranged.range = ScanRange::Rows(0, 100);
+  ASSERT_OK_AND_ASSIGN(QueryResult r, engine.Execute(ranged));
+  EXPECT_FALSE(r.shared);
+  EXPECT_EQ(r.rows, 100u);
+
+  QueryRequest ordered = request;
+  ordered.ordered = true;
+  ASSERT_OK_AND_ASSIGN(QueryResult o, engine.Execute(ordered));
+  EXPECT_FALSE(o.shared);
+
+  QueryRequest parallel = request;
+  parallel.parallelism = 2;
+  ASSERT_OK_AND_ASSIGN(QueryResult p, engine.Execute(parallel));
+  EXPECT_FALSE(p.shared);
+
+  EXPECT_EQ(full.rows, kNumTuples);
+  EXPECT_EQ(o.rows, kNumTuples);
+  EXPECT_EQ(p.rows, kNumTuples);
+}
+
+TEST_F(ServerTest, SharedDisabledForcesExclusive) {
+  EngineOptions options;
+  options.scan_sharing = false;
+  QueryEngine engine(dir_.path(), options);
+  QueryRequest request;
+  request.table = "t_col";
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(request));
+  EXPECT_FALSE(result.shared);
+  request.mode = QueryMode::kShared;
+  EXPECT_EQ(engine.Execute(request).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(ServerTest, SharedRejectsRangedScans) {
+  QueryEngine engine(dir_.path());
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  request.range = ScanRange::Rows(10, 50);
+  EXPECT_EQ(engine.Execute(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The acceptance sweep: shared and exclusive execution return the exact
+// same result (rows and order-independent digest) for every layout and
+// a spread of predicate/projection shapes. Sequential shared queries
+// attach to an idle circulation at cursor 0, so even the order-chained
+// checksum must match.
+TEST_F(ServerTest, SharedMatchesExclusiveAcrossLayoutsAndPredicates) {
+  QueryEngine engine(dir_.path(), SmallIoOptions());
+
+  struct Case {
+    std::vector<int> projection;
+    std::vector<Predicate> predicates;
+  };
+  const Case cases[] = {
+      {{}, {}},
+      {{0}, {}},
+      {{0, 1}, {Predicate::Int32(1, CompareOp::kLt, 100)}},
+      {{2, 0}, {Predicate::Text(2, CompareOp::kEq, "east    ")}},
+      {{1},
+       {Predicate::Int32(1, CompareOp::kGe, 50),
+        Predicate::Int32(0, CompareOp::kLt, 3000)}},
+      {{0}, {Predicate::Int32(1, CompareOp::kGt, 10000)}},  // empty result
+  };
+
+  for (const char* table : {"t_row", "t_col", "t_pax"}) {
+    for (size_t c = 0; c < std::size(cases); ++c) {
+      QueryRequest request;
+      request.table = table;
+      request.projection = cases[c].projection;
+      request.predicates = cases[c].predicates;
+
+      request.mode = QueryMode::kExclusive;
+      ASSERT_OK_AND_ASSIGN(QueryResult exclusive, engine.Execute(request));
+      request.mode = QueryMode::kShared;
+      ASSERT_OK_AND_ASSIGN(QueryResult shared, engine.Execute(request));
+
+      SCOPED_TRACE(::testing::Message() << table << " case " << c);
+      EXPECT_FALSE(exclusive.shared);
+      EXPECT_TRUE(shared.shared);
+      EXPECT_EQ(shared.rows, exclusive.rows);
+      EXPECT_EQ(shared.row_digest, exclusive.row_digest);
+      ASSERT_EQ(shared.attach_position, 0u)
+          << "sequential shared queries attach to an idle circulation";
+      EXPECT_EQ(shared.output_checksum, exclusive.output_checksum);
+    }
+  }
+}
+
+TEST_F(ServerTest, ParallelExclusiveMatchesSerial) {
+  QueryEngine engine(dir_.path());
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kExclusive;
+  request.predicates = {Predicate::Int32(1, CompareOp::kLt, 250)};
+  ASSERT_OK_AND_ASSIGN(QueryResult serial, engine.Execute(request));
+  request.parallelism = 4;
+  ASSERT_OK_AND_ASSIGN(QueryResult parallel, engine.Execute(request));
+  EXPECT_EQ(parallel.rows, serial.rows);
+  EXPECT_EQ(parallel.output_checksum, serial.output_checksum);
+  EXPECT_GE(parallel.morsels, 1);
+}
+
+TEST_F(ServerTest, ExclusiveCollectRowsHonorsLimit) {
+  QueryEngine engine(dir_.path());
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kExclusive;
+  request.projection = {0};
+  request.collect_rows = true;
+  request.limit_rows = 7;
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(request));
+  EXPECT_EQ(result.rows, kNumTuples);  // the scan still runs to completion
+  ASSERT_EQ(result.rows_collected, 7u);
+  for (uint64_t i = 0; i < result.rows_collected; ++i) {
+    EXPECT_EQ(LoadLE32s(result.collected_tuple(i)),
+              static_cast<int32_t>(i));
+  }
+}
+
+// --- mid-flight attach semantics (gated circulation) ---
+
+TEST_F(ServerTest, MidFlightAttachSeesExactlyOneCirculation) {
+  FileBackend disk;
+  GateBackend gate(&disk);
+  EngineOptions options = SmallIoOptions();
+  options.backend = &gate;
+  QueryEngine engine(dir_.path(), options);
+
+  // Query A starts the circulation; the gate lets it through the first
+  // three I/O units (a few thousand tuples) and then freezes the lap.
+  gate.Allow(3);
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  Result<QueryResult> result_a = Status::Internal("not run");
+  std::thread thread_a(
+      [&] { result_a = engine.Execute(request); });
+  gate.WaitServed(3);
+
+  // Query B arrives while the cursor is parked mid-table: it must
+  // attach at a nonzero position and still see every tuple exactly
+  // once, in circulation order (table order rotated by the attach
+  // position).
+  QueryRequest request_b = request;
+  request_b.projection = {0};
+  request_b.collect_rows = true;
+  Result<QueryResult> result_b = Status::Internal("not run");
+  std::thread thread_b(
+      [&] { result_b = engine.Execute(request_b); });
+  // B counts as pending until a boundary admits it; the circulator is
+  // still chewing on the already-ticketed unit, so it may attach B
+  // before we ever observe it in the pending queue. Either state means
+  // B is registered -- and every boundary since the gate opened sits at
+  // a nonzero cursor.
+  while (true) {
+    CirculatingScan::Stats stats = engine.SharedScanStats("t_row");
+    if (stats.pending > 0 || stats.attached >= 2) break;
+    std::this_thread::yield();
+  }
+  gate.AllowAll();
+  thread_a.join();
+  thread_b.join();
+
+  ASSERT_OK(result_a.status());
+  ASSERT_OK(result_b.status());
+  EXPECT_EQ(result_a->rows, kNumTuples);
+  ASSERT_EQ(result_b->rows, kNumTuples);
+
+  const uint64_t attach = result_b->attach_position;
+  EXPECT_GT(attach, 0u) << "B enqueued against a frozen mid-lap cursor";
+  ASSERT_EQ(result_b->rows_collected, kNumTuples);
+  for (uint64_t i = 0; i < kNumTuples; ++i) {
+    const int32_t expect =
+        static_cast<int32_t>((attach + i) % kNumTuples);
+    ASSERT_EQ(LoadLE32s(result_b->collected_tuple(i)), expect)
+        << "rotation broken at delivery index " << i;
+  }
+
+  // Order-independent digest matches the exclusive run even though the
+  // delivery order was rotated.
+  QueryRequest exclusive = request_b;
+  exclusive.mode = QueryMode::kExclusive;
+  exclusive.collect_rows = false;
+  ASSERT_OK_AND_ASSIGN(QueryResult ground, engine.Execute(exclusive));
+  EXPECT_EQ(result_b->row_digest, ground.row_digest);
+}
+
+TEST_F(ServerTest, SharedCancellationDetachesAtBoundary) {
+  FileBackend disk;
+  GateBackend gate(&disk);
+  EngineOptions options = SmallIoOptions();
+  options.backend = &gate;
+  QueryEngine engine(dir_.path(), options);
+
+  gate.Allow(2);
+  QueryRequest doomed;
+  doomed.table = "t_row";
+  doomed.mode = QueryMode::kShared;
+  Result<QueryResult> result = Status::Internal("not run");
+  std::thread runner([&] { result = engine.Execute(doomed); });
+  gate.WaitServed(2);
+  doomed.cancel.Cancel();
+  gate.AllowAll();
+  runner.join();
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  // The circulation survives the departure: a fresh query completes.
+  QueryRequest after;
+  after.table = "t_row";
+  after.mode = QueryMode::kShared;
+  ASSERT_OK_AND_ASSIGN(QueryResult ok, engine.Execute(after));
+  EXPECT_EQ(ok.rows, kNumTuples);
+}
+
+TEST_F(ServerTest, SharedDeadlineExpiresAtBoundary) {
+  FileBackend disk;
+  GateBackend gate(&disk);
+  EngineOptions options = SmallIoOptions();
+  options.backend = &gate;
+  QueryEngine engine(dir_.path(), options);
+
+  gate.Allow(2);
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  request.timeout = std::chrono::milliseconds(20);
+  Result<QueryResult> result = Status::Internal("not run");
+  std::thread runner([&] { result = engine.Execute(request); });
+  gate.WaitServed(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.AllowAll();
+  runner.join();
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServerTest, SharedAdmissionShedsOverload) {
+  FileBackend disk;
+  GateBackend gate(&disk);
+  EngineOptions options = SmallIoOptions();
+  options.backend = &gate;
+  options.shared.max_concurrent = 1;
+  options.shared.max_queue = 0;
+  QueryEngine engine(dir_.path(), options);
+
+  gate.Allow(1);
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  Result<QueryResult> first = Status::Internal("not run");
+  std::thread runner([&] { first = engine.Execute(request); });
+  // Wait until the first query holds the only admission slot.
+  while (engine.SharedScanStats("t_row").attached +
+             engine.SharedScanStats("t_row").pending ==
+         0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(engine.Execute(request).status().code(),
+            StatusCode::kResourceExhausted);
+  gate.AllowAll();
+  runner.join();
+  ASSERT_OK(first.status());
+  EXPECT_EQ(first->rows, kNumTuples);
+}
+
+TEST_F(ServerTest, SharedCollectRowsRespectsMemoryBudget) {
+  EngineOptions options = SmallIoOptions();
+  options.shared.memory_budget_bytes = 64 * 1024;  // < one reserve chunk
+  QueryEngine engine(dir_.path(), options);
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  request.collect_rows = true;
+  EXPECT_EQ(engine.Execute(request).status().code(),
+            StatusCode::kResourceExhausted);
+  // Without collection the same query fits the budget.
+  request.collect_rows = false;
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(request));
+  EXPECT_EQ(result.rows, kNumTuples);
+}
+
+TEST_F(ServerTest, EmptyTableSharedCompletesImmediately) {
+  ASSERT_OK_AND_ASSIGN(Schema schema, TestSchema());
+  ASSERT_OK(LoadAllLayouts(dir_.path(), "empty", schema, {}));
+  QueryEngine engine(dir_.path());
+  QueryRequest request;
+  request.table = "empty_row";
+  request.mode = QueryMode::kShared;
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(request));
+  EXPECT_TRUE(result.shared);
+  EXPECT_EQ(result.rows, 0u);
+}
+
+TEST_F(ServerTest, ShutdownFailsInFlightQueries) {
+  FileBackend disk;
+  GateBackend gate(&disk);
+  EngineOptions options = SmallIoOptions();
+  options.backend = &gate;
+  QueryEngine engine(dir_.path(), options);
+
+  gate.Allow(1);
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  Result<QueryResult> result = Status::Internal("not run");
+  std::thread runner([&] { result = engine.Execute(request); });
+  gate.WaitServed(1);
+  gate.AllowAll();  // Stop() joins the circulator; it must not deadlock
+  engine.Shutdown();
+  runner.join();
+  // The query either completed its circulation before the shutdown won
+  // the race, or was failed with Cancelled -- never hangs, never lies.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+}
+
+// --- Database facade ---
+
+TEST_F(ServerTest, DatabaseExecuteFacade) {
+  ASSERT_OK_AND_ASSIGN(Database db, Database::Open(dir_.path()));
+  EngineOptions options;
+  options.cache_bytes = 8 << 20;
+  db.ConfigureEngine(options);
+  QueryRequest request;
+  request.table = "t_col";
+  request.predicates = {Predicate::Int32(1, CompareOp::kLt, 100)};
+  ASSERT_OK_AND_ASSIGN(QueryResult result, db.Execute(request));
+  EXPECT_GT(result.rows, 0u);
+  EXPECT_LT(result.rows, kNumTuples);
+  ASSERT_NE(db.engine(), nullptr);
+  EXPECT_NE(db.engine()->cache(), nullptr);
+}
+
+// --- socket front end ---
+
+TEST_F(ServerTest, SocketEndToEnd) {
+  QueryServer server(dir_.path());
+  ASSERT_OK(server.Start());
+  ASSERT_GT(server.port(), 0);
+
+  QueryClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server.port()));
+  ASSERT_OK(client.Ping());
+
+  QueryRequest request;
+  request.table = "t_row";
+  request.projection = {0, 1};
+  request.predicates = {Predicate::Int32(1, CompareOp::kLt, 100)};
+  request.collect_rows = true;
+  request.limit_rows = 5;
+  ASSERT_OK_AND_ASSIGN(QueryResult remote, client.Execute(request));
+
+  // Same query executed locally must agree byte for byte.
+  ASSERT_OK_AND_ASSIGN(QueryResult local,
+                       server.engine().Execute(request));
+  EXPECT_EQ(remote.rows, local.rows);
+  EXPECT_EQ(remote.row_digest, local.row_digest);
+  EXPECT_EQ(remote.rows_collected, local.rows_collected);
+  EXPECT_EQ(remote.row_data, local.row_data);
+  EXPECT_EQ(remote.row_layout.tuple_width, local.row_layout.tuple_width);
+
+  // Server-side failures come back as this call's status.
+  QueryRequest missing;
+  missing.table = "no_such_table";
+  EXPECT_FALSE(client.Execute(missing).ok());
+
+  // The connection survives an error frame and serves the next query.
+  ASSERT_OK_AND_ASSIGN(QueryResult again, client.Execute(request));
+  EXPECT_EQ(again.rows, local.rows);
+
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+TEST_F(ServerTest, SocketManyConcurrentClients) {
+  QueryServer server(dir_.path());
+  ASSERT_OK(server.Start());
+
+  constexpr int kClients = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      QueryClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        ++failures;
+        return;
+      }
+      QueryRequest request;
+      request.table = c % 2 == 0 ? "t_row" : "t_col";
+      auto result = client.Execute(request);
+      if (!result.ok() || result->rows != kNumTuples) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rodb

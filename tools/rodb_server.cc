@@ -1,0 +1,105 @@
+// rodb_server: serve a rodb database directory over the length-prefixed
+// query protocol (src/server/protocol.h).
+//
+//   rodb_server <dir> [--host=ADDR] [--port=N] [--cache-mb=N]
+//               [--no-scan-sharing] [--shared-block-tuples=N]
+//               [--max-shared=N] [--max-exclusive=N]
+//
+// Prints "listening on HOST:PORT" once ready (port 0 = ephemeral, the
+// chosen port is in the message), serves until SIGINT/SIGTERM, then
+// shuts down cleanly: in-flight queries fail with Cancelled, the
+// circulating scans stop, and the metrics snapshot is printed.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "server/server.h"
+
+using namespace rodb;  // NOLINT
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseIntFlag(const char* arg, const char* flag, int* out) {
+  const size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0) return false;
+  *out = std::atoi(arg + n);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: rodb_server <dir> [--host=ADDR] [--port=N] "
+                 "[--cache-mb=N]\n"
+                 "                   [--no-scan-sharing] "
+                 "[--shared-block-tuples=N]\n"
+                 "                   [--max-shared=N] [--max-exclusive=N]\n");
+    return 2;
+  }
+  ServerOptions options;
+  int cache_mb = 0;
+  int shared_block_tuples = 0;
+  int max_shared = 0;
+  int max_exclusive = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (ParseIntFlag(argv[i], "--port=", &options.port) ||
+        ParseIntFlag(argv[i], "--cache-mb=", &cache_mb) ||
+        ParseIntFlag(argv[i], "--shared-block-tuples=",
+                     &shared_block_tuples) ||
+        ParseIntFlag(argv[i], "--max-shared=", &max_shared) ||
+        ParseIntFlag(argv[i], "--max-exclusive=", &max_exclusive)) {
+      continue;
+    }
+    if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      options.host = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--no-scan-sharing") == 0) {
+      options.engine.scan_sharing = false;
+    } else {
+      std::fprintf(stderr, "rodb_server: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (cache_mb > 0) {
+    options.engine.cache_bytes = static_cast<uint64_t>(cache_mb) << 20;
+  }
+  if (shared_block_tuples > 0) {
+    options.engine.shared_block_tuples =
+        static_cast<uint32_t>(shared_block_tuples);
+  }
+  if (max_shared > 0) {
+    options.engine.shared.max_concurrent = max_shared;
+    options.engine.shared.max_queue = max_shared;
+  }
+  if (max_exclusive > 0) options.engine.exclusive.max_concurrent = max_exclusive;
+
+  QueryServer server(argv[1], options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "rodb_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    // Sleep until any signal arrives; the handlers above set the flag.
+    sigsuspend(&empty);
+  }
+  server.Stop();
+  std::printf("%s", obs::MetricsRegistry::Default().ExportText().c_str());
+  return 0;
+}

@@ -8,17 +8,18 @@
 //       re-read every page of every file with checksum verification
 //   rodbctl scan <dir> <table> [limit [attr op value]] [--trace]
 //       print tuples (optionally filtered by one predicate); `op` is one
-//       of = != < <= > >=; --trace drains the whole scan and prints the
-//       span tree plus the predicted-vs-measured model comparison.
-//       Predicated scans consult the table's zone-map synopsis and skip
-//       pages proven predicate-free before any I/O; --no-prune forces
+//       of = != < <= > >=; --trace prints the span tree plus the
+//       predicted-vs-measured model comparison. The scan goes through
+//       Database::Execute (the same QueryRequest facade the server
+//       runs): zone-map pruning, deadlines, retries and the memory
+//       budget all map onto request/engine options. --no-prune forces
 //       the full scan (output is identical either way).
-//       --deadline-ms / --max-retries / --mem-budget-mb run the scan
-//       under a QueryContext: it stops with DeadlineExceeded past the
-//       deadline, retries transient I/O errors with bounded backoff,
-//       and fails with ResourceExhausted past the memory budget (the
-//       scan's post-prune working set is reserved up front via the
-//       admission controller).
+//   rodbctl query --connect HOST:PORT <table> [limit [attr op value]]
+//       run one query against a running rodb_server over the socket
+//       protocol. `attr` is a zero-based attribute index (the client
+//       has no schema); an integer value makes an int32 predicate,
+//       anything else a text predicate. --shared / --exclusive pin the
+//       execution mode (default auto = join the circulating scan).
 //   rodbctl advise <dir> <table>
 //       run the compression advisor over a sample of the stored data
 
@@ -36,19 +37,17 @@
 #include "common/bytes.h"
 #include "common/file_util.h"
 #include "common/macros.h"
-#include "common/stopwatch.h"
-#include "engine/admission.h"
 #include "engine/executor.h"
-#include "engine/plan_builder.h"
-#include "engine/query_context.h"
 #include "engine/zone_pruner.h"
 #include "io/block_cache.h"
-#include "io/file_backend.h"
 #include "kernels/scan_kernels.h"
 #include "obs/model_comparison.h"
 #include "obs/scan_physics.h"
 #include "obs/span.h"
+#include "server/client.h"
+#include "server/query_engine.h"
 #include "storage/catalog.h"
+#include "storage/database.h"
 #include "storage/table_files.h"
 #include "wos/merge.h"
 
@@ -192,140 +191,110 @@ struct ResilienceFlags {
   int mem_budget_mb = 0;
 };
 
+/// Parses the `attr op value` positional triple into one predicate,
+/// resolving `attr` against `schema`.
+Result<Predicate> ParsePredicate(const Schema& schema, const char* where_attr,
+                                 const char* where_op,
+                                 const char* where_value) {
+  const int attr = schema.FindAttribute(where_attr);
+  if (attr < 0) {
+    return Status::NotFound(std::string("no attribute named ") + where_attr);
+  }
+  CompareOp op;
+  const std::string ops = where_op;
+  if (ops == "=") {
+    op = CompareOp::kEq;
+  } else if (ops == "!=") {
+    op = CompareOp::kNe;
+  } else if (ops == "<") {
+    op = CompareOp::kLt;
+  } else if (ops == "<=") {
+    op = CompareOp::kLe;
+  } else if (ops == ">") {
+    op = CompareOp::kGt;
+  } else if (ops == ">=") {
+    op = CompareOp::kGe;
+  } else {
+    return Status::InvalidArgument("unknown operator " + ops);
+  }
+  const AttributeDesc& desc = schema.attribute(static_cast<size_t>(attr));
+  return desc.type == AttrType::kInt32
+             ? Predicate::Int32(attr, op, std::atoi(where_value))
+             : Predicate::Text(attr, op, where_value);
+}
+
 Status CmdScan(const std::string& dir, const std::string& name,
                uint64_t limit, const char* where_attr, const char* where_op,
                const char* where_value, int cache_mb, bool trace,
                bool no_prune, const ResilienceFlags& resilience) {
-  RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
-  const Schema& schema = table.schema();
-  std::unique_ptr<BlockCache> cache;
+  RODB_ASSIGN_OR_RETURN(Database db, Database::Open(dir));
+  RODB_ASSIGN_OR_RETURN(TableMeta meta, db.Meta(name));
+  const Schema& schema = meta.schema;
+
+  EngineOptions engine_options;
   if (cache_mb > 0) {
-    cache = std::make_unique<BlockCache>(static_cast<uint64_t>(cache_mb)
-                                         << 20);
+    engine_options.cache_bytes = static_cast<uint64_t>(cache_mb) << 20;
   }
-  ScanSpec spec;
-  spec.read.cache = cache.get();
-  for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    spec.projection.push_back(static_cast<int>(a));
+  if (resilience.mem_budget_mb > 0) {
+    engine_options.exclusive.memory_budget_bytes =
+        static_cast<uint64_t>(resilience.mem_budget_mb) << 20;
   }
-  spec.read.io_unit_bytes =
-      RoundUp(table.meta().page_size * 32, table.meta().page_size);
+  db.ConfigureEngine(engine_options);
+
+  QueryRequest request;
+  request.table = name;
+  request.read.io_unit_bytes =
+      RoundUp(meta.page_size * 32, meta.page_size);
   if (where_attr != nullptr) {
-    const int attr = schema.FindAttribute(where_attr);
-    if (attr < 0) {
-      return Status::NotFound(std::string("no attribute named ") +
-                              where_attr);
-    }
-    CompareOp op;
-    const std::string ops = where_op;
-    if (ops == "=") {
-      op = CompareOp::kEq;
-    } else if (ops == "!=") {
-      op = CompareOp::kNe;
-    } else if (ops == "<") {
-      op = CompareOp::kLt;
-    } else if (ops == "<=") {
-      op = CompareOp::kLe;
-    } else if (ops == ">") {
-      op = CompareOp::kGt;
-    } else if (ops == ">=") {
-      op = CompareOp::kGe;
-    } else {
-      return Status::InvalidArgument("unknown operator " + ops);
-    }
-    const AttributeDesc& desc = schema.attribute(static_cast<size_t>(attr));
-    spec.predicates = {desc.type == AttrType::kInt32
-                           ? Predicate::Int32(attr, op, std::atoi(where_value))
-                           : Predicate::Text(attr, op, where_value)};
+    RODB_ASSIGN_OR_RETURN(
+        Predicate pred,
+        ParsePredicate(schema, where_attr, where_op, where_value));
+    request.predicates.push_back(std::move(pred));
   }
   // Zone-map pruning defaults on for predicated scans; the synopsis layer
   // makes the pruned scan return exactly the unpruned tuples.
-  spec.prune = !spec.predicates.empty() && !no_prune;
-  FileBackend backend;
-  ExecStats stats;
-  obs::QueryTrace qtrace;
-  if (trace) stats.set_trace(&qtrace);
-  QueryContext ctx;
+  request.prune = !no_prune;
+  // Print in table order; also keeps the traced run exclusive so the
+  // span tree covers a private scan.
+  request.ordered = true;
+  request.collect_rows = true;
+  request.limit_rows = limit;
   if (resilience.deadline_ms > 0) {
-    ctx.set_deadline(std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(resilience.deadline_ms));
+    request.timeout = std::chrono::milliseconds(resilience.deadline_ms);
   }
-  if (resilience.max_retries > 0) {
-    ctx.set_retry_policy(
-        RetryPolicy::BoundedBackoff(resilience.max_retries));
-  }
-  // The memory budget is enforced through the admission controller: the
-  // scan's estimated working set -- shrunk by the zone-map prune plan
-  // when one applies -- is reserved up front, and the same budget backs
-  // the query's runtime reservations.
-  std::unique_ptr<AdmissionController> admission;
-  AdmissionTicket ticket;
-  if (resilience.mem_budget_mb > 0) {
-    AdmissionOptions admission_options;
-    admission_options.max_concurrent = 1;
-    admission_options.memory_budget_bytes =
-        static_cast<uint64_t>(resilience.mem_budget_mb) << 20;
-    admission = std::make_unique<AdmissionController>(admission_options);
-    ctx.set_memory_budget(admission->memory_budget());
-    const uint64_t working_set = EstimateScanWorkingSet(table, spec);
-    RODB_ASSIGN_OR_RETURN(ticket, admission->Admit(working_set, ctx));
-  }
-  stats.set_context(&ctx);
-  RODB_ASSIGN_OR_RETURN(OperatorPtr plan,
-                        PlanBuilder::Scan(&table, spec, &backend, &stats)
-                            .Build());
-  IntervalTimer timer;
-  uint64_t printed = 0;
-  {
-    // Mirror Execute()'s span structure so the manual pull loop below
-    // produces the same trace shape: open under the query span, then the
-    // operator pulls (which time their own phases).
-    obs::SpanTimer query_span(stats.trace(), obs::TracePhase::kQuery);
-    {
-      obs::SpanTimer open_span(stats.trace(), obs::TracePhase::kOpen);
-      RODB_RETURN_IF_ERROR(plan->Open());
+  request.max_retries = resilience.max_retries;
+  obs::QueryTrace qtrace;
+  if (trace) request.trace = &qtrace;
+
+  RODB_ASSIGN_OR_RETURN(QueryResult result, db.Execute(request));
+
+  for (uint64_t i = 0; i < result.rows_collected; ++i) {
+    const uint8_t* tuple = result.collected_tuple(i);
+    std::printf("[%6llu] ", static_cast<unsigned long long>(i));
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) std::printf("  ");
+      PrintValue(schema.attribute(a), tuple + result.row_layout.offsets[a]);
     }
-    bool done = false;
-    while (!done) {
-      RODB_RETURN_IF_ERROR(stats.CheckAlive());
-      RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
-      if (block == nullptr) break;
-      for (uint32_t i = 0; i < block->size() && printed < limit; ++i) {
-        std::printf("[%6llu] ", static_cast<unsigned long long>(printed));
-        for (size_t a = 0; a < schema.num_attributes(); ++a) {
-          if (a > 0) std::printf("  ");
-          PrintValue(schema.attribute(a), block->attr(i, a));
-        }
-        std::printf("\n");
-        ++printed;
-      }
-      // Without --trace, stop pulling once the limit is shown; a traced
-      // run drains the scan so the measured counters and the model both
-      // cover the whole table.
-      done = printed >= limit && !trace;
-    }
-    plan->Close();
-    stats.FoldIo();
+    std::printf("\n");
   }
-  const MeasuredInterval wall = timer.Lap();
-  std::printf("(%llu tuples shown)\n",
-              static_cast<unsigned long long>(printed));
-  if (cache != nullptr) {
-    const BlockCache::Stats cs = cache->stats();
+  std::printf("(%llu tuples shown of %llu qualifying)\n",
+              static_cast<unsigned long long>(result.rows_collected),
+              static_cast<unsigned long long>(result.rows));
+  if (db.engine()->cache() != nullptr) {
+    const BlockCache::Stats cs = db.engine()->cache()->stats();
     std::printf("cache: %llu hits, %llu misses (%.0f%% hit rate), "
                 "%llu bytes from cache, %llu bytes from disk\n",
                 static_cast<unsigned long long>(cs.hits),
                 static_cast<unsigned long long>(cs.misses),
                 cs.hit_rate() * 100,
                 static_cast<unsigned long long>(
-                    stats.counters().io_bytes_from_cache),
+                    result.counters.io_bytes_from_cache),
                 static_cast<unsigned long long>(
-                    stats.counters().io_bytes_read));
+                    result.counters.io_bytes_read));
   }
   if (trace) {
-    qtrace.FinalizeFromCounters(stats.counters());
     std::printf("\ntrace:\n%s", qtrace.ToText().c_str());
-    const ExecCounters& cc = stats.counters();
+    const ExecCounters& cc = result.counters;
     if (cc.kernel_batches > 0) {
       std::printf("vectorized: isa=%s batches=%llu values=%llu "
                   "mask_skipped=%llu\n",
@@ -347,6 +316,16 @@ Status CmdScan(const std::string& dir, const std::string& name,
                   static_cast<unsigned long long>(cc.prune_zone_rejects),
                   static_cast<unsigned long long>(cc.synopsis_corrupt));
     }
+    // The model comparison predicts from the physical table + spec; the
+    // handle here is display-only (the engine keeps its own).
+    RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
+    ScanSpec spec;
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      spec.projection.push_back(static_cast<int>(a));
+    }
+    spec.predicates = request.predicates;
+    spec.read = request.read;
+    spec.prune = request.prune && !request.predicates.empty();
     const PrunePlan prune_plan = BuildPrunePlan(table, spec);
     const auto physics = obs::PredictScanPhysics(
         table, spec, ScannerImpl::kAuto, obs::ScanPhysicsHints{},
@@ -354,16 +333,107 @@ Status CmdScan(const std::string& dir, const std::string& name,
     if (physics.ok()) {
       const HardwareConfig hw = HardwareConfig::Paper2006();
       const ModeledTiming timing = ModelQueryTiming(
-          stats.counters(), hw, spec.read.prefetch_depth,
-          CacheAdjustedStreams(ScanStreams(table, spec), stats.counters()));
+          result.counters, hw, spec.read.prefetch_depth,
+          CacheAdjustedStreams(ScanStreams(table, spec), result.counters));
       const obs::ModelComparison cmp = obs::BuildModelComparison(
-          *physics, stats.counters(), qtrace, timing, wall.wall_seconds, hw);
+          *physics, result.counters, qtrace, timing, result.wall_seconds,
+          hw);
       std::printf("\nmodel vs measured:\n%s", cmp.ToText().c_str());
     } else {
       std::printf("\nmodel comparison unavailable: %s\n",
                   physics.status().ToString().c_str());
     }
   }
+  return Status::OK();
+}
+
+/// `rodbctl query --connect HOST:PORT ...`: one query over the socket
+/// protocol against a running rodb_server.
+Status CmdQuery(const std::string& endpoint, const std::string& table,
+                uint64_t limit, const char* where_attr, const char* where_op,
+                const char* where_value, QueryMode mode) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("--connect expects HOST:PORT");
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in --connect");
+  }
+
+  QueryRequest request;
+  request.table = table;
+  request.mode = mode;
+  request.collect_rows = limit > 0;
+  request.limit_rows = limit;
+  if (where_attr != nullptr) {
+    // No schema on this side of the socket: `attr` is a zero-based
+    // index, and the value's shape picks the predicate type.
+    char* end = nullptr;
+    const long attr = std::strtol(where_attr, &end, 10);
+    if (end == where_attr || *end != '\0' || attr < 0) {
+      return Status::InvalidArgument(
+          "query predicates use a zero-based attribute index");
+    }
+    CompareOp op;
+    const std::string ops = where_op;
+    if (ops == "=") {
+      op = CompareOp::kEq;
+    } else if (ops == "!=") {
+      op = CompareOp::kNe;
+    } else if (ops == "<") {
+      op = CompareOp::kLt;
+    } else if (ops == "<=") {
+      op = CompareOp::kLe;
+    } else if (ops == ">") {
+      op = CompareOp::kGt;
+    } else if (ops == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator " + ops);
+    }
+    const long value = std::strtol(where_value, &end, 10);
+    request.predicates.push_back(
+        end != where_value && *end == '\0'
+            ? Predicate::Int32(static_cast<int>(attr), op,
+                               static_cast<int32_t>(value))
+            : Predicate::Text(static_cast<int>(attr), op, where_value));
+  }
+
+  QueryClient client;
+  RODB_RETURN_IF_ERROR(client.Connect(host, port));
+  RODB_ASSIGN_OR_RETURN(QueryResult result, client.Execute(request));
+
+  for (uint64_t i = 0; i < result.rows_collected; ++i) {
+    const uint8_t* tuple = result.collected_tuple(i);
+    std::printf("[%6llu] ", static_cast<unsigned long long>(i));
+    for (size_t a = 0; a < result.row_layout.num_attrs(); ++a) {
+      if (a > 0) std::printf("  ");
+      const uint8_t* value = tuple + result.row_layout.offsets[a];
+      // Width 4 prints as int32, anything else as text -- the wire
+      // carries no schema.
+      if (result.row_layout.widths[a] == 4) {
+        std::printf("%11d", LoadLE32s(value));
+      } else {
+        std::printf("\"%.*s\"", result.row_layout.widths[a],
+                    reinterpret_cast<const char*>(value));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%llu rows, checksum %016llx, digest %016llx\n",
+              static_cast<unsigned long long>(result.rows),
+              static_cast<unsigned long long>(result.output_checksum),
+              static_cast<unsigned long long>(result.row_digest));
+  std::printf("%s, wall %.3f ms\n",
+              result.shared
+                  ? ("shared scan (attached at tuple " +
+                     std::to_string(result.attach_position) + ", lap " +
+                     std::to_string(result.attach_lap) + ")")
+                        .c_str()
+                  : "exclusive scan",
+              result.wall_seconds * 1e3);
   return Status::OK();
 }
 
@@ -402,6 +472,9 @@ void Usage() {
                " [--cache-mb=N] [--trace]\n"
                "              [--no-prune] [--deadline-ms=N]"
                " [--max-retries=N] [--mem-budget-mb=N]\n"
+               "  rodbctl query --connect HOST:PORT <table>"
+               " [limit [attr-index op value]]\n"
+               "              [--shared|--exclusive]\n"
                "  rodbctl advise <dir> <table>\n");
 }
 
@@ -413,6 +486,36 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "query") {
+    std::string endpoint;
+    QueryMode mode = QueryMode::kAuto;
+    std::vector<const char*> pos;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+        endpoint = argv[i] + 10;
+      } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+        endpoint = argv[++i];
+      } else if (std::strcmp(argv[i], "--shared") == 0) {
+        mode = QueryMode::kShared;
+      } else if (std::strcmp(argv[i], "--exclusive") == 0) {
+        mode = QueryMode::kExclusive;
+      } else {
+        pos.push_back(argv[i]);
+      }
+    }
+    if (endpoint.empty() || pos.empty()) {
+      Usage();
+      return 2;
+    }
+    const std::string table = pos[0];
+    const uint64_t limit =
+        pos.size() > 1 ? static_cast<uint64_t>(std::atoll(pos[1])) : 20;
+    const char* attr = pos.size() > 4 ? pos[2] : nullptr;
+    const char* op = pos.size() > 4 ? pos[3] : nullptr;
+    const char* value = pos.size() > 4 ? pos[4] : nullptr;
+    const Status s = CmdQuery(endpoint, table, limit, attr, op, value, mode);
+    return s.ok() ? 0 : Fail(s);
+  }
   const std::string dir = argv[2];
   if (cmd == "tables") {
     const Status s = CmdTables(dir);

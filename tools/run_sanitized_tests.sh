@@ -28,10 +28,12 @@ FUZZ_ITERATIONS="${2:-200}"
 # queue/budget handoffs across threads; robustness_sweep_test drives
 # the whole matrix under injected faults; zone_map_test's parallel
 # checksum cases race morsel workers over prune-filtered page ranges.
+# server_test races circulating-scan attach/detach handshakes, engine
+# shutdown and socket connection threads.
 TSAN_TESTS=(parallel_executor_test scanner_equivalence_test
             block_cache_test fuzz_test obs_test
             resilience_test retry_backend_test admission_test
-            robustness_sweep_test zone_map_test)
+            robustness_sweep_test zone_map_test server_test)
 
 status=0
 

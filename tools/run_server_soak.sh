@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Bounded TSan soak of the scan-sharing query server.
+#
+# Builds bench/server_concurrency with ThreadSanitizer and runs it as a
+# closed-loop soak: N socket clients hammer one in-process QueryServer
+# (accept thread, per-connection threads, circulating-scan circulator,
+# admission handoffs) in both shared and exclusive modes. Any data race
+# in the attach/detach handshakes, lap delivery, engine shutdown or the
+# connection lifecycle fails the run; `timeout` bounds the wall clock so
+# a wedged circulation fails instead of idling.
+#
+# Usage: tools/run_server_soak.sh [duration-ms] [clients-csv]
+#   duration-ms   per-point duration (default 2000)
+#   clients-csv   client counts per mode (default 8,32)
+# Env: RODB_BENCH_TUPLES  dataset size (default 20000 -- TSan is ~10x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+DURATION_MS="${1:-2000}"
+CLIENTS="${2:-8,32}"
+TUPLES="${RODB_BENCH_TUPLES:-20000}"
+BUILD_DIR=build-tsan
+
+cmake -B "$BUILD_DIR" -S . -DRODB_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target server_concurrency
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "=== TSan server soak: ${DURATION_MS} ms/point, clients ${CLIENTS}," \
+     "${TUPLES} tuples ==="
+RODB_BENCH_DIR="$workdir" RODB_BENCH_TUPLES="$TUPLES" \
+  timeout 1500 "$BUILD_DIR/bench/server_concurrency" \
+  --duration-ms="$DURATION_MS" --clients="$CLIENTS" | tee server_soak.json
+
+# Every point must have completed queries and zero client-side errors.
+python3 - server_soak.json <<'EOF'
+import json, sys
+points = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+assert points, "soak produced no bench points"
+for p in points:
+    assert p["queries"] > 0, f"no queries completed: {p}"
+    assert p["errors"] == 0, f"client errors under soak: {p}"
+print(f"soak ok: {len(points)} points, "
+      f"{sum(p['queries'] for p in points)} queries, 0 errors")
+EOF
+echo "Server soak clean."

@@ -38,3 +38,5 @@ rodb_bench(ablation_compressed_eval)
 rodb_bench(parallel_scan_bench)
 rodb_bench(block_cache_bench)
 rodb_bench(server_concurrency)
+rodb_bench(ingest_merge)
+rodb_bench(ingest_soak)

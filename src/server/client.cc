@@ -120,6 +120,22 @@ Result<QueryResult> QueryClient::Execute(const QueryRequest& request) {
   }
 }
 
+Result<IngestResult> QueryClient::Ingest(const IngestRequest& request) {
+  uint8_t reply_type = 0;
+  RODB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      RoundTrip(static_cast<uint8_t>(FrameType::kIngest),
+                EncodeIngestRequest(request), &reply_type));
+  switch (static_cast<FrameType>(reply_type)) {
+    case FrameType::kIngestReply:
+      return DecodeIngestResult(payload.data(), payload.size());
+    case FrameType::kError:
+      return DecodeError(payload.data(), payload.size());
+    default:
+      return Status::InvalidArgument("unexpected reply frame type");
+  }
+}
+
 Status QueryClient::Ping() {
   uint8_t reply_type = 0;
   RODB_ASSIGN_OR_RETURN(

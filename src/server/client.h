@@ -31,6 +31,10 @@ class QueryClient {
   /// the connection to abandon a query.
   Result<QueryResult> Execute(const QueryRequest& request);
 
+  /// Sends one ingest batch and blocks for the acknowledgement. Same
+  /// error convention as Execute.
+  Result<IngestResult> Ingest(const IngestRequest& request);
+
   /// Round-trips a ping frame.
   Status Ping();
 

@@ -23,4 +23,19 @@ void Database::ConfigureEngine(const EngineOptions& options) {
   engine_ = std::make_shared<QueryEngine>(dir_, options);
 }
 
+Status Database::EnsureIngest(const std::string& table, const Schema& schema,
+                              const IngestOptions& options) {
+  if (engine_ == nullptr) engine_ = std::make_shared<QueryEngine>(dir_);
+  return engine_->EnsureIngest(table, schema, options);
+}
+
+Result<IngestResult> Database::Ingest(const IngestRequest& request) {
+  if (engine_ == nullptr) engine_ = std::make_shared<QueryEngine>(dir_);
+  return engine_->Ingest(request);
+}
+
+std::shared_ptr<IngestStore> Database::ingest(const std::string& table) {
+  return engine_ == nullptr ? nullptr : engine_->ingest(table);
+}
+
 }  // namespace rodb

@@ -231,6 +231,8 @@ std::vector<uint8_t> EncodeQueryResult(const QueryResult& result) {
   PutU64(&out, result.rows_collected);
   PutU64(&out, static_cast<uint64_t>(result.row_data.size()));
   out.insert(out.end(), result.row_data.begin(), result.row_data.end());
+  PutU64(&out, result.snapshot_epoch);
+  PutU64(&out, result.snapshot_tuples);
   return out;
 }
 
@@ -258,7 +260,62 @@ Result<QueryResult> DecodeQueryResult(const uint8_t* data, size_t size) {
   const uint64_t data_bytes = in.U64();
   if (data_bytes > kMaxFrameBytes) return Truncated("row data");
   result.row_data = in.Bytes(data_bytes);
+  result.snapshot_epoch = in.U64();
+  result.snapshot_tuples = in.U64();
   if (!in.ok() || !in.AtEnd()) return Truncated("query result");
+  return result;
+}
+
+std::vector<uint8_t> EncodeIngestRequest(const IngestRequest& request) {
+  std::vector<uint8_t> out;
+  PutString(&out, request.table);
+  PutString(&out, request.schema_text);
+  PutU8(&out, static_cast<uint8_t>(request.layout));
+  PutI32(&out, request.sort_attr);
+  PutU8(&out, request.freeze ? 1 : 0);
+  PutU8(&out, request.merge ? 1 : 0);
+  PutU64(&out, request.count);
+  PutU64(&out, static_cast<uint64_t>(request.data.size()));
+  out.insert(out.end(), request.data.begin(), request.data.end());
+  return out;
+}
+
+Result<IngestRequest> DecodeIngestRequest(const uint8_t* data, size_t size) {
+  ByteReader in(data, size);
+  IngestRequest request;
+  request.table = in.String();
+  request.schema_text = in.String();
+  const uint8_t layout = in.U8();
+  if (layout > static_cast<uint8_t>(Layout::kPax)) {
+    return Status::InvalidArgument("bad layout on wire");
+  }
+  request.layout = static_cast<Layout>(layout);
+  request.sort_attr = in.I32();
+  request.freeze = in.U8() != 0;
+  request.merge = in.U8() != 0;
+  request.count = in.U64();
+  const uint64_t data_bytes = in.U64();
+  if (data_bytes > kMaxFrameBytes) return Truncated("ingest batch");
+  request.data = in.Bytes(data_bytes);
+  if (!in.ok() || !in.AtEnd()) return Truncated("ingest request");
+  return request;
+}
+
+std::vector<uint8_t> EncodeIngestResult(const IngestResult& result) {
+  std::vector<uint8_t> out;
+  PutU64(&out, result.appended_total);
+  PutU64(&out, result.epoch);
+  PutU64(&out, result.frozen_segments);
+  return out;
+}
+
+Result<IngestResult> DecodeIngestResult(const uint8_t* data, size_t size) {
+  ByteReader in(data, size);
+  IngestResult result;
+  result.appended_total = in.U64();
+  result.epoch = in.U64();
+  result.frozen_segments = in.U64();
+  if (!in.ok() || !in.AtEnd()) return Truncated("ingest result");
   return result;
 }
 

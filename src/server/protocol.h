@@ -26,11 +26,13 @@ namespace rodb {
 /// drivers (bench/server_concurrency, rodbctl query --connect) need
 /// byte-exact control over what runs.
 enum class FrameType : uint8_t {
-  kQuery = 1,   ///< client -> server: serialized QueryRequest
-  kResult = 2,  ///< server -> client: serialized QueryResult
-  kError = 3,   ///< server -> client: status code + message
-  kPing = 4,    ///< client -> server: liveness probe
-  kPong = 5,    ///< server -> client: reply to kPing
+  kQuery = 1,        ///< client -> server: serialized QueryRequest
+  kResult = 2,       ///< server -> client: serialized QueryResult
+  kError = 3,        ///< server -> client: status code + message
+  kPing = 4,         ///< client -> server: liveness probe
+  kPong = 5,         ///< server -> client: reply to kPing
+  kIngest = 6,       ///< client -> server: serialized IngestRequest
+  kIngestReply = 7,  ///< server -> client: serialized IngestResult
 };
 
 /// Frames larger than this are rejected as malformed rather than
@@ -48,6 +50,14 @@ Result<QueryRequest> DecodeQueryRequest(const uint8_t* data, size_t size);
 /// plus any collected rows. The BlockLayout travels as its width list.
 std::vector<uint8_t> EncodeQueryResult(const QueryResult& result);
 Result<QueryResult> DecodeQueryResult(const uint8_t* data, size_t size);
+
+/// The ingest frame carries the whole batch (raw tuple bytes included);
+/// kMaxFrameBytes bounds the batch size a client may ship at once.
+std::vector<uint8_t> EncodeIngestRequest(const IngestRequest& request);
+Result<IngestRequest> DecodeIngestRequest(const uint8_t* data, size_t size);
+
+std::vector<uint8_t> EncodeIngestResult(const IngestResult& result);
+Result<IngestResult> DecodeIngestResult(const uint8_t* data, size_t size);
 
 std::vector<uint8_t> EncodeError(const Status& status);
 /// Reconstructs the Status an error frame carries.

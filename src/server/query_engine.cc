@@ -1,5 +1,6 @@
 #include "server/query_engine.h"
 
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -7,13 +8,16 @@
 #include "common/scope_guard.h"
 #include "common/stopwatch.h"
 #include "engine/executor.h"
+#include "engine/open_scanner.h"
 #include "engine/parallel_executor.h"
 #include "engine/plan_builder.h"
 #include "engine/scan_spec.h"
+#include "engine/union_all.h"
 #include "engine/zone_pruner.h"
 #include "io/file_backend.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "wos/segment_source.h"
 
 namespace rodb {
 
@@ -56,6 +60,84 @@ QueryContext MakeContext(const QueryRequest& request) {
   return ctx;
 }
 
+/// Fills `spec` from the request the way every exclusive-style path
+/// does: explicit projection, engine cache layered under the request's
+/// read options, pruning only when there is something to prune with.
+ScanSpec SpecFromRequest(const QueryRequest& request, const Schema& schema,
+                         BlockCache* cache) {
+  ScanSpec spec;
+  spec.projection = request.projection;
+  if (spec.projection.empty()) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      spec.projection.push_back(static_cast<int>(a));
+    }
+  }
+  spec.predicates = request.predicates;
+  spec.read = request.read;
+  if (cache != nullptr) spec.read.cache = cache;
+  spec.range = request.range;
+  if (request.block_tuples > 0) spec.block_tuples = request.block_tuples;
+  spec.compressed_eval = request.compressed_eval;
+  spec.vectorized = request.vectorized;
+  spec.prune = request.prune && !request.predicates.empty();
+  return spec;
+}
+
+/// The serial drain every non-parallel execution shares: opens the
+/// plan, pulls blocks to exhaustion under the context's liveness
+/// checks, and folds rows/blocks/checksum/digest (and collected rows,
+/// under budgeted reservations) into `result`. Counters stay in
+/// `stats`; the caller copies them out after any trace finalization.
+Status DrainSerial(Operator* plan, const QueryRequest& request,
+                   QueryContext* ctx, ExecStats* stats, QueryResult* result) {
+  obs::SpanTimer query_span(stats->trace(), obs::TracePhase::kQuery);
+  {
+    obs::SpanTimer open_span(stats->trace(), obs::TracePhase::kOpen);
+    RODB_RETURN_IF_ERROR(plan->Open());
+  }
+  auto close_guard = MakeScopeGuard([&] {
+    plan->Close();
+    stats->FoldIo();
+  });
+  uint64_t checksum = kFnv1aSeed;
+  const int width = plan->output_layout().tuple_width;
+  std::vector<MemoryReservation> row_reservations;
+  uint64_t reserved_bytes = 0;
+  while (true) {
+    RODB_RETURN_IF_ERROR(stats->CheckAlive());
+    RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
+    if (block == nullptr) break;
+    if (block->empty()) continue;
+    result->blocks += 1;
+    const size_t block_bytes =
+        static_cast<size_t>(block->size()) * static_cast<size_t>(width);
+    checksum = Fnv1aExtend(checksum, block->tuple(0), block_bytes);
+    for (uint32_t i = 0; i < block->size(); ++i) {
+      result->row_digest += Fnv1aExtend(kFnv1aSeed, block->tuple(i),
+                                        static_cast<size_t>(width));
+      ++result->rows;
+      if (request.collect_rows &&
+          (request.limit_rows == 0 ||
+           result->rows_collected < request.limit_rows)) {
+        const uint64_t needed =
+            result->row_data.size() + static_cast<uint64_t>(width);
+        if (needed > reserved_bytes) {
+          constexpr uint64_t kChunk = 256 * 1024;
+          RODB_ASSIGN_OR_RETURN(MemoryReservation hold,
+                                ctx->ReserveMemory(kChunk));
+          row_reservations.push_back(std::move(hold));
+          reserved_bytes += kChunk;
+        }
+        result->row_data.insert(result->row_data.end(), block->tuple(i),
+                                block->tuple(i) + width);
+        ++result->rows_collected;
+      }
+    }
+  }
+  result->output_checksum = checksum;
+  return Status::OK();
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(std::string dir, EngineOptions options)
@@ -78,12 +160,18 @@ QueryEngine::~QueryEngine() { Shutdown(); }
 
 void QueryEngine::Shutdown() {
   std::map<std::string, std::shared_ptr<CirculatingScan>> scans;
+  std::map<std::string, std::shared_ptr<IngestStore>> ingests;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
     scans.swap(scans_);
+    ingests.swap(ingests_);
   }
   for (auto& [name, scan] : scans) scan->Stop();
+  // Dropping the map waits out each store's in-flight background merge
+  // (in ~IngestStore) -- outside mu_, so concurrent Executes that
+  // already hold a store reference are unaffected.
+  ingests.clear();
 }
 
 CirculatingScan::Stats QueryEngine::SharedScanStats(
@@ -106,6 +194,77 @@ Result<std::shared_ptr<const OpenTable>> QueryEngine::GetTable(
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = tables_.emplace(name, shared);
   return it->second;
+}
+
+std::shared_ptr<IngestStore> QueryEngine::ingest(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ingests_.find(table);
+  return it == ingests_.end() ? nullptr : it->second;
+}
+
+Status QueryEngine::EnsureIngest(const std::string& table,
+                                 const Schema& schema,
+                                 const IngestOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Cancelled("engine shutting down");
+    if (ingests_.find(table) != ingests_.end()) return Status::OK();
+  }
+  // An ingest table takes over query dispatch for its name, so a plain
+  // bulk-loaded table there would become unreachable -- refuse instead
+  // of shadowing silently. (The store's own `<table>__gen*` /
+  // `<table>__seg*` catalog entries are expected.)
+  if (!IngestManifestExists(dir_, table) &&
+      Catalog::LoadTableMeta(dir_, table).ok()) {
+    return Status::InvalidArgument(
+        "table '" + table + "' already exists as a bulk-loaded table");
+  }
+  // Open outside mu_ (reads the manifest, opens segment tables).
+  RODB_ASSIGN_OR_RETURN(std::unique_ptr<IngestStore> store,
+                        IngestStore::Open(dir_, table, schema, options));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Cancelled("engine shutting down");
+  ingests_.emplace(table, std::shared_ptr<IngestStore>(std::move(store)));
+  return Status::OK();
+}
+
+Result<IngestResult> QueryEngine::Ingest(const IngestRequest& request) {
+  std::shared_ptr<IngestStore> store = ingest(request.table);
+  if (store == nullptr) {
+    if (request.schema_text.empty()) {
+      return Status::InvalidArgument(
+          "table '" + request.table +
+          "' is not attached for ingest and the request carries no schema");
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(request.schema_text);
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    RODB_ASSIGN_OR_RETURN(Schema schema, Schema::ParseFrom(lines));
+    IngestOptions options;
+    options.layout = request.layout;
+    options.sort_attr = request.sort_attr;
+    RODB_RETURN_IF_ERROR(EnsureIngest(request.table, schema, options));
+    store = ingest(request.table);
+    if (store == nullptr) return Status::Cancelled("engine shutting down");
+  }
+  const uint64_t width =
+      static_cast<uint64_t>(store->schema().raw_tuple_width());
+  if (request.data.size() != request.count * width) {
+    return Status::InvalidArgument(
+        "ingest batch carries " + std::to_string(request.data.size()) +
+        " bytes, expected " + std::to_string(request.count * width));
+  }
+  RODB_RETURN_IF_ERROR(store->AppendBatch(request.data.data(), request.count));
+  if (request.freeze) RODB_RETURN_IF_ERROR(store->Freeze());
+  if (request.merge) store->TriggerMerge();
+  IngestResult out;
+  out.appended_total = store->appended();
+  out.epoch = store->epoch();
+  out.frozen_segments = store->Acquire().num_frozen();
+  return out;
 }
 
 std::shared_ptr<CirculatingScan> QueryEngine::GetScan(
@@ -149,6 +308,26 @@ Result<QueryResult> QueryEngine::Execute(const QueryRequest& request) {
 
 Result<QueryResult> QueryEngine::ExecuteResolved(const QueryRequest& request,
                                                  int* shared_out) {
+  // Ingest-attached tables shadow the catalog: their data lives across
+  // a ROS generation plus segments, so the catalog-table paths below
+  // would see at most a stale slice of it.
+  if (std::shared_ptr<IngestStore> store = ingest(request.table)) {
+    if (request.mode == QueryMode::kShared) {
+      return Status::NotSupported(
+          "ingest tables execute exclusively against a snapshot");
+    }
+    if (!request.range.is_all()) {
+      return Status::InvalidArgument(
+          "ingest tables scan whole snapshots (range must be All)");
+    }
+    if (request.parallelism > 1) {
+      return Status::NotSupported(
+          "ingest snapshot reads run serial (parallelism must be <= 1)");
+    }
+    *shared_out = 0;
+    return ExecuteIngest(request, std::move(store), MakeContext(request));
+  }
+
   RODB_ASSIGN_OR_RETURN(std::shared_ptr<const OpenTable> table,
                         GetTable(request.table));
   QueryContext ctx = MakeContext(request);
@@ -199,21 +378,7 @@ Result<QueryResult> QueryEngine::ExecuteShared(
 Result<QueryResult> QueryEngine::ExecuteExclusive(const QueryRequest& request,
                                                   const OpenTable& table,
                                                   QueryContext ctx) {
-  ScanSpec spec;
-  spec.projection = request.projection;
-  if (spec.projection.empty()) {
-    for (size_t a = 0; a < table.schema().num_attributes(); ++a) {
-      spec.projection.push_back(static_cast<int>(a));
-    }
-  }
-  spec.predicates = request.predicates;
-  spec.read = request.read;
-  if (cache_ != nullptr) spec.read.cache = cache_.get();
-  spec.range = request.range;
-  if (request.block_tuples > 0) spec.block_tuples = request.block_tuples;
-  spec.compressed_eval = request.compressed_eval;
-  spec.vectorized = request.vectorized;
-  spec.prune = request.prune && !request.predicates.empty();
+  ScanSpec spec = SpecFromRequest(request, table.schema(), cache_.get());
 
   ctx.set_memory_budget(exclusive_admission_->memory_budget());
   RODB_ASSIGN_OR_RETURN(
@@ -250,53 +415,78 @@ Result<QueryResult> QueryEngine::ExecuteExclusive(const QueryRequest& request,
   RODB_ASSIGN_OR_RETURN(OperatorPtr plan, PlanBuilder::Scan(&table, spec,
                                                             backend_, &stats)
                                               .Build());
-  {
-    obs::SpanTimer query_span(stats.trace(), obs::TracePhase::kQuery);
-    {
-      obs::SpanTimer open_span(stats.trace(), obs::TracePhase::kOpen);
-      RODB_RETURN_IF_ERROR(plan->Open());
-    }
-    auto close_guard = MakeScopeGuard([&] {
-      plan->Close();
-      stats.FoldIo();
-    });
-    uint64_t checksum = kFnv1aSeed;
-    const int width = plan->output_layout().tuple_width;
-    std::vector<MemoryReservation> row_reservations;
-    uint64_t reserved_bytes = 0;
-    while (true) {
-      RODB_RETURN_IF_ERROR(stats.CheckAlive());
-      RODB_ASSIGN_OR_RETURN(TupleBlock * block, plan->Next());
-      if (block == nullptr) break;
-      if (block->empty()) continue;
-      result.blocks += 1;
-      const size_t block_bytes = static_cast<size_t>(block->size()) *
-                                 static_cast<size_t>(width);
-      checksum = Fnv1aExtend(checksum, block->tuple(0), block_bytes);
-      for (uint32_t i = 0; i < block->size(); ++i) {
-        result.row_digest += Fnv1aExtend(kFnv1aSeed, block->tuple(i),
-                                         static_cast<size_t>(width));
-        ++result.rows;
-        if (request.collect_rows &&
-            (request.limit_rows == 0 ||
-             result.rows_collected < request.limit_rows)) {
-          const uint64_t needed =
-              result.row_data.size() + static_cast<uint64_t>(width);
-          if (needed > reserved_bytes) {
-            constexpr uint64_t kChunk = 256 * 1024;
-            RODB_ASSIGN_OR_RETURN(MemoryReservation hold,
-                                  ctx.ReserveMemory(kChunk));
-            row_reservations.push_back(std::move(hold));
-            reserved_bytes += kChunk;
-          }
-          result.row_data.insert(result.row_data.end(), block->tuple(i),
-                                 block->tuple(i) + width);
-          ++result.rows_collected;
-        }
-      }
-    }
-    result.output_checksum = checksum;
+  RODB_RETURN_IF_ERROR(DrainSerial(plan.get(), request, &ctx, &stats,
+                                   &result));
+  if (request.trace != nullptr) {
+    request.trace->FinalizeFromCounters(stats.counters());
   }
+  result.counters = stats.counters();
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteIngest(
+    const QueryRequest& request, std::shared_ptr<IngestStore> store,
+    QueryContext ctx) {
+  ScanSpec spec = SpecFromRequest(request, store->schema(), cache_.get());
+
+  // Pin the snapshot before admission so its epoch reflects "when the
+  // query arrived"; the leases it holds keep every referenced table
+  // file alive for the whole run even if a merge commits meanwhile.
+  Snapshot snap = store->Acquire();
+  uint64_t working_set = 0;
+  if (snap.ros() != nullptr) {
+    working_set += EstimateScanWorkingSet(*snap.ros(), spec);
+  }
+  for (size_t i = 0; i < snap.num_frozen(); ++i) {
+    working_set += EstimateScanWorkingSet(snap.frozen(i), spec);
+  }
+
+  ctx.set_memory_budget(exclusive_admission_->memory_budget());
+  RODB_ASSIGN_OR_RETURN(AdmissionTicket ticket,
+                        exclusive_admission_->Admit(working_set, ctx));
+
+  QueryResult result;
+  result.row_layout =
+      BlockLayout::FromSchema(store->schema(), spec.projection);
+  result.snapshot_epoch = snap.epoch();
+  result.snapshot_tuples = snap.visible_tuples();
+
+  ExecStats stats;
+  stats.set_context(&ctx);
+  stats.set_trace(request.trace);
+
+  // Snapshot parts in append order: ROS generation, frozen segments
+  // oldest first, sealed in-memory segments, then the active tail.
+  // UNION ALL of per-part scans delivers each visible tuple exactly
+  // once; zone-map pruning (spec.prune) applies per on-disk part.
+  std::vector<OperatorPtr> children;
+  if (snap.ros() != nullptr) {
+    RODB_ASSIGN_OR_RETURN(
+        OperatorPtr scan, OpenScanner(*snap.ros(), spec, backend_, &stats));
+    children.push_back(std::move(scan));
+  }
+  for (size_t i = 0; i < snap.num_frozen(); ++i) {
+    RODB_ASSIGN_OR_RETURN(
+        OperatorPtr scan, OpenScanner(snap.frozen(i), spec, backend_, &stats));
+    children.push_back(std::move(scan));
+  }
+  for (size_t i = 0; i < snap.num_sealed(); ++i) {
+    RODB_ASSIGN_OR_RETURN(
+        OperatorPtr scan,
+        ActiveScanOperator::Make(store->schema(), snap.sealed(i), spec,
+                                 &stats));
+    children.push_back(std::move(scan));
+  }
+  // Always present (possibly empty), so the union never lacks children.
+  RODB_ASSIGN_OR_RETURN(
+      OperatorPtr active,
+      ActiveScanOperator::Make(store->schema(), snap.active(), spec, &stats));
+  children.push_back(std::move(active));
+
+  RODB_ASSIGN_OR_RETURN(OperatorPtr plan,
+                        UnionAllOperator::Make(std::move(children), &stats));
+  RODB_RETURN_IF_ERROR(DrainSerial(plan.get(), request, &ctx, &stats,
+                                   &result));
   if (request.trace != nullptr) {
     request.trace->FinalizeFromCounters(stats.counters());
   }

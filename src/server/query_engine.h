@@ -12,6 +12,7 @@
 #include "server/circulating_scan.h"
 #include "server/query_request.h"
 #include "storage/catalog.h"
+#include "wos/ingest_store.h"
 
 namespace rodb {
 
@@ -68,10 +69,27 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Executes one query to completion and returns what it produced.
+  /// Queries against an ingest-attached table run exclusively against
+  /// an epoch-pinned snapshot (ROS + frozen segments + in-memory tail).
   Result<QueryResult> Execute(const QueryRequest& request);
 
+  /// Attaches (first call) or reopens the continuous-ingest lifecycle
+  /// for `table`; idempotent once attached. The name must not collide
+  /// with a bulk-loaded table -- ingest tables shadow the catalog.
+  Status EnsureIngest(const std::string& table, const Schema& schema,
+                      const IngestOptions& options = {});
+
+  /// Appends one batch (attaching the table first if the request
+  /// carries a schema) and applies its freeze/merge nudges.
+  Result<IngestResult> Ingest(const IngestRequest& request);
+
+  /// The table's ingest store, or null if not attached. The shared_ptr
+  /// keeps the store (and its background merge) alive across Shutdown.
+  std::shared_ptr<IngestStore> ingest(const std::string& table);
+
   /// Stops every circulating scan (failing in-flight queries with
-  /// Cancelled). Called by the destructor; idempotent.
+  /// Cancelled) and detaches every ingest store, waiting out in-flight
+  /// background merges. Called by the destructor; idempotent.
   void Shutdown();
 
   const EngineOptions& options() const { return options_; }
@@ -93,6 +111,9 @@ class QueryEngine {
   Result<QueryResult> ExecuteExclusive(const QueryRequest& request,
                                        const OpenTable& table,
                                        QueryContext ctx);
+  Result<QueryResult> ExecuteIngest(const QueryRequest& request,
+                                    std::shared_ptr<IngestStore> store,
+                                    QueryContext ctx);
 
   std::string dir_;
   EngineOptions options_;
@@ -105,6 +126,7 @@ class QueryEngine {
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<const OpenTable>> tables_;
   std::map<std::string, std::shared_ptr<CirculatingScan>> scans_;
+  std::map<std::string, std::shared_ptr<IngestStore>> ingests_;
   bool shutdown_ = false;
 };
 

@@ -12,6 +12,7 @@
 #include "engine/tuple_block.h"
 #include "hwmodel/cpu_model.h"
 #include "io/read_options.h"
+#include "storage/schema.h"
 
 namespace rodb {
 
@@ -129,10 +130,45 @@ struct QueryResult {
   uint64_t rows_collected = 0;
   std::vector<uint8_t> row_data;
 
+  /// Ingest-attached tables only: the manifest epoch the query's
+  /// snapshot was pinned at and the number of tuples it could see (the
+  /// append-order prefix length -- the value the snapshot-consistency
+  /// oracle replays). Both zero for plain bulk-loaded tables.
+  uint64_t snapshot_epoch = 0;
+  uint64_t snapshot_tuples = 0;
+
   const uint8_t* collected_tuple(uint64_t i) const {
     return row_data.data() +
            i * static_cast<uint64_t>(row_layout.tuple_width);
   }
+};
+
+/// The write-side counterpart of QueryRequest: one batch of raw tuples
+/// bound for an ingest-attached table, plus the lifecycle nudges a
+/// driver may want after the batch lands. Appends are visible to the
+/// very next snapshot; freeze/merge only move tuples between lifecycle
+/// stages without changing what any reader sees.
+struct IngestRequest {
+  std::string table;  ///< ingest table name (not a bulk-loaded table)
+  /// Catalog schema text (Schema::AppendTo lines, '\n'-separated),
+  /// used to attach the table's ingest lifecycle on first use. May be
+  /// empty when the table is already attached.
+  std::string schema_text;
+  Layout layout = Layout::kRow;  ///< layout of frozen segments and ROS
+  int sort_attr = 0;             ///< int32 clustering key
+  uint64_t count = 0;            ///< tuples in `data`
+  /// `count` raw tuples (attribute bytes back to back), i.e. exactly
+  /// count * schema.raw_tuple_width() bytes.
+  std::vector<uint8_t> data;
+  bool freeze = false;  ///< freeze the active segment after appending
+  bool merge = false;   ///< trigger a background merge after appending
+};
+
+/// What one ingest batch produced.
+struct IngestResult {
+  uint64_t appended_total = 0;   ///< store-lifetime appended tuples
+  uint64_t epoch = 0;            ///< manifest epoch after the batch
+  uint64_t frozen_segments = 0;  ///< frozen segments currently live
 };
 
 }  // namespace rodb

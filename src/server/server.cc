@@ -210,6 +210,21 @@ void QueryServer::HandleConnection(int fd) {
                     : EncodeFrame(FrameType::kError, EncodeError(result.status()));
         break;
       }
+      case FrameType::kIngest: {
+        Result<IngestRequest> request =
+            DecodeIngestRequest(frame.payload.data(), frame.payload.size());
+        if (!request.ok()) {
+          metrics.protocol_errors->Increment();
+          reply = EncodeFrame(FrameType::kError, EncodeError(request.status()));
+          break;
+        }
+        Result<IngestResult> result = engine_->Ingest(*request);
+        reply = result.ok() ? EncodeFrame(FrameType::kIngestReply,
+                                          EncodeIngestResult(*result))
+                            : EncodeFrame(FrameType::kError,
+                                          EncodeError(result.status()));
+        break;
+      }
       default:
         metrics.protocol_errors->Increment();
         reply = EncodeFrame(

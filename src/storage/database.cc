@@ -50,27 +50,7 @@ Result<TableMeta> Database::Meta(const std::string& name) const {
 
 Status Database::DropTable(const std::string& name) {
   if (!Contains(name)) return Status::NotFound("no such table: " + name);
-  RODB_ASSIGN_OR_RETURN(TableMeta meta, Catalog::LoadTableMeta(dir_, name));
-  std::vector<std::string> paths;
-  switch (meta.layout) {
-    case Layout::kRow:
-      paths.push_back(TablePaths::RowFile(dir_, name));
-      break;
-    case Layout::kPax:
-      paths.push_back(TablePaths::PaxFile(dir_, name));
-      break;
-    case Layout::kColumn:
-      for (size_t a = 0; a < meta.schema.num_attributes(); ++a) {
-        paths.push_back(TablePaths::ColumnFile(dir_, name, a));
-      }
-      break;
-  }
-  paths.push_back(TablePaths::DictFile(dir_, name));  // may not exist
-  paths.push_back(TablePaths::MetaFile(dir_, name));
-  for (const std::string& path : paths) {
-    std::error_code ec;
-    std::filesystem::remove(path, ec);  // missing sidecars are fine
-  }
+  RemoveTableFiles(dir_, name);
   return Refresh();
 }
 

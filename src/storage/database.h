@@ -15,6 +15,10 @@ namespace rodb {
 // resolves through the rodb umbrella target.
 struct QueryRequest;
 struct QueryResult;
+struct IngestRequest;
+struct IngestResult;
+struct IngestOptions;
+class IngestStore;
 struct EngineOptions;
 class QueryEngine;
 
@@ -51,6 +55,18 @@ class Database {
   /// Replaces the engine with one built from `options`. Call before the
   /// first Execute (an existing engine is shut down and dropped).
   void ConfigureEngine(const EngineOptions& options);
+
+  /// Attaches the continuous-ingest lifecycle for `table` (idempotent);
+  /// queries against the name then read epoch-pinned snapshots. See
+  /// QueryEngine::EnsureIngest.
+  Status EnsureIngest(const std::string& table, const Schema& schema,
+                      const IngestOptions& options);
+  /// Appends one batch to an ingest table (attaching it first when the
+  /// request carries a schema). See QueryEngine::Ingest.
+  Result<IngestResult> Ingest(const IngestRequest& request);
+  /// The table's ingest store (lifecycle control for tests/tools), or
+  /// null if not attached.
+  std::shared_ptr<IngestStore> ingest(const std::string& table);
 
   /// The engine backing Execute(), or null if none has been created.
   QueryEngine* engine() const { return engine_.get(); }

@@ -1,6 +1,7 @@
 #include "storage/table_files.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "common/bytes.h"
 #include "common/file_util.h"
@@ -33,6 +34,21 @@ std::string TablePaths::ColumnFile(const std::string& dir,
                                    const std::string& name,
                                    size_t attr_index) {
   return dir + "/" + name + ".col" + std::to_string(attr_index);
+}
+
+void RemoveTableFiles(const std::string& dir, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::remove(TablePaths::MetaFile(dir, name), ec);
+  std::filesystem::remove(TablePaths::MetaFile(dir, name) + ".tmp", ec);
+  std::filesystem::remove(TablePaths::DictFile(dir, name), ec);
+  std::filesystem::remove(SynopsisPath(dir, name), ec);
+  std::filesystem::remove(TablePaths::RowFile(dir, name), ec);
+  std::filesystem::remove(TablePaths::PaxFile(dir, name), ec);
+  // Column files are numbered contiguously from 0; stop at the first gap.
+  for (size_t attr = 0;; ++attr) {
+    const std::string path = TablePaths::ColumnFile(dir, name, attr);
+    if (!std::filesystem::remove(path, ec)) break;
+  }
 }
 
 std::vector<FilePartition> PartitionFile(uint64_t file_size, size_t page_bytes,

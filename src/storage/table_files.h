@@ -44,6 +44,14 @@ struct FilePartition {
                               ///< any trailing partial page)
 };
 
+/// Removes every file a table named `name` could own in `dir`: meta,
+/// dictionary and zone-map sidecars, the row/PAX file and all column
+/// files. Missing files are fine (the helper probes, it does not consult
+/// the catalog), so it also cleans up half-written tables left by a
+/// crashed load or merge -- the ingest lifecycle's orphan sweep. Shared
+/// by Database::DropTable and the segment retirement path.
+void RemoveTableFiles(const std::string& dir, const std::string& name);
+
 /// Splits a file of `file_size` bytes into at most `k` contiguous,
 /// non-empty, page-aligned partitions that together cover the whole file.
 /// Page counts differ by at most one across partitions. Fewer than `k`

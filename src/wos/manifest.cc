@@ -1,0 +1,101 @@
+#include "wos/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/file_util.h"
+#include "common/macros.h"
+
+namespace rodb {
+
+std::string IngestManifestPath(const std::string& dir,
+                               const std::string& table) {
+  return dir + "/" + table + ".ingest";
+}
+
+bool IngestManifestExists(const std::string& dir, const std::string& table) {
+  return FileExists(IngestManifestPath(dir, table));
+}
+
+Status SaveIngestManifest(const std::string& dir, const IngestManifest& m) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "table %s\n", m.table.c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "epoch %llu\n",
+                static_cast<unsigned long long>(m.epoch));
+  out += line;
+  std::snprintf(line, sizeof(line), "generation %llu\n",
+                static_cast<unsigned long long>(m.generation));
+  out += line;
+  std::snprintf(line, sizeof(line), "ros %s\n",
+                m.ros_table.empty() ? "-" : m.ros_table.c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "next_segment_id %llu\n",
+                static_cast<unsigned long long>(m.next_segment_id));
+  out += line;
+  std::snprintf(line, sizeof(line), "frozen %zu\n", m.frozen.size());
+  out += line;
+  for (const std::string& seg : m.frozen) {
+    out += "segment ";
+    out += seg;
+    out += "\n";
+  }
+  const std::string path = IngestManifestPath(dir, m.table);
+  const std::string tmp = path + ".tmp";
+  RODB_RETURN_IF_ERROR(WriteStringToFile(tmp, out));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("manifest rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<IngestManifest> LoadIngestManifest(const std::string& dir,
+                                          const std::string& table) {
+  RODB_ASSIGN_OR_RETURN(std::string text,
+                        ReadFileToString(IngestManifestPath(dir, table)));
+  std::istringstream in(text);
+  IngestManifest m;
+  std::string key;
+  if (!(in >> key >> m.table) || key != "table" || m.table != table) {
+    return Status::Corruption("ingest manifest: bad table line");
+  }
+  if (!(in >> key >> m.epoch) || key != "epoch") {
+    return Status::Corruption("ingest manifest: bad epoch line");
+  }
+  if (!(in >> key >> m.generation) || key != "generation") {
+    return Status::Corruption("ingest manifest: bad generation line");
+  }
+  if (!(in >> key >> m.ros_table) || key != "ros") {
+    return Status::Corruption("ingest manifest: bad ros line");
+  }
+  if (m.ros_table == "-") m.ros_table.clear();
+  if (!(in >> key >> m.next_segment_id) || key != "next_segment_id") {
+    return Status::Corruption("ingest manifest: bad next_segment_id line");
+  }
+  size_t n_frozen = 0;
+  if (!(in >> key >> n_frozen) || key != "frozen") {
+    return Status::Corruption("ingest manifest: bad frozen line");
+  }
+  for (size_t i = 0; i < n_frozen; ++i) {
+    std::string seg;
+    if (!(in >> key >> seg) || key != "segment") {
+      return Status::Corruption("ingest manifest: truncated segment list");
+    }
+    m.frozen.push_back(std::move(seg));
+  }
+  return m;
+}
+
+Status RemoveIngestManifest(const std::string& dir, const std::string& table) {
+  std::error_code ec;
+  std::filesystem::remove(IngestManifestPath(dir, table), ec);
+  if (ec) return Status::IoError("cannot remove ingest manifest");
+  return Status::OK();
+}
+
+}  // namespace rodb

@@ -1,0 +1,63 @@
+#ifndef RODB_WOS_MANIFEST_H_
+#define RODB_WOS_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rodb {
+
+/// Durable record of one ingest table's segment lifecycle: which ROS
+/// generation is current, which frozen segments have not been merged
+/// into it yet, and the next segment/generation ids to hand out. The
+/// active (in-memory) segment is deliberately absent — like the paper's
+/// WOS it is volatile, and a crash replays from the last manifest.
+///
+/// The manifest is the single commit point of the lifecycle: freeze and
+/// merge both build their table files first, then publish them with one
+/// atomic manifest swap (write temp file + rename). A crash on either
+/// side of the swap leaves the previous generation fully intact, which
+/// is what the recover-to-last-good-generation tests pin.
+struct IngestManifest {
+  /// Logical table this manifest describes (segment tables are named
+  /// `<table>__seg<N>` / `<table>__gen<N>` in the same directory).
+  std::string table;
+  /// Monotone commit counter; every successful freeze or merge bumps it.
+  uint64_t epoch = 0;
+  /// ROS generation number backing `ros_table` (0 = no ROS yet).
+  uint64_t generation = 0;
+  /// Catalog name of the current read-optimized store ("" before the
+  /// first merge commits).
+  std::string ros_table;
+  /// Frozen, immutable segment tables awaiting merge, oldest first.
+  /// Order matters: it is ingest order, and readers (and the merge's
+  /// tie-break) rely on it.
+  std::vector<std::string> frozen;
+  /// Next frozen-segment id to allocate.
+  uint64_t next_segment_id = 1;
+};
+
+/// `<dir>/<table>.ingest`, next to the catalog's `.meta` files.
+std::string IngestManifestPath(const std::string& dir,
+                               const std::string& table);
+
+/// True if `dir` holds a manifest for `table`.
+bool IngestManifestExists(const std::string& dir, const std::string& table);
+
+/// Atomically replaces the manifest: writes `<path>.tmp`, fsyncs via
+/// stream flush, then renames over the old file. The rename is the
+/// commit — readers either see the previous state or the new one,
+/// never a torn mix.
+Status SaveIngestManifest(const std::string& dir, const IngestManifest& m);
+
+Result<IngestManifest> LoadIngestManifest(const std::string& dir,
+                                          const std::string& table);
+
+/// Removes the manifest file (used by tests tearing a store down).
+Status RemoveIngestManifest(const std::string& dir, const std::string& table);
+
+}  // namespace rodb
+
+#endif  // RODB_WOS_MANIFEST_H_

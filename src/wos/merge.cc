@@ -202,9 +202,21 @@ Result<TableMeta> MergeIntoReadStore(const std::string& dir,
     }
     RODB_RETURN_IF_ERROR(writer->Append(next));
   }
+  if (options.fail_point != nullptr) {
+    RODB_RETURN_IF_ERROR(options.fail_point("merge.finish"));
+  }
   RODB_RETURN_IF_ERROR(writer->Finish());
+  // The WOS is the only copy of the buffered tuples, so it must survive
+  // until the new table is durably committed: load the meta back (its
+  // atomic rename is the commit point) and only then clear. Clearing
+  // before this read-back was a data-loss window -- a failed Finish or
+  // meta write dropped the buffered tuples on the floor.
+  RODB_ASSIGN_OR_RETURN(TableMeta meta, Catalog::LoadTableMeta(dir, new_name));
+  if (options.fail_point != nullptr) {
+    RODB_RETURN_IF_ERROR(options.fail_point("merge.commit"));
+  }
   wos->Clear();
-  return Catalog::LoadTableMeta(dir, new_name);
+  return meta;
 }
 
 }  // namespace rodb

@@ -1,7 +1,9 @@
 #ifndef RODB_WOS_MERGE_H_
 #define RODB_WOS_MERGE_H_
 
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/query_context.h"
@@ -22,6 +24,12 @@ struct MergeOptions {
   /// appended tuples, so a long merge can be cancelled or deadlined
   /// instead of holding the store hostage. Null = run to completion.
   const QueryContext* context = nullptr;
+  /// Fault-injection hook, called at "merge.finish" (before the new
+  /// table's files are finalized) and "merge.commit" (after the table
+  /// is durable, before the WOS is cleared). A non-OK return fails the
+  /// merge at that point with the WOS contents intact -- the regression
+  /// test for the clear-before-durable bug drives this. Null = no-op.
+  std::function<Status(std::string_view point)> fail_point;
 };
 
 /// Materializes every tuple of a stored table back into raw form (used by

@@ -1,0 +1,52 @@
+#include "wos/segment.h"
+
+#include <cstring>
+
+namespace rodb {
+
+ActiveSegment::ActiveSegment(Schema schema, size_t chunk_tuples)
+    : schema_(std::move(schema)),
+      tuple_width_(static_cast<size_t>(schema_.raw_tuple_width())),
+      chunk_tuples_(chunk_tuples == 0 ? 1 : chunk_tuples) {}
+
+uint64_t ActiveSegment::Append(const uint8_t* raw_tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t slot = count_ % chunk_tuples_;
+  if (slot == 0 && count_ == chunks_.size() * chunk_tuples_) {
+    // Full-size allocation up front: the chunk never reallocates, so
+    // pointers inside outstanding views stay valid forever.
+    chunks_.push_back(
+        std::make_shared<std::vector<uint8_t>>(chunk_tuples_ * tuple_width_));
+  }
+  std::memcpy(chunks_.back()->data() + slot * tuple_width_, raw_tuple,
+              tuple_width_);
+  return ++count_;
+}
+
+ActiveView ActiveSegment::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ActiveView view;
+  view.chunks_.assign(chunks_.begin(), chunks_.end());
+  view.count_ = count_;
+  view.tuple_width_ = tuple_width_;
+  view.chunk_tuples_ = chunk_tuples_;
+  return view;
+}
+
+void ActiveSegment::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chunks_.clear();
+  count_ = 0;
+}
+
+uint64_t ActiveSegment::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t ActiveSegment::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.size() * chunk_tuples_ * tuple_width_;
+}
+
+}  // namespace rodb

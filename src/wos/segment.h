@@ -1,0 +1,83 @@
+#ifndef RODB_WOS_SEGMENT_H_
+#define RODB_WOS_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace rodb {
+
+/// Immutable snapshot of an ActiveSegment's contents at acquisition
+/// time: the chunk list plus a tuple-count watermark. Tuples in
+/// [0, count) were fully written before the view was taken (the segment
+/// publishes the watermark under the same mutex appends hold, which
+/// gives the happens-before edge), so a view can be read without any
+/// further synchronization while the writer keeps appending past the
+/// watermark into the very same chunks.
+class ActiveView {
+ public:
+  ActiveView() = default;
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t tuple_width() const { return tuple_width_; }
+
+  /// Raw tuple `i` (attribute bytes back to back); i < count().
+  const uint8_t* tuple(uint64_t i) const {
+    return chunks_[i / chunk_tuples_]->data() +
+           (i % chunk_tuples_) * tuple_width_;
+  }
+
+ private:
+  friend class ActiveSegment;
+  std::vector<std::shared_ptr<const std::vector<uint8_t>>> chunks_;
+  uint64_t count_ = 0;
+  size_t tuple_width_ = 0;
+  size_t chunk_tuples_ = 1;
+};
+
+/// The in-memory head of the segment lifecycle: an append-only tuple
+/// buffer that hands out consistent ActiveViews to concurrent readers.
+///
+/// Storage is a list of fixed-capacity chunks allocated up front at
+/// their full size, so a chunk's bytes never move once created --
+/// readers holding a view keep valid pointers no matter how many
+/// appends (or a Reset() starting the next active segment) happen after
+/// them. The writer only ever touches bytes at or past every published
+/// watermark, readers only below theirs; the watermark itself is
+/// published under the mutex.
+class ActiveSegment {
+ public:
+  explicit ActiveSegment(Schema schema, size_t chunk_tuples = 4096);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends one raw tuple and returns the new tuple count.
+  uint64_t Append(const uint8_t* raw_tuple);
+
+  /// Snapshot of everything appended so far.
+  ActiveView View() const;
+
+  /// Drops all tuples and starts a fresh chunk list (after a freeze).
+  /// Views taken earlier keep reading the old chunks.
+  void Reset();
+
+  uint64_t size() const;
+  uint64_t memory_bytes() const;
+
+ private:
+  const Schema schema_;
+  const size_t tuple_width_;
+  const size_t chunk_tuples_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<std::vector<uint8_t>>> chunks_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_WOS_SEGMENT_H_

@@ -1,0 +1,87 @@
+#ifndef RODB_TESTS_FUZZ_INGEST_FUZZ_H_
+#define RODB_TESTS_FUZZ_INGEST_FUZZ_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rodb::fuzz {
+
+/// Configuration of one continuous-ingest fuzz run. Like FuzzOptions,
+/// the run is a pure function of this struct: the same options replay
+/// the same schemas, batches, lifecycle schedules, injected faults and
+/// crash points, so any failure reproduces from the printed seed.
+struct IngestFuzzOptions {
+  uint64_t seed = 1;
+  int iterations = 50;
+  /// Lifecycle steps per iteration, drawn uniformly from this range.
+  /// Every step appends one batch and usually queries; freezes, merges,
+  /// faults and crashes are sprinkled between them.
+  int min_steps = 8;
+  int max_steps = 14;
+  /// Tuples per append batch, 1..max_batch.
+  uint32_t max_batch = 48;
+  /// Per-iteration progress lines.
+  bool verbose = false;
+  /// Where log output goes; null = silent.
+  std::ostream* out = nullptr;
+};
+
+/// What an ingest fuzz run did and found. `mismatches` counts every
+/// violated oracle/invariant/counter check -- it must be zero.
+struct IngestFuzzStats {
+  uint64_t iterations = 0;
+  /// Engine queries cross-checked against the append-log prefix oracle
+  /// (rows + order-independent digest; collected rows as multisets).
+  uint64_t queries = 0;
+  uint64_t appended_tuples = 0;
+  uint64_t batches = 0;           ///< Ingest RPC-shaped batches issued
+  uint64_t freezes = 0;           ///< segments successfully persisted
+  uint64_t merges = 0;            ///< successful (non-no-op) merges
+  uint64_t noop_merges = 0;       ///< merges with nothing to fold
+  /// Lifecycle faults armed at freeze.write / freeze.commit /
+  /// merge.read / merge.write / merge.commit that actually fired.
+  uint64_t injected_faults = 0;
+  uint64_t failed_freezes = 0;    ///< freezes the armed fault killed
+  uint64_t failed_merges = 0;     ///< merges the armed fault killed
+  /// Crash axis: engine torn down mid-schedule and reopened from the
+  /// manifest. Recovery must land exactly on the last committed
+  /// lifecycle state -- an append-order prefix -- with orphan segment /
+  /// generation files of the "crashed" lifecycle swept away.
+  uint64_t crash_recoveries = 0;
+  uint64_t recovered_tuples = 0;  ///< tuples visible after recoveries
+  uint64_t lost_tail_tuples = 0;  ///< volatile (active+sealed) tuples dropped
+  uint64_t orphans_swept = 0;     ///< planted orphan tables removed by Open
+  /// Iterations whose rodb.ingest.* counter deltas (appends, batches,
+  /// freezes, frozen_tuples, merges, merged_tuples, merge_failures,
+  /// snapshots, tables_retired + the frozen_segments gauge) reconciled
+  /// exactly against the model of the schedule.
+  uint64_t counter_checks = 0;
+  uint64_t mismatches = 0;        ///< MUST be zero
+  /// Order-sensitive digest of every appended tuple, query outcome and
+  /// lifecycle status. Two runs with equal options must produce equal
+  /// hashes.
+  uint64_t state_hash = 0;
+  std::vector<std::string> failures;
+};
+
+/// Runs `options.iterations` seeded ingest-lifecycle iterations. Each
+/// iteration draws a schema (int32 attributes, plain or bit-packed), a
+/// layout, a page size and a lifecycle schedule, then interleaves
+/// engine-level ingest batches, freezes, synchronous merges and
+/// snapshot queries, checking every result against the append-log
+/// prefix oracle and reconciling the process-wide rodb.ingest.*
+/// counters against an exact model of the schedule. Fault iterations
+/// additionally arm lifecycle fail points and crash/recover the store
+/// mid-schedule.
+///
+/// Returns an error Status only for harness-level problems; oracle and
+/// invariant violations are reported through mismatches / failures.
+Result<IngestFuzzStats> RunIngestFuzz(const IngestFuzzOptions& options);
+
+}  // namespace rodb::fuzz
+
+#endif  // RODB_TESTS_FUZZ_INGEST_FUZZ_H_

@@ -1,0 +1,80 @@
+// Bounded ctest entry points for the continuous-ingest fuzz axis. The
+// CLI (tools/rodb_fuzz.cc --ingest) runs open-ended campaigns; these
+// tests pin a small deterministic budget. RODB_INGEST_FUZZ_ITERS
+// overrides the budget, which is how CI runs the >= 200-iteration
+// acceptance campaign without a second binary.
+
+#include "ingest_fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace rodb::fuzz {
+namespace {
+
+int EnvIterations(int fallback) {
+  if (const char* env = std::getenv("RODB_INGEST_FUZZ_ITERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+TEST(IngestFuzzTest, LifecycleScheduleMatchesOracle) {
+  IngestFuzzOptions options;
+  options.seed = 1;
+  options.iterations = EnvIterations(40);
+  auto stats = RunIngestFuzz(options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (const std::string& failure : stats->failures) {
+    ADD_FAILURE() << failure;
+  }
+  EXPECT_EQ(stats->mismatches, 0u);
+  EXPECT_EQ(stats->iterations, static_cast<uint64_t>(options.iterations));
+  // Every iteration reconciled its rodb.ingest.* counter deltas.
+  EXPECT_EQ(stats->counter_checks, stats->iterations);
+  // The schedule actually exercised every axis: queries against the
+  // prefix oracle, successful lifecycle transitions, injected faults
+  // and crash recoveries (seed 1 covers all of them at 40 iterations).
+  EXPECT_GT(stats->queries, stats->iterations);
+  EXPECT_GT(stats->freezes, 0u);
+  EXPECT_GT(stats->merges, 0u);
+  EXPECT_GT(stats->injected_faults, 0u);
+  EXPECT_GT(stats->failed_freezes + stats->failed_merges, 0u);
+  EXPECT_GT(stats->crash_recoveries, 0u);
+  // Every crash swept its planted orphan -- recovery never resurrects
+  // files of an uncommitted freeze/merge.
+  EXPECT_EQ(stats->orphans_swept, stats->crash_recoveries);
+}
+
+TEST(IngestFuzzTest, SameSeedIsByteIdentical) {
+  IngestFuzzOptions options;
+  options.seed = 42;
+  options.iterations = 6;
+  auto first = RunIngestFuzz(options);
+  auto second = RunIngestFuzz(options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->mismatches, 0u);
+  EXPECT_EQ(second->mismatches, 0u);
+  EXPECT_EQ(first->state_hash, second->state_hash);
+  EXPECT_EQ(first->appended_tuples, second->appended_tuples);
+  EXPECT_EQ(first->injected_faults, second->injected_faults);
+  EXPECT_EQ(first->crash_recoveries, second->crash_recoveries);
+}
+
+TEST(IngestFuzzTest, DifferentSeedsDiverge) {
+  IngestFuzzOptions options;
+  options.iterations = 3;
+  options.seed = 7;
+  auto a = RunIngestFuzz(options);
+  options.seed = 8;
+  auto b = RunIngestFuzz(options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_NE(a->state_hash, b->state_hash);
+}
+
+}  // namespace
+}  // namespace rodb::fuzz

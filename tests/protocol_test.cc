@@ -117,6 +117,8 @@ TEST(ProtocolTest, QueryResultRoundTrip) {
   result.rows_collected = 2;
   result.row_data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
                      13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24};
+  result.snapshot_epoch = 17;
+  result.snapshot_tuples = 987654321;
 
   std::vector<uint8_t> wire = EncodeQueryResult(result);
   ASSERT_OK_AND_ASSIGN(QueryResult decoded,
@@ -145,6 +147,92 @@ TEST(ProtocolTest, QueryResultRoundTrip) {
   EXPECT_EQ(decoded.row_layout.tuple_width, result.row_layout.tuple_width);
   EXPECT_EQ(decoded.rows_collected, result.rows_collected);
   EXPECT_EQ(decoded.row_data, result.row_data);
+  EXPECT_EQ(decoded.snapshot_epoch, result.snapshot_epoch);
+  EXPECT_EQ(decoded.snapshot_tuples, result.snapshot_tuples);
+}
+
+// --- ingest frames ---
+
+TEST(ProtocolTest, IngestRequestRoundTrip) {
+  IngestRequest request;
+  request.table = "stream";
+  request.schema_text = "key int32 none\nval int32 bitpack:10\n";
+  request.layout = Layout::kPax;
+  request.sort_attr = 1;
+  request.count = 3;
+  request.data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                  13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24};
+  request.freeze = true;
+  request.merge = true;
+
+  std::vector<uint8_t> wire = EncodeIngestRequest(request);
+  ASSERT_OK_AND_ASSIGN(IngestRequest decoded,
+                       DecodeIngestRequest(wire.data(), wire.size()));
+  EXPECT_EQ(decoded.table, request.table);
+  EXPECT_EQ(decoded.schema_text, request.schema_text);
+  EXPECT_EQ(decoded.layout, request.layout);
+  EXPECT_EQ(decoded.sort_attr, request.sort_attr);
+  EXPECT_EQ(decoded.count, request.count);
+  EXPECT_EQ(decoded.data, request.data);
+  EXPECT_EQ(decoded.freeze, request.freeze);
+  EXPECT_EQ(decoded.merge, request.merge);
+}
+
+TEST(ProtocolTest, IngestResultRoundTrip) {
+  IngestResult result;
+  result.appended_total = 123456789;
+  result.epoch = 42;
+  result.frozen_segments = 7;
+  std::vector<uint8_t> wire = EncodeIngestResult(result);
+  ASSERT_OK_AND_ASSIGN(IngestResult decoded,
+                       DecodeIngestResult(wire.data(), wire.size()));
+  EXPECT_EQ(decoded.appended_total, result.appended_total);
+  EXPECT_EQ(decoded.epoch, result.epoch);
+  EXPECT_EQ(decoded.frozen_segments, result.frozen_segments);
+}
+
+TEST(ProtocolTest, IngestDecodeRejectsMalformedPayloads) {
+  IngestRequest request;
+  request.table = "t";
+  request.count = 1;
+  request.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<uint8_t> wire = EncodeIngestRequest(request);
+
+  // Truncations and trailing garbage are refused outright.
+  for (size_t cut : {wire.size() - 1, wire.size() / 2, size_t{3}}) {
+    EXPECT_FALSE(DecodeIngestRequest(wire.data(), cut).ok())
+        << "accepted an ingest request truncated to " << cut << " bytes";
+  }
+  {
+    std::vector<uint8_t> trailing = wire;
+    trailing.push_back(0);
+    EXPECT_FALSE(DecodeIngestRequest(trailing.data(), trailing.size()).ok())
+        << "accepted trailing garbage";
+  }
+
+  // The layout byte follows table (4+1) + empty schema_text (4).
+  {
+    std::vector<uint8_t> bad = wire;
+    bad[4 + 1 + 4] = static_cast<uint8_t>(Layout::kPax) + 1;
+    EXPECT_EQ(DecodeIngestRequest(bad.data(), bad.size()).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  // The data length (u64) sits just before the 8 data bytes; a length
+  // promising more bytes than the payload holds must be rejected.
+  {
+    std::vector<uint8_t> bad = wire;
+    bad[bad.size() - 8 - 8] = 200;
+    EXPECT_FALSE(DecodeIngestRequest(bad.data(), bad.size()).ok());
+  }
+
+  IngestResult result;
+  std::vector<uint8_t> result_wire = EncodeIngestResult(result);
+  EXPECT_FALSE(
+      DecodeIngestResult(result_wire.data(), result_wire.size() - 1).ok());
+  result_wire.push_back(0);
+  EXPECT_FALSE(
+      DecodeIngestResult(result_wire.data(), result_wire.size()).ok());
 }
 
 TEST(ProtocolTest, ErrorRoundTrip) {
@@ -296,9 +384,10 @@ TEST(ProtocolTest, DecodeRejectsLyingRowDataLength) {
   result.row_layout = BlockLayout::FromWidths({4});
   result.row_data = {1, 2, 3, 4};
   std::vector<uint8_t> wire = EncodeQueryResult(result);
-  // The row-data length (u64) sits just before the 4 data bytes; bump
-  // it so it promises more bytes than the payload holds.
-  const size_t len_offset = wire.size() - 4 - 8;
+  // The row-data length (u64) sits just before the 4 data bytes, which
+  // are followed by the two trailing snapshot u64s; bump it so it
+  // promises more bytes than the payload holds.
+  const size_t len_offset = wire.size() - 16 - 4 - 8;
   wire[len_offset] = 200;
   EXPECT_FALSE(DecodeQueryResult(wire.data(), wire.size()).ok());
 }

@@ -533,6 +533,80 @@ TEST_F(ServerTest, SocketEndToEnd) {
   EXPECT_EQ(server.active_connections(), 0u);
 }
 
+TEST_F(ServerTest, SocketIngestEndToEnd) {
+  QueryServer server(dir_.path());
+  ASSERT_OK(server.Start());
+  QueryClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server.port()));
+
+  ASSERT_OK_AND_ASSIGN(Schema schema, TestSchema());
+  std::string schema_text;
+  schema.AppendTo(&schema_text);
+
+  const auto batch_bytes = [&](uint64_t first, uint64_t count) {
+    std::vector<uint8_t> bytes;
+    for (const auto& tuple : TestTuples(first + count)) {
+      if (first > 0) {
+        --first;
+        continue;
+      }
+      bytes.insert(bytes.end(), tuple.begin(), tuple.end());
+    }
+    return bytes;
+  };
+
+  // First batch carries the schema and attaches the ingest lifecycle.
+  IngestRequest batch;
+  batch.table = "events";
+  batch.schema_text = schema_text;
+  batch.layout = Layout::kColumn;
+  batch.count = 300;
+  batch.data = batch_bytes(0, 300);
+  ASSERT_OK_AND_ASSIGN(IngestResult first, client.Ingest(batch));
+  EXPECT_EQ(first.appended_total, 300u);
+  EXPECT_EQ(first.epoch, 0u);  // nothing frozen yet
+
+  // Second batch: already attached, freeze afterwards (epoch commits).
+  batch.schema_text.clear();
+  batch.count = 200;
+  batch.data = batch_bytes(300, 200);
+  batch.freeze = true;
+  ASSERT_OK_AND_ASSIGN(IngestResult second, client.Ingest(batch));
+  EXPECT_EQ(second.appended_total, 500u);
+  EXPECT_GE(second.epoch, 1u);
+  EXPECT_GE(second.frozen_segments, 1u);
+
+  // Remote snapshot query sees exactly the append-order prefix.
+  QueryRequest query;
+  query.table = "events";
+  query.predicates = {Predicate::Int32(1, CompareOp::kLt, 100)};
+  ASSERT_OK_AND_ASSIGN(QueryResult remote, client.Execute(query));
+  EXPECT_EQ(remote.snapshot_tuples, 500u);
+  ASSERT_OK_AND_ASSIGN(QueryResult local, server.engine().Execute(query));
+  EXPECT_EQ(remote.rows, local.rows);
+  EXPECT_EQ(remote.row_digest, local.row_digest);
+
+  // A malformed batch (count/data mismatch) is a clean error frame and
+  // the connection survives it.
+  IngestRequest bad;
+  bad.table = "events";
+  bad.count = 7;
+  bad.data = {1, 2, 3};
+  EXPECT_FALSE(client.Ingest(bad).ok());
+  ASSERT_OK_AND_ASSIGN(IngestResult alive,
+                       client.Ingest([&] {
+                         IngestRequest more;
+                         more.table = "events";
+                         more.count = 100;
+                         more.data = batch_bytes(0, 100);
+                         return more;
+                       }()));
+  EXPECT_EQ(alive.appended_total, 600u);
+
+  client.Close();
+  server.Stop();
+}
+
 TEST_F(ServerTest, SocketManyConcurrentClients) {
   QueryServer server(dir_.path());
   ASSERT_OK(server.Start());

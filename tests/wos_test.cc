@@ -141,6 +141,40 @@ TEST(MergeTest, SchemaMismatchRejected) {
           .ok());
 }
 
+TEST(MergeTest, FailedMergeKeepsWosIntact) {
+  // Regression test for the clear-before-durable window: a merge that
+  // dies anywhere before the new table is durably committed must leave
+  // the WOS contents untouched, so a retry can run from the same state.
+  TempDir dir;
+  WriteStore wos(TwoIntSchema());
+  for (int i = 0; i < 100; ++i) ASSERT_OK(wos.Insert(Row(i, i).data()));
+  MergeOptions options;
+  ASSERT_OK(MergeIntoReadStore(dir.path(), "", "g1", &wos, options).status());
+  for (int i = 100; i < 150; ++i) ASSERT_OK(wos.Insert(Row(i, i).data()));
+
+  for (const char* point : {"merge.finish", "merge.commit"}) {
+    options.fail_point = [point](std::string_view at) {
+      return at == point ? Status::IoError("injected") : Status::OK();
+    };
+    EXPECT_FALSE(
+        MergeIntoReadStore(dir.path(), "g1", "g2", &wos, options).ok());
+    // The buffered tuples survive the failed merge (sorted, not lost).
+    EXPECT_EQ(wos.size(), 50u);
+    // And the previous generation is still fully readable.
+    ASSERT_OK_AND_ASSIGN(OpenTable g1, OpenTable::Open(dir.path(), "g1"));
+    ASSERT_OK_AND_ASSIGN(auto tuples, ReadAllTuples(g1));
+    EXPECT_EQ(tuples.size(), 100u);
+  }
+
+  // With the injection gone the same WOS merges cleanly.
+  options.fail_point = nullptr;
+  ASSERT_OK_AND_ASSIGN(
+      TableMeta merged,
+      MergeIntoReadStore(dir.path(), "g1", "g3", &wos, options));
+  EXPECT_EQ(merged.num_tuples, 150u);
+  EXPECT_TRUE(wos.empty());
+}
+
 TEST(MergeTest, CompressedReadStoreRoundTrips) {
   TempDir dir;
   auto schema = Schema::Make(

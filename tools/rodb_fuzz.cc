@@ -1,22 +1,33 @@
 // Standalone driver for the differential fuzz harness (tests/fuzz/).
 //
-// Per iteration: generate a random schema / codec assignment / dataset /
-// query, materialize it as row, column and PAX tables (compressed and
-// uncompressed), and cross-check every scanner x {serial, parallel} x
-// {clean I/O, fault-injected I/O} against the reference oracle, plus the
-// resilience axis: retry-healed transient faults (with an exact
-// injected-vs-retried ledger), cancelled and deadlined contexts. Exit
-// status 0 means zero mismatches; any failure reproduces from --seed.
+// Default mode, per iteration: generate a random schema / codec
+// assignment / dataset / query, materialize it as row, column and PAX
+// tables (compressed and uncompressed), and cross-check every scanner x
+// {serial, parallel} x {clean I/O, fault-injected I/O} against the
+// reference oracle, plus the resilience axis: retry-healed transient
+// faults (with an exact injected-vs-retried ledger), cancelled and
+// deadlined contexts.
+//
+// --ingest switches to the continuous-ingest axis: seeded lifecycle
+// schedules (append batches, freezes, synchronous merges, injected
+// lifecycle faults, mid-schedule crash + recovery) cross-checked
+// against the append-log prefix oracle, with exact rodb.ingest.*
+// counter reconciliation per iteration.
+//
+// Exit status 0 means zero mismatches; any failure reproduces from
+// --seed.
 //
 //   rodb_fuzz --iterations=200 --seed=1
-//   rodb_fuzz --iterations=50 --seed=7 --parallelism=4 --verbose
+//   rodb_fuzz --ingest --iterations=500 --seed=3 --verbose
 
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "fuzz_harness.h"
+#include "ingest_fuzz.h"
 
 namespace {
 
@@ -44,55 +55,84 @@ bool ParseU64(const std::string& value, uint64_t* out) {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--iterations=N] [--seed=N] [--parallelism=N]\n"
-               "       [--min-tuples=N] [--max-tuples=N] [--verbose]\n";
+               "       [--min-tuples=N] [--max-tuples=N] [--verbose]\n"
+               "       [--ingest [--max-batch=N]]\n";
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  rodb::fuzz::FuzzOptions options;
-  options.out = &std::cout;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string value;
-    uint64_t n = 0;
-    if (ParseFlag(arg, "iterations", &value) && ParseU64(value, &n)) {
-      options.iterations = static_cast<int>(n);
-    } else if (ParseFlag(arg, "seed", &value) && ParseU64(value, &n)) {
-      options.seed = n;
-    } else if (ParseFlag(arg, "parallelism", &value) && ParseU64(value, &n)) {
-      options.parallelism = static_cast<int>(n);
-    } else if (ParseFlag(arg, "min-tuples", &value) && ParseU64(value, &n)) {
-      options.min_tuples = static_cast<uint32_t>(n);
-    } else if (ParseFlag(arg, "max-tuples", &value) && ParseU64(value, &n)) {
-      options.max_tuples = static_cast<uint32_t>(n);
-    } else if (arg == "--verbose") {
-      options.verbose = true;
-    } else {
-      return Usage(argv[0]);
-    }
-  }
-  std::cout << "rodb_fuzz: seed=" << options.seed
-            << " iterations=" << options.iterations
-            << " parallelism=" << options.parallelism << " tuples=["
-            << options.min_tuples << "," << options.max_tuples << "]\n";
-
-  auto stats = rodb::fuzz::RunFuzz(options);
-  if (!stats.ok()) {
-    std::cerr << "harness error: " << stats.status().ToString() << "\n";
-    return 2;
-  }
-  std::cout << "state_hash=" << stats->state_hash << "\n";
-  if (stats->mismatches != 0) {
-    std::cerr << stats->mismatches
-              << " mismatches; reproduce with --seed=" << options.seed
+int Report(uint64_t mismatches, const std::vector<std::string>& failures,
+           uint64_t state_hash, uint64_t seed) {
+  std::cout << "state_hash=" << state_hash << "\n";
+  if (mismatches != 0) {
+    std::cerr << mismatches << " mismatches; reproduce with --seed=" << seed
               << "\n";
-    for (const std::string& failure : stats->failures) {
+    for (const std::string& failure : failures) {
       std::cerr << "  " << failure << "\n";
     }
     return 1;
   }
   std::cout << "OK\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rodb::fuzz::FuzzOptions options;
+  rodb::fuzz::IngestFuzzOptions ingest_options;
+  bool ingest = false;
+  options.out = &std::cout;
+  ingest_options.out = &std::cout;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    uint64_t n = 0;
+    if (ParseFlag(arg, "iterations", &value) && ParseU64(value, &n)) {
+      options.iterations = static_cast<int>(n);
+      ingest_options.iterations = static_cast<int>(n);
+    } else if (ParseFlag(arg, "seed", &value) && ParseU64(value, &n)) {
+      options.seed = n;
+      ingest_options.seed = n;
+    } else if (ParseFlag(arg, "parallelism", &value) && ParseU64(value, &n)) {
+      options.parallelism = static_cast<int>(n);
+    } else if (ParseFlag(arg, "min-tuples", &value) && ParseU64(value, &n)) {
+      options.min_tuples = static_cast<uint32_t>(n);
+    } else if (ParseFlag(arg, "max-tuples", &value) && ParseU64(value, &n)) {
+      options.max_tuples = static_cast<uint32_t>(n);
+    } else if (ParseFlag(arg, "max-batch", &value) && ParseU64(value, &n)) {
+      ingest_options.max_batch = static_cast<uint32_t>(n);
+    } else if (arg == "--ingest") {
+      ingest = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+      ingest_options.verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (ingest) {
+    std::cout << "rodb_fuzz --ingest: seed=" << ingest_options.seed
+              << " iterations=" << ingest_options.iterations
+              << " max-batch=" << ingest_options.max_batch << "\n";
+    auto stats = rodb::fuzz::RunIngestFuzz(ingest_options);
+    if (!stats.ok()) {
+      std::cerr << "harness error: " << stats.status().ToString() << "\n";
+      return 2;
+    }
+    return Report(stats->mismatches, stats->failures, stats->state_hash,
+                  ingest_options.seed);
+  }
+
+  std::cout << "rodb_fuzz: seed=" << options.seed
+            << " iterations=" << options.iterations
+            << " parallelism=" << options.parallelism << " tuples=["
+            << options.min_tuples << "," << options.max_tuples << "]\n";
+  auto stats = rodb::fuzz::RunFuzz(options);
+  if (!stats.ok()) {
+    std::cerr << "harness error: " << stats.status().ToString() << "\n";
+    return 2;
+  }
+  return Report(stats->mismatches, stats->failures, stats->state_hash,
+                options.seed);
 }

@@ -22,6 +22,15 @@
 //       execution mode (default auto = join the circulating scan).
 //   rodbctl advise <dir> <table>
 //       run the compression advisor over a sample of the stored data
+//   rodbctl ingest <dir> <table> [csv] --schema=SPEC [--batch=N] [--rate=N]
+//   rodbctl ingest --connect HOST:PORT <table> [csv] --schema=SPEC ...
+//       stream CSV rows (file, or stdin when omitted/"-") into a
+//       continuous-ingest table, batched and optionally rate-limited,
+//       either through the embedded engine or against a running
+//       rodb_server over kIngest frames. SPEC is comma-separated
+//       name:int32 / name:textN attributes; --freeze-every=N freezes
+//       after every Nth batch, --merge triggers a background merge with
+//       the final batch.
 
 #include <algorithm>
 #include <chrono>
@@ -29,8 +38,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "advisor/compression_advisor.h"
@@ -49,6 +62,8 @@
 #include "storage/catalog.h"
 #include "storage/database.h"
 #include "storage/table_files.h"
+#include "wos/ingest_store.h"
+#include "wos/manifest.h"
 #include "wos/merge.h"
 
 using namespace rodb;  // NOLINT
@@ -228,7 +243,27 @@ Status CmdScan(const std::string& dir, const std::string& name,
                const char* where_value, int cache_mb, bool trace,
                bool no_prune, const ResilienceFlags& resilience) {
   RODB_ASSIGN_OR_RETURN(Database db, Database::Open(dir));
-  RODB_ASSIGN_OR_RETURN(TableMeta meta, db.Meta(name));
+  // An ingest table is a manifest, not a catalog entry; recover its
+  // schema from a persisted part (the manifest stores names only) and
+  // attach the lifecycle so Execute reads an epoch-pinned snapshot.
+  const bool is_ingest = IngestManifestExists(dir, name);
+  TableMeta meta;
+  if (is_ingest) {
+    RODB_ASSIGN_OR_RETURN(IngestManifest manifest,
+                          LoadIngestManifest(dir, name));
+    const std::string source = !manifest.ros_table.empty()
+                                   ? manifest.ros_table
+                                   : (!manifest.frozen.empty()
+                                          ? manifest.frozen.front()
+                                          : "");
+    if (source.empty()) {
+      return Status::NotFound("ingest table '" + name +
+                              "' has no persisted segments yet");
+    }
+    RODB_ASSIGN_OR_RETURN(meta, db.Meta(source));
+  } else {
+    RODB_ASSIGN_OR_RETURN(meta, db.Meta(name));
+  }
   const Schema& schema = meta.schema;
 
   EngineOptions engine_options;
@@ -240,6 +275,11 @@ Status CmdScan(const std::string& dir, const std::string& name,
         static_cast<uint64_t>(resilience.mem_budget_mb) << 20;
   }
   db.ConfigureEngine(engine_options);
+  if (is_ingest) {
+    IngestOptions ingest_options;
+    ingest_options.layout = meta.layout;
+    RODB_RETURN_IF_ERROR(db.EnsureIngest(name, schema, ingest_options));
+  }
 
   QueryRequest request;
   request.table = name;
@@ -315,6 +355,12 @@ Status CmdScan(const std::string& dir, const std::string& name,
                   static_cast<unsigned long long>(cc.pages_retained),
                   static_cast<unsigned long long>(cc.prune_zone_rejects),
                   static_cast<unsigned long long>(cc.synopsis_corrupt));
+    }
+    if (is_ingest) {
+      // The physics model wants one physical table; a snapshot spans
+      // ROS + segments + the in-memory tail.
+      std::printf("\nmodel comparison unavailable for ingest tables\n");
+      return Status::OK();
     }
     // The model comparison predicts from the physical table + spec; the
     // handle here is display-only (the engine keeps its own).
@@ -437,6 +483,170 @@ Status CmdQuery(const std::string& endpoint, const std::string& table,
   return Status::OK();
 }
 
+/// Parses "--schema=id:int32,name:text12" into a Schema.
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<AttributeDesc> attrs;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string field = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (field.empty()) continue;
+    const size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("schema field needs name:type -- " +
+                                     field);
+    }
+    const std::string name = field.substr(0, colon);
+    const std::string type = field.substr(colon + 1);
+    if (type == "int32") {
+      attrs.push_back(AttributeDesc::Int32(name));
+    } else if (type.rfind("text", 0) == 0) {
+      const int width = std::atoi(type.c_str() + 4);
+      if (width <= 0) {
+        return Status::InvalidArgument("bad text width in " + field);
+      }
+      attrs.push_back(AttributeDesc::Text(name, width));
+    } else {
+      return Status::InvalidArgument("unknown attribute type " + type +
+                                     " (int32 or textN)");
+    }
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+/// Encodes one CSV line as a raw tuple of `schema`. Fields are comma
+/// separated, positional, unquoted; text is zero-padded/truncated to
+/// the attribute width.
+Status EncodeCsvTuple(const Schema& schema, const std::string& line,
+                      uint64_t line_no, uint8_t* out) {
+  size_t start = 0;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (start > line.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(schema.num_attributes()) + " fields");
+    }
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) comma = line.size();
+    const AttributeDesc& attr = schema.attribute(a);
+    uint8_t* dst = out + schema.attr_offset(a);
+    if (attr.type == AttrType::kInt32) {
+      char* end = nullptr;
+      const long value = std::strtol(line.c_str() + start, &end, 10);
+      if (end == line.c_str() + start) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad int32 in field " +
+                                       std::to_string(a + 1));
+      }
+      StoreLE32s(dst, static_cast<int32_t>(value));
+    } else {
+      const size_t len = std::min(comma - start,
+                                  static_cast<size_t>(attr.width));
+      std::memcpy(dst, line.data() + start, len);
+      std::memset(dst + len, 0, static_cast<size_t>(attr.width) - len);
+    }
+    start = comma + 1;
+  }
+  return Status::OK();
+}
+
+/// Batch/rate/freeze knobs of `rodbctl ingest`.
+struct IngestFlags {
+  std::string schema_spec;
+  uint64_t batch = 1024;
+  uint64_t rate = 0;          ///< tuples/sec; 0 = unthrottled
+  uint64_t freeze_every = 0;  ///< freeze after every Nth batch; 0 = never
+  bool merge_at_end = false;
+  int sort_attr = 0;
+  Layout layout = Layout::kRow;
+};
+
+/// Streams CSV tuples from `in` through `sink` (the embedded engine or
+/// a connected server -- both speak IngestRequest).
+Status RunIngest(
+    const std::string& table, const IngestFlags& flags, std::istream& in,
+    const std::function<Result<IngestResult>(const IngestRequest&)>& sink) {
+  if (flags.schema_spec.empty()) {
+    return Status::InvalidArgument("ingest needs --schema=name:type,...");
+  }
+  RODB_ASSIGN_OR_RETURN(Schema schema, ParseSchemaSpec(flags.schema_spec));
+  const size_t width = static_cast<size_t>(schema.raw_tuple_width());
+  if (flags.sort_attr < 0 ||
+      static_cast<size_t>(flags.sort_attr) >= schema.num_attributes() ||
+      schema.attribute(static_cast<size_t>(flags.sort_attr)).type !=
+          AttrType::kInt32) {
+    return Status::InvalidArgument("--sort-attr must name an int32 attribute");
+  }
+
+  IngestRequest request;
+  request.table = table;
+  schema.AppendTo(&request.schema_text);  // attach on the first batch
+  request.layout = flags.layout;
+  request.sort_attr = flags.sort_attr;
+
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t tuples = 0, batches = 0, line_no = 0;
+  IngestResult last;
+  bool done = false;
+  std::string line;
+  while (!done) {
+    request.count = 0;
+    request.data.clear();
+    while (request.count < flags.batch) {
+      if (!std::getline(in, line)) {
+        done = true;
+        break;
+      }
+      ++line_no;
+      if (line.empty()) continue;
+      request.data.resize(request.data.size() + width);
+      RODB_RETURN_IF_ERROR(EncodeCsvTuple(
+          schema, line, line_no, request.data.data() + request.count * width));
+      ++request.count;
+    }
+    if (request.count == 0) break;
+    ++batches;
+    request.freeze =
+        flags.freeze_every > 0 && batches % flags.freeze_every == 0;
+    RODB_ASSIGN_OR_RETURN(last, sink(request));
+    request.schema_text.clear();
+    tuples += request.count;
+    if (flags.rate > 0) {
+      // Closed-loop throttle: sleep until the sent total matches the
+      // target rate.
+      const auto due = start + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(
+                                       static_cast<double>(tuples) /
+                                       static_cast<double>(flags.rate)));
+      std::this_thread::sleep_until(due);
+    }
+  }
+  if (flags.merge_at_end && batches > 0) {
+    // A zero-count batch is a pure lifecycle nudge: nothing appends,
+    // the merge flag starts the background fold.
+    request.count = 0;
+    request.data.clear();
+    request.freeze = false;
+    request.merge = true;
+    RODB_ASSIGN_OR_RETURN(last, sink(request));
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("%llu tuples in %llu batches (%.0f tuples/s); "
+              "table total %llu, epoch %llu, %llu frozen segments\n",
+              static_cast<unsigned long long>(tuples),
+              static_cast<unsigned long long>(batches),
+              seconds > 0 ? static_cast<double>(tuples) / seconds : 0.0,
+              static_cast<unsigned long long>(last.appended_total),
+              static_cast<unsigned long long>(last.epoch),
+              static_cast<unsigned long long>(last.frozen_segments));
+  return Status::OK();
+}
+
 Status CmdAdvise(const std::string& dir, const std::string& name) {
   RODB_ASSIGN_OR_RETURN(OpenTable table, OpenTable::Open(dir, name));
   RODB_ASSIGN_OR_RETURN(auto tuples, ReadAllTuples(table));
@@ -475,7 +685,15 @@ void Usage() {
                "  rodbctl query --connect HOST:PORT <table>"
                " [limit [attr-index op value]]\n"
                "              [--shared|--exclusive]\n"
-               "  rodbctl advise <dir> <table>\n");
+               "  rodbctl advise <dir> <table>\n"
+               "  rodbctl ingest <dir> <table> [csv|-]"
+               " --schema=name:int32,name:textN,...\n"
+               "              [--batch=N] [--rate=TUPLES_PER_SEC]"
+               " [--freeze-every=BATCHES]\n"
+               "              [--merge] [--layout=row|column|pax]"
+               " [--sort-attr=N]\n"
+               "  rodbctl ingest --connect HOST:PORT <table> [csv|-]"
+               " --schema=... [...]\n");
 }
 
 }  // namespace
@@ -514,6 +732,93 @@ int main(int argc, char** argv) {
     const char* op = pos.size() > 4 ? pos[3] : nullptr;
     const char* value = pos.size() > 4 ? pos[4] : nullptr;
     const Status s = CmdQuery(endpoint, table, limit, attr, op, value, mode);
+    return s.ok() ? 0 : Fail(s);
+  }
+  if (cmd == "ingest") {
+    std::string endpoint;
+    IngestFlags flags;
+    std::vector<const char*> pos;
+    for (int i = 2; i < argc; ++i) {
+      std::string value;
+      if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+        endpoint = argv[i] + 10;
+      } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+        endpoint = argv[++i];
+      } else if (std::strncmp(argv[i], "--schema=", 9) == 0) {
+        flags.schema_spec = argv[i] + 9;
+      } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+        flags.batch = static_cast<uint64_t>(std::atoll(argv[i] + 8));
+      } else if (std::strncmp(argv[i], "--rate=", 7) == 0) {
+        flags.rate = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+      } else if (std::strncmp(argv[i], "--freeze-every=", 15) == 0) {
+        flags.freeze_every = static_cast<uint64_t>(std::atoll(argv[i] + 15));
+      } else if (std::strcmp(argv[i], "--merge") == 0) {
+        flags.merge_at_end = true;
+      } else if (std::strncmp(argv[i], "--sort-attr=", 12) == 0) {
+        flags.sort_attr = std::atoi(argv[i] + 12);
+      } else if (std::strncmp(argv[i], "--layout=", 9) == 0) {
+        const std::string layout = argv[i] + 9;
+        if (layout == "row") {
+          flags.layout = Layout::kRow;
+        } else if (layout == "column") {
+          flags.layout = Layout::kColumn;
+        } else if (layout == "pax") {
+          flags.layout = Layout::kPax;
+        } else {
+          return Fail(Status::InvalidArgument("bad --layout " + layout));
+        }
+      } else {
+        pos.push_back(argv[i]);
+      }
+    }
+    if (flags.batch == 0) {
+      return Fail(Status::InvalidArgument("--batch must be positive"));
+    }
+    // Embedded form: <dir> <table> [csv]. Remote: <table> [csv].
+    const size_t min_pos = endpoint.empty() ? 2 : 1;
+    if (pos.size() < min_pos || pos.size() > min_pos + 1) {
+      Usage();
+      return 2;
+    }
+    const std::string table = pos[min_pos - 1];
+    const char* csv = pos.size() > min_pos ? pos[min_pos] : nullptr;
+    std::ifstream file;
+    if (csv != nullptr && std::strcmp(csv, "-") != 0) {
+      file.open(csv);
+      if (!file.is_open()) {
+        return Fail(Status::IoError(std::string("cannot open ") + csv));
+      }
+    }
+    std::istream& in = file.is_open() ? file : std::cin;
+
+    Status s;
+    if (endpoint.empty()) {
+      const std::string ingest_dir = pos[0];
+      std::error_code ec;
+      std::filesystem::create_directories(ingest_dir, ec);
+      auto db = Database::Open(ingest_dir);
+      if (!db.ok()) return Fail(db.status());
+      s = RunIngest(table, flags, in, [&](const IngestRequest& request) {
+        return db->Ingest(request);
+      });
+      // An embedded --merge runs in the background; the engine teardown
+      // below waits for it, so the generation is committed on exit.
+      db->ConfigureEngine(EngineOptions());
+    } else {
+      const size_t colon = endpoint.rfind(':');
+      const int port =
+          colon == std::string::npos ? 0 : std::atoi(endpoint.c_str() + colon + 1);
+      if (colon == std::string::npos || port <= 0 || port > 65535) {
+        return Fail(Status::InvalidArgument("--connect expects HOST:PORT"));
+      }
+      QueryClient client;
+      const Status connected =
+          client.Connect(endpoint.substr(0, colon), port);
+      if (!connected.ok()) return Fail(connected);
+      s = RunIngest(table, flags, in, [&](const IngestRequest& request) {
+        return client.Ingest(request);
+      });
+    }
     return s.ok() ? 0 : Fail(s);
   }
   const std::string dir = argv[2];

@@ -29,11 +29,15 @@ FUZZ_ITERATIONS="${2:-200}"
 # the whole matrix under injected faults; zone_map_test's parallel
 # checksum cases race morsel workers over prune-filtered page ranges.
 # server_test races circulating-scan attach/detach handshakes, engine
-# shutdown and socket connection threads.
+# shutdown and socket connection threads. The ingest suites race
+# appends/freezes/background merges against epoch-pinned snapshot
+# acquisition and lease retirement (snapshot_consistency_test's
+# threaded schedules, ingest_fuzz_test's lifecycle sweeps).
 TSAN_TESTS=(parallel_executor_test scanner_equivalence_test
             block_cache_test fuzz_test obs_test
             resilience_test retry_backend_test admission_test
-            robustness_sweep_test zone_map_test server_test)
+            robustness_sweep_test zone_map_test server_test
+            snapshot_consistency_test ingest_fuzz_test)
 
 status=0
 
@@ -49,6 +53,11 @@ run_fuzz() {
   local build_dir="$1" label="$2"
   echo "=== $label: rodb_fuzz --iterations=$FUZZ_ITERATIONS --seed=1 ==="
   if ! "$build_dir/tools/rodb_fuzz" --iterations="$FUZZ_ITERATIONS" --seed=1; then
+    status=1
+  fi
+  echo "=== $label: rodb_fuzz --ingest --iterations=$FUZZ_ITERATIONS --seed=1 ==="
+  if ! "$build_dir/tools/rodb_fuzz" --ingest \
+       --iterations="$FUZZ_ITERATIONS" --seed=1; then
     status=1
   fi
 }

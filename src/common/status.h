@@ -24,6 +24,10 @@ enum class StatusCode : uint8_t {
   kCancelled,
   /// The query ran past its deadline (QueryContext deadline).
   kDeadlineExceeded,
+  /// The service is shutting down or draining and refuses new work.
+  /// Unlike kResourceExhausted this is not retryable against the same
+  /// endpoint: clients should fail over or surface the error.
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode ("Ok", "IoError", ...).
@@ -90,6 +94,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -108,6 +115,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   /// See rodb::IsTransient(StatusCode).
   bool IsTransient() const { return ::rodb::IsTransient(code_); }
 

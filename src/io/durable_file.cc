@@ -1,0 +1,240 @@
+#include "io/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "io/sync_point.h"
+
+namespace rodb {
+namespace {
+
+FsyncLevel LevelFromEnvironment() {
+  if (const char* p = std::getenv("RODB_PARANOID_FSYNC")) {
+    std::string v(p);
+    if (v == "1" || v == "ON" || v == "on" || v == "true") {
+      return FsyncLevel::kParanoid;
+    }
+  }
+  if (const char* p = std::getenv("RODB_FSYNC")) {
+    std::string v(p);
+    if (v == "off" || v == "none" || v == "0") return FsyncLevel::kNone;
+    if (v == "paranoid") return FsyncLevel::kParanoid;
+  }
+  return FsyncLevel::kCommit;
+}
+
+std::atomic<int>& LevelSlot() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnvironment())};
+  return level;
+}
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+std::string ParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+class PosixDurableFile : public DurableFile {
+ public:
+  PosixDurableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixDurableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t size) override {
+    if (fd_ < 0) return Status::IoError("append on closed file " + path_);
+    RODB_RETURN_IF_ERROR(SyncPoint::Hit("durable.append", path_));
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+      ssize_t n = ::write(fd_, p, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("write", path_));
+      }
+      p += n;
+      size -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError("sync on closed file " + path_);
+    RODB_RETURN_IF_ERROR(SyncPoint::Hit("durable.sync", path_));
+    auto start = std::chrono::steady_clock::now();
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(ErrnoMessage("fsync", path_));
+    }
+    auto& m = DurabilityMetrics::Get();
+    m.syncs->Increment();
+    m.sync_micros->Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Status::IoError(ErrnoMessage("close", path_));
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixDurableEnv : public DurableEnv {
+ public:
+  Result<std::unique_ptr<DurableFile>> Create(const std::string& path) override {
+    RODB_RETURN_IF_ERROR(SyncPoint::Hit("durable.create", path));
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+    return {std::make_unique<PosixDurableFile>(fd, path)};
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    RODB_RETURN_IF_ERROR(SyncPoint::Hit("durable.rename", from));
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(ErrnoMessage("rename", from + " -> " + to));
+    }
+    DurabilityMetrics::Get().renames->Increment();
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    RODB_RETURN_IF_ERROR(SyncPoint::Hit("durable.sync_dir", dir));
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open dir", dir));
+    auto start = std::chrono::steady_clock::now();
+    int rc = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (rc != 0) {
+      errno = saved;
+      return Status::IoError(ErrnoMessage("fsync dir", dir));
+    }
+    auto& m = DurabilityMetrics::Get();
+    m.dir_syncs->Increment();
+    m.sync_micros->Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    RODB_RETURN_IF_ERROR(SyncPoint::Hit("durable.remove", path));
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError(ErrnoMessage("unlink", path));
+    }
+    return Status::OK();
+  }
+};
+
+std::atomic<DurableEnv*>& DefaultSlot() {
+  static std::atomic<DurableEnv*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+FsyncLevel GetFsyncLevel() {
+  return static_cast<FsyncLevel>(LevelSlot().load(std::memory_order_relaxed));
+}
+
+void SetFsyncLevel(FsyncLevel level) {
+  LevelSlot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool FsyncAt(FsyncLevel threshold) {
+  return static_cast<int>(GetFsyncLevel()) >= static_cast<int>(threshold);
+}
+
+DurabilityMetrics& DurabilityMetrics::Get() {
+  static DurabilityMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    DurabilityMetrics metrics;
+    metrics.syncs = reg.GetCounter("rodb.durability.syncs");
+    metrics.dir_syncs = reg.GetCounter("rodb.durability.dir_syncs");
+    metrics.sync_micros = reg.GetCounter("rodb.durability.sync_micros");
+    metrics.renames = reg.GetCounter("rodb.durability.renames");
+    metrics.torn_pages_detected =
+        reg.GetCounter("rodb.durability.torn_pages_detected");
+    metrics.recovery_sweeps = reg.GetCounter("rodb.durability.recovery_sweeps");
+    metrics.tmp_files_swept = reg.GetCounter("rodb.durability.tmp_files_swept");
+    return metrics;
+  }();
+  return m;
+}
+
+DurableEnv* DurableEnv::Posix() {
+  static PosixDurableEnv env;
+  return &env;
+}
+
+DurableEnv* DurableEnv::Default() {
+  DurableEnv* env = DefaultSlot().load(std::memory_order_acquire);
+  return env != nullptr ? env : Posix();
+}
+
+DurableEnv* DurableEnv::SetDefault(DurableEnv* env) {
+  DurableEnv* prev = DefaultSlot().exchange(env, std::memory_order_acq_rel);
+  return prev != nullptr ? prev : Posix();
+}
+
+Status DurableWriteFile(const std::string& path, std::string_view data,
+                        DurableEnv* env) {
+  if (env == nullptr) env = DurableEnv::Default();
+  RODB_ASSIGN_OR_RETURN(auto file, env->Create(path));
+  Status status = file->Append(data);
+  if (status.ok() && FsyncAt(FsyncLevel::kCommit)) status = file->Sync();
+  Status close_status = file->Close();
+  if (status.ok()) status = close_status;
+  if (!status.ok()) {
+    env->Remove(path);
+    return status;
+  }
+  if (FsyncAt(FsyncLevel::kParanoid)) {
+    RODB_RETURN_IF_ERROR(env->SyncDir(ParentDir(path)));
+  }
+  return Status::OK();
+}
+
+Status AtomicPublishFile(const std::string& path, std::string_view data,
+                         DurableEnv* env) {
+  if (env == nullptr) env = DurableEnv::Default();
+  const std::string tmp = path + ".tmp";
+  RODB_ASSIGN_OR_RETURN(auto file, env->Create(tmp));
+  Status status = file->Append(data);
+  if (status.ok() && FsyncAt(FsyncLevel::kCommit)) status = file->Sync();
+  Status close_status = file->Close();
+  if (status.ok()) status = close_status;
+  if (status.ok()) status = env->Rename(tmp, path);
+  if (!status.ok()) {
+    env->Remove(tmp);
+    return status;
+  }
+  if (FsyncAt(FsyncLevel::kCommit)) {
+    RODB_RETURN_IF_ERROR(env->SyncDir(ParentDir(path)));
+  }
+  return Status::OK();
+}
+
+}  // namespace rodb

@@ -1,0 +1,109 @@
+#ifndef RODB_IO_DURABLE_FILE_H_
+#define RODB_IO_DURABLE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace rodb {
+
+/// How aggressively the write path syncs. The commit protocol (write →
+/// fsync file → rename → fsync parent dir) only holds at kCommit and
+/// above; kNone keeps the pre-durability behaviour (page-cache writes,
+/// no syncs) for benchmarks and throwaway datasets.
+enum class FsyncLevel : int {
+  /// Never fsync. Crash durability is whatever the OS page cache gives.
+  kNone = 0,
+  /// Sync at commit points: data files once at Finish(), sidecars once
+  /// after write, manifests/metas via tmp-fsync-rename-dirsync. Default.
+  kCommit = 1,
+  /// Additionally sync after every page flush and sync the directory
+  /// after every file create. RODB_PARANOID_FSYNC=1 selects this.
+  kParanoid = 2,
+};
+
+/// Process-wide level. Initialized once from the environment
+/// (RODB_FSYNC=off|commit|paranoid, RODB_PARANOID_FSYNC=1/ON), then
+/// adjustable by tests/tools.
+FsyncLevel GetFsyncLevel();
+void SetFsyncLevel(FsyncLevel level);
+/// True when the current level is at least `threshold`.
+bool FsyncAt(FsyncLevel threshold);
+
+/// rodb.durability.* counters. sync_micros backs the docs'
+/// "sync_seconds": divide by 1e6.
+struct DurabilityMetrics {
+  obs::Counter* syncs;
+  obs::Counter* dir_syncs;
+  obs::Counter* sync_micros;
+  obs::Counter* renames;
+  obs::Counter* torn_pages_detected;
+  obs::Counter* recovery_sweeps;
+  obs::Counter* tmp_files_swept;
+
+  static DurabilityMetrics& Get();
+};
+
+/// An append-only file handle on the durability path. Append order is
+/// the on-disk order; Sync() makes everything appended so far durable
+/// (modulo the env — a simulated-crash env only *promotes* it to the
+/// persisted shadow state). Close() does not imply Sync().
+class DurableFile {
+ public:
+  virtual ~DurableFile() = default;
+  virtual Status Append(const void* data, size_t size) = 0;
+  Status Append(std::string_view data) {
+    return Append(data.data(), data.size());
+  }
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Factory for the durability syscalls the commit protocol needs. The
+/// read path keeps using IoBackend; this is its write-side counterpart.
+/// `Default()` is what production writers use; the crash harness swaps
+/// in a SimulatedCrashEnv via SetDefault() to model power loss.
+class DurableEnv {
+ public:
+  virtual ~DurableEnv() = default;
+
+  /// Creates (truncating) `path` for appending.
+  virtual Result<std::unique_ptr<DurableFile>> Create(
+      const std::string& path) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// fsyncs the directory so entry creates/renames/removes are durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+  /// Unlinks `path`; OK if it does not exist.
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// The real-filesystem implementation (fsync/rename/unlink).
+  static DurableEnv* Posix();
+  /// Process-wide env used by writers that don't take one explicitly.
+  static DurableEnv* Default();
+  /// Replaces the default (nullptr restores Posix); returns the
+  /// previous env. Not thread-safe against in-flight writers — swap
+  /// around a quiesced store, as the crash tests do.
+  static DurableEnv* SetDefault(DurableEnv* env);
+};
+
+/// write → fsync (at kCommit+) → close. At kParanoid also fsyncs the
+/// parent directory so the new name itself is durable. For sidecars
+/// whose name durability otherwise rides on a later commit's dir sync.
+Status DurableWriteFile(const std::string& path, std::string_view data,
+                        DurableEnv* env = nullptr);
+
+/// The atomic-publish commit point: write `path.tmp` → fsync it → rename
+/// over `path` → fsync the parent directory (syncs at kCommit+). The
+/// rename is the commit; a crash on either side leaves the old complete
+/// file or the new complete file, never a torn mix.
+Status AtomicPublishFile(const std::string& path, std::string_view data,
+                         DurableEnv* env = nullptr);
+
+}  // namespace rodb
+
+#endif  // RODB_IO_DURABLE_FILE_H_

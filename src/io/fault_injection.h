@@ -53,6 +53,36 @@ struct FaultSpec {
   }
 };
 
+/// Write-side counterpart of FaultSpec: faults on the durability path
+/// (DurableEnv syscalls), consumed by SimulatedCrashEnv. Deterministic
+/// from (seed, op index), so a schedule reproduces exactly.
+struct DurabilityFaultSpec {
+  uint64_t seed = 1;
+
+  /// Per Append: probability that only a prefix of the buffer reaches
+  /// the file before the write fails with IoError (a short write).
+  double short_write_probability = 0.0;
+
+  /// Per Sync/SyncDir: probability of a failed fsync (IoError; nothing
+  /// is promoted to the persisted state).
+  double sync_failure_probability = 0.0;
+
+  /// Per Rename: probability of a failed rename (IoError; both names
+  /// keep their prior state).
+  double rename_failure_probability = 0.0;
+
+  /// On Crash(): a file with unsynced appended bytes keeps a corrupted
+  /// partial sector of that tail instead of losing it cleanly — the
+  /// torn-page case that only checksums/size validation can catch.
+  bool torn_tail_on_crash = false;
+
+  /// Crash (discard all volatile state, fail every later op with
+  /// IoError) when the env executes its Nth durability op (1 = the
+  /// first). 0 disables. This is the schedule axis the torture harness
+  /// enumerates.
+  uint64_t crash_at_op = 0;
+};
+
 /// IoBackend decorator that injects the faults described by a FaultSpec
 /// into every stream it opens. Thread-safe: concurrent OpenStream calls
 /// (morsel workers) are fine, and each stream owns its PRNG and buffers.

@@ -1,0 +1,303 @@
+#include "io/sim_crash_env.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/file_util.h"
+#include "common/macros.h"
+
+namespace rodb {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string ParentOf(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+Status WriteReal(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("sim env: cannot open " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Status::IoError("sim env: cannot write " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+/// Handle into the env's shadow map; all state lives in the env so a
+/// handle outliving a Crash() fails cleanly instead of resurrecting.
+class SimulatedCrashEnv::SimFile : public DurableFile {
+ public:
+  SimFile(SimulatedCrashEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(const void* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RODB_RETURN_IF_ERROR(env_->BeginOpLocked("append", path_));
+    return env_->AppendLocked(path_, data, size);
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RODB_RETURN_IF_ERROR(env_->BeginOpLocked("sync", path_));
+    return env_->SyncFileLocked(path_);
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  SimulatedCrashEnv* env_;
+  std::string path_;
+};
+
+SimulatedCrashEnv::SimulatedCrashEnv(DurabilityFaultSpec spec)
+    : spec_(spec) {}
+
+SimulatedCrashEnv::Shadow& SimulatedCrashEnv::TrackLocked(
+    const std::string& path) {
+  auto it = files_.find(path);
+  if (it != files_.end()) return it->second;
+  Shadow s;
+  if (FileExists(path)) {
+    // First touch of a pre-existing file: assume it was persisted as-is.
+    auto content = ReadFileToString(path);
+    s.exists_live = true;
+    s.live = content.ok() ? *std::move(content) : std::string();
+    s.synced = s.live.size();
+    s.name_durable = true;
+  }
+  return files_.emplace(path, std::move(s)).first->second;
+}
+
+std::optional<std::string> SimulatedCrashEnv::CrashState(const Shadow& s) {
+  if (s.name_durable) return s.live.substr(0, s.synced);
+  return s.prior;
+}
+
+uint64_t SimulatedCrashEnv::DrawLocked() {
+  return SplitMix64(spec_.seed ^ (0xd1b54a32d192ed03ULL * ++draws_));
+}
+
+Status SimulatedCrashEnv::BeginOpLocked(const char* what,
+                                        const std::string& path) {
+  if (crashed_) {
+    return Status::IoError(std::string("sim crash env is dead (") + what +
+                           " " + path + ")");
+  }
+  ++ops_;
+  if (spec_.crash_at_op != 0 && ops_ >= spec_.crash_at_op) {
+    CrashLocked();
+    return Status::IoError("simulated crash at op " + std::to_string(ops_));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DurableFile>> SimulatedCrashEnv::Create(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RODB_RETURN_IF_ERROR(BeginOpLocked("create", path));
+  Shadow& s = TrackLocked(path);
+  // O_TRUNC over an existing entry: until the directory is synced
+  // again, a crash restores whatever was persisted before.
+  s.prior = CrashState(s);
+  s.exists_live = true;
+  s.live.clear();
+  s.synced = 0;
+  s.name_durable = false;
+  RODB_RETURN_IF_ERROR(WriteReal(path, s.live));
+  return {std::make_unique<SimFile>(this, path)};
+}
+
+Status SimulatedCrashEnv::AppendLocked(const std::string& path,
+                                       const void* data, size_t size) {
+  Shadow& s = TrackLocked(path);
+  if (!s.exists_live) return Status::IoError("sim append on removed " + path);
+  size_t persisted = size;
+  bool short_write = false;
+  if (spec_.short_write_probability > 0 && size > 0) {
+    uint64_t r = DrawLocked();
+    if (static_cast<double>(r % 1000000) / 1e6 <
+        spec_.short_write_probability) {
+      short_write = true;
+      persisted = DrawLocked() % size;  // strict prefix
+      ++short_writes_;
+    }
+  }
+  s.live.append(static_cast<const char*>(data), persisted);
+  RODB_RETURN_IF_ERROR(WriteReal(path, s.live));
+  if (short_write) {
+    return Status::IoError("injected short write on " + path);
+  }
+  return Status::OK();
+}
+
+Status SimulatedCrashEnv::SyncFileLocked(const std::string& path) {
+  Shadow& s = TrackLocked(path);
+  if (!s.exists_live) return Status::IoError("sim sync on removed " + path);
+  if (spec_.sync_failure_probability > 0) {
+    uint64_t r = DrawLocked();
+    if (static_cast<double>(r % 1000000) / 1e6 <
+        spec_.sync_failure_probability) {
+      ++sync_failures_;
+      return Status::IoError("injected fsync failure on " + path);
+    }
+  }
+  s.synced = s.live.size();
+  ++file_syncs_;
+  DurabilityMetrics::Get().syncs->Increment();
+  return Status::OK();
+}
+
+Status SimulatedCrashEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RODB_RETURN_IF_ERROR(BeginOpLocked("rename", from));
+  Shadow& src = TrackLocked(from);
+  if (!src.exists_live) return Status::IoError("sim rename missing " + from);
+  if (spec_.rename_failure_probability > 0) {
+    uint64_t r = DrawLocked();
+    if (static_cast<double>(r % 1000000) / 1e6 <
+        spec_.rename_failure_probability) {
+      ++rename_failures_;
+      return Status::IoError("injected rename failure " + from + " -> " + to);
+    }
+  }
+  Shadow& dst = TrackLocked(to);
+  dst.prior = CrashState(dst);
+  dst.exists_live = true;
+  dst.live = src.live;
+  dst.synced = src.synced;  // data syncs travel with the inode
+  dst.name_durable = false;
+  src.prior = CrashState(src);
+  src.exists_live = false;
+  src.live.clear();
+  src.synced = 0;
+  src.name_durable = false;
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) return Status::IoError("sim rename: " + ec.message());
+  ++renames_;
+  DurabilityMetrics::Get().renames->Increment();
+  return Status::OK();
+}
+
+Status SimulatedCrashEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RODB_RETURN_IF_ERROR(BeginOpLocked("sync_dir", dir));
+  if (spec_.sync_failure_probability > 0) {
+    uint64_t r = DrawLocked();
+    if (static_cast<double>(r % 1000000) / 1e6 <
+        spec_.sync_failure_probability) {
+      ++sync_failures_;
+      return Status::IoError("injected dir fsync failure on " + dir);
+    }
+  }
+  for (auto& [path, s] : files_) {
+    if (ParentOf(path) != dir) continue;
+    if (s.exists_live) {
+      s.name_durable = true;
+    }
+    // Entry state (present or absent) is durable now; drop the
+    // pre-entry fallback.
+    s.prior.reset();
+  }
+  ++dir_syncs_;
+  DurabilityMetrics::Get().dir_syncs->Increment();
+  return Status::OK();
+}
+
+Status SimulatedCrashEnv::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RODB_RETURN_IF_ERROR(BeginOpLocked("remove", path));
+  Shadow& s = TrackLocked(path);
+  s.prior = CrashState(s);
+  s.exists_live = false;
+  s.live.clear();
+  s.synced = 0;
+  s.name_durable = false;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return Status::IoError("sim remove: " + ec.message());
+  return Status::OK();
+}
+
+void SimulatedCrashEnv::CrashLocked() {
+  if (crashed_) return;
+  crashed_ = true;
+  for (auto& [path, s] : files_) {
+    std::optional<std::string> state = CrashState(s);
+    if (state.has_value() && spec_.torn_tail_on_crash && s.name_durable &&
+        s.live.size() > s.synced) {
+      // A partial sector of the unsynced tail made it to the platter,
+      // with garbage in it.
+      const std::string tail = s.live.substr(s.synced);
+      size_t keep = 1 + DrawLocked() % std::min<size_t>(512, tail.size());
+      std::string torn = tail.substr(0, keep);
+      torn[DrawLocked() % torn.size()] =
+          static_cast<char>(torn[DrawLocked() % torn.size()] ^ 0xA5);
+      state->append(torn);
+      ++torn_tails_;
+    }
+    std::error_code ec;
+    if (state.has_value()) {
+      WriteReal(path, *state);
+    } else {
+      std::filesystem::remove(path, ec);
+    }
+  }
+}
+
+void SimulatedCrashEnv::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CrashLocked();
+}
+
+bool SimulatedCrashEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t SimulatedCrashEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+uint64_t SimulatedCrashEnv::file_syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_syncs_;
+}
+uint64_t SimulatedCrashEnv::dir_syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dir_syncs_;
+}
+uint64_t SimulatedCrashEnv::renames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return renames_;
+}
+uint64_t SimulatedCrashEnv::injected_short_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_writes_;
+}
+uint64_t SimulatedCrashEnv::injected_sync_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_failures_;
+}
+uint64_t SimulatedCrashEnv::injected_rename_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rename_failures_;
+}
+uint64_t SimulatedCrashEnv::torn_tails() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return torn_tails_;
+}
+
+}  // namespace rodb

@@ -1,0 +1,114 @@
+#ifndef RODB_IO_SIM_CRASH_ENV_H_
+#define RODB_IO_SIM_CRASH_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "io/durable_file.h"
+#include "io/fault_injection.h"
+
+namespace rodb {
+
+/// DurableEnv that models power loss with persisted-vs-volatile shadow
+/// state, on top of the real filesystem so the read path works
+/// unchanged.
+///
+/// Every tracked file carries two worlds: the *live* content (what the
+/// process sees, mirrored onto the real filesystem) and the *persisted*
+/// state (what survives a crash). The model is deliberately the
+/// conservative POSIX contract:
+///
+///   - appended bytes become persistent only up to the last successful
+///     Sync() on that file (lost-after-crash unsynced writes);
+///   - a created/renamed/removed *name* becomes persistent only after
+///     SyncDir() on its parent directory — until then a crash restores
+///     the directory entry's prior state (rename rolls back, a removed
+///     file resurrects, a new file vanishes);
+///   - with `torn_tail_on_crash`, a crash leaves a corrupted partial
+///     sector of the unsynced tail instead of dropping it cleanly.
+///
+/// Crash() rewrites the real filesystem to the persisted state and
+/// kills the env: every later op fails with IoError, so a still-live
+/// store object can be torn down without mutating the "disk" (its
+/// cleanup removals are exactly the writes a dead process cannot
+/// issue). Recovery then reopens the directory with a fresh env.
+///
+/// Faults (short writes, failed fsync/rename, crash-at-op-N schedules)
+/// come from a DurabilityFaultSpec and are deterministic in
+/// (seed, op index). Files already on disk when first touched are
+/// assumed persisted as-is.
+class SimulatedCrashEnv : public DurableEnv {
+ public:
+  explicit SimulatedCrashEnv(DurabilityFaultSpec spec = {});
+  ~SimulatedCrashEnv() override = default;
+
+  Result<std::unique_ptr<DurableFile>> Create(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Status Remove(const std::string& path) override;
+
+  /// Reverts the real filesystem to the persisted shadow state and
+  /// kills the env. Idempotent.
+  void Crash();
+  bool crashed() const;
+
+  /// Durability ops attempted (the crash_at_op / schedule axis).
+  uint64_t ops() const;
+  /// Successful file syncs / dir syncs (reconciles rodb.durability.*).
+  uint64_t file_syncs() const;
+  uint64_t dir_syncs() const;
+  uint64_t renames() const;
+  uint64_t injected_short_writes() const;
+  uint64_t injected_sync_failures() const;
+  uint64_t injected_rename_failures() const;
+  uint64_t torn_tails() const;
+
+ private:
+  class SimFile;
+  friend class SimFile;
+
+  /// One directory entry's two-world state. Invariant: name_durable
+  /// implies exists_live (removing or replacing an entry clears it).
+  struct Shadow {
+    bool exists_live = false;
+    std::string live;          ///< current content (mirrors the real fs)
+    size_t synced = 0;         ///< prefix of `live` made durable by Sync
+    bool name_durable = false; ///< entry survives a crash
+    /// Persisted content while !name_durable (prior file, pre-rename
+    /// state, removed-but-resurrectable content); nullopt = absent.
+    std::optional<std::string> prior;
+  };
+
+  /// Called with mu_ held.
+  Shadow& TrackLocked(const std::string& path);
+  static std::optional<std::string> CrashState(const Shadow& s);
+  /// Advances the op counter, applies crash_at_op, draws `probability`.
+  /// Returns {should_fail_op, random_draw}; sets crashed on schedule.
+  Status BeginOpLocked(const char* what, const std::string& path);
+  uint64_t DrawLocked();
+  void CrashLocked();
+
+  Status AppendLocked(const std::string& path, const void* data, size_t size);
+  Status SyncFileLocked(const std::string& path);
+
+  mutable std::mutex mu_;
+  DurabilityFaultSpec spec_;
+  std::map<std::string, Shadow> files_;
+  bool crashed_ = false;
+  uint64_t ops_ = 0;
+  uint64_t draws_ = 0;
+  uint64_t file_syncs_ = 0;
+  uint64_t dir_syncs_ = 0;
+  uint64_t renames_ = 0;
+  uint64_t short_writes_ = 0;
+  uint64_t sync_failures_ = 0;
+  uint64_t rename_failures_ = 0;
+  uint64_t torn_tails_ = 0;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_IO_SIM_CRASH_ENV_H_

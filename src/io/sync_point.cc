@@ -1,0 +1,25 @@
+#include "io/sync_point.h"
+
+#include <utility>
+
+namespace rodb {
+
+std::atomic<bool> SyncPoint::armed_{false};
+std::atomic<uint64_t> SyncPoint::hits_{0};
+SyncPoint::Hook SyncPoint::hook_;
+
+void SyncPoint::Install(Hook hook) {
+  armed_.store(false, std::memory_order_release);
+  hook_ = std::move(hook);
+  if (hook_) armed_.store(true, std::memory_order_release);
+}
+
+uint64_t SyncPoint::Hits() { return hits_.load(std::memory_order_relaxed); }
+
+Status SyncPoint::Hit(std::string_view point, std::string_view path) {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return hook_(point, path);
+}
+
+}  // namespace rodb

@@ -1,0 +1,51 @@
+#ifndef RODB_IO_SYNC_POINT_H_
+#define RODB_IO_SYNC_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rodb {
+
+/// Process-wide hook fired immediately before every durability syscall
+/// (create / append / fsync / rename / fsync-dir / unlink) issued by a
+/// DurableEnv. The crash-torture harness installs a hook that counts
+/// hits and `kill(getpid(), SIGKILL)`s at the Nth one, turning each
+/// syscall boundary into an enumerable kill-point schedule; fault tests
+/// install hooks that return errors to model failed fsync/rename.
+///
+/// When no hook is installed the cost is one relaxed atomic load.
+class SyncPoint {
+ public:
+  /// `point` names the operation ("durable.sync", "durable.rename",
+  /// ...) and `path` the file it applies to. A non-OK return aborts the
+  /// operation with that status before the syscall runs; a hook that
+  /// SIGKILLs never returns.
+  using Hook = std::function<Status(std::string_view point,
+                                    std::string_view path)>;
+
+  /// Replaces the process-wide hook (nullptr uninstalls). Not
+  /// thread-safe against concurrent Hit() — install before the workload
+  /// starts, as the torture harness does in a fresh child process.
+  static void Install(Hook hook);
+
+  /// Total hits since process start (counted only while a hook is
+  /// installed); the harness's first pass uses this to learn how many
+  /// kill points one workload exposes.
+  static uint64_t Hits();
+
+  /// Fires the hook, if any. Called by DurableEnv implementations.
+  static Status Hit(std::string_view point, std::string_view path);
+
+ private:
+  static std::atomic<bool> armed_;
+  static std::atomic<uint64_t> hits_;
+  static Hook hook_;
+};
+
+}  // namespace rodb
+
+#endif  // RODB_IO_SYNC_POINT_H_

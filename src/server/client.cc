@@ -136,6 +136,21 @@ Result<IngestResult> QueryClient::Ingest(const IngestRequest& request) {
   }
 }
 
+Result<ServerHealth> QueryClient::Health() {
+  uint8_t reply_type = 0;
+  RODB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      RoundTrip(static_cast<uint8_t>(FrameType::kHealth), {}, &reply_type));
+  switch (static_cast<FrameType>(reply_type)) {
+    case FrameType::kHealthReply:
+      return DecodeServerHealth(payload.data(), payload.size());
+    case FrameType::kError:
+      return DecodeError(payload.data(), payload.size());
+    default:
+      return Status::InvalidArgument("unexpected reply to health probe");
+  }
+}
+
 Status QueryClient::Ping() {
   uint8_t reply_type = 0;
   RODB_ASSIGN_OR_RETURN(

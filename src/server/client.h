@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "server/protocol.h"
 #include "server/query_request.h"
 
 namespace rodb {
@@ -37,6 +38,10 @@ class QueryClient {
 
   /// Round-trips a ping frame.
   Status Ping();
+
+  /// Round-trips a health probe. Unlike Execute/Ingest this succeeds
+  /// even while the server drains -- the reply reports the drain state.
+  Result<ServerHealth> Health();
 
  private:
   Result<std::vector<uint8_t>> RoundTrip(uint8_t frame_type,

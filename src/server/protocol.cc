@@ -319,6 +319,24 @@ Result<IngestResult> DecodeIngestResult(const uint8_t* data, size_t size) {
   return result;
 }
 
+std::vector<uint8_t> EncodeServerHealth(const ServerHealth& health) {
+  std::vector<uint8_t> out;
+  PutU8(&out, health.state);
+  PutU64(&out, health.active_connections);
+  PutU64(&out, health.inflight_requests);
+  return out;
+}
+
+Result<ServerHealth> DecodeServerHealth(const uint8_t* data, size_t size) {
+  ByteReader in(data, size);
+  ServerHealth health;
+  health.state = in.U8();
+  health.active_connections = in.U64();
+  health.inflight_requests = in.U64();
+  if (!in.ok() || !in.AtEnd()) return Truncated("server health");
+  return health;
+}
+
 std::vector<uint8_t> EncodeError(const Status& status) {
   std::vector<uint8_t> out;
   PutU8(&out, static_cast<uint8_t>(status.code()));

@@ -33,6 +33,19 @@ enum class FrameType : uint8_t {
   kPong = 5,         ///< server -> client: reply to kPing
   kIngest = 6,       ///< client -> server: serialized IngestRequest
   kIngestReply = 7,  ///< server -> client: serialized IngestResult
+  kHealth = 8,       ///< client -> server: drain-state probe
+  kHealthReply = 9,  ///< server -> client: serialized ServerHealth
+};
+
+/// Answer to a kHealth probe. Unlike kPing (pure liveness), health is
+/// answered even while the server drains, so load balancers and
+/// shutdown orchestration can tell "alive but refusing work" from
+/// "gone". `state` carries the server's lifecycle enum as its wire
+/// value (0 serving, 1 draining, 2 stopped).
+struct ServerHealth {
+  uint8_t state = 0;
+  uint64_t active_connections = 0;
+  uint64_t inflight_requests = 0;
 };
 
 /// Frames larger than this are rejected as malformed rather than
@@ -58,6 +71,9 @@ Result<IngestRequest> DecodeIngestRequest(const uint8_t* data, size_t size);
 
 std::vector<uint8_t> EncodeIngestResult(const IngestResult& result);
 Result<IngestResult> DecodeIngestResult(const uint8_t* data, size_t size);
+
+std::vector<uint8_t> EncodeServerHealth(const ServerHealth& health);
+Result<ServerHealth> DecodeServerHealth(const uint8_t* data, size_t size);
 
 std::vector<uint8_t> EncodeError(const Status& status);
 /// Reconstructs the Status an error frame carries.

@@ -174,6 +174,24 @@ void QueryEngine::Shutdown() {
   ingests.clear();
 }
 
+Status QueryEngine::FlushIngest() {
+  std::vector<std::shared_ptr<IngestStore>> stores;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stores.reserve(ingests_.size());
+    for (auto& [name, store] : ingests_) stores.push_back(store);
+  }
+  // Freeze publishes each store's active segment behind a synced
+  // manifest rename, so every acknowledged append survives a process
+  // exit. Flush all stores even if one fails; report the first error.
+  Status first = Status::OK();
+  for (auto& store : stores) {
+    Status frozen = store->Freeze();
+    if (!frozen.ok() && first.ok()) first = frozen;
+  }
+  return first;
+}
+
 CirculatingScan::Stats QueryEngine::SharedScanStats(
     const std::string& table) {
   std::lock_guard<std::mutex> lock(mu_);

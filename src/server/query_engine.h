@@ -87,6 +87,12 @@ class QueryEngine {
   /// keeps the store (and its background merge) alive across Shutdown.
   std::shared_ptr<IngestStore> ingest(const std::string& table);
 
+  /// Freezes the active segment of every attached ingest store, which
+  /// publishes acknowledged-but-unsealed appends behind a synced
+  /// manifest write. The server's drain path calls this before
+  /// Shutdown so no acknowledged batch rides only in process memory.
+  Status FlushIngest();
+
   /// Stops every circulating scan (failing in-flight queries with
   /// Cancelled) and detaches every ingest store, waiting out in-flight
   /// background merges. Called by the destructor; idempotent.

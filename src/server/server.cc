@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "server/protocol.h"
@@ -21,6 +23,9 @@ struct ConnMetrics {
   obs::Counter* accepted;
   obs::Counter* frames;
   obs::Counter* protocol_errors;
+  obs::Counter* unavailable_rejections;
+  obs::Counter* idle_culls;
+  obs::Counter* drains;
   obs::Gauge* connections;
 
   static ConnMetrics& Get() {
@@ -30,6 +35,10 @@ struct ConnMetrics {
       metrics.accepted = reg.GetCounter("rodb.server.connections_accepted");
       metrics.frames = reg.GetCounter("rodb.server.frames");
       metrics.protocol_errors = reg.GetCounter("rodb.server.protocol_errors");
+      metrics.unavailable_rejections =
+          reg.GetCounter("rodb.server.unavailable_rejections");
+      metrics.idle_culls = reg.GetCounter("rodb.server.idle_culls");
+      metrics.drains = reg.GetCounter("rodb.server.drains");
       metrics.connections = reg.GetGauge("rodb.server.connections");
       return metrics;
     }();
@@ -37,11 +46,13 @@ struct ConnMetrics {
   }
 };
 
-/// write() the whole buffer, riding out EINTR and partial writes.
+/// send() the whole buffer, riding out EINTR and partial writes.
+/// MSG_NOSIGNAL: a handler finishing a request after Stop() shut its
+/// socket down must get EPIPE back, not a process-killing SIGPIPE.
 bool WriteAll(int fd, const uint8_t* data, size_t size) {
   size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::write(fd, data + sent, size - sent);
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -49,6 +60,14 @@ bool WriteAll(int fd, const uint8_t* data, size_t size) {
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+void SetSocketTimeout(int fd, int option, int millis) {
+  if (millis <= 0) return;
+  timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -90,11 +109,7 @@ Status QueryServer::Start() {
   return Status::OK();
 }
 
-void QueryServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+void QueryServer::CloseListenerLocked() {
   // shutdown() unblocks accept(); close() alone does not on all kernels.
   // exchange() so the accept thread (which reads listen_fd_ for every
   // accept call) never sees a half-closed descriptor twice.
@@ -104,6 +119,11 @@ void QueryServer::Stop() {
     ::close(listen_fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void QueryServer::StopLocked() {
+  state_.store(ServerState::kStopped, std::memory_order_release);
+  CloseListenerLocked();
   // Unblock handlers parked in read() and fail in-flight queries.
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -120,19 +140,69 @@ void QueryServer::Stop() {
   }
 }
 
+void QueryServer::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (state_.load(std::memory_order_acquire) == ServerState::kStopped) return;
+  StopLocked();
+}
+
+Status QueryServer::Drain() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (state_.load(std::memory_order_acquire) == ServerState::kStopped) {
+    return Status::OK();
+  }
+  ConnMetrics::Get().drains->Increment();
+  state_.store(ServerState::kDraining, std::memory_order_release);
+  CloseListenerLocked();
+
+  // Phase 1: let in-flight requests run to completion.
+  using Clock = std::chrono::steady_clock;
+  const auto budget = std::chrono::milliseconds(
+      options_.drain_timeout_ms > 0 ? options_.drain_timeout_ms : 0);
+  auto deadline = Clock::now() + budget;
+  while (inflight_.load(std::memory_order_acquire) > 0 &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Phase 2: shed what is still running -- cancel the shared parent
+  // token, then give the cancelled work the same budget to unwind
+  // (cancellation is cooperative, observed at window boundaries).
+  if (inflight_.load(std::memory_order_acquire) > 0) {
+    drain_token_.Cancel();
+    deadline = Clock::now() + budget;
+    while (inflight_.load(std::memory_order_acquire) > 0 &&
+           Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  // Every acknowledged append must survive the process: freeze active
+  // segments, which publishes them behind a final synced manifest
+  // rename. Runs after the in-flight window so a just-acked ingest
+  // batch is included.
+  Status flushed =
+      engine_ != nullptr ? engine_->FlushIngest() : Status::OK();
+  StopLocked();
+  return flushed;
+}
+
 void QueryServer::AcceptLoop() {
   auto& metrics = ConnMetrics::Get();
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (state_.load(std::memory_order_relaxed) == ServerState::kServing) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener closed (Stop) or unrecoverable
+      break;  // listener closed (Stop/Drain) or unrecoverable
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Sliced reads let a parked handler notice drain/stop and the idle
+    // clock; the write timeout keeps a non-reading peer from wedging
+    // its handler thread.
+    SetSocketTimeout(fd, SO_RCVTIMEO, options_.read_slice_ms);
+    SetSocketTimeout(fd, SO_SNDTIMEO, options_.write_timeout_ms);
     metrics.accepted->Increment();
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_.load(std::memory_order_relaxed)) {
+    if (state_.load(std::memory_order_relaxed) != ServerState::kServing) {
       ::close(fd);
       break;
     }
@@ -174,7 +244,9 @@ void QueryServer::HandleConnection(int fd) {
   auto& metrics = ConnMetrics::Get();
   FrameReader reader;
   uint8_t buf[64 * 1024];
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  using Clock = std::chrono::steady_clock;
+  auto last_activity = Clock::now();
+  while (state_.load(std::memory_order_relaxed) != ServerState::kStopped) {
     FrameReader::Frame frame;
     Result<bool> have = reader.Next(&frame);
     if (!have.ok()) {
@@ -185,18 +257,51 @@ void QueryServer::HandleConnection(int fd) {
       const ssize_t n = ::read(fd, buf, sizeof(buf));
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          // Read slice expired: no bytes, just a chance to re-check
+          // state and the idle clock.
+          if (options_.idle_timeout_ms > 0 &&
+              Clock::now() - last_activity >
+                  std::chrono::milliseconds(options_.idle_timeout_ms)) {
+            metrics.idle_culls->Increment();
+            return;
+          }
+          continue;
+        }
         return;  // peer closed (their cancel) or shutdown
       }
       reader.Feed(buf, static_cast<size_t>(n));
       continue;
     }
     metrics.frames->Increment();
+    last_activity = Clock::now();
+    const bool draining =
+        state_.load(std::memory_order_acquire) == ServerState::kDraining;
     std::vector<uint8_t> reply;
     switch (frame.type) {
       case FrameType::kPing:
         reply = EncodeFrame(FrameType::kPong, {});
         break;
+      case FrameType::kHealth: {
+        // Answered in every state, so orchestration can watch the
+        // drain progress while kQuery/kIngest are being shed.
+        ServerHealth health;
+        health.state = static_cast<uint8_t>(
+            state_.load(std::memory_order_acquire));
+        health.active_connections = active_.load(std::memory_order_relaxed);
+        health.inflight_requests = inflight_.load(std::memory_order_relaxed);
+        reply = EncodeFrame(FrameType::kHealthReply,
+                            EncodeServerHealth(health));
+        break;
+      }
       case FrameType::kQuery: {
+        if (draining) {
+          metrics.unavailable_rejections->Increment();
+          reply = EncodeFrame(
+              FrameType::kError,
+              EncodeError(Status::Unavailable("server draining")));
+          break;
+        }
         Result<QueryRequest> request =
             DecodeQueryRequest(frame.payload.data(), frame.payload.size());
         if (!request.ok()) {
@@ -204,13 +309,34 @@ void QueryServer::HandleConnection(int fd) {
           reply = EncodeFrame(FrameType::kError, EncodeError(request.status()));
           break;
         }
+        // The wire request carries no token; parent it on the drain
+        // token so an expired drain deadline cancels it.
+        request->cancel = drain_token_.Child();
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
         Result<QueryResult> result = engine_->Execute(*request);
-        reply = result.ok()
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        Status status = result.ok() ? Status::OK() : result.status();
+        if (!status.ok() && status.IsCancelled() &&
+            state_.load(std::memory_order_acquire) !=
+                ServerState::kServing) {
+          // Shed by drain, not by the client: report "server going
+          // away", which a client may retry elsewhere.
+          status = Status::Unavailable("query shed by server drain: " +
+                                       std::string(status.message()));
+        }
+        reply = status.ok()
                     ? EncodeFrame(FrameType::kResult, EncodeQueryResult(*result))
-                    : EncodeFrame(FrameType::kError, EncodeError(result.status()));
+                    : EncodeFrame(FrameType::kError, EncodeError(status));
         break;
       }
       case FrameType::kIngest: {
+        if (draining) {
+          metrics.unavailable_rejections->Increment();
+          reply = EncodeFrame(
+              FrameType::kError,
+              EncodeError(Status::Unavailable("server draining")));
+          break;
+        }
         Result<IngestRequest> request =
             DecodeIngestRequest(frame.payload.data(), frame.payload.size());
         if (!request.ok()) {
@@ -218,11 +344,20 @@ void QueryServer::HandleConnection(int fd) {
           reply = EncodeFrame(FrameType::kError, EncodeError(request.status()));
           break;
         }
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
         Result<IngestResult> result = engine_->Ingest(*request);
-        reply = result.ok() ? EncodeFrame(FrameType::kIngestReply,
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        Status status = result.ok() ? Status::OK() : result.status();
+        if (!status.ok() && status.IsCancelled() &&
+            state_.load(std::memory_order_acquire) !=
+                ServerState::kServing) {
+          status = Status::Unavailable("ingest shed by server shutdown: " +
+                                       std::string(status.message()));
+        }
+        reply = status.ok() ? EncodeFrame(FrameType::kIngestReply,
                                           EncodeIngestResult(*result))
                             : EncodeFrame(FrameType::kError,
-                                          EncodeError(result.status()));
+                                          EncodeError(status));
         break;
       }
       default:

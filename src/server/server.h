@@ -20,7 +20,29 @@ struct ServerOptions {
   int port = 0;
   /// Listen backlog; admission control proper happens in the engine.
   int backlog = 1024;
+  /// Drain budget: Drain() waits this long for in-flight requests to
+  /// finish before shedding them (cancelling their tokens), then waits
+  /// the same budget again for the cancelled work to unwind.
+  int drain_timeout_ms = 5000;
+  /// Connections with no completed frame for this long are culled
+  /// (closed between requests). 0 = never cull.
+  int idle_timeout_ms = 0;
+  /// Granularity of the per-connection read timeout (SO_RCVTIMEO): how
+  /// often a parked handler wakes to check drain/stop state and the
+  /// idle clock. Small enough that drain is responsive, large enough
+  /// that idle connections cost nothing.
+  int read_slice_ms = 200;
+  /// Per-connection write timeout (SO_SNDTIMEO): a peer that stops
+  /// reading cannot wedge a handler thread forever. 0 = no timeout.
+  int write_timeout_ms = 30'000;
   EngineOptions engine;
+};
+
+/// Server lifecycle, reported verbatim in kHealthReply frames.
+enum class ServerState : uint8_t {
+  kServing = 0,   ///< accepting connections and work
+  kDraining = 1,  ///< listener closed, in-flight finishing, new work shed
+  kStopped = 2,   ///< all threads joined
 };
 
 /// TCP front end of the query engine: accepts connections, reads kQuery
@@ -40,21 +62,42 @@ class QueryServer {
   /// Binds, listens and starts the accept thread.
   Status Start();
   /// Closes the listener, wakes every connection and joins all threads.
-  /// Idempotent.
+  /// Abrupt: in-flight requests fail with whatever the torn-down engine
+  /// hands them. Idempotent, and safe to race with Drain() or another
+  /// Stop() -- callers serialize on an internal mutex, so every caller
+  /// returns only after the server is fully stopped.
   void Stop();
+  /// Graceful shutdown (SIGTERM semantics): stops accepting, answers
+  /// kHealth but sheds kQuery/kIngest with kUnavailable, waits out
+  /// in-flight requests up to options.drain_timeout_ms (then cancels
+  /// them), flushes every ingest store's active segment behind a final
+  /// synced manifest write, and finally stops. Returns the flush
+  /// status. Idempotent; after Stop() it is a no-op.
+  Status Drain();
 
   /// The bound port (after Start; useful with options.port == 0).
   int port() const { return port_; }
   QueryEngine& engine() { return *engine_; }
+  ServerState state() const { return state_.load(std::memory_order_acquire); }
   /// Connections currently open.
   size_t active_connections() const {
     return active_.load(std::memory_order_relaxed);
+  }
+  /// kQuery/kIngest frames currently executing in the engine.
+  size_t inflight_requests() const {
+    return inflight_.load(std::memory_order_relaxed);
   }
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
   void ReapFinishedLocked();
+  /// Closes the listener and joins the accept thread (stop_mu_ held).
+  void CloseListenerLocked();
+  /// The teardown shared by Stop() and the tail of Drain() (stop_mu_
+  /// held): wakes every connection, shuts the engine down, joins all
+  /// handler threads and marks the server kStopped.
+  void StopLocked();
 
   std::string dir_;
   ServerOptions options_;
@@ -62,8 +105,18 @@ class QueryServer {
   /// Written by Stop() while AcceptLoop() reads it for accept().
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
-  std::atomic<bool> stopping_{false};
+  std::atomic<ServerState> state_{ServerState::kServing};
   std::atomic<size_t> active_{0};
+  std::atomic<size_t> inflight_{0};
+  /// Parent of every in-flight request's cancellation token; Drain()
+  /// fires it when the drain deadline passes.
+  CancellationToken drain_token_;
+
+  /// Serializes Stop()/Drain(). Without it two racing Stop() callers
+  /// could both take the "already stopping" fast path and join the
+  /// accept thread twice (or return before handler threads -- e.g. one
+  /// mid-ingest -- were joined).
+  std::mutex stop_mu_;
 
   std::mutex mu_;
   std::thread accept_thread_;

@@ -7,6 +7,7 @@
 #include "common/file_id.h"
 #include "common/file_util.h"
 #include "common/macros.h"
+#include "io/durable_file.h"
 #include "storage/table_files.h"
 
 namespace rodb {
@@ -62,20 +63,12 @@ Status Catalog::SaveTableMeta(const std::string& dir, const TableMeta& meta) {
                   z.valid ? 1 : 0, z.min_key, z.max_key);
     out += line;
   }
-  // Write-temp-then-rename: the meta file is what makes a table exist,
-  // so its replacement must be all-or-nothing. A crash mid-save leaves
-  // either the old meta or none -- never a torn one -- which the ingest
-  // lifecycle's recover-to-last-good-generation path relies on.
-  const std::string path = TablePaths::MetaFile(dir, meta.name);
-  const std::string tmp = path + ".tmp";
-  RODB_RETURN_IF_ERROR(WriteStringToFile(tmp, out));
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status::IoError("meta rename failed: " + path);
-  }
-  return Status::OK();
+  // The meta file is what makes a table exist, so its replacement must
+  // be all-or-nothing: AtomicPublishFile writes the tmp, fsyncs it,
+  // renames it over the meta and fsyncs the directory. A crash mid-save
+  // leaves either the old meta or none -- never a torn one -- which the
+  // ingest lifecycle's recover-to-last-good-generation path relies on.
+  return AtomicPublishFile(TablePaths::MetaFile(dir, meta.name), out);
 }
 
 Result<TableMeta> Catalog::LoadTableMeta(const std::string& dir,

@@ -36,18 +36,20 @@ std::string TablePaths::ColumnFile(const std::string& dir,
   return dir + "/" + name + ".col" + std::to_string(attr_index);
 }
 
-void RemoveTableFiles(const std::string& dir, const std::string& name) {
-  std::error_code ec;
-  std::filesystem::remove(TablePaths::MetaFile(dir, name), ec);
-  std::filesystem::remove(TablePaths::MetaFile(dir, name) + ".tmp", ec);
-  std::filesystem::remove(TablePaths::DictFile(dir, name), ec);
-  std::filesystem::remove(SynopsisPath(dir, name), ec);
-  std::filesystem::remove(TablePaths::RowFile(dir, name), ec);
-  std::filesystem::remove(TablePaths::PaxFile(dir, name), ec);
+void RemoveTableFiles(const std::string& dir, const std::string& name,
+                      DurableEnv* env) {
+  if (env == nullptr) env = DurableEnv::Default();
+  env->Remove(TablePaths::MetaFile(dir, name));
+  env->Remove(TablePaths::MetaFile(dir, name) + ".tmp");
+  env->Remove(TablePaths::DictFile(dir, name));
+  env->Remove(SynopsisPath(dir, name));
+  env->Remove(TablePaths::RowFile(dir, name));
+  env->Remove(TablePaths::PaxFile(dir, name));
   // Column files are numbered contiguously from 0; stop at the first gap.
   for (size_t attr = 0;; ++attr) {
     const std::string path = TablePaths::ColumnFile(dir, name, attr);
-    if (!std::filesystem::remove(path, ec)) break;
+    if (!FileExists(path)) break;
+    env->Remove(path);
   }
 }
 
@@ -96,6 +98,7 @@ Result<std::unique_ptr<TableWriter>> TableWriter::Create(
   }
   std::unique_ptr<TableWriter> writer(
       new TableWriter(dir, name, schema, layout, page_size));
+  writer->env_ = DurableEnv::Default();
   RODB_RETURN_IF_ERROR(writer->Init());
   return writer;
 }
@@ -139,9 +142,8 @@ Status TableWriter::Init() {
     }
     row_builder_ = std::make_unique<RowPageBuilder>(&schema_, row_codec_.get(),
                                                     page_size_);
-    const std::string path = TablePaths::RowFile(dir_, name_);
-    row_file_.open(path, std::ios::binary | std::ios::trunc);
-    if (!row_file_) return Status::IoError("cannot create " + path);
+    RODB_ASSIGN_OR_RETURN(row_file_,
+                          env_->Create(TablePaths::RowFile(dir_, name_)));
     return Status::OK();
   }
   if (layout_ == Layout::kPax) {
@@ -156,9 +158,8 @@ Status TableWriter::Init() {
     RODB_ASSIGN_OR_RETURN(
         pax_builder_,
         PaxPageBuilder::Make(&schema_, std::move(raw_codecs), page_size_));
-    const std::string path = TablePaths::PaxFile(dir_, name_);
-    pax_file_.open(path, std::ios::binary | std::ios::trunc);
-    if (!pax_file_) return Status::IoError("cannot create " + path);
+    RODB_ASSIGN_OR_RETURN(pax_file_,
+                          env_->Create(TablePaths::PaxFile(dir_, name_)));
     return Status::OK();
   }
   // Column layout: one codec + builder + file per attribute.
@@ -170,10 +171,8 @@ Status TableWriter::Init() {
     col_builders_.push_back(
         std::make_unique<ColumnPageBuilder>(codec.get(), page_size_));
     col_codecs_.push_back(std::move(codec));
-    const std::string path = TablePaths::ColumnFile(dir_, name_, i);
-    auto file = std::make_unique<std::ofstream>(
-        path, std::ios::binary | std::ios::trunc);
-    if (!*file) return Status::IoError("cannot create " + path);
+    RODB_ASSIGN_OR_RETURN(
+        auto file, env_->Create(TablePaths::ColumnFile(dir_, name_, i)));
     col_files_.push_back(std::move(file));
   }
   return Status::OK();
@@ -272,16 +271,15 @@ Status TableWriter::WriteSynopsis(const TableMeta& meta) {
   }
   std::string blob;
   syn.AppendTo(&blob);
-  return WriteStringToFile(SynopsisPath(dir_, name_), blob);
+  return DurableWriteFile(SynopsisPath(dir_, name_), blob, env_);
 }
 
 Status TableWriter::FlushRowPage() {
   NotePageFlush(0, row_builder_->count());
   RODB_RETURN_IF_ERROR(
       row_builder_->Finish(static_cast<uint32_t>(row_pages_)));
-  row_file_.write(reinterpret_cast<const char*>(row_builder_->data()),
-                  static_cast<std::streamsize>(page_size_));
-  if (!row_file_) return Status::IoError("row page write failed");
+  RODB_RETURN_IF_ERROR(row_file_->Append(row_builder_->data(), page_size_));
+  if (FsyncAt(FsyncLevel::kParanoid)) RODB_RETURN_IF_ERROR(row_file_->Sync());
   ++row_pages_;
   row_builder_->Reset();
   return Status::OK();
@@ -291,9 +289,8 @@ Status TableWriter::FlushPaxPage() {
   NotePageFlush(0, pax_builder_->count());
   RODB_RETURN_IF_ERROR(
       pax_builder_->Finish(static_cast<uint32_t>(pax_pages_)));
-  pax_file_.write(reinterpret_cast<const char*>(pax_builder_->data()),
-                  static_cast<std::streamsize>(page_size_));
-  if (!pax_file_) return Status::IoError("PAX page write failed");
+  RODB_RETURN_IF_ERROR(pax_file_->Append(pax_builder_->data(), page_size_));
+  if (FsyncAt(FsyncLevel::kParanoid)) RODB_RETURN_IF_ERROR(pax_file_->Sync());
   ++pax_pages_;
   pax_builder_->Reset();
   return Status::OK();
@@ -304,9 +301,10 @@ Status TableWriter::FlushColumnPage(size_t attr) {
   NotePageFlush(attr, builder.count());
   RODB_RETURN_IF_ERROR(
       builder.Finish(static_cast<uint32_t>(col_pages_[attr])));
-  col_files_[attr]->write(reinterpret_cast<const char*>(builder.data()),
-                          static_cast<std::streamsize>(page_size_));
-  if (!*col_files_[attr]) return Status::IoError("column page write failed");
+  RODB_RETURN_IF_ERROR(col_files_[attr]->Append(builder.data(), page_size_));
+  if (FsyncAt(FsyncLevel::kParanoid)) {
+    RODB_RETURN_IF_ERROR(col_files_[attr]->Sync());
+  }
   ++col_pages_[attr];
   builder.Reset();
   return Status::OK();
@@ -399,18 +397,19 @@ Status TableWriter::Finish() {
   meta.page_size = page_size_;
   meta.num_tuples = num_tuples_;
   meta.schema = schema_;
+  // Data files are fully durable before the catalog meta (and hence any
+  // manifest) can reference them: fsync each at kCommit+, then close.
+  const bool sync_data = FsyncAt(FsyncLevel::kCommit);
   if (layout_ == Layout::kRow) {
     if (row_builder_->count() > 0) RODB_RETURN_IF_ERROR(FlushRowPage());
-    row_file_.flush();
-    if (!row_file_) return Status::IoError("row file flush failed");
-    row_file_.close();
+    if (sync_data) RODB_RETURN_IF_ERROR(row_file_->Sync());
+    RODB_RETURN_IF_ERROR(row_file_->Close());
     meta.file_pages.push_back(row_pages_);
     meta.file_bytes.push_back(row_pages_ * page_size_);
   } else if (layout_ == Layout::kPax) {
     if (pax_builder_->count() > 0) RODB_RETURN_IF_ERROR(FlushPaxPage());
-    pax_file_.flush();
-    if (!pax_file_) return Status::IoError("PAX file flush failed");
-    pax_file_.close();
+    if (sync_data) RODB_RETURN_IF_ERROR(pax_file_->Sync());
+    RODB_RETURN_IF_ERROR(pax_file_->Close());
     meta.file_pages.push_back(pax_pages_);
     meta.file_bytes.push_back(pax_pages_ * page_size_);
   } else {
@@ -418,9 +417,8 @@ Status TableWriter::Finish() {
       if (col_builders_[i]->count() > 0) {
         RODB_RETURN_IF_ERROR(FlushColumnPage(i));
       }
-      col_files_[i]->flush();
-      if (!*col_files_[i]) return Status::IoError("column file flush failed");
-      col_files_[i]->close();
+      if (sync_data) RODB_RETURN_IF_ERROR(col_files_[i]->Sync());
+      RODB_RETURN_IF_ERROR(col_files_[i]->Close());
       meta.file_pages.push_back(col_pages_[i]);
       meta.file_bytes.push_back(col_pages_[i] * page_size_);
     }
@@ -436,7 +434,7 @@ Status TableWriter::Finish() {
   }
   if (!dict_blob.empty()) {
     RODB_RETURN_IF_ERROR(
-        WriteStringToFile(TablePaths::DictFile(dir_, name_), dict_blob));
+        DurableWriteFile(TablePaths::DictFile(dir_, name_), dict_blob, env_));
   }
   // Zone-map sidecar, then table-level aggregates into the catalog entry.
   RODB_RETURN_IF_ERROR(WriteSynopsis(meta));

@@ -1,13 +1,13 @@
 #ifndef RODB_STORAGE_TABLE_FILES_H_
 #define RODB_STORAGE_TABLE_FILES_H_
 
-#include <fstream>
 #include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "compression/codec.h"
+#include "io/durable_file.h"
 #include "compression/dictionary.h"
 #include "compression/row_codec.h"
 #include "storage/column_page.h"
@@ -49,8 +49,11 @@ struct FilePartition {
 /// files. Missing files are fine (the helper probes, it does not consult
 /// the catalog), so it also cleans up half-written tables left by a
 /// crashed load or merge -- the ingest lifecycle's orphan sweep. Shared
-/// by Database::DropTable and the segment retirement path.
-void RemoveTableFiles(const std::string& dir, const std::string& name);
+/// by Database::DropTable and the segment retirement path. Removals go
+/// through DurableEnv::Default() so crash simulation sees them; `env`
+/// overrides it.
+void RemoveTableFiles(const std::string& dir, const std::string& name,
+                      DurableEnv* env = nullptr);
 
 /// Splits a file of `file_size` bytes into at most `k` contiguous,
 /// non-empty, page-aligned partitions that together cover the whole file.
@@ -112,6 +115,11 @@ class TableWriter {
   Schema schema_;
   Layout layout_;
   size_t page_size_;
+  /// Captured at Create() so one load never straddles an env swap.
+  /// Writes go through the durability layer: pages append to
+  /// DurableFiles, Finish() fsyncs data files before the catalog meta
+  /// publishes them (FsyncLevel gates the syncs).
+  DurableEnv* env_ = nullptr;
   uint64_t num_tuples_ = 0;
   bool finished_ = false;
   /// True while Finish() flushes the trailing partial pages (those are
@@ -149,18 +157,18 @@ class TableWriter {
   std::vector<std::unique_ptr<AttributeCodec>> row_attr_codecs_;
   std::unique_ptr<RowCodec> row_codec_;
   std::unique_ptr<RowPageBuilder> row_builder_;
-  std::ofstream row_file_;
+  std::unique_ptr<DurableFile> row_file_;
   uint64_t row_pages_ = 0;
 
   // PAX layout state (codecs shared with the column path).
   std::unique_ptr<PaxPageBuilder> pax_builder_;
-  std::ofstream pax_file_;
+  std::unique_ptr<DurableFile> pax_file_;
   uint64_t pax_pages_ = 0;
 
   // Column layout state.
   std::vector<std::unique_ptr<AttributeCodec>> col_codecs_;
   std::vector<std::unique_ptr<ColumnPageBuilder>> col_builders_;
-  std::vector<std::unique_ptr<std::ofstream>> col_files_;
+  std::vector<std::unique_ptr<DurableFile>> col_files_;
   std::vector<uint64_t> col_pages_;
 };
 

@@ -9,6 +9,7 @@
 #include "common/bytes.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
+#include "io/durable_file.h"
 #include "obs/metrics.h"
 #include "storage/table_files.h"
 #include "wos/merge.h"
@@ -80,6 +81,28 @@ bool IsLifecycleTable(const std::string& table, std::string_view name) {
   return false;
 }
 
+/// A committed table's data files must be exactly the sizes its meta
+/// recorded: anything else is a torn or lost write that slipped past
+/// the sync discipline (it was disabled, or the device lied). The
+/// manifest referenced this table, so recovery cannot silently serve
+/// it -- fail loudly instead.
+Status ValidateTableFiles(const OpenTable& t) {
+  for (size_t f = 0; f < t.meta().file_bytes.size(); ++f) {
+    const std::string path = t.FilePath(f);
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec) size = 0;
+    if (size != t.meta().file_bytes[f]) {
+      DurabilityMetrics::Get().torn_pages_detected->Increment();
+      return Status::Corruption(
+          "torn table file " + path + ": " + std::to_string(size) +
+          " bytes on disk, meta recorded " +
+          std::to_string(t.meta().file_bytes[f]));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 TableLease::~TableLease() {
@@ -119,10 +142,12 @@ Result<std::unique_ptr<IngestStore>> IngestStore::Open(
         return Status::InvalidArgument(
             "ingest schema does not match recovered ROS");
       }
+      RODB_RETURN_IF_ERROR(ValidateTableFiles(ros));
       store->ros_ = std::make_shared<TableLease>(dir, std::move(ros));
     }
     for (const std::string& seg : store->manifest_.frozen) {
       RODB_ASSIGN_OR_RETURN(OpenTable t, OpenTable::Open(dir, seg));
+      RODB_RETURN_IF_ERROR(ValidateTableFiles(t));
       store->frozen_.push_back(
           std::make_shared<TableLease>(dir, std::move(t)));
     }
@@ -134,31 +159,54 @@ Result<std::unique_ptr<IngestStore>> IngestStore::Open(
   // Orphan sweep: table files of a freeze or merge that died before its
   // manifest commit. Everything the manifest does not reference is, by
   // the commit protocol, garbage from a crash -- recover to the last
-  // good generation by deleting it.
+  // good generation by deleting it. Stale `*.tmp` files of an
+  // interrupted atomic temp-write+rename (the manifest's own tmp and
+  // table writers' meta tmps) are swept alongside, and the sweep itself
+  // is made durable with a final directory sync.
   {
+    auto& durability = DurabilityMetrics::Get();
+    durability.recovery_sweeps->Increment();
     std::vector<std::string> orphans;
+    std::vector<std::string> stale_tmps;
     std::error_code ec;
     for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
       std::string base = entry.path().filename().string();
       const size_t tmp = base.rfind(".tmp");
-      if (tmp != std::string::npos && tmp == base.size() - 4) {
-        base = base.substr(0, tmp);
+      const bool is_tmp = tmp != std::string::npos && tmp == base.size() - 4;
+      if (is_tmp) base = base.substr(0, tmp);
+      if (is_tmp && base == table + ".ingest") {
+        // The manifest's own interrupted tmp; the committed manifest
+        // (if any) was already loaded above.
+        stale_tmps.push_back(entry.path().string());
+        continue;
       }
       const size_t dot = base.rfind('.');
       if (dot == std::string::npos) continue;
       base = base.substr(0, dot);
       if (!IsLifecycleTable(table, base)) continue;
+      // Any tmp in this table's namespace is dead weight whether its
+      // base table survived or not -- a completed save renames the tmp
+      // away, so finding one means the save was interrupted.
+      if (is_tmp) stale_tmps.push_back(entry.path().string());
       if (base == store->manifest_.ros_table) continue;
       if (std::find(store->manifest_.frozen.begin(),
                     store->manifest_.frozen.end(),
                     base) != store->manifest_.frozen.end()) {
         continue;
       }
+      if (is_tmp) continue;  // swept via stale_tmps
       if (std::find(orphans.begin(), orphans.end(), base) == orphans.end()) {
         orphans.push_back(base);
       }
     }
+    for (const std::string& stale : stale_tmps) {
+      DurableEnv::Default()->Remove(stale);
+      durability.tmp_files_swept->Increment();
+    }
     for (const std::string& orphan : orphans) RemoveTableFiles(dir, orphan);
+    if (FsyncAt(FsyncLevel::kCommit)) {
+      RODB_RETURN_IF_ERROR(DurableEnv::Default()->SyncDir(dir));
+    }
   }
 
   {

@@ -6,6 +6,7 @@
 
 #include "common/file_util.h"
 #include "common/macros.h"
+#include "io/durable_file.h"
 
 namespace rodb {
 
@@ -42,16 +43,9 @@ Status SaveIngestManifest(const std::string& dir, const IngestManifest& m) {
     out += seg;
     out += "\n";
   }
-  const std::string path = IngestManifestPath(dir, m.table);
-  const std::string tmp = path + ".tmp";
-  RODB_RETURN_IF_ERROR(WriteStringToFile(tmp, out));
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status::IoError("manifest rename failed: " + path);
-  }
-  return Status::OK();
+  // The rename inside AtomicPublishFile is the lifecycle's only commit
+  // point: fsync the tmp before it, fsync the directory after it.
+  return AtomicPublishFile(IngestManifestPath(dir, m.table), out);
 }
 
 Result<IngestManifest> LoadIngestManifest(const std::string& dir,
@@ -92,10 +86,7 @@ Result<IngestManifest> LoadIngestManifest(const std::string& dir,
 }
 
 Status RemoveIngestManifest(const std::string& dir, const std::string& table) {
-  std::error_code ec;
-  std::filesystem::remove(IngestManifestPath(dir, table), ec);
-  if (ec) return Status::IoError("cannot remove ingest manifest");
-  return Status::OK();
+  return DurableEnv::Default()->Remove(IngestManifestPath(dir, table));
 }
 
 }  // namespace rodb

@@ -1,0 +1,95 @@
+#ifndef RODB_TESTS_CRASH_CRASH_HARNESS_H_
+#define RODB_TESTS_CRASH_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/schema.h"
+#include "wos/ingest_store.h"
+
+namespace rodb::crash {
+
+/// The deterministic ingest workload every crash schedule replays: the
+/// same tuples, the same freeze/merge interleaving, so any two runs
+/// differ only in where the fault landed. Tuple i carries key == i,
+/// which makes the recovered state self-describing -- the set of keys
+/// on disk IS the append-order prefix, whatever order a merge sorted
+/// them into.
+struct WorkloadOptions {
+  std::string table = "events";
+  Layout layout = Layout::kRow;
+  size_t page_size = 1024;  ///< small pages => many pages per segment
+  int batches = 10;
+  int batch_tuples = 48;
+  /// Freeze after every `freeze_every`-th batch; merge after every
+  /// second freeze. The tail after the last freeze stays volatile.
+  int freeze_every = 3;
+};
+
+Schema WorkloadSchema();  ///< key:int32 val:int32
+std::vector<uint8_t> WorkloadTuple(uint64_t i);
+/// Ingest options the workload (and recovery) opens the store with:
+/// manual lifecycle, synchronous merges, no thread pool.
+IngestOptions WorkloadIngestOptions(const WorkloadOptions& options);
+
+/// The committed-state oracle: what the last *acknowledged* durable
+/// commit promised. Volatile appends never enter it -- losing them in
+/// a crash is correct behaviour.
+struct Progress {
+  uint64_t epoch = 0;          ///< manifest epoch of the last acked commit
+  uint64_t sealed_tuples = 0;  ///< append-order prefix that commit covers
+};
+
+/// Runs the workload against `dir`, refreshing *progress after each
+/// acknowledged Freeze/Merge. When `progress_path` is non-empty the
+/// progress is also atomically published there after each ack -- the
+/// out-of-band oracle the fork axis reads back after SIGKILLing the
+/// writer. Put it OUTSIDE the data dir (a sibling path) so it never
+/// trips the orphan sweep. Stops at the first error; a simulated or
+/// scheduled crash surfaces here as that error.
+Status RunWorkload(const std::string& dir, const WorkloadOptions& options,
+                   Progress* progress, const std::string& progress_path = "");
+
+Status SaveProgress(const std::string& path, const Progress& progress);
+/// Missing file decodes as zero progress (crash before the first ack).
+Result<Progress> LoadProgress(const std::string& path);
+
+/// Reopens the table and checks every durability invariant against the
+/// oracle:
+///   - recovery succeeds and lands on a committed generation;
+///   - manifest epoch >= progress.epoch and no committed tuple is
+///     lost: the visible tuples are exactly keys {0..K-1} with
+///     K >= progress.sealed_tuples, values intact;
+///   - the directory holds no *.tmp files and no lifecycle files
+///     unreferenced by the recovered manifest (zero orphan leaks).
+/// Any violation (including failing to open) comes back as an error
+/// naming it.
+Status VerifyRecovery(const std::string& dir, const WorkloadOptions& options,
+                      const Progress& progress);
+
+/// The integrity half of VerifyRecovery without the oracle floor: used
+/// by the FsyncLevel::kNone negative control, where acknowledged
+/// commits MAY vanish but recovery must still either land on a
+/// self-consistent prefix or fail loudly -- never silently serve wrong
+/// data. Returns the recovered prefix length via *visible.
+Status VerifyPrefixIntegrity(const std::string& dir,
+                             const WorkloadOptions& options,
+                             uint64_t* visible);
+
+/// Forks a child that runs the workload and raise(SIGKILL)s itself at
+/// the `kill_at`-th durability syscall (SyncPoint hit); 0 = never.
+/// Returns true if the child died by SIGKILL, false if the workload ran
+/// to completion first (kill_at past the schedule's end); any other
+/// child outcome is an error. The parent then recovers `dir` against
+/// the progress file the child left behind.
+Result<bool> RunWorkloadKilledAt(const std::string& dir,
+                                 const WorkloadOptions& options,
+                                 uint64_t kill_at,
+                                 const std::string& progress_path);
+
+}  // namespace rodb::crash
+
+#endif  // RODB_TESTS_CRASH_CRASH_HARNESS_H_

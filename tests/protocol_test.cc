@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -390,6 +392,131 @@ TEST(ProtocolTest, DecodeRejectsLyingRowDataLength) {
   const size_t len_offset = wire.size() - 16 - 4 - 8;
   wire[len_offset] = 200;
   EXPECT_FALSE(DecodeQueryResult(wire.data(), wire.size()).ok());
+}
+
+// --- fuzz axis: FrameReader and decoders vs. hostile byte streams ---
+
+/// Seeded random byte streams fed in random-sized chunks. The contract
+/// under arbitrary input: Next() yields a frame, asks for more bytes,
+/// or fails kInvalidArgument -- never anything else, never a crash, and
+/// never a read past the fed bytes (ASan enforces the last one). Any
+/// frame that does assemble is pushed through every payload decoder,
+/// which likewise must return rather than fault.
+TEST(ProtocolTest, FrameReaderFuzzRandomByteStreams) {
+  for (uint32_t seed = 0; seed < 64; ++seed) {
+    std::mt19937 rng(seed);
+    std::vector<uint8_t> stream(64 + rng() % 4096);
+    for (auto& b : stream) b = static_cast<uint8_t>(rng());
+    // Bias a third of the streams toward small plausible LE lengths so
+    // the reader assembles garbage frames instead of rejecting the
+    // first header outright.
+    if (seed % 3 == 0) {
+      for (size_t i = 0; i + 4 <= stream.size(); i += 61) {
+        StoreLE32(stream.data() + i, 1 + rng() % 128);
+      }
+    }
+    FrameReader reader;
+    size_t fed = 0;
+    bool dead = false;
+    while (fed < stream.size() && !dead) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng() % 97, stream.size() - fed);
+      reader.Feed(stream.data() + fed, chunk);
+      fed += chunk;
+      for (int pulls = 0; pulls < 4096; ++pulls) {
+        FrameReader::Frame frame;
+        const auto next = reader.Next(&frame);
+        if (!next.ok()) {
+          ASSERT_EQ(next.status().code(), StatusCode::kInvalidArgument)
+              << "seed " << seed << ": " << next.status().ToString();
+          dead = true;
+          break;
+        }
+        if (!*next) break;
+        const uint8_t* p = frame.payload.data();
+        const size_t n = frame.payload.size();
+        (void)DecodeQueryRequest(p, n);
+        (void)DecodeQueryResult(p, n);
+        (void)DecodeIngestRequest(p, n);
+        (void)DecodeIngestResult(p, n);
+        (void)DecodeServerHealth(p, n);
+        (void)DecodeError(p, n);
+      }
+    }
+  }
+}
+
+/// Every frame type truncated at every byte boundary: the reader must
+/// keep answering "more bytes needed" (no error, no short frame), then
+/// deliver the intact frame once the tail arrives.
+TEST(ProtocolTest, FrameReaderFuzzTruncatedFrames) {
+  QueryResult result;
+  result.rows = 7;
+  IngestRequest ingest;
+  ingest.table = "t";
+  ingest.count = 1;
+  ingest.data = {1, 2, 3, 4};
+  const std::vector<std::vector<uint8_t>> frames = {
+      EncodeFrame(FrameType::kQuery, EncodeQueryRequest(FullRequest())),
+      EncodeFrame(FrameType::kResult, EncodeQueryResult(result)),
+      EncodeFrame(FrameType::kIngest, EncodeIngestRequest(ingest)),
+      EncodeFrame(FrameType::kIngestReply,
+                  EncodeIngestResult(IngestResult{})),
+      EncodeFrame(FrameType::kHealth, {}),
+      EncodeFrame(FrameType::kHealthReply,
+                  EncodeServerHealth(ServerHealth{})),
+      EncodeFrame(FrameType::kError, EncodeError(Status::Unavailable("x"))),
+      EncodeFrame(FrameType::kPing, {}),
+  };
+  for (const auto& frame : frames) {
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      FrameReader reader;
+      reader.Feed(frame.data(), cut);
+      FrameReader::Frame out;
+      ASSERT_OK_AND_ASSIGN(bool ready, reader.Next(&out));
+      ASSERT_FALSE(ready) << "frame of " << frame.size()
+                          << " bytes completed after only " << cut;
+      reader.Feed(frame.data() + cut, frame.size() - cut);
+      ASSERT_OK_AND_ASSIGN(bool whole, reader.Next(&out));
+      ASSERT_TRUE(whole);
+      EXPECT_EQ(out.payload.size(), frame.size() - 5);
+    }
+  }
+}
+
+/// Payload truncation with a consistent header must surface as a
+/// decoder error at every cut point -- never a crash or an accept.
+TEST(ProtocolTest, DecodersRejectEveryPayloadTruncation) {
+  QueryResult result;
+  result.rows_collected = 1;
+  result.row_layout = BlockLayout::FromWidths({4});
+  result.row_data = {9, 9, 9, 9};
+  IngestRequest ingest;
+  ingest.table = "events";
+  ingest.schema_text = "key:int32";
+  ingest.count = 2;
+  ingest.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<uint8_t> query_wire = EncodeQueryRequest(FullRequest());
+  const std::vector<uint8_t> result_wire = EncodeQueryResult(result);
+  const std::vector<uint8_t> ingest_wire = EncodeIngestRequest(ingest);
+  const std::vector<uint8_t> health_wire =
+      EncodeServerHealth(ServerHealth{2, 3, 4});
+  for (size_t cut = 0; cut < query_wire.size(); ++cut) {
+    EXPECT_FALSE(DecodeQueryRequest(query_wire.data(), cut).ok())
+        << "query request accepted at " << cut << " bytes";
+  }
+  for (size_t cut = 0; cut < result_wire.size(); ++cut) {
+    EXPECT_FALSE(DecodeQueryResult(result_wire.data(), cut).ok())
+        << "query result accepted at " << cut << " bytes";
+  }
+  for (size_t cut = 0; cut < ingest_wire.size(); ++cut) {
+    EXPECT_FALSE(DecodeIngestRequest(ingest_wire.data(), cut).ok())
+        << "ingest request accepted at " << cut << " bytes";
+  }
+  for (size_t cut = 0; cut < health_wire.size(); ++cut) {
+    EXPECT_FALSE(DecodeServerHealth(health_wire.data(), cut).ok())
+        << "server health accepted at " << cut << " bytes";
+  }
 }
 
 }  // namespace

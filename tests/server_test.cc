@@ -632,5 +632,194 @@ TEST_F(ServerTest, SocketManyConcurrentClients) {
   server.Stop();
 }
 
+// --- graceful drain, health, idle culling, shutdown races ---
+
+TEST_F(ServerTest, SocketHealthRoundTrip) {
+  QueryServer server(dir_.path());
+  ASSERT_OK(server.Start());
+  QueryClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server.port()));
+
+  ASSERT_OK_AND_ASSIGN(ServerHealth health, client.Health());
+  EXPECT_EQ(health.state, static_cast<uint8_t>(ServerState::kServing));
+  EXPECT_GE(health.active_connections, 1u);
+  EXPECT_EQ(health.inflight_requests, 0u);
+
+  client.Close();
+  // Draining an idle server completes immediately and stops it.
+  ASSERT_OK(server.Drain());
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+  // Idempotent after stop.
+  ASSERT_OK(server.Drain());
+  server.Stop();
+}
+
+TEST_F(ServerTest, DrainFinishesInFlightAndShedsNewWork) {
+  FileBackend disk;
+  GateBackend gate(&disk);
+  ServerOptions options;
+  options.engine = SmallIoOptions();
+  options.engine.backend = &gate;
+  options.drain_timeout_ms = 10'000;
+  QueryServer server(dir_.path(), options);
+  ASSERT_OK(server.Start());
+
+  // Client A parks a shared scan mid-lap behind the gate.
+  QueryClient slow;
+  ASSERT_OK(slow.Connect("127.0.0.1", server.port()));
+  // Client B connects before the drain closes the listener.
+  QueryClient probe;
+  ASSERT_OK(probe.Connect("127.0.0.1", server.port()));
+
+  gate.Allow(2);
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  Result<QueryResult> slow_result = Status::Internal("not run");
+  std::thread slow_thread([&] { slow_result = slow.Execute(request); });
+  gate.WaitServed(2);
+  while (server.inflight_requests() == 0) std::this_thread::yield();
+
+  Status drain_status = Status::Internal("not run");
+  std::thread drain_thread([&] { drain_status = server.Drain(); });
+  while (server.state() != ServerState::kDraining) std::this_thread::yield();
+
+  // Existing connections still answer health during the drain...
+  ASSERT_OK_AND_ASSIGN(ServerHealth health, probe.Health());
+  EXPECT_EQ(health.state, static_cast<uint8_t>(ServerState::kDraining));
+  EXPECT_GE(health.inflight_requests, 1u);
+  // ...but new work is shed with Unavailable, both queries and ingest.
+  Result<QueryResult> shed = probe.Execute(request);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status().ToString();
+  IngestRequest batch;
+  batch.table = "t_row";
+  batch.count = 1;
+  batch.data.resize(kTupleWidth);
+  Result<IngestResult> shed_ingest = probe.Ingest(batch);
+  ASSERT_FALSE(shed_ingest.ok());
+  EXPECT_TRUE(shed_ingest.status().IsUnavailable());
+  // New connections are refused: the listener is closed.
+  QueryClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port()).ok());
+
+  // Release the gate: the in-flight query finishes normally and the
+  // drain completes without shedding it.
+  gate.AllowAll();
+  slow_thread.join();
+  drain_thread.join();
+  ASSERT_OK(drain_status);
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+  ASSERT_OK(slow_result.status());
+  EXPECT_EQ(slow_result->rows, kNumTuples);
+}
+
+TEST_F(ServerTest, DrainDeadlineShedsStuckQueryAsUnavailable) {
+  FileBackend disk;
+  GateBackend gate(&disk);
+  ServerOptions options;
+  options.engine = SmallIoOptions();
+  options.engine.backend = &gate;
+  options.drain_timeout_ms = 50;  // the stuck query must be shed
+  QueryServer server(dir_.path(), options);
+  ASSERT_OK(server.Start());
+
+  QueryClient slow;
+  ASSERT_OK(slow.Connect("127.0.0.1", server.port()));
+  gate.Allow(2);
+  QueryRequest request;
+  request.table = "t_row";
+  request.mode = QueryMode::kShared;
+  Result<QueryResult> slow_result = Status::Internal("not run");
+  std::thread slow_thread([&] { slow_result = slow.Execute(request); });
+  gate.WaitServed(2);
+  while (server.inflight_requests() == 0) std::this_thread::yield();
+
+  Status drain_status = Status::Internal("not run");
+  std::thread drain_thread([&] { drain_status = server.Drain(); });
+  // Give the drain time to burn both budgets and cancel the token,
+  // then unblock the I/O so the scan can observe the cancellation at
+  // its next window boundary.
+  while (server.state() != ServerState::kDraining) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  gate.AllowAll();
+  slow_thread.join();
+  drain_thread.join();
+  ASSERT_OK(drain_status);
+
+  // The client saw a clean error frame, not a hang or a torn
+  // connection mid-result: shed work reports Unavailable.
+  ASSERT_FALSE(slow_result.ok());
+  EXPECT_TRUE(slow_result.status().IsUnavailable() ||
+              slow_result.status().IsCancelled() ||
+              slow_result.status().IsIoError())
+      << slow_result.status().ToString();
+}
+
+TEST_F(ServerTest, IdleConnectionsAreCulled) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  options.read_slice_ms = 20;
+  QueryServer server(dir_.path(), options);
+  ASSERT_OK(server.Start());
+
+  QueryClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server.port()));
+  ASSERT_OK(client.Ping());
+  // Sit idle past the timeout: the server closes the connection.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.active_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.active_connections(), 0u);
+  EXPECT_FALSE(client.Ping().ok());
+  server.Stop();
+}
+
+TEST_F(ServerTest, StopRacingInFlightIngestJoinsCleanly) {
+  ASSERT_OK_AND_ASSIGN(Schema schema, TestSchema());
+  std::string schema_text;
+  schema.AppendTo(&schema_text);
+
+  // Repeat the race a few times: the interesting interleaving is
+  // Stop() landing while a kIngest frame is executing, which used to
+  // leave the handler thread unjoined (and its reply write could
+  // SIGPIPE the process once Stop shut the socket down).
+  for (int round = 0; round < 5; ++round) {
+    TempDir dir;
+    QueryServer server(dir.path());
+    ASSERT_OK(server.Start());
+
+    std::thread ingester([&] {
+      QueryClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      IngestRequest batch;
+      batch.table = "events";
+      batch.schema_text = schema_text;
+      batch.count = 2000;
+      for (const auto& tuple : TestTuples(2000)) {
+        batch.data.insert(batch.data.end(), tuple.begin(), tuple.end());
+      }
+      // Keep streaming until the shutdown fails a batch; every reply
+      // must be a clean success or error, never a hang.
+      for (int i = 0; i < 1000; ++i) {
+        batch.schema_text = i == 0 ? schema_text : "";
+        if (!client.Ingest(batch).ok()) break;
+      }
+    });
+
+    // Let the stream get going, then race two stoppers against it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 * round));
+    std::thread stopper_a([&] { server.Stop(); });
+    std::thread stopper_b([&] { server.Stop(); });
+    stopper_a.join();
+    stopper_b.join();
+    EXPECT_EQ(server.state(), ServerState::kStopped);
+    ingester.join();
+  }
+}
+
 }  // namespace
 }  // namespace rodb

@@ -6,9 +6,12 @@
 //               [--max-shared=N] [--max-exclusive=N]
 //
 // Prints "listening on HOST:PORT" once ready (port 0 = ephemeral, the
-// chosen port is in the message), serves until SIGINT/SIGTERM, then
-// shuts down cleanly: in-flight queries fail with Cancelled, the
-// circulating scans stop, and the metrics snapshot is printed.
+// chosen port is in the message) and serves until signalled. SIGTERM
+// drains gracefully: the listener closes, in-flight requests get up to
+// --drain-timeout-ms to finish (then are shed with Unavailable), active
+// ingest segments are frozen behind a final synced manifest write, and
+// only then do the threads join. SIGINT stops abruptly (in-flight
+// queries fail with Cancelled). Both paths print the metrics snapshot.
 
 #include <csignal>
 #include <cstdio>
@@ -24,8 +27,10 @@ using namespace rodb;  // NOLINT
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_drain = 0;
 
-void HandleSignal(int) { g_stop = 1; }
+void HandleStop(int) { g_stop = 1; }
+void HandleDrain(int) { g_drain = 1; }
 
 bool ParseIntFlag(const char* arg, const char* flag, int* out) {
   const size_t n = std::strlen(flag);
@@ -43,7 +48,9 @@ int main(int argc, char** argv) {
                  "[--cache-mb=N]\n"
                  "                   [--no-scan-sharing] "
                  "[--shared-block-tuples=N]\n"
-                 "                   [--max-shared=N] [--max-exclusive=N]\n");
+                 "                   [--max-shared=N] [--max-exclusive=N]\n"
+                 "                   [--drain-timeout-ms=N] "
+                 "[--idle-timeout-ms=N]\n");
     return 2;
   }
   ServerOptions options;
@@ -53,6 +60,10 @@ int main(int argc, char** argv) {
   int max_exclusive = 0;
   for (int i = 2; i < argc; ++i) {
     if (ParseIntFlag(argv[i], "--port=", &options.port) ||
+        ParseIntFlag(argv[i], "--drain-timeout-ms=",
+                     &options.drain_timeout_ms) ||
+        ParseIntFlag(argv[i], "--idle-timeout-ms=",
+                     &options.idle_timeout_ms) ||
         ParseIntFlag(argv[i], "--cache-mb=", &cache_mb) ||
         ParseIntFlag(argv[i], "--shared-block-tuples=",
                      &shared_block_tuples) ||
@@ -91,15 +102,27 @@ int main(int argc, char** argv) {
   std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
   std::fflush(stdout);
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleDrain);
   sigset_t empty;
   sigemptyset(&empty);
-  while (g_stop == 0) {
+  while (g_stop == 0 && g_drain == 0) {
     // Sleep until any signal arrives; the handlers above set the flag.
     sigsuspend(&empty);
   }
-  server.Stop();
+  int rc = 0;
+  if (g_drain != 0 && g_stop == 0) {
+    std::printf("draining (timeout %d ms)\n", options.drain_timeout_ms);
+    std::fflush(stdout);
+    const Status drained = server.Drain();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "rodb_server: drain flush: %s\n",
+                   drained.ToString().c_str());
+      rc = 1;
+    }
+  } else {
+    server.Stop();
+  }
   std::printf("%s", obs::MetricsRegistry::Default().ExportText().c_str());
-  return 0;
+  return rc;
 }

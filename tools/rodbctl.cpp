@@ -33,7 +33,9 @@
 //       the final batch.
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -518,15 +520,21 @@ Result<Schema> ParseSchemaSpec(const std::string& spec) {
 
 /// Encodes one CSV line as a raw tuple of `schema`. Fields are comma
 /// separated, positional, unquoted; text is zero-padded/truncated to
-/// the attribute width.
+/// the attribute width. Strict: the field count must match the schema
+/// exactly and an int32 field must be a whole integer, so a malformed
+/// row is reported by line and field instead of being half-parsed.
 Status EncodeCsvTuple(const Schema& schema, const std::string& line,
                       uint64_t line_no, uint8_t* out) {
+  const auto bad = [&](size_t field, const std::string& what) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(line_no) + ", field " +
+        std::to_string(field + 1) + ": " + what + " -- \"" + line + "\"");
+  };
   size_t start = 0;
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
     if (start > line.size()) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_no) + ": expected " +
-          std::to_string(schema.num_attributes()) + " fields");
+      return bad(a, "missing field (schema has " +
+                        std::to_string(schema.num_attributes()) + ")");
     }
     size_t comma = line.find(',', start);
     if (comma == std::string::npos) comma = line.size();
@@ -534,11 +542,16 @@ Status EncodeCsvTuple(const Schema& schema, const std::string& line,
     uint8_t* dst = out + schema.attr_offset(a);
     if (attr.type == AttrType::kInt32) {
       char* end = nullptr;
+      errno = 0;
       const long value = std::strtol(line.c_str() + start, &end, 10);
       if (end == line.c_str() + start) {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": bad int32 in field " +
-                                       std::to_string(a + 1));
+        return bad(a, "not an int32");
+      }
+      if (end != line.c_str() + comma) {
+        return bad(a, "trailing garbage after int32");
+      }
+      if (errno == ERANGE || value < INT32_MIN || value > INT32_MAX) {
+        return bad(a, "int32 out of range");
       }
       StoreLE32s(dst, static_cast<int32_t>(value));
     } else {
@@ -548,6 +561,11 @@ Status EncodeCsvTuple(const Schema& schema, const std::string& line,
       std::memset(dst + len, 0, static_cast<size_t>(attr.width) - len);
     }
     start = comma + 1;
+  }
+  if (start <= line.size()) {
+    return bad(schema.num_attributes() - 1,
+               "extra fields beyond the schema's " +
+                   std::to_string(schema.num_attributes()));
   }
   return Status::OK();
 }
